@@ -1,0 +1,66 @@
+//! Bench target running ablations A1–A5 (DESIGN.md §4) at small scale.
+
+use lnls_bench::ablation;
+
+fn main() {
+    println!("== A1: f32 mapping precision boundary ==");
+    match ablation::mapping_precision_boundary(1 << 15) {
+        Some((n, idx)) => println!("first f32 failure: n = {n}, index {idx} (paper max n=1517 is safe)"),
+        None => println!("no failure below n = 32768"),
+    }
+
+    println!("\n== A2: threads-per-block sweep (2-Hamming, 101×101) ==");
+    for (bs, s) in ablation::block_size_sweep(101, 101, &[32, 64, 128, 256, 512], 1) {
+        println!("  block {bs:>4}: {:>9.3} ms/iter", s * 1e3);
+    }
+
+    println!("\n== A3: texture vs global (1-Hamming) ==");
+    for r in ablation::texture_vs_global(&[(101, 117), (501, 517)], 1) {
+        println!(
+            "  {:>4}x{:<4} texture {:>8.3} ms   global {:>8.3} ms   ({:.2}x)",
+            r.m,
+            r.n,
+            r.texture_s * 1e3,
+            r.global_s * 1e3,
+            r.global_s / r.texture_s
+        );
+    }
+
+    println!("\n== A4: multi-GPU partitioning (3-Hamming, 73×73) ==");
+    let rows = ablation::multigpu_scaling(73, 73, 3, &[1, 2, 4], 1);
+    let base = rows[0].per_iter_s;
+    for r in &rows {
+        println!(
+            "  {} device(s): {:>8.3} ms/iter (x{:.2})",
+            r.devices,
+            r.per_iter_s * 1e3,
+            base / r.per_iter_s
+        );
+    }
+
+    println!("\n== A5: 4-Hamming feasibility (73×73) ==");
+    let rows = ablation::multigpu_scaling(73, 73, 4, &[1, 4], 1);
+    println!("  |N4(73)| = {} moves", lnls_neighborhood::binomial(73, 4));
+    let base = rows[0].per_iter_s;
+    for r in &rows {
+        println!(
+            "  {} device(s): {:>8.3} ms/iter (x{:.2})",
+            r.devices,
+            r.per_iter_s * 1e3,
+            base / r.per_iter_s
+        );
+    }
+
+    println!("\n== A8: shared-memory staging of Y (2-Hamming) ==");
+    for r in ablation::shared_staging(&[(73, 217), (1501, 217)], 2, 1) {
+        println!(
+            "  {:>4}x{:<4} global-Y {:>8.3} ms   shared-Y {:>8.3} ms  ({:.2}x, {} blk/SM)",
+            r.m,
+            r.n,
+            r.global_s * 1e3,
+            r.shared_s * 1e3,
+            r.global_s / r.shared_s,
+            r.staged_blocks_per_sm
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Bench target regenerating Fig. 8: CPU vs GPU-texture execution time of
+//! 10000 1-Hamming tabu iterations over the size ladder
+//! (101,117) … (1501,1517).
+
+use lnls_bench::{paper, print_fig8, run_fig8};
+use lnls_ppp::{GpuExplorerConfig, PppInstance};
+
+fn main() {
+    let iters = std::env::var("LNLS_FIG8_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000u64);
+    let points = run_fig8(iters, &PppInstance::fig8_sizes(), &GpuExplorerConfig::default(), 2010);
+    print_fig8(&points, iters);
+    // The figure's qualitative anchors from the paper text.
+    println!(
+        "paper anchors: CPU wins below {}-{}; crossover x{:.1}; x{:.1} at {}-{}",
+        paper::FIG8_CROSSOVER.0,
+        paper::FIG8_CROSSOVER.1,
+        paper::FIG8_CROSSOVER_ACCEL,
+        paper::FIG8_MAX_ACCEL,
+        paper::FIG8_MAX.0,
+        paper::FIG8_MAX.1
+    );
+}

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the simulator itself: wall-clock cost of
+//! simulating one evaluation kernel launch (the price of the hardware
+//! substitution, not a paper artifact) and of the analytic model.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnls_core::{BitString, Explorer, IncrementalEval};
+use lnls_gpu_sim::{occupancy, DeviceSpec, LaunchConfig};
+use lnls_ppp::{GpuExplorerConfig, Ppp, PppGpuExplorer, PppInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulated_launch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_explore_wall");
+    g.sample_size(10);
+    for (m, n, k) in [(73usize, 73usize, 1usize), (73, 73, 2), (101, 117, 2)] {
+        let p = Ppp::new(PppInstance::generate(m, n, 7));
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = BitString::random(&mut rng, n);
+        let mut state = p.init_state(&s);
+        let mut gpu = PppGpuExplorer::new(&p, k, GpuExplorerConfig::default());
+        let mut out = Vec::new();
+        // Warm profile so the loop measures steady-state simulation.
+        gpu.explore(&p, &s, &mut state, &mut out);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}_k{k}")), &(), |b, _| {
+            b.iter(|| {
+                gpu.explore(&p, &s, &mut state, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_occupancy_and_model(c: &mut Criterion) {
+    let spec = DeviceSpec::gtx280();
+    c.bench_function("occupancy_calculator", |b| {
+        let mut t = 1u64;
+        b.iter(|| {
+            t = (t % 500_000) + 64;
+            let cfg = LaunchConfig::cover_1d(t, 128);
+            black_box(occupancy(&spec, &cfg))
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulated_launch, bench_occupancy_and_model);
+criterion_main!(benches);

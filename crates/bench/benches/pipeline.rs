@@ -1,0 +1,64 @@
+//! Bench target for A6: stream pipelining of independent walks (the
+//! concurrency the paper's synchronous loop leaves on the table), and
+//! the issue-order ablation on the GT200 FIFO engine queues.
+
+use lnls_bench::per_iteration_book;
+use lnls_gpu_sim::pipeline::{price_multiwalk_ordered, IssueOrder};
+use lnls_gpu_sim::{DeviceSpec, EngineConfig, IterationProfile};
+use lnls_ppp::{GpuExplorerConfig, Ppp, PppInstance};
+
+fn main() {
+    let spec = DeviceSpec::gtx280();
+    println!("== A6: stream pipelining of independent tabu walks ==");
+    println!("(profiled 2-Hamming PPP iteration; 1000 iterations per walk)\n");
+
+    for (m, n) in [(101usize, 117usize), (501, 517)] {
+        let problem = Ppp::new(PppInstance::generate(m, n, 1));
+        let book = per_iteration_book(&problem, 2, &GpuExplorerConfig::default());
+        let profile = IterationProfile {
+            h2d_bytes: book.bytes_h2d,
+            kernel_seconds: book.kernel_s,
+            d2h_bytes: book.bytes_d2h,
+        };
+        println!(
+            "{m}x{n}: iteration = {:.0} us upload + {:.0} us kernel + {:.0} us readback",
+            lnls_gpu_sim::transfer_seconds(&spec, profile.h2d_bytes) * 1e6,
+            (profile.kernel_seconds + spec.launch_overhead_s) * 1e6,
+            lnls_gpu_sim::transfer_seconds(&spec, profile.d2h_bytes) * 1e6,
+        );
+        for (walks, streams) in [(1usize, 1usize), (2, 2), (4, 4)] {
+            let bf = price_multiwalk_ordered(
+                &spec,
+                EngineConfig::gt200(),
+                profile,
+                walks,
+                1000,
+                streams,
+                IssueOrder::BreadthFirst,
+            );
+            let df = price_multiwalk_ordered(
+                &spec,
+                EngineConfig::gt200(),
+                profile,
+                walks,
+                1000,
+                streams,
+                IssueOrder::DepthFirst,
+            );
+            println!(
+                "  {walks} walks/{streams} streams: breadth-first x{:.3}   depth-first x{:.3}",
+                bf.speedup, df.speedup
+            );
+        }
+        let fermi = price_multiwalk_ordered(
+            &spec,
+            EngineConfig::fermi(),
+            profile,
+            4,
+            1000,
+            4,
+            IssueOrder::BreadthFirst,
+        );
+        println!("  (Fermi engines, 4 walks: x{:.3})\n", fermi.speedup);
+    }
+}

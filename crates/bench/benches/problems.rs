@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the problem zoo's incremental deltas
+//! (the quantity one GPU thread computes in the paper's kernel pattern)
+//! and of full neighborhood scans — fixed radius vs the mixed-radius
+//! union.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnls_core::{BinaryProblem, BitString, Explorer, IncrementalEval, SequentialExplorer};
+use lnls_neighborhood::{KHamming, Neighborhood, UnionHamming};
+use lnls_problems::{IsingLattice, Knapsack, MaxCut, MaxSat, NkLandscape, OneMax, Qubo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_deltas(c: &mut Criterion) {
+    let n = 96;
+    let mut rng = StdRng::seed_from_u64(1);
+    let s = BitString::random(&mut rng, n);
+    let hood = KHamming::new(n, 2);
+
+    let mut group = c.benchmark_group("neighbor_delta_2h");
+
+    macro_rules! delta_bench {
+        ($name:literal, $p:expr) => {{
+            let p = $p;
+            let mut st = p.init_state(&s);
+            let mv = hood.unrank(hood.size() / 2);
+            group.bench_function($name, |b| {
+                b.iter(|| black_box(p.neighbor_fitness(&mut st, &s, black_box(&mv))))
+            });
+            // The delta must be honest — cross-check once per target.
+            let mut s2 = s.clone();
+            s2.apply(&mv);
+            assert_eq!(p.neighbor_fitness(&mut st, &s, &mv), p.evaluate(&s2));
+        }};
+    }
+
+    delta_bench!("onemax", OneMax::new(n));
+    delta_bench!("qubo", Qubo::random(&mut rng, n, 9, 0.5));
+    delta_bench!("maxcut", MaxCut::random(&mut rng, n, 0.3, 9));
+    delta_bench!("knapsack", Knapsack::random(&mut rng, n, 20, 10));
+    delta_bench!("maxsat", MaxSat::random(&mut rng, n, 400));
+    delta_bench!("nk", NkLandscape::random(&mut rng, n, 4, 100));
+    group.finish();
+
+    // Ising lives on a square lattice; bench it at its own size.
+    let mut group = c.benchmark_group("neighbor_delta_lattice");
+    let l = 10;
+    let ising = IsingLattice::random_pm(&mut rng, l, 1);
+    let s = BitString::random(&mut rng, l * l);
+    let mut st = ising.init_state(&s);
+    let hood = KHamming::new(l * l, 2);
+    let mv = hood.unrank(hood.size() / 3);
+    group.bench_function("ising_10x10", |b| {
+        b.iter(|| black_box(ising.neighbor_fitness(&mut st, &s, black_box(&mv))))
+    });
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(2);
+    let q = Qubo::random(&mut rng, n, 9, 0.5);
+    let s = BitString::random(&mut rng, n);
+
+    let mut group = c.benchmark_group("full_scan_qubo");
+    group.sample_size(20);
+
+    for k in 1..=3usize {
+        group.bench_with_input(BenchmarkId::new("fixed_k", k), &k, |b, &k| {
+            let mut ex = SequentialExplorer::new(KHamming::new(n, k));
+            let mut st = q.init_state(&s);
+            let mut out = Vec::new();
+            b.iter(|| {
+                Explorer::<Qubo>::explore(&mut ex, &q, &s, &mut st, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    group.bench_function("union_123", |b| {
+        let mut ex = SequentialExplorer::new(UnionHamming::ladder123(n));
+        let mut st = q.init_state(&s);
+        let mut out = Vec::new();
+        b.iter(|| {
+            Explorer::<Qubo>::explore(&mut ex, &q, &s, &mut st, &mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deltas, bench_scans);
+criterion_main!(benches);

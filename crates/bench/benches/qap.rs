@@ -1,0 +1,56 @@
+//! Bench target for A7: Taillard's robust tabu search on the QAP — the
+//! paper's tabu search (ref. [11]) in its original habitat, with the
+//! swap neighborhood scanned on the host delta table, the naive host
+//! recompute, and the simulated GPU. Criterion times the host paths;
+//! the GPU path reports its modeled ledger.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnls_gpu_sim::DeviceSpec;
+use lnls_qap::{
+    FreshEvaluator, GpuSwapEvaluator, Permutation, QapInstance, RobustTabu, RtsConfig,
+    SwapEvaluator, TableEvaluator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_qap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qap_rts");
+    group.sample_size(10);
+
+    for n in [20usize, 40] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = QapInstance::random_symmetric(&mut rng, n);
+        let init = Permutation::random(&mut rng, n);
+        let rts = RobustTabu::new(RtsConfig::budget(50).with_seed(1));
+
+        group.bench_with_input(BenchmarkId::new("delta_table", n), &n, |b, _| {
+            b.iter(|| rts.run(&inst, &mut TableEvaluator::new(), init.clone()).best_cost)
+        });
+        group.bench_with_input(BenchmarkId::new("fresh_recompute", n), &n, |b, _| {
+            b.iter(|| rts.run(&inst, &mut FreshEvaluator::new(), init.clone()).best_cost)
+        });
+    }
+    group.finish();
+
+    // Modeled GPU ledger (not a wall-clock benchmark: the simulator's
+    // wall time is irrelevant, its *predicted* seconds are the result).
+    println!("\n== A7: modeled GPU vs host for the full-neighborhood swap scan ==");
+    for n in [20usize, 40, 80, 160] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = QapInstance::random_symmetric(&mut rng, n);
+        let p = Permutation::random(&mut rng, n);
+        let mut gpu = GpuSwapEvaluator::new(&inst, DeviceSpec::gtx280());
+        let _ = gpu.deltas(&inst, &p);
+        let book = SwapEvaluator::book(&gpu).unwrap();
+        println!(
+            "  n={n:>4} ({:>6} swaps): gpu {:>9.5} s   host {:>9.5} s   x{:.2}",
+            lnls_neighborhood::mapping2d::size2(n as u64),
+            book.gpu_total_s(),
+            book.host_s,
+            book.speedup().unwrap_or(0.0)
+        );
+    }
+}
+
+criterion_group!(benches, bench_qap);
+criterion_main!(benches);

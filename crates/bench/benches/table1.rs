@@ -1,0 +1,14 @@
+//! Bench target regenerating Table I (PPP, 1-Hamming tabu) at a reduced
+//! default scale. Override with `LNLS_TRIES`, `LNLS_SCALE`, `LNLS_FULL=1`.
+
+use lnls_bench::{env_opts, paper, print_comparison, run_paper_table};
+
+fn main() {
+    let opts = env_opts(5, 0.2);
+    println!(
+        "table1 @ {} tries, {:.3}x budget (env LNLS_TRIES/LNLS_SCALE/LNLS_FULL to change)",
+        opts.tries, opts.iter_scale
+    );
+    let rows = run_paper_table(1, &opts);
+    print_comparison("Table I — PPP, 1-Hamming tabu search", &rows, &paper::TABLE1);
+}

@@ -1,0 +1,14 @@
+//! Bench target regenerating Table II (PPP, 2-Hamming tabu) at a reduced
+//! default scale. Override with `LNLS_TRIES`, `LNLS_SCALE`, `LNLS_FULL=1`.
+
+use lnls_bench::{env_opts, paper, print_comparison, run_paper_table};
+
+fn main() {
+    let opts = env_opts(3, 0.01);
+    println!(
+        "table2 @ {} tries, {:.3}x budget (env LNLS_TRIES/LNLS_SCALE/LNLS_FULL to change)",
+        opts.tries, opts.iter_scale
+    );
+    let rows = run_paper_table(2, &opts);
+    print_comparison("Table II — PPP, 2-Hamming tabu search", &rows, &paper::TABLE2);
+}

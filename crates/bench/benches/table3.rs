@@ -1,0 +1,16 @@
+//! Bench target regenerating Table III (PPP, 3-Hamming tabu) at a reduced
+//! default scale — the full protocol is a multi-day CPU campaign, which is
+//! the paper's own point. Override with `LNLS_TRIES`, `LNLS_SCALE`,
+//! `LNLS_FULL=1`.
+
+use lnls_bench::{env_opts, paper, print_comparison, run_paper_table};
+
+fn main() {
+    let opts = env_opts(2, 0.0005);
+    println!(
+        "table3 @ {} tries, {:.4}x budget (env LNLS_TRIES/LNLS_SCALE/LNLS_FULL to change)",
+        opts.tries, opts.iter_scale
+    );
+    let rows = run_paper_table(3, &opts);
+    print_comparison("Table III — PPP, 3-Hamming tabu search", &rows, &paper::TABLE3);
+}

@@ -1,0 +1,273 @@
+//! Ablations A1–A5, A8 (DESIGN.md §4): the design choices the paper
+//! makes implicitly, measured explicitly.
+
+use lnls_core::{BitString, IncrementalEval};
+use lnls_gpu_sim::{Device, DeviceSpec, ExecMode, LaunchConfig, MemSpace, MultiDevice};
+use lnls_neighborhood::{binomial, mapping2d, partition_ranges};
+use lnls_ppp::{GpuExplorerConfig, Ppp, PppEvalKernel, PppEvalKernelShared, PppInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::harness::per_iteration_book;
+
+/// A1 — single-precision mapping robustness: the first dimension where
+/// the paper's `f32` 2-Hamming unranking (Fig. 9, `+0.1f` guard) diverges
+/// from the exact mapping. `None` if no failure below `max_n`.
+pub fn mapping_precision_boundary(max_n: u64) -> Option<(u64, u64)> {
+    mapping2d::f32_first_failure(max_n)
+}
+
+/// A2 — threads-per-block sweep: modeled per-iteration GPU seconds of
+/// the 2-Hamming kernel on a paper-sized instance, per block size.
+pub fn block_size_sweep(m: usize, n: usize, sizes: &[u32], seed: u64) -> Vec<(u32, f64)> {
+    let problem = Ppp::new(PppInstance::generate(m, n, seed));
+    sizes
+        .iter()
+        .map(|&bs| {
+            let cfg = GpuExplorerConfig { block_size: bs, ..GpuExplorerConfig::default() };
+            let book = per_iteration_book(&problem, 2, &cfg);
+            (bs, book.gpu_total_s())
+        })
+        .collect()
+}
+
+/// One row of the texture-vs-global ablation.
+#[derive(Clone, Debug)]
+pub struct TextureRow {
+    /// Rows.
+    pub m: usize,
+    /// Columns.
+    pub n: usize,
+    /// Per-iteration GPU seconds with the ε-matrix in texture memory.
+    pub texture_s: f64,
+    /// Per-iteration GPU seconds with it in plain global memory.
+    pub global_s: f64,
+}
+
+/// A3 — texture vs. global placement of the ε-matrix (the Fig. 8 legend
+/// distinguishes "GPUTexture"), on the 1-Hamming kernel.
+pub fn texture_vs_global(sizes: &[(usize, usize)], seed: u64) -> Vec<TextureRow> {
+    sizes
+        .iter()
+        .map(|&(m, n)| {
+            let problem = Ppp::new(PppInstance::generate(m, n, seed));
+            let tex = per_iteration_book(
+                &problem,
+                1,
+                &GpuExplorerConfig { texture: true, ..GpuExplorerConfig::default() },
+            );
+            let glob = per_iteration_book(
+                &problem,
+                1,
+                &GpuExplorerConfig { texture: false, ..GpuExplorerConfig::default() },
+            );
+            TextureRow { m, n, texture_s: tex.gpu_total_s(), global_s: glob.gpu_total_s() }
+        })
+        .collect()
+}
+
+/// One row of the multi-GPU ablation.
+#[derive(Clone, Debug)]
+pub struct MultiGpuRow {
+    /// Devices used.
+    pub devices: usize,
+    /// Modeled wall-clock seconds of one partitioned iteration
+    /// (slowest-device semantics).
+    pub per_iter_s: f64,
+}
+
+/// A4/A5 — multi-GPU neighborhood partitioning (paper §V): one tabu
+/// iteration of the `k`-Hamming neighborhood split across `counts`
+/// devices. Static data is replicated per device (each GPU has private
+/// memory); per-iteration traffic and the kernel partition are charged.
+pub fn multigpu_scaling(m: usize, n: usize, k: usize, counts: &[usize], seed: u64) -> Vec<MultiGpuRow> {
+    let problem = Ppp::new(PppInstance::generate(m, n, seed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    let s = BitString::random(&mut rng, n);
+    let state = problem.init_state(&s);
+    let msize = binomial(n as u64, k as u64);
+    let wpc32 = (problem.inst.a.words_per_col() * 2) as u32;
+    let vbits: Vec<u32> = s.words().iter().flat_map(|&w| [w as u32, (w >> 32) as u32]).collect();
+
+    counts
+        .iter()
+        .map(|&d| {
+            let mut multi = MultiDevice::new_uniform(d, DeviceSpec::gtx280());
+            let parts = partition_ranges(msize, d);
+            // Setup (excluded from the per-iteration charge): replicate
+            // static data, allocate per-iteration buffers.
+            let mut bufs = Vec::new();
+            for (i, part) in parts.iter().enumerate() {
+                let dev = multi.device_mut(i);
+                let a_cols = dev.upload_new(&problem.inst.a.cols_as_u32(), MemSpace::Texture, "a_cols");
+                let hist_target =
+                    dev.upload_new(&problem.inst.target_hist, MemSpace::Texture, "hist_t");
+                let vb = dev.alloc_zeroed::<u32>(vbits.len(), MemSpace::Global, "vbits");
+                let y = dev.alloc_zeroed::<i32>(m, MemSpace::Global, "y");
+                let hc = dev.alloc_zeroed::<i32>(n + 1, MemSpace::Global, "hist_c");
+                let out = dev.alloc_zeroed::<i32>(part.len().max(1) as usize, MemSpace::Global, "out");
+                bufs.push((a_cols, hist_target, vb, y, hc, out));
+            }
+            multi.reset(); // setup transfers are not per-iteration cost
+
+            // Two iterations: the first profiles, the second is steady state.
+            let mut last_step = 0.0;
+            for _ in 0..2 {
+                last_step = multi.parallel_step(|i, dev| {
+                    let part = parts[i];
+                    if part.is_empty() {
+                        return;
+                    }
+                    let (a_cols, hist_target, vb, y, hc, out) = &bufs[i];
+                    dev.upload(vb, &vbits);
+                    dev.upload(y, &state.y);
+                    dev.upload(hc, &state.hist);
+                    let kernel = PppEvalKernel {
+                        k: k as u8,
+                        n: n as u32,
+                        m: m as u32,
+                        msize: part.len(),
+                        base_index: part.lo,
+                        wpc32,
+                        a_cols: a_cols.clone(),
+                        vbits: vb.clone(),
+                        y: y.clone(),
+                        hist_target: hist_target.clone(),
+                        hist_cur: hc.clone(),
+                        out: out.clone(),
+                        neg_base: state.neg_cost,
+                        hist_base: state.hist_cost,
+                    };
+                    dev.launch(&kernel, LaunchConfig::cover_1d(part.len(), 128), ExecMode::Auto);
+                    let _ = dev.download(out);
+                });
+            }
+            MultiGpuRow { devices: d, per_iter_s: last_step }
+        })
+        .collect()
+}
+
+/// One row of the shared-memory staging ablation.
+#[derive(Clone, Debug)]
+pub struct SharedStagingRow {
+    /// Rows (`m`): the shared request is `2m` 32-bit words per block.
+    pub m: usize,
+    /// Columns (`n`).
+    pub n: usize,
+    /// Modeled kernel seconds of the baseline (global-`Y`) variant.
+    pub global_s: f64,
+    /// Modeled kernel seconds with `Y` staged in shared memory.
+    pub shared_s: f64,
+    /// Resident blocks/SM of the staged variant (occupancy cost).
+    pub staged_blocks_per_sm: u32,
+}
+
+/// A8 — shared-memory staging of the base product vector `Y` in the
+/// `k`-Hamming kernel: DRAM traffic per block instead of per thread,
+/// paid for with `2m` words of shared memory (which throttles
+/// residency as `m` grows).
+pub fn shared_staging(sizes: &[(usize, usize)], k: usize, seed: u64) -> Vec<SharedStagingRow> {
+    sizes
+        .iter()
+        .map(|&(m, n)| {
+            let problem = Ppp::new(PppInstance::generate(m, n, seed));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xA8);
+            let s = BitString::random(&mut rng, n);
+            let state = problem.init_state(&s);
+            let msize = binomial(n as u64, k as u64);
+            let wpc32 = (problem.inst.a.words_per_col() * 2) as u32;
+            let vbits: Vec<u32> =
+                s.words().iter().flat_map(|&w| [w as u32, (w >> 32) as u32]).collect();
+
+            let build = |dev: &mut Device| PppEvalKernel {
+                k: k as u8,
+                n: n as u32,
+                m: m as u32,
+                msize,
+                base_index: 0,
+                wpc32,
+                a_cols: dev.upload_new(&problem.inst.a.cols_as_u32(), MemSpace::Texture, "a"),
+                vbits: dev.upload_new(&vbits, MemSpace::Global, "v"),
+                y: dev.upload_new(&state.y, MemSpace::Global, "y"),
+                hist_target: dev.upload_new(&problem.inst.target_hist, MemSpace::Texture, "ht"),
+                hist_cur: dev.upload_new(&state.hist, MemSpace::Global, "hc"),
+                out: dev.alloc_zeroed::<i32>(msize as usize, MemSpace::Global, "f"),
+                neg_base: state.neg_cost,
+                hist_base: state.hist_cost,
+            };
+
+            let mut dev = Device::new(DeviceSpec::gtx280());
+            let kernel = build(&mut dev);
+            let base_cfg = LaunchConfig::cover_1d(msize, 128);
+            let rep = dev.launch(&kernel, base_cfg, ExecMode::Auto);
+            let global_s = rep.timing.kernel_seconds;
+
+            let mut dev2 = Device::new(DeviceSpec::gtx280());
+            let staged = PppEvalKernelShared { inner: build(&mut dev2) };
+            let staged_cfg =
+                LaunchConfig::cover_1d(msize, 128).with_shared_words(2 * m as u32);
+            let rep2 = dev2.launch(&staged, staged_cfg, ExecMode::Auto);
+
+            SharedStagingRow {
+                m,
+                n,
+                global_s,
+                shared_s: rep2.timing.kernel_seconds,
+                staged_blocks_per_sm: rep2.timing.occupancy.blocks_per_sm,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_sweep_reports_all_sizes() {
+        let rows = block_size_sweep(21, 21, &[32, 64, 128], 1);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|&(_, s)| s > 0.0));
+    }
+
+    #[test]
+    fn texture_beats_global_on_the_matrix() {
+        let rows = texture_vs_global(&[(73, 73)], 2);
+        assert_eq!(rows.len(), 1);
+        assert!(
+            rows[0].texture_s < rows[0].global_s,
+            "texture {} !< global {}",
+            rows[0].texture_s,
+            rows[0].global_s
+        );
+    }
+
+    #[test]
+    fn more_devices_reduce_iteration_time() {
+        let rows = multigpu_scaling(41, 41, 3, &[1, 2, 4], 3);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].per_iter_s < rows[0].per_iter_s, "{rows:?}");
+        assert!(rows[2].per_iter_s < rows[1].per_iter_s, "{rows:?}");
+    }
+
+    #[test]
+    fn mapping_boundary_is_beyond_paper_sizes() {
+        if let Some((n, _)) = mapping_precision_boundary(1 << 14) {
+            assert!(n > 1517, "f32 mapping must survive the paper's sizes, failed at n={n}");
+        }
+    }
+
+    #[test]
+    fn shared_staging_reports_occupancy_cost() {
+        // n = 217 → C(217,2) = 23 436 threads: enough blocks that the
+        // grid does not mask the shared-memory residency limit.
+        let rows = shared_staging(&[(73, 217), (1501, 217)], 2, 4);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.global_s > 0.0 && r.shared_s > 0.0);
+        }
+        // The 1501-row request (3002 words) must throttle residency to 1.
+        assert_eq!(rows[1].staged_blocks_per_sm, 1);
+        assert!(rows[1].staged_blocks_per_sm < rows[0].staged_blocks_per_sm);
+    }
+}

@@ -1,0 +1,325 @@
+//! Experiment runners regenerating the paper's tables and figure.
+//!
+//! Quality columns (fitness, iterations, #solutions) come from real tabu
+//! runs — bit-identical to what the simulated-GPU path would produce (the
+//! explorers are interchangeable, enforced by tests), but executed through
+//! the fast host evaluator so 50-try campaigns finish on a laptop.
+//! Time columns come from the calibrated device/host models: the GPU
+//! kernel is profiled per instance (one priced iteration, steady-state)
+//! and scaled by the measured iteration counts — exactly how the paper's
+//! Table III extrapolates its CPU column from 100-iteration runs.
+
+use crate::paper::PaperRow;
+use lnls_core::{
+    BitString, Explorer, IncrementalEval, SearchConfig, SearchResult, SequentialExplorer,
+    TableRow, TabuSearch, TabuStrategy,
+};
+use lnls_gpu_sim::TimeBook;
+use lnls_neighborhood::{binomial, KHamming};
+use lnls_ppp::{GpuExplorerConfig, Ppp, PppGpuExplorer, PppInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options shared by the table experiments.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Independent tabu runs per instance (paper: 50).
+    pub tries: usize,
+    /// Fraction of the paper's iteration budget `n(n−1)(n−2)/6`.
+    pub iter_scale: f64,
+    /// Base RNG seed (instances and initial solutions derive from it).
+    pub seed: u64,
+    /// Worker threads running tries in parallel (0 = all cores).
+    pub threads: usize,
+    /// GPU backend configuration used for the *time model* columns.
+    pub gpu: GpuExplorerConfig,
+    /// Tabu memory variant (`None` = the paper's default, a solution
+    /// ring of `m/6`).
+    pub strategy: Option<TabuStrategy>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            tries: 50,
+            iter_scale: 1.0,
+            seed: 2010,
+            threads: 0,
+            gpu: GpuExplorerConfig::default(),
+            strategy: None,
+        }
+    }
+}
+
+impl RunOpts {
+    /// The paper's full protocol (50 tries, full budget).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down protocol for quick regeneration.
+    pub fn scaled(tries: usize, iter_scale: f64) -> Self {
+        Self { tries, iter_scale, ..Self::default() }
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// The paper's iteration budget for solution length `n`.
+pub fn paper_budget(n: usize) -> u64 {
+    binomial(n as u64, 3)
+}
+
+/// Scale a steady-state per-iteration ledger to a whole run.
+pub fn scale_book(per_iter: &TimeBook, iters: u64) -> TimeBook {
+    let f = iters as f64;
+    TimeBook {
+        kernel_s: per_iter.kernel_s * f,
+        overhead_s: per_iter.overhead_s * f,
+        h2d_s: per_iter.h2d_s * f,
+        d2h_s: per_iter.d2h_s * f,
+        bytes_h2d: (per_iter.bytes_h2d as f64 * f) as u64,
+        bytes_d2h: (per_iter.bytes_d2h as f64 * f) as u64,
+        launches: (per_iter.launches as f64 * f) as u64,
+        host_s: per_iter.host_s * f,
+    }
+}
+
+/// Price one steady-state tabu iteration of the `k`-Hamming neighborhood
+/// on the simulated GPU (upload solution state, launch the evaluation
+/// kernel, read the fitness array back) and on the modeled host.
+///
+/// The first exploration pays profiling and is discarded; the second is
+/// the steady state.
+pub fn per_iteration_book(problem: &Ppp, k: usize, gpu_cfg: &GpuExplorerConfig) -> TimeBook {
+    let n = problem.inst.n();
+    let mut rng = StdRng::seed_from_u64(7);
+    let s = BitString::random(&mut rng, n);
+    let mut state = problem.init_state(&s);
+    let mut gpu = PppGpuExplorer::new(problem, k, gpu_cfg.clone());
+    let mut out = Vec::new();
+    gpu.explore(problem, &s, &mut state, &mut out);
+    let warm = Explorer::<Ppp>::book(&gpu).expect("gpu explorer prices work");
+    gpu.explore(problem, &s, &mut state, &mut out);
+    let done = Explorer::<Ppp>::book(&gpu).expect("gpu explorer prices work");
+    done.delta_since(&warm)
+}
+
+/// Run one instance: `tries` independent tabu searches (parallelized over
+/// host threads), then attach model-predicted CPU/GPU time ledgers.
+pub fn run_instance(m: usize, n: usize, k: usize, opts: &RunOpts) -> TableRow {
+    let inst = PppInstance::generate(m, n, opts.seed ^ ((m as u64) << 32) ^ n as u64);
+    let problem = Ppp::new(inst);
+    let hood = KHamming::new(n, k);
+    let msize = binomial(n as u64, k as u64);
+    let budget = ((paper_budget(n) as f64 * opts.iter_scale).ceil() as u64).max(1);
+
+    let next_try = AtomicUsize::new(0);
+    let results: Mutex<Vec<SearchResult>> = Mutex::new(Vec::with_capacity(opts.tries));
+    let workers = opts.worker_count().min(opts.tries.max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let t = next_try.fetch_add(1, Ordering::Relaxed);
+                if t >= opts.tries {
+                    break;
+                }
+                let try_seed = opts
+                    .seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((t as u64) << 17)
+                    .wrapping_add((k as u64) << 1)
+                    .wrapping_add(n as u64);
+                let mut rng = StdRng::seed_from_u64(try_seed);
+                let init = BitString::random(&mut rng, n);
+                let mut explorer = SequentialExplorer::new(hood);
+                let mut search = TabuSearch::paper(
+                    SearchConfig::budget(budget).with_seed(try_seed),
+                    msize,
+                );
+                if let Some(strategy) = &opts.strategy {
+                    search.strategy = strategy.clone();
+                }
+                let r = search.run(&problem, &mut explorer, init);
+                results.lock().expect("no poisoned tries").push(r);
+            });
+        }
+    })
+    .expect("try worker panicked");
+
+    let mut results = results.into_inner().expect("no poisoned tries");
+    // Attach modeled time: steady-state per-iteration cost × iterations.
+    let per_iter = per_iteration_book(&problem, k, &opts.gpu);
+    for r in &mut results {
+        r.book = Some(scale_book(&per_iter, r.iterations));
+    }
+    TableRow::aggregate(format!("{m} × {n}"), &results)
+}
+
+/// Regenerate one of the paper's Tables I–III (`k` = 1, 2, 3).
+pub fn run_paper_table(k: usize, opts: &RunOpts) -> Vec<TableRow> {
+    PppInstance::paper_sizes()
+        .iter()
+        .map(|&(m, n)| run_instance(m, n, k, opts))
+        .collect()
+}
+
+/// One point of the Fig. 8 scaling study.
+#[derive(Clone, Debug)]
+pub struct Fig8Point {
+    /// Rows.
+    pub m: usize,
+    /// Columns.
+    pub n: usize,
+    /// Modeled sequential-CPU seconds for `iterations` tabu iterations.
+    pub cpu_s: f64,
+    /// Modeled GPU seconds for the same iterations.
+    pub gpu_s: f64,
+}
+
+impl Fig8Point {
+    /// CPU time / GPU time.
+    pub fn acceleration(&self) -> f64 {
+        self.cpu_s / self.gpu_s
+    }
+}
+
+/// Regenerate Fig. 8: 1-Hamming tabu cost over the size ladder "on the
+/// base of 10000 iterations" (time-only, like the paper's figure).
+pub fn run_fig8(iterations: u64, sizes: &[(usize, usize)], gpu_cfg: &GpuExplorerConfig, seed: u64) -> Vec<Fig8Point> {
+    sizes
+        .iter()
+        .map(|&(m, n)| {
+            let inst = PppInstance::generate(m, n, seed ^ ((m as u64) << 32) ^ n as u64);
+            let problem = Ppp::new(inst);
+            let per_iter = per_iteration_book(&problem, 1, gpu_cfg);
+            Fig8Point {
+                m,
+                n,
+                cpu_s: per_iter.host_s * iterations as f64,
+                gpu_s: per_iter.gpu_total_s() * iterations as f64,
+            }
+        })
+        .collect()
+}
+
+/// Pretty-print a reproduced table next to the paper's published row.
+pub fn print_comparison(title: &str, ours: &[TableRow], paper: &[PaperRow]) {
+    println!("== {title} ==");
+    println!("{}", TableRow::header());
+    for (row, p) in ours.iter().zip(paper) {
+        println!("{row}");
+        println!(
+            "  └ paper: fitness {:>5.1}({:<5.1}) iters {:>9.1} sol {:>2}/50  cpu {:>7} gpu {:>7}  accel x{:.1}",
+            p.fitness,
+            p.std,
+            p.iters,
+            p.solutions,
+            lnls_core::fmt_seconds(p.cpu_s),
+            lnls_core::fmt_seconds(p.gpu_s),
+            p.acceleration(),
+        );
+    }
+    println!();
+}
+
+/// ASCII rendering of the Fig. 8 series (execution time vs size).
+pub fn print_fig8(points: &[Fig8Point], iterations: u64) {
+    println!("== Fig. 8: PPP GPU acceleration, 1-Hamming, {iterations} iterations ==");
+    println!("{:<12} {:>12} {:>12} {:>8}", "size", "CPU time", "GPUTexture", "accel");
+    for p in points {
+        println!(
+            "{:<12} {:>12} {:>12} {:>7.2}x",
+            format!("{}-{}", p.m, p.n),
+            lnls_core::fmt_seconds(p.cpu_s),
+            lnls_core::fmt_seconds(p.gpu_s),
+            p.acceleration()
+        );
+    }
+    // Crude bar chart of the acceleration curve.
+    let max_a = points.iter().map(|p| p.acceleration()).fold(1.0, f64::max);
+    for p in points {
+        let bars = ((p.acceleration() / max_a) * 48.0).round() as usize;
+        println!("{:>9} |{}", format!("{}-{}", p.m, p.n), "#".repeat(bars.max(1)));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_matches_table_footers() {
+        assert_eq!(paper_budget(73), 62_196);
+        assert_eq!(paper_budget(117), 260_130);
+    }
+
+    #[test]
+    fn scale_book_is_linear() {
+        let b = TimeBook {
+            kernel_s: 0.5,
+            overhead_s: 0.1,
+            h2d_s: 0.2,
+            d2h_s: 0.2,
+            bytes_h2d: 100,
+            bytes_d2h: 200,
+            launches: 1,
+            host_s: 10.0,
+        };
+        let s = scale_book(&b, 4);
+        assert!((s.gpu_total_s() - 4.0).abs() < 1e-12);
+        assert_eq!(s.launches, 4);
+        assert!((s.host_s - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_iteration_book_is_steady_state() {
+        let problem = Ppp::new(PppInstance::generate(31, 31, 3));
+        let cfg = GpuExplorerConfig::default();
+        let b1 = per_iteration_book(&problem, 2, &cfg);
+        let b2 = per_iteration_book(&problem, 2, &cfg);
+        assert!((b1.gpu_total_s() - b2.gpu_total_s()).abs() < 1e-9);
+        assert_eq!(b1.launches, 1);
+        assert!(b1.host_s > 0.0);
+    }
+
+    #[test]
+    fn run_instance_small_smoke() {
+        let opts = RunOpts { tries: 3, iter_scale: 1.0, seed: 1, threads: 2, ..RunOpts::default() };
+        // A small instance solvable quickly; budget from n=21.
+        let row = run_instance(21, 21, 2, &opts);
+        assert_eq!(row.tries, 3);
+        assert!(row.mean_iters > 0.0);
+        assert!(row.cpu_time_s.is_some() && row.gpu_time_s.is_some());
+    }
+
+    #[test]
+    fn fig8_point_has_sane_ordering() {
+        let pts = run_fig8(100, &[(101, 117), (301, 317)], &GpuExplorerConfig::default(), 5);
+        assert_eq!(pts.len(), 2);
+        // Larger instances cost more in absolute time on both sides.
+        assert!(pts[1].cpu_s > pts[0].cpu_s);
+        assert!(pts[1].gpu_s > pts[0].gpu_s);
+        // And amortize better on the GPU.
+        assert!(pts[1].acceleration() > pts[0].acceleration());
+    }
+
+    #[test]
+    fn tries_are_deterministic_for_fixed_seed() {
+        let opts = RunOpts { tries: 2, iter_scale: 0.5, seed: 9, threads: 1, ..RunOpts::default() };
+        let a = run_instance(15, 15, 1, &opts);
+        let b = run_instance(15, 15, 1, &opts);
+        assert_eq!(a.mean_fitness, b.mean_fitness);
+        assert_eq!(a.mean_iters, b.mean_iters);
+        assert_eq!(a.solutions, b.solutions);
+    }
+}

@@ -1,0 +1,57 @@
+//! # lnls-bench — experiment harness for the reproduction
+//!
+//! Regenerates every results artifact of Luong, Melab & Talbi (LSPP @
+//! IPDPS 2010):
+//!
+//! * [`harness::run_paper_table`] — Tables I, II, III (tabu search on the
+//!   PPP with 1/2/3-Hamming neighborhoods);
+//! * [`harness::run_fig8`] — Fig. 8 (CPU vs. GPU-texture time over the
+//!   size ladder, 10000 iterations);
+//! * [`ablation`] — A1–A5: f32-mapping precision, block-size sweep,
+//!   texture vs. global memory, multi-GPU partitioning, k=4
+//!   neighborhoods;
+//! * [`paper`] — the published numbers, embedded for side-by-side output.
+//!
+//! Entry points: the `repro` binary (`cargo run --release -p lnls-bench
+//! --bin repro -- table2`) and the bench targets (`cargo bench`), which
+//! print paper-vs-reproduced tables at a reduced default scale
+//! (environment overrides: `LNLS_TRIES`, `LNLS_SCALE`, `LNLS_FULL=1`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod harness;
+pub mod paper;
+pub mod plot;
+
+pub use harness::{
+    paper_budget, per_iteration_book, print_comparison, print_fig8, run_fig8, run_instance,
+    run_paper_table, Fig8Point, RunOpts,
+};
+pub use plot::{ascii_chart, fig8_csv, fig8_series, Series};
+
+/// Scale settings taken from the environment (used by bench targets,
+/// which cannot take CLI arguments under `cargo bench --workspace`).
+pub fn env_opts(default_tries: usize, default_scale: f64) -> RunOpts {
+    let tries = std::env::var("LNLS_TRIES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_tries);
+    let scale = std::env::var("LNLS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(default_scale);
+    if std::env::var("LNLS_FULL").as_deref() == Ok("1") {
+        RunOpts::full()
+    } else {
+        RunOpts::scaled(tries, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_opts_defaults() {
+        let o = env_opts(7, 0.25);
+        // Environment may or may not be set in CI; only check the shape.
+        assert!(o.tries >= 1);
+        assert!(o.iter_scale > 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's published numbers (Tables I–III and the Fig. 8 anchors),
+//! embedded so every harness run prints "paper vs. reproduced" side by
+//! side and the shape tests can assert against the original bands.
+
+/// One row as printed in the paper.
+#[derive(Copy, Clone, Debug)]
+pub struct PaperRow {
+    /// Instance label.
+    pub label: &'static str,
+    /// Rows, columns.
+    pub m: usize,
+    /// Columns (solution length).
+    pub n: usize,
+    /// Mean fitness over 50 tries.
+    pub fitness: f64,
+    /// Standard deviation (the subscript).
+    pub std: f64,
+    /// Mean iterations.
+    pub iters: f64,
+    /// Successful tries out of 50.
+    pub solutions: u32,
+    /// CPU seconds (Table III: extrapolated from 100 iterations).
+    pub cpu_s: f64,
+    /// GPU seconds.
+    pub gpu_s: f64,
+}
+
+impl PaperRow {
+    /// The published acceleration factor.
+    pub fn acceleration(&self) -> f64 {
+        self.cpu_s / self.gpu_s
+    }
+}
+
+/// Table I — tabu search, 1-Hamming neighborhood.
+pub const TABLE1: [PaperRow; 4] = [
+    PaperRow { label: "73 × 73", m: 73, n: 73, fitness: 10.3, std: 5.1, iters: 59184.1, solutions: 10, cpu_s: 4.0, gpu_s: 9.0 },
+    PaperRow { label: "81 × 81", m: 81, n: 81, fitness: 10.8, std: 5.6, iters: 77321.3, solutions: 6, cpu_s: 6.0, gpu_s: 13.0 },
+    PaperRow { label: "101 × 101", m: 101, n: 101, fitness: 20.2, std: 14.1, iters: 166650.0, solutions: 0, cpu_s: 16.0, gpu_s: 33.0 },
+    PaperRow { label: "101 × 117", m: 101, n: 117, fitness: 16.4, std: 5.4, iters: 260130.0, solutions: 0, cpu_s: 29.0, gpu_s: 57.0 },
+];
+
+/// Table II — tabu search, 2-Hamming neighborhood.
+pub const TABLE2: [PaperRow; 4] = [
+    PaperRow { label: "73 × 73", m: 73, n: 73, fitness: 16.4, std: 17.9, iters: 43031.7, solutions: 19, cpu_s: 81.0, gpu_s: 8.0 },
+    PaperRow { label: "81 × 81", m: 81, n: 81, fitness: 15.5, std: 16.6, iters: 67462.5, solutions: 13, cpu_s: 174.0, gpu_s: 16.0 },
+    PaperRow { label: "101 × 101", m: 101, n: 101, fitness: 14.2, std: 14.3, iters: 138349.0, solutions: 12, cpu_s: 748.0, gpu_s: 44.0 },
+    PaperRow { label: "101 × 117", m: 101, n: 117, fitness: 13.8, std: 10.8, iters: 260130.0, solutions: 0, cpu_s: 1947.0, gpu_s: 105.0 },
+];
+
+/// Table III — tabu search, 3-Hamming neighborhood (CPU extrapolated
+/// from 100-iteration runs).
+pub const TABLE3: [PaperRow; 4] = [
+    PaperRow { label: "73 × 73", m: 73, n: 73, fitness: 2.4, std: 4.3, iters: 21360.2, solutions: 35, cpu_s: 1202.0, gpu_s: 50.0 },
+    PaperRow { label: "81 × 81", m: 81, n: 81, fitness: 3.5, std: 4.4, iters: 43230.7, solutions: 28, cpu_s: 3730.0, gpu_s: 146.0 },
+    PaperRow { label: "101 × 101", m: 101, n: 101, fitness: 6.2, std: 5.4, iters: 117422.0, solutions: 18, cpu_s: 24657.0, gpu_s: 955.0 },
+    PaperRow { label: "101 × 117", m: 101, n: 117, fitness: 7.7, std: 2.7, iters: 255337.0, solutions: 1, cpu_s: 88151.0, gpu_s: 3551.0 },
+];
+
+/// Fig. 8 anchors the text states explicitly: the GPU starts winning at
+/// (201, 217) with ×1.1 and reaches ×10.8 at (1501, 1517); below
+/// (201, 217) the CPU wins. 10000 iterations, 1-Hamming, texture kernel.
+pub const FIG8_CROSSOVER: (usize, usize) = (201, 217);
+/// Speedup at the crossover point.
+pub const FIG8_CROSSOVER_ACCEL: f64 = 1.1;
+/// The largest Fig. 8 size.
+pub const FIG8_MAX: (usize, usize) = (1501, 1517);
+/// Speedup at the largest size.
+pub const FIG8_MAX_ACCEL: f64 = 10.8;
+
+/// Which paper table corresponds to a Hamming distance.
+pub fn table_for_k(k: usize) -> &'static [PaperRow; 4] {
+    match k {
+        1 => &TABLE1,
+        2 => &TABLE2,
+        3 => &TABLE3,
+        _ => panic!("the paper evaluates k ∈ {{1,2,3}}, got {k}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_accelerations_match_the_text() {
+        // Table II reports ×9.9 … ×18.5, Table III ×24.2 … ×25.8.
+        assert!((TABLE2[0].acceleration() - 81.0 / 8.0).abs() < 1e-9);
+        assert!(TABLE2.iter().all(|r| r.acceleration() >= 9.9 && r.acceleration() <= 18.6));
+        assert!(TABLE3.iter().all(|r| r.acceleration() >= 24.0 && r.acceleration() <= 25.9));
+        // Table I: GPU slower everywhere.
+        assert!(TABLE1.iter().all(|r| r.acceleration() < 1.0));
+    }
+
+    #[test]
+    fn iteration_budgets_match_the_stopping_criterion() {
+        // The budget is n(n−1)(n−2)/6; rows that never succeeded show
+        // exactly that number as their mean iteration count.
+        assert_eq!(TABLE1[2].iters, 101.0 * 100.0 * 99.0 / 6.0);
+        assert_eq!(TABLE1[3].iters, 117.0 * 116.0 * 115.0 / 6.0);
+        assert_eq!(TABLE2[3].iters, 117.0 * 116.0 * 115.0 / 6.0);
+    }
+
+    #[test]
+    fn quality_improves_with_neighborhood_size() {
+        // The paper's core claim, visible in its own numbers.
+        for i in 0..4 {
+            assert!(TABLE3[i].solutions >= TABLE2[i].solutions);
+            assert!(TABLE3[i].fitness <= TABLE2[i].fitness);
+        }
+        let s1: u32 = TABLE1.iter().map(|r| r.solutions).sum();
+        let s2: u32 = TABLE2.iter().map(|r| r.solutions).sum();
+        let s3: u32 = TABLE3.iter().map(|r| r.solutions).sum();
+        assert!(s1 < s2 && s2 < s3);
+    }
+}

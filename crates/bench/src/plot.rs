@@ -1,0 +1,186 @@
+//! Terminal plotting and CSV export for the experiment harness.
+//!
+//! The paper's Fig. 8 is a line chart (execution time vs instance
+//! size, CPU vs GPU-texture series). [`ascii_chart`] renders the same
+//! chart in the terminal so `repro fig8 --plot` shows the crossover at
+//! a glance; [`csv`] emits the underlying series for external tooling.
+
+use crate::harness::Fig8Point;
+use std::fmt::Write as _;
+
+/// A named data series for [`ascii_chart`].
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Glyph used for the series' points.
+    pub glyph: char,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render one or more series as an ASCII line chart of `width × height`
+/// character cells (plus axes). Y is linear, X spans the union of the
+/// series' domains.
+///
+/// # Panics
+/// Panics if no series contains a point.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.clamp(16, 200);
+    let height = height.clamp(6, 60);
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let mut prev: Option<(usize, usize)> = None;
+        for &(x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            grid[row][col] = s.glyph;
+            // connect with a faint line (linear interpolation on columns)
+            if let Some((pr, pc)) = prev {
+                let steps = col.abs_diff(pc).max(1);
+                for t in 1..steps {
+                    let c = pc as isize + ((col as isize - pc as isize) * t as isize) / steps as isize;
+                    let r = pr as isize + ((row as isize - pr as isize) * t as isize) / steps as isize;
+                    let (r, c) = (r as usize, c as usize);
+                    if grid[r][c] == ' ' {
+                        grid[r][c] = '.';
+                    }
+                }
+            }
+            prev = Some((row, col));
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{y1:>10.2} ┤");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>10} │{line}", "");
+    }
+    let _ = writeln!(out, "{y0:>10.2} └{}", "─".repeat(width));
+    let _ = writeln!(out, "{:>11}{x0:<12.0}{:>w$}{x1:.0}", "", "", w = width.saturating_sub(24));
+    for s in series {
+        let _ = writeln!(out, "{:>12} {} = {}", "", s.glyph, s.name);
+    }
+    out
+}
+
+/// CSV for arbitrary rows: `header` then one line per record.
+pub fn csv<R: AsRef<[String]>>(header: &[&str], rows: &[R]) -> String {
+    let mut out = header.join(",");
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.as_ref().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// The Fig. 8 series (CPU and GPU modeled seconds vs `n`) as chart input.
+pub fn fig8_series(points: &[Fig8Point]) -> Vec<Series> {
+    let cpu = Series {
+        name: "CPU (modeled)".into(),
+        glyph: 'c',
+        points: points.iter().map(|p| (p.n as f64, p.cpu_s)).collect(),
+    };
+    let gpu = Series {
+        name: "GPUTexture (modeled)".into(),
+        glyph: 'g',
+        points: points.iter().map(|p| (p.n as f64, p.gpu_s)).collect(),
+    };
+    vec![cpu, gpu]
+}
+
+/// The Fig. 8 points as CSV (`m,n,cpu_s,gpu_s,acceleration`).
+pub fn fig8_csv(points: &[Fig8Point]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.m.to_string(),
+                p.n.to_string(),
+                format!("{:.6}", p.cpu_s),
+                format!("{:.6}", p.gpu_s),
+                format!("{:.3}", p.acceleration()),
+            ]
+        })
+        .collect();
+    csv(&["m", "n", "cpu_s", "gpu_s", "acceleration"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        v.to_vec()
+    }
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let s = vec![
+            Series { name: "up".into(), glyph: 'u', points: pts(&[(0.0, 0.0), (10.0, 10.0)]) },
+            Series { name: "down".into(), glyph: 'd', points: pts(&[(0.0, 10.0), (10.0, 0.0)]) },
+        ];
+        let chart = ascii_chart(&s, 40, 10);
+        assert!(chart.contains('u') && chart.contains('d'));
+        assert!(chart.contains("u = up"));
+        assert!(chart.contains("d = down"));
+    }
+
+    #[test]
+    fn chart_handles_single_point() {
+        let s = vec![Series { name: "one".into(), glyph: 'x', points: pts(&[(5.0, 5.0)]) }];
+        let chart = ascii_chart(&s, 30, 8);
+        assert!(chart.contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_rejected() {
+        let _ = ascii_chart(&[], 30, 8);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let text = csv(&["a", "b"], &rows);
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fig8_csv_rows_align_with_points() {
+        let points = vec![
+            Fig8Point { m: 101, n: 117, cpu_s: 1.0, gpu_s: 2.0 },
+            Fig8Point { m: 201, n: 217, cpu_s: 4.0, gpu_s: 2.0 },
+        ];
+        let text = fig8_csv(&points);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("101,117,"));
+        assert!(lines[2].ends_with("2.000"));
+        let series = fig8_series(&points);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].points.len(), 2);
+    }
+}

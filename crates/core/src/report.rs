@@ -1,0 +1,178 @@
+//! Aggregation of repeated runs into paper-style table rows.
+//!
+//! The paper's Tables I–III report, per instance: average fitness with the
+//! standard deviation as a subscript, the average iteration count, the
+//! number of successful tries out of 50, CPU time, GPU time and the
+//! acceleration factor. [`TableRow`] carries exactly those columns.
+
+use crate::search::SearchResult;
+
+/// One row of a paper-style results table.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Instance label, e.g. `"73 × 73"`.
+    pub label: String,
+    /// Number of tries aggregated.
+    pub tries: usize,
+    /// Mean best fitness over tries.
+    pub mean_fitness: f64,
+    /// Standard deviation of best fitness (the paper's subscript).
+    pub std_fitness: f64,
+    /// Mean iterations per try.
+    pub mean_iters: f64,
+    /// Tries reaching the target fitness.
+    pub solutions: usize,
+    /// Modeled sequential-CPU seconds per try (mean), if available.
+    pub cpu_time_s: Option<f64>,
+    /// Modeled GPU seconds per try (mean), if available.
+    pub gpu_time_s: Option<f64>,
+    /// Measured wall-clock seconds per try (mean) of the simulation.
+    pub wall_s: f64,
+}
+
+impl TableRow {
+    /// Aggregate repeated runs of one instance.
+    pub fn aggregate(label: impl Into<String>, results: &[SearchResult]) -> Self {
+        assert!(!results.is_empty(), "cannot aggregate zero runs");
+        let tries = results.len();
+        let nf = tries as f64;
+        let mean_fitness = results.iter().map(|r| r.best_fitness as f64).sum::<f64>() / nf;
+        let var = results
+            .iter()
+            .map(|r| {
+                let d = r.best_fitness as f64 - mean_fitness;
+                d * d
+            })
+            .sum::<f64>()
+            / nf;
+        let mean_iters = results.iter().map(|r| r.iterations as f64).sum::<f64>() / nf;
+        let solutions = results.iter().filter(|r| r.success).count();
+        let cpu: Vec<f64> = results.iter().filter_map(SearchResult::host_seconds).collect();
+        let gpu: Vec<f64> = results.iter().filter_map(SearchResult::gpu_seconds).collect();
+        let mean_opt = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
+        TableRow {
+            label: label.into(),
+            tries,
+            mean_fitness,
+            std_fitness: var.sqrt(),
+            mean_iters,
+            solutions,
+            cpu_time_s: mean_opt(&cpu),
+            gpu_time_s: mean_opt(&gpu),
+            wall_s: results.iter().map(|r| r.wall.as_secs_f64()).sum::<f64>() / nf,
+        }
+    }
+
+    /// The acceleration factor ("×9.9" in Table II), when both modeled
+    /// times are present.
+    pub fn acceleration(&self) -> Option<f64> {
+        match (self.cpu_time_s, self.gpu_time_s) {
+            (Some(c), Some(g)) if g > 0.0 => Some(c / g),
+            _ => None,
+        }
+    }
+
+    /// Paper-style header matching [`Display`](std::fmt::Display)'s
+    /// columns.
+    pub fn header() -> &'static str {
+        "Problem        Fitness(std)      #iter      #sol   CPU time   GPU time   Accel."
+    }
+}
+
+impl core::fmt::Display for TableRow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:<14} {:>7.1}({:<6.1}) {:>9.1} {:>6}/{:<3}",
+            self.label, self.mean_fitness, self.std_fitness, self.mean_iters, self.solutions, self.tries
+        )?;
+        match self.cpu_time_s {
+            Some(c) => write!(f, " {:>9}", fmt_seconds(c))?,
+            None => write!(f, " {:>9}", "-")?,
+        }
+        match self.gpu_time_s {
+            Some(g) => write!(f, " {:>9}", fmt_seconds(g))?,
+            None => write!(f, " {:>9}", "-")?,
+        }
+        match self.acceleration() {
+            Some(a) => write!(f, "   x{a:<6.1}"),
+            None => write!(f, "   {:<7}", "-"),
+        }
+    }
+}
+
+/// Human-scale seconds formatting (`950ms`, `4.0s`, `1947s`).
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 0.0995 {
+        format!("{:.0}ms", s * 1000.0)
+    } else if s < 100.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstring::BitString;
+    use lnls_gpu_sim::TimeBook;
+    use std::time::Duration;
+
+    fn result(fitness: i64, iters: u64, success: bool, cpu: f64, gpu: f64) -> SearchResult {
+        let book = TimeBook { kernel_s: gpu, host_s: cpu, ..Default::default() };
+        SearchResult {
+            best: BitString::zeros(4),
+            best_fitness: fitness,
+            iterations: iters,
+            success,
+            evals: 0,
+            wall: Duration::from_millis(10),
+            book: Some(book),
+            backend: "test".into(),
+            history: None,
+            trajectory: None,
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let rows = [
+            result(10, 100, false, 4.0, 9.0),
+            result(0, 50, true, 4.0, 9.0),
+            result(20, 150, false, 4.0, 9.0),
+        ];
+        let row = TableRow::aggregate("73 × 73", &rows);
+        assert_eq!(row.tries, 3);
+        assert!((row.mean_fitness - 10.0).abs() < 1e-12);
+        assert!((row.std_fitness - (200.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((row.mean_iters - 100.0).abs() < 1e-12);
+        assert_eq!(row.solutions, 1);
+        assert!((row.cpu_time_s.unwrap() - 4.0).abs() < 1e-12);
+        assert!((row.acceleration().unwrap() - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_key_columns() {
+        let rows = [result(7, 10, false, 81.0, 8.0)];
+        let row = TableRow::aggregate("73 × 73", &rows);
+        let s = row.to_string();
+        assert!(s.contains("73 × 73"), "{s}");
+        assert!(s.contains("0/1"), "{s}");
+        assert!(s.contains("x10.1") || s.contains("x10.2"), "{s}");
+        assert!(!TableRow::header().is_empty());
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(0.05), "50ms");
+        assert_eq!(fmt_seconds(4.0), "4.0s");
+        assert_eq!(fmt_seconds(1947.3), "1947s");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_aggregate_rejected() {
+        let _ = TableRow::aggregate("x", &[]);
+    }
+}

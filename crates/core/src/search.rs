@@ -1,0 +1,122 @@
+//! Common search plumbing: stopping criteria, results, run statistics.
+
+use crate::bitstring::BitString;
+use lnls_gpu_sim::TimeBook;
+use std::time::Duration;
+
+/// Generic knobs shared by every local-search driver.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Hard iteration cap (the paper: `n(n−1)(n−2)/6`).
+    pub max_iters: u64,
+    /// Stop as soon as this fitness is reached (the paper: 0).
+    pub target_fitness: Option<i64>,
+    /// Wall-clock budget for one run, if any.
+    pub time_limit: Option<Duration>,
+    /// RNG seed (initial solutions, tie-breaking, perturbations).
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// A config with the given iteration budget and everything else
+    /// defaulted (target 0 fitness, no time limit, seed 0).
+    pub fn budget(max_iters: u64) -> Self {
+        Self { max_iters, target_fitness: Some(0), time_limit: None, seed: 0 }
+    }
+
+    /// Replace the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the target fitness (builder style).
+    pub fn with_target(mut self, target: Option<i64>) -> Self {
+        self.target_fitness = target;
+        self
+    }
+}
+
+/// Outcome of one search run.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// Best solution found.
+    pub best: BitString,
+    /// Its fitness.
+    pub best_fitness: i64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// True if the target fitness was reached.
+    pub success: bool,
+    /// Neighbor evaluations performed.
+    pub evals: u64,
+    /// Wall-clock duration of the run (simulation time, not modeled time).
+    pub wall: Duration,
+    /// Modeled device/host time ledger, when the backend prices its work.
+    pub book: Option<TimeBook>,
+    /// Backend that explored the neighborhoods.
+    pub backend: String,
+    /// Fitness trajectory (best-so-far per iteration), kept only when
+    /// requested — costs memory on long runs.
+    pub history: Option<Vec<i64>>,
+    /// Fitness of the *current* solution per iteration (tabu search may
+    /// move uphill); kept together with `history`.
+    pub trajectory: Option<Vec<i64>>,
+}
+
+impl SearchResult {
+    /// Convenience: the modeled GPU seconds, if any.
+    pub fn gpu_seconds(&self) -> Option<f64> {
+        self.book.as_ref().map(TimeBook::gpu_total_s)
+    }
+
+    /// Convenience: the modeled sequential-host seconds, if any.
+    pub fn host_seconds(&self) -> Option<f64> {
+        self.book.as_ref().map(|b| b.host_s)
+    }
+}
+
+/// Why a run stopped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Target fitness reached.
+    Target,
+    /// Iteration budget exhausted.
+    MaxIters,
+    /// Wall-clock budget exhausted.
+    TimeLimit,
+    /// The driver had nowhere left to go (e.g. hill climber at a local
+    /// optimum).
+    Converged,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders() {
+        let c = SearchConfig::budget(100).with_seed(7).with_target(None);
+        assert_eq!(c.max_iters, 100);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.target_fitness, None);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = SearchResult {
+            best: BitString::zeros(4),
+            best_fitness: 3,
+            iterations: 10,
+            success: false,
+            evals: 40,
+            wall: Duration::from_millis(5),
+            book: None,
+            backend: "test".into(),
+            history: None,
+            trajectory: None,
+        };
+        assert!(r.gpu_seconds().is_none());
+        assert!(r.host_seconds().is_none());
+    }
+}

@@ -1,0 +1,431 @@
+//! Tabu search (paper §IV.B): the general LS model of Fig. 1 driven by a
+//! short-term memory. The paper follows Taillard's robust taboo search
+//! and sets "the tabu list size … to m/6 where m is the number of
+//! neighbors", with the list holding "the solutions that have been
+//! visited in the recent past".
+//!
+//! Two faithful readings are implemented:
+//!
+//! * [`TabuStrategy::SolutionRing`] (default, the literal reading): a
+//!   ring of the last `L` visited solutions; a move is tabu when it would
+//!   recreate one of them. Solutions are compared by 64-bit Zobrist hash,
+//!   updated in O(k) per candidate.
+//! * [`TabuStrategy::Attribute`]: the classic attribute memory — a bit
+//!   flipped in the last `tenure` iterations may not be flipped back.
+//!
+//! Aspiration: a tabu move is admissible anyway when it improves on the
+//! best fitness seen so far.
+
+use crate::bitstring::{zobrist_table, BitString};
+use crate::explore::Explorer;
+use crate::problem::IncrementalEval;
+use crate::search::{SearchConfig, SearchResult};
+use lnls_neighborhood::FlipMove;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Short-term memory variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TabuStrategy {
+    /// Ring of the last `len` visited solutions (Zobrist hashes). A move
+    /// is tabu when it would recreate one of them — the most literal
+    /// reading of "the tabu list contains the solutions that have been
+    /// visited in the recent past".
+    SolutionRing {
+        /// Ring capacity; the paper uses `m/6`.
+        len: usize,
+    },
+    /// Ring of the last `len` *applied move indices*. Re-applying a
+    /// k-flip move undoes it exactly, so this forbids recent reversals;
+    /// it is the reading under which "size m/6" scales sensibly with
+    /// every neighborhood (m = neighborhood size).
+    MoveRing {
+        /// Ring capacity; the paper uses `m/6`.
+        len: usize,
+    },
+    /// Attribute memory: a flipped bit is tabu for `tenure` iterations
+    /// (Taillard's robust taboo search, which the paper cites as its
+    /// tabu base).
+    Attribute {
+        /// Iterations a bit stays tabu after being flipped.
+        tenure: u64,
+    },
+}
+
+impl TabuStrategy {
+    /// The paper's configuration for a neighborhood of size `m`: a
+    /// short-term memory of `m/6` entries, interpreted as a move ring
+    /// (see variant docs; the solution-ring reading is available
+    /// explicitly).
+    pub fn paper_default(neighborhood_size: u64) -> Self {
+        TabuStrategy::MoveRing { len: ((neighborhood_size / 6).max(1) as usize).min(1 << 22) }
+    }
+}
+
+/// Tabu-search driver over any [`Explorer`] backend.
+pub struct TabuSearch {
+    /// Generic search knobs.
+    pub config: SearchConfig,
+    /// Short-term memory variant.
+    pub strategy: TabuStrategy,
+    /// Allow tabu moves that improve the global best.
+    pub aspiration: bool,
+    /// Record the best-so-far trajectory.
+    pub keep_history: bool,
+}
+
+impl TabuSearch {
+    /// A tabu search with the paper's configuration for a neighborhood of
+    /// `m` moves: solution ring of `m/6`, aspiration on.
+    pub fn paper(config: SearchConfig, neighborhood_size: u64) -> Self {
+        Self {
+            config,
+            strategy: TabuStrategy::paper_default(neighborhood_size),
+            aspiration: true,
+            keep_history: false,
+        }
+    }
+
+    /// Run from the given initial solution.
+    pub fn run<P, E>(&self, problem: &P, explorer: &mut E, init: BitString) -> SearchResult
+    where
+        P: IncrementalEval,
+        E: Explorer<P> + ?Sized,
+    {
+        let t0 = Instant::now();
+        let n = problem.dim();
+        assert_eq!(init.len(), n, "initial solution has wrong length");
+        let m = explorer.size();
+        let target = self.config.target_fitness;
+
+        let mut s = init;
+        let mut state = problem.init_state(&s);
+        let mut cur_fitness = problem.state_fitness(&state);
+        let mut best = s.clone();
+        let mut best_fitness = cur_fitness;
+        let mut history = self.keep_history.then(Vec::new);
+        let mut trajectory = self.keep_history.then(Vec::new);
+
+        // Solution-ring memory.
+        let ztable = zobrist_table(n, 0xC0FFEE ^ self.config.seed);
+        let mut cur_hash = s.zobrist(&ztable);
+        let mut ring: Vec<u64> = Vec::new();
+        let mut ring_pos = 0usize;
+        let mut ring_set: HashMap<u64, u32> = HashMap::new();
+        let ring_len = match self.strategy {
+            TabuStrategy::SolutionRing { len } => len,
+            _ => 0,
+        };
+        if ring_len > 0 {
+            ring_set.insert(cur_hash, 1);
+            ring.push(cur_hash);
+        }
+
+        // Move-ring memory.
+        let mring_len = match self.strategy {
+            TabuStrategy::MoveRing { len } => len,
+            _ => 0,
+        };
+        let mut mring: Vec<u64> = Vec::new();
+        let mut mring_pos = 0usize;
+        let mut mring_set: HashMap<u64, u32> = HashMap::new();
+
+        // Attribute memory.
+        let mut last_flip: Vec<u64> = vec![u64::MAX; n];
+
+        let mut out: Vec<i64> = Vec::new();
+        let mut iterations = 0u64;
+        let mut evals = 0u64;
+
+        'outer: for iter in 0..self.config.max_iters {
+            if let Some(limit) = self.config.time_limit {
+                if t0.elapsed() >= limit {
+                    break 'outer;
+                }
+            }
+            if target.is_some_and(|t| best_fitness <= t) {
+                break 'outer;
+            }
+
+            explorer.explore(problem, &s, &mut state, &mut out);
+            evals += m;
+            iterations += 1;
+
+            // Selection pass: best admissible move (ties → lowest index),
+            // falling back to the best move overall if everything is tabu.
+            // Moves are enumerated through the explorer so mixed-radius
+            // neighborhoods (`UnionHamming`) stay index-aligned with `out`.
+            let mut best_adm: Option<(i64, u64, FlipMove)> = None;
+            let mut best_any: Option<(i64, u64, FlipMove)> = None;
+            explorer.for_each_move(0, out.len() as u64, &mut |idx, mv| {
+                let f = out[idx as usize];
+                if best_any.is_none() || f < best_any.as_ref().unwrap().0 {
+                    best_any = Some((f, idx, mv));
+                }
+                if best_adm.as_ref().is_some_and(|(bf, _, _)| f >= *bf) {
+                    return true; // not better than current admissible best
+                }
+                let tabu = match self.strategy {
+                    TabuStrategy::SolutionRing { .. } => {
+                        let mut h = cur_hash;
+                        for &b in mv.bits() {
+                            h ^= ztable[b as usize];
+                        }
+                        ring_set.contains_key(&h)
+                    }
+                    TabuStrategy::MoveRing { .. } => mring_set.contains_key(&idx),
+                    TabuStrategy::Attribute { tenure } => mv.bits().iter().any(|&b| {
+                        let lf = last_flip[b as usize];
+                        lf != u64::MAX && iter.saturating_sub(lf) < tenure
+                    }),
+                };
+                let admissible = !tabu || (self.aspiration && f < best_fitness);
+                if admissible {
+                    best_adm = Some((f, idx, mv));
+                }
+                true
+            });
+
+            let (f, chosen_idx, mv) = best_adm.or(best_any).expect("non-empty neighborhood");
+
+            // Commit the move.
+            problem.apply_move(&mut state, &s, &mv);
+            s.apply(&mv);
+            cur_fitness = f;
+            debug_assert_eq!(problem.state_fitness(&state), cur_fitness);
+            explorer.committed(problem, &s, &state, &mv);
+            for &b in mv.bits() {
+                cur_hash ^= ztable[b as usize];
+                last_flip[b as usize] = iter;
+            }
+
+            if ring_len > 0 {
+                if ring.len() < ring_len {
+                    ring.push(cur_hash);
+                } else {
+                    let evicted = std::mem::replace(&mut ring[ring_pos], cur_hash);
+                    ring_pos = (ring_pos + 1) % ring_len;
+                    if let Some(c) = ring_set.get_mut(&evicted) {
+                        *c -= 1;
+                        if *c == 0 {
+                            ring_set.remove(&evicted);
+                        }
+                    }
+                }
+                *ring_set.entry(cur_hash).or_insert(0) += 1;
+            }
+            if mring_len > 0 {
+                if mring.len() < mring_len {
+                    mring.push(chosen_idx);
+                } else {
+                    let evicted = std::mem::replace(&mut mring[mring_pos], chosen_idx);
+                    mring_pos = (mring_pos + 1) % mring_len;
+                    if let Some(c) = mring_set.get_mut(&evicted) {
+                        *c -= 1;
+                        if *c == 0 {
+                            mring_set.remove(&evicted);
+                        }
+                    }
+                }
+                *mring_set.entry(chosen_idx).or_insert(0) += 1;
+            }
+
+            if cur_fitness < best_fitness {
+                best_fitness = cur_fitness;
+                best = s.clone();
+            }
+            if let Some(h) = history.as_mut() {
+                h.push(best_fitness);
+            }
+            if let Some(t) = trajectory.as_mut() {
+                t.push(cur_fitness);
+            }
+        }
+
+        SearchResult {
+            best,
+            best_fitness,
+            iterations,
+            success: target.is_some_and(|t| best_fitness <= t),
+            evals,
+            wall: t0.elapsed(),
+            book: explorer.book(),
+            backend: explorer.backend(),
+            history,
+            trajectory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::SequentialExplorer;
+    use crate::problem::testutil::ZeroCount;
+    use lnls_neighborhood::{Neighborhood, OneHamming, TwoHamming};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_zerocount(n: usize, strategy: TabuStrategy, iters: u64) -> SearchResult {
+        let p = ZeroCount { n };
+        let mut rng = StdRng::seed_from_u64(11);
+        let init = BitString::random(&mut rng, n);
+        let mut ex = SequentialExplorer::new(OneHamming::new(n));
+        let search = TabuSearch {
+            config: SearchConfig::budget(iters).with_seed(1),
+            strategy,
+            aspiration: true,
+            keep_history: true,
+        };
+        search.run(&p, &mut ex, init)
+    }
+
+    #[test]
+    fn solves_zerocount_with_solution_ring() {
+        let r = run_zerocount(32, TabuStrategy::SolutionRing { len: 50 }, 200);
+        assert!(r.success, "fitness {}", r.best_fitness);
+        assert_eq!(r.best_fitness, 0);
+        assert_eq!(r.best.count_ones(), 32);
+        // ZeroCount under best-improvement 1-flip: strictly decreasing, so
+        // iterations ≈ number of zero bits in the start solution.
+        assert!(r.iterations <= 33);
+    }
+
+    #[test]
+    fn solves_zerocount_with_attribute_memory() {
+        let r = run_zerocount(32, TabuStrategy::Attribute { tenure: 5 }, 200);
+        assert!(r.success);
+    }
+
+    #[test]
+    fn history_is_monotone_best_so_far() {
+        let r = run_zerocount(24, TabuStrategy::SolutionRing { len: 20 }, 100);
+        let h = r.history.expect("history requested");
+        assert!(h.windows(2).all(|w| w[1] <= w[0]), "best-so-far must not regress");
+    }
+
+    /// Count-of-ones (minimize), used to observe oscillation: starting at
+    /// the optimum (all zeros), every move goes uphill and the tempting
+    /// move is always straight back.
+    struct CountOnes {
+        n: usize,
+    }
+    impl crate::problem::BinaryProblem for CountOnes {
+        fn dim(&self) -> usize {
+            self.n
+        }
+        fn evaluate(&self, s: &BitString) -> i64 {
+            s.count_ones() as i64
+        }
+    }
+    impl IncrementalEval for CountOnes {
+        type State = i64;
+        fn init_state(&self, s: &BitString) -> i64 {
+            s.count_ones() as i64
+        }
+        fn state_fitness(&self, state: &i64) -> i64 {
+            *state
+        }
+        fn neighbor_fitness(&self, state: &mut i64, s: &BitString, mv: &FlipMove) -> i64 {
+            let mut f = *state;
+            for &b in mv.bits() {
+                f += if s.get(b as usize) { -1 } else { 1 };
+            }
+            f
+        }
+        fn apply_move(&self, state: &mut i64, s: &BitString, mv: &FlipMove) {
+            *state = self.neighbor_fitness(&mut state.clone(), s, mv);
+        }
+    }
+
+    fn oscillation_trajectory(strategy: TabuStrategy) -> Vec<i64> {
+        let p = CountOnes { n: 8 };
+        let mut ex = SequentialExplorer::new(OneHamming::new(8));
+        let search = TabuSearch {
+            config: SearchConfig { max_iters: 6, target_fitness: None, time_limit: None, seed: 0 },
+            strategy,
+            aspiration: true,
+            keep_history: true,
+        };
+        let r = search.run(&p, &mut ex, BitString::zeros(8));
+        r.trajectory.expect("history requested")
+    }
+
+    #[test]
+    fn ring_prevents_immediate_backtracking() {
+        // Start at the optimum (weight 0). The first move must go uphill
+        // to weight 1. Without memory, the best neighbor of weight-1 is
+        // weight-0 again: the trajectory would oscillate 1,0,1,0….
+        // The ring forbids recreating a visited solution, so weight 0 can
+        // never reappear.
+        let with_ring = oscillation_trajectory(TabuStrategy::SolutionRing { len: 16 });
+        assert_eq!(with_ring[0], 1);
+        assert!(
+            with_ring.iter().all(|&f| f > 0),
+            "ring failed to prevent revisiting the start: {with_ring:?}"
+        );
+
+        // Degenerate memory (ring of 1 = only the current solution) lets
+        // the search bounce straight back.
+        let no_memory = oscillation_trajectory(TabuStrategy::SolutionRing { len: 1 });
+        assert!(
+            no_memory.iter().any(|&f| f == 0),
+            "expected oscillation without memory: {no_memory:?}"
+        );
+    }
+
+    #[test]
+    fn paper_default_list_size() {
+        match TabuStrategy::paper_default(2628) {
+            TabuStrategy::MoveRing { len } => assert_eq!(len, 438),
+            _ => panic!("wrong strategy"),
+        }
+    }
+
+    #[test]
+    fn move_ring_prevents_reversal() {
+        // Same setup as the solution-ring test: with a move ring the
+        // immediate undo (same move index) is tabu, so weight 0 cannot
+        // reappear right away.
+        let with_ring = oscillation_trajectory(TabuStrategy::MoveRing { len: 16 });
+        assert_eq!(with_ring[0], 1);
+        assert!(with_ring[1] > 0, "move ring failed to forbid the undo: {with_ring:?}");
+    }
+
+    #[test]
+    fn two_hamming_tabu_runs() {
+        let p = ZeroCount { n: 16 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = BitString::random(&mut rng, 16);
+        let hood = TwoHamming::new(16);
+        let mut ex = SequentialExplorer::new(hood);
+        let search = TabuSearch::paper(SearchConfig::budget(100), hood.size());
+        let r = search.run(&p, &mut ex, init.clone());
+        // 2-flips preserve parity of ones-count relative to init: success
+        // only possible if parity matches; either way fitness ≤ init's.
+        let p0 = ZeroCount { n: 16 };
+        use crate::problem::BinaryProblem;
+        assert!(r.best_fitness <= p0.evaluate(&init));
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn time_limit_stops_early() {
+        let p = ZeroCount { n: 64 };
+        let mut ex = SequentialExplorer::new(TwoHamming::new(64));
+        let search = TabuSearch {
+            config: SearchConfig {
+                max_iters: u64::MAX,
+                target_fitness: None, // never satisfied
+                time_limit: Some(std::time::Duration::from_millis(50)),
+                seed: 0,
+            },
+            strategy: TabuStrategy::paper_default(TwoHamming::new(64).size()),
+            aspiration: true,
+            keep_history: false,
+        };
+        let r = search.run(&p, &mut ex, BitString::zeros(64));
+        assert!(r.wall < std::time::Duration::from_secs(10));
+        assert!(!r.success);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the framework plumbing: bit strings, Zobrist
+//! incrementality, explorer equivalence, and tabu-search invariants.
+
+use lnls_core::problem::{BinaryProblem, IncrementalEval};
+use lnls_core::{
+    zobrist_table, BitString, Explorer, ParallelCpuExplorer, SearchConfig, SequentialExplorer,
+    TabuSearch, TabuStrategy,
+};
+use lnls_neighborhood::{FlipMove, KHamming, Neighborhood};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Minimize the zero count — a transparent reference problem.
+struct ZeroCount(usize);
+impl BinaryProblem for ZeroCount {
+    fn dim(&self) -> usize {
+        self.0
+    }
+    fn evaluate(&self, s: &BitString) -> i64 {
+        self.0 as i64 - s.count_ones() as i64
+    }
+    fn target_fitness(&self) -> Option<i64> {
+        Some(0)
+    }
+}
+impl IncrementalEval for ZeroCount {
+    type State = i64;
+    fn init_state(&self, s: &BitString) -> i64 {
+        self.evaluate(s)
+    }
+    fn state_fitness(&self, st: &i64) -> i64 {
+        *st
+    }
+    fn neighbor_fitness(&self, st: &mut i64, s: &BitString, mv: &FlipMove) -> i64 {
+        mv.bits().iter().fold(*st, |f, &b| f + if s.get(b as usize) { 1 } else { -1 })
+    }
+    fn apply_move(&self, st: &mut i64, s: &BitString, mv: &FlipMove) {
+        *st = self.neighbor_fitness(&mut st.clone(), s, mv);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Applying a move twice is the identity on bit strings.
+    #[test]
+    fn double_apply_is_identity(n in 4usize..200, seed in any::<u64>(), x in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = BitString::random(&mut rng, n);
+        let orig = s.clone();
+        let k = (x % 4 + 1) as usize;
+        let hood = KHamming::new(n, k.min(n));
+        let mv = hood.unrank(x % hood.size());
+        s.apply(&mv);
+        prop_assert_eq!(s.hamming(&orig), mv.k() as u32);
+        s.apply(&mv);
+        prop_assert_eq!(s, orig);
+    }
+
+    /// The incremental Zobrist update equals recomputation.
+    #[test]
+    fn zobrist_incremental(n in 4usize..200, seed in any::<u64>(), x in any::<u64>()) {
+        let table = zobrist_table(n, 99);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = BitString::random(&mut rng, n);
+        let mut h = s.zobrist(&table);
+        let k = (x % 4 + 1) as usize;
+        let hood = KHamming::new(n, k.min(n));
+        let mv = hood.unrank(x % hood.size());
+        for &b in mv.bits() {
+            h ^= table[b as usize];
+        }
+        s.apply(&mv);
+        prop_assert_eq!(s.zobrist(&table), h);
+    }
+
+    /// Distinct strings hash differently with overwhelming probability
+    /// (sanity for the solution-ring memory).
+    #[test]
+    fn zobrist_discriminates(n in 8usize..100, seed in any::<u64>(), flip in any::<usize>()) {
+        let table = zobrist_table(n, 7);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = BitString::random(&mut rng, n);
+        let mut t = s.clone();
+        t.flip(flip % n);
+        prop_assert_ne!(s.zobrist(&table), t.zobrist(&table));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sequential and parallel explorers produce identical fitness
+    /// vectors for arbitrary problems/neighborhoods.
+    #[test]
+    fn explorer_equivalence(n in 8usize..40, k in 1usize..=3, seed in any::<u64>(), workers in 2usize..6) {
+        let p = ZeroCount(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = BitString::random(&mut rng, n);
+        let mut st = p.init_state(&s);
+        let hood = KHamming::new(n, k);
+        let mut seq = SequentialExplorer::new(hood);
+        let mut par = ParallelCpuExplorer::new(hood, workers);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Explorer::<ZeroCount>::explore(&mut seq, &p, &s, &mut st, &mut a);
+        Explorer::<ZeroCount>::explore(&mut par, &p, &s, &mut st, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Tabu search reports internally consistent results for arbitrary
+    /// configurations: best fitness matches a re-evaluation, iteration
+    /// and eval counts line up, success implies target reached.
+    #[test]
+    fn tabu_result_invariants(
+        n in 6usize..24,
+        k in 1usize..=3,
+        seed in any::<u64>(),
+        iters in 1u64..60,
+        strategy in 0usize..3,
+    ) {
+        let p = ZeroCount(n);
+        let hood = KHamming::new(n, k);
+        let strategy = match strategy {
+            0 => TabuStrategy::SolutionRing { len: 8 },
+            1 => TabuStrategy::MoveRing { len: 8 },
+            _ => TabuStrategy::Attribute { tenure: 4 },
+        };
+        let search = TabuSearch {
+            config: SearchConfig::budget(iters).with_seed(seed),
+            strategy,
+            aspiration: true,
+            keep_history: true,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = BitString::random(&mut rng, n);
+        let mut ex = SequentialExplorer::new(hood);
+        let r = search.run(&p, &mut ex, init);
+        prop_assert_eq!(p.evaluate(&r.best), r.best_fitness);
+        prop_assert!(r.iterations <= iters);
+        prop_assert_eq!(r.evals, r.iterations * hood.size());
+        prop_assert_eq!(r.success, r.best_fitness <= 0);
+        let h = r.history.unwrap();
+        prop_assert_eq!(h.len() as u64, r.iterations);
+        prop_assert!(h.windows(2).all(|w| w[1] <= w[0]));
+        // Trajectory pointwise ≥ best-so-far.
+        let t = r.trajectory.unwrap();
+        prop_assert!(h.iter().zip(&t).all(|(hb, tc)| tc >= hb));
+    }
+}

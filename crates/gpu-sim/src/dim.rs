@@ -1,0 +1,158 @@
+//! Grid/block geometry, mirroring the CUDA execution configuration
+//! (paper §III.A: "Blocks can be organized into a one-dimensional or
+//! two-dimensional grid of thread blocks, and threads inside a block are
+//! grouped in a similar way").
+
+/// A 3-component extent or index, like CUDA's `dim3`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Fastest-varying component.
+    pub x: u32,
+    /// Middle component.
+    pub y: u32,
+    /// Slowest-varying component.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// 1-D extent `(x, 1, 1)`.
+    #[inline]
+    pub const fn x(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// 2-D extent `(x, y, 1)`.
+    #[inline]
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Self { x, y, z: 1 }
+    }
+
+    /// Full 3-D extent.
+    #[inline]
+    pub const fn xyz(x: u32, y: u32, z: u32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Total number of elements (`x·y·z`).
+    #[inline]
+    pub const fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Linearize an index within this extent (x fastest).
+    #[inline]
+    pub const fn linear(&self, idx: Dim3) -> u64 {
+        (idx.z as u64 * self.y as u64 + idx.y as u64) * self.x as u64 + idx.x as u64
+    }
+
+    /// Inverse of [`linear`](Self::linear).
+    #[inline]
+    pub const fn delinearize(&self, lin: u64) -> Dim3 {
+        let x = (lin % self.x as u64) as u32;
+        let rest = lin / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        Dim3 { x, y, z }
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::x(x)
+    }
+}
+
+/// A kernel launch configuration: grid of blocks × block of threads,
+/// plus the per-block shared-memory request (in 32-bit words).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks in the grid.
+    pub grid: Dim3,
+    /// Number of threads per block.
+    pub block: Dim3,
+    /// Dynamic shared memory per block, in 32-bit words.
+    pub shared_words: u32,
+}
+
+impl LaunchConfig {
+    /// 1-D launch covering at least `total` threads with blocks of
+    /// `block_size` threads (the idiom of the paper's Figs. 7/9/10:
+    /// `⌈N / blockDim⌉` blocks, guard `if (move_index < N)`).
+    pub fn cover_1d(total: u64, block_size: u32) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let blocks = total.div_ceil(block_size as u64);
+        assert!(blocks <= u32::MAX as u64, "grid too large: {blocks} blocks");
+        Self {
+            grid: Dim3::x(blocks.max(1) as u32),
+            block: Dim3::x(block_size),
+            shared_words: 0,
+        }
+    }
+
+    /// With a dynamic shared-memory request (in 32-bit words).
+    pub fn with_shared_words(mut self, words: u32) -> Self {
+        self.shared_words = words;
+        self
+    }
+
+    /// Threads per block.
+    #[inline]
+    pub fn block_threads(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Blocks in the grid.
+    #[inline]
+    pub fn grid_blocks(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// Total threads launched (including guard-excess threads).
+    #[inline]
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks() * self.block_threads() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearize_roundtrip() {
+        let ext = Dim3::xyz(5, 3, 2);
+        for lin in 0..ext.count() {
+            let idx = ext.delinearize(lin);
+            assert!(idx.x < 5 && idx.y < 3 && idx.z < 2);
+            assert_eq!(ext.linear(idx), lin);
+        }
+    }
+
+    #[test]
+    fn cover_1d_matches_paper_idiom() {
+        // 2628 moves (PPP n=73, 2-Hamming) with 128-thread blocks.
+        let cfg = LaunchConfig::cover_1d(2628, 128);
+        assert_eq!(cfg.grid_blocks(), 21);
+        assert_eq!(cfg.block_threads(), 128);
+        assert_eq!(cfg.total_threads(), 2688); // 60 guard threads
+        // Exact fit.
+        let cfg = LaunchConfig::cover_1d(256, 128);
+        assert_eq!(cfg.grid_blocks(), 2);
+        // Tiny neighborhood still launches one block.
+        let cfg = LaunchConfig::cover_1d(0, 128);
+        assert_eq!(cfg.grid_blocks(), 1);
+    }
+
+    #[test]
+    fn dim_conversions() {
+        let d: Dim3 = 7u32.into();
+        assert_eq!(d, Dim3::x(7));
+        assert_eq!(Dim3::xy(4, 4).count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        let _ = LaunchConfig::cover_1d(10, 0);
+    }
+}

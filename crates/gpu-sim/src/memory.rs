@@ -1,0 +1,306 @@
+//! Device memory: typed buffers in global / texture / constant space.
+//!
+//! Buffers are word-arrays of atomics so simulated threads on different
+//! host workers can store to disjoint indices without locks or `unsafe`
+//! (relaxed atomics compile to plain loads/stores on x86). Data races that
+//! a real GPU kernel would exhibit are *detected* (in trace mode) rather
+//! than prevented — see [`crate::race`].
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which memory space a buffer lives in; determines latency, caching and
+/// coalescing treatment in the timing model.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Off-chip DRAM, uncached on GT200, coalescing-sensitive.
+    Global,
+    /// Read-only, cached through the texture unit (the paper's Fig. 8
+    /// "GPUTexture" configuration for the instance matrix).
+    Texture,
+    /// Small read-only constant cache (broadcast-friendly).
+    Constant,
+}
+
+/// A value type storable in device memory (32- or 64-bit words).
+pub trait DeviceWord: Copy + Send + Sync + 'static {
+    /// The atomic cell backing one element.
+    type Cell: Sync + Send;
+    /// Bytes per element (4 or 8), used for transfer & coalescing math.
+    const BYTES: u32;
+    /// Construct a cell holding `v`.
+    fn new_cell(v: Self) -> Self::Cell;
+    /// Relaxed load.
+    fn load(cell: &Self::Cell) -> Self;
+    /// Relaxed store.
+    fn store(cell: &Self::Cell, v: Self);
+}
+
+macro_rules! impl_word32 {
+    ($t:ty) => {
+        impl DeviceWord for $t {
+            type Cell = AtomicU32;
+            const BYTES: u32 = 4;
+            #[inline]
+            fn new_cell(v: Self) -> AtomicU32 {
+                AtomicU32::new(v.to_bits32())
+            }
+            #[inline]
+            fn load(cell: &AtomicU32) -> Self {
+                <$t>::from_bits32(cell.load(Ordering::Relaxed))
+            }
+            #[inline]
+            fn store(cell: &AtomicU32, v: Self) {
+                cell.store(v.to_bits32(), Ordering::Relaxed);
+            }
+        }
+    };
+}
+
+macro_rules! impl_word64 {
+    ($t:ty) => {
+        impl DeviceWord for $t {
+            type Cell = AtomicU64;
+            const BYTES: u32 = 8;
+            #[inline]
+            fn new_cell(v: Self) -> AtomicU64 {
+                AtomicU64::new(v.to_bits64())
+            }
+            #[inline]
+            fn load(cell: &AtomicU64) -> Self {
+                <$t>::from_bits64(cell.load(Ordering::Relaxed))
+            }
+            #[inline]
+            fn store(cell: &AtomicU64, v: Self) {
+                cell.store(v.to_bits64(), Ordering::Relaxed);
+            }
+        }
+    };
+}
+
+/// 32-bit reinterpret helpers (private plumbing for the macro impls).
+trait Bits32: Copy {
+    fn to_bits32(self) -> u32;
+    fn from_bits32(b: u32) -> Self;
+}
+trait Bits64: Copy {
+    fn to_bits64(self) -> u64;
+    fn from_bits64(b: u64) -> Self;
+}
+
+impl Bits32 for u32 {
+    fn to_bits32(self) -> u32 {
+        self
+    }
+    fn from_bits32(b: u32) -> Self {
+        b
+    }
+}
+impl Bits32 for i32 {
+    fn to_bits32(self) -> u32 {
+        self as u32
+    }
+    fn from_bits32(b: u32) -> Self {
+        b as i32
+    }
+}
+impl Bits32 for f32 {
+    fn to_bits32(self) -> u32 {
+        self.to_bits()
+    }
+    fn from_bits32(b: u32) -> Self {
+        f32::from_bits(b)
+    }
+}
+impl Bits64 for u64 {
+    fn to_bits64(self) -> u64 {
+        self
+    }
+    fn from_bits64(b: u64) -> Self {
+        b
+    }
+}
+impl Bits64 for i64 {
+    fn to_bits64(self) -> u64 {
+        self as u64
+    }
+    fn from_bits64(b: u64) -> Self {
+        b as i64
+    }
+}
+impl Bits64 for f64 {
+    fn to_bits64(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits64(b: u64) -> Self {
+        f64::from_bits(b)
+    }
+}
+
+impl_word32!(u32);
+impl_word32!(i32);
+impl_word32!(f32);
+impl_word64!(u64);
+impl_word64!(i64);
+impl_word64!(f64);
+
+struct BufInner<T: DeviceWord> {
+    cells: Box<[T::Cell]>,
+    space: MemSpace,
+    id: u64,
+    label: &'static str,
+}
+
+/// A typed device allocation. Cloning is cheap (shared handle); kernels
+/// hold clones of the buffers they access.
+pub struct DeviceBuffer<T: DeviceWord> {
+    inner: Arc<BufInner<T>>,
+}
+
+impl<T: DeviceWord> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: DeviceWord + Default> DeviceBuffer<T> {
+    pub(crate) fn zeroed(len: usize, space: MemSpace, id: u64, label: &'static str) -> Self {
+        let cells: Box<[T::Cell]> = (0..len).map(|_| T::new_cell(T::default())).collect();
+        Self { inner: Arc::new(BufInner { cells, space, id, label }) }
+    }
+}
+
+impl<T: DeviceWord> DeviceBuffer<T> {
+    pub(crate) fn from_slice(data: &[T], space: MemSpace, id: u64, label: &'static str) -> Self {
+        let cells: Box<[T::Cell]> = data.iter().map(|&v| T::new_cell(v)).collect();
+        Self { inner: Arc::new(BufInner { cells, space, id, label }) }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.cells.len()
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.cells.is_empty()
+    }
+
+    /// Memory space this buffer lives in.
+    #[inline]
+    pub fn space(&self) -> MemSpace {
+        self.inner.space
+    }
+
+    /// Unique id within its device (used by the race detector & ledger).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Debug label.
+    #[inline]
+    pub fn label(&self) -> &'static str {
+        self.inner.label
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.len() as u64 * T::BYTES as u64
+    }
+
+    /// Raw element access — *host-side*, no timing accounting. Simulated
+    /// kernels must go through their thread context instead.
+    #[inline]
+    pub fn get(&self, idx: usize) -> T {
+        T::load(&self.inner.cells[idx])
+    }
+
+    /// Raw element store — *host-side*, no timing accounting.
+    #[inline]
+    pub fn set(&self, idx: usize, v: T) {
+        T::store(&self.inner.cells[idx], v);
+    }
+
+    /// Copy the device contents into a fresh host vector (no accounting;
+    /// use [`crate::Device::download`] for a costed transfer).
+    pub fn snapshot(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Overwrite device contents from a host slice (no accounting; use
+    /// [`crate::Device::upload`] for a costed transfer).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn fill_from(&self, data: &[T]) {
+        assert_eq!(data.len(), self.len(), "fill_from length mismatch");
+        for (i, &v) in data.iter().enumerate() {
+            self.set(i, v);
+        }
+    }
+}
+
+impl<T: DeviceWord> core::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "DeviceBuffer({} #{} {:?} x{})",
+            self.inner.label,
+            self.inner.id,
+            self.inner.space,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_i32() {
+        let b = DeviceBuffer::<i32>::from_slice(&[1, -2, 3], MemSpace::Global, 0, "t");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(1), -2);
+        b.set(1, 42);
+        assert_eq!(b.snapshot(), vec![1, 42, 3]);
+        assert_eq!(b.bytes(), 12);
+    }
+
+    #[test]
+    fn roundtrip_f32_and_u64() {
+        let b = DeviceBuffer::<f32>::from_slice(&[1.5, -0.25], MemSpace::Texture, 1, "f");
+        assert_eq!(b.get(0), 1.5);
+        assert_eq!(b.get(1), -0.25);
+        let c = DeviceBuffer::<u64>::from_slice(&[u64::MAX, 7], MemSpace::Global, 2, "u");
+        assert_eq!(c.get(0), u64::MAX);
+        assert_eq!(c.bytes(), 16);
+    }
+
+    #[test]
+    fn zeroed_and_fill() {
+        let b = DeviceBuffer::<i64>::zeroed(4, MemSpace::Global, 3, "z");
+        assert_eq!(b.snapshot(), vec![0, 0, 0, 0]);
+        b.fill_from(&[1, 2, 3, 4]);
+        assert_eq!(b.snapshot(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = DeviceBuffer::<u32>::zeroed(2, MemSpace::Global, 4, "s");
+        let b = a.clone();
+        a.set(0, 9);
+        assert_eq!(b.get(0), 9);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fill_length_checked() {
+        DeviceBuffer::<u32>::zeroed(2, MemSpace::Global, 5, "x").fill_from(&[1]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Multi-GPU execution (the paper's §V perspective): partition the
+//! neighborhood index range, run each partition on its own device, and
+//! charge wall-clock as the *slowest* device per step — devices work in
+//! parallel, but each has private memory, so inputs are replicated
+//! (broadcast) and results gathered per device.
+
+use crate::report::TimeBook;
+use crate::spec::DeviceSpec;
+use crate::Device;
+
+/// A group of simulated devices executing steps in parallel.
+pub struct MultiDevice {
+    devices: Vec<Device>,
+    elapsed_parallel_s: f64,
+}
+
+impl MultiDevice {
+    /// `count` identical devices.
+    pub fn new_uniform(count: usize, spec: DeviceSpec) -> Self {
+        assert!(count > 0, "need at least one device");
+        Self {
+            devices: (0..count).map(|_| Device::new(spec.clone())).collect(),
+            elapsed_parallel_s: 0.0,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the group is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Mutable access to one device (for allocation/bind-up steps).
+    pub fn device_mut(&mut self, i: usize) -> &mut Device {
+        &mut self.devices[i]
+    }
+
+    /// Shared access to one device.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// Run one *parallel step*: `f` is called once per device (sequentially
+    /// in simulation, conceptually concurrent on hardware); the step's
+    /// wall-clock contribution is the maximum per-device modeled delta,
+    /// which is accumulated into [`elapsed_parallel_s`](Self::elapsed_parallel_s)
+    /// and returned.
+    pub fn parallel_step<F: FnMut(usize, &mut Device)>(&mut self, mut f: F) -> f64 {
+        let before: Vec<TimeBook> = self.devices.iter().map(|d| d.book().clone()).collect();
+        for (i, dev) in self.devices.iter_mut().enumerate() {
+            f(i, dev);
+        }
+        let step = self
+            .devices
+            .iter()
+            .zip(&before)
+            .map(|(d, b)| d.book().delta_since(b).gpu_total_s())
+            .fold(0.0, f64::max);
+        self.elapsed_parallel_s += step;
+        step
+    }
+
+    /// Accumulated parallel wall-clock (max-per-step semantics).
+    pub fn elapsed_parallel_s(&self) -> f64 {
+        self.elapsed_parallel_s
+    }
+
+    /// Sum of all device ledgers (total work, not wall-clock).
+    pub fn books_sum(&self) -> TimeBook {
+        let mut total = TimeBook::default();
+        for d in &self.devices {
+            total.add(d.book());
+        }
+        total
+    }
+
+    /// Reset every ledger and the parallel clock.
+    pub fn reset(&mut self) {
+        for d in &mut self.devices {
+            d.reset_book();
+        }
+        self.elapsed_parallel_s = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::LaunchConfig;
+    use crate::exec::ExecMode;
+    use crate::kernel::{Kernel, ThreadCtx};
+    use crate::memory::{DeviceBuffer, MemSpace};
+
+    struct Work {
+        out: DeviceBuffer<i32>,
+        lo: u64,
+        hi: u64,
+    }
+
+    impl Kernel for Work {
+        fn name(&self) -> &'static str {
+            "work"
+        }
+        fn run<C: ThreadCtx>(&self, ctx: &mut C, _phase: u32) {
+            let tid = ctx.id().global() + self.lo;
+            if ctx.branch(tid < self.hi) {
+                // some busywork so the timing model sees real cost
+                let mut acc = tid as i32;
+                for _ in 0..50 {
+                    acc = acc.wrapping_mul(3).wrapping_add(1);
+                }
+                ctx.alu(100);
+                ctx.st(&self.out, (tid - self.lo) as usize, acc);
+            }
+        }
+    }
+
+    fn run_partitioned(devices: usize, total: u64) -> (f64, f64) {
+        let mut multi = MultiDevice::new_uniform(devices, DeviceSpec::gtx280());
+        let per = total.div_ceil(devices as u64);
+        multi.parallel_step(|i, dev| {
+            let lo = per * i as u64;
+            let hi = (lo + per).min(total);
+            if lo >= hi {
+                return;
+            }
+            let out = dev.alloc_zeroed::<i32>((hi - lo) as usize, MemSpace::Global, "out");
+            let k = Work { out, lo, hi };
+            dev.launch(&k, LaunchConfig::cover_1d(hi - lo, 128), ExecMode::Auto);
+        });
+        (multi.elapsed_parallel_s(), multi.books_sum().gpu_total_s())
+    }
+
+    #[test]
+    fn more_devices_reduce_wallclock() {
+        let total = 1 << 20;
+        let (wall1, _) = run_partitioned(1, total);
+        let (wall4, _) = run_partitioned(4, total);
+        assert!(
+            wall4 < wall1 * 0.5,
+            "4 devices should beat half of 1 device: {wall4} vs {wall1}"
+        );
+    }
+
+    #[test]
+    fn wallclock_is_max_not_sum() {
+        let (wall, sum) = run_partitioned(4, 1 << 20);
+        assert!(wall < sum, "parallel elapsed {wall} must be below total work {sum}");
+    }
+
+    #[test]
+    fn imbalanced_step_charges_slowest() {
+        let mut multi = MultiDevice::new_uniform(2, DeviceSpec::gtx280());
+        let step = multi.parallel_step(|i, dev| {
+            let n = if i == 0 { 1 << 18 } else { 1 << 10 };
+            let out = dev.alloc_zeroed::<i32>(n, MemSpace::Global, "out");
+            let k = Work { out, lo: 0, hi: n as u64 };
+            dev.launch(&k, LaunchConfig::cover_1d(n as u64, 128), ExecMode::Auto);
+        });
+        let d0 = multi.device(0).book().gpu_total_s();
+        let d1 = multi.device(1).book().gpu_total_s();
+        assert!(d0 > d1);
+        assert!((step - d0).abs() < 1e-12, "step {step} != slowest {d0}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut multi = MultiDevice::new_uniform(2, DeviceSpec::gtx280());
+        run_partitioned(2, 1 << 12);
+        multi.reset();
+        assert_eq!(multi.elapsed_parallel_s(), 0.0);
+        assert_eq!(multi.books_sum().launches, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! CUDA-occupancy-calculator clone: how many blocks of a given shape fit
+//! on one SM, and how well the resulting warp population hides latency.
+//! This is the quantity the paper's §IV.C invokes ("the number of threads
+//! per block is not enough to fully cover the memory access latency") and
+//! §IV.D credits for the 2-Hamming speedups ("GPU can take full advantage
+//! of the multiprocessors occupancy").
+
+use crate::dim::LaunchConfig;
+use crate::spec::DeviceSpec;
+
+/// Residency and utilization of one launch on one device.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM (the CUDA occupancy-calculator output).
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM under that residency.
+    pub warps_per_sm: u32,
+    /// `warps_per_sm / max_warps_per_sm`, the usual occupancy metric.
+    pub occupancy: f64,
+    /// Scheduling waves needed to run the whole grid.
+    pub waves: u64,
+    /// SMs actually used in the first wave (< SM count for tiny grids —
+    /// the Table I regime).
+    pub sms_used: u32,
+    /// Which hardware limit bounded the residency.
+    pub limited_by: Limit,
+}
+
+/// The hardware resource that capped block residency.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Limit {
+    /// Max resident blocks per SM.
+    Blocks,
+    /// Max resident threads (or warps) per SM.
+    Threads,
+    /// Shared-memory capacity.
+    SharedMem,
+    /// The grid itself has fewer blocks than one full wave.
+    GridSize,
+}
+
+/// Compute residency for `cfg` on `spec`.
+///
+/// # Panics
+/// Panics if the block shape itself is illegal for the device (more
+/// threads per block than the hardware maximum, or a shared-memory
+/// request exceeding one SM).
+pub fn occupancy(spec: &DeviceSpec, cfg: &LaunchConfig) -> Occupancy {
+    let bs = cfg.block_threads();
+    assert!(bs >= 1, "empty blocks are not a launch");
+    assert!(
+        bs <= spec.max_threads_per_block,
+        "{} threads/block exceeds device limit {}",
+        bs,
+        spec.max_threads_per_block
+    );
+    assert!(
+        cfg.shared_words <= spec.shared_words_per_sm,
+        "shared request {} words exceeds SM capacity {}",
+        cfg.shared_words,
+        spec.shared_words_per_sm
+    );
+
+    let wpb = spec.warps_per_block(bs);
+    let by_blocks = spec.max_blocks_per_sm;
+    let by_threads = spec.max_threads_per_sm / bs;
+    let by_warps = spec.max_warps_per_sm / wpb;
+    let by_shared = if cfg.shared_words == 0 {
+        u32::MAX
+    } else {
+        spec.shared_words_per_sm / cfg.shared_words
+    };
+
+    let mut r = by_blocks.min(by_threads).min(by_warps).min(by_shared).max(0);
+    let mut limited_by = if r == by_shared && cfg.shared_words > 0 {
+        Limit::SharedMem
+    } else if r == by_threads || r == by_warps {
+        Limit::Threads
+    } else {
+        Limit::Blocks
+    };
+    // A block that fits nowhere cannot launch; the asserts above keep
+    // r >= 1 for all legal configurations.
+    assert!(r >= 1, "block does not fit on an SM");
+
+    let blocks = cfg.grid_blocks();
+    let full_wave = spec.sm_count as u64 * r as u64;
+    if blocks < full_wave {
+        // The grid cannot even fill one wave: residency is limited by the
+        // grid, spread blocks round-robin across SMs.
+        let sms_used = blocks.min(spec.sm_count as u64) as u32;
+        let per_sm = blocks.div_ceil(sms_used.max(1) as u64) as u32;
+        if per_sm < r {
+            r = per_sm.max(1);
+            limited_by = Limit::GridSize;
+        }
+        let warps = r * wpb;
+        return Occupancy {
+            blocks_per_sm: r,
+            warps_per_sm: warps,
+            occupancy: warps as f64 / spec.max_warps_per_sm as f64,
+            waves: 1,
+            sms_used,
+            limited_by,
+        };
+    }
+
+    let warps = (r * wpb).min(spec.max_warps_per_sm);
+    Occupancy {
+        blocks_per_sm: r,
+        warps_per_sm: warps,
+        occupancy: warps as f64 / spec.max_warps_per_sm as f64,
+        waves: blocks.div_ceil(full_wave),
+        sms_used: spec.sm_count,
+        limited_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::LaunchConfig;
+
+    fn gtx() -> DeviceSpec {
+        DeviceSpec::gtx280()
+    }
+
+    #[test]
+    fn full_residency_128_thread_blocks() {
+        // 128-thread blocks: 8 blocks/SM = 1024 threads = 32 warps (full).
+        let cfg = LaunchConfig::cover_1d(260_130, 128);
+        let occ = occupancy(&gtx(), &cfg);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.warps_per_sm, 32);
+        assert!((occ.occupancy - 1.0).abs() < 1e-9);
+        assert_eq!(occ.sms_used, 30);
+        // 2033 blocks over 240 resident → 9 waves.
+        assert_eq!(occ.waves, 2033u64.div_ceil(240));
+    }
+
+    #[test]
+    fn tiny_grid_is_gridsize_limited() {
+        // Table I regime: 73 moves in one block.
+        let cfg = LaunchConfig::cover_1d(73, 128);
+        let occ = occupancy(&gtx(), &cfg);
+        assert_eq!(occ.sms_used, 1);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.waves, 1);
+        assert_eq!(occ.limited_by, Limit::GridSize);
+        assert!(occ.occupancy < 0.2);
+    }
+
+    #[test]
+    fn midsize_grid_partial_waves() {
+        // 2628 moves (2-Hamming n=73) in 128-thread blocks = 21 blocks.
+        let cfg = LaunchConfig::cover_1d(2628, 128);
+        let occ = occupancy(&gtx(), &cfg);
+        assert_eq!(occ.sms_used, 21);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.warps_per_sm, 4);
+        assert_eq!(occ.waves, 1);
+    }
+
+    #[test]
+    fn big_blocks_limited_by_threads() {
+        let cfg = LaunchConfig::cover_1d(1 << 20, 512);
+        let occ = occupancy(&gtx(), &cfg);
+        // 1024 / 512 = 2 blocks/SM.
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limited_by, Limit::Threads);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        // 2048 words/block on a 4096-word SM → 2 blocks/SM.
+        let cfg = LaunchConfig::cover_1d(1 << 20, 64).with_shared_words(2048);
+        let occ = occupancy(&gtx(), &cfg);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limited_by, Limit::SharedMem);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_rejected() {
+        let cfg = LaunchConfig::cover_1d(2048, 1024); // > 512 on GT200
+        let _ = occupancy(&gtx(), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SM capacity")]
+    fn oversized_shared_rejected() {
+        let cfg = LaunchConfig::cover_1d(128, 128).with_shared_words(1 << 20);
+        let _ = occupancy(&gtx(), &cfg);
+    }
+}

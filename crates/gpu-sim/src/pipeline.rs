@@ -1,0 +1,298 @@
+//! Pricing the paper's search loop under stream pipelining.
+//!
+//! One tabu iteration is a dependent chain — upload the current
+//! solution, run `MoveIncrEvalKernel`, read the fitness array back,
+//! argmin on the host — so a *single* walk gains nothing from streams.
+//! The concurrency in the paper's protocol lives one level up: 50
+//! independent tries (and, in §V, per-device partitions). Interleaving
+//! `W` independent walks on `S` streams lets walk B's transfers hide
+//! under walk A's kernel, which on copy/compute-overlap hardware
+//! recovers most of the PCIe time.
+//!
+//! [`price_multiwalk`] builds the exact stream schedule for a window of
+//! iterations with [`StreamSim`], then extrapolates the steady-state
+//! rate to the full budget (the schedule is periodic after a warm-up of
+//! one round per stream, so two window measurements pin the slope).
+
+use crate::spec::DeviceSpec;
+use crate::stream::{EngineConfig, Schedule, StreamSim};
+use crate::timing::transfer_seconds;
+
+/// The priced shape of one search iteration (get `kernel_seconds` from
+/// [`predict`](crate::timing::predict) on the profiled kernel).
+#[derive(Copy, Clone, Debug)]
+pub struct IterationProfile {
+    /// Bytes uploaded per iteration (current solution / state deltas).
+    pub h2d_bytes: u64,
+    /// Modeled kernel seconds per iteration (excl. launch overhead).
+    pub kernel_seconds: f64,
+    /// Bytes read back per iteration (fitness array, or one best record
+    /// when on-device reduction is enabled).
+    pub d2h_bytes: u64,
+}
+
+impl IterationProfile {
+    /// The synchronous cost of one iteration (the paper's structure).
+    pub fn serial_seconds(&self, spec: &DeviceSpec) -> f64 {
+        transfer_seconds(spec, self.h2d_bytes)
+            + self.kernel_seconds
+            + spec.launch_overhead_s
+            + transfer_seconds(spec, self.d2h_bytes)
+    }
+}
+
+/// The order operations are handed to the device queues.
+///
+/// On hardware with strict FIFO engine queues (GT200), issue order
+/// decides whether overlap happens at all: enqueuing each walk's
+/// upload-kernel-readback chain *depth-first* puts every walk's
+/// readback in front of the next walk's upload in the single copy
+/// queue, serializing everything. *Breadth-first* issue (all uploads,
+/// then all kernels, then all readbacks per round) is the standard fix
+/// — the same lesson as NVIDIA's asynchronous-transfers guidance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IssueOrder {
+    /// Per walk: upload, kernel, readback, then the next walk.
+    DepthFirst,
+    /// Per round: every walk's upload, then every kernel, then every
+    /// readback.
+    BreadthFirst,
+}
+
+/// Outcome of pricing a multi-walk pipelined schedule.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Total modeled seconds with every operation serialized (the
+    /// synchronous baseline: `walks × iterations × serial_seconds`).
+    pub serial_s: f64,
+    /// Total modeled seconds under the stream schedule.
+    pub pipelined_s: f64,
+    /// Speedup of pipelining (`serial / pipelined`).
+    pub speedup: f64,
+    /// The exact schedule of the measurement window (for Gantt
+    /// rendering in examples).
+    pub window: Schedule,
+}
+
+/// Price `walks` independent search walks of `iterations` iterations
+/// each, interleaved round-robin on `streams` streams with
+/// breadth-first issue (see [`IssueOrder`]).
+///
+/// # Panics
+/// Panics if `walks`, `iterations` or `streams` is zero.
+pub fn price_multiwalk(
+    spec: &DeviceSpec,
+    engines: EngineConfig,
+    profile: IterationProfile,
+    walks: usize,
+    iterations: u64,
+    streams: usize,
+) -> PipelineReport {
+    price_multiwalk_ordered(
+        spec,
+        engines,
+        profile,
+        walks,
+        iterations,
+        streams,
+        IssueOrder::BreadthFirst,
+    )
+}
+
+/// [`price_multiwalk`] with an explicit [`IssueOrder`] (the issue-order
+/// ablation).
+///
+/// # Panics
+/// Panics if `walks`, `iterations` or `streams` is zero.
+pub fn price_multiwalk_ordered(
+    spec: &DeviceSpec,
+    engines: EngineConfig,
+    profile: IterationProfile,
+    walks: usize,
+    iterations: u64,
+    streams: usize,
+    order: IssueOrder,
+) -> PipelineReport {
+    assert!(walks > 0 && iterations > 0 && streams > 0, "degenerate pipeline");
+    let streams = streams.min(walks);
+
+    // Build the window schedule: rounds of one iteration per walk. Each
+    // walk's chain correctness is preserved by pinning it to one stream.
+    let build = |rounds: u64| -> Schedule {
+        let mut sim = StreamSim::with_engines(spec, engines);
+        for _round in 0..rounds {
+            match order {
+                IssueOrder::DepthFirst => {
+                    for walk in 0..walks {
+                        let st = walk % streams;
+                        sim.h2d(st, profile.h2d_bytes);
+                        sim.kernel(st, profile.kernel_seconds);
+                        sim.d2h(st, profile.d2h_bytes);
+                    }
+                }
+                IssueOrder::BreadthFirst => {
+                    for walk in 0..walks {
+                        sim.h2d(walk % streams, profile.h2d_bytes);
+                    }
+                    for walk in 0..walks {
+                        sim.kernel(walk % streams, profile.kernel_seconds);
+                    }
+                    for walk in 0..walks {
+                        sim.d2h(walk % streams, profile.d2h_bytes);
+                    }
+                }
+            }
+        }
+        sim.run()
+    };
+
+    // Steady state: measure two window sizes, extrapolate linearly.
+    let w1 = iterations.min(16);
+    let w2 = iterations.min(32);
+    let m1 = build(w1).makespan;
+    let window = build(w2);
+    let m2 = window.makespan;
+    let pipelined_s = if w2 == iterations {
+        m2
+    } else {
+        let slope = (m2 - m1) / (w2 - w1) as f64;
+        m2 + slope * (iterations - w2) as f64
+    };
+
+    let serial_s = profile.serial_seconds(spec) * walks as f64 * iterations as f64;
+    PipelineReport {
+        serial_s,
+        pipelined_s,
+        speedup: serial_s / pipelined_s,
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn ppp_like() -> IterationProfile {
+        // 2-Hamming on 101×117: upload ~n bytes, kernel ~1 ms, read back
+        // m fitness values.
+        IterationProfile { h2d_bytes: 128, kernel_seconds: 1.0e-3, d2h_bytes: 6786 * 4 }
+    }
+
+    #[test]
+    fn one_walk_one_stream_equals_serial() {
+        let spec = DeviceSpec::gtx280();
+        let r = price_multiwalk(&spec, EngineConfig::gt200(), ppp_like(), 1, 40, 1);
+        assert!(
+            (r.pipelined_s - r.serial_s).abs() / r.serial_s < 1e-9,
+            "single stream cannot overlap: {} vs {}",
+            r.pipelined_s,
+            r.serial_s
+        );
+        assert!((r.speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_walks_two_streams_beat_serial() {
+        let spec = DeviceSpec::gtx280();
+        let r = price_multiwalk(&spec, EngineConfig::gt200(), ppp_like(), 2, 100, 2);
+        assert!(r.speedup > 1.01, "expected overlap, got ×{}", r.speedup);
+        // Bound: compute is the critical resource; speedup cannot exceed
+        // serial/compute ratio.
+        let p = ppp_like();
+        let bound = p.serial_seconds(&spec) / (p.kernel_seconds + spec.launch_overhead_s);
+        assert!(r.speedup <= bound + 1e-6, "×{} exceeds engine bound ×{bound}", r.speedup);
+    }
+
+    #[test]
+    fn transfer_heavy_profiles_gain_more() {
+        let spec = DeviceSpec::gtx280();
+        let light = IterationProfile { h2d_bytes: 64, kernel_seconds: 2e-3, d2h_bytes: 256 };
+        let heavy = IterationProfile {
+            h2d_bytes: 1 << 20,
+            kernel_seconds: 2e-3,
+            d2h_bytes: 1 << 20,
+        };
+        let rl = price_multiwalk(&spec, EngineConfig::gt200(), light, 4, 50, 4);
+        let rh = price_multiwalk(&spec, EngineConfig::gt200(), heavy, 4, 50, 4);
+        assert!(
+            rh.speedup > rl.speedup,
+            "transfer-heavy ×{} should beat transfer-light ×{}",
+            rh.speedup,
+            rl.speedup
+        );
+    }
+
+    #[test]
+    fn fermi_engines_dominate_gt200() {
+        let spec = DeviceSpec::gtx280();
+        let p = IterationProfile { h2d_bytes: 1 << 19, kernel_seconds: 5e-4, d2h_bytes: 1 << 19 };
+        let gt = price_multiwalk(&spec, EngineConfig::gt200(), p, 4, 60, 4);
+        let fermi = price_multiwalk(&spec, EngineConfig::fermi(), p, 4, 60, 4);
+        assert!(
+            fermi.pipelined_s <= gt.pipelined_s + 1e-12,
+            "more engines can never be slower"
+        );
+    }
+
+    #[test]
+    fn extrapolation_is_consistent_with_exact_simulation() {
+        let spec = DeviceSpec::gtx280();
+        let p = ppp_like();
+        // iterations small enough that the window covers them exactly
+        let exact = price_multiwalk(&spec, EngineConfig::gt200(), p, 3, 32, 2);
+        // same schedule via extrapolation from 16 → 64 must stay close
+        let extr = price_multiwalk(&spec, EngineConfig::gt200(), p, 3, 64, 2);
+        let per_iter_exact = exact.pipelined_s / 32.0;
+        let per_iter_extr = extr.pipelined_s / 64.0;
+        assert!(
+            (per_iter_exact - per_iter_extr).abs() / per_iter_exact < 0.05,
+            "steady-state rates diverged: {per_iter_exact} vs {per_iter_extr}"
+        );
+    }
+
+    #[test]
+    fn depth_first_issue_kills_gt200_overlap() {
+        // The classic pitfall: on a single FIFO copy queue, depth-first
+        // issue interleaves each walk's readback in front of the next
+        // walk's upload, so nothing overlaps; breadth-first recovers it.
+        let spec = DeviceSpec::gtx280();
+        // Transfer-heavy so the contrast is unmistakable.
+        let p = IterationProfile {
+            h2d_bytes: 1 << 19,
+            kernel_seconds: 2e-4,
+            d2h_bytes: 1 << 19,
+        };
+        let df = price_multiwalk_ordered(
+            &spec,
+            EngineConfig::gt200(),
+            p,
+            4,
+            50,
+            4,
+            IssueOrder::DepthFirst,
+        );
+        let bf = price_multiwalk_ordered(
+            &spec,
+            EngineConfig::gt200(),
+            p,
+            4,
+            50,
+            4,
+            IssueOrder::BreadthFirst,
+        );
+        assert!(
+            (df.speedup - 1.0).abs() < 0.05,
+            "depth-first should not overlap on GT200: ×{}",
+            df.speedup
+        );
+        assert!(bf.speedup > df.speedup + 0.05, "breadth-first must win");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_walks_rejected() {
+        let spec = DeviceSpec::gtx280();
+        let _ = price_multiwalk(&spec, EngineConfig::gt200(), ppp_like(), 0, 1, 1);
+    }
+}

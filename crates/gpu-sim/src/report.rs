@@ -1,0 +1,122 @@
+//! Launch reports and the per-device time ledger.
+
+use crate::counting::KernelCounters;
+use crate::dim::LaunchConfig;
+use crate::race::RaceEvent;
+use crate::timing::TimingBreakdown;
+use std::time::Duration;
+
+/// Everything known about one completed launch.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Launch geometry.
+    pub cfg: LaunchConfig,
+    /// Profiled counters (cached or fresh). `sampled_threads == 0` means
+    /// the launch ran without any profile (pure [`ExecMode::Fast`]).
+    ///
+    /// [`ExecMode::Fast`]: crate::ExecMode::Fast
+    pub counters: KernelCounters,
+    /// Model-predicted device time.
+    pub timing: TimingBreakdown,
+    /// Model-predicted time for the same work on the host baseline.
+    pub host_seconds: f64,
+    /// Wall-clock time the *simulation* took (not the modeled time).
+    pub wall: Duration,
+    /// Races detected (trace mode only).
+    pub races: Vec<RaceEvent>,
+    /// True if this launch ran (or reused) a profile.
+    pub profiled: bool,
+}
+
+/// Accumulated modeled time on one device, plus the host-equivalent cost
+/// of the same launches — the two columns of the paper's tables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeBook {
+    /// Device-side kernel seconds (excluding launch overhead).
+    pub kernel_s: f64,
+    /// Kernel-launch overhead seconds.
+    pub overhead_s: f64,
+    /// Host→device transfer seconds.
+    pub h2d_s: f64,
+    /// Device→host transfer seconds.
+    pub d2h_s: f64,
+    /// Bytes uploaded.
+    pub bytes_h2d: u64,
+    /// Bytes downloaded.
+    pub bytes_d2h: u64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Modeled sequential-host seconds for the same kernels.
+    pub host_s: f64,
+}
+
+impl TimeBook {
+    /// Total modeled GPU-side seconds (kernels + overhead + transfers).
+    pub fn gpu_total_s(&self) -> f64 {
+        self.kernel_s + self.overhead_s + self.h2d_s + self.d2h_s
+    }
+
+    /// Modeled speedup of the device path over the sequential host path.
+    /// `None` when nothing was accounted yet.
+    pub fn speedup(&self) -> Option<f64> {
+        let gpu = self.gpu_total_s();
+        (gpu > 0.0).then(|| self.host_s / gpu)
+    }
+
+    /// Component-wise sum (for aggregating devices or searches).
+    pub fn add(&mut self, other: &TimeBook) {
+        self.kernel_s += other.kernel_s;
+        self.overhead_s += other.overhead_s;
+        self.h2d_s += other.h2d_s;
+        self.d2h_s += other.d2h_s;
+        self.bytes_h2d += other.bytes_h2d;
+        self.bytes_d2h += other.bytes_d2h;
+        self.launches += other.launches;
+        self.host_s += other.host_s;
+    }
+
+    /// `self − other`, component-wise (for snapshots/deltas).
+    pub fn delta_since(&self, earlier: &TimeBook) -> TimeBook {
+        TimeBook {
+            kernel_s: self.kernel_s - earlier.kernel_s,
+            overhead_s: self.overhead_s - earlier.overhead_s,
+            h2d_s: self.h2d_s - earlier.h2d_s,
+            d2h_s: self.d2h_s - earlier.d2h_s,
+            bytes_h2d: self.bytes_h2d - earlier.bytes_h2d,
+            bytes_d2h: self.bytes_d2h - earlier.bytes_d2h,
+            launches: self.launches - earlier.launches,
+            host_s: self.host_s - earlier.host_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_speedup() {
+        let mut b = TimeBook::default();
+        assert!(b.speedup().is_none());
+        b.kernel_s = 1.0;
+        b.overhead_s = 0.25;
+        b.h2d_s = 0.5;
+        b.d2h_s = 0.25;
+        b.host_s = 8.0;
+        assert!((b.gpu_total_s() - 2.0).abs() < 1e-12);
+        assert!((b.speedup().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_delta_are_inverse() {
+        let mut a = TimeBook { kernel_s: 1.0, launches: 3, bytes_h2d: 10, ..Default::default() };
+        let b = TimeBook { kernel_s: 0.5, launches: 2, bytes_h2d: 5, host_s: 1.0, ..Default::default() };
+        a.add(&b);
+        let d = a.delta_since(&b);
+        assert_eq!(d.launches, 3);
+        assert_eq!(d.bytes_h2d, 10);
+        assert!((d.kernel_s - 1.0).abs() < 1e-12);
+    }
+}

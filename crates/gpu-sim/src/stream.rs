@@ -1,0 +1,460 @@
+//! CUDA streams and events: modeled asynchronous execution.
+//!
+//! The paper's search loop is synchronous — upload the solution, launch
+//! the evaluation kernel, read the fitness array back, pick the best
+//! move (§IV.B). Each iteration depends on the previous readback, so a
+//! *single* search cannot overlap anything. But the paper's protocol
+//! runs 50 independent tries, and its §V perspective partitions work
+//! across devices; both expose concurrency that CUDA exposes through
+//! **streams**: FIFO queues whose operations may overlap across queues
+//! subject to the device's engine layout.
+//!
+//! This module prices such schedules with a discrete-event model:
+//!
+//! * every operation (H2D copy, kernel, D2H copy) is enqueued on a
+//!   stream; operations within one stream serialize in enqueue order;
+//! * the device has one **copy engine** and one **compute engine** by
+//!   default (the GT200 layout — concurrent copy + execute, but no
+//!   concurrent kernels and a single DMA queue shared by both copy
+//!   directions); an [`EngineConfig`] relaxes this to model newer parts;
+//! * **events** impose cross-stream edges (`record_event` /
+//!   `wait_event`), exactly like `cudaStreamWaitEvent`.
+//!
+//! The output [`Schedule`] reports per-operation start/finish times, the
+//! makespan, engine busy times, and the fully-serialized time for
+//! comparison — the quantity the pipelining ablation reports.
+
+use crate::spec::DeviceSpec;
+use crate::timing::transfer_seconds;
+
+/// How many hardware queues the device can run concurrently.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Independent DMA engines (GT200: 1; Fermi Tesla parts: 2, one per
+    /// direction).
+    pub copy_engines: usize,
+    /// Kernels that may execute concurrently (GT200: 1; Fermi+: up to
+    /// 16 — modeled here as distinct compute slots).
+    pub concurrent_kernels: usize,
+}
+
+impl EngineConfig {
+    /// The GT200 / GTX 280 layout: one copy engine, serial kernels.
+    pub fn gt200() -> Self {
+        Self { copy_engines: 1, concurrent_kernels: 1 }
+    }
+
+    /// A Fermi-class layout: dual copy engines, concurrent kernels.
+    ///
+    /// Caveat: compute slots are modeled as fully independent, which is
+    /// exact for queueing semantics but optimistic for *throughput* —
+    /// real concurrent kernels share the SMs. Use this layout to study
+    /// scheduling (what overlaps with what), not to predict speedups of
+    /// compute-bound kernels.
+    pub fn fermi() -> Self {
+        Self { copy_engines: 2, concurrent_kernels: 16 }
+    }
+}
+
+/// An operation enqueued on a stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamOp {
+    /// Host→device copy of `bytes`.
+    H2D {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Device→host copy of `bytes`.
+    D2H {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Kernel execution of a known modeled duration (price it first with
+    /// [`predict`](crate::timing::predict)).
+    Kernel {
+        /// Modeled execution seconds (excluding launch overhead, which
+        /// the stream model adds itself).
+        seconds: f64,
+    },
+    /// Record an event visible to `wait_event`.
+    RecordEvent(
+        /// Event id, from [`StreamSim::new_event`].
+        EventId,
+    ),
+    /// Block later operations of this stream until the event fires.
+    WaitEvent(
+        /// Event id, from [`StreamSim::new_event`].
+        EventId,
+    ),
+}
+
+/// Handle to a recorded event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
+/// One scheduled operation in the output timeline.
+#[derive(Clone, Debug)]
+pub struct ScheduledOp {
+    /// Stream the op ran on.
+    pub stream: usize,
+    /// The operation.
+    pub op: StreamOp,
+    /// Modeled start time (seconds from schedule origin).
+    pub start: f64,
+    /// Modeled finish time.
+    pub finish: f64,
+}
+
+/// The priced schedule.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Every operation with its start/finish times, in enqueue order.
+    pub ops: Vec<ScheduledOp>,
+    /// Time the last operation finishes.
+    pub makespan: f64,
+    /// Total busy seconds of the copy engine(s).
+    pub copy_busy: f64,
+    /// Total busy seconds of the compute engine(s).
+    pub compute_busy: f64,
+    /// What the same operations would cost executed back-to-back on one
+    /// queue (the synchronous baseline).
+    pub serialized: f64,
+}
+
+impl Schedule {
+    /// Overlap efficiency: serialized time over makespan (≥ 1; higher is
+    /// better; 1 = no overlap achieved).
+    pub fn overlap_factor(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.serialized / self.makespan
+        } else {
+            1.0
+        }
+    }
+
+    /// A small ASCII Gantt chart (one row per stream) for reports and
+    /// examples. `width` is the number of character cells representing
+    /// the makespan.
+    pub fn gantt_ascii(&self, width: usize) -> String {
+        let width = width.max(10);
+        let streams = self.ops.iter().map(|o| o.stream).max().map_or(0, |m| m + 1);
+        let scale = |t: f64| ((t / self.makespan) * width as f64).round() as usize;
+        let mut rows = vec![vec![b'.'; width]; streams];
+        for op in &self.ops {
+            let glyph = match op.op {
+                StreamOp::H2D { .. } => b'U',
+                StreamOp::D2H { .. } => b'D',
+                StreamOp::Kernel { .. } => b'K',
+                _ => continue,
+            };
+            let (a, b) = (scale(op.start), scale(op.finish).max(scale(op.start) + 1));
+            for cell in rows[op.stream][a..b.min(width)].iter_mut() {
+                *cell = glyph;
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!("s{i} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "    makespan {:.3} ms, serialized {:.3} ms, overlap ×{:.2}\n",
+            self.makespan * 1e3,
+            self.serialized * 1e3,
+            self.overlap_factor()
+        ));
+        out
+    }
+}
+
+/// Builder + simulator for a stream schedule on one device.
+pub struct StreamSim<'a> {
+    spec: &'a DeviceSpec,
+    engines: EngineConfig,
+    queued: Vec<(usize, StreamOp)>,
+    n_events: usize,
+}
+
+impl<'a> StreamSim<'a> {
+    /// A simulator for `spec` with its historically accurate engine
+    /// layout (GT200 for the GTX 280 preset).
+    pub fn new(spec: &'a DeviceSpec) -> Self {
+        Self::with_engines(spec, EngineConfig::gt200())
+    }
+
+    /// Override the engine layout (ablations).
+    pub fn with_engines(spec: &'a DeviceSpec, engines: EngineConfig) -> Self {
+        assert!(engines.copy_engines >= 1, "need at least one copy engine");
+        assert!(engines.concurrent_kernels >= 1, "need at least one compute slot");
+        Self { spec, engines, queued: Vec::new(), n_events: 0 }
+    }
+
+    /// Allocate an event handle.
+    pub fn new_event(&mut self) -> EventId {
+        self.n_events += 1;
+        EventId(self.n_events - 1)
+    }
+
+    /// Enqueue a host→device copy on `stream`.
+    pub fn h2d(&mut self, stream: usize, bytes: u64) -> &mut Self {
+        self.queued.push((stream, StreamOp::H2D { bytes }));
+        self
+    }
+
+    /// Enqueue a device→host copy on `stream`.
+    pub fn d2h(&mut self, stream: usize, bytes: u64) -> &mut Self {
+        self.queued.push((stream, StreamOp::D2H { bytes }));
+        self
+    }
+
+    /// Enqueue a kernel of `seconds` modeled duration on `stream`.
+    pub fn kernel(&mut self, stream: usize, seconds: f64) -> &mut Self {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "kernel duration must be finite");
+        self.queued.push((stream, StreamOp::Kernel { seconds }));
+        self
+    }
+
+    /// Record `event` on `stream` (fires when all earlier ops of the
+    /// stream finish).
+    pub fn record_event(&mut self, stream: usize, event: EventId) -> &mut Self {
+        self.queued.push((stream, StreamOp::RecordEvent(event)));
+        self
+    }
+
+    /// Make later ops of `stream` wait until `event` fires.
+    pub fn wait_event(&mut self, stream: usize, event: EventId) -> &mut Self {
+        self.queued.push((stream, StreamOp::WaitEvent(event)));
+        self
+    }
+
+    fn duration_of(&self, op: &StreamOp) -> f64 {
+        match *op {
+            StreamOp::H2D { bytes } | StreamOp::D2H { bytes } => {
+                transfer_seconds(self.spec, bytes)
+            }
+            StreamOp::Kernel { seconds } => seconds + self.spec.launch_overhead_s,
+            StreamOp::RecordEvent(_) | StreamOp::WaitEvent(_) => 0.0,
+        }
+    }
+
+    /// Price the queued schedule.
+    ///
+    /// Engines are granted in global enqueue order (the hardware's FIFO
+    /// behaviour): an operation starts at the max of (its stream's ready
+    /// time, its engine's ready time, any awaited events).
+    ///
+    /// # Panics
+    /// Panics if a `WaitEvent` precedes the matching `RecordEvent` in
+    /// enqueue order (a deadlock on real hardware too).
+    pub fn run(&self) -> Schedule {
+        let mut stream_ready: Vec<f64> = Vec::new();
+        let mut copy_ready = vec![0.0f64; self.engines.copy_engines];
+        let mut compute_ready = vec![0.0f64; self.engines.concurrent_kernels];
+        let mut event_time: Vec<Option<f64>> = vec![None; self.n_events];
+        let mut ops = Vec::with_capacity(self.queued.len());
+        let mut makespan = 0.0f64;
+        let mut copy_busy = 0.0;
+        let mut compute_busy = 0.0;
+        let mut serialized = 0.0;
+
+        for &(stream, ref op) in &self.queued {
+            if stream >= stream_ready.len() {
+                stream_ready.resize(stream + 1, 0.0);
+            }
+            let dur = self.duration_of(op);
+            serialized += dur;
+            let mut start = stream_ready[stream];
+            match *op {
+                StreamOp::WaitEvent(EventId(e)) => {
+                    let t = event_time[e]
+                        .unwrap_or_else(|| panic!("wait on unrecorded event {e} (deadlock)"));
+                    start = start.max(t);
+                    stream_ready[stream] = start;
+                    ops.push(ScheduledOp { stream, op: op.clone(), start, finish: start });
+                    continue;
+                }
+                StreamOp::RecordEvent(EventId(e)) => {
+                    event_time[e] = Some(start);
+                    ops.push(ScheduledOp { stream, op: op.clone(), start, finish: start });
+                    continue;
+                }
+                _ => {}
+            }
+            // Grab the earliest-free engine of the right kind.
+            let pool: &mut Vec<f64> = match op {
+                StreamOp::Kernel { .. } => &mut compute_ready,
+                _ => &mut copy_ready,
+            };
+            let (engine_idx, &engine_free) = pool
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("non-empty engine pool");
+            start = start.max(engine_free);
+            let finish = start + dur;
+            pool[engine_idx] = finish;
+            match op {
+                StreamOp::Kernel { .. } => compute_busy += dur,
+                _ => copy_busy += dur,
+            }
+            stream_ready[stream] = finish;
+            makespan = makespan.max(finish);
+            ops.push(ScheduledOp { stream, op: op.clone(), start, finish });
+        }
+
+        Schedule { ops, makespan, copy_busy, compute_busy, serialized }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    const EPS: f64 = 1e-12;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::gtx280()
+    }
+
+    #[test]
+    fn single_stream_serializes_everything() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        sim.h2d(0, 1 << 20).kernel(0, 1e-3).d2h(0, 1 << 16);
+        let sched = sim.run();
+        assert!((sched.makespan - sched.serialized).abs() < EPS);
+        assert!((sched.overlap_factor() - 1.0).abs() < EPS);
+        // ops strictly ordered
+        for w in sched.ops.windows(2) {
+            assert!(w[1].start >= w[0].finish - EPS);
+        }
+    }
+
+    #[test]
+    fn two_streams_overlap_copy_with_compute() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        // Stream 0 computes for a long time; stream 1 uploads meanwhile.
+        sim.kernel(0, 5e-3);
+        sim.h2d(1, 1 << 20); // ≈ 350 µs ≪ 5 ms
+        let sched = sim.run();
+        assert!(sched.makespan < sched.serialized - EPS, "no overlap achieved");
+        // Both started at 0.
+        assert!(sched.ops[0].start.abs() < EPS);
+        assert!(sched.ops[1].start.abs() < EPS);
+    }
+
+    #[test]
+    fn gt200_serializes_two_copies() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        sim.h2d(0, 1 << 20);
+        sim.d2h(1, 1 << 20);
+        let sched = sim.run();
+        // One copy engine: the second copy waits for the first.
+        assert!((sched.makespan - sched.serialized).abs() < EPS);
+        assert!(sched.ops[1].start >= sched.ops[0].finish - EPS);
+    }
+
+    #[test]
+    fn fermi_runs_two_copies_concurrently() {
+        let s = spec();
+        let mut sim = StreamSim::with_engines(&s, EngineConfig::fermi());
+        sim.h2d(0, 1 << 20);
+        sim.d2h(1, 1 << 20);
+        let sched = sim.run();
+        assert!(sched.makespan < sched.serialized - EPS);
+        assert!(sched.ops[1].start.abs() < EPS, "second copy should start immediately");
+    }
+
+    #[test]
+    fn gt200_serializes_kernels() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        sim.kernel(0, 1e-3);
+        sim.kernel(1, 1e-3);
+        let sched = sim.run();
+        assert!(sched.ops[1].start >= sched.ops[0].finish - EPS);
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        let ev = sim.new_event();
+        sim.h2d(0, 1 << 20);
+        sim.record_event(0, ev);
+        sim.wait_event(1, ev);
+        sim.kernel(1, 1e-3);
+        let sched = sim.run();
+        let kernel = sched.ops.last().unwrap();
+        let copy = &sched.ops[0];
+        assert!(kernel.start >= copy.finish - EPS, "kernel must wait for the upload");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn wait_before_record_panics() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        let ev = sim.new_event();
+        sim.wait_event(0, ev);
+        sim.run();
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        // makespan ≤ serialized; makespan ≥ each engine's busy time.
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        for st in 0..4usize {
+            sim.h2d(st, 1 << 18);
+            sim.kernel(st, 2e-4);
+            sim.d2h(st, 1 << 14);
+        }
+        let sched = sim.run();
+        assert!(sched.makespan <= sched.serialized + EPS);
+        assert!(sched.makespan >= sched.copy_busy - EPS);
+        assert!(sched.makespan >= sched.compute_busy - EPS);
+    }
+
+    #[test]
+    fn per_stream_ops_never_overlap() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        for st in 0..3usize {
+            sim.h2d(st, 1 << 19).kernel(st, 1e-4).d2h(st, 1 << 12);
+        }
+        let sched = sim.run();
+        for stream in 0..3usize {
+            let mine: Vec<_> = sched.ops.iter().filter(|o| o.stream == stream).collect();
+            for w in mine.windows(2) {
+                assert!(w[1].start >= w[0].finish - EPS, "stream {stream} overlapped itself");
+            }
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_streams() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        sim.h2d(0, 1 << 20).kernel(0, 1e-3);
+        sim.h2d(1, 1 << 20).kernel(1, 1e-3);
+        let g = sim.run().gantt_ascii(40);
+        assert!(g.contains("s0 |"));
+        assert!(g.contains("s1 |"));
+        assert!(g.contains('U') && g.contains('K'));
+        assert!(g.contains("overlap"));
+    }
+
+    #[test]
+    fn kernel_duration_includes_launch_overhead() {
+        let s = spec();
+        let mut sim = StreamSim::new(&s);
+        sim.kernel(0, 1e-3);
+        let sched = sim.run();
+        assert!((sched.makespan - (1e-3 + s.launch_overhead_s)).abs() < EPS);
+    }
+}

@@ -1,0 +1,272 @@
+//! Analytic latency/throughput timing model.
+//!
+//! Inputs: a [`DeviceSpec`], a [`LaunchConfig`] and the profiled
+//! [`KernelCounters`]. Output: a [`TimingBreakdown`] whose
+//! `kernel_seconds` is the predicted device-side execution time of the
+//! launch. The model is deliberately simple (three classical bounds) so
+//! every term is auditable:
+//!
+//! 1. **Issue bound** — each SM issues one warp instruction every
+//!    `issue_cycles`; scattered accesses replay once per extra memory
+//!    transaction. A wave of `w` resident warps therefore needs
+//!    `w · (warp_issue_slots + warp_extra_transactions) · issue_cycles`.
+//! 2. **Latency bound** — a single warp's dependent chain pays DRAM
+//!    latency for its accesses, overlapped by a memory-level-parallelism
+//!    factor (`mem_pipeline_depth` in-flight requests per warp).
+//!    When few warps are resident (the paper's Table I regime), this
+//!    bound dominates and the GPU loses to the CPU.
+//! 3. **Bandwidth bound** — post-coalescing DRAM bytes over peak
+//!    bandwidth, with texture traffic derated by the cache hit rate.
+//!
+//! Kernel time = Σ over scheduling waves of max(issue, latency) per wave,
+//! floored by the bandwidth bound, plus fixed launch overhead.
+//!
+//! The same counters also price a *sequential CPU* execution of the same
+//! work ([`predict_host_seconds`]) — the model the experiment harness uses
+//! for the paper's "CPU time" columns.
+
+use crate::counting::KernelCounters;
+use crate::dim::LaunchConfig;
+use crate::occupancy::{occupancy, Occupancy};
+use crate::spec::{DeviceSpec, HostSpec};
+
+/// Memory-level parallelism assumed per warp: how many outstanding DRAM
+/// requests overlap within one warp's instruction stream. GT200 scoreboards
+/// a handful of loads per warp; 4 reproduces the latency-bound behaviour of
+/// the paper's small launches. Exposed here (not in `DeviceSpec`) because
+/// it is a *model* constant, not a datasheet number.
+pub const MEM_PIPELINE_DEPTH: f64 = 4.0;
+
+/// Predicted cost decomposition of one kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingBreakdown {
+    /// Residency of the launch.
+    pub occupancy: Occupancy,
+    /// Total issue-bound cycles summed over waves.
+    pub issue_cycles: f64,
+    /// Latency-bound cycles of the critical warp per wave (summed).
+    pub latency_cycles: f64,
+    /// The max(issue, latency) aggregate actually charged.
+    pub compute_cycles: f64,
+    /// Seconds implied by the bandwidth bound.
+    pub bandwidth_seconds: f64,
+    /// Device-side execution seconds (max of compute and bandwidth).
+    pub kernel_seconds: f64,
+    /// Fixed launch overhead seconds (driver + dispatch).
+    pub launch_overhead_seconds: f64,
+    /// `kernel_seconds + launch_overhead_seconds`.
+    pub total_seconds: f64,
+    /// DRAM bytes charged to the launch (for reports).
+    pub dram_bytes: f64,
+}
+
+/// Price one launch on `spec`.
+pub fn predict(spec: &DeviceSpec, cfg: &LaunchConfig, k: &KernelCounters) -> TimingBreakdown {
+    let occ = occupancy(spec, cfg);
+    let blocks = cfg.grid_blocks();
+    let wpb = spec.warps_per_block(cfg.block_threads()) as u64;
+
+    // --- per-warp costs -------------------------------------------------
+    let warp_issue = (k.warp_issue_slots + k.warp_extra_transactions + k.warp_bank_conflicts)
+        * spec.issue_cycles;
+    // Prefer the hit rate measured by the cache replay over the preset.
+    let tex_hit = k.measured_tex_hit.unwrap_or(spec.texture_hit_rate);
+    let lat_tex = tex_hit * spec.lat_texture_hit + (1.0 - tex_hit) * spec.lat_global;
+    let a = &k.per_thread_avg;
+    let dram_latency_chain = (a.ld_global + a.st_global + a.local) * spec.lat_global
+        + a.ld_texture * lat_tex
+        + a.shared * spec.lat_shared;
+    let warp_latency = warp_issue + dram_latency_chain / MEM_PIPELINE_DEPTH;
+
+    // --- waves ----------------------------------------------------------
+    // Steady-state waves run `blocks_per_sm` blocks on every SM; the final
+    // partial wave only occupies `ceil(rem / sms)` blocks per SM.
+    let per_wave_blocks = (occ.blocks_per_sm as u64 * spec.sm_count as u64).max(1);
+    let full_waves = blocks / per_wave_blocks;
+    let rem_blocks = blocks % per_wave_blocks;
+
+    let mut issue_total = 0.0;
+    let mut latency_total = 0.0;
+    let mut compute_total = 0.0;
+    let mut add_wave = |blocks_in_wave: u64| {
+        if blocks_in_wave == 0 {
+            return;
+        }
+        let sms = blocks_in_wave.min(spec.sm_count as u64).max(1);
+        let blocks_per_sm = blocks_in_wave.div_ceil(sms);
+        let warps_per_sm = (blocks_per_sm * wpb) as f64;
+        let issue = warps_per_sm * warp_issue;
+        issue_total += issue;
+        latency_total += warp_latency;
+        compute_total += issue.max(warp_latency);
+    };
+    for _ in 0..full_waves {
+        add_wave(per_wave_blocks);
+    }
+    add_wave(rem_blocks);
+
+    // --- bandwidth ------------------------------------------------------
+    let b = &k.bytes_per_thread;
+    let per_thread_bytes = b.global + b.texture * (1.0 - tex_hit) + b.local;
+    let dram_bytes = per_thread_bytes * k.total_threads as f64;
+    let bandwidth_seconds = dram_bytes / spec.mem_bandwidth;
+
+    let compute_seconds = compute_total / spec.clock_hz;
+    let kernel_seconds = compute_seconds.max(bandwidth_seconds);
+    TimingBreakdown {
+        occupancy: occ,
+        issue_cycles: issue_total,
+        latency_cycles: latency_total,
+        compute_cycles: compute_total,
+        bandwidth_seconds,
+        kernel_seconds,
+        launch_overhead_seconds: spec.launch_overhead_s,
+        total_seconds: kernel_seconds + spec.launch_overhead_s,
+        dram_bytes,
+    }
+}
+
+/// Price the *same work* executed sequentially on the host: the paper's
+/// CPU baseline evaluates the identical neighborhood with the identical
+/// algorithm, one neighbor at a time.
+pub fn predict_host_seconds(host: &HostSpec, k: &KernelCounters) -> f64 {
+    let a = &k.per_thread_avg;
+    let cycles_per_thread = (a.alu + a.branches) * host.cpi_alu
+        + a.sfu * host.cpi_sfu
+        + (a.ld_global + a.st_global + a.ld_texture + a.ld_constant + a.shared + a.local)
+            * host.cpi_mem;
+    cycles_per_thread * k.total_threads as f64 / host.clock_hz
+}
+
+/// Price a host↔device transfer of `bytes` (one direction).
+pub fn transfer_seconds(spec: &DeviceSpec, bytes: u64) -> f64 {
+    spec.pcie_latency_s + bytes as f64 / spec.pcie_bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::{BytesBySpace, ThreadAverages};
+    use crate::dim::LaunchConfig;
+
+    /// A synthetic profile resembling the PPP evaluation kernel: per
+    /// thread ~`work` ALU ops and `mem` DRAM accesses.
+    fn synthetic(total_threads: u64, work: f64, mem: f64) -> KernelCounters {
+        KernelCounters {
+            total_threads,
+            sampled_threads: total_threads.min(512),
+            sampled_warps: (total_threads.min(512)).div_ceil(32),
+            per_thread_avg: ThreadAverages {
+                alu: work,
+                ld_global: mem * 0.4,
+                ld_texture: mem * 0.4,
+                local: mem * 0.2,
+                ..Default::default()
+            },
+            warp_issue_slots: work + mem,
+            warp_extra_transactions: mem * 0.5,
+            warp_dram_transactions: mem * 1.5,
+            bytes_per_thread: BytesBySpace {
+                global: mem * 0.4 * 4.0,
+                texture: mem * 0.4 * 8.0,
+                local: mem * 0.2 * 4.0,
+            },
+            divergent_branch_frac: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn more_threads_amortize_better() {
+        // Fixed per-thread work: per-thread cost must fall as the grid
+        // grows (latency hiding + SM filling), then flatten.
+        let spec = DeviceSpec::gtx280();
+        let cost = |threads: u64| {
+            let cfg = LaunchConfig::cover_1d(threads, 128);
+            let k = synthetic(threads, 500.0, 150.0);
+            predict(&spec, &cfg, &k).kernel_seconds / threads as f64
+        };
+        let tiny = cost(73);
+        let small = cost(2628);
+        let large = cost(62_196);
+        let huge = cost(260_130);
+        assert!(tiny > small, "tiny {tiny} vs small {small}");
+        assert!(small > large, "small {small} vs large {large}");
+        // Saturation: beyond full occupancy the per-thread cost is flat
+        // within 20%.
+        assert!((large - huge).abs() / huge < 0.2, "large {large} vs huge {huge}");
+    }
+
+    #[test]
+    fn latency_bound_dominates_tiny_grids() {
+        let spec = DeviceSpec::gtx280();
+        let cfg = LaunchConfig::cover_1d(73, 128);
+        let k = synthetic(73, 500.0, 150.0);
+        let t = predict(&spec, &cfg, &k);
+        assert!(t.latency_cycles > t.issue_cycles);
+        assert_eq!(t.occupancy.sms_used, 1);
+    }
+
+    #[test]
+    fn issue_bound_dominates_saturated_grids() {
+        let spec = DeviceSpec::gtx280();
+        let cfg = LaunchConfig::cover_1d(260_130, 128);
+        let k = synthetic(260_130, 500.0, 150.0);
+        let t = predict(&spec, &cfg, &k);
+        assert!(t.issue_cycles > t.latency_cycles);
+    }
+
+    #[test]
+    fn host_prediction_scales_linearly() {
+        let host = HostSpec::xeon_3ghz();
+        let k1 = synthetic(1000, 500.0, 150.0);
+        let k2 = synthetic(2000, 500.0, 150.0);
+        let s1 = predict_host_seconds(&host, &k1);
+        let s2 = predict_host_seconds(&host, &k2);
+        assert!((s2 / s1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_cost_has_latency_floor() {
+        let spec = DeviceSpec::gtx280();
+        let tiny = transfer_seconds(&spec, 4);
+        let big = transfer_seconds(&spec, 1 << 20);
+        assert!(tiny >= spec.pcie_latency_s);
+        assert!(big > tiny);
+        // 1 MiB at 3 GB/s ≈ 350 µs ≫ latency.
+        assert!((big - (spec.pcie_latency_s + (1 << 20) as f64 / 3.0e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g80_is_slower_on_scattered_access() {
+        // Same counters, stricter coalescing → more replay transactions
+        // are *counted during profiling*, so here we emulate by comparing
+        // bandwidth-bound kernels where G80's lower bandwidth shows.
+        let k = synthetic(1 << 20, 50.0, 200.0);
+        let cfg = LaunchConfig::cover_1d(1 << 20, 128);
+        let t280 = predict(&DeviceSpec::gtx280(), &cfg, &k);
+        let t80 = predict(&DeviceSpec::g80(), &cfg, &k);
+        assert!(t80.kernel_seconds > t280.kernel_seconds);
+    }
+
+    #[test]
+    fn speedup_band_sanity_for_ppp_shaped_kernels() {
+        // End-to-end shape check with the synthetic PPP-like profile: the
+        // modeled GPU/CPU ratio must land in the paper's observed regimes.
+        let spec = DeviceSpec::gtx280();
+        let host = HostSpec::xeon_3ghz();
+        let ratio = |threads: u64| {
+            let cfg = LaunchConfig::cover_1d(threads, 128);
+            let k = synthetic(threads, 600.0, 160.0);
+            let gpu = predict(&spec, &cfg, &k).total_seconds;
+            let cpu = predict_host_seconds(&host, &k);
+            cpu / gpu
+        };
+        let s73 = ratio(73); // Table I regime: GPU should not win big
+        let s2628 = ratio(2628); // Table II: clearly faster
+        let s260k = ratio(260_130); // Table III: saturated
+        assert!(s73 < 2.0, "tiny-grid speedup {s73} too high");
+        assert!(s2628 > 3.0, "mid-grid speedup {s2628} too low");
+        assert!(s260k > s2628, "saturation did not help: {s260k} vs {s2628}");
+    }
+}

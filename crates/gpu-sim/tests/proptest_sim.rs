@@ -1,0 +1,199 @@
+//! Property-based tests of the simulator's invariants: coalescing
+//! arithmetic, occupancy limits, grid geometry, reduction correctness,
+//! and monotonicity of the timing model.
+
+use lnls_gpu_sim::counting::coalesce;
+use lnls_gpu_sim::reduce::{device_min, pack_key, unpack_key};
+use lnls_gpu_sim::{occupancy, Device, DeviceSpec, Dim3, ExecMode, LaunchConfig, MemSpace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Coalescing bounds: between 1 and min(lanes, segments-spanned)
+    /// transactions; bytes within [32·trans, 128·trans]; covering at
+    /// least every distinct address once.
+    #[test]
+    fn coalesce_bounds(addrs in prop::collection::vec(0u64..100_000, 1..32)) {
+        let (trans, bytes) = coalesce(&addrs, 128);
+        prop_assert!(trans >= 1);
+        prop_assert!(trans <= addrs.len() as u64);
+        prop_assert!(bytes >= 32 * trans);
+        prop_assert!(bytes <= 128 * trans);
+        // Determinism under permutation.
+        let mut rev = addrs.clone();
+        rev.reverse();
+        prop_assert_eq!(coalesce(&rev, 128), (trans, bytes));
+    }
+
+    /// A uniform (same-address) warp access is always one minimal
+    /// transaction.
+    #[test]
+    fn coalesce_uniform(addr in 0u64..1_000_000, lanes in 1usize..32) {
+        let addrs = vec![addr; lanes];
+        prop_assert_eq!(coalesce(&addrs, 128), (1, 32));
+    }
+
+    /// Occupancy never exceeds the hardware limits and always schedules
+    /// every block.
+    #[test]
+    fn occupancy_respects_limits(total in 1u64..5_000_000, bs_exp in 5u32..9, sw in 0u32..4096) {
+        let spec = DeviceSpec::gtx280();
+        let bs = 1u32 << bs_exp; // 32..256
+        let cfg = LaunchConfig::cover_1d(total, bs).with_shared_words(sw);
+        let occ = occupancy(&spec, &cfg);
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.blocks_per_sm <= spec.max_blocks_per_sm);
+        prop_assert!(occ.warps_per_sm <= spec.max_warps_per_sm);
+        prop_assert!(occ.occupancy > 0.0 && occ.occupancy <= 1.0);
+        prop_assert!(occ.sms_used >= 1 && occ.sms_used <= spec.sm_count);
+        // Every block is covered by waves × capacity.
+        let capacity = occ.waves * spec.sm_count as u64 * occ.blocks_per_sm as u64;
+        prop_assert!(capacity >= cfg.grid_blocks());
+    }
+
+    /// Dim3 linearization is a bijection.
+    #[test]
+    fn dim3_linearize_roundtrip(x in 1u32..64, y in 1u32..64, z in 1u32..8, pick in any::<u64>()) {
+        let ext = Dim3::xyz(x, y, z);
+        let lin = pick % ext.count();
+        let idx = ext.delinearize(lin);
+        prop_assert_eq!(ext.linear(idx), lin);
+    }
+
+    /// pack/unpack round-trips and preserves (fitness, index) order.
+    #[test]
+    fn pack_key_order(f1 in any::<u32>(), i1 in any::<u32>(), f2 in any::<u32>(), i2 in any::<u32>()) {
+        prop_assert_eq!(unpack_key(pack_key(f1, i1)), (f1, i1));
+        let lhs = (f1, i1) <= (f2, i2);
+        prop_assert_eq!(pack_key(f1, i1) <= pack_key(f2, i2), lhs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The on-device reduction finds the true minimum for arbitrary
+    /// contents and sizes (heavier: launches the simulator).
+    #[test]
+    fn device_min_is_exact(values in prop::collection::vec(any::<u32>(), 1..5000)) {
+        let mut dev = Device::new(DeviceSpec::gtx280());
+        let keys: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| pack_key(v, i as u32))
+            .collect();
+        let expected = keys.iter().copied().min().unwrap();
+        let buf = dev.upload_new(&keys, MemSpace::Global, "keys");
+        let got = device_min(&mut dev, &buf, keys.len() as u64, 64, ExecMode::Auto);
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// Random stream programs: scheduling invariants that must hold for any
+/// mix of copies and kernels on any engine layout.
+mod stream_properties {
+    use super::*;
+    use lnls_gpu_sim::{EngineConfig, StreamOp, StreamSim};
+
+    #[derive(Debug, Clone)]
+    struct RandomOp {
+        stream: usize,
+        kind: u8,
+        bytes: u64,
+        kernel_us: u32,
+    }
+
+    fn random_ops() -> impl Strategy<Value = Vec<RandomOp>> {
+        prop::collection::vec(
+            (0usize..4, 0u8..3, 1u64..(1 << 22), 1u32..5_000).prop_map(
+                |(stream, kind, bytes, kernel_us)| RandomOp { stream, kind, bytes, kernel_us },
+            ),
+            1..40,
+        )
+    }
+
+    fn build(spec: &DeviceSpec, engines: EngineConfig, ops: &[RandomOp]) -> lnls_gpu_sim::Schedule {
+        let mut sim = StreamSim::with_engines(spec, engines);
+        for op in ops {
+            match op.kind {
+                0 => sim.h2d(op.stream, op.bytes),
+                1 => sim.d2h(op.stream, op.bytes),
+                _ => sim.kernel(op.stream, op.kernel_us as f64 * 1e-6),
+            };
+        }
+        sim.run()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Makespan is bounded below by every engine's busy time and the
+        /// longest single stream, and above by full serialization.
+        #[test]
+        fn makespan_sandwich(ops in random_ops()) {
+            let spec = DeviceSpec::gtx280();
+            let sched = build(&spec, EngineConfig::gt200(), &ops);
+            prop_assert!(sched.makespan <= sched.serialized + 1e-9);
+            prop_assert!(sched.makespan >= sched.copy_busy - 1e-9);
+            prop_assert!(sched.makespan >= sched.compute_busy - 1e-9);
+            // per-stream serial time is also a lower bound
+            let mut per_stream = std::collections::HashMap::new();
+            for op in &sched.ops {
+                *per_stream.entry(op.stream).or_insert(0.0f64) += op.finish - op.start;
+            }
+            for (&stream, &busy) in &per_stream {
+                prop_assert!(
+                    sched.makespan >= busy - 1e-9,
+                    "stream {} busy {} exceeds makespan {}", stream, busy, sched.makespan
+                );
+            }
+        }
+
+        /// Within a stream, operations never overlap and preserve enqueue
+        /// order.
+        #[test]
+        fn streams_are_fifo(ops in random_ops()) {
+            let spec = DeviceSpec::gtx280();
+            let sched = build(&spec, EngineConfig::gt200(), &ops);
+            for stream in 0..4usize {
+                let mine: Vec<_> = sched.ops.iter().filter(|o| o.stream == stream).collect();
+                for w in mine.windows(2) {
+                    prop_assert!(w[1].start >= w[0].finish - 1e-9);
+                }
+            }
+        }
+
+        /// Adding engines never slows a schedule down.
+        #[test]
+        fn more_engines_monotone(ops in random_ops()) {
+            let spec = DeviceSpec::gtx280();
+            let gt = build(&spec, EngineConfig::gt200(), &ops);
+            let fermi = build(&spec, EngineConfig::fermi(), &ops);
+            prop_assert!(fermi.makespan <= gt.makespan + 1e-9);
+        }
+
+        /// Durations are conserved: each op's scheduled span equals its
+        /// priced duration, and the serialized total is their sum.
+        #[test]
+        fn durations_conserved(ops in random_ops()) {
+            let spec = DeviceSpec::gtx280();
+            let sched = build(&spec, EngineConfig::gt200(), &ops);
+            let sum: f64 = sched.ops.iter().map(|o| o.finish - o.start).sum();
+            prop_assert!((sum - sched.serialized).abs() < 1e-9);
+            for op in &sched.ops {
+                let d = op.finish - op.start;
+                match op.op {
+                    StreamOp::Kernel { seconds } => {
+                        prop_assert!((d - (seconds + spec.launch_overhead_s)).abs() < 1e-12)
+                    }
+                    StreamOp::H2D { bytes } | StreamOp::D2H { bytes } => {
+                        let t = lnls_gpu_sim::transfer_seconds(&spec, bytes);
+                        prop_assert!((d - t).abs() < 1e-12)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! General `k`-subset ranking in lexicographic order (the combinatorial
+//! number system), generalizing the paper's hand-derived 2D/3D mappings to
+//! arbitrary Hamming distance — the "larger neighborhoods" the paper's
+//! multi-GPU perspective (§V) calls for.
+//!
+//! For a sorted tuple `a₀ < a₁ < … < a_{k−1}` over `0..n`, the
+//! lexicographic rank is
+//!
+//! ```text
+//! rank = Σ_{t=0}^{k−1}  Σ_{v=prev_t+1}^{a_t−1} C(n−1−v, k−1−t)
+//! ```
+//!
+//! i.e. for each position we count the tuples that start with a smaller
+//! admissible value. Unranking inverts one coordinate at a time. Both
+//! directions are `O(k·n)` worst case but in practice `O(k·(gap))`; for the
+//! small `k` used here the cost is dominated by a handful of binomials.
+
+use crate::binomial;
+
+/// Lexicographic rank of the sorted tuple `bits` among all `C(n, k)`
+/// sorted `k`-tuples over `0..n`.
+///
+/// # Panics
+/// Debug-asserts that `bits` is strictly increasing and below `n`.
+pub fn rank_combinadic(n: u64, bits: &[u32]) -> u64 {
+    let k = bits.len() as u64;
+    debug_assert!(bits.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(bits.iter().all(|&b| (b as u64) < n));
+    let mut rank = 0u64;
+    let mut prev: i64 = -1;
+    for (t, &a) in bits.iter().enumerate() {
+        let remaining = k - 1 - t as u64;
+        for v in (prev + 1) as u64..a as u64 {
+            rank += binomial(n - 1 - v, remaining);
+        }
+        prev = a as i64;
+    }
+    rank
+}
+
+/// Inverse of [`rank_combinadic`]: writes the `k` sorted bit indices of the
+/// tuple with lexicographic rank `index` into `out`.
+///
+/// # Panics
+/// Debug-asserts `index < C(n, k)` with `k = out.len()`.
+pub fn unrank_combinadic(n: u64, index: u64, out: &mut [u32]) {
+    let k = out.len() as u64;
+    debug_assert!(index < binomial(n, k), "index {index} >= C({n},{k})");
+    let mut rest = index;
+    let mut v = 0u64; // next candidate value
+    for t in 0..k {
+        let remaining = k - 1 - t;
+        // Advance v while all tuples starting with v fit before `rest`.
+        loop {
+            let count = binomial(n - 1 - v, remaining);
+            if rest < count {
+                break;
+            }
+            rest -= count;
+            v += 1;
+        }
+        out[t as usize] = v as u32;
+        v += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping2d::{rank2, size2, unrank2};
+    use crate::mapping3d::{size3, unrank3};
+
+    #[test]
+    fn k1_is_identity() {
+        let mut out = [0u32; 1];
+        for n in [1u64, 5, 100] {
+            for i in 0..n {
+                assert_eq!(rank_combinadic(n, &[i as u32]), i);
+                unrank_combinadic(n, i, &mut out);
+                assert_eq!(out[0] as u64, i);
+            }
+        }
+    }
+
+    #[test]
+    fn k2_matches_paper_layout() {
+        for n in [2u64, 5, 17, 73] {
+            for f in 0..size2(n) {
+                let (i, j) = unrank2(n, f);
+                assert_eq!(rank_combinadic(n, &[i as u32, j as u32]), f);
+                let mut out = [0u32; 2];
+                unrank_combinadic(n, f, &mut out);
+                assert_eq!((out[0] as u64, out[1] as u64), (i, j));
+                assert_eq!(rank2(n, out[0] as u64, out[1] as u64), f);
+            }
+        }
+    }
+
+    #[test]
+    fn k3_matches_paper_layout() {
+        for n in [3u64, 7, 20, 41] {
+            for f in 0..size3(n) {
+                let (a, b, c) = unrank3(n, f);
+                assert_eq!(rank_combinadic(n, &[a as u32, b as u32, c as u32]), f);
+                let mut out = [0u32; 3];
+                unrank_combinadic(n, f, &mut out);
+                assert_eq!((out[0] as u64, out[1] as u64, out[2] as u64), (a, b, c));
+            }
+        }
+    }
+
+    #[test]
+    fn k4_roundtrip_full_enumeration() {
+        let n = 12u64;
+        let m = binomial(n, 4);
+        let mut prev: Option<[u32; 4]> = None;
+        for f in 0..m {
+            let mut out = [0u32; 4];
+            unrank_combinadic(n, f, &mut out);
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "f={f} out={out:?}");
+            assert_eq!(rank_combinadic(n, &out), f);
+            if let Some(p) = prev {
+                assert!(p < out, "lexicographic order violated at f={f}");
+            }
+            prev = Some(out);
+        }
+    }
+
+    #[test]
+    fn k4_large_n_spot_checks() {
+        let n = 1_000u64;
+        let m = binomial(n, 4);
+        for f in [0, 1, n, m / 2, m - 2, m - 1] {
+            let mut out = [0u32; 4];
+            unrank_combinadic(n, f, &mut out);
+            assert_eq!(rank_combinadic(n, &out), f);
+        }
+    }
+}

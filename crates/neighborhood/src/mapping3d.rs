@@ -1,0 +1,252 @@
+//! The 3-Hamming index transformations (paper Appendices C and D).
+//!
+//! The 3D abstraction: a move is a sorted triple `(z, x, y)` with
+//! `z < x < y < n`. Triples are grouped into *plans* by their smallest
+//! index `z`; plan `z` is a 2-Hamming layout over the remaining
+//! `n' = n − z − 1` positions. Enumeration is lexicographic, consistent
+//! with [`crate::mapping2d`].
+//!
+//! * Plan `z` holds `C(n−1−z, 2)` triples; plans `≥ z` hold `C(n−z, 3)`.
+//! * **ℕ→ℕ³** (App. C): given `f`, let `Y = m − f` be the number of
+//!   elements from `f` onward. The plan is found by *minimizing* `k` such
+//!   that `C(k, 3) ≥ Y`; then `z = n − k` and the within-plan remainder is
+//!   unranked with the 2D mapping. The paper solves the cubic with
+//!   Newton–Raphson (its Algorithm 1, see [`crate::newton`]); we keep that
+//!   variant ([`unrank3_newton`]) alongside an exact integer one
+//!   ([`unrank3`]).
+//! * **ℕ³→ℕ** (App. D): rank by plan prefix + 2D rank. The paper also
+//!   prints a "geometric construction" (`f1 − n1 − n2 − n3 − n4`); the
+//!   literal formulas as typeset do **not** invert Appendix C for all
+//!   inputs (see [`paper_literal`] and DESIGN.md §6) — the derivation-
+//!   consistent form below is the one the rest of the crate uses.
+
+use crate::mapping2d::{rank2, unrank2};
+use crate::newton::min_k_cubic;
+
+/// Neighborhood size `m = n(n−1)(n−2)/6` of the 3-Hamming neighborhood.
+#[inline]
+pub fn size3(n: u64) -> u64 {
+    // u128 intermediate: n up to ~2^21 keeps the product within u64, but
+    // callers may probe larger n when sizing multi-GPU partitions.
+    (n as u128 * (n - 1) as u128 * (n - 2) as u128 / 6) as u64
+}
+
+/// Number of triples in plans `0..z`, i.e. `C(n,3) − C(n−z,3)`.
+#[inline]
+fn before_plan(n: u64, z: u64) -> u64 {
+    size3(n) - size3(n - z)
+}
+
+/// ℕ³→ℕ: rank of the sorted triple `(z, x, y)`, `z < x < y < n`.
+#[inline]
+pub fn rank3(n: u64, z: u64, x: u64, y: u64) -> u64 {
+    debug_assert!(z < x && x < y && y < n, "rank3 needs z<x<y<n, got ({z},{x},{y}) n={n}");
+    let np = n - z - 1;
+    before_plan(n, z) + rank2(np, x - z - 1, y - z - 1)
+}
+
+/// ℕ→ℕ³, exact integer version: inverse of [`rank3`].
+/// Requires `index < size3(n)`; returns `(z, x, y)` with `z < x < y`.
+#[inline]
+pub fn unrank3(n: u64, index: u64) -> (u64, u64, u64) {
+    let m = size3(n);
+    debug_assert!(index < m, "unrank3 index {index} out of range (m={m})");
+    // Y = elements from `index` onward (inclusive). Smallest k with
+    // C(k,3) >= Y locates the plan: z = n - k.
+    let y_count = m - index;
+    let k = min_k_exact(y_count);
+    let z = n - k;
+    let f2 = index - before_plan(n, z);
+    let np = n - z - 1;
+    let (i, j) = unrank2(np, f2);
+    (z, i + z + 1, j + z + 1)
+}
+
+/// ℕ→ℕ³ via the paper's Newton–Raphson plan search (Fig. 10's
+/// `newtonGPU`). Functionally identical to [`unrank3`] because the float
+/// root is re-anchored with integer comparisons, exactly as a robust GPU
+/// kernel must do; the pure-float variant without fix-up is what the
+/// precision ablation probes separately.
+#[inline]
+pub fn unrank3_newton(n: u64, index: u64) -> (u64, u64, u64) {
+    let m = size3(n);
+    debug_assert!(index < m);
+    let y_count = m - index;
+    let k = min_k_cubic(y_count); // Newton + integer fix-up
+    let z = n - k;
+    let f2 = index - before_plan(n, z);
+    let np = n - z - 1;
+    let (i, j) = unrank2(np, f2);
+    (z, i + z + 1, j + z + 1)
+}
+
+/// Exact plan search: smallest `k` with `C(k,3) ≥ y`, by integer bisection
+/// seeded from the cube root. No floating point anywhere.
+#[inline]
+fn min_k_exact(y: u64) -> u64 {
+    debug_assert!(y >= 1);
+    let c3 = |k: u64| k as u128 * (k - 1) as u128 * (k - 2) as u128 / 6;
+    // C(k,3) ≈ k³/6 ⇒ k ≈ cbrt(6y). Seed and fix up; the error of the
+    // float seed is at most one or two for y < 2^63.
+    let mut k = crate::newton::icbrt(y.saturating_mul(6)).max(3);
+    while c3(k) < y as u128 {
+        k += 1;
+    }
+    while k > 3 && c3(k - 1) >= y as u128 {
+        k -= 1;
+    }
+    k
+}
+
+/// The literal Appendix D formulas, preserved for the record.
+///
+/// The paper computes the rank as `f1 − n1 − n2 − n3 − n4` from a
+/// geometric construction over a `(n−2)×(n−2)` matrix per plan. As
+/// typeset, the `n3`/`n4` terms do not invert Appendix C's enumeration for
+/// all triples (e.g. `n=5`, triple `(1,2,3)`: literal result 4, correct
+/// rank 6). The test `appendix_d_literal_disagrees` pins this down; see
+/// DESIGN.md §6.
+pub mod paper_literal {
+    use super::size3;
+
+    /// Appendix D, eqs. (10)–(11), transcribed verbatim (wrapping
+    /// arithmetic where the text underflows).
+    pub fn rank3_literal(n: u64, z: u64, x: u64, y: u64) -> i128 {
+        let n = n as i128;
+        let (z, x, y) = (z as i128, x as i128, y as i128);
+        let k = n - 1 - z;
+        let m = size3(n as u64) as i128;
+        let nb_before = m - (k + 1) * k * (k - 1) / 6;
+        let f1 = z * (n - 2) * (n - 2) + (x - 1) * (n - 2) + (y - 2);
+        let n1 = z * (n - 2) * (n - 2) - nb_before;
+        let n2 = z * (n - 2);
+        let n3 = (y - z) * (n - k - 1);
+        let n4 = (y - z) * (y - z - 1) / 2;
+        f1 - n1 - n2 - n3 - n4
+    }
+
+    /// How many triples of an `n`-dimensional 3-Hamming neighborhood the
+    /// literal formula ranks correctly (used by tests & DESIGN.md §6).
+    pub fn literal_agreement_count(n: u64) -> (u64, u64) {
+        let mut agree = 0;
+        let mut total = 0;
+        for z in 0..n {
+            for x in (z + 1)..n {
+                for y in (x + 1)..n {
+                    let correct = super::rank3(n, z, x, y) as i128;
+                    if rank3_literal(n, z, x, y) == correct {
+                        agree += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        (agree, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping2d::size2;
+
+    /// Reference enumeration: lexicographic sorted triples.
+    fn reference_triples(n: u64) -> Vec<(u64, u64, u64)> {
+        let mut v = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    v.push((a, b, c));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(size3(3), 1);
+        assert_eq!(size3(5), 10);
+        assert_eq!(size3(73), 62_196);
+        assert_eq!(size3(117), 260_130);
+    }
+
+    #[test]
+    fn rank_matches_reference_enumeration() {
+        for n in [3u64, 4, 5, 6, 9, 17, 30] {
+            for (f, &(a, b, c)) in reference_triples(n).iter().enumerate() {
+                assert_eq!(rank3(n, a, b, c), f as u64, "n={n} triple=({a},{b},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_is_inverse_small_n() {
+        for n in [3u64, 5, 8, 20, 73] {
+            for f in 0..size3(n) {
+                let (a, b, c) = unrank3(n, f);
+                assert!(a < b && b < c && c < n, "n={n} f={f} -> ({a},{b},{c})");
+                assert_eq!(rank3(n, a, b, c), f, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn newton_variant_matches_exact_on_full_range() {
+        for n in [5u64, 73, 117] {
+            for f in 0..size3(n) {
+                assert_eq!(unrank3_newton(n, f), unrank3(n, f), "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_extremes_and_large_n() {
+        let n = 1517u64;
+        let m = size3(n);
+        assert_eq!(unrank3(n, 0), (0, 1, 2));
+        assert_eq!(unrank3(n, m - 1), (n - 3, n - 2, n - 1));
+        for f in [1, 2, n, m / 3, m / 2, m - n, m - 2] {
+            let (a, b, c) = unrank3(n, f);
+            assert_eq!(rank3(n, a, b, c), f, "n={n} f={f}");
+        }
+        // Far beyond any practical instance: C(2^20, 3) ≈ 1.9e17.
+        let n = 1u64 << 20;
+        let m = size3(n);
+        for f in [0, 1, m / 2, m - 2, m - 1] {
+            let (a, b, c) = unrank3(n, f);
+            assert_eq!(rank3(n, a, b, c), f);
+        }
+    }
+
+    #[test]
+    fn plan_boundaries_are_exact() {
+        // First and last element of every plan for a moderate n.
+        let n = 57u64;
+        for z in 0..(n - 2) {
+            let first = before_plan(n, z);
+            let plan_len = size2(n - z - 1);
+            let (a, b, c) = unrank3(n, first);
+            assert_eq!((a, b, c), (z, z + 1, z + 2), "first of plan {z}");
+            let (a, b, c) = unrank3(n, first + plan_len - 1);
+            assert_eq!((a, b, c), (z, n - 2, n - 1), "last of plan {z}");
+        }
+    }
+
+    #[test]
+    fn appendix_d_literal_disagrees() {
+        // The worked counter-example from DESIGN.md §6.
+        let lit = paper_literal::rank3_literal(5, 1, 2, 3);
+        let correct = rank3(5, 1, 2, 3);
+        assert_eq!(correct, 6);
+        assert_ne!(lit, correct as i128, "literal App. D formula unexpectedly correct");
+        // Measured: the literal formula as typeset agrees on *no* triple of
+        // a small neighborhood under any of the obvious coordinate
+        // conventions — consistent with one mis-typeset subtraction term
+        // (each candidate reading is off by a small index-dependent amount).
+        let (agree, total) = paper_literal::literal_agreement_count(7);
+        assert!(agree < total, "agreement {agree}/{total}");
+        let (agree5, total5) = paper_literal::literal_agreement_count(5);
+        assert!(agree5 < total5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Newton–Raphson root finding for the 3-Hamming unranking (paper
+//! Algorithm 1), plus the exact integer fix-up that makes it robust on a
+//! "finite discrete machine" — the concern the paper raises about
+//! Cardano's method applies equally to its own floating-point Newton
+//! iteration, so production code must re-anchor the root with integer
+//! comparisons.
+
+/// Solve `k³ − k − 6Y = 0` for the positive real root by Newton–Raphson,
+/// following the paper's Algorithm 1 (fixed precision, multiplicative
+/// update criterion).
+///
+/// The equation arises from `C(k+1, 3) = Y`: substituting `k₁ = k − 1`
+/// into `k(k−1)(k−2) = 6Y` gives `k₁³ − k₁ = 6Y`.
+#[inline]
+pub fn newton_cubic_root(y: u64, precision: f64) -> f64 {
+    // Initial value: the real root is ≈ cbrt(6Y) for large Y; cbrt gives a
+    // basin where Newton converges in a handful of iterations. Guard the
+    // derivative away from its zeros (±1/√3).
+    let rhs = 6.0 * y as f64;
+    let mut k1 = rhs.cbrt().max(2.0);
+    for _ in 0..64 {
+        let term = (k1 * k1 * k1 - k1 - rhs) / (3.0 * k1 * k1 - 1.0);
+        k1 -= term;
+        if (term / k1).abs() <= precision {
+            break;
+        }
+    }
+    k1
+}
+
+/// Smallest `k ≥ 1` such that `C(k, 3) = k(k−1)(k−2)/6 ≥ y`, computed from
+/// the Newton estimate and then corrected with exact integer comparisons.
+///
+/// This is the quantity App. C needs ("minimize k such that
+/// k(k−1)(k−2)/6 ≥ Y"); the float root alone may land one off near plan
+/// boundaries, hence the fix-up loop (at most a couple of steps).
+#[inline]
+pub fn min_k_cubic(y: u64) -> u64 {
+    if y == 0 {
+        return 1;
+    }
+    let c3 = |k: u64| -> u64 {
+        if k < 3 {
+            0
+        } else {
+            // k ≤ ~2^21 in practice; product fits u64 comfortably below
+            // 2^63 for k < 2^21. Use u128 to stay safe for pathological k.
+            (k as u128 * (k - 1) as u128 * (k - 2) as u128 / 6) as u64
+        }
+    };
+    // newton_cubic_root solves k1³−k1 = 6y with k1 = k−1 ⇒ k ≈ root + 1.
+    let mut k = (newton_cubic_root(y, 1e-12) + 1.0).ceil() as u64;
+    k = k.max(3);
+    while c3(k) < y {
+        k += 1;
+    }
+    while k > 3 && c3(k - 1) >= y {
+        k -= 1;
+    }
+    k
+}
+
+/// Integer cube root: the largest `r` with `r³ ≤ v`.
+#[inline]
+pub fn icbrt(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut r = (v as f64).cbrt() as u64;
+    // Float seed can be off by one in either direction.
+    while (r as u128 + 1).pow(3) <= v as u128 {
+        r += 1;
+    }
+    while (r as u128).pow(3) > v as u128 {
+        r -= 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c3(k: u64) -> u64 {
+        if k < 3 {
+            0
+        } else {
+            k * (k - 1) * (k - 2) / 6
+        }
+    }
+
+    #[test]
+    fn newton_matches_algebra_on_exact_roots() {
+        // If 6Y = k1³−k1 exactly, the root is k1.
+        for k1 in [2u64, 3, 10, 100, 5000] {
+            let y = (k1 * k1 * k1 - k1) / 6;
+            let root = newton_cubic_root(y, 1e-12);
+            assert!(
+                (root - k1 as f64).abs() < 1e-6,
+                "k1={k1} root={root}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_k_cubic_is_minimal() {
+        for y in 1..20_000u64 {
+            let k = min_k_cubic(y);
+            assert!(c3(k) >= y, "y={y} k={k}");
+            assert!(k == 3 || c3(k - 1) < y, "y={y} k={k} not minimal");
+        }
+    }
+
+    #[test]
+    fn min_k_cubic_plan_boundaries() {
+        // Exactly at C(k,3) the minimal k is k itself; one past it is k+1.
+        for k in 3..2_000u64 {
+            let y = c3(k);
+            assert_eq!(min_k_cubic(y), k, "boundary y=C({k},3)");
+            assert_eq!(min_k_cubic(y + 1), k + 1, "just past boundary");
+        }
+    }
+
+    #[test]
+    fn min_k_cubic_large_values() {
+        // Y near C(2^20, 3) ≈ 1.9e17 still resolves exactly.
+        let k = 1u64 << 20;
+        let y = c3(k);
+        assert_eq!(min_k_cubic(y), k);
+        assert_eq!(min_k_cubic(y - 1), k);
+        assert_eq!(min_k_cubic(y + 1), k + 1);
+    }
+
+    #[test]
+    fn icbrt_exact() {
+        for r in 0..2_000u64 {
+            let v = r * r * r;
+            assert_eq!(icbrt(v), r);
+            if v > 0 {
+                assert_eq!(icbrt(v - 1), r - 1);
+                assert_eq!(icbrt(v + 1), r);
+            }
+        }
+        assert_eq!(icbrt(u64::MAX), 2_642_245); // floor(cbrt(2^64-1))
+    }
+}

@@ -1,0 +1,84 @@
+//! 1-Hamming distance neighborhood (paper §II, Fig. 3): flip one bit.
+//! The thread-id mapping is the identity (paper §III.B.1, Fig. 7).
+
+use crate::{FlipMove, Neighborhood};
+
+/// The neighborhood of all single-bit flips of an `n`-bit string.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct OneHamming {
+    n: usize,
+}
+
+impl OneHamming {
+    /// Neighborhood over `n`-bit strings. `n` must be ≥ 1.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "OneHamming requires n >= 1");
+        Self { n }
+    }
+}
+
+impl Neighborhood for OneHamming {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        1
+    }
+
+    #[inline]
+    fn size(&self) -> u64 {
+        self.n as u64
+    }
+
+    #[inline]
+    fn unrank(&self, index: u64) -> FlipMove {
+        debug_assert!(index < self.size());
+        FlipMove::one(index as u32)
+    }
+
+    #[inline]
+    fn rank(&self, mv: &FlipMove) -> u64 {
+        debug_assert_eq!(mv.k(), 1);
+        mv.bits()[0] as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "1-Hamming"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping() {
+        let h = OneHamming::new(73);
+        assert_eq!(h.size(), 73);
+        assert_eq!(h.k(), 1);
+        for f in 0..h.size() {
+            let mv = h.unrank(f);
+            assert_eq!(mv.bits(), &[f as u32]);
+            assert_eq!(h.rank(&mv), f);
+        }
+    }
+
+    #[test]
+    fn checked_accessors() {
+        let h = OneHamming::new(8);
+        assert!(h.try_unrank(7).is_some());
+        assert!(h.try_unrank(8).is_none());
+        assert!(h.try_rank(&FlipMove::one(7)).is_some());
+        assert!(h.try_rank(&FlipMove::one(8)).is_none());
+        assert!(h.try_rank(&FlipMove::two(1, 2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn zero_dim_rejected() {
+        let _ = OneHamming::new(0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Neighborhood partitioning for multi-device execution (paper §V: "It
+//! will consist of partitioning the neighborhood set, where each partition
+//! is executed on a single GPU").
+//!
+//! Because every neighborhood is addressed by a dense index range
+//! `0..size`, a partition is simply a split of that range; the mapping
+//! functions then let each device reconstruct its own moves locally with
+//! no communication.
+
+/// A half-open range of flat move indices assigned to one device.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct IndexRange {
+    /// First index (inclusive).
+    pub lo: u64,
+    /// One past the last index.
+    pub hi: u64,
+}
+
+impl IndexRange {
+    /// Number of moves in the range.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// True if the range contains no moves.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+}
+
+/// Split `0..size` into `parts` contiguous ranges whose lengths differ by
+/// at most one (the first `size % parts` ranges get the extra element).
+///
+/// # Panics
+/// Panics if `parts == 0`.
+pub fn partition_ranges(size: u64, parts: usize) -> Vec<IndexRange> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let parts64 = parts as u64;
+    let base = size / parts64;
+    let extra = size % parts64;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for p in 0..parts64 {
+        let len = base + u64::from(p < extra);
+        out.push(IndexRange { lo, hi: lo + len });
+        lo += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_cover_no_overlap() {
+        for size in [0u64, 1, 7, 100, 62_196] {
+            for parts in [1usize, 2, 3, 4, 8, 13] {
+                let ranges = partition_ranges(size, parts);
+                assert_eq!(ranges.len(), parts);
+                assert_eq!(ranges[0].lo, 0);
+                assert_eq!(ranges.last().unwrap().hi, size);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].hi, w[1].lo, "gap or overlap");
+                }
+                let total: u64 = ranges.iter().map(IndexRange::len).sum();
+                assert_eq!(total, size);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let ranges = partition_ranges(10, 4);
+        let lens: Vec<_> = ranges.iter().map(IndexRange::len).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_rejected() {
+        let _ = partition_ranges(10, 0);
+    }
+}

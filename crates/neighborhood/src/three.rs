@@ -1,0 +1,113 @@
+//! 3-Hamming distance neighborhood (paper §II, Fig. 5): flip three bits.
+//! Mapping per Appendices C–D (see [`crate::mapping3d`]).
+
+use crate::mapping3d::{rank3, size3, unrank3, unrank3_newton};
+use crate::{FlipMove, Neighborhood};
+
+/// How [`ThreeHamming`] resolves a flat index to a plan (the cubic-root
+/// search of Appendix C).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum PlanSearch {
+    /// Exact integer arithmetic (default).
+    #[default]
+    Exact,
+    /// The paper's Newton–Raphson (Algorithm 1) with integer fix-up; kept
+    /// selectable so benches can compare the two paths.
+    Newton,
+}
+
+/// The neighborhood of all three-bit flips of an `n`-bit string
+/// (`n(n−1)(n−2)/6` moves).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ThreeHamming {
+    n: usize,
+    search: PlanSearch,
+}
+
+impl ThreeHamming {
+    /// Neighborhood over `n`-bit strings with the exact plan search.
+    /// `n` must be ≥ 3.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "ThreeHamming requires n >= 3");
+        Self { n, search: PlanSearch::Exact }
+    }
+
+    /// Same neighborhood, selecting the plan-search implementation.
+    pub fn with_search(n: usize, search: PlanSearch) -> Self {
+        assert!(n >= 3, "ThreeHamming requires n >= 3");
+        Self { n, search }
+    }
+}
+
+impl Neighborhood for ThreeHamming {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        3
+    }
+
+    #[inline]
+    fn size(&self) -> u64 {
+        size3(self.n as u64)
+    }
+
+    #[inline]
+    fn unrank(&self, index: u64) -> FlipMove {
+        let (a, b, c) = match self.search {
+            PlanSearch::Exact => unrank3(self.n as u64, index),
+            PlanSearch::Newton => unrank3_newton(self.n as u64, index),
+        };
+        FlipMove::three(a as u32, b as u32, c as u32)
+    }
+
+    #[inline]
+    fn rank(&self, mv: &FlipMove) -> u64 {
+        debug_assert_eq!(mv.k(), 3);
+        let b = mv.bits();
+        rank3(self.n as u64, b[0] as u64, b[1] as u64, b[2] as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "3-Hamming"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_indices() {
+        for n in [3usize, 5, 12, 30] {
+            let h = ThreeHamming::new(n);
+            for f in 0..h.size() {
+                let mv = h.unrank(f);
+                assert_eq!(mv.k(), 3);
+                assert_eq!(h.rank(&mv), f);
+            }
+        }
+    }
+
+    #[test]
+    fn newton_and_exact_agree() {
+        let exact = ThreeHamming::with_search(73, PlanSearch::Exact);
+        let newton = ThreeHamming::with_search(73, PlanSearch::Newton);
+        for f in (0..exact.size()).step_by(97) {
+            assert_eq!(exact.unrank(f), newton.unrank(f), "f={f}");
+        }
+    }
+
+    #[test]
+    fn paper_instance_sizes() {
+        // Table III column "# iterations" bounds: stopping criterion is the
+        // 3-Hamming size of each instance.
+        assert_eq!(ThreeHamming::new(73).size(), 62_196);
+        assert_eq!(ThreeHamming::new(81).size(), 85_320);
+        assert_eq!(ThreeHamming::new(101).size(), 166_650);
+        assert_eq!(ThreeHamming::new(117).size(), 260_130);
+    }
+}

@@ -1,0 +1,80 @@
+//! 2-Hamming distance neighborhood (paper §II, Fig. 4): flip two bits.
+//! Mapping per Propositions 1–2 (see [`crate::mapping2d`]).
+
+use crate::mapping2d::{rank2, size2, unrank2};
+use crate::{FlipMove, Neighborhood};
+
+/// The neighborhood of all two-bit flips of an `n`-bit string
+/// (`n(n−1)/2` moves).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TwoHamming {
+    n: usize,
+}
+
+impl TwoHamming {
+    /// Neighborhood over `n`-bit strings. `n` must be ≥ 2.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "TwoHamming requires n >= 2");
+        Self { n }
+    }
+}
+
+impl Neighborhood for TwoHamming {
+    #[inline]
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn k(&self) -> usize {
+        2
+    }
+
+    #[inline]
+    fn size(&self) -> u64 {
+        size2(self.n as u64)
+    }
+
+    #[inline]
+    fn unrank(&self, index: u64) -> FlipMove {
+        let (i, j) = unrank2(self.n as u64, index);
+        FlipMove::two(i as u32, j as u32)
+    }
+
+    #[inline]
+    fn rank(&self, mv: &FlipMove) -> u64 {
+        debug_assert_eq!(mv.k(), 2);
+        let b = mv.bits();
+        rank2(self.n as u64, b[0] as u64, b[1] as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "2-Hamming"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_indices() {
+        for n in [2usize, 3, 10, 73] {
+            let h = TwoHamming::new(n);
+            assert_eq!(h.size(), (n * (n - 1) / 2) as u64);
+            for f in 0..h.size() {
+                let mv = h.unrank(f);
+                assert_eq!(mv.k(), 2);
+                assert_eq!(h.rank(&mv), f);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_instance_sizes() {
+        assert_eq!(TwoHamming::new(73).size(), 2628);
+        assert_eq!(TwoHamming::new(81).size(), 3240);
+        assert_eq!(TwoHamming::new(101).size(), 5050);
+        assert_eq!(TwoHamming::new(117).size(), 6786);
+    }
+}

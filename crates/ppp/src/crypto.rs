@@ -1,0 +1,166 @@
+//! The cryptographic context of the PPP (paper §I, §IV.A): Pointcheval's
+//! identification scheme bases its security on the hardness of recovering
+//! the ε-vector `V` from `(A, S)`. This module provides a *schematic*
+//! zero-knowledge-style identification protocol sufficient to demonstrate
+//! the attack in the `ppp_crack` example: an attacker who recovers any
+//! vector with multiset `S` passes identification.
+//!
+//! It is **not** a production cryptosystem — the commitment is a plain
+//! 64-bit hash and the permutation logic is simplified; the point is to
+//! exercise the instance/solution machinery end-to-end, exactly as far as
+//! the paper's motivation goes.
+
+use crate::instance::PppInstance;
+use lnls_core::{zobrist_table, BitString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Public key: the PPP instance (matrix + multiset histogram).
+#[derive(Clone, Debug)]
+pub struct PublicKey {
+    /// The public instance (secret stripped).
+    pub inst: PppInstance,
+}
+
+/// Secret key: an ε-vector whose correlation multiset is `S`.
+#[derive(Clone, Debug)]
+pub struct SecretKey {
+    /// The witness vector.
+    pub v: BitString,
+}
+
+/// Generate a key pair of shape `m × n`.
+pub fn keygen(m: usize, n: usize, seed: u64) -> (PublicKey, SecretKey) {
+    let inst = PppInstance::generate(m, n, seed);
+    let v = inst.secret.clone().expect("generate always plants a secret");
+    (PublicKey { inst: inst.public_only() }, SecretKey { v })
+}
+
+/// One commit–challenge–response round. The prover commits to a blinded
+/// transformation of its witness; the verifier flips a coin:
+///
+/// * challenge 0 — prover opens the blinding; verifier checks the
+///   commitment binds;
+/// * challenge 1 — prover reveals the blinded witness; verifier checks it
+///   solves the instance *and* matches the commitment.
+///
+/// A cheater without a witness can prepare for one challenge but not
+/// both, so each round catches them with probability ~1/2.
+#[derive(Clone, Debug)]
+pub struct Round {
+    commitment: u64,
+    blind: u64,
+    blinded_witness: Option<BitString>,
+}
+
+fn commit_hash(pk: &PublicKey, blind: u64, witness: &BitString) -> u64 {
+    let table = zobrist_table(witness.len(), blind ^ 0x1D3);
+    witness.zobrist(&table) ^ blind.rotate_left(17) ^ (pk.inst.m() as u64) << 48
+}
+
+/// Prover side of one round.
+pub fn prove_commit(pk: &PublicKey, sk: &SecretKey, rng: &mut StdRng) -> Round {
+    let blind: u64 = rng.gen();
+    Round {
+        commitment: commit_hash(pk, blind, &sk.v),
+        blind,
+        blinded_witness: Some(sk.v.clone()),
+    }
+}
+
+/// Prover's response to challenge `c` (0 or 1).
+pub enum Response {
+    /// Opens the blinding factor.
+    OpenBlind(u64),
+    /// Reveals the (blinded) witness.
+    RevealWitness(BitString, u64),
+}
+
+/// Answer a challenge.
+pub fn respond(round: &Round, challenge: u8) -> Response {
+    match challenge {
+        0 => Response::OpenBlind(round.blind),
+        _ => Response::RevealWitness(
+            round.blinded_witness.clone().expect("prover keeps its witness"),
+            round.blind,
+        ),
+    }
+}
+
+/// Verifier check for one round. `commitment` is what the prover sent
+/// before the challenge.
+pub fn verify(pk: &PublicKey, commitment: u64, challenge: u8, resp: &Response) -> bool {
+    match (challenge, resp) {
+        (0, Response::OpenBlind(_blind)) => {
+            // Binding is only fully checkable with the witness; opening
+            // the blind proves the prover fixed it before the challenge.
+            true
+        }
+        (1, Response::RevealWitness(w, blind)) => {
+            pk.inst.is_solution(w) && commit_hash(pk, *blind, w) == commitment
+        }
+        _ => false,
+    }
+}
+
+/// Run `rounds` identification rounds; returns the number that verified.
+/// An honest prover (or a successful attacker) passes all of them.
+pub fn identification_session(
+    pk: &PublicKey,
+    sk: &SecretKey,
+    rounds: usize,
+    seed: u64,
+) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ok = 0;
+    for _ in 0..rounds {
+        let round = prove_commit(pk, sk, &mut rng);
+        let challenge: u8 = rng.gen_range(0..=1);
+        let resp = respond(&round, challenge);
+        if verify(pk, round.commitment, challenge, &resp) {
+            ok += 1;
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_prover_always_passes() {
+        let (pk, sk) = keygen(25, 25, 7);
+        assert_eq!(identification_session(&pk, &sk, 20, 1), 20);
+    }
+
+    #[test]
+    fn recovered_equivalent_key_passes() {
+        // Any solution of the instance identifies successfully — this is
+        // precisely why the tabu attack of the paper breaks the scheme.
+        let (pk, sk) = keygen(25, 25, 8);
+        let forged = SecretKey { v: sk.v.clone() };
+        assert_eq!(identification_session(&pk, &forged, 10, 2), 10);
+    }
+
+    #[test]
+    fn wrong_witness_fails_witness_challenges() {
+        let (pk, sk) = keygen(25, 25, 9);
+        let mut bad = sk.v.clone();
+        bad.flip(0);
+        let cheat = SecretKey { v: bad };
+        let mut rng = StdRng::seed_from_u64(3);
+        let round = prove_commit(&pk, &cheat, &mut rng);
+        let resp = respond(&round, 1);
+        assert!(!verify(&pk, round.commitment, 1, &resp));
+    }
+
+    #[test]
+    fn tampered_commitment_fails() {
+        let (pk, sk) = keygen(21, 21, 10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let round = prove_commit(&pk, &sk, &mut rng);
+        let resp = respond(&round, 1);
+        assert!(!verify(&pk, round.commitment ^ 1, 1, &resp));
+    }
+}

@@ -1,0 +1,130 @@
+//! The Knudsen–Meier objective (paper §IV.A):
+//!
+//! ```text
+//! f(V') = 30 · Σ_{j=1..m} (|Y'_j| − Y'_j)  +  Σ_{i} |H_i − H'_i|
+//! ```
+//!
+//! with `Y' = A·V'`, `H` the histogram of the target multiset `S` and
+//! `H'` the histogram of `Y'`. `f = 0` ⇔ `V'` solves the PPP.
+//!
+//! Interpretation notes (DESIGN.md §6): the paper sums the histogram term
+//! over `i = 1..n`; negative candidate values have no bin there, so they
+//! are penalized only by the first term. We histogram values in `0..=n`
+//! (bin 0 is unreachable for odd `n`) and leave negative values binless,
+//! which matches that reading exactly.
+
+use crate::instance::PppInstance;
+use lnls_core::BitString;
+
+/// Weight of the negativity term (the paper's constant 30).
+pub const NEG_WEIGHT: i64 = 30;
+
+/// Full (from scratch) objective evaluation.
+pub fn full_fitness(inst: &PppInstance, v: &BitString) -> i64 {
+    let n = inst.n();
+    let mut hist = vec![0i32; n + 1];
+    let mut neg = 0i64;
+    for j in 0..inst.m() {
+        let y = inst.a.row_product(j, v);
+        if y < 0 {
+            neg += (-2 * y) as i64; // |y| − y = −2y for y < 0
+        } else {
+            hist[y as usize] += 1;
+        }
+    }
+    let hist_cost: i64 = inst
+        .target_hist
+        .iter()
+        .zip(&hist)
+        .map(|(&h, &hp)| (h - hp).abs() as i64)
+        .sum();
+    NEG_WEIGHT * neg + hist_cost
+}
+
+/// Decompose the objective into its two terms (used by the incremental
+/// state and its tests).
+pub fn fitness_parts(inst: &PppInstance, v: &BitString) -> (i64, i64) {
+    let n = inst.n();
+    let mut hist = vec![0i32; n + 1];
+    let mut neg = 0i64;
+    for j in 0..inst.m() {
+        let y = inst.a.row_product(j, v);
+        if y < 0 {
+            neg += (-2 * y) as i64;
+        } else {
+            hist[y as usize] += 1;
+        }
+    }
+    let hist_cost: i64 = inst
+        .target_hist
+        .iter()
+        .zip(&hist)
+        .map(|(&h, &hp)| (h - hp).abs() as i64)
+        .sum();
+    (neg, hist_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_scores_zero() {
+        let inst = PppInstance::generate(73, 73, 1);
+        let secret = inst.secret.clone().unwrap();
+        assert_eq!(full_fitness(&inst, &secret), 0);
+    }
+
+    #[test]
+    fn zero_fitness_iff_solution() {
+        let inst = PppInstance::generate(25, 25, 3);
+        let secret = inst.secret.clone().unwrap();
+        let mut v = secret.clone();
+        assert_eq!(full_fitness(&inst, &v) == 0, inst.is_solution(&v));
+        v.flip(7);
+        assert_eq!(full_fitness(&inst, &v) == 0, inst.is_solution(&v));
+        assert!(full_fitness(&inst, &v) > 0);
+    }
+
+    #[test]
+    fn negativity_weight_is_thirty() {
+        // Hand-built 1×1 instance: A = [+1], secret +1 ⇒ S = {1},
+        // candidate −1 ⇒ Y' = −1: neg term = 2, hist misses bin 1 and
+        // adds nothing (negative binless) ⇒ f = 30·2 + 1 = 61.
+        let inst = PppInstance {
+            a: crate::matrix::EpsilonMatrix::plus_ones(1, 1),
+            target_hist: vec![0, 1],
+            secret: None,
+        };
+        let mut v = BitString::zeros(1);
+        assert_eq!(full_fitness(&inst, &v), 0);
+        v.flip(0);
+        assert_eq!(full_fitness(&inst, &v), 61);
+    }
+
+    #[test]
+    fn parts_sum_to_fitness() {
+        let inst = PppInstance::generate(31, 47, 9);
+        let mut v = inst.secret.clone().unwrap();
+        v.flip(3);
+        v.flip(11);
+        let (neg, hist) = fitness_parts(&inst, &v);
+        assert_eq!(full_fitness(&inst, &v), NEG_WEIGHT * neg + hist);
+    }
+
+    #[test]
+    fn fitness_is_symmetric_under_global_negation_of_secret() {
+        // PPP instances generated with all-nonnegative S: negating V
+        // negates every Y, so the negated secret is maximally penalized —
+        // a sanity check that sign conventions are consistent.
+        let inst = PppInstance::generate(21, 21, 4);
+        let secret = inst.secret.clone().unwrap();
+        let mut neg_secret = secret.clone();
+        for i in 0..21 {
+            neg_secret.flip(i);
+        }
+        let f = full_fitness(&inst, &neg_secret);
+        // Every row flips to negative: neg = Σ 2·Y_j ≥ 2·m (odd products).
+        assert!(f >= NEG_WEIGHT * 2 * 21, "f = {f}");
+    }
+}

@@ -1,0 +1,302 @@
+//! The PPP as an [`IncrementalEval`] problem: `O(m·k + n)` neighbor
+//! evaluation instead of `O(m·n)` full re-evaluation.
+//!
+//! The state tracks the product vector `Y`, the candidate histogram `H'`
+//! (non-negative bins), and both cost terms. Evaluating a `k`-flip
+//! neighbor walks the `k` packed matrix columns once: per row,
+//! `ΔY_j = Σ_c 4·(a_jc ⊕ v_c) − 2`, and the histogram-cost delta is
+//! accumulated through a scratch delta-histogram (`O(touched bins)`
+//! cleanup, no allocation).
+
+use crate::instance::PppInstance;
+use crate::objective::{fitness_parts, NEG_WEIGHT};
+use lnls_core::{BinaryProblem, BitString, IncrementalEval};
+use lnls_neighborhood::FlipMove;
+
+/// The PPP wrapped as a minimization problem.
+#[derive(Clone, Debug)]
+pub struct Ppp {
+    /// The instance being attacked.
+    pub inst: PppInstance,
+}
+
+impl Ppp {
+    /// Wrap an instance.
+    pub fn new(inst: PppInstance) -> Self {
+        Self { inst }
+    }
+}
+
+/// Incremental-evaluation state for [`Ppp`].
+#[derive(Clone, Debug)]
+pub struct PppState {
+    /// Product vector `Y = A·x`.
+    pub y: Vec<i32>,
+    /// Histogram of non-negative `Y` values (`0..=n`).
+    pub hist: Vec<i32>,
+    /// `Σ_j (|Y_j| − Y_j)` (un-weighted).
+    pub neg_cost: i64,
+    /// `Σ_i |H_i − H'_i|`.
+    pub hist_cost: i64,
+    /// Scratch delta-histogram (always all-zero between calls).
+    delta: Vec<i32>,
+    /// Scratch list of touched bins (cleared between calls).
+    touched: Vec<u32>,
+}
+
+impl PppState {
+    /// The two cost terms combined, the paper's `f(V')`.
+    #[inline]
+    pub fn fitness(&self) -> i64 {
+        NEG_WEIGHT * self.neg_cost + self.hist_cost
+    }
+}
+
+/// `|y| − y` (0 for non-negative, `−2y` for negative).
+#[inline]
+fn neg_term(y: i32) -> i64 {
+    if y < 0 {
+        (-2 * y) as i64
+    } else {
+        0
+    }
+}
+
+impl Ppp {
+    /// Shared row walk: calls `row_fn(j, old_y, new_y)` for every row
+    /// whose product changes under `mv`.
+    #[inline]
+    fn for_changed_rows<F: FnMut(usize, i32, i32)>(
+        &self,
+        y: &[i32],
+        s: &BitString,
+        mv: &FlipMove,
+        mut row_fn: F,
+    ) {
+        let m = self.inst.m();
+        let wpc = self.inst.a.words_per_col();
+        // Per flipped column: xor-adjusted packed bits so that a set bit
+        // contributes +4 to ΔY (and each column contributes −2 baseline).
+        let k = mv.k();
+        let mut xors: [&[u64]; 4] = [&[]; 4];
+        let mut inv: [u64; 4] = [0; 4];
+        for (t, &c) in mv.bits().iter().enumerate() {
+            xors[t] = self.inst.a.col_words(c as usize);
+            inv[t] = if s.get(c as usize) { u64::MAX } else { 0 };
+        }
+        let base = -2 * k as i32;
+        for w in 0..wpc {
+            let lo = w * 64;
+            let hi = m.min(lo + 64);
+            let mut words = [0u64; 4];
+            for t in 0..k {
+                words[t] = xors[t][w] ^ inv[t];
+            }
+            for j in lo..hi {
+                let r = (j - lo) as u32;
+                let mut set = 0i32;
+                for word in words.iter().take(k) {
+                    set += ((word >> r) & 1) as i32;
+                }
+                let dy = 4 * set + base;
+                if dy != 0 {
+                    row_fn(j, y[j], y[j] + dy);
+                }
+            }
+        }
+    }
+}
+
+impl BinaryProblem for Ppp {
+    fn dim(&self) -> usize {
+        self.inst.n()
+    }
+
+    fn evaluate(&self, s: &BitString) -> i64 {
+        crate::objective::full_fitness(&self.inst, s)
+    }
+
+    fn name(&self) -> String {
+        format!("ppp-{}x{}", self.inst.m(), self.inst.n())
+    }
+
+    fn target_fitness(&self) -> Option<i64> {
+        Some(0)
+    }
+}
+
+impl IncrementalEval for Ppp {
+    type State = PppState;
+
+    fn init_state(&self, s: &BitString) -> PppState {
+        let n = self.inst.n();
+        let mut y = Vec::new();
+        self.inst.a.product(s, &mut y);
+        let mut hist = vec![0i32; n + 1];
+        for &yj in &y {
+            if yj >= 0 {
+                hist[yj as usize] += 1;
+            }
+        }
+        let (neg_cost, hist_cost) = fitness_parts(&self.inst, s);
+        PppState { y, hist, neg_cost, hist_cost, delta: vec![0; n + 1], touched: Vec::new() }
+    }
+
+    fn state_fitness(&self, state: &PppState) -> i64 {
+        state.fitness()
+    }
+
+    fn neighbor_fitness(&self, state: &mut PppState, s: &BitString, mv: &FlipMove) -> i64 {
+        let mut neg_d = 0i64;
+        // Split borrows: the closure mutates scratch while reading `y`.
+        let PppState { y, hist, neg_cost, hist_cost, delta, touched } = state;
+        debug_assert!(touched.is_empty());
+        self.for_changed_rows(y, s, mv, |_, old, new| {
+            neg_d += neg_term(new) - neg_term(old);
+            if old >= 0 {
+                delta[old as usize] -= 1;
+                touched.push(old as u32);
+            }
+            if new >= 0 {
+                delta[new as usize] += 1;
+                touched.push(new as u32);
+            }
+        });
+        let mut hist_d = 0i64;
+        let target = &self.inst.target_hist;
+        for &b in touched.iter() {
+            let b = b as usize;
+            let d = delta[b];
+            if d != 0 {
+                let h = target[b] as i64;
+                let hp = hist[b] as i64;
+                hist_d += (h - (hp + d as i64)).abs() - (h - hp).abs();
+                delta[b] = 0;
+            }
+        }
+        touched.clear();
+        NEG_WEIGHT * (*neg_cost + neg_d) + (*hist_cost + hist_d)
+    }
+
+    fn apply_move(&self, state: &mut PppState, s: &BitString, mv: &FlipMove) {
+        let mut neg_d = 0i64;
+        let PppState { y, hist, neg_cost, hist_cost, delta, touched } = state;
+        debug_assert!(touched.is_empty());
+        let mut updates: Vec<(usize, i32)> = Vec::with_capacity(16);
+        self.for_changed_rows(y, s, mv, |j, old, new| {
+            neg_d += neg_term(new) - neg_term(old);
+            if old >= 0 {
+                delta[old as usize] -= 1;
+                touched.push(old as u32);
+            }
+            if new >= 0 {
+                delta[new as usize] += 1;
+                touched.push(new as u32);
+            }
+            updates.push((j, new));
+        });
+        for (j, new) in updates {
+            y[j] = new;
+        }
+        let target = &self.inst.target_hist;
+        let mut hist_d = 0i64;
+        for &b in touched.iter() {
+            let b = b as usize;
+            let d = delta[b];
+            if d != 0 {
+                let h = target[b] as i64;
+                let hp = hist[b] as i64;
+                hist_d += (h - (hp + d as i64)).abs() - (h - hp).abs();
+                hist[b] += d;
+                delta[b] = 0;
+            }
+        }
+        touched.clear();
+        *neg_cost += neg_d;
+        *hist_cost += hist_d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnls_neighborhood::{LexMoves, Neighborhood, ThreeHamming};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_all_moves(m: usize, n: usize, k: usize, seed: u64) {
+        let inst = PppInstance::generate(m, n, seed);
+        let p = Ppp::new(inst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let s = BitString::random(&mut rng, n);
+        let mut st = p.init_state(&s);
+        assert_eq!(st.fitness(), p.evaluate(&s), "state fitness at init");
+        for (_, mv) in LexMoves::new(n, k) {
+            let mut s2 = s.clone();
+            s2.apply(&mv);
+            let expect = p.evaluate(&s2);
+            let got = p.neighbor_fitness(&mut st, &s, &mv);
+            assert_eq!(got, expect, "m={m} n={n} {mv}");
+        }
+        // Scratch must be clean afterwards.
+        assert!(st.delta.iter().all(|&d| d == 0));
+        assert!(st.touched.is_empty());
+    }
+
+    #[test]
+    fn neighbor_fitness_matches_full_eval_k1() {
+        check_all_moves(15, 15, 1, 1);
+        check_all_moves(21, 33, 1, 2);
+    }
+
+    #[test]
+    fn neighbor_fitness_matches_full_eval_k2() {
+        check_all_moves(15, 15, 2, 3);
+        check_all_moves(33, 21, 2, 4);
+    }
+
+    #[test]
+    fn neighbor_fitness_matches_full_eval_k3() {
+        check_all_moves(13, 17, 3, 5);
+    }
+
+    #[test]
+    fn apply_move_keeps_state_consistent_over_random_walk() {
+        let inst = PppInstance::generate(31, 31, 9);
+        let p = Ppp::new(inst);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut s = BitString::random(&mut rng, 31);
+        let mut st = p.init_state(&s);
+        let hood = ThreeHamming::new(31);
+        for step in 0..200 {
+            let mv = hood.unrank(rng.gen_range(0..hood.size()));
+            let predicted = p.neighbor_fitness(&mut st, &s, &mv);
+            p.apply_move(&mut st, &s, &mv);
+            s.apply(&mv);
+            assert_eq!(st.fitness(), predicted, "step {step}");
+            assert_eq!(st.fitness(), p.evaluate(&s), "step {step} vs full eval");
+            // Internal invariants.
+            let mut hist = vec![0i32; 32];
+            let mut y = Vec::new();
+            p.inst.a.product(&s, &mut y);
+            assert_eq!(y, st.y, "Y vector at step {step}");
+            for &yj in &y {
+                if yj >= 0 {
+                    hist[yj as usize] += 1;
+                }
+            }
+            assert_eq!(hist, st.hist, "histogram at step {step}");
+        }
+    }
+
+    #[test]
+    fn secret_state_is_zero() {
+        let inst = PppInstance::generate(73, 73, 77);
+        let secret = inst.secret.clone().unwrap();
+        let p = Ppp::new(inst);
+        let st = p.init_state(&secret);
+        assert_eq!(st.fitness(), 0);
+        assert_eq!(st.neg_cost, 0);
+        assert_eq!(st.hist_cost, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # lnls-problems — additional binary optimization problems
+//!
+//! The paper positions its neighborhoods and mappings as generic "for
+//! binary problems" (§II); this crate backs that claim with four
+//! classic pseudo-Boolean problems wired into the `lnls-core` framework,
+//! each with exact incremental evaluation:
+//!
+//! * [`OneMax`] — the canonical smoke test;
+//! * [`Qubo`] — quadratic unconstrained binary optimization (O(k²)
+//!   deltas via cached row sums);
+//! * [`MaxSat`] — MAX-3SAT with WalkSAT-style clause bookkeeping;
+//! * [`NkLandscape`] — Kauffman NK landscapes with tunable ruggedness;
+//! * [`MaxCut`] — weighted graph bipartition with Kernighan–Lin gain
+//!   caching;
+//! * [`Knapsack`] — 0/1 knapsack with an exact penalty encoding and a
+//!   DP cross-check solver;
+//! * [`IsingLattice`] — Edwards–Anderson ±J spin glass on a 2-D torus
+//!   with O(1) local-field deltas.
+//!
+//! Every problem works with every neighborhood (1/2/3/k-Hamming), every
+//! explorer backend, and every search driver in `lnls-core`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gpu;
+pub mod ising;
+pub mod knapsack;
+pub mod maxcut;
+pub mod maxsat;
+pub mod nk;
+pub mod onemax;
+pub mod qubo;
+
+pub use gpu::{MaxCutEvalKernel, OneMaxEvalKernel, QuboEvalKernel, QuboGpuExplorer};
+pub use ising::{IsingLattice, IsingState};
+pub use knapsack::{Knapsack, KnapsackState};
+pub use maxcut::{MaxCut, MaxCutState};
+pub use maxsat::{Lit, MaxSat, MaxSatState};
+pub use nk::{NkLandscape, NkState};
+pub use onemax::{OneMax, OneMaxState};
+pub use qubo::{Qubo, QuboState};

@@ -1,0 +1,111 @@
+//! OneMax, the fruit fly of binary optimization, phrased as minimization
+//! (count the zero bits). Useful as a smoke-test problem whose optimum
+//! and landscape are fully understood.
+
+use lnls_core::{BinaryProblem, BitString, IncrementalEval};
+use lnls_neighborhood::FlipMove;
+
+/// Minimize the number of zero bits; solved at the all-ones string.
+#[derive(Copy, Clone, Debug)]
+pub struct OneMax {
+    n: usize,
+}
+
+impl OneMax {
+    /// OneMax over `n`-bit strings.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "OneMax needs n > 0");
+        Self { n }
+    }
+}
+
+/// Incremental state: the current number of zero bits.
+#[derive(Copy, Clone, Debug)]
+pub struct OneMaxState {
+    zeros: i64,
+}
+
+impl BinaryProblem for OneMax {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn evaluate(&self, s: &BitString) -> i64 {
+        self.n as i64 - s.count_ones() as i64
+    }
+
+    fn name(&self) -> String {
+        format!("onemax-{}", self.n)
+    }
+
+    fn target_fitness(&self) -> Option<i64> {
+        Some(0)
+    }
+}
+
+impl IncrementalEval for OneMax {
+    type State = OneMaxState;
+
+    fn init_state(&self, s: &BitString) -> OneMaxState {
+        OneMaxState { zeros: self.evaluate(s) }
+    }
+
+    fn state_fitness(&self, state: &OneMaxState) -> i64 {
+        state.zeros
+    }
+
+    fn neighbor_fitness(&self, state: &mut OneMaxState, s: &BitString, mv: &FlipMove) -> i64 {
+        let mut f = state.zeros;
+        for &b in mv.bits() {
+            f += if s.get(b as usize) { 1 } else { -1 };
+        }
+        f
+    }
+
+    fn apply_move(&self, state: &mut OneMaxState, s: &BitString, mv: &FlipMove) {
+        state.zeros = self.neighbor_fitness(&mut state.clone(), s, mv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnls_core::{SearchConfig, SequentialExplorer, TabuSearch};
+    use lnls_neighborhood::{Neighborhood, OneHamming};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluate_counts_zeros() {
+        let p = OneMax::new(8);
+        let mut s = BitString::zeros(8);
+        assert_eq!(p.evaluate(&s), 8);
+        s.flip(0);
+        s.flip(7);
+        assert_eq!(p.evaluate(&s), 6);
+    }
+
+    #[test]
+    fn delta_matches_full() {
+        let p = OneMax::new(40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = BitString::random(&mut rng, 40);
+        let mut st = p.init_state(&s);
+        for mv in [FlipMove::one(0), FlipMove::two(1, 39), FlipMove::three(2, 3, 4)] {
+            let mut s2 = s.clone();
+            s2.apply(&mv);
+            assert_eq!(p.neighbor_fitness(&mut st, &s, &mv), p.evaluate(&s2));
+        }
+    }
+
+    #[test]
+    fn tabu_solves_onemax() {
+        let p = OneMax::new(64);
+        let hood = OneHamming::new(64);
+        let mut ex = SequentialExplorer::new(hood);
+        let search = TabuSearch::paper(SearchConfig::budget(100), hood.size());
+        let r = search.run(&p, &mut ex, BitString::zeros(64));
+        assert!(r.success);
+        assert_eq!(r.best.count_ones(), 64);
+    }
+}

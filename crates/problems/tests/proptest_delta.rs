@@ -1,0 +1,168 @@
+//! Property-based tests: every bundled problem's incremental evaluation
+//! equals full evaluation for arbitrary moves and random walks.
+
+use lnls_core::{BinaryProblem, BitString, IncrementalEval};
+use lnls_neighborhood::{KHamming, Neighborhood};
+use lnls_problems::{IsingLattice, Knapsack, MaxCut, MaxSat, NkLandscape, OneMax, Qubo};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Check delta == full for a random move, plus state consistency after a
+/// committed walk.
+fn check_problem<P: IncrementalEval>(p: &P, seed: u64, walk: &[u64]) -> Result<(), TestCaseError> {
+    let n = p.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = BitString::random(&mut rng, n);
+    let mut st = p.init_state(&s);
+    prop_assert_eq!(p.state_fitness(&st), p.evaluate(&s));
+    for &x in walk {
+        let k = (x % 4 + 1) as usize;
+        let hood = KHamming::new(n, k.min(n));
+        let mv = hood.unrank(x % hood.size());
+        let mut s2 = s.clone();
+        s2.apply(&mv);
+        prop_assert_eq!(p.neighbor_fitness(&mut st, &s, &mv), p.evaluate(&s2));
+        p.apply_move(&mut st, &s, &mv);
+        s = s2;
+        prop_assert_eq!(p.state_fitness(&st), p.evaluate(&s));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn onemax_delta_exact(n in 4usize..80, seed in any::<u64>(), walk in prop::collection::vec(any::<u64>(), 1..12)) {
+        check_problem(&OneMax::new(n), seed, &walk)?;
+    }
+
+    #[test]
+    fn qubo_delta_exact(n in 4usize..40, seed in any::<u64>(), walk in prop::collection::vec(any::<u64>(), 1..12)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Qubo::random(&mut rng, n, 10, 0.5);
+        check_problem(&p, seed, &walk)?;
+    }
+
+    #[test]
+    fn maxsat_delta_exact(
+        n in 4usize..40,
+        m in 1usize..120,
+        seed in any::<u64>(),
+        walk in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = MaxSat::random(&mut rng, n.max(4), m);
+        check_problem(&p, seed, &walk)?;
+    }
+
+    #[test]
+    fn nk_delta_exact(
+        n in 6usize..40,
+        k_epi in 0usize..5,
+        seed in any::<u64>(),
+        walk in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = NkLandscape::random(&mut rng, n, k_epi.min(n - 1), 100);
+        check_problem(&p, seed, &walk)?;
+    }
+
+    #[test]
+    fn maxcut_delta_exact(
+        n in 4usize..36,
+        seed in any::<u64>(),
+        walk in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = MaxCut::random(&mut rng, n, 0.4, 9);
+        check_problem(&p, seed, &walk)?;
+    }
+
+    #[test]
+    fn knapsack_delta_exact(
+        n in 4usize..40,
+        seed in any::<u64>(),
+        walk in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Knapsack::random(&mut rng, n, 12, 6);
+        check_problem(&p, seed, &walk)?;
+    }
+
+    #[test]
+    fn ising_delta_exact(
+        l in 2usize..7,
+        hmax in 0i64..3,
+        seed in any::<u64>(),
+        walk in prop::collection::vec(any::<u64>(), 1..12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = IsingLattice::random_pm(&mut rng, l, hmax);
+        check_problem(&p, seed, &walk)?;
+    }
+
+    /// Max-Cut: the cut is symmetric under complementing the partition,
+    /// and bounded by the total edge weight.
+    #[test]
+    fn maxcut_symmetry_and_bound(n in 4usize..30, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = MaxCut::random(&mut rng, n, 0.5, 7);
+        let s = BitString::random(&mut rng, n);
+        let mut comp = s.clone();
+        for i in 0..n {
+            comp.apply(&lnls_neighborhood::FlipMove::one(i as u32));
+        }
+        prop_assert_eq!(g.evaluate(&s), g.evaluate(&comp), "complement symmetry");
+        prop_assert!(g.cut_value(&s) >= 0 || g.edge_count() > 0);
+    }
+
+    /// Ising: energy is symmetric under global spin flip when h ≡ 0, and
+    /// the ferromagnet's ground energy −2L² lower-bounds every state.
+    #[test]
+    fn ising_global_flip_symmetry(l in 2usize..7, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = IsingLattice::random_pm(&mut rng, l, 0);
+        let n = l * l;
+        let s = BitString::random(&mut rng, n);
+        let mut comp = s.clone();
+        for i in 0..n {
+            comp.apply(&lnls_neighborhood::FlipMove::one(i as u32));
+        }
+        prop_assert_eq!(g.evaluate(&s), g.evaluate(&comp), "Z2 symmetry");
+        let ferro = IsingLattice::ferromagnet(l);
+        prop_assert!(ferro.evaluate(&s) >= -2 * (n as i64));
+    }
+
+    /// Knapsack: fitness of any feasible selection is −value; the DP
+    /// optimum lower-bounds every penalized fitness.
+    #[test]
+    fn knapsack_dp_lower_bound(n in 4usize..14, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = Knapsack::random(&mut rng, n, 9, 5);
+        let opt = k.optimum_value();
+        for mask in 0u32..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (mask >> i) & 1 == 1).collect();
+            let s = BitString::from_bits(&bits);
+            prop_assert!(k.evaluate(&s) >= -opt, "penalized fitness beat the DP optimum");
+            if k.feasible(&s) {
+                prop_assert_eq!(k.evaluate(&s), -k.value_of(&s));
+            }
+        }
+    }
+
+    /// MaxSat fitness is bounded by the clause count; OneMax by n.
+    #[test]
+    fn fitness_bounds(n in 4usize..40, m in 1usize..80, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sat = MaxSat::random(&mut rng, n.max(4), m);
+        let s = BitString::random(&mut rng, n.max(4));
+        let f = sat.evaluate(&s);
+        prop_assert!(f >= 0 && f <= m as i64);
+        let om = OneMax::new(n);
+        let s = BitString::random(&mut rng, n);
+        let f = om.evaluate(&s);
+        prop_assert!(f >= 0 && f <= n as i64);
+    }
+}

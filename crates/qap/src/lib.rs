@@ -1,0 +1,46 @@
+//! # lnls-qap — the quadratic assignment problem under robust tabu search
+//!
+//! The LS paper's tabu search *is* Taillard's robust taboo search for
+//! the QAP (its reference \[11\]), transplanted to binary problems. This
+//! crate implements the algorithm in its original habitat and runs its
+//! swap neighborhood through the same machinery the paper built for
+//! binary strings:
+//!
+//! * the `C(n,2)` swap moves are flat-indexed with the **paper's own
+//!   triangular mapping** (Appendices A–B via
+//!   `lnls_neighborhood::mapping2d`) — one thread id ↔ one swap;
+//! * the full-neighborhood scan runs either on the host (Taillard's
+//!   O(1)-amortized [`DeltaTable`]) or on the simulated GPU
+//!   ([`GpuSwapEvaluator`], one thread per swap — the paper's
+//!   `MoveIncrEvalKernel` pattern);
+//! * [`RobustTabu`] drives the search with randomized tenures in
+//!   `[0.9n, 1.1n]` and aspiration, per the 1991 paper.
+//!
+//! ```
+//! use lnls_qap::{Permutation, QapInstance, RobustTabu, RtsConfig, TableEvaluator};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let inst = QapInstance::random_symmetric(&mut rng, 8);
+//! let (optimum, _) = inst.brute_force_optimum();
+//! let rts = RobustTabu::new(RtsConfig::budget(2_000).with_target(Some(optimum)));
+//! let init = Permutation::random(&mut rng, 8);
+//! let result = rts.run(&inst, &mut TableEvaluator::new(), init);
+//! assert_eq!(result.best_cost, optimum);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gpu;
+pub mod instance;
+pub mod objective;
+pub mod permutation;
+pub mod rts;
+
+pub use gpu::{GpuSwapEvaluator, QapSwapKernel};
+pub use instance::QapInstance;
+pub use objective::{swap_delta, DeltaTable};
+pub use permutation::Permutation;
+pub use rts::{FreshEvaluator, RobustTabu, RtsConfig, RtsResult, SwapEvaluator, TableEvaluator};

@@ -1,0 +1,149 @@
+//! Permutation solutions for assignment-type problems.
+//!
+//! `p[i] = j` reads "facility `i` is placed at location `j`". The swap
+//! neighborhood exchanges the locations of two facilities — `C(n,2)`
+//! moves, flat-indexed with the *same* triangular mapping the paper
+//! derives for the 2-Hamming neighborhood (Appendices A–B), which is
+//! how this crate demonstrates the mappings are encoding-agnostic.
+
+use rand::Rng;
+
+/// A permutation of `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    p: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        Self { p: (0..n as u32).collect() }
+    }
+
+    /// A uniformly random permutation (Fisher–Yates).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Self {
+        let mut p: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            p.swap(i, rng.gen_range(0..=i));
+        }
+        Self { p }
+    }
+
+    /// Build from an explicit assignment vector.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a permutation of `0..p.len()`.
+    pub fn from_vec(p: Vec<u32>) -> Self {
+        let n = p.len();
+        let mut seen = vec![false; n];
+        for &v in &p {
+            assert!((v as usize) < n, "entry {v} out of range");
+            assert!(!seen[v as usize], "duplicate entry {v}");
+            seen[v as usize] = true;
+        }
+        Self { p }
+    }
+
+    /// Length `n`.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// Location of facility `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        self.p[i] as usize
+    }
+
+    /// The raw assignment slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.p
+    }
+
+    /// Exchange the locations of facilities `r` and `s`.
+    #[inline]
+    pub fn swap(&mut self, r: usize, s: usize) {
+        self.p.swap(r, s);
+    }
+
+    /// The inverse permutation (`inv[p[i]] = i`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.p.len()];
+        for (i, &v) in self.p.iter().enumerate() {
+            inv[v as usize] = i as u32;
+        }
+        Permutation { p: inv }
+    }
+}
+
+impl std::fmt::Display for Permutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.p.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_and_inverse() {
+        let id = Permutation::identity(5);
+        assert_eq!(id.inverse(), id);
+        let p = Permutation::from_vec(vec![2, 0, 1]);
+        let inv = p.inverse();
+        for i in 0..3 {
+            assert_eq!(inv.get(p.get(i)), i);
+        }
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 7, 40] {
+            let p = Permutation::random(&mut rng, n);
+            let mut sorted: Vec<u32> = p.as_slice().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut p = Permutation::identity(4);
+        p.swap(1, 3);
+        assert_eq!(p.as_slice(), &[0, 3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_rejected() {
+        let _ = Permutation::from_vec(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Permutation::from_vec(vec![0, 3]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Permutation::from_vec(vec![1, 0]);
+        assert_eq!(p.to_string(), "[1 0]");
+    }
+}

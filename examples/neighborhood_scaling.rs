@@ -1,0 +1,56 @@
+//! The paper's central claim in one run: *larger neighborhoods give
+//! better solutions* (at higher per-iteration cost). Runs the same tabu
+//! budget with 1-, 2- and 3-Hamming neighborhoods over several tries on
+//! one PPP instance and prints a miniature Tables I–III.
+//!
+//! ```text
+//! cargo run --release --example neighborhood_scaling
+//! ```
+
+use lnls::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (m, n, tries, budget) = (31, 31, 8, 3_000);
+    let instance = PppInstance::generate(m, n, 4242);
+    let problem = Ppp::new(instance);
+    println!("PPP {m}×{n}, {tries} tries, {budget} iterations per try\n");
+    println!("{:<12} {:>8} {:>8} {:>10} {:>10}", "hood", "mean f", "best f", "solutions", "evals/try");
+
+    for k in 1..=3usize {
+        let hood = KHamming::new(n, k);
+        let mut results = Vec::new();
+        for t in 0..tries {
+            let seed = 1000 + t as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = BitString::random(&mut rng, n);
+            let mut explorer = SequentialExplorer::new(hood);
+            let search = TabuSearch::paper(
+                SearchConfig::budget(budget).with_seed(seed),
+                Neighborhood::size(&hood),
+            );
+            results.push(search.run(&problem, &mut explorer, init));
+        }
+        let mean_f =
+            results.iter().map(|r| r.best_fitness as f64).sum::<f64>() / results.len() as f64;
+        let best_f = results.iter().map(|r| r.best_fitness).min().unwrap();
+        let solved = results.iter().filter(|r| r.success).count();
+        let evals = results.iter().map(|r| r.evals).sum::<u64>() / tries as u64;
+        println!(
+            "{:<12} {:>8.1} {:>8} {:>7}/{:<2} {:>10}",
+            format!("{k}-Hamming"),
+            mean_f,
+            best_f,
+            solved,
+            tries,
+            evals
+        );
+    }
+
+    println!(
+        "\nexpected shape (paper Tables I→III): mean fitness falls and the\n\
+         solution count rises as the neighborhood grows — bought with a\n\
+         per-iteration evaluation cost of n, n²/2 and n³/6 neighbors."
+    );
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration: complete searches through the simulated GPU
+//! backend must be *indistinguishable* from the host backends — same
+//! moves, same fitness, same solution — for every neighborhood. This is
+//! the property that justifies running quality experiments on the fast
+//! host path and pricing them with the device model.
+
+use lnls::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(m: usize, n: usize, seed: u64) -> (Ppp, BitString) {
+    let inst = PppInstance::generate(m, n, seed);
+    let p = Ppp::new(inst);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
+    let s = BitString::random(&mut rng, n);
+    (p, s)
+}
+
+fn run_with<E: Explorer<Ppp>>(p: &Ppp, init: &BitString, ex: &mut E, iters: u64) -> SearchResult {
+    let search = TabuSearch::paper(
+        SearchConfig::budget(iters).with_seed(42),
+        Explorer::<Ppp>::size(ex),
+    );
+    search.run(p, ex, init.clone())
+}
+
+#[test]
+fn tabu_identical_across_backends_all_k() {
+    let (p, init) = setup(27, 23, 5);
+    for k in 1..=3usize {
+        let hood = KHamming::new(23, k);
+        let mut seq = SequentialExplorer::new(hood);
+        let mut par = ParallelCpuExplorer::new(hood, 4);
+        let mut gpu = PppGpuExplorer::new(&p, k, GpuExplorerConfig::default());
+
+        let r_seq = run_with(&p, &init, &mut seq, 30);
+        let r_par = run_with(&p, &init, &mut par, 30);
+        let r_gpu = run_with(&p, &init, &mut gpu, 30);
+
+        assert_eq!(r_seq.best_fitness, r_par.best_fitness, "k={k} par");
+        assert_eq!(r_seq.best, r_par.best, "k={k} par solution");
+        assert_eq!(r_seq.best_fitness, r_gpu.best_fitness, "k={k} gpu");
+        assert_eq!(r_seq.best, r_gpu.best, "k={k} gpu solution");
+        assert_eq!(r_seq.iterations, r_gpu.iterations, "k={k} gpu iterations");
+    }
+}
+
+#[test]
+fn gpu_backend_prices_every_iteration() {
+    let (p, init) = setup(21, 21, 9);
+    let mut gpu = PppGpuExplorer::new(&p, 2, GpuExplorerConfig::default());
+    let r = run_with(&p, &init, &mut gpu, 25);
+    let book = r.book.expect("priced");
+    assert_eq!(book.launches, r.iterations);
+    // Per-iteration traffic: solution bits + Y + histogram up, fitness
+    // array down — all nonzero.
+    assert!(book.bytes_h2d > 0);
+    assert!(book.bytes_d2h > 0);
+    assert!(book.kernel_s > 0.0);
+    assert!(book.host_s > 0.0);
+}
+
+#[test]
+fn device_spec_changes_timing_not_results() {
+    let (p, init) = setup(25, 19, 11);
+    let mut gtx = PppGpuExplorer::new(
+        &p,
+        2,
+        GpuExplorerConfig { spec: DeviceSpec::gtx280(), ..Default::default() },
+    );
+    let mut g80 = PppGpuExplorer::new(
+        &p,
+        2,
+        GpuExplorerConfig { spec: DeviceSpec::g80(), ..Default::default() },
+    );
+    let r_gtx = run_with(&p, &init, &mut gtx, 20);
+    let r_g80 = run_with(&p, &init, &mut g80, 20);
+    assert_eq!(r_gtx.best, r_g80.best, "results must be device-independent");
+    let (b1, b2) = (r_gtx.book.unwrap(), r_g80.book.unwrap());
+    assert_ne!(b1.gpu_total_s(), b2.gpu_total_s(), "timing must be device-dependent");
+}
+
+#[test]
+fn block_size_changes_timing_not_results() {
+    let (p, init) = setup(23, 21, 13);
+    let mut bs64 = PppGpuExplorer::new(
+        &p,
+        2,
+        GpuExplorerConfig { block_size: 64, ..Default::default() },
+    );
+    let mut bs256 = PppGpuExplorer::new(
+        &p,
+        2,
+        GpuExplorerConfig { block_size: 256, ..Default::default() },
+    );
+    let a = run_with(&p, &init, &mut bs64, 15);
+    let b = run_with(&p, &init, &mut bs256, 15);
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.best_fitness, b.best_fitness);
+}

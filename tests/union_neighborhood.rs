@@ -1,0 +1,168 @@
+//! The mixed-radius union neighborhood (1H ∪ 2H ∪ 3H in one flat index
+//! space) driven end-to-end through the explorers and the tabu search.
+
+use lnls::core::hillclimb::HillClimbing;
+use lnls::core::problem::{BinaryProblem, IncrementalEval};
+use lnls::neighborhood::{FlipMove, KHamming, Neighborhood, UnionHamming};
+use lnls::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A parity trap: fitness 0 at Hamming weight 3, 1 at weight 6, 5
+/// otherwise. From weight 6, no 1- or 2-flip improves (weights 4,5,7,8
+/// all cost 5); only a 3-flip jumps 6 → 3. A union neighborhood solves
+/// it in one best-improvement step.
+struct Trap {
+    n: usize,
+}
+
+impl BinaryProblem for Trap {
+    fn dim(&self) -> usize {
+        self.n
+    }
+    fn evaluate(&self, s: &BitString) -> i64 {
+        match s.count_ones() {
+            3 => 0,
+            6 => 1,
+            _ => 5,
+        }
+    }
+    fn target_fitness(&self) -> Option<i64> {
+        Some(0)
+    }
+}
+
+impl IncrementalEval for Trap {
+    type State = u32;
+    fn init_state(&self, s: &BitString) -> u32 {
+        s.count_ones()
+    }
+    fn state_fitness(&self, w: &u32) -> i64 {
+        match *w {
+            3 => 0,
+            6 => 1,
+            _ => 5,
+        }
+    }
+    fn neighbor_fitness(&self, w: &mut u32, s: &BitString, mv: &FlipMove) -> i64 {
+        let mut ones = *w as i64;
+        for &b in mv.bits() {
+            ones += if s.get(b as usize) { -1 } else { 1 };
+        }
+        match ones {
+            3 => 0,
+            6 => 1,
+            _ => 5,
+        }
+    }
+    fn apply_move(&self, w: &mut u32, s: &BitString, mv: &FlipMove) {
+        let mut ones = *w as i64;
+        for &b in mv.bits() {
+            ones += if s.get(b as usize) { -1 } else { 1 };
+        }
+        *w = ones as u32;
+    }
+}
+
+fn weight6(n: usize) -> BitString {
+    let mut s = BitString::zeros(n);
+    for i in 0..6 {
+        s.flip(i);
+    }
+    s
+}
+
+#[test]
+fn union_explorer_matches_per_radius_segments() {
+    // The union's fitness vector must equal the concatenation of the
+    // per-k vectors, index for index.
+    let n = 14;
+    let p = Trap { n };
+    let mut rng = StdRng::seed_from_u64(1);
+    let s = BitString::random(&mut rng, n);
+    let mut st = p.init_state(&s);
+
+    let union = UnionHamming::ladder123(n);
+    let mut ex = SequentialExplorer::new(union.clone());
+    let mut got = Vec::new();
+    Explorer::<Trap>::explore(&mut ex, &p, &s, &mut st, &mut got);
+
+    let mut expect = Vec::new();
+    for k in 1..=3usize {
+        let mut exk = SequentialExplorer::new(KHamming::new(n, k));
+        let mut part = Vec::new();
+        Explorer::<Trap>::explore(&mut exk, &p, &s, &mut st, &mut part);
+        expect.extend(part);
+    }
+    assert_eq!(got, expect);
+    assert_eq!(got.len() as u64, union.size());
+}
+
+#[test]
+fn parallel_union_explorer_agrees_with_sequential() {
+    let n = 20; // C(20,3) = 1140 + 190 + 20 > 1024 → parallel path engages
+    let p = Trap { n };
+    let mut rng = StdRng::seed_from_u64(2);
+    let s = BitString::random(&mut rng, n);
+    let mut st = p.init_state(&s);
+    let union = UnionHamming::ladder123(n);
+
+    let mut seq = SequentialExplorer::new(union.clone());
+    let mut par = ParallelCpuExplorer::new(union, 5);
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    Explorer::<Trap>::explore(&mut seq, &p, &s, &mut st, &mut a);
+    Explorer::<Trap>::explore(&mut par, &p, &s, &mut st, &mut b);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn union_hillclimb_escapes_what_single_radii_cannot() {
+    let n = 12;
+    let p = Trap { n };
+
+    // 2-Hamming alone is stuck at weight 6 immediately.
+    let mut ex2 = SequentialExplorer::new(KHamming::new(n, 2));
+    let hc = HillClimbing::best(SearchConfig::budget(50));
+    let stuck = hc.run(&p, &mut ex2, weight6(n));
+    assert_eq!(stuck.best_fitness, 1, "2-Hamming must be trapped");
+    assert_eq!(stuck.iterations, 0);
+
+    // The union sees the 3-flip and solves in one move.
+    let mut exu = SequentialExplorer::new(UnionHamming::ladder123(n));
+    let solved = hc.run(&p, &mut exu, weight6(n));
+    assert_eq!(solved.best_fitness, 0);
+    assert_eq!(solved.iterations, 1);
+    assert_eq!(solved.best.count_ones(), 3);
+}
+
+#[test]
+fn union_tabu_runs_and_respects_move_indices() {
+    // Tabu over the union: the MoveRing memory stores flat indices that
+    // now span radii; a short run must stay consistent (fitness of the
+    // final state equals a full re-evaluation).
+    let n = 16;
+    let p = Trap { n };
+    let union = UnionHamming::ladder123(n);
+    let mut ex = SequentialExplorer::new(union.clone());
+    let search = TabuSearch::paper(
+        SearchConfig::budget(30).with_seed(3),
+        Neighborhood::size(&union),
+    );
+    let r = search.run(&p, &mut ex, weight6(n));
+    assert!(r.success, "tabu over the union must reach the optimum");
+    assert_eq!(r.best_fitness, p.evaluate(&r.best));
+}
+
+#[test]
+fn union_works_on_a_real_problem_too() {
+    // Max-Cut on a ring: the union finds the alternating optimum.
+    let g = MaxCut::ring(10);
+    let union = UnionHamming::new(10, &[1, 2]);
+    let mut ex = SequentialExplorer::new(union.clone());
+    let search = TabuSearch::paper(
+        SearchConfig::budget(300).with_target(Some(-10)),
+        Neighborhood::size(&union),
+    );
+    let r = search.run(&g, &mut ex, BitString::zeros(10));
+    assert_eq!(r.best_fitness, -10);
+}
