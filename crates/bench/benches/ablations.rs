@@ -5,7 +5,9 @@ use lnls_bench::ablation;
 fn main() {
     println!("== A1: f32 mapping precision boundary ==");
     match ablation::mapping_precision_boundary(1 << 15) {
-        Some((n, idx)) => println!("first f32 failure: n = {n}, index {idx} (paper max n=1517 is safe)"),
+        Some((n, idx)) => {
+            println!("first f32 failure: n = {n}, index {idx} (paper max n=1517 is safe)")
+        }
         None => println!("no failure below n = 32768"),
     }
 

@@ -6,10 +6,8 @@ use lnls_bench::{paper, print_fig8, run_fig8};
 use lnls_ppp::{GpuExplorerConfig, PppInstance};
 
 fn main() {
-    let iters = std::env::var("LNLS_FIG8_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000u64);
+    let iters =
+        std::env::var("LNLS_FIG8_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000u64);
     let points = run_fig8(iters, &PppInstance::fig8_sizes(), &GpuExplorerConfig::default(), 2010);
     print_fig8(&points, iters);
     // The figure's qualitative anchors from the paper text.

@@ -87,5 +87,11 @@ fn bench_apply_move(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_full_eval, bench_neighbor_fitness, bench_iteration_scan, bench_apply_move);
+criterion_group!(
+    benches,
+    bench_full_eval,
+    bench_neighbor_fitness,
+    bench_iteration_scan,
+    bench_apply_move
+);
 criterion_main!(benches);

@@ -80,7 +80,13 @@ pub struct MultiGpuRow {
 /// iteration of the `k`-Hamming neighborhood split across `counts`
 /// devices. Static data is replicated per device (each GPU has private
 /// memory); per-iteration traffic and the kernel partition are charged.
-pub fn multigpu_scaling(m: usize, n: usize, k: usize, counts: &[usize], seed: u64) -> Vec<MultiGpuRow> {
+pub fn multigpu_scaling(
+    m: usize,
+    n: usize,
+    k: usize,
+    counts: &[usize],
+    seed: u64,
+) -> Vec<MultiGpuRow> {
     let problem = Ppp::new(PppInstance::generate(m, n, seed));
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
     let s = BitString::random(&mut rng, n);
@@ -99,13 +105,15 @@ pub fn multigpu_scaling(m: usize, n: usize, k: usize, counts: &[usize], seed: u6
             let mut bufs = Vec::new();
             for (i, part) in parts.iter().enumerate() {
                 let dev = multi.device_mut(i);
-                let a_cols = dev.upload_new(&problem.inst.a.cols_as_u32(), MemSpace::Texture, "a_cols");
+                let a_cols =
+                    dev.upload_new(&problem.inst.a.cols_as_u32(), MemSpace::Texture, "a_cols");
                 let hist_target =
                     dev.upload_new(&problem.inst.target_hist, MemSpace::Texture, "hist_t");
                 let vb = dev.alloc_zeroed::<u32>(vbits.len(), MemSpace::Global, "vbits");
                 let y = dev.alloc_zeroed::<i32>(m, MemSpace::Global, "y");
                 let hc = dev.alloc_zeroed::<i32>(n + 1, MemSpace::Global, "hist_c");
-                let out = dev.alloc_zeroed::<i32>(part.len().max(1) as usize, MemSpace::Global, "out");
+                let out =
+                    dev.alloc_zeroed::<i32>(part.len().max(1) as usize, MemSpace::Global, "out");
                 bufs.push((a_cols, hist_target, vb, y, hc, out));
             }
             multi.reset(); // setup transfers are not per-iteration cost
@@ -204,8 +212,7 @@ pub fn shared_staging(sizes: &[(usize, usize)], k: usize, seed: u64) -> Vec<Shar
 
             let mut dev2 = Device::new(DeviceSpec::gtx280());
             let staged = PppEvalKernelShared { inner: build(&mut dev2) };
-            let staged_cfg =
-                LaunchConfig::cover_1d(msize, 128).with_shared_words(2 * m as u32);
+            let staged_cfg = LaunchConfig::cover_1d(msize, 128).with_shared_words(2 * m as u32);
             let rep2 = dev2.launch(&staged, staged_cfg, ExecMode::Auto);
 
             SharedStagingRow {

@@ -15,7 +15,9 @@
 //! laptop; `--full` reproduces the paper's 50-try, full-budget protocol
 //! (hours for table2/table3, exactly as it was for the authors' CPU).
 
-use lnls_bench::{ablation, paper, print_comparison, print_fig8, run_fig8, run_paper_table, RunOpts};
+use lnls_bench::{
+    ablation, paper, print_comparison, print_fig8, run_fig8, run_paper_table, RunOpts,
+};
 use lnls_ppp::PppInstance;
 
 struct Args {
@@ -49,27 +51,45 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "table1" | "table2" | "table3" | "fig8" | "pipeline" | "qap" | "ablations"
-            | "all" => {
+            "table1" | "table2" | "table3" | "fig8" | "pipeline" | "qap" | "ablations" | "all" => {
                 args.command = a;
             }
             "--tries" => {
-                args.tries =
-                    Some(it.next().ok_or("--tries needs a value")?.parse().map_err(|e| format!("--tries: {e}"))?);
+                args.tries = Some(
+                    it.next()
+                        .ok_or("--tries needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--tries: {e}"))?,
+                );
             }
             "--scale" => {
-                args.scale =
-                    Some(it.next().ok_or("--scale needs a value")?.parse().map_err(|e| format!("--scale: {e}"))?);
+                args.scale = Some(
+                    it.next()
+                        .ok_or("--scale needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                );
             }
             "--seed" => {
-                args.seed = it.next().ok_or("--seed needs a value")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--threads" => {
-                args.threads =
-                    it.next().ok_or("--threads needs a value")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             "--iters" => {
-                args.iters = it.next().ok_or("--iters needs a value")?.parse().map_err(|e| format!("--iters: {e}"))?;
+                args.iters = it
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
             }
             "--full" => args.full = true,
             "--global-mem" => args.texture = false,
@@ -202,10 +222,7 @@ fn run_pipeline(args: &Args) {
             4,
             IssueOrder::DepthFirst,
         );
-        println!(
-            "    (depth-first issue, 4 walks: x{:.3} — the FIFO-queue pitfall)\n",
-            df.speedup
-        );
+        println!("    (depth-first issue, 4 walks: x{:.3} — the FIFO-queue pitfall)\n", df.speedup);
     }
 }
 

@@ -11,8 +11,8 @@
 
 use crate::paper::PaperRow;
 use lnls_core::{
-    BitString, Explorer, IncrementalEval, SearchConfig, SearchResult, SequentialExplorer,
-    TableRow, TabuSearch, TabuStrategy,
+    BitString, Explorer, IncrementalEval, SearchConfig, SearchResult, SequentialExplorer, TableRow,
+    TabuSearch, TabuStrategy,
 };
 use lnls_gpu_sim::TimeBook;
 use lnls_neighborhood::{binomial, KHamming};
@@ -125,9 +125,9 @@ pub fn run_instance(m: usize, n: usize, k: usize, opts: &RunOpts) -> TableRow {
     let next_try = AtomicUsize::new(0);
     let results: Mutex<Vec<SearchResult>> = Mutex::new(Vec::with_capacity(opts.tries));
     let workers = opts.worker_count().min(opts.tries.max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let t = next_try.fetch_add(1, Ordering::Relaxed);
                 if t >= opts.tries {
                     break;
@@ -141,10 +141,8 @@ pub fn run_instance(m: usize, n: usize, k: usize, opts: &RunOpts) -> TableRow {
                 let mut rng = StdRng::seed_from_u64(try_seed);
                 let init = BitString::random(&mut rng, n);
                 let mut explorer = SequentialExplorer::new(hood);
-                let mut search = TabuSearch::paper(
-                    SearchConfig::budget(budget).with_seed(try_seed),
-                    msize,
-                );
+                let mut search =
+                    TabuSearch::paper(SearchConfig::budget(budget).with_seed(try_seed), msize);
                 if let Some(strategy) = &opts.strategy {
                     search.strategy = strategy.clone();
                 }
@@ -152,8 +150,7 @@ pub fn run_instance(m: usize, n: usize, k: usize, opts: &RunOpts) -> TableRow {
                 results.lock().expect("no poisoned tries").push(r);
             });
         }
-    })
-    .expect("try worker panicked");
+    });
 
     let mut results = results.into_inner().expect("no poisoned tries");
     // Attach modeled time: steady-state per-iteration cost × iterations.
@@ -166,10 +163,7 @@ pub fn run_instance(m: usize, n: usize, k: usize, opts: &RunOpts) -> TableRow {
 
 /// Regenerate one of the paper's Tables I–III (`k` = 1, 2, 3).
 pub fn run_paper_table(k: usize, opts: &RunOpts) -> Vec<TableRow> {
-    PppInstance::paper_sizes()
-        .iter()
-        .map(|&(m, n)| run_instance(m, n, k, opts))
-        .collect()
+    PppInstance::paper_sizes().iter().map(|&(m, n)| run_instance(m, n, k, opts)).collect()
 }
 
 /// One point of the Fig. 8 scaling study.
@@ -194,7 +188,12 @@ impl Fig8Point {
 
 /// Regenerate Fig. 8: 1-Hamming tabu cost over the size ladder "on the
 /// base of 10000 iterations" (time-only, like the paper's figure).
-pub fn run_fig8(iterations: u64, sizes: &[(usize, usize)], gpu_cfg: &GpuExplorerConfig, seed: u64) -> Vec<Fig8Point> {
+pub fn run_fig8(
+    iterations: u64,
+    sizes: &[(usize, usize)],
+    gpu_cfg: &GpuExplorerConfig,
+    seed: u64,
+) -> Vec<Fig8Point> {
     sizes
         .iter()
         .map(|&(m, n)| {

@@ -34,8 +34,10 @@ pub use plot::{ascii_chart, fig8_csv, fig8_series, Series};
 /// Scale settings taken from the environment (used by bench targets,
 /// which cannot take CLI arguments under `cargo bench --workspace`).
 pub fn env_opts(default_tries: usize, default_scale: f64) -> RunOpts {
-    let tries = std::env::var("LNLS_TRIES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_tries);
-    let scale = std::env::var("LNLS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(default_scale);
+    let tries =
+        std::env::var("LNLS_TRIES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_tries);
+    let scale =
+        std::env::var("LNLS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(default_scale);
     if std::env::var("LNLS_FULL").as_deref() == Ok("1") {
         RunOpts::full()
     } else {

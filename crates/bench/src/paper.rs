@@ -34,27 +34,147 @@ impl PaperRow {
 
 /// Table I — tabu search, 1-Hamming neighborhood.
 pub const TABLE1: [PaperRow; 4] = [
-    PaperRow { label: "73 × 73", m: 73, n: 73, fitness: 10.3, std: 5.1, iters: 59184.1, solutions: 10, cpu_s: 4.0, gpu_s: 9.0 },
-    PaperRow { label: "81 × 81", m: 81, n: 81, fitness: 10.8, std: 5.6, iters: 77321.3, solutions: 6, cpu_s: 6.0, gpu_s: 13.0 },
-    PaperRow { label: "101 × 101", m: 101, n: 101, fitness: 20.2, std: 14.1, iters: 166650.0, solutions: 0, cpu_s: 16.0, gpu_s: 33.0 },
-    PaperRow { label: "101 × 117", m: 101, n: 117, fitness: 16.4, std: 5.4, iters: 260130.0, solutions: 0, cpu_s: 29.0, gpu_s: 57.0 },
+    PaperRow {
+        label: "73 × 73",
+        m: 73,
+        n: 73,
+        fitness: 10.3,
+        std: 5.1,
+        iters: 59184.1,
+        solutions: 10,
+        cpu_s: 4.0,
+        gpu_s: 9.0,
+    },
+    PaperRow {
+        label: "81 × 81",
+        m: 81,
+        n: 81,
+        fitness: 10.8,
+        std: 5.6,
+        iters: 77321.3,
+        solutions: 6,
+        cpu_s: 6.0,
+        gpu_s: 13.0,
+    },
+    PaperRow {
+        label: "101 × 101",
+        m: 101,
+        n: 101,
+        fitness: 20.2,
+        std: 14.1,
+        iters: 166650.0,
+        solutions: 0,
+        cpu_s: 16.0,
+        gpu_s: 33.0,
+    },
+    PaperRow {
+        label: "101 × 117",
+        m: 101,
+        n: 117,
+        fitness: 16.4,
+        std: 5.4,
+        iters: 260130.0,
+        solutions: 0,
+        cpu_s: 29.0,
+        gpu_s: 57.0,
+    },
 ];
 
 /// Table II — tabu search, 2-Hamming neighborhood.
 pub const TABLE2: [PaperRow; 4] = [
-    PaperRow { label: "73 × 73", m: 73, n: 73, fitness: 16.4, std: 17.9, iters: 43031.7, solutions: 19, cpu_s: 81.0, gpu_s: 8.0 },
-    PaperRow { label: "81 × 81", m: 81, n: 81, fitness: 15.5, std: 16.6, iters: 67462.5, solutions: 13, cpu_s: 174.0, gpu_s: 16.0 },
-    PaperRow { label: "101 × 101", m: 101, n: 101, fitness: 14.2, std: 14.3, iters: 138349.0, solutions: 12, cpu_s: 748.0, gpu_s: 44.0 },
-    PaperRow { label: "101 × 117", m: 101, n: 117, fitness: 13.8, std: 10.8, iters: 260130.0, solutions: 0, cpu_s: 1947.0, gpu_s: 105.0 },
+    PaperRow {
+        label: "73 × 73",
+        m: 73,
+        n: 73,
+        fitness: 16.4,
+        std: 17.9,
+        iters: 43031.7,
+        solutions: 19,
+        cpu_s: 81.0,
+        gpu_s: 8.0,
+    },
+    PaperRow {
+        label: "81 × 81",
+        m: 81,
+        n: 81,
+        fitness: 15.5,
+        std: 16.6,
+        iters: 67462.5,
+        solutions: 13,
+        cpu_s: 174.0,
+        gpu_s: 16.0,
+    },
+    PaperRow {
+        label: "101 × 101",
+        m: 101,
+        n: 101,
+        fitness: 14.2,
+        std: 14.3,
+        iters: 138349.0,
+        solutions: 12,
+        cpu_s: 748.0,
+        gpu_s: 44.0,
+    },
+    PaperRow {
+        label: "101 × 117",
+        m: 101,
+        n: 117,
+        fitness: 13.8,
+        std: 10.8,
+        iters: 260130.0,
+        solutions: 0,
+        cpu_s: 1947.0,
+        gpu_s: 105.0,
+    },
 ];
 
 /// Table III — tabu search, 3-Hamming neighborhood (CPU extrapolated
 /// from 100-iteration runs).
 pub const TABLE3: [PaperRow; 4] = [
-    PaperRow { label: "73 × 73", m: 73, n: 73, fitness: 2.4, std: 4.3, iters: 21360.2, solutions: 35, cpu_s: 1202.0, gpu_s: 50.0 },
-    PaperRow { label: "81 × 81", m: 81, n: 81, fitness: 3.5, std: 4.4, iters: 43230.7, solutions: 28, cpu_s: 3730.0, gpu_s: 146.0 },
-    PaperRow { label: "101 × 101", m: 101, n: 101, fitness: 6.2, std: 5.4, iters: 117422.0, solutions: 18, cpu_s: 24657.0, gpu_s: 955.0 },
-    PaperRow { label: "101 × 117", m: 101, n: 117, fitness: 7.7, std: 2.7, iters: 255337.0, solutions: 1, cpu_s: 88151.0, gpu_s: 3551.0 },
+    PaperRow {
+        label: "73 × 73",
+        m: 73,
+        n: 73,
+        fitness: 2.4,
+        std: 4.3,
+        iters: 21360.2,
+        solutions: 35,
+        cpu_s: 1202.0,
+        gpu_s: 50.0,
+    },
+    PaperRow {
+        label: "81 × 81",
+        m: 81,
+        n: 81,
+        fitness: 3.5,
+        std: 4.4,
+        iters: 43230.7,
+        solutions: 28,
+        cpu_s: 3730.0,
+        gpu_s: 146.0,
+    },
+    PaperRow {
+        label: "101 × 101",
+        m: 101,
+        n: 101,
+        fitness: 6.2,
+        std: 5.4,
+        iters: 117422.0,
+        solutions: 18,
+        cpu_s: 24657.0,
+        gpu_s: 955.0,
+    },
+    PaperRow {
+        label: "101 × 117",
+        m: 101,
+        n: 117,
+        fitness: 7.7,
+        std: 2.7,
+        iters: 255337.0,
+        solutions: 1,
+        cpu_s: 88151.0,
+        gpu_s: 3551.0,
+    },
 ];
 
 /// Fig. 8 anchors the text states explicitly: the GPU starts winning at

@@ -28,8 +28,7 @@ pub struct Series {
 pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
     let width = width.clamp(16, 200);
     let height = height.clamp(6, 60);
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     assert!(!all.is_empty(), "nothing to plot");
     let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY);
@@ -59,8 +58,10 @@ pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
             if let Some((pr, pc)) = prev {
                 let steps = col.abs_diff(pc).max(1);
                 for t in 1..steps {
-                    let c = pc as isize + ((col as isize - pc as isize) * t as isize) / steps as isize;
-                    let r = pr as isize + ((row as isize - pr as isize) * t as isize) / steps as isize;
+                    let c =
+                        pc as isize + ((col as isize - pc as isize) * t as isize) / steps as isize;
+                    let r =
+                        pr as isize + ((row as isize - pr as isize) * t as isize) / steps as isize;
                     let (r, c) = (r as usize, c as usize);
                     if grid[r][c] == ' ' {
                         grid[r][c] = '.';

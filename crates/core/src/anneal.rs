@@ -76,7 +76,7 @@ impl<N: Neighborhood> SimulatedAnnealing<N> {
                     best = s.clone();
                 }
             }
-            if iterations % self.steps_per_temp == 0 {
+            if iterations.is_multiple_of(self.steps_per_temp) {
                 temp = (temp * self.alpha).max(1e-12);
             }
         }
@@ -107,7 +107,11 @@ mod tests {
         let p = ZeroCount { n: 32 };
         let mut rng = StdRng::seed_from_u64(1);
         let init = BitString::random(&mut rng, 32);
-        let sa = SimulatedAnnealing::new(SearchConfig::budget(50_000).with_seed(2), OneHamming::new(32), 2.0);
+        let sa = SimulatedAnnealing::new(
+            SearchConfig::budget(50_000).with_seed(2),
+            OneHamming::new(32),
+            2.0,
+        );
         let r = sa.run(&p, init);
         assert!(r.success, "fitness {}", r.best_fitness);
     }
@@ -139,7 +143,11 @@ mod tests {
             use crate::problem::BinaryProblem;
             p.evaluate(&init)
         };
-        let sa = SimulatedAnnealing::new(SearchConfig::budget(5_000).with_seed(4), OneHamming::new(40), 1e-9);
+        let sa = SimulatedAnnealing::new(
+            SearchConfig::budget(5_000).with_seed(4),
+            OneHamming::new(40),
+            1e-9,
+        );
         let r = sa.run(&p, init);
         assert!(r.best_fitness <= init_fitness);
     }

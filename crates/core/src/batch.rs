@@ -1,0 +1,300 @@
+//! Fused neighborhood evaluation for co-scheduled searches.
+//!
+//! The paper wins by making each kernel launch *large* — thousands of
+//! neighbors per iteration amortize the launch overhead and PCIe
+//! latency that dominate small launches. A fleet serving many concurrent
+//! searches can apply the same lever one level up: when several walks
+//! share a problem family and neighborhood, their per-iteration
+//! evaluations are independent and can ride in **one** fused launch —
+//! one kernel covering `Σ mᵢ` threads, one coalesced upload of all
+//! solutions, one coalesced fitness readback — instead of `B` small
+//! launches each paying overhead and transfer latency.
+//!
+//! [`BatchedExplorer`] implements that fusion over the simulated-device
+//! cost model. Functionally it evaluates every lane exactly like
+//! [`SequentialExplorer`](crate::explore::SequentialExplorer) — the
+//! fitness vectors, and therefore the moves a driver selects from them,
+//! are bit-for-bit those of a solo run. Only the *pricing* differs: its
+//! [`TimeBook`] charges each fused evaluation as a single launch.
+//!
+//! Cost shapes come from [`LaneProfile`], the same analytic quantities
+//! [`IterationProfile`](lnls_gpu_sim::IterationProfile) uses for stream
+//! pricing, so solo and fused runs are priced with one consistent model.
+
+use crate::bitstring::BitString;
+use crate::problem::IncrementalEval;
+use lnls_gpu_sim::{transfer_seconds, DeviceSpec, HostSpec, IterationProfile, TimeBook};
+use lnls_neighborhood::Neighborhood;
+use std::time::{Duration, Instant};
+
+/// Per-iteration cost shape of one search lane on a device: what one
+/// neighborhood evaluation moves over PCIe and burns in compute.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LaneProfile {
+    /// Bytes uploaded per iteration (solution bits + incremental state).
+    pub h2d_bytes: u64,
+    /// Bytes read back per iteration (the fitness array).
+    pub d2h_bytes: u64,
+    /// Modeled kernel seconds per iteration (excluding launch overhead).
+    pub kernel_seconds: f64,
+    /// Modeled sequential-host seconds for the same evaluation (the
+    /// paper's CPU column; feeds speedup reporting).
+    pub host_seconds: f64,
+}
+
+impl LaneProfile {
+    /// Analytic shape of the paper's `MoveIncrEvalKernel` pattern for a
+    /// `k`-Hamming neighborhood of `m` moves on an `n`-bit problem whose
+    /// incremental state re-uploads `state_bytes` per iteration.
+    ///
+    /// The per-neighbor work is modeled as `unrank + k incremental
+    /// updates` — `12 + 18·k` abstract ops, the op count of the generic
+    /// kernels in `lnls-problems::gpu` to within a small factor. Device
+    /// throughput uses the issue model of [`DeviceSpec`] derated to 25 %
+    /// of peak (the memory-bound regime every measured kernel of this
+    /// workspace lands in); host throughput uses [`HostSpec`] CPIs.
+    pub fn incremental_eval(
+        spec: &DeviceSpec,
+        host: &HostSpec,
+        m: u64,
+        k: usize,
+        n: usize,
+        state_bytes: u64,
+    ) -> Self {
+        let ops_per_neighbor = 12.0 + 18.0 * k as f64;
+        let peak_ops =
+            spec.sm_count as f64 * spec.warp_size as f64 / spec.issue_cycles * spec.clock_hz;
+        let device_ops = peak_ops * 0.25;
+        let host_ops = host.clock_hz / (host.cpi_alu.max(f64::EPSILON) * 1.5);
+        Self {
+            h2d_bytes: (n as u64).div_ceil(8) + state_bytes,
+            d2h_bytes: m * std::mem::size_of::<i64>() as u64,
+            kernel_seconds: m as f64 * ops_per_neighbor / device_ops,
+            host_seconds: m as f64 * ops_per_neighbor / host_ops,
+        }
+    }
+
+    /// The synchronous solo cost of one iteration: own upload (with PCIe
+    /// latency), own launch overhead, kernel, own readback.
+    pub fn solo_seconds(&self, spec: &DeviceSpec) -> f64 {
+        IterationProfile {
+            h2d_bytes: self.h2d_bytes,
+            kernel_seconds: self.kernel_seconds,
+            d2h_bytes: self.d2h_bytes,
+        }
+        .serial_seconds(spec)
+    }
+}
+
+/// One search walk's slice of a fused evaluation.
+pub struct BatchLane<'a, P: IncrementalEval> {
+    /// The lane's problem instance (lanes share a *family*, not
+    /// necessarily an instance).
+    pub problem: &'a P,
+    /// Current solution.
+    pub s: &'a BitString,
+    /// Incremental state of `s`.
+    pub state: &'a mut P::State,
+    /// Receives the lane's fitness vector, index-aligned with the
+    /// explorer's neighborhood enumeration.
+    pub out: &'a mut Vec<i64>,
+    /// The lane's per-iteration cost shape.
+    pub profile: LaneProfile,
+}
+
+/// Evaluates the neighborhoods of many co-scheduled walks in one fused
+/// simulated launch. See the module docs for semantics.
+pub struct BatchedExplorer<N: Neighborhood> {
+    hood: N,
+    spec: DeviceSpec,
+    book: TimeBook,
+    fused_launches: u64,
+    lanes_evaluated: u64,
+    wall: Duration,
+}
+
+impl<N: Neighborhood> BatchedExplorer<N> {
+    /// A fused evaluator for `hood` priced against `spec`.
+    pub fn new(hood: N, spec: DeviceSpec) -> Self {
+        Self {
+            hood,
+            spec,
+            book: TimeBook::default(),
+            fused_launches: 0,
+            lanes_evaluated: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// The neighborhood all lanes share.
+    pub fn hood(&self) -> &N {
+        &self.hood
+    }
+
+    /// The device spec the ledger prices against.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Evaluate every lane's full neighborhood, filling each `out`
+    /// vector with exactly the values a solo
+    /// [`SequentialExplorer`](crate::explore::SequentialExplorer) run
+    /// would produce, and charge the ledger **one** fused launch:
+    /// overhead once, one coalesced H2D of all lane uploads, summed
+    /// kernel time (a single compute engine executes the fused grid),
+    /// one coalesced D2H of all fitness arrays.
+    ///
+    /// Returns the modeled device seconds of this fused iteration.
+    pub fn explore_batch<P: IncrementalEval>(&mut self, lanes: &mut [BatchLane<'_, P>]) -> f64 {
+        assert!(!lanes.is_empty(), "cannot fuse an empty batch");
+        let t0 = Instant::now();
+        let m = self.hood.size();
+
+        let mut h2d_bytes = 0u64;
+        let mut d2h_bytes = 0u64;
+        let mut kernel_s = 0.0f64;
+        let mut host_s = 0.0f64;
+        for lane in lanes.iter_mut() {
+            lane.out.clear();
+            lane.out.reserve(m as usize);
+            let problem = lane.problem;
+            let s = lane.s;
+            let state = &mut *lane.state;
+            let out = &mut *lane.out;
+            self.hood.for_each_move_in(0, m, &mut |_, mv| {
+                out.push(problem.neighbor_fitness(state, s, &mv));
+                true
+            });
+            debug_assert_eq!(out.len(), m as usize);
+            h2d_bytes += lane.profile.h2d_bytes;
+            d2h_bytes += lane.profile.d2h_bytes;
+            kernel_s += lane.profile.kernel_seconds;
+            host_s += lane.profile.host_seconds;
+        }
+
+        let h2d_s = transfer_seconds(&self.spec, h2d_bytes);
+        let d2h_s = transfer_seconds(&self.spec, d2h_bytes);
+        let fused = h2d_s + self.spec.launch_overhead_s + kernel_s + d2h_s;
+
+        self.book.kernel_s += kernel_s;
+        self.book.overhead_s += self.spec.launch_overhead_s;
+        self.book.h2d_s += h2d_s;
+        self.book.d2h_s += d2h_s;
+        self.book.bytes_h2d += h2d_bytes;
+        self.book.bytes_d2h += d2h_bytes;
+        self.book.launches += 1;
+        self.book.host_s += host_s;
+        self.fused_launches += 1;
+        self.lanes_evaluated += lanes.len() as u64;
+        self.wall += t0.elapsed();
+        fused
+    }
+
+    /// Accumulated fused-launch ledger.
+    pub fn book(&self) -> &TimeBook {
+        &self.book
+    }
+
+    /// Fused launches issued.
+    pub fn fused_launches(&self) -> u64 {
+        self.fused_launches
+    }
+
+    /// Launches a solo-per-lane schedule would have issued for the same
+    /// work (one per lane per fused launch) — the amortization headline.
+    pub fn launches_saved(&self) -> u64 {
+        self.lanes_evaluated.saturating_sub(self.fused_launches)
+    }
+
+    /// Wall-clock spent evaluating (simulation cost, not modeled time).
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{Explorer, SequentialExplorer};
+    use crate::problem::testutil::ZeroCount;
+    use crate::problem::IncrementalEval;
+    use lnls_neighborhood::TwoHamming;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(spec: &DeviceSpec, m: u64) -> LaneProfile {
+        LaneProfile::incremental_eval(spec, &HostSpec::xeon_3ghz(), m, 2, 24, 16)
+    }
+
+    #[test]
+    fn fused_results_match_sequential_per_lane() {
+        let spec = DeviceSpec::gtx280();
+        let hood = TwoHamming::new(24);
+        let p1 = ZeroCount { n: 24 };
+        let p2 = ZeroCount { n: 24 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let s1 = BitString::random(&mut rng, 24);
+        let s2 = BitString::random(&mut rng, 24);
+        let mut st1 = p1.init_state(&s1);
+        let mut st2 = p2.init_state(&s2);
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        let prof = profile(&spec, hood.size());
+
+        let mut batch = BatchedExplorer::new(hood, spec.clone());
+        let mut lanes = [
+            BatchLane { problem: &p1, s: &s1, state: &mut st1, out: &mut o1, profile: prof },
+            BatchLane { problem: &p2, s: &s2, state: &mut st2, out: &mut o2, profile: prof },
+        ];
+        let fused_s = batch.explore_batch(&mut lanes);
+        assert!(fused_s > 0.0);
+
+        for (s, o) in [(&s1, &o1), (&s2, &o2)] {
+            let mut seq = SequentialExplorer::new(hood);
+            let mut st = ZeroCount { n: 24 }.init_state(s);
+            let mut expect = Vec::new();
+            Explorer::<ZeroCount>::explore(&mut seq, &ZeroCount { n: 24 }, s, &mut st, &mut expect);
+            assert_eq!(o, &expect);
+        }
+    }
+
+    #[test]
+    fn fusing_beats_solo_launches() {
+        let spec = DeviceSpec::gtx280();
+        let hood = TwoHamming::new(24);
+        let m = hood.size();
+        let prof = profile(&spec, m);
+        let p = ZeroCount { n: 24 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let solutions: Vec<BitString> = (0..8).map(|_| BitString::random(&mut rng, 24)).collect();
+        let mut states: Vec<_> = solutions.iter().map(|s| p.init_state(s)).collect();
+        let mut outs: Vec<Vec<i64>> = vec![Vec::new(); 8];
+
+        let mut batch = BatchedExplorer::new(hood, spec.clone());
+        let mut lanes: Vec<BatchLane<'_, ZeroCount>> = solutions
+            .iter()
+            .zip(states.iter_mut())
+            .zip(outs.iter_mut())
+            .map(|((s, state), out)| BatchLane { problem: &p, s, state, out, profile: prof })
+            .collect();
+        let fused = batch.explore_batch(&mut lanes);
+        let solo_sum = prof.solo_seconds(&spec) * 8.0;
+        assert!(fused < solo_sum, "fused launch {fused} must beat {solo_sum} (8 solo launches)");
+        assert_eq!(batch.fused_launches(), 1);
+        assert_eq!(batch.launches_saved(), 7);
+        assert_eq!(batch.book().launches, 1);
+        // The kernel work itself is not discounted — only overhead and
+        // transfer latency are amortized.
+        assert!((batch.book().kernel_s - prof.kernel_seconds * 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_profile_scales_with_neighborhood() {
+        let spec = DeviceSpec::gtx280();
+        let host = HostSpec::xeon_3ghz();
+        let small = LaneProfile::incremental_eval(&spec, &host, 100, 1, 32, 0);
+        let large = LaneProfile::incremental_eval(&spec, &host, 10_000, 3, 32, 0);
+        assert!(large.kernel_seconds > small.kernel_seconds);
+        assert!(large.d2h_bytes > small.d2h_bytes);
+        assert!(large.host_seconds / large.kernel_seconds > 1.0, "device must model faster");
+    }
+}

@@ -112,11 +112,7 @@ impl BitString {
     /// Panics if lengths differ.
     pub fn hamming(&self, other: &Self) -> u32 {
         assert_eq!(self.len, other.len, "hamming distance needs equal lengths");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 
     /// The packed words (read-only; tail bits beyond `len` are zero).
@@ -131,9 +127,9 @@ impl BitString {
     pub fn zobrist(&self, table: &[u64]) -> u64 {
         debug_assert!(table.len() >= self.len);
         let mut h = 0u64;
-        for i in 0..self.len {
+        for (i, t) in table.iter().enumerate().take(self.len) {
             if self.get(i) {
-                h ^= table[i];
+                h ^= t;
             }
         }
         h

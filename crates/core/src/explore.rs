@@ -6,7 +6,7 @@
 //!
 //! * [`SequentialExplorer`] — one host thread, the paper's "CPU time"
 //!   configuration;
-//! * [`ParallelCpuExplorer`] — all host cores via `crossbeam` (an obvious
+//! * [`ParallelCpuExplorer`] — all host cores via scoped threads (an obvious
 //!   baseline the paper leaves on the table; used by the ablations);
 //! * `PppGpuExplorer` (in `lnls-ppp`) — the simulated-GPU path of the
 //!   paper, implementing this same trait.
@@ -69,13 +69,7 @@ pub trait Explorer<P: IncrementalEval>: Send {
 
     /// Evaluate the full neighborhood of `s` into `out` (resized to
     /// [`size`](Self::size)).
-    fn explore(
-        &mut self,
-        problem: &P,
-        s: &BitString,
-        state: &mut P::State,
-        out: &mut Vec<i64>,
-    );
+    fn explore(&mut self, problem: &P, s: &BitString, state: &mut P::State, out: &mut Vec<i64>);
 
     /// Notify the backend that the search committed `mv` (backends with
     /// device-resident state resynchronize here).
@@ -211,11 +205,11 @@ impl<P: IncrementalEval, N: Neighborhood> Explorer<P> for ParallelCpuExplorer<N>
         }
         let chunk = m.div_ceil(workers);
         let hood = &self.hood;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (w, slice) in out.chunks_mut(chunk).enumerate() {
                 let lo = (w * chunk) as u64;
                 let mut local_state = state.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut i = 0usize;
                     hood.for_each_move_in(lo, lo + slice.len() as u64, &mut |_, mv| {
                         slice[i] = problem.neighbor_fitness(&mut local_state, s, &mv);
@@ -224,8 +218,7 @@ impl<P: IncrementalEval, N: Neighborhood> Explorer<P> for ParallelCpuExplorer<N>
                     });
                 });
             }
-        })
-        .expect("parallel explorer worker panicked");
+        });
         self.wall += t0.elapsed();
     }
 

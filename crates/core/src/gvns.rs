@@ -72,14 +72,12 @@ impl GeneralVns {
         let mut rounds = 0u64;
         let mut fruitless = 0usize;
 
-        let descent = VariableNeighborhoodSearch::new(
-            SearchConfig {
-                max_iters: self.descent_budget,
-                target_fitness: self.config.target_fitness,
-                time_limit: self.config.time_limit,
-                seed: self.config.seed,
-            },
-        );
+        let descent = VariableNeighborhoodSearch::new(SearchConfig {
+            max_iters: self.descent_budget,
+            target_fitness: self.config.target_fitness,
+            time_limit: self.config.time_limit,
+            seed: self.config.seed,
+        });
 
         // Round 0: descend from the initial solution before any shake.
         let r0 = descent.run(problem, explorers, incumbent.clone());
@@ -252,9 +250,12 @@ mod tests {
     fn gvns_respects_round_budget() {
         let n = 30;
         let p = ZeroCount { n };
-        let gvns = GeneralVns::new(
-            SearchConfig { max_iters: 4, target_fitness: None, time_limit: None, seed: 0 },
-        )
+        let gvns = GeneralVns::new(SearchConfig {
+            max_iters: 4,
+            target_fitness: None,
+            time_limit: None,
+            seed: 0,
+        })
         .with_descent_budget(2);
         let r = gvns.run(&p, &mut ladder(n), BitString::zeros(n));
         assert_eq!(r.iterations, 4);
@@ -263,9 +264,7 @@ mod tests {
 
     #[test]
     fn gvns_builders() {
-        let g = GeneralVns::new(SearchConfig::budget(1))
-            .with_descent_budget(9)
-            .with_restarts(2);
+        let g = GeneralVns::new(SearchConfig::budget(1)).with_descent_budget(9).with_restarts(2);
         assert_eq!(g.descent_budget, 9);
         assert_eq!(g.restart_after, 2);
     }

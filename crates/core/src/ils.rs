@@ -39,7 +39,8 @@ impl IteratedLocalSearch {
         let mut state = problem.init_state(&s);
         let mut evals_total = 0u64;
 
-        let (first_opt, evals) = descend_in_place(problem, &mut s, &mut state, self.k, self.descent_budget);
+        let (first_opt, evals) =
+            descend_in_place(problem, &mut s, &mut state, self.k, self.descent_budget);
         evals_total += evals;
         let mut best = s.clone();
         let mut best_fitness = first_opt;
@@ -66,7 +67,8 @@ impl IteratedLocalSearch {
                 s.flip(b as usize);
             }
 
-            let (f, evals) = descend_in_place(problem, &mut s, &mut state, self.k, self.descent_budget);
+            let (f, evals) =
+                descend_in_place(problem, &mut s, &mut state, self.k, self.descent_budget);
             evals_total += evals;
             if f < best_fitness {
                 best_fitness = f;

@@ -42,7 +42,9 @@
 //!         mv.bits().iter().fold(*st, |f, &b| f + if s.get(b as usize) { 1 } else { -1 })
 //!     }
 //!     fn apply_move(&self, st: &mut i64, s: &BitString, mv: &FlipMove) {
-//!         *st = self.neighbor_fitness(&mut st.clone(), s, mv);
+//!         // `neighbor_fitness` is logically const, so the state can be
+//!         // advanced by evaluating the committed move in place.
+//!         *st = self.neighbor_fitness(st, s, mv);
 //!     }
 //! }
 //!
@@ -58,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 pub mod anneal;
+pub mod batch;
 pub mod bitstring;
 pub mod explore;
 pub mod gvns;
@@ -72,16 +75,17 @@ pub mod tabu;
 pub mod vns;
 
 pub use anneal::SimulatedAnnealing;
-pub use gvns::GeneralVns;
+pub use batch::{BatchLane, BatchedExplorer, LaneProfile};
 pub use bitstring::{zobrist_table, BitString};
 pub use explore::{Explorer, ParallelCpuExplorer, SequentialExplorer};
+pub use gvns::GeneralVns;
 pub use hillclimb::{descend_in_place, HillClimbing, Pivot};
 pub use ils::IteratedLocalSearch;
 pub use multistart::MultiStart;
 pub use problem::{BinaryProblem, IncrementalEval};
 pub use report::{fmt_seconds, TableRow};
 pub use search::{SearchConfig, SearchResult, StopReason};
-pub use tabu::{TabuSearch, TabuStrategy};
+pub use tabu::{TabuCursor, TabuSearch, TabuStrategy};
 pub use vns::VariableNeighborhoodSearch;
 
 /// Everything a typical user needs in scope.

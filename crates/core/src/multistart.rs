@@ -30,10 +30,7 @@ impl MultiStart {
 
     /// Per-try seed derivation (SplitMix-style, stable across releases).
     pub fn try_seed(&self, t: usize) -> u64 {
-        let mut z = self
-            .config
-            .seed
-            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
+        let mut z = self.config.seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
@@ -51,10 +48,8 @@ impl MultiStart {
         for t in 0..self.tries {
             let seed = self.try_seed(t);
             let mut explorer = make_explorer();
-            let search = TabuSearch::paper(
-                SearchConfig { seed, ..self.config.clone() },
-                explorer.size(),
-            );
+            let search =
+                TabuSearch::paper(SearchConfig { seed, ..self.config.clone() }, explorer.size());
             let mut rng = StdRng::seed_from_u64(seed);
             let init = BitString::random(&mut rng, problem.dim());
             results.push(search.run(problem, &mut explorer, init));
@@ -89,9 +84,8 @@ mod tests {
     fn runs_and_aggregates() {
         let p = ZeroCount { n: 24 };
         let ms = MultiStart::new(SearchConfig::budget(50).with_seed(3), 5);
-        let row = ms.run_tabu_aggregated("zerocount", &p, || {
-            SequentialExplorer::new(OneHamming::new(24))
-        });
+        let row = ms
+            .run_tabu_aggregated("zerocount", &p, || SequentialExplorer::new(OneHamming::new(24)));
         assert_eq!(row.tries, 5);
         assert_eq!(row.solutions, 5, "1-flip tabu solves zerocount every time");
         assert_eq!(row.mean_fitness, 0.0);

@@ -413,9 +413,11 @@ mod tests {
     #[test]
     fn strict_acceptance_descends_to_optimum() {
         let (p, mut ex) = problem_and_explorer(12);
-        let r = PeoSearch::new(Acceptance::Strict)
-            .stop_when(MaxIterations(100))
-            .run(&p, &mut ex, BitString::zeros(12));
+        let r = PeoSearch::new(Acceptance::Strict).stop_when(MaxIterations(100)).run(
+            &p,
+            &mut ex,
+            BitString::zeros(12),
+        );
         assert_eq!(r.best_fitness, 0);
         assert_eq!(r.iterations, 12, "one bit fixed per iteration");
     }
@@ -465,9 +467,11 @@ mod tests {
         let n = 10; // 1-Hamming: 10 evals per iteration
         let p = ZeroCount { n };
         let mut ex = SequentialExplorer::new(OneHamming::new(n));
-        let r = PeoSearch::new(Acceptance::Always)
-            .stop_when(EvalBudget(35))
-            .run(&p, &mut ex, BitString::zeros(n));
+        let r = PeoSearch::new(Acceptance::Always).stop_when(EvalBudget(35)).run(
+            &p,
+            &mut ex,
+            BitString::zeros(n),
+        );
         // Iterations 1..4 hit 10,20,30,40 evals; the check happens
         // before each iteration, so the run stops entering iteration 4.
         assert_eq!(r.iterations, 4);
@@ -546,9 +550,11 @@ mod tests {
         let init = BitString::zeros(n);
 
         let mut ex1 = SequentialExplorer::new(TwoHamming::new(n));
-        let peo = PeoSearch::new(Acceptance::Strict)
-            .stop_when(MaxIterations(10_000))
-            .run(&p, &mut ex1, init.clone());
+        let peo = PeoSearch::new(Acceptance::Strict).stop_when(MaxIterations(10_000)).run(
+            &p,
+            &mut ex1,
+            init.clone(),
+        );
 
         let mut ex2 = SequentialExplorer::new(TwoHamming::new(n));
         let hc = HillClimbing::best(SearchConfig::budget(10_000));

@@ -84,7 +84,12 @@ impl core::fmt::Display for TableRow {
         write!(
             f,
             "{:<14} {:>7.1}({:<6.1}) {:>9.1} {:>6}/{:<3}",
-            self.label, self.mean_fitness, self.std_fitness, self.mean_iters, self.solutions, self.tries
+            self.label,
+            self.mean_fitness,
+            self.std_fitness,
+            self.mean_iters,
+            self.solutions,
+            self.tries
         )?;
         match self.cpu_time_s {
             Some(c) => write!(f, " {:>9}", fmt_seconds(c))?,

@@ -19,10 +19,11 @@
 use crate::bitstring::{zobrist_table, BitString};
 use crate::explore::Explorer;
 use crate::problem::IncrementalEval;
-use crate::search::{SearchConfig, SearchResult};
+use crate::search::{SearchConfig, SearchResult, StopReason};
+use lnls_gpu_sim::TimeBook;
 use lnls_neighborhood::FlipMove;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Short-term memory variant.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,6 +64,7 @@ impl TabuStrategy {
 }
 
 /// Tabu-search driver over any [`Explorer`] backend.
+#[derive(Clone)]
 pub struct TabuSearch {
     /// Generic search knobs.
     pub config: SearchConfig,
@@ -86,6 +88,65 @@ impl TabuSearch {
         }
     }
 
+    /// Build a resumable [`TabuCursor`] positioned at `init`.
+    ///
+    /// The cursor owns every piece of loop-carried state, so callers can
+    /// interleave many searches iteration by iteration (the runtime
+    /// scheduler's launch batching), snapshot them mid-flight
+    /// (checkpoint/resume), or drive them to completion like
+    /// [`run`](Self::run) does.
+    pub fn cursor<P: IncrementalEval>(&self, problem: &P, init: BitString) -> TabuCursor<P> {
+        let n = problem.dim();
+        assert_eq!(init.len(), n, "initial solution has wrong length");
+
+        let s = init;
+        let state = problem.init_state(&s);
+        let cur_fitness = problem.state_fitness(&state);
+
+        let ztable = zobrist_table(n, 0xC0FFEE ^ self.config.seed);
+        let cur_hash = s.zobrist(&ztable);
+        let ring_len = match self.strategy {
+            TabuStrategy::SolutionRing { len } => len,
+            _ => 0,
+        };
+        let mut ring: Vec<u64> = Vec::new();
+        let mut ring_set: HashMap<u64, u32> = HashMap::new();
+        if ring_len > 0 {
+            ring_set.insert(cur_hash, 1);
+            ring.push(cur_hash);
+        }
+        let mring_len = match self.strategy {
+            TabuStrategy::MoveRing { len } => len,
+            _ => 0,
+        };
+
+        TabuCursor {
+            search: self.clone(),
+            best: s.clone(),
+            best_fitness: cur_fitness,
+            history: self.keep_history.then(Vec::new),
+            trajectory: self.keep_history.then(Vec::new),
+            s,
+            state,
+            cur_fitness,
+            ztable,
+            cur_hash,
+            ring,
+            ring_pos: 0,
+            ring_set,
+            ring_len,
+            mring: Vec::new(),
+            mring_pos: 0,
+            mring_set: HashMap::new(),
+            mring_len,
+            last_flip: vec![u64::MAX; n],
+            iterations: 0,
+            evals: 0,
+            last_committed: None,
+            out_scratch: Vec::new(),
+        }
+    }
+
     /// Run from the given initial solution.
     pub fn run<P, E>(&self, problem: &P, explorer: &mut E, init: BitString) -> SearchResult
     where
@@ -93,166 +154,332 @@ impl TabuSearch {
         E: Explorer<P> + ?Sized,
     {
         let t0 = Instant::now();
-        let n = problem.dim();
-        assert_eq!(init.len(), n, "initial solution has wrong length");
-        let m = explorer.size();
-        let target = self.config.target_fitness;
-
-        let mut s = init;
-        let mut state = problem.init_state(&s);
-        let mut cur_fitness = problem.state_fitness(&state);
-        let mut best = s.clone();
-        let mut best_fitness = cur_fitness;
-        let mut history = self.keep_history.then(Vec::new);
-        let mut trajectory = self.keep_history.then(Vec::new);
-
-        // Solution-ring memory.
-        let ztable = zobrist_table(n, 0xC0FFEE ^ self.config.seed);
-        let mut cur_hash = s.zobrist(&ztable);
-        let mut ring: Vec<u64> = Vec::new();
-        let mut ring_pos = 0usize;
-        let mut ring_set: HashMap<u64, u32> = HashMap::new();
-        let ring_len = match self.strategy {
-            TabuStrategy::SolutionRing { len } => len,
-            _ => 0,
-        };
-        if ring_len > 0 {
-            ring_set.insert(cur_hash, 1);
-            ring.push(cur_hash);
-        }
-
-        // Move-ring memory.
-        let mring_len = match self.strategy {
-            TabuStrategy::MoveRing { len } => len,
-            _ => 0,
-        };
-        let mut mring: Vec<u64> = Vec::new();
-        let mut mring_pos = 0usize;
-        let mut mring_set: HashMap<u64, u32> = HashMap::new();
-
-        // Attribute memory.
-        let mut last_flip: Vec<u64> = vec![u64::MAX; n];
-
-        let mut out: Vec<i64> = Vec::new();
-        let mut iterations = 0u64;
-        let mut evals = 0u64;
-
-        'outer: for iter in 0..self.config.max_iters {
+        let mut cursor = self.cursor(problem, init);
+        loop {
             if let Some(limit) = self.config.time_limit {
                 if t0.elapsed() >= limit {
-                    break 'outer;
+                    break;
                 }
             }
-            if target.is_some_and(|t| best_fitness <= t) {
-                break 'outer;
-            }
-
-            explorer.explore(problem, &s, &mut state, &mut out);
-            evals += m;
-            iterations += 1;
-
-            // Selection pass: best admissible move (ties → lowest index),
-            // falling back to the best move overall if everything is tabu.
-            // Moves are enumerated through the explorer so mixed-radius
-            // neighborhoods (`UnionHamming`) stay index-aligned with `out`.
-            let mut best_adm: Option<(i64, u64, FlipMove)> = None;
-            let mut best_any: Option<(i64, u64, FlipMove)> = None;
-            explorer.for_each_move(0, out.len() as u64, &mut |idx, mv| {
-                let f = out[idx as usize];
-                if best_any.is_none() || f < best_any.as_ref().unwrap().0 {
-                    best_any = Some((f, idx, mv));
-                }
-                if best_adm.as_ref().is_some_and(|(bf, _, _)| f >= *bf) {
-                    return true; // not better than current admissible best
-                }
-                let tabu = match self.strategy {
-                    TabuStrategy::SolutionRing { .. } => {
-                        let mut h = cur_hash;
-                        for &b in mv.bits() {
-                            h ^= ztable[b as usize];
-                        }
-                        ring_set.contains_key(&h)
-                    }
-                    TabuStrategy::MoveRing { .. } => mring_set.contains_key(&idx),
-                    TabuStrategy::Attribute { tenure } => mv.bits().iter().any(|&b| {
-                        let lf = last_flip[b as usize];
-                        lf != u64::MAX && iter.saturating_sub(lf) < tenure
-                    }),
-                };
-                let admissible = !tabu || (self.aspiration && f < best_fitness);
-                if admissible {
-                    best_adm = Some((f, idx, mv));
-                }
-                true
-            });
-
-            let (f, chosen_idx, mv) = best_adm.or(best_any).expect("non-empty neighborhood");
-
-            // Commit the move.
-            problem.apply_move(&mut state, &s, &mv);
-            s.apply(&mv);
-            cur_fitness = f;
-            debug_assert_eq!(problem.state_fitness(&state), cur_fitness);
-            explorer.committed(problem, &s, &state, &mv);
-            for &b in mv.bits() {
-                cur_hash ^= ztable[b as usize];
-                last_flip[b as usize] = iter;
-            }
-
-            if ring_len > 0 {
-                if ring.len() < ring_len {
-                    ring.push(cur_hash);
-                } else {
-                    let evicted = std::mem::replace(&mut ring[ring_pos], cur_hash);
-                    ring_pos = (ring_pos + 1) % ring_len;
-                    if let Some(c) = ring_set.get_mut(&evicted) {
-                        *c -= 1;
-                        if *c == 0 {
-                            ring_set.remove(&evicted);
-                        }
-                    }
-                }
-                *ring_set.entry(cur_hash).or_insert(0) += 1;
-            }
-            if mring_len > 0 {
-                if mring.len() < mring_len {
-                    mring.push(chosen_idx);
-                } else {
-                    let evicted = std::mem::replace(&mut mring[mring_pos], chosen_idx);
-                    mring_pos = (mring_pos + 1) % mring_len;
-                    if let Some(c) = mring_set.get_mut(&evicted) {
-                        *c -= 1;
-                        if *c == 0 {
-                            mring_set.remove(&evicted);
-                        }
-                    }
-                }
-                *mring_set.entry(chosen_idx).or_insert(0) += 1;
-            }
-
-            if cur_fitness < best_fitness {
-                best_fitness = cur_fitness;
-                best = s.clone();
-            }
-            if let Some(h) = history.as_mut() {
-                h.push(best_fitness);
-            }
-            if let Some(t) = trajectory.as_mut() {
-                t.push(cur_fitness);
+            if cursor.step(problem, explorer).is_some() {
+                break;
             }
         }
+        cursor.into_result(t0.elapsed(), explorer.book(), explorer.backend())
+    }
+}
 
+/// Borrowed enumerator handing `(flat index, move)` pairs to a visitor
+/// in index order — how the selection pass walks a fitness vector.
+type EnumerateMoves<'a> = &'a dyn Fn(&mut dyn FnMut(u64, FlipMove) -> bool);
+
+/// The loop-carried state of one tabu-search walk, stepped externally.
+///
+/// Produced by [`TabuSearch::cursor`]. One [`step`](Self::step) performs
+/// exactly one iteration of the paper's model — explore the full
+/// neighborhood, select the best admissible move, commit it — so a run
+/// driven through a cursor makes bit-for-bit the moves
+/// [`TabuSearch::run`] makes (which is implemented on top of it).
+///
+/// For backends that evaluate *several* walks per device launch
+/// (`BatchedExplorer`), the exploration and selection halves are exposed
+/// separately: evaluate the neighborhood externally into a fitness
+/// vector, then feed it to [`select_and_commit`](Self::select_and_commit).
+///
+/// The cursor is `Clone` (the problem state `P::State` always is), which
+/// is what makes in-flight jobs checkpointable in the runtime scheduler.
+pub struct TabuCursor<P: IncrementalEval> {
+    search: TabuSearch,
+    s: BitString,
+    state: P::State,
+    cur_fitness: i64,
+    best: BitString,
+    best_fitness: i64,
+    history: Option<Vec<i64>>,
+    trajectory: Option<Vec<i64>>,
+    ztable: Vec<u64>,
+    cur_hash: u64,
+    ring: Vec<u64>,
+    ring_pos: usize,
+    ring_set: HashMap<u64, u32>,
+    ring_len: usize,
+    mring: Vec<u64>,
+    mring_pos: usize,
+    mring_set: HashMap<u64, u32>,
+    mring_len: usize,
+    last_flip: Vec<u64>,
+    iterations: u64,
+    evals: u64,
+    last_committed: Option<FlipMove>,
+    out_scratch: Vec<i64>,
+}
+
+impl<P: IncrementalEval> Clone for TabuCursor<P> {
+    fn clone(&self) -> Self {
+        Self {
+            search: self.search.clone(),
+            s: self.s.clone(),
+            state: self.state.clone(),
+            cur_fitness: self.cur_fitness,
+            best: self.best.clone(),
+            best_fitness: self.best_fitness,
+            history: self.history.clone(),
+            trajectory: self.trajectory.clone(),
+            ztable: self.ztable.clone(),
+            cur_hash: self.cur_hash,
+            ring: self.ring.clone(),
+            ring_pos: self.ring_pos,
+            ring_set: self.ring_set.clone(),
+            ring_len: self.ring_len,
+            mring: self.mring.clone(),
+            mring_pos: self.mring_pos,
+            mring_set: self.mring_set.clone(),
+            mring_len: self.mring_len,
+            last_flip: self.last_flip.clone(),
+            iterations: self.iterations,
+            evals: self.evals,
+            last_committed: self.last_committed,
+            out_scratch: Vec::new(),
+        }
+    }
+}
+
+impl<P: IncrementalEval> TabuCursor<P> {
+    /// Why the walk must stop now, if it must (target reached or budget
+    /// exhausted). Wall-clock limits are the caller's concern — a cursor
+    /// has no clock.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        let target = self.search.config.target_fitness;
+        if target.is_some_and(|t| self.best_fitness <= t) {
+            Some(StopReason::Target)
+        } else if self.iterations >= self.search.config.max_iters {
+            Some(StopReason::MaxIters)
+        } else {
+            None
+        }
+    }
+
+    /// One full iteration through `explorer`. Returns `None` when the
+    /// iteration ran, or the [`StopReason`] when the walk is finished and
+    /// nothing was done.
+    pub fn step<E>(&mut self, problem: &P, explorer: &mut E) -> Option<StopReason>
+    where
+        E: Explorer<P> + ?Sized,
+    {
+        if let Some(reason) = self.stop_reason() {
+            return Some(reason);
+        }
+        let m = explorer.size();
+        let mut out = std::mem::take(&mut self.out_scratch);
+        explorer.explore(problem, &self.s, &mut self.state, &mut out);
+        self.evals += m;
+        self.iterations += 1;
+        let iter = self.iterations - 1;
+        self.select_commit_inner(
+            problem,
+            &|f| explorer.for_each_move(0, out.len() as u64, f),
+            &out,
+            iter,
+        );
+        self.out_scratch = out;
+        if let Some(mv) = self.last_move() {
+            explorer.committed(problem, &self.s, &self.state, &mv);
+        }
+        None
+    }
+
+    /// Selection half of one iteration, for externally evaluated
+    /// neighborhoods: `out[i]` must hold the fitness of the neighbor with
+    /// flat move index `i` under `hood`'s enumeration (the contract of
+    /// [`Explorer::explore`]). Returns `false` (and does nothing) when
+    /// the walk is already finished.
+    pub fn select_and_commit<N: lnls_neighborhood::Neighborhood>(
+        &mut self,
+        problem: &P,
+        hood: &N,
+        out: &[i64],
+    ) -> bool {
+        if self.stop_reason().is_some() {
+            return false;
+        }
+        self.evals += out.len() as u64;
+        self.iterations += 1;
+        let iter = self.iterations - 1;
+        self.select_commit_inner(
+            problem,
+            &|f| hood.for_each_move_in(0, out.len() as u64, f),
+            out,
+            iter,
+        );
+        true
+    }
+
+    /// The move committed by the latest iteration (for explorer resync).
+    pub fn last_move(&self) -> Option<FlipMove> {
+        self.last_committed
+    }
+
+    fn select_commit_inner(
+        &mut self,
+        problem: &P,
+        enumerate: EnumerateMoves<'_>,
+        out: &[i64],
+        iter: u64,
+    ) {
+        // Selection pass: best admissible move (ties → lowest index),
+        // falling back to the best move overall if everything is tabu.
+        // Moves are enumerated through the caller so mixed-radius
+        // neighborhoods (`UnionHamming`) stay index-aligned with `out`.
+        let mut best_adm: Option<(i64, u64, FlipMove)> = None;
+        let mut best_any: Option<(i64, u64, FlipMove)> = None;
+        enumerate(&mut |idx, mv| {
+            let f = out[idx as usize];
+            if best_any.is_none() || f < best_any.as_ref().unwrap().0 {
+                best_any = Some((f, idx, mv));
+            }
+            if best_adm.as_ref().is_some_and(|(bf, _, _)| f >= *bf) {
+                return true; // not better than current admissible best
+            }
+            let tabu = match self.search.strategy {
+                TabuStrategy::SolutionRing { .. } => {
+                    let mut h = self.cur_hash;
+                    for &b in mv.bits() {
+                        h ^= self.ztable[b as usize];
+                    }
+                    self.ring_set.contains_key(&h)
+                }
+                TabuStrategy::MoveRing { .. } => self.mring_set.contains_key(&idx),
+                TabuStrategy::Attribute { tenure } => mv.bits().iter().any(|&b| {
+                    let lf = self.last_flip[b as usize];
+                    lf != u64::MAX && iter.saturating_sub(lf) < tenure
+                }),
+            };
+            let admissible = !tabu || (self.search.aspiration && f < self.best_fitness);
+            if admissible {
+                best_adm = Some((f, idx, mv));
+            }
+            true
+        });
+
+        let (f, chosen_idx, mv) = best_adm.or(best_any).expect("non-empty neighborhood");
+
+        // Commit the move.
+        problem.apply_move(&mut self.state, &self.s, &mv);
+        self.s.apply(&mv);
+        self.cur_fitness = f;
+        debug_assert_eq!(problem.state_fitness(&self.state), self.cur_fitness);
+        for &b in mv.bits() {
+            self.cur_hash ^= self.ztable[b as usize];
+            self.last_flip[b as usize] = iter;
+        }
+        self.last_committed = Some(mv);
+
+        if self.ring_len > 0 {
+            if self.ring.len() < self.ring_len {
+                self.ring.push(self.cur_hash);
+            } else {
+                let evicted = std::mem::replace(&mut self.ring[self.ring_pos], self.cur_hash);
+                self.ring_pos = (self.ring_pos + 1) % self.ring_len;
+                if let Some(c) = self.ring_set.get_mut(&evicted) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.ring_set.remove(&evicted);
+                    }
+                }
+            }
+            *self.ring_set.entry(self.cur_hash).or_insert(0) += 1;
+        }
+        if self.mring_len > 0 {
+            if self.mring.len() < self.mring_len {
+                self.mring.push(chosen_idx);
+            } else {
+                let evicted = std::mem::replace(&mut self.mring[self.mring_pos], chosen_idx);
+                self.mring_pos = (self.mring_pos + 1) % self.mring_len;
+                if let Some(c) = self.mring_set.get_mut(&evicted) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.mring_set.remove(&evicted);
+                    }
+                }
+            }
+            *self.mring_set.entry(chosen_idx).or_insert(0) += 1;
+        }
+
+        if self.cur_fitness < self.best_fitness {
+            self.best_fitness = self.cur_fitness;
+            self.best = self.s.clone();
+        }
+        if let Some(h) = self.history.as_mut() {
+            h.push(self.best_fitness);
+        }
+        if let Some(t) = self.trajectory.as_mut() {
+            t.push(self.cur_fitness);
+        }
+    }
+
+    /// Current solution.
+    pub fn current(&self) -> &BitString {
+        &self.s
+    }
+
+    /// The `(solution, state)` pair an external evaluation needs, split
+    /// so both can be borrowed at once (a `BatchLane` holds the solution
+    /// shared and the state mutably).
+    pub fn explore_parts(&mut self) -> (&BitString, &mut P::State) {
+        (&self.s, &mut self.state)
+    }
+
+    /// Iterations left in the budget.
+    pub fn remaining_iters(&self) -> u64 {
+        self.search.config.max_iters.saturating_sub(self.iterations)
+    }
+
+    /// Problem state of the current solution.
+    pub fn state(&self) -> &P::State {
+        &self.state
+    }
+
+    /// Mutable problem state (exploration backends use scratch space
+    /// inside it).
+    pub fn state_mut(&mut self) -> &mut P::State {
+        &mut self.state
+    }
+
+    /// Best fitness seen so far.
+    pub fn best_fitness(&self) -> i64 {
+        self.best_fitness
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Neighbor evaluations consumed so far.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Finalize into a [`SearchResult`]; the caller supplies what a
+    /// cursor cannot know — elapsed wall-clock and the backend identity.
+    pub fn into_result(
+        self,
+        wall: Duration,
+        book: Option<TimeBook>,
+        backend: String,
+    ) -> SearchResult {
+        let target = self.search.config.target_fitness;
         SearchResult {
-            best,
-            best_fitness,
-            iterations,
-            success: target.is_some_and(|t| best_fitness <= t),
-            evals,
-            wall: t0.elapsed(),
-            book: explorer.book(),
-            backend: explorer.backend(),
-            history,
-            trajectory,
+            best: self.best,
+            best_fitness: self.best_fitness,
+            iterations: self.iterations,
+            success: target.is_some_and(|t| self.best_fitness <= t),
+            evals: self.evals,
+            wall,
+            book,
+            backend,
+            history: self.history,
+            trajectory: self.trajectory,
         }
     }
 }
@@ -334,7 +561,7 @@ mod tests {
             f
         }
         fn apply_move(&self, state: &mut i64, s: &BitString, mv: &FlipMove) {
-            *state = self.neighbor_fitness(&mut state.clone(), s, mv);
+            *state = self.neighbor_fitness(state, s, mv);
         }
     }
 
@@ -368,10 +595,7 @@ mod tests {
         // Degenerate memory (ring of 1 = only the current solution) lets
         // the search bounce straight back.
         let no_memory = oscillation_trajectory(TabuStrategy::SolutionRing { len: 1 });
-        assert!(
-            no_memory.iter().any(|&f| f == 0),
-            "expected oscillation without memory: {no_memory:?}"
-        );
+        assert!(no_memory.contains(&0), "expected oscillation without memory: {no_memory:?}");
     }
 
     #[test]

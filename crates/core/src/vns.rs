@@ -206,9 +206,7 @@ mod tests {
         for i in 0..n {
             init.flip(i);
         }
-        let vns = VariableNeighborhoodSearch::new(
-            SearchConfig::budget(100).with_target(None),
-        );
+        let vns = VariableNeighborhoodSearch::new(SearchConfig::budget(100).with_target(None));
         let r = vns.run(&p, &mut ladder(n), init);
         assert_eq!(r.iterations, 0);
         assert_eq!(r.best_fitness, 0);

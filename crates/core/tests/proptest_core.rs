@@ -36,7 +36,7 @@ impl IncrementalEval for ZeroCount {
         mv.bits().iter().fold(*st, |f, &b| f + if s.get(b as usize) { 1 } else { -1 })
     }
     fn apply_move(&self, st: &mut i64, s: &BitString, mv: &FlipMove) {
-        *st = self.neighbor_fitness(&mut st.clone(), s, mv);
+        *st = self.neighbor_fitness(st, s, mv);
     }
 }
 

@@ -48,7 +48,11 @@ impl ThreadCounters {
     /// warp aggregation).
     #[inline]
     pub fn issue_slots(&self, sfu_issue_factor: f64) -> f64 {
-        (self.alu + self.branches + self.ld_global + self.st_global + self.ld_texture
+        (self.alu
+            + self.branches
+            + self.ld_global
+            + self.st_global
+            + self.ld_texture
             + self.ld_constant
             + self.shared
             + self.local) as f64
@@ -310,15 +314,17 @@ impl TextureCacheSim {
 
 /// Aggregate one warp (≤ 32 thread traces) under the given coalescing
 /// segment size and SFU issue factor.
-pub fn aggregate_warp(traces: &[&ThreadTrace], segment: u32, sfu_issue_factor: f64) -> WarpAggregate {
+pub fn aggregate_warp(
+    traces: &[&ThreadTrace],
+    segment: u32,
+    sfu_issue_factor: f64,
+) -> WarpAggregate {
     let mut agg = WarpAggregate::default();
     if traces.is_empty() {
         return agg;
     }
-    agg.issue_slots = traces
-        .iter()
-        .map(|t| t.counters.issue_slots(sfu_issue_factor))
-        .fold(0.0, f64::max);
+    agg.issue_slots =
+        traces.iter().map(|t| t.counters.issue_slots(sfu_issue_factor)).fold(0.0, f64::max);
 
     // Group the i-th access of every thread as one SIMT access site.
     let max_sites = traces.iter().map(|t| t.accesses.len()).max().unwrap_or(0);
@@ -411,12 +417,8 @@ pub fn finalize(
 ) -> KernelCounters {
     let sampled_threads = traces.len() as u64;
     let sampled_warps = warps.len() as u64;
-    let mut k = KernelCounters {
-        total_threads,
-        sampled_threads,
-        sampled_warps,
-        ..Default::default()
-    };
+    let mut k =
+        KernelCounters { total_threads, sampled_threads, sampled_warps, ..Default::default() };
     if sampled_threads == 0 {
         return k;
     }
@@ -459,11 +461,9 @@ pub fn finalize(
     if sampled_warps > 0 {
         let inv_w = 1.0 / sampled_warps as f64;
         k.warp_issue_slots = warps.iter().map(|w| w.issue_slots).sum::<f64>() * inv_w;
-        k.warp_extra_transactions =
-            warps.iter().map(|w| w.extra_transactions).sum::<f64>() * inv_w;
+        k.warp_extra_transactions = warps.iter().map(|w| w.extra_transactions).sum::<f64>() * inv_w;
         k.warp_bank_conflicts = warps.iter().map(|w| w.bank_conflicts).sum::<f64>() * inv_w;
-        k.warp_dram_transactions =
-            warps.iter().map(|w| w.dram_transactions).sum::<f64>() * inv_w;
+        k.warp_dram_transactions = warps.iter().map(|w| w.dram_transactions).sum::<f64>() * inv_w;
         k.bytes_per_thread = BytesBySpace {
             global: warps.iter().map(|w| w.bytes.global).sum::<f64>() * inv_t,
             texture: warps.iter().map(|w| w.bytes.texture).sum::<f64>() * inv_t,
@@ -529,10 +529,8 @@ mod tests {
 
     #[test]
     fn divergence_detection() {
-        let mut a = ThreadTrace::default();
-        a.branch_taken = vec![true, true];
-        let mut b = ThreadTrace::default();
-        b.branch_taken = vec![true, false];
+        let a = ThreadTrace { branch_taken: vec![true, true], ..Default::default() };
+        let b = ThreadTrace { branch_taken: vec![true, false], ..Default::default() };
         let agg = aggregate_warp(&[&a, &b], 128, 4.0);
         assert_eq!(agg.branch_sites, 2);
         assert_eq!(agg.divergent_sites, 1);

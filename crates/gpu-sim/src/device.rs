@@ -80,6 +80,19 @@ impl Device {
         self.book = TimeBook::default();
     }
 
+    /// Merge externally priced work into this device's ledger.
+    ///
+    /// Higher layers that price launches analytically (the runtime
+    /// scheduler's fused batches, stream schedules) account them here so
+    /// fleet-level reporting ([`MultiDevice::books_sum`], per-device busy
+    /// fractions) sees one consistent ledger regardless of how the work
+    /// was priced.
+    ///
+    /// [`MultiDevice::books_sum`]: crate::MultiDevice::books_sum
+    pub fn charge(&mut self, work: &TimeBook) {
+        self.book.add(work);
+    }
+
     /// Drop all cached kernel profiles.
     pub fn clear_profiles(&mut self) {
         self.profiles.clear();
@@ -146,7 +159,12 @@ impl Device {
 
     /// Execute a kernel over `cfg` (see [`ExecMode`] for the profiling
     /// policy) and account its modeled cost in the ledger.
-    pub fn launch<K: Kernel>(&mut self, kernel: &K, cfg: LaunchConfig, mode: ExecMode) -> LaunchReport {
+    pub fn launch<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        cfg: LaunchConfig,
+        mode: ExecMode,
+    ) -> LaunchReport {
         let t0 = Instant::now();
         let key: ProfileKey = (
             kernel.name(),
@@ -175,10 +193,9 @@ impl Device {
                 let cached = self.profiles.get(&key).cloned();
                 let counters = match (cached, mode) {
                     (Some(c), _) => c,
-                    (None, ExecMode::Fast) => KernelCounters {
-                        total_threads: cfg.total_threads(),
-                        ..Default::default()
-                    },
+                    (None, ExecMode::Fast) => {
+                        KernelCounters { total_threads: cfg.total_threads(), ..Default::default() }
+                    }
                     (None, _) => {
                         // Profile a sample of blocks (kernels are pure per
                         // launch, so re-running them below is harmless).
@@ -187,7 +204,13 @@ impl Device {
                         let mut arena = Vec::new();
                         let mut traces = Vec::new();
                         for &b in &sample {
-                            traces.extend(run_block_trace(kernel, &cfg, b, &mut arena, Some(&tracker)));
+                            traces.extend(run_block_trace(
+                                kernel,
+                                &cfg,
+                                b,
+                                &mut arena,
+                                Some(&tracker),
+                            ));
                         }
                         races = tracker.events();
                         let counters = self.aggregate(&cfg, &traces, cfg.total_threads());
@@ -233,9 +256,9 @@ impl Device {
         }
         let next = AtomicU64::new(0);
         let workers = self.workers.min(blocks as usize);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|_| {
+                s.spawn(|| {
                     let mut arena = Vec::new();
                     loop {
                         let b = next.fetch_add(1, Ordering::Relaxed);
@@ -246,8 +269,7 @@ impl Device {
                     }
                 });
             }
-        })
-        .expect("simulated block worker panicked");
+        });
     }
 
     /// Warp-aggregate sampled thread traces into launch counters, and
@@ -267,7 +289,11 @@ impl Device {
         for block_traces in traces.chunks(bs.max(1)) {
             for w in block_traces.chunks(warp) {
                 let refs: Vec<&crate::counting::ThreadTrace> = w.iter().collect();
-                warps.push(aggregate_warp(&refs, self.spec.coalesce_segment, self.spec.sfu_issue_factor));
+                warps.push(aggregate_warp(
+                    &refs,
+                    self.spec.coalesce_segment,
+                    self.spec.sfu_issue_factor,
+                ));
             }
             // One texture cache per block (blocks land on arbitrary SMs;
             // a fresh cache per block is the conservative choice). The
@@ -294,8 +320,7 @@ impl Device {
             }
         }
         let mut counters = finalize(total_threads, traces, &warps);
-        counters.measured_tex_hit =
-            (tex_total > 0).then(|| tex_hits as f64 / tex_total as f64);
+        counters.measured_tex_hit = (tex_total > 0).then(|| tex_hits as f64 / tex_total as f64);
         counters
     }
 }

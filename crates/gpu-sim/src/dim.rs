@@ -82,11 +82,7 @@ impl LaunchConfig {
         assert!(block_size > 0, "block size must be positive");
         let blocks = total.div_ceil(block_size as u64);
         assert!(blocks <= u32::MAX as u64, "grid too large: {blocks} blocks");
-        Self {
-            grid: Dim3::x(blocks.max(1) as u32),
-            block: Dim3::x(block_size),
-            shared_words: 0,
-        }
+        Self { grid: Dim3::x(blocks.max(1) as u32), block: Dim3::x(block_size), shared_words: 0 }
     }
 
     /// With a dynamic shared-memory request (in 32-bit words).
@@ -135,7 +131,7 @@ mod tests {
         assert_eq!(cfg.grid_blocks(), 21);
         assert_eq!(cfg.block_threads(), 128);
         assert_eq!(cfg.total_threads(), 2688); // 60 guard threads
-        // Exact fit.
+                                               // Exact fit.
         let cfg = LaunchConfig::cover_1d(256, 128);
         assert_eq!(cfg.grid_blocks(), 2);
         // Tiny neighborhood still launches one block.

@@ -55,7 +55,6 @@ impl SharedMem {
     fn st(&self, idx: usize, v: u64) {
         self.cells[idx].store(v, Ordering::Relaxed);
     }
-
 }
 
 /// Zero-overhead context for production runs.
@@ -161,7 +160,12 @@ impl ThreadCtx for TraceCtx<'_> {
             MemSpace::Texture => c.ld_texture += 1,
             MemSpace::Constant => c.ld_constant += 1,
         }
-        self.record_access(buf.space(), T::BYTES, buf_addr(buf.id(), idx as u64 * T::BYTES as u64), false);
+        self.record_access(
+            buf.space(),
+            T::BYTES,
+            buf_addr(buf.id(), idx as u64 * T::BYTES as u64),
+            false,
+        );
         if let Some(r) = self.race {
             // Reads of read-only spaces cannot race.
             if buf.space() == MemSpace::Global {
@@ -179,7 +183,12 @@ impl ThreadCtx for TraceCtx<'_> {
             buf.label()
         );
         self.trace.counters.st_global += 1;
-        self.record_access(MemSpace::Global, T::BYTES, buf_addr(buf.id(), idx as u64 * T::BYTES as u64), true);
+        self.record_access(
+            MemSpace::Global,
+            T::BYTES,
+            buf_addr(buf.id(), idx as u64 * T::BYTES as u64),
+            true,
+        );
         if let Some(r) = self.race {
             r.on_access(buf.id(), idx as u64, self.id.global(), true);
         }
@@ -258,12 +267,7 @@ pub(crate) fn run_block_fast<K: Kernel>(
     for phase in 0..phases {
         for t in 0..bs {
             let mut ctx = FastCtx {
-                id: ThreadId {
-                    block,
-                    thread: t,
-                    block_dim: bs,
-                    grid_dim: cfg.grid_blocks(),
-                },
+                id: ThreadId { block, thread: t, block_dim: bs, grid_dim: cfg.grid_blocks() },
                 shared: &shared,
                 local: arena,
                 local_top: 0,
@@ -293,12 +297,7 @@ pub(crate) fn run_block_trace<K: Kernel>(
         }
         for t in 0..bs {
             let mut ctx = TraceCtx {
-                id: ThreadId {
-                    block,
-                    thread: t,
-                    block_dim: bs,
-                    grid_dim: cfg.grid_blocks(),
-                },
+                id: ThreadId { block, thread: t, block_dim: bs, grid_dim: cfg.grid_blocks() },
                 shared: &shared,
                 local: arena,
                 local_top: 0,
@@ -320,7 +319,13 @@ mod tests {
 
     /// Sum of every counter class (test helper).
     fn counters_total(c: &ThreadCounters) -> u64 {
-        c.alu + c.sfu + c.branches + c.ld_global + c.st_global + c.ld_texture + c.ld_constant
+        c.alu
+            + c.sfu
+            + c.branches
+            + c.ld_global
+            + c.st_global
+            + c.ld_texture
+            + c.ld_constant
             + c.shared
             + c.local
     }
@@ -348,12 +353,8 @@ mod tests {
     }
 
     fn doubler(n: usize) -> Doubler {
-        let x = DeviceBuffer::from_slice(
-            &(0..n as i32).collect::<Vec<_>>(),
-            MemSpace::Global,
-            1,
-            "x",
-        );
+        let x =
+            DeviceBuffer::from_slice(&(0..n as i32).collect::<Vec<_>>(), MemSpace::Global, 1, "x");
         let y = DeviceBuffer::<i32>::zeroed(n, MemSpace::Global, 2, "y");
         Doubler { x, y, n: n as u64 }
     }
@@ -441,7 +442,8 @@ mod tests {
             }
         }
         let n = 50;
-        let k = Scratch { out: DeviceBuffer::<i32>::zeroed(n, MemSpace::Global, 3, "o"), n: n as u64 };
+        let k =
+            Scratch { out: DeviceBuffer::<i32>::zeroed(n, MemSpace::Global, 3, "o"), n: n as u64 };
         let cfg = LaunchConfig::cover_1d(n as u64, 32);
         let mut arena = Vec::new();
         for b in 0..cfg.grid_blocks() {

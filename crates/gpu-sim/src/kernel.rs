@@ -35,7 +35,7 @@ impl ThreadId {
     /// (the first line of every kernel in the paper's Figs. 7/9/10).
     #[inline]
     pub fn global(&self) -> u64 {
-        self.block * self.block_dim as u64 + self.thread as u32 as u64
+        self.block * self.block_dim as u64 + self.thread as u64
     }
 
     /// Warp index within the block.

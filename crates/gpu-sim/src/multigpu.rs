@@ -17,11 +17,26 @@ pub struct MultiDevice {
 impl MultiDevice {
     /// `count` identical devices.
     pub fn new_uniform(count: usize, spec: DeviceSpec) -> Self {
-        assert!(count > 0, "need at least one device");
-        Self {
-            devices: (0..count).map(|_| Device::new(spec.clone())).collect(),
-            elapsed_parallel_s: 0.0,
-        }
+        Self::new_from_specs((0..count).map(|_| spec.clone()))
+    }
+
+    /// A heterogeneous fleet, one device per spec (the runtime
+    /// scheduler's mixed-hardware deployments).
+    pub fn new_from_specs(specs: impl IntoIterator<Item = DeviceSpec>) -> Self {
+        let devices: Vec<Device> = specs.into_iter().map(Device::new).collect();
+        assert!(!devices.is_empty(), "need at least one device");
+        Self { devices, elapsed_parallel_s: 0.0 }
+    }
+
+    /// Spec of device `i`.
+    pub fn spec(&self, i: usize) -> &DeviceSpec {
+        self.devices[i].spec()
+    }
+
+    /// Modeled busy seconds per device (each ledger's GPU total) — the
+    /// numerators of fleet-utilization reports.
+    pub fn busy_s(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.book().gpu_total_s()).collect()
     }
 
     /// Number of devices.
@@ -140,10 +155,7 @@ mod tests {
         let total = 1 << 20;
         let (wall1, _) = run_partitioned(1, total);
         let (wall4, _) = run_partitioned(4, total);
-        assert!(
-            wall4 < wall1 * 0.5,
-            "4 devices should beat half of 1 device: {wall4} vs {wall1}"
-        );
+        assert!(wall4 < wall1 * 0.5, "4 devices should beat half of 1 device: {wall4} vs {wall1}");
     }
 
     #[test]

@@ -65,13 +65,9 @@ pub fn occupancy(spec: &DeviceSpec, cfg: &LaunchConfig) -> Occupancy {
     let by_blocks = spec.max_blocks_per_sm;
     let by_threads = spec.max_threads_per_sm / bs;
     let by_warps = spec.max_warps_per_sm / wpb;
-    let by_shared = if cfg.shared_words == 0 {
-        u32::MAX
-    } else {
-        spec.shared_words_per_sm / cfg.shared_words
-    };
+    let by_shared = spec.shared_words_per_sm.checked_div(cfg.shared_words).unwrap_or(u32::MAX);
 
-    let mut r = by_blocks.min(by_threads).min(by_warps).min(by_shared).max(0);
+    let mut r = by_blocks.min(by_threads).min(by_warps).min(by_shared);
     let mut limited_by = if r == by_shared && cfg.shared_words > 0 {
         Limit::SharedMem
     } else if r == by_threads || r == by_warps {

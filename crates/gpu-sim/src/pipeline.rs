@@ -160,12 +160,7 @@ pub fn price_multiwalk_ordered(
     };
 
     let serial_s = profile.serial_seconds(spec) * walks as f64 * iterations as f64;
-    PipelineReport {
-        serial_s,
-        pipelined_s,
-        speedup: serial_s / pipelined_s,
-        window,
-    }
+    PipelineReport { serial_s, pipelined_s, speedup: serial_s / pipelined_s, window }
 }
 
 #[cfg(test)]
@@ -208,11 +203,8 @@ mod tests {
     fn transfer_heavy_profiles_gain_more() {
         let spec = DeviceSpec::gtx280();
         let light = IterationProfile { h2d_bytes: 64, kernel_seconds: 2e-3, d2h_bytes: 256 };
-        let heavy = IterationProfile {
-            h2d_bytes: 1 << 20,
-            kernel_seconds: 2e-3,
-            d2h_bytes: 1 << 20,
-        };
+        let heavy =
+            IterationProfile { h2d_bytes: 1 << 20, kernel_seconds: 2e-3, d2h_bytes: 1 << 20 };
         let rl = price_multiwalk(&spec, EngineConfig::gt200(), light, 4, 50, 4);
         let rh = price_multiwalk(&spec, EngineConfig::gt200(), heavy, 4, 50, 4);
         assert!(
@@ -229,10 +221,7 @@ mod tests {
         let p = IterationProfile { h2d_bytes: 1 << 19, kernel_seconds: 5e-4, d2h_bytes: 1 << 19 };
         let gt = price_multiwalk(&spec, EngineConfig::gt200(), p, 4, 60, 4);
         let fermi = price_multiwalk(&spec, EngineConfig::fermi(), p, 4, 60, 4);
-        assert!(
-            fermi.pipelined_s <= gt.pipelined_s + 1e-12,
-            "more engines can never be slower"
-        );
+        assert!(fermi.pipelined_s <= gt.pipelined_s + 1e-12, "more engines can never be slower");
     }
 
     #[test]
@@ -258,11 +247,7 @@ mod tests {
         // walk's upload, so nothing overlaps; breadth-first recovers it.
         let spec = DeviceSpec::gtx280();
         // Transfer-heavy so the contrast is unmistakable.
-        let p = IterationProfile {
-            h2d_bytes: 1 << 19,
-            kernel_seconds: 2e-4,
-            d2h_bytes: 1 << 19,
-        };
+        let p = IterationProfile { h2d_bytes: 1 << 19, kernel_seconds: 2e-4, d2h_bytes: 1 << 19 };
         let df = price_multiwalk_ordered(
             &spec,
             EngineConfig::gt200(),

@@ -8,8 +8,8 @@
 //! and reader, and reports write/write and read/write conflicts between
 //! different threads.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Kind of conflict detected.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -55,28 +55,35 @@ impl RaceTracker {
     /// Tracker reporting at most `cap` events (further races are counted
     /// as detected but not stored).
     pub fn new(cap: usize) -> Self {
-        Self {
-            state: Mutex::new(TrackerState { map: HashMap::new(), events: Vec::new() }),
-            cap,
-        }
+        Self { state: Mutex::new(TrackerState { map: HashMap::new(), events: Vec::new() }), cap }
     }
 
     /// Record an access; returns `true` if it raced.
     pub fn on_access(&self, buf: u64, idx: u64, thread: u64, is_write: bool) -> bool {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("race tracker poisoned");
         let entry = st.map.entry((buf, idx)).or_default();
         let mut event = None;
         if is_write {
             match entry.writer {
                 Some(w) if w != thread => {
-                    event = Some(RaceEvent { buf, idx, kind: RaceKind::WriteWrite, threads: (w, thread) });
+                    event = Some(RaceEvent {
+                        buf,
+                        idx,
+                        kind: RaceKind::WriteWrite,
+                        threads: (w, thread),
+                    });
                 }
                 _ => {}
             }
             if event.is_none() {
                 if let Some(r) = entry.reader {
                     if r != thread {
-                        event = Some(RaceEvent { buf, idx, kind: RaceKind::ReadWrite, threads: (r, thread) });
+                        event = Some(RaceEvent {
+                            buf,
+                            idx,
+                            kind: RaceKind::ReadWrite,
+                            threads: (r, thread),
+                        });
                     }
                 }
             }
@@ -84,7 +91,12 @@ impl RaceTracker {
         } else {
             if let Some(w) = entry.writer {
                 if w != thread {
-                    event = Some(RaceEvent { buf, idx, kind: RaceKind::ReadWrite, threads: (w, thread) });
+                    event = Some(RaceEvent {
+                        buf,
+                        idx,
+                        kind: RaceKind::ReadWrite,
+                        threads: (w, thread),
+                    });
                 }
             }
             entry.reader = Some(thread);
@@ -101,12 +113,12 @@ impl RaceTracker {
 
     /// Forget all accesses (phase boundary: the barrier orders them).
     pub fn phase_boundary(&self) {
-        self.state.lock().map.clear();
+        self.state.lock().expect("race tracker poisoned").map.clear();
     }
 
     /// Detected events (capped).
     pub fn events(&self) -> Vec<RaceEvent> {
-        self.state.lock().events.clone()
+        self.state.lock().expect("race tracker poisoned").events.clone()
     }
 }
 

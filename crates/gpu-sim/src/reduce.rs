@@ -176,7 +176,8 @@ mod tests {
     fn single_element_and_odd_sizes() {
         let mut dev = Device::new(DeviceSpec::gtx280());
         for n in [1u64, 2, 3, 63, 64, 65, 1023] {
-            let keys: Vec<u64> = (0..n).map(|i| pack_key(((i * 37) % 101) as u32, i as u32)).collect();
+            let keys: Vec<u64> =
+                (0..n).map(|i| pack_key(((i * 37) % 101) as u32, i as u32)).collect();
             let expected = keys.iter().copied().min().unwrap();
             let input = dev.upload_new(&keys, MemSpace::Global, "keys");
             assert_eq!(device_min(&mut dev, &input, n, 64, ExecMode::Auto), expected, "n={n}");

@@ -112,7 +112,13 @@ mod tests {
     #[test]
     fn add_and_delta_are_inverse() {
         let mut a = TimeBook { kernel_s: 1.0, launches: 3, bytes_h2d: 10, ..Default::default() };
-        let b = TimeBook { kernel_s: 0.5, launches: 2, bytes_h2d: 5, host_s: 1.0, ..Default::default() };
+        let b = TimeBook {
+            kernel_s: 0.5,
+            launches: 2,
+            bytes_h2d: 5,
+            host_s: 1.0,
+            ..Default::default()
+        };
         a.add(&b);
         let d = a.delta_since(&b);
         assert_eq!(d.launches, 3);

@@ -147,7 +147,13 @@ impl HostSpec {
     /// Intel Xeon 3 GHz (the paper's host; it has 8 cores but the paper's
     /// CPU column is a sequential implementation).
     pub fn xeon_3ghz() -> Self {
-        Self { name: "Xeon 3 GHz (1 core)", clock_hz: 3.0e9, cpi_alu: 0.8, cpi_sfu: 20.0, cpi_mem: 1.1 }
+        Self {
+            name: "Xeon 3 GHz (1 core)",
+            clock_hz: 3.0e9,
+            cpi_alu: 0.8,
+            cpi_sfu: 20.0,
+            cpi_mem: 1.1,
+        }
     }
 }
 

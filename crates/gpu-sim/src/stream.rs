@@ -230,9 +230,7 @@ impl<'a> StreamSim<'a> {
 
     fn duration_of(&self, op: &StreamOp) -> f64 {
         match *op {
-            StreamOp::H2D { bytes } | StreamOp::D2H { bytes } => {
-                transfer_seconds(self.spec, bytes)
-            }
+            StreamOp::H2D { bytes } | StreamOp::D2H { bytes } => transfer_seconds(self.spec, bytes),
             StreamOp::Kernel { seconds } => seconds + self.spec.launch_overhead_s,
             StreamOp::RecordEvent(_) | StreamOp::WaitEvent(_) => 0.0,
         }

@@ -87,7 +87,7 @@ pub struct LexMoves {
 impl LexMoves {
     /// Enumerate the full k-Hamming neighborhood over `n`-bit strings.
     pub fn new(n: usize, k: usize) -> Self {
-        assert!(k >= 1 && k <= crate::flip::MAX_FLIPS && k <= n);
+        assert!((1..=crate::flip::MAX_FLIPS).contains(&k) && k <= n);
         let mut cur = [0u32; crate::flip::MAX_FLIPS];
         for (i, c) in cur.iter_mut().enumerate().take(k) {
             *c = i as u32;

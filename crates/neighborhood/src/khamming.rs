@@ -22,7 +22,7 @@ impl KHamming {
     /// # Panics
     /// Panics if `k == 0`, `k > MAX_FLIPS`, or `k > n`.
     pub fn new(n: usize, k: usize) -> Self {
-        assert!(k >= 1 && k <= MAX_FLIPS, "KHamming supports 1..={MAX_FLIPS}, got k={k}");
+        assert!((1..=MAX_FLIPS).contains(&k), "KHamming supports 1..={MAX_FLIPS}, got k={k}");
         assert!(k <= n, "KHamming requires k <= n (k={k}, n={n})");
         Self { n, k, size: binomial(n as u64, k as u64) }
     }

@@ -64,10 +64,7 @@ pub fn unrank2_f32_paper(n: u64, index: u64) -> (u64, u64) {
     // exact formula for j underflows u64. The hardware kernel would just
     // produce a garbage index; we reproduce that behaviour instead of
     // panicking so the ablation can observe the mis-mapping.
-    let j = index
-        .wrapping_add(i * (i + 1) / 2)
-        .wrapping_sub(i * (n - 1))
-        .wrapping_add(1);
+    let j = index.wrapping_add(i * (i + 1) / 2).wrapping_sub(i * (n - 1)).wrapping_add(1);
     (i, j)
 }
 
@@ -185,10 +182,7 @@ mod tests {
         // large neighborhoods. 8X+1 needs ~2·log2(n) bits; beyond the 24-bit
         // mantissa (n ≳ 2^13) rounding must eventually mis-rank.
         let failure = f32_first_failure(1 << 15);
-        assert!(
-            failure.is_some(),
-            "expected the f32 mapping to fail somewhere below n=2^15"
-        );
+        assert!(failure.is_some(), "expected the f32 mapping to fail somewhere below n=2^15");
         let (n, idx) = failure.unwrap();
         assert!(n > 1517, "f32 failed at n={n} idx={idx}, inside the paper's own range!");
     }

@@ -95,10 +95,7 @@ mod tests {
         for k1 in [2u64, 3, 10, 100, 5000] {
             let y = (k1 * k1 * k1 - k1) / 6;
             let root = newton_cubic_root(y, 1e-12);
-            assert!(
-                (root - k1 as f64).abs() < 1e-6,
-                "k1={k1} root={root}"
-            );
+            assert!((root - k1 as f64).abs() < 1e-6, "k1={k1} root={root}");
         }
     }
 

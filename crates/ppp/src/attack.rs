@@ -77,10 +77,7 @@ impl ConsensusAttack {
             // Independent searches from perturbed consensus starts.
             let mut finishers: Vec<(i64, BitString)> = Vec::new();
             for s in 0..self.searches_per_round {
-                let seed = self
-                    .seed
-                    .wrapping_add((round as u64) << 32)
-                    .wrapping_add(s as u64 + 1);
+                let seed = self.seed.wrapping_add((round as u64) << 32).wrapping_add(s as u64 + 1);
                 let mut srng = StdRng::seed_from_u64(seed);
                 let mut init = consensus.clone();
                 // Round 0 starts cold: fully random initial points vote

@@ -61,11 +61,7 @@ fn commit_hash(pk: &PublicKey, blind: u64, witness: &BitString) -> u64 {
 /// Prover side of one round.
 pub fn prove_commit(pk: &PublicKey, sk: &SecretKey, rng: &mut StdRng) -> Round {
     let blind: u64 = rng.gen();
-    Round {
-        commitment: commit_hash(pk, blind, &sk.v),
-        blind,
-        blinded_witness: Some(sk.v.clone()),
-    }
+    Round { commitment: commit_hash(pk, blind, &sk.v), blind, blinded_witness: Some(sk.v.clone()) }
 }
 
 /// Prover's response to challenge `c` (0 or 1).
@@ -105,12 +101,7 @@ pub fn verify(pk: &PublicKey, commitment: u64, challenge: u8, resp: &Response) -
 
 /// Run `rounds` identification rounds; returns the number that verified.
 /// An honest prover (or a successful attacker) passes all of them.
-pub fn identification_session(
-    pk: &PublicKey,
-    sk: &SecretKey,
-    rounds: usize,
-    seed: u64,
-) -> usize {
+pub fn identification_session(pk: &PublicKey, sk: &SecretKey, rounds: usize, seed: u64) -> usize {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ok = 0;
     for _ in 0..rounds {

@@ -7,9 +7,7 @@
 use crate::kernels::PppEvalKernel;
 use crate::state::{Ppp, PppState};
 use lnls_core::{BitString, Explorer};
-use lnls_gpu_sim::{
-    Device, DeviceBuffer, DeviceSpec, ExecMode, LaunchConfig, MemSpace, TimeBook,
-};
+use lnls_gpu_sim::{Device, DeviceBuffer, DeviceSpec, ExecMode, LaunchConfig, MemSpace, TimeBook};
 use lnls_neighborhood::{binomial, FlipMove, KHamming, Neighborhood};
 use std::time::{Duration, Instant};
 
@@ -79,7 +77,8 @@ impl PppGpuExplorer {
         }
         let space = if cfg.texture { MemSpace::Texture } else { MemSpace::Global };
         let a_cols = dev.upload_new(&problem.inst.a.cols_as_u32(), space, "a_cols");
-        let hist_target = dev.upload_new(&problem.inst.target_hist, MemSpace::Texture, "hist_target");
+        let hist_target =
+            dev.upload_new(&problem.inst.target_hist, MemSpace::Texture, "hist_target");
         let vbits = dev.alloc_zeroed::<u32>(n.div_ceil(64) * 2, MemSpace::Global, "vbits");
         let y = dev.alloc_zeroed::<i32>(m, MemSpace::Global, "y");
         let hist_cur = dev.alloc_zeroed::<i32>(n + 1, MemSpace::Global, "hist_cur");
@@ -284,8 +283,7 @@ mod tests {
         let mut state2 = p.init_state(&s);
         let mut out = Vec::new();
         gpu.explore(&p, &s, &mut state2, &mut out);
-        let (host_idx, &host_f) =
-            out.iter().enumerate().min_by_key(|&(i, f)| (*f, i)).unwrap();
+        let (host_idx, &host_f) = out.iter().enumerate().min_by_key(|&(i, f)| (*f, i)).unwrap();
         assert_eq!(best_f, host_f);
         assert_eq!(best_idx, host_idx as u64);
     }

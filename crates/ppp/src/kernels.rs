@@ -219,11 +219,8 @@ mod tests {
         let space = if texture { MemSpace::Texture } else { MemSpace::Global };
         let wpc64 = p.inst.a.words_per_col();
         let a_cols = dev.upload_new(&p.inst.a.cols_as_u32(), space, "a_cols");
-        let vbits: Vec<u32> = s
-            .words()
-            .iter()
-            .flat_map(|&w| [w as u32, (w >> 32) as u32])
-            .collect();
+        let vbits: Vec<u32> =
+            s.words().iter().flat_map(|&w| [w as u32, (w >> 32) as u32]).collect();
         let vbits = dev.upload_new(&vbits, MemSpace::Global, "vbits");
         let y = dev.upload_new(&state.y, MemSpace::Global, "y");
         let hist_target = dev.upload_new(&p.inst.target_hist, MemSpace::Texture, "hist_t");

@@ -155,7 +155,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn build(m: usize, n: usize, k: usize, dev: &mut Device, s: &BitString) -> (PppEvalKernel, u64) {
+    fn build(
+        m: usize,
+        n: usize,
+        k: usize,
+        dev: &mut Device,
+        s: &BitString,
+    ) -> (PppEvalKernel, u64) {
         let inst = PppInstance::generate(m, n, 77);
         let p = Ppp::new(inst);
         let state = p.init_state(s);
@@ -212,7 +218,11 @@ mod tests {
             for (idx, mv) in hood.moves() {
                 let mut s2 = s.clone();
                 s2.apply(&mv);
-                assert_eq!(got[idx as usize] as i64, p.evaluate(&s2), "m={m} n={n} k={k} idx={idx}");
+                assert_eq!(
+                    got[idx as usize] as i64,
+                    p.evaluate(&s2),
+                    "m={m} n={n} k={k} idx={idx}"
+                );
             }
         }
     }
@@ -225,8 +235,7 @@ mod tests {
 
         let mut dev = Device::new(DeviceSpec::gtx280());
         let (base_kernel, msize) = build(m, n, k, &mut dev, &s);
-        let rep_base =
-            dev.launch(&base_kernel, LaunchConfig::cover_1d(msize, 64), ExecMode::Auto);
+        let rep_base = dev.launch(&base_kernel, LaunchConfig::cover_1d(msize, 64), ExecMode::Auto);
 
         let mut dev2 = Device::new(DeviceSpec::gtx280());
         let (inner, _) = build(m, n, k, &mut dev2, &s);
@@ -240,10 +249,7 @@ mod tests {
             shared_glb < base_glb * 0.5,
             "staging should halve global loads at least: {shared_glb} vs {base_glb}"
         );
-        assert!(
-            rep_shared.counters.per_thread_avg.shared > 0.0,
-            "shared accesses must be charged"
-        );
+        assert!(rep_shared.counters.per_thread_avg.shared > 0.0, "shared accesses must be charged");
     }
 
     #[test]
@@ -254,10 +260,8 @@ mod tests {
         use lnls_gpu_sim::occupancy;
         let spec = DeviceSpec::gtx280();
         let base = occupancy(&spec, &LaunchConfig::cover_1d(10_000, 128));
-        let staged = occupancy(
-            &spec,
-            &LaunchConfig::cover_1d(10_000, 128).with_shared_words(2 * 1501),
-        );
+        let staged =
+            occupancy(&spec, &LaunchConfig::cover_1d(10_000, 128).with_shared_words(2 * 1501));
         assert!(staged.blocks_per_sm < base.blocks_per_sm);
         assert_eq!(staged.blocks_per_sm, 1);
     }

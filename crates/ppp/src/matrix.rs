@@ -222,8 +222,8 @@ mod tests {
         a.set(69, 1, -1); // column 1, row 69 → second u64 of col 1, bit 5
         let u32s = a.cols_as_u32();
         assert_eq!(u32s.len(), 2 * 2 * 2); // 2 cols × 2 u64 × 2 halves
-        // col 1 occupies words [4..8); row 69 = word 1 (bits 64..127),
-        // low half, bit 5.
+                                           // col 1 occupies words [4..8); row 69 = word 1 (bits 64..127),
+                                           // low half, bit 5.
         assert_eq!(u32s[6] >> 5 & 1, 1);
     }
 

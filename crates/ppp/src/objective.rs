@@ -32,12 +32,8 @@ pub fn full_fitness(inst: &PppInstance, v: &BitString) -> i64 {
             hist[y as usize] += 1;
         }
     }
-    let hist_cost: i64 = inst
-        .target_hist
-        .iter()
-        .zip(&hist)
-        .map(|(&h, &hp)| (h - hp).abs() as i64)
-        .sum();
+    let hist_cost: i64 =
+        inst.target_hist.iter().zip(&hist).map(|(&h, &hp)| (h - hp).abs() as i64).sum();
     NEG_WEIGHT * neg + hist_cost
 }
 
@@ -55,12 +51,8 @@ pub fn fitness_parts(inst: &PppInstance, v: &BitString) -> (i64, i64) {
             hist[y as usize] += 1;
         }
     }
-    let hist_cost: i64 = inst
-        .target_hist
-        .iter()
-        .zip(&hist)
-        .map(|(&h, &hp)| (h - hp).abs() as i64)
-        .sum();
+    let hist_cost: i64 =
+        inst.target_hist.iter().zip(&hist).map(|(&h, &hp)| (h - hp).abs() as i64).sum();
     (neg, hist_cost)
 }
 

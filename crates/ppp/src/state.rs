@@ -85,6 +85,8 @@ impl Ppp {
             inv[t] = if s.get(c as usize) { u64::MAX } else { 0 };
         }
         let base = -2 * k as i32;
+        // Index loops mirror the kernel's word/bit addressing.
+        #[allow(clippy::needless_range_loop)]
         for w in 0..wpc {
             let lo = w * 64;
             let hi = m.min(lo + 64);

@@ -17,8 +17,7 @@
 use crate::qubo::Qubo;
 use lnls_core::{BitString, Explorer, IncrementalEval};
 use lnls_gpu_sim::{
-    Device, DeviceBuffer, DeviceSpec, ExecMode, Kernel, LaunchConfig, MemSpace, ThreadCtx,
-    TimeBook,
+    Device, DeviceBuffer, DeviceSpec, ExecMode, Kernel, LaunchConfig, MemSpace, ThreadCtx, TimeBook,
 };
 use lnls_neighborhood::combinadic::unrank_combinadic;
 use lnls_neighborhood::mapping2d::unrank2;

@@ -57,9 +57,7 @@ impl IsingLattice {
         let pm = |rng: &mut R| if rng.gen::<bool>() { 1 } else { -1 };
         let jr = (0..n).map(|_| pm(rng)).collect();
         let jd = (0..n).map(|_| pm(rng)).collect();
-        let h = (0..n)
-            .map(|_| if hmax == 0 { 0 } else { rng.gen_range(-hmax..=hmax) })
-            .collect();
+        let h = (0..n).map(|_| if hmax == 0 { 0 } else { rng.gen_range(-hmax..=hmax) }).collect();
         Self::new(l, jr, jd, h)
     }
 
@@ -86,9 +84,9 @@ impl IsingLattice {
     fn bonds_of(&self, i: usize) -> [(usize, i64); 4] {
         let (r, c) = (i / self.l, i % self.l);
         [
-            (self.idx(r, c + 1), self.jr[i]),                      // right
+            (self.idx(r, c + 1), self.jr[i]), // right
             (self.idx(r, c + self.l - 1), self.jr[self.idx(r, c + self.l - 1)]), // left
-            (self.idx(r + 1, c), self.jd[i]),                      // down
+            (self.idx(r + 1, c), self.jd[i]), // down
             (self.idx(r + self.l - 1, c), self.jd[self.idx(r + self.l - 1, c)]), // up
         ]
     }
@@ -139,11 +137,7 @@ impl IncrementalEval for IsingLattice {
         let mut phi = vec![0i64; n];
         for (i, p) in phi.iter_mut().enumerate() {
             *p = self.h[i]
-                + self
-                    .bonds_of(i)
-                    .iter()
-                    .map(|&(j, jij)| jij * Self::spin(s, j))
-                    .sum::<i64>();
+                + self.bonds_of(i).iter().map(|&(j, jij)| jij * Self::spin(s, j)).sum::<i64>();
         }
         IsingState { energy: self.evaluate(s), phi }
     }
@@ -233,11 +227,7 @@ mod tests {
             for (_, mv) in LexMoves::new(16, k) {
                 let mut s2 = s.clone();
                 s2.apply(&mv);
-                assert_eq!(
-                    g.neighbor_fitness(&mut st, &s, &mv),
-                    g.evaluate(&s2),
-                    "k={k} {mv}"
-                );
+                assert_eq!(g.neighbor_fitness(&mut st, &s, &mv), g.evaluate(&s2), "k={k} {mv}");
             }
         }
     }

@@ -53,8 +53,7 @@ impl Knapsack {
     /// weight (the hardest regime).
     pub fn random<R: Rng + ?Sized>(rng: &mut R, n: usize, wmax: i64, spread: i64) -> Self {
         let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(1..=wmax)).collect();
-        let values: Vec<i64> =
-            weights.iter().map(|&w| w + rng.gen_range(1..=spread)).collect();
+        let values: Vec<i64> = weights.iter().map(|&w| w + rng.gen_range(1..=spread)).collect();
         let capacity = weights.iter().sum::<i64>() / 2;
         Self::new(values, weights, capacity)
     }

@@ -33,10 +33,7 @@ impl MaxCut {
         for &(u, v, w) in edge_list {
             assert_ne!(u, v, "self-loop at vertex {u}");
             assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
-            assert!(
-                !adj[u as usize].iter().any(|&(x, _)| x == v),
-                "duplicate edge ({u},{v})"
-            );
+            assert!(!adj[u as usize].iter().any(|&(x, _)| x == v), "duplicate edge ({u},{v})");
             adj[u as usize].push((v, w));
             adj[v as usize].push((u, w));
         }
@@ -251,9 +248,7 @@ mod tests {
     fn ring_even_optimum_is_all_edges() {
         let g = MaxCut::ring(8);
         // alternating partition cuts all 8 edges
-        let alt = BitString::from_bits(&[
-            true, false, true, false, true, false, true, false,
-        ]);
+        let alt = BitString::from_bits(&[true, false, true, false, true, false, true, false]);
         assert_eq!(g.cut_value(&alt), 8);
     }
 
@@ -267,11 +262,7 @@ mod tests {
             for (_, mv) in LexMoves::new(13, k) {
                 let mut s2 = s.clone();
                 s2.apply(&mv);
-                assert_eq!(
-                    g.neighbor_fitness(&mut st, &s, &mv),
-                    g.evaluate(&s2),
-                    "k={k} {mv}"
-                );
+                assert_eq!(g.neighbor_fitness(&mut st, &s, &mv), g.evaluate(&s2), "k={k} {mv}");
             }
         }
     }

@@ -118,10 +118,7 @@ impl BinaryProblem for MaxSat {
     }
 
     fn evaluate(&self, s: &BitString) -> i64 {
-        self.clauses
-            .iter()
-            .filter(|c| c.iter().all(|l| !l.satisfied(s)))
-            .count() as i64
+        self.clauses.iter().filter(|c| c.iter().all(|l| !l.satisfied(s))).count() as i64
     }
 
     fn name(&self) -> String {
@@ -220,11 +217,7 @@ mod tests {
             for (_, mv) in LexMoves::new(12, k) {
                 let mut s2 = s.clone();
                 s2.apply(&mv);
-                assert_eq!(
-                    p.neighbor_fitness(&mut st, &s, &mv),
-                    p.evaluate(&s2),
-                    "k={k} {mv}"
-                );
+                assert_eq!(p.neighbor_fitness(&mut st, &s, &mv), p.evaluate(&s2), "k={k} {mv}");
             }
         }
     }

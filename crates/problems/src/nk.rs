@@ -23,9 +23,8 @@ impl NkLandscape {
         assert!(k < n, "K must be below n");
         assert!(k <= 16, "table size 2^(K+1) would explode");
         let entries = 1usize << (k + 1);
-        let tables = (0..n)
-            .map(|_| (0..entries).map(|_| rng.gen_range(0..scale)).collect())
-            .collect();
+        let tables =
+            (0..n).map(|_| (0..entries).map(|_| rng.gen_range(0..scale)).collect()).collect();
         Self { n, k, tables }
     }
 

@@ -199,11 +199,7 @@ mod tests {
             for (_, mv) in LexMoves::new(14, k) {
                 let mut s2 = s.clone();
                 s2.apply(&mv);
-                assert_eq!(
-                    q.neighbor_fitness(&mut st, &s, &mv),
-                    q.evaluate(&s2),
-                    "k={k} {mv}"
-                );
+                assert_eq!(q.neighbor_fitness(&mut st, &s, &mv), q.evaluate(&s2), "k={k} {mv}");
             }
         }
     }
@@ -238,10 +234,8 @@ mod tests {
         }
         let hood = KHamming::new(12, 2);
         let mut ex = SequentialExplorer::new(hood);
-        let search = TabuSearch::paper(
-            SearchConfig::budget(500).with_target(Some(best)),
-            hood.size(),
-        );
+        let search =
+            TabuSearch::paper(SearchConfig::budget(500).with_target(Some(best)), hood.size());
         let r = search.run(&q, &mut ex, BitString::zeros(12));
         assert_eq!(r.best_fitness, best, "tabu must find the global optimum");
     }

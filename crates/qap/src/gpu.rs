@@ -17,8 +17,7 @@ use crate::instance::QapInstance;
 use crate::permutation::Permutation;
 use crate::rts::SwapEvaluator;
 use lnls_gpu_sim::{
-    Device, DeviceBuffer, DeviceSpec, ExecMode, Kernel, LaunchConfig, MemSpace, ThreadCtx,
-    TimeBook,
+    Device, DeviceBuffer, DeviceSpec, ExecMode, Kernel, LaunchConfig, MemSpace, ThreadCtx, TimeBook,
 };
 use lnls_neighborhood::mapping2d::{size2, unrank2};
 use std::time::{Duration, Instant};
@@ -71,8 +70,8 @@ impl Kernel for QapSwapKernel {
         let dps = ctx.ld(&self.d, pr * n + ps);
         let dsp = ctx.ld(&self.d, ps * n + pr);
         ctx.alu(12);
-        let mut delta = frr * (dss - dpp) + frs * (dsp - dps) + fsr * (dps - dsp)
-            + fss * (dpp - dss);
+        let mut delta =
+            frr * (dss - dpp) + frs * (dsp - dps) + fsr * (dps - dsp) + fss * (dpp - dss);
 
         for k in 0..n {
             if !ctx.branch(k != r && k != s) {
@@ -88,8 +87,7 @@ impl Kernel for QapSwapKernel {
             let dpk = ctx.ld(&self.d, pr * n + pk);
             let dsk = ctx.ld(&self.d, ps * n + pk);
             ctx.alu(12);
-            delta += fkr * (dks - dkp) + fks * (dkp - dks) + frk * (dsk - dpk)
-                + fsk * (dpk - dsk);
+            delta += fkr * (dks - dkp) + fks * (dkp - dks) + frk * (dsk - dpk) + fsk * (dpk - dsk);
         }
         ctx.st(&self.out, tid as usize, delta);
     }

@@ -131,8 +131,7 @@ impl QapInstance {
         let mut s = format!("{}\n\n", self.n);
         let dump = |m: &[i64], s: &mut String| {
             for i in 0..self.n {
-                let row: Vec<String> =
-                    (0..self.n).map(|j| m[i * self.n + j].to_string()).collect();
+                let row: Vec<String> = (0..self.n).map(|j| m[i * self.n + j].to_string()).collect();
                 s.push_str(&row.join(" "));
                 s.push('\n');
             }
@@ -147,9 +146,9 @@ impl QapInstance {
     /// [`save_to_string`](Self::save_to_string) (whitespace-tolerant, as
     /// QAPLIB files are).
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut nums = text.split_whitespace().map(|t| {
-            t.parse::<i64>().map_err(|e| format!("bad token {t:?}: {e}"))
-        });
+        let mut nums = text
+            .split_whitespace()
+            .map(|t| t.parse::<i64>().map_err(|e| format!("bad token {t:?}: {e}")));
         let n = nums.next().ok_or("empty input")?? as usize;
         if n < 2 {
             return Err(format!("n = {n} too small"));
@@ -215,11 +214,7 @@ mod tests {
 
     fn tiny() -> QapInstance {
         // n=3 hand instance.
-        QapInstance::new(
-            3,
-            vec![0, 2, 3, 2, 0, 1, 3, 1, 0],
-            vec![0, 5, 1, 5, 0, 4, 1, 4, 0],
-        )
+        QapInstance::new(3, vec![0, 2, 3, 2, 0, 1, 3, 1, 0], vec![0, 5, 1, 5, 0, 4, 1, 4, 0])
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl DeltaTable {
         let mut delta = vec![0i64; size2(n as u64) as usize];
         for r in 0..n {
             for s in (r + 1)..n {
-                delta[rank2(n as u64, r as u64, s as u64) as usize] =
-                    swap_delta(inst, p, r, s);
+                delta[rank2(n as u64, r as u64, s as u64) as usize] = swap_delta(inst, p, r, s);
             }
         }
         Self { n, delta }
@@ -132,12 +131,10 @@ impl DeltaTable {
                 // δ_q(u,v) − δ_p(u,v), derived by cancelling the k ∉
                 // {a,b} terms of the O(n) formula (only facilities a and
                 // b changed location):
-                let t1 = (inst.flow(a, u) - inst.flow(a, v) + inst.flow(b, v)
-                    - inst.flow(b, u))
+                let t1 = (inst.flow(a, u) - inst.flow(a, v) + inst.flow(b, v) - inst.flow(b, u))
                     * (inst.dist(pb, pv) - inst.dist(pb, pu) + inst.dist(pa, pu)
                         - inst.dist(pa, pv));
-                let t2 = (inst.flow(u, a) - inst.flow(v, a) + inst.flow(v, b)
-                    - inst.flow(u, b))
+                let t2 = (inst.flow(u, a) - inst.flow(v, a) + inst.flow(v, b) - inst.flow(u, b))
                     * (inst.dist(pv, pb) - inst.dist(pu, pb) + inst.dist(pu, pa)
                         - inst.dist(pv, pa));
                 self.delta[idx] += t1 + t2;
@@ -159,8 +156,7 @@ impl DeltaTable {
         }
         // (a,b) itself: its delta simply negates for symmetric
         // instances, but recompute for generality.
-        self.delta[rank2(n as u64, a as u64, b as u64) as usize] =
-            swap_delta(inst, &q, a, b);
+        self.delta[rank2(n as u64, a as u64, b as u64) as usize] = swap_delta(inst, &q, a, b);
     }
 }
 
@@ -177,11 +173,7 @@ mod tests {
             for s in (r + 1)..n {
                 let mut q = p.clone();
                 q.swap(r, s);
-                assert_eq!(
-                    table.get(r, s),
-                    inst.cost(&q) - base,
-                    "pair ({r},{s}) stale"
-                );
+                assert_eq!(table.get(r, s), inst.cost(&q) - base, "pair ({r},{s}) stale");
             }
         }
     }

@@ -62,8 +62,7 @@ impl Default for TableEvaluator {
 
 impl SwapEvaluator for TableEvaluator {
     fn deltas(&mut self, inst: &QapInstance, p: &Permutation) -> &[i64] {
-        let table =
-            self.table.get_or_insert_with(|| DeltaTable::new(inst, p));
+        let table = self.table.get_or_insert_with(|| DeltaTable::new(inst, p));
         self.scratch.clear();
         self.scratch.extend((0..table.len() as u64).map(|i| table.get_flat(i)));
         &self.scratch

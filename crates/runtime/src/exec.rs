@@ -1,0 +1,400 @@
+//! Type-erased job executors.
+//!
+//! The scheduler sees jobs as `Box<dyn JobExec>`: steppable, priceable,
+//! cloneable (for checkpoints), and — when two erased jobs report the
+//! same [`BatchKey`] — fusable. The key embeds the concrete Rust type
+//! (`TypeId`), so a leader may downcast its batch peers to its own type
+//! and drive them through one [`BatchedExplorer`] pass.
+
+use crate::job::{JobId, JobOutcome, JobReport};
+use lnls_core::{BatchLane, BatchedExplorer, IncrementalEval, LaneProfile, TabuCursor};
+use lnls_gpu_sim::{Device, DeviceSpec, HostSpec};
+use lnls_neighborhood::Neighborhood;
+use lnls_qap::{
+    GpuSwapEvaluator, Permutation, QapInstance, RobustTabu, RtsConfig, SwapEvaluator,
+    TableEvaluator,
+};
+use std::any::{Any, TypeId};
+use std::sync::Arc;
+
+/// Launch-batching compatibility key: jobs fuse when the concrete
+/// executor type, problem family, dimensionality and neighborhood all
+/// agree.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    type_id: TypeId,
+    family: String,
+    dim: usize,
+    hood_size: u64,
+    k: usize,
+}
+
+pub(crate) trait JobExec: Send {
+    fn id(&self) -> JobId;
+    fn priority(&self) -> u8;
+    fn seq(&self) -> u64;
+    fn done(&self) -> bool;
+    fn batch_key(&self) -> Option<BatchKey>;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// One iteration (or one atomic run) on a fleet device. Charges the
+    /// device ledger; returns the modeled seconds consumed.
+    fn step_device(&mut self, dev: &mut Device) -> f64;
+
+    /// One iteration (or one atomic run) on a CPU worker; returns the
+    /// modeled host seconds consumed.
+    fn step_host(&mut self, host: &HostSpec) -> f64;
+
+    /// One fused iteration covering `self` and `peers` (all sharing this
+    /// job's [`BatchKey`]). Members already finished must not be passed.
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64;
+
+    /// Modeled cost of the work this job has *executed so far* if it had
+    /// run solo, launch-per-iteration, on `spec` — the serialized-fleet
+    /// baseline contribution.
+    fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64;
+
+    /// Produce the final report (call once, after [`done`](Self::done)).
+    fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport;
+
+    /// Deep copy for checkpoints.
+    fn clone_box(&self) -> Box<dyn JobExec>;
+}
+
+// ---------------------------------------------------------------------
+// Binary tabu jobs
+// ---------------------------------------------------------------------
+
+/// Executor for [`BinaryJob`](crate::BinaryJob): a [`TabuCursor`] stepped
+/// iteration by iteration, batchable with same-key tenants.
+pub(crate) struct BinaryTabuJob<P, N>
+where
+    P: IncrementalEval + 'static,
+    N: Neighborhood + Clone + Send + Sync + 'static,
+{
+    pub id: JobId,
+    pub name: String,
+    pub priority: u8,
+    pub seq: u64,
+    pub problem: Arc<P>,
+    pub hood: N,
+    pub cursor: TabuCursor<P>,
+    pub out: Vec<i64>,
+    pub state_h2d_bytes: u64,
+    pub host: HostSpec,
+    pub fused_iters: u64,
+}
+
+impl<P, N> BinaryTabuJob<P, N>
+where
+    P: IncrementalEval + 'static,
+    N: Neighborhood + Clone + Send + Sync + 'static,
+{
+    pub fn new(id: JobId, seq: u64, spec: crate::job::BinaryJob<P, N>, host: HostSpec) -> Self {
+        let cursor = spec.search.cursor(&spec.problem, spec.init);
+        let state_h2d_bytes = spec.state_h2d_bytes.unwrap_or(4 * spec.problem.dim() as u64);
+        Self {
+            id,
+            name: spec.name,
+            priority: spec.priority,
+            seq,
+            problem: Arc::new(spec.problem),
+            hood: spec.hood,
+            cursor,
+            out: Vec::new(),
+            state_h2d_bytes,
+            host,
+            fused_iters: 0,
+        }
+    }
+
+    fn profile(&self, spec: &DeviceSpec) -> LaneProfile {
+        LaneProfile::incremental_eval(
+            spec,
+            &self.host,
+            self.hood.size(),
+            self.hood.k(),
+            self.problem.dim(),
+            self.state_h2d_bytes,
+        )
+    }
+}
+
+impl<P, N> JobExec for BinaryTabuJob<P, N>
+where
+    P: IncrementalEval + 'static,
+    N: Neighborhood + Clone + Send + Sync + 'static,
+{
+    fn id(&self) -> JobId {
+        self.id
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn done(&self) -> bool {
+        self.cursor.stop_reason().is_some()
+    }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        Some(BatchKey {
+            type_id: TypeId::of::<Self>(),
+            family: self.problem.name(),
+            dim: self.problem.dim(),
+            hood_size: self.hood.size(),
+            k: self.hood.k(),
+        })
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn step_device(&mut self, dev: &mut Device) -> f64 {
+        self.step_batch(&mut [], dev)
+    }
+
+    fn step_host(&mut self, host: &HostSpec) -> f64 {
+        // Functional evaluation identical to the device path; priced as
+        // one sequential-host neighborhood scan.
+        let m = self.hood.size();
+        let prof = LaneProfile::incremental_eval(
+            &DeviceSpec::gtx280(),
+            host,
+            m,
+            self.hood.k(),
+            self.problem.dim(),
+            self.state_h2d_bytes,
+        );
+        let problem = &*self.problem;
+        let (s, state) = self.cursor.explore_parts();
+        let out = &mut self.out;
+        out.clear();
+        out.reserve(m as usize);
+        self.hood.for_each_move_in(0, m, &mut |_, mv| {
+            out.push(problem.neighbor_fitness(state, s, &mv));
+            true
+        });
+        self.cursor.select_and_commit(problem, &self.hood, &self.out);
+        prof.host_seconds
+    }
+
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
+        let spec = dev.spec().clone();
+        let prof = self.profile(&spec);
+        let mut typed: Vec<&mut Self> = peers
+            .iter_mut()
+            .map(|p| {
+                p.as_any_mut()
+                    .downcast_mut::<Self>()
+                    .expect("batch key embeds TypeId; peers must share the leader's type")
+            })
+            .collect();
+        let peer_profiles: Vec<LaneProfile> = typed.iter().map(|t| t.profile(&spec)).collect();
+
+        let mut bex = BatchedExplorer::new(self.hood.clone(), spec);
+        {
+            let mut lanes: Vec<BatchLane<'_, P>> = Vec::with_capacity(1 + typed.len());
+            let (s, state) = self.cursor.explore_parts();
+            lanes.push(BatchLane {
+                problem: &*self.problem,
+                s,
+                state,
+                out: &mut self.out,
+                profile: prof,
+            });
+            for (t, p) in typed.iter_mut().zip(&peer_profiles) {
+                let (s, state) = t.cursor.explore_parts();
+                lanes.push(BatchLane {
+                    problem: &*t.problem,
+                    s,
+                    state,
+                    out: &mut t.out,
+                    profile: *p,
+                });
+            }
+            bex.explore_batch(&mut lanes);
+        }
+        let fused = !typed.is_empty();
+        self.cursor.select_and_commit(&*self.problem, &self.hood, &self.out);
+        if fused {
+            self.fused_iters += 1;
+        }
+        for t in typed {
+            t.cursor.select_and_commit(&*t.problem, &t.hood, &t.out);
+            t.fused_iters += 1;
+        }
+        let seconds = bex.book().gpu_total_s();
+        dev.charge(bex.book());
+        seconds
+    }
+
+    fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
+        self.profile(spec).solo_seconds(spec) * self.cursor.iterations() as f64
+    }
+
+    fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport {
+        let result =
+            self.cursor.clone().into_result(std::time::Duration::ZERO, None, backend.clone());
+        JobReport {
+            id: self.id,
+            name: self.name.clone(),
+            backend,
+            started_s,
+            finished_s,
+            fused_iterations: self.fused_iters,
+            outcome: JobOutcome::Binary(result),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn JobExec> {
+        Box::new(Self {
+            id: self.id,
+            name: self.name.clone(),
+            priority: self.priority,
+            seq: self.seq,
+            problem: Arc::clone(&self.problem),
+            hood: self.hood.clone(),
+            cursor: self.cursor.clone(),
+            out: Vec::new(),
+            state_h2d_bytes: self.state_h2d_bytes,
+            host: self.host.clone(),
+            fused_iters: self.fused_iters,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// QAP jobs
+// ---------------------------------------------------------------------
+
+/// Executor for [`QapJobSpec`](crate::QapJobSpec): one atomic
+/// robust-tabu run. Unbatchable; the device path prices through the real
+/// simulated swap kernel, the host path through the delta table.
+pub(crate) struct QapJob {
+    pub id: JobId,
+    pub name: String,
+    pub priority: u8,
+    pub seq: u64,
+    pub instance: Arc<QapInstance>,
+    pub config: RtsConfig,
+    pub init: Permutation,
+    pub result: Option<lnls_qap::RtsResult>,
+    pub charged_s: f64,
+}
+
+impl QapJob {
+    /// Modeled per-iteration seconds of the O(n)-per-swap kernel over
+    /// `C(n,2)` swaps on `spec` — the reference-device price used for
+    /// the serialized baseline when the run itself executed on a CPU
+    /// worker.
+    fn iter_estimate_s(&self, spec: &DeviceSpec) -> f64 {
+        let n = self.instance.size() as f64;
+        let m = n * (n - 1.0) / 2.0;
+        let ops = m * 8.0 * n;
+        let peak = spec.sm_count as f64 * spec.warp_size as f64 / spec.issue_cycles * spec.clock_hz;
+        spec.launch_overhead_s + ops / (peak * 0.25)
+    }
+}
+
+impl JobExec for QapJob {
+    fn id(&self) -> JobId {
+        self.id
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn done(&self) -> bool {
+        self.result.is_some()
+    }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        None
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn step_device(&mut self, dev: &mut Device) -> f64 {
+        let mut eval = GpuSwapEvaluator::new(&self.instance, dev.spec().clone());
+        let driver = RobustTabu::new(self.config.clone());
+        let result = driver.run(&self.instance, &mut eval, self.init.clone());
+        let book = eval.book().expect("GPU evaluator prices its work");
+        let seconds = book.gpu_total_s();
+        dev.charge(&book);
+        self.result = Some(result);
+        // Atomic and unfused: when executed on a device, the charged
+        // seconds are exactly the serialized-baseline contribution.
+        self.charged_s = seconds;
+        seconds
+    }
+
+    fn step_host(&mut self, host: &HostSpec) -> f64 {
+        let mut eval = TableEvaluator::new();
+        let driver = RobustTabu::new(self.config.clone());
+        let result = driver.run(&self.instance, &mut eval, self.init.clone());
+        // Table scans are O(1) per swap: m lookups per iteration.
+        let n = self.instance.size() as f64;
+        let m = n * (n - 1.0) / 2.0;
+        let ops = result.iterations as f64 * m * 10.0;
+        let seconds = ops * host.cpi_alu / host.clock_hz;
+        self.result = Some(result);
+        seconds
+    }
+
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
+        assert!(peers.is_empty(), "QAP jobs are unbatchable");
+        self.step_device(dev)
+    }
+
+    fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
+        if self.charged_s > 0.0 {
+            // Ran on a device: the real charged seconds.
+            self.charged_s
+        } else {
+            // Ran on a CPU worker: price the same iterations on the
+            // reference device so the baseline stays device-denominated.
+            let iters = self.result.as_ref().map_or(0, |r| r.iterations);
+            self.iter_estimate_s(spec) * iters as f64
+        }
+    }
+
+    fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport {
+        let result = self.result.clone().expect("finish() after done()");
+        JobReport {
+            id: self.id,
+            name: self.name.clone(),
+            backend,
+            started_s,
+            finished_s,
+            fused_iterations: 0,
+            outcome: JobOutcome::Qap(result),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn JobExec> {
+        Box::new(Self {
+            id: self.id,
+            name: self.name.clone(),
+            priority: self.priority,
+            seq: self.seq,
+            instance: Arc::clone(&self.instance),
+            config: self.config.clone(),
+            init: self.init.clone(),
+            result: self.result.clone(),
+            charged_s: self.charged_s,
+        })
+    }
+}

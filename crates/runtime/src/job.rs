@@ -1,0 +1,205 @@
+//! Job descriptions, handles and per-job reports.
+
+use lnls_core::{BitString, SearchResult, TabuSearch};
+use lnls_neighborhood::Neighborhood;
+use lnls_qap::{Permutation, QapInstance, RtsConfig, RtsResult};
+use std::fmt;
+
+/// Opaque identity of a submitted job.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub(crate) u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Typed handle returned by `submit_*`; poll it with
+/// [`Scheduler::status`](crate::Scheduler::status) or block with
+/// [`Scheduler::await_report`](crate::Scheduler::await_report).
+#[derive(Copy, Clone, Debug)]
+pub struct JobHandle {
+    pub(crate) id: JobId,
+}
+
+impl JobHandle {
+    /// The job's identity.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+}
+
+/// Where a job currently is in its lifecycle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the scheduler queue.
+    Queued,
+    /// Assigned to a backend (possibly inside a fused batch).
+    Running,
+    /// Finished; a [`JobReport`] is available.
+    Done,
+    /// Unknown to this scheduler.
+    Unknown,
+}
+
+/// What a finished job produced — binary searches and QAP runs report
+/// through their native result types.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// A bit-string search driven by [`TabuSearch`].
+    Binary(SearchResult),
+    /// A robust-tabu QAP run.
+    Qap(RtsResult),
+}
+
+impl JobOutcome {
+    /// Best fitness/cost reached.
+    pub fn best_fitness(&self) -> i64 {
+        match self {
+            JobOutcome::Binary(r) => r.best_fitness,
+            JobOutcome::Qap(r) => r.best_cost,
+        }
+    }
+
+    /// Iterations executed.
+    pub fn iterations(&self) -> u64 {
+        match self {
+            JobOutcome::Binary(r) => r.iterations,
+            JobOutcome::Qap(r) => r.iterations,
+        }
+    }
+
+    /// True if the job hit its target.
+    pub fn success(&self) -> bool {
+        match self {
+            JobOutcome::Binary(r) => r.success,
+            JobOutcome::Qap(r) => r.success,
+        }
+    }
+
+    /// The binary search result, if this was a binary job.
+    pub fn as_binary(&self) -> Option<&SearchResult> {
+        match self {
+            JobOutcome::Binary(r) => Some(r),
+            JobOutcome::Qap(_) => None,
+        }
+    }
+
+    /// The QAP result, if this was a QAP job.
+    pub fn as_qap(&self) -> Option<&RtsResult> {
+        match self {
+            JobOutcome::Qap(r) => Some(r),
+            JobOutcome::Binary(_) => None,
+        }
+    }
+}
+
+/// Everything known about one completed job.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Job identity.
+    pub id: JobId,
+    /// Submission name.
+    pub name: String,
+    /// Backend that completed the job (e.g. `dev0[GTX 280 …]`, `cpu1`).
+    pub backend: String,
+    /// Simulated fleet time at which the job left the queue.
+    pub started_s: f64,
+    /// Simulated fleet time at which the job completed.
+    pub finished_s: f64,
+    /// Iterations that ran inside a fused batch with other tenants.
+    pub fused_iterations: u64,
+    /// The search outcome.
+    pub outcome: JobOutcome,
+}
+
+/// A bit-string search job: problem + neighborhood + driver + initial
+/// solution, submitted via
+/// [`Scheduler::submit_binary`](crate::Scheduler::submit_binary).
+///
+/// Jobs whose `(problem family, neighborhood)` coincide are eligible for
+/// launch batching — their per-iteration evaluations fuse into one
+/// simulated launch. The family key is
+/// [`BinaryProblem::name`](lnls_core::BinaryProblem::name), so instances
+/// of the same shape batch automatically.
+pub struct BinaryJob<P, N> {
+    /// Submission name (reports only).
+    pub name: String,
+    /// The problem instance (moved into the scheduler).
+    pub problem: P,
+    /// Neighborhood to search.
+    pub hood: N,
+    /// Driver configuration (budget, seed, strategy, target).
+    pub search: TabuSearch,
+    /// Initial solution — explicit so fleet runs are bit-comparable to
+    /// solo runs.
+    pub init: BitString,
+    /// Larger runs first when the queue is contended (0 = bulk).
+    pub priority: u8,
+    /// Per-iteration incremental-state upload, bytes (pricing input).
+    /// Defaults to `4·dim` — the order of the auxiliary vectors every
+    /// bundled problem re-uploads per iteration.
+    pub state_h2d_bytes: Option<u64>,
+}
+
+impl<P, N: Neighborhood> BinaryJob<P, N> {
+    /// A job with default priority and pricing hints.
+    pub fn new(
+        name: impl Into<String>,
+        problem: P,
+        hood: N,
+        search: TabuSearch,
+        init: BitString,
+    ) -> Self {
+        Self { name: name.into(), problem, hood, search, init, priority: 0, state_h2d_bytes: None }
+    }
+
+    /// Set the queue priority (higher runs first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Override the per-iteration state-upload pricing hint.
+    pub fn with_state_bytes(mut self, bytes: u64) -> Self {
+        self.state_h2d_bytes = Some(bytes);
+        self
+    }
+}
+
+/// A QAP robust-tabu job, submitted via
+/// [`Scheduler::submit_qap`](crate::Scheduler::submit_qap).
+///
+/// QAP runs execute atomically (the classic driver is not steppable), so
+/// they never fuse with other tenants and checkpoint only while queued.
+pub struct QapJobSpec {
+    /// Submission name (reports only).
+    pub name: String,
+    /// The instance (moved into the scheduler).
+    pub instance: QapInstance,
+    /// Driver configuration.
+    pub config: RtsConfig,
+    /// Initial assignment.
+    pub init: Permutation,
+    /// Larger runs first when the queue is contended (0 = bulk).
+    pub priority: u8,
+}
+
+impl QapJobSpec {
+    /// A job with default priority.
+    pub fn new(
+        name: impl Into<String>,
+        instance: QapInstance,
+        config: RtsConfig,
+        init: Permutation,
+    ) -> Self {
+        Self { name: name.into(), instance, config, init, priority: 0 }
+    }
+
+    /// Set the queue priority (higher runs first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}

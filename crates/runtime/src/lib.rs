@@ -1,0 +1,325 @@
+//! # lnls-runtime — a batched multi-tenant search scheduler
+//!
+//! The paper's protocol never runs *one* search: every configuration is
+//! 50 independent tries, and its §V perspective spreads work across
+//! devices. This crate turns the workspace's single-search machinery
+//! into a service-shaped subsystem:
+//!
+//! * **Jobs** ([`BinaryJob`], [`QapJobSpec`]) describe a search —
+//!   problem + neighborhood + driver config + initial solution +
+//!   priority — and submission returns a typed [`JobHandle`] for
+//!   polling ([`Scheduler::status`]) or awaiting
+//!   ([`Scheduler::await_report`]).
+//! * The [`Scheduler`] owns a [`MultiDevice`](lnls_gpu_sim::MultiDevice)
+//!   fleet plus CPU worker backends and places queued jobs under a
+//!   [`PlacePolicy`] (round-robin or least-loaded), charging modeled
+//!   wall-clock through the gpu-sim cost models so fleet makespan and
+//!   per-device utilization come out of one consistent ledger.
+//! * **Launch batching**: queued jobs sharing a problem family and
+//!   neighborhood fuse their per-iteration evaluations into one larger
+//!   simulated launch (driven by
+//!   [`BatchedExplorer`](lnls_core::BatchedExplorer)), amortizing launch
+//!   overhead and PCIe latency — the paper's large-neighborhood effect
+//!   applied across tenants instead of within one search.
+//! * **Checkpoint/resume** ([`Scheduler::checkpoint`],
+//!   [`Scheduler::restore`]) snapshots queued *and in-flight* jobs
+//!   (mid-search cursor state included); a restored fleet continues
+//!   deterministically.
+//! * [`FleetReport`] summarizes throughput: makespan, busy fractions,
+//!   jobs per simulated second, and speedup versus the serialized
+//!   one-device baseline.
+//!
+//! Determinism is a design invariant: evaluation is functional and the
+//! event loop is single-threaded over *modeled* time, so a job's result
+//! is bit-for-bit the result of running the same search solo.
+//!
+//! ## Example
+//!
+//! ```
+//! use lnls_runtime::{BinaryJob, Scheduler, SchedulerConfig};
+//! use lnls_core::{BitString, SearchConfig, TabuSearch};
+//! use lnls_gpu_sim::DeviceSpec;
+//! use lnls_neighborhood::{Neighborhood, TwoHamming};
+//! use lnls_problems::OneMax;
+//!
+//! let mut fleet = Scheduler::with_uniform_fleet(
+//!     2,
+//!     DeviceSpec::gtx280(),
+//!     SchedulerConfig::default(),
+//! );
+//! let hood = TwoHamming::new(32);
+//! let handles: Vec<_> = (0..6)
+//!     .map(|i| {
+//!         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i);
+//!         let init = BitString::random(&mut rng, 32);
+//!         let search = TabuSearch::paper(SearchConfig::budget(40).with_seed(i), hood.size());
+//!         fleet.submit_binary(BinaryJob::new(
+//!             format!("onemax-{i}"),
+//!             OneMax::new(32),
+//!             hood,
+//!             search,
+//!             init,
+//!         ))
+//!     })
+//!     .collect();
+//! fleet.run_until_idle();
+//! let report = fleet.fleet_report();
+//! assert_eq!(report.jobs_completed, 6);
+//! assert!(report.speedup_vs_serial > 1.0);
+//! for h in &handles {
+//!     assert!(fleet.report(h).expect("completed").outcome.iterations() > 0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod exec;
+mod job;
+mod report;
+mod scheduler;
+
+pub use exec::BatchKey;
+pub use job::{BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec};
+pub use report::FleetReport;
+pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnls_core::{BitString, SearchConfig, SequentialExplorer, TabuSearch};
+    use lnls_gpu_sim::{DeviceSpec, MultiDevice};
+    use lnls_neighborhood::{Neighborhood, TwoHamming};
+    use lnls_problems::OneMax;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn onemax_job(i: u64, n: usize, iters: u64) -> BinaryJob<OneMax, TwoHamming> {
+        let hood = TwoHamming::new(n);
+        let mut rng = StdRng::seed_from_u64(i);
+        let init = BitString::random(&mut rng, n);
+        let search = TabuSearch::paper(SearchConfig::budget(iters).with_seed(i), hood.size());
+        BinaryJob::new(format!("onemax-{i}"), OneMax::new(n), hood, search, init)
+    }
+
+    fn solo_result(i: u64, n: usize, iters: u64) -> lnls_core::SearchResult {
+        let hood = TwoHamming::new(n);
+        let mut rng = StdRng::seed_from_u64(i);
+        let init = BitString::random(&mut rng, n);
+        let search = TabuSearch::paper(SearchConfig::budget(iters).with_seed(i), hood.size());
+        let mut ex = SequentialExplorer::new(hood);
+        search.run(&OneMax::new(n), &mut ex, init)
+    }
+
+    #[test]
+    fn fleet_results_are_bit_identical_to_solo_runs() {
+        let mut fleet =
+            Scheduler::with_uniform_fleet(2, DeviceSpec::gtx280(), SchedulerConfig::default());
+        let handles: Vec<_> = (0..5).map(|i| fleet.submit_binary(onemax_job(i, 24, 30))).collect();
+        fleet.run_until_idle();
+        for (i, h) in handles.iter().enumerate() {
+            let got = fleet.report(h).expect("done");
+            let want = solo_result(i as u64, 24, 30);
+            let got = got.outcome.as_binary().expect("binary job");
+            assert_eq!(got.best, want.best, "job {i}");
+            assert_eq!(got.best_fitness, want.best_fitness, "job {i}");
+            assert_eq!(got.iterations, want.iterations, "job {i}");
+            assert_eq!(got.evals, want.evals, "job {i}");
+        }
+    }
+
+    #[test]
+    fn batching_fuses_same_family_jobs() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 4, ..Default::default() },
+        );
+        for i in 0..4 {
+            fleet.submit_binary(onemax_job(i, 24, 10));
+        }
+        fleet.run_until_idle();
+        let report = fleet.fleet_report();
+        assert!(report.fused_launches > 0, "same-key jobs must fuse");
+        assert!(report.launches_saved > 0);
+        // 4 fused lanes on one device still beat 4 serialized solo runs.
+        assert!(report.speedup_vs_serial > 1.0, "×{}", report.speedup_vs_serial);
+    }
+
+    #[test]
+    fn batching_disabled_runs_solo() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 1, ..Default::default() },
+        );
+        for i in 0..3 {
+            fleet.submit_binary(onemax_job(i, 16, 8));
+        }
+        fleet.run_until_idle();
+        let report = fleet.fleet_report();
+        assert_eq!(report.fused_launches, 0);
+        assert_eq!(report.jobs_completed, 3);
+    }
+
+    #[test]
+    fn two_devices_beat_one_on_makespan() {
+        let run = |devs: usize| {
+            let mut fleet = Scheduler::with_uniform_fleet(
+                devs,
+                DeviceSpec::gtx280(),
+                SchedulerConfig { max_batch: 1, ..Default::default() },
+            );
+            for i in 0..6 {
+                fleet.submit_binary(onemax_job(i, 24, 20));
+            }
+            fleet.run_until_idle();
+            fleet.fleet_report().makespan_s
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two < one, "2 devices ({two}) must beat 1 ({one})");
+    }
+
+    #[test]
+    fn priorities_run_first() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 1, ..Default::default() },
+        );
+        let low = fleet.submit_binary(onemax_job(0, 16, 5));
+        let high = fleet.submit_binary(onemax_job(1, 16, 5).with_priority(9));
+        fleet.run_until_idle();
+        let r_low = fleet.report(&low).unwrap();
+        let r_high = fleet.report(&high).unwrap();
+        assert!(
+            r_high.finished_s <= r_low.started_s + 1e-12,
+            "high priority must be scheduled first"
+        );
+    }
+
+    #[test]
+    fn status_lifecycle_and_await() {
+        let mut fleet =
+            Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
+        let h = fleet.submit_binary(onemax_job(3, 16, 5));
+        assert_eq!(fleet.status(&h), JobStatus::Queued);
+        assert!(fleet.tick());
+        assert_ne!(fleet.status(&h), JobStatus::Queued, "placed after first tick");
+        // 2-Hamming moves preserve ones-count parity, so the target may
+        // be unreachable; completion, not success, is what's under test.
+        let report = fleet.await_report(&h).outcome.clone();
+        assert!(report.iterations() > 0);
+        assert_eq!(fleet.status(&h), JobStatus::Done);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_deterministic() {
+        let build = || {
+            let mut fleet = Scheduler::with_uniform_fleet(
+                2,
+                DeviceSpec::gtx280(),
+                SchedulerConfig { max_batch: 2, ..Default::default() },
+            );
+            for i in 0..4 {
+                fleet.submit_binary(onemax_job(i, 24, 25));
+            }
+            fleet
+        };
+
+        // Reference: run to completion in one go.
+        let mut straight = build();
+        straight.run_until_idle();
+
+        // Checkpoint mid-flight, drop the original, restore, continue.
+        let mut fleet = build();
+        fleet.tick();
+        fleet.tick();
+        let checkpoint = fleet.checkpoint();
+        assert!(checkpoint.in_flight_jobs() > 0, "jobs must be captured mid-run");
+        drop(fleet);
+        let mut resumed = Scheduler::restore(checkpoint);
+        resumed.run_until_idle();
+
+        let a = straight.fleet_report();
+        let b = resumed.fleet_report();
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        assert!((a.makespan_s - b.makespan_s).abs() < 1e-12);
+        for (ra, rb) in straight.reports().zip(resumed.reports()) {
+            let (ra, rb) = (ra.outcome.as_binary().unwrap(), rb.outcome.as_binary().unwrap());
+            assert_eq!(ra.best, rb.best);
+            assert_eq!(ra.best_fitness, rb.best_fitness);
+            assert_eq!(ra.iterations, rb.iterations);
+        }
+    }
+
+    #[test]
+    fn cpu_workers_complete_jobs_identically() {
+        let mut fleet = Scheduler::new(
+            MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+            SchedulerConfig { cpu_workers: 2, max_batch: 1, ..Default::default() },
+        );
+        let handles: Vec<_> = (0..6).map(|i| fleet.submit_binary(onemax_job(i, 20, 12))).collect();
+        fleet.run_until_idle();
+        let report = fleet.fleet_report();
+        assert_eq!(report.jobs_completed, 6);
+        assert!(
+            report.cpu_busy_s.iter().any(|&b| b > 0.0),
+            "CPU workers must have taken jobs: {:?}",
+            report.cpu_busy_s
+        );
+        for (i, h) in handles.iter().enumerate() {
+            let got = fleet.report(h).unwrap().outcome.as_binary().unwrap().best.clone();
+            assert_eq!(got, solo_result(i as u64, 20, 12).best, "job {i}");
+        }
+    }
+
+    #[test]
+    fn batching_does_not_starve_idle_devices() {
+        // Six same-key jobs, two devices, wide max_batch: the drain cap
+        // must split the key 3/3 across devices instead of fusing all
+        // six onto one while the other idles (fusion amortizes overhead,
+        // not kernel seconds, so parallel devices win).
+        let mut fleet = Scheduler::with_uniform_fleet(
+            2,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 8, ..Default::default() },
+        );
+        for i in 0..6 {
+            fleet.submit_binary(onemax_job(i, 24, 15));
+        }
+        fleet.run_until_idle();
+        let report = fleet.fleet_report();
+        assert!(
+            report.device_busy_s.iter().all(|&b| b > 0.0),
+            "both devices must share the key: {:?}",
+            report.device_busy_s
+        );
+        assert!(report.fused_launches > 0, "groups of three must still fuse");
+    }
+
+    #[test]
+    fn round_robin_spreads_jobs() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            3,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { policy: PlacePolicy::RoundRobin, max_batch: 1, ..Default::default() },
+        );
+        for i in 0..3 {
+            fleet.submit_binary(onemax_job(i, 20, 10));
+        }
+        fleet.run_until_idle();
+        let report = fleet.fleet_report();
+        let used = report.device_busy_s.iter().filter(|&&b| b > 0.0).count();
+        assert_eq!(used, 3, "round-robin must touch every device: {:?}", report.device_busy_s);
+    }
+
+    #[test]
+    fn unknown_handle_reports_unknown() {
+        let fleet =
+            Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
+        let ghost = JobHandle { id: JobId(999) };
+        assert_eq!(fleet.status(&ghost), JobStatus::Unknown);
+    }
+}

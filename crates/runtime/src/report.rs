@@ -1,0 +1,66 @@
+//! Fleet-level reporting.
+
+use lnls_gpu_sim::TimeBook;
+use std::fmt;
+
+/// Throughput and utilization summary of one scheduler run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Jobs completed so far.
+    pub jobs_completed: u64,
+    /// Jobs still queued.
+    pub jobs_queued: u64,
+    /// Jobs currently placed on a backend.
+    pub jobs_running: u64,
+    /// Simulated fleet makespan: the latest backend clock (seconds).
+    pub makespan_s: f64,
+    /// What the completed work would cost run back-to-back, unfused, on
+    /// the reference device (device 0) — the sequential baseline.
+    pub serialized_s: f64,
+    /// `serialized_s / makespan_s` (1.0 when nothing ran).
+    pub speedup_vs_serial: f64,
+    /// Busy seconds per device backend.
+    pub device_busy_s: Vec<f64>,
+    /// `device_busy_s / makespan_s` per device.
+    pub device_utilization: Vec<f64>,
+    /// Busy seconds per CPU worker backend.
+    pub cpu_busy_s: Vec<f64>,
+    /// Completed jobs per simulated second of makespan.
+    pub jobs_per_sim_s: f64,
+    /// Fused launches the batcher issued.
+    pub fused_launches: u64,
+    /// Launches saved versus one-launch-per-lane (the amortization win).
+    pub launches_saved: u64,
+    /// Sum of the device ledgers (kernels, overhead, transfers, and the
+    /// counterfactual sequential-host column). CPU-worker execution time
+    /// is reported separately in [`cpu_busy_s`](Self::cpu_busy_s) — it is
+    /// real busy time, not a baseline, so it never mixes into this book.
+    pub fleet_book: TimeBook,
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} done / {} running / {} queued",
+            self.jobs_completed, self.jobs_running, self.jobs_queued
+        )?;
+        writeln!(
+            f,
+            "makespan {:.6}s | serialized {:.6}s | speedup ×{:.2} | {:.1} jobs/s",
+            self.makespan_s, self.serialized_s, self.speedup_vs_serial, self.jobs_per_sim_s
+        )?;
+        for (i, (busy, util)) in self.device_busy_s.iter().zip(&self.device_utilization).enumerate()
+        {
+            writeln!(f, "  dev{i}: busy {busy:.6}s ({:.0}%)", util * 100.0)?;
+        }
+        for (i, busy) in self.cpu_busy_s.iter().enumerate() {
+            writeln!(f, "  cpu{i}: busy {busy:.6}s")?;
+        }
+        write!(
+            f,
+            "  batching: {} fused launches, {} launches saved",
+            self.fused_launches, self.launches_saved
+        )
+    }
+}

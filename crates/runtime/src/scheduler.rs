@@ -1,0 +1,475 @@
+//! The fleet scheduler: queue, placement, fused stepping, checkpointing.
+
+use crate::exec::{BatchKey, BinaryTabuJob, JobExec, QapJob};
+use crate::job::{BinaryJob, JobHandle, JobId, JobReport, JobStatus, QapJobSpec};
+use crate::report::FleetReport;
+use lnls_core::IncrementalEval;
+use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, TimeBook};
+use lnls_neighborhood::Neighborhood;
+use std::collections::BTreeMap;
+
+/// How queued jobs are placed onto idle backends.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum PlacePolicy {
+    /// Cycle through backends in fixed order.
+    RoundRobin,
+    /// Prefer the backend whose clock (busy time so far) is lowest,
+    /// breaking ties toward devices, then lower index.
+    #[default]
+    LeastLoaded,
+}
+
+/// Scheduler knobs.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Placement policy.
+    pub policy: PlacePolicy,
+    /// CPU worker backends in addition to the device fleet.
+    pub cpu_workers: usize,
+    /// Fuse up to this many same-key jobs per device assignment
+    /// (1 disables launch batching).
+    pub max_batch: usize,
+    /// Host description for CPU-worker pricing.
+    pub host: HostSpec,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            policy: PlacePolicy::default(),
+            cpu_workers: 0,
+            max_batch: 8,
+            host: HostSpec::xeon_3ghz(),
+        }
+    }
+}
+
+struct Active {
+    jobs: Vec<Box<dyn JobExec>>,
+    started_s: f64,
+}
+
+/// A batched multi-tenant search scheduler over a simulated device fleet.
+///
+/// Submit jobs ([`submit_binary`](Self::submit_binary),
+/// [`submit_qap`](Self::submit_qap)), then drive the simulation with
+/// [`tick`](Self::tick) / [`run_until_idle`](Self::run_until_idle) /
+/// [`await_report`](Self::await_report). All time is *modeled* time from
+/// the gpu-sim cost models; execution is deterministic, so fleet runs
+/// return bit-identical search results to solo runs of the same jobs.
+///
+/// Backends are the devices of the owned [`MultiDevice`] plus
+/// `cpu_workers` host workers. Each backend executes one assignment at a
+/// time; a device assignment may be a *fused group* of up to `max_batch`
+/// jobs sharing a batch key, whose per-iteration evaluations ride in one
+/// launch (see [`lnls_core::BatchedExplorer`]).
+pub struct Scheduler {
+    devices: MultiDevice,
+    cfg: SchedulerConfig,
+    queue: Vec<Box<dyn JobExec>>,
+    active: Vec<Option<Active>>,
+    clocks: Vec<f64>,
+    rr_next: usize,
+    next_id: u64,
+    next_seq: u64,
+    done: BTreeMap<JobId, JobReport>,
+    serialized_s: f64,
+    fused_launches: u64,
+    launches_saved: u64,
+}
+
+impl Scheduler {
+    /// A scheduler owning `devices` with the given knobs.
+    pub fn new(devices: MultiDevice, cfg: SchedulerConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        let backends = devices.len() + cfg.cpu_workers;
+        Self {
+            devices,
+            cfg,
+            queue: Vec::new(),
+            active: (0..backends).map(|_| None).collect(),
+            clocks: vec![0.0; backends],
+            rr_next: 0,
+            next_id: 0,
+            next_seq: 0,
+            done: BTreeMap::new(),
+            serialized_s: 0.0,
+            fused_launches: 0,
+            launches_saved: 0,
+        }
+    }
+
+    /// Convenience: `count` identical devices of `spec`.
+    pub fn with_uniform_fleet(count: usize, spec: DeviceSpec, cfg: SchedulerConfig) -> Self {
+        Self::new(MultiDevice::new_uniform(count, spec), cfg)
+    }
+
+    /// The owned fleet.
+    pub fn devices(&self) -> &MultiDevice {
+        &self.devices
+    }
+
+    fn enqueue(&mut self, job: Box<dyn JobExec>) -> JobHandle {
+        let handle = JobHandle { id: job.id() };
+        self.queue.push(job);
+        handle
+    }
+
+    fn fresh_ids(&mut self) -> (JobId, u64) {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        (id, seq)
+    }
+
+    /// Submit a bit-string search job.
+    pub fn submit_binary<P, N>(&mut self, job: BinaryJob<P, N>) -> JobHandle
+    where
+        P: IncrementalEval + 'static,
+        N: Neighborhood + Clone + Send + Sync + 'static,
+    {
+        let (id, seq) = self.fresh_ids();
+        let host = self.cfg.host.clone();
+        self.enqueue(Box::new(BinaryTabuJob::new(id, seq, job, host)))
+    }
+
+    /// Submit a QAP robust-tabu job.
+    pub fn submit_qap(&mut self, job: QapJobSpec) -> JobHandle {
+        let (id, seq) = self.fresh_ids();
+        self.enqueue(Box::new(QapJob {
+            id,
+            name: job.name,
+            priority: job.priority,
+            seq,
+            instance: std::sync::Arc::new(job.instance),
+            config: job.config,
+            init: job.init,
+            result: None,
+            charged_s: 0.0,
+        }))
+    }
+
+    /// Where `handle`'s job currently is.
+    pub fn status(&self, handle: &JobHandle) -> JobStatus {
+        if self.done.contains_key(&handle.id) {
+            return JobStatus::Done;
+        }
+        if self.queue.iter().any(|j| j.id() == handle.id) {
+            return JobStatus::Queued;
+        }
+        let running =
+            self.active.iter().flatten().flat_map(|a| a.jobs.iter()).any(|j| j.id() == handle.id);
+        if running {
+            JobStatus::Running
+        } else {
+            JobStatus::Unknown
+        }
+    }
+
+    /// The report of a completed job, if it completed.
+    pub fn report(&self, handle: &JobHandle) -> Option<&JobReport> {
+        self.done.get(&handle.id)
+    }
+
+    /// All completed reports, in job-id order.
+    pub fn reports(&self) -> impl Iterator<Item = &JobReport> {
+        self.done.values()
+    }
+
+    /// Drive the simulation until `handle` completes, then return its
+    /// report.
+    ///
+    /// # Panics
+    /// Panics if the job is unknown to this scheduler.
+    pub fn await_report(&mut self, handle: &JobHandle) -> &JobReport {
+        while !self.done.contains_key(&handle.id) {
+            assert!(
+                self.tick(),
+                "job {} cannot complete: scheduler went idle without it",
+                handle.id
+            );
+        }
+        &self.done[&handle.id]
+    }
+
+    /// Run until every submitted job has completed.
+    pub fn run_until_idle(&mut self) {
+        while self.tick() {}
+    }
+
+    /// Advance the fleet: place queued jobs on idle backends, then run
+    /// one step (one fused iteration, or one atomic job run) on every
+    /// busy backend. Returns `false` once the fleet is idle.
+    pub fn tick(&mut self) -> bool {
+        self.place();
+        let mut progressed = false;
+        for b in 0..self.active.len() {
+            progressed |= self.step_backend(b);
+        }
+        progressed || !self.queue.is_empty()
+    }
+
+    // -- placement ----------------------------------------------------
+
+    fn idle_backends(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&b| self.active[b].is_none()).collect()
+    }
+
+    /// Index into `queue` of the next job by (priority desc, seq asc).
+    fn next_job_index(&self) -> Option<usize> {
+        (0..self.queue.len()).min_by_key(|&i| {
+            let j = &self.queue[i];
+            (std::cmp::Reverse(j.priority()), j.seq())
+        })
+    }
+
+    fn place(&mut self) {
+        loop {
+            let idle = self.idle_backends();
+            if idle.is_empty() || self.queue.is_empty() {
+                return;
+            }
+            let backend = match self.cfg.policy {
+                PlacePolicy::RoundRobin => {
+                    // Next idle backend at or after the cursor.
+                    let b = (0..self.active.len())
+                        .map(|o| (self.rr_next + o) % self.active.len())
+                        .find(|b| self.active[*b].is_none())
+                        .expect("idle set is non-empty");
+                    self.rr_next = (b + 1) % self.active.len();
+                    b
+                }
+                PlacePolicy::LeastLoaded => *idle
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        self.clocks[a].total_cmp(&self.clocks[b]).then_with(|| a.cmp(&b))
+                    })
+                    .expect("idle set is non-empty"),
+            };
+            let lead_idx = self.next_job_index().expect("queue is non-empty");
+            let lead = self.queue.swap_remove(lead_idx);
+            let mut jobs = vec![lead];
+            // Launch batching: device backends co-schedule same-key jobs.
+            // Fusing only amortizes overhead and transfer latency (kernel
+            // seconds still add up), so parallel devices beat wider
+            // batches: cap the group so the key's jobs spread over every
+            // idle device instead of piling onto this one.
+            if backend < self.devices.len() && self.cfg.max_batch > 1 {
+                if let Some(key) = jobs[0].batch_key() {
+                    let same_key = 1 + self
+                        .queue
+                        .iter()
+                        .filter(|j| j.batch_key().as_ref() == Some(&key))
+                        .count();
+                    let idle_devices = (0..self.devices.len())
+                        .filter(|&b| self.active[b].is_none())
+                        .count()
+                        .max(1);
+                    let cap = self.cfg.max_batch.min(same_key.div_ceil(idle_devices)).max(1);
+                    self.drain_batch_peers(&key, &mut jobs, cap);
+                }
+            }
+            self.active[backend] = Some(Active { jobs, started_s: self.clocks[backend] });
+        }
+    }
+
+    fn drain_batch_peers(&mut self, key: &BatchKey, jobs: &mut Vec<Box<dyn JobExec>>, cap: usize) {
+        while jobs.len() < cap {
+            let peer = (0..self.queue.len())
+                .filter(|&i| self.queue[i].batch_key().as_ref() == Some(key))
+                .min_by_key(|&i| {
+                    let j = &self.queue[i];
+                    (std::cmp::Reverse(j.priority()), j.seq())
+                });
+            match peer {
+                Some(i) => jobs.push(self.queue.swap_remove(i)),
+                None => return,
+            }
+        }
+    }
+
+    // -- stepping -----------------------------------------------------
+
+    fn step_backend(&mut self, b: usize) -> bool {
+        let Some(mut active) = self.active[b].take() else {
+            return false;
+        };
+        let is_device = b < self.devices.len();
+        let seconds = if is_device {
+            let dev = self.devices.device_mut(b);
+            if active.jobs.len() > 1 {
+                let (lead, peers) = active.jobs.split_at_mut(1);
+                let mut peer_refs: Vec<&mut Box<dyn JobExec>> = peers.iter_mut().collect();
+                let lanes = peer_refs.len() as u64 + 1;
+                let s = lead[0].step_batch(&mut peer_refs, dev);
+                self.fused_launches += 1;
+                self.launches_saved += lanes - 1;
+                s
+            } else {
+                active.jobs[0].step_device(dev)
+            }
+        } else {
+            active.jobs[0].step_host(&self.cfg.host)
+        };
+        self.clocks[b] += seconds;
+
+        // Retire finished members; survivors keep running as a (smaller)
+        // group on this backend.
+        let mut still: Vec<Box<dyn JobExec>> = Vec::with_capacity(active.jobs.len());
+        for mut job in active.jobs {
+            if job.done() {
+                self.serialized_s += job.serial_equivalent_s(self.devices.spec(0));
+                let report = job.finish(self.backend_name(b), active.started_s, self.clocks[b]);
+                self.done.insert(report.id, report);
+            } else {
+                still.push(job);
+            }
+        }
+        if !still.is_empty() {
+            self.active[b] = Some(Active { jobs: still, started_s: active.started_s });
+        }
+        true
+    }
+
+    fn backend_name(&self, b: usize) -> String {
+        if b < self.devices.len() {
+            format!("dev{b}[{}]", self.devices.spec(b).name)
+        } else {
+            format!("cpu{}", b - self.devices.len())
+        }
+    }
+
+    // -- reporting ----------------------------------------------------
+
+    /// Fleet-level throughput and utilization summary.
+    pub fn fleet_report(&self) -> FleetReport {
+        let d = self.devices.len();
+        let makespan_s = self.clocks.iter().copied().fold(0.0, f64::max);
+        let device_busy_s: Vec<f64> = self.clocks[..d].to_vec();
+        let cpu_busy_s: Vec<f64> = self.clocks[d..].to_vec();
+        let device_utilization = device_busy_s
+            .iter()
+            .map(|&busy| if makespan_s > 0.0 { busy / makespan_s } else { 0.0 })
+            .collect();
+        let fleet_book = self.devices.books_sum();
+        let jobs_completed = self.done.len() as u64;
+        let jobs_running = self.active.iter().flatten().map(|a| a.jobs.len() as u64).sum();
+        FleetReport {
+            jobs_completed,
+            jobs_queued: self.queue.len() as u64,
+            jobs_running,
+            makespan_s,
+            serialized_s: self.serialized_s,
+            speedup_vs_serial: if makespan_s > 0.0 { self.serialized_s / makespan_s } else { 1.0 },
+            device_busy_s,
+            device_utilization,
+            cpu_busy_s,
+            jobs_per_sim_s: if makespan_s > 0.0 { jobs_completed as f64 / makespan_s } else { 0.0 },
+            fused_launches: self.fused_launches,
+            launches_saved: self.launches_saved,
+            fleet_book,
+        }
+    }
+
+    // -- checkpoint / resume ------------------------------------------
+
+    /// Snapshot the whole fleet: queued jobs, in-flight cursors (mid
+    /// search), clocks, ledgers and completed reports. The snapshot is
+    /// independent of the live scheduler; [`Scheduler::restore`] rebuilds
+    /// an equivalent scheduler that continues deterministically.
+    pub fn checkpoint(&self) -> FleetCheckpoint {
+        FleetCheckpoint {
+            specs: (0..self.devices.len()).map(|i| self.devices.spec(i).clone()).collect(),
+            device_books: (0..self.devices.len())
+                .map(|i| self.devices.device(i).book().clone())
+                .collect(),
+            cfg: self.cfg.clone(),
+            queue: self.queue.iter().map(|j| j.clone_box()).collect(),
+            active: self
+                .active
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|a| ActiveSnapshot {
+                        jobs: a.jobs.iter().map(|j| j.clone_box()).collect(),
+                        started_s: a.started_s,
+                    })
+                })
+                .collect(),
+            clocks: self.clocks.clone(),
+            rr_next: self.rr_next,
+            next_id: self.next_id,
+            next_seq: self.next_seq,
+            done: self.done.clone(),
+            serialized_s: self.serialized_s,
+            fused_launches: self.fused_launches,
+            launches_saved: self.launches_saved,
+        }
+    }
+
+    /// Rebuild a scheduler from a [`checkpoint`](Self::checkpoint) and
+    /// continue where it left off.
+    pub fn restore(checkpoint: FleetCheckpoint) -> Self {
+        let mut devices = MultiDevice::new_from_specs(checkpoint.specs);
+        for (i, book) in checkpoint.device_books.iter().enumerate() {
+            devices.device_mut(i).charge(book);
+        }
+        Self {
+            devices,
+            cfg: checkpoint.cfg,
+            queue: checkpoint.queue,
+            active: checkpoint
+                .active
+                .into_iter()
+                .map(|slot| slot.map(|a| Active { jobs: a.jobs, started_s: a.started_s }))
+                .collect(),
+            clocks: checkpoint.clocks,
+            rr_next: checkpoint.rr_next,
+            next_id: checkpoint.next_id,
+            next_seq: checkpoint.next_seq,
+            done: checkpoint.done,
+            serialized_s: checkpoint.serialized_s,
+            fused_launches: checkpoint.fused_launches,
+            launches_saved: checkpoint.launches_saved,
+        }
+    }
+}
+
+struct ActiveSnapshot {
+    jobs: Vec<Box<dyn JobExec>>,
+    started_s: f64,
+}
+
+/// A self-contained fleet snapshot (see [`Scheduler::checkpoint`]).
+///
+/// Held in memory; queued *and in-flight* jobs are deep-copied, including
+/// mid-search cursor state, so a restored scheduler continues
+/// deterministically and produces the same results the original would
+/// have.
+pub struct FleetCheckpoint {
+    specs: Vec<DeviceSpec>,
+    device_books: Vec<TimeBook>,
+    cfg: SchedulerConfig,
+    queue: Vec<Box<dyn JobExec>>,
+    active: Vec<Option<ActiveSnapshot>>,
+    clocks: Vec<f64>,
+    rr_next: usize,
+    next_id: u64,
+    next_seq: u64,
+    done: BTreeMap<JobId, JobReport>,
+    serialized_s: f64,
+    fused_launches: u64,
+    launches_saved: u64,
+}
+
+impl FleetCheckpoint {
+    /// Jobs captured while queued or in flight (not yet completed).
+    pub fn pending_jobs(&self) -> usize {
+        self.queue.len() + self.active.iter().flatten().map(|a| a.jobs.len()).sum::<usize>()
+    }
+
+    /// Jobs captured mid-run (cursor state preserved).
+    pub fn in_flight_jobs(&self) -> usize {
+        self.active.iter().flatten().map(|a| a.jobs.len()).sum()
+    }
+}

@@ -1,0 +1,132 @@
+//! The runtime subsystem as a service: a multi-tenant job mix — PPP
+//! cryptanalysis tries, OneMax bulk jobs, QAP assignments — submitted to
+//! a scheduler owning a simulated multi-GPU fleet plus CPU workers.
+//! Shows placement policies, launch batching (fused per-iteration
+//! kernels across tenants), checkpoint/resume mid-flight, and the fleet
+//! throughput report.
+//!
+//! ```text
+//! cargo run --release --example fleet_service
+//! ```
+
+use lnls::core::{BitString, SearchConfig, TabuSearch};
+use lnls::gpu::{DeviceSpec, MultiDevice};
+use lnls::neighborhood::{KHamming, Neighborhood};
+use lnls::ppp::{Ppp, PppInstance};
+use lnls::prelude::*;
+use lnls::qap::Permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn submit_tenants(fleet: &mut Scheduler) -> Vec<JobHandle> {
+    let mut handles = Vec::new();
+
+    // Tenant A: a PPP configuration run as several independent tries
+    // (the paper's 50-try protocol, shrunk for example runtime). Same
+    // instance shape → the tries fuse into batched launches.
+    for t in 0..6u64 {
+        let problem = Ppp::new(PppInstance::generate(49, 49, 7));
+        let hood = KHamming::new(49, 2);
+        let mut rng = StdRng::seed_from_u64(t);
+        let init = BitString::random(&mut rng, 49);
+        let search = TabuSearch::paper(SearchConfig::budget(120).with_seed(t), hood.size());
+        handles.push(
+            fleet.submit_binary(
+                BinaryJob::new(format!("ppp-49x49-try{t}"), problem, hood, search, init)
+                    .with_priority(5),
+            ),
+        );
+    }
+
+    // Tenant B: bulk OneMax jobs (low priority).
+    for t in 0..8u64 {
+        let hood = KHamming::new(64, 2);
+        let mut rng = StdRng::seed_from_u64(100 + t);
+        let init = BitString::random(&mut rng, 64);
+        let search = TabuSearch::paper(SearchConfig::budget(80).with_seed(t), hood.size());
+        handles.push(fleet.submit_binary(BinaryJob::new(
+            format!("onemax-64-{t}"),
+            OneMax::new(64),
+            hood,
+            search,
+            init,
+        )));
+    }
+
+    // Tenant C: QAP assignments (atomic robust-tabu runs).
+    for t in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(200 + t);
+        let inst = QapInstance::random_uniform(&mut rng, 12);
+        let init = Permutation::random(&mut rng, 12);
+        handles.push(fleet.submit_qap(QapJobSpec::new(
+            format!("qap-12-{t}"),
+            inst,
+            RtsConfig::budget(150).with_seed(t),
+            init,
+        )));
+    }
+    handles
+}
+
+fn main() {
+    println!("=== lnls fleet service: 16 jobs, 2×GTX 280 + 2 CPU workers ===\n");
+
+    for (label, policy, max_batch) in [
+        ("round-robin, batching off", PlacePolicy::RoundRobin, 1),
+        ("round-robin, batching on ", PlacePolicy::RoundRobin, 4),
+        ("least-loaded, batching on ", PlacePolicy::LeastLoaded, 4),
+    ] {
+        let mut fleet = Scheduler::new(
+            MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
+            SchedulerConfig { policy, max_batch, cpu_workers: 2, ..Default::default() },
+        );
+        submit_tenants(&mut fleet);
+        fleet.run_until_idle();
+        let r = fleet.fleet_report();
+        println!(
+            "{label}: makespan {:>9.4}s  speedup ×{:>5.2}  fused {:>3}  saved {:>3}",
+            r.makespan_s, r.speedup_vs_serial, r.fused_launches, r.launches_saved
+        );
+    }
+
+    // Checkpoint/resume: stop a fleet mid-flight, snapshot, continue in
+    // a fresh scheduler.
+    println!("\n--- checkpoint/resume ---");
+    let mut fleet = Scheduler::new(
+        MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
+        SchedulerConfig { cpu_workers: 2, ..Default::default() },
+    );
+    let handles = submit_tenants(&mut fleet);
+    for _ in 0..10 {
+        fleet.tick();
+    }
+    let checkpoint = fleet.checkpoint();
+    println!(
+        "snapshot after 10 ticks: {} pending jobs, {} mid-search",
+        checkpoint.pending_jobs(),
+        checkpoint.in_flight_jobs()
+    );
+    drop(fleet);
+
+    let mut fleet = Scheduler::restore(checkpoint);
+    fleet.run_until_idle();
+    println!("restored fleet finished all {} jobs\n", fleet.fleet_report().jobs_completed);
+
+    // Poll one tenant's handles like a client would.
+    println!("--- per-job reports (tenant A) ---");
+    for h in handles.iter().take(6) {
+        let report = fleet.report(h).expect("fleet is idle");
+        println!(
+            "{:<18} {:>9} iters  best {:>3}  fused {:>4} iters  {} @ [{:.4}s .. {:.4}s]",
+            report.name,
+            report.outcome.iterations(),
+            report.outcome.best_fitness(),
+            report.fused_iterations,
+            report.backend,
+            report.started_s,
+            report.finished_s,
+        );
+    }
+
+    println!("\n--- final fleet report ---\n{}", fleet.fleet_report());
+}

@@ -16,7 +16,10 @@ fn main() {
     let instance = PppInstance::generate(m, n, 4242);
     let problem = Ppp::new(instance);
     println!("PPP {m}×{n}, {tries} tries, {budget} iterations per try\n");
-    println!("{:<12} {:>8} {:>8} {:>10} {:>10}", "hood", "mean f", "best f", "solutions", "evals/try");
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>10}",
+        "hood", "mean f", "best f", "solutions", "evals/try"
+    );
 
     for k in 1..=3usize {
         let hood = KHamming::new(n, k);

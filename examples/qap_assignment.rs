@@ -25,8 +25,10 @@ fn main() {
     let (optimum, _) = small.brute_force_optimum();
     let rts = RobustTabu::new(RtsConfig::budget(2_000).with_target(Some(optimum)).with_seed(seed));
     let r = rts.run(&small, &mut TableEvaluator::new(), Permutation::random(&mut rng, 8));
-    println!("n=8   brute-force optimum {optimum}, robust tabu found {} ({} iters, success={})",
-        r.best_cost, r.iterations, r.success);
+    println!(
+        "n=8   brute-force optimum {optimum}, robust tabu found {} ({} iters, success={})",
+        r.best_cost, r.iterations, r.success
+    );
 
     // Medium instance: same walk on the CPU delta table and on the
     // simulated GPU; results must be identical, and the device ledger
@@ -41,8 +43,10 @@ fn main() {
     let gpu = rts.run(&inst, &mut gpu_eval, init);
     assert_eq!(cpu.best_cost, gpu.best_cost, "backends must take the same walk");
 
-    println!("n={n}  best cost {} after {} iterations (identical on both backends)",
-        cpu.best_cost, cpu.iterations);
+    println!(
+        "n={n}  best cost {} after {} iterations (identical on both backends)",
+        cpu.best_cost, cpu.iterations
+    );
     let book = SwapEvaluator::book(&gpu_eval).expect("gpu ledger");
     println!(
         "      modeled: GPU {:.3} s vs sequential host {:.3} s  →  x{:.1} speedup",

@@ -28,10 +28,8 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(seed);
     let init = BitString::random(&mut rng, n);
-    let search = TabuSearch::paper(
-        SearchConfig::budget(budget).with_seed(seed),
-        Neighborhood::size(&hood),
-    );
+    let search =
+        TabuSearch::paper(SearchConfig::budget(budget).with_seed(seed), Neighborhood::size(&hood));
 
     // --- CPU backend (the paper's baseline) -----------------------------
     let mut cpu = SequentialExplorer::new(hood);

@@ -42,19 +42,10 @@ fn main() {
 
     // --- Issue order decides everything on FIFO queues ------------------
     println!("1000 iterations x 4 walks on 4 streams (GT200 engines):");
-    for (label, order) in [
-        ("breadth-first", IssueOrder::BreadthFirst),
-        ("depth-first  ", IssueOrder::DepthFirst),
-    ] {
-        let r = price_multiwalk_ordered(
-            &spec,
-            EngineConfig::gt200(),
-            profile,
-            4,
-            1000,
-            4,
-            order,
-        );
+    for (label, order) in
+        [("breadth-first", IssueOrder::BreadthFirst), ("depth-first  ", IssueOrder::DepthFirst)]
+    {
+        let r = price_multiwalk_ordered(&spec, EngineConfig::gt200(), profile, 4, 1000, 4, order);
         println!(
             "  {label}: serial {:>7.2} s   pipelined {:>7.2} s   speedup x{:.2}",
             r.serial_s, r.pipelined_s, r.speedup

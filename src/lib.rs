@@ -14,6 +14,7 @@
 //! | [`ppp`] | the Permuted Perceptron Problem: instances, objective, incremental evaluation, GPU kernels (paper §IV) |
 //! | [`problems`] | OneMax, QUBO, MAX-3SAT, NK landscapes, Max-Cut, knapsack, Ising — the "binary problems" generality claim, with GPU kernels |
 //! | [`qap`] | the quadratic assignment problem under Taillard's robust tabu search (the paper's reference \[11\]), swap moves flat-indexed by the paper's 2D mapping |
+//! | [`runtime`] | the fleet scheduler: batched multi-tenant search jobs over simulated multi-GPU devices, with checkpoint/resume and throughput reporting (§V perspective, scaled out) |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use lnls_neighborhood as neighborhood;
 pub use lnls_ppp as ppp;
 pub use lnls_problems as problems;
 pub use lnls_qap as qap;
+pub use lnls_runtime as runtime;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -63,4 +65,8 @@ pub mod prelude {
     pub use lnls_ppp::{GpuExplorerConfig, Ppp, PppGpuExplorer, PppInstance};
     pub use lnls_problems::{IsingLattice, Knapsack, MaxCut, MaxSat, NkLandscape, OneMax, Qubo};
     pub use lnls_qap::{QapInstance, RobustTabu, RtsConfig, TableEvaluator};
+    pub use lnls_runtime::{
+        BinaryJob, FleetReport, JobHandle, JobStatus, PlacePolicy, QapJobSpec, Scheduler,
+        SchedulerConfig,
+    };
 }

@@ -42,10 +42,8 @@ fn recovered_key_passes_identification() {
     let init = BitString::random(&mut rng, 21);
     let hood = ThreeHamming::new(21);
     let mut ex = SequentialExplorer::new(hood);
-    let search = TabuSearch::paper(
-        SearchConfig::budget(3_000).with_seed(3),
-        Neighborhood::size(&hood),
-    );
+    let search =
+        TabuSearch::paper(SearchConfig::budget(3_000).with_seed(3), Neighborhood::size(&hood));
     let r = search.run(&p, &mut ex, init);
     assert!(r.success, "3-Hamming tabu should crack 21×21 (fitness {})", r.best_fitness);
     let forged = crypto::SecretKey { v: r.best };
@@ -136,7 +134,11 @@ fn all_drivers_run_on_ppp() {
     let r = hc.run(&p, &mut hc_ex, init.clone());
     assert!(r.best_fitness >= 0);
 
-    let sa = SimulatedAnnealing::new(SearchConfig::budget(5_000).with_seed(1), TwoHamming::new(19), 10.0);
+    let sa = SimulatedAnnealing::new(
+        SearchConfig::budget(5_000).with_seed(1),
+        TwoHamming::new(19),
+        10.0,
+    );
     assert!(sa.run(&p, init.clone()).best_fitness >= 0);
 
     let ils = IteratedLocalSearch::new(SearchConfig::budget(20).with_seed(2));

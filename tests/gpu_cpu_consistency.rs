@@ -17,10 +17,8 @@ fn setup(m: usize, n: usize, seed: u64) -> (Ppp, BitString) {
 }
 
 fn run_with<E: Explorer<Ppp>>(p: &Ppp, init: &BitString, ex: &mut E, iters: u64) -> SearchResult {
-    let search = TabuSearch::paper(
-        SearchConfig::budget(iters).with_seed(42),
-        Explorer::<Ppp>::size(ex),
-    );
+    let search =
+        TabuSearch::paper(SearchConfig::budget(iters).with_seed(42), Explorer::<Ppp>::size(ex));
     search.run(p, ex, init.clone())
 }
 
@@ -83,16 +81,10 @@ fn device_spec_changes_timing_not_results() {
 #[test]
 fn block_size_changes_timing_not_results() {
     let (p, init) = setup(23, 21, 13);
-    let mut bs64 = PppGpuExplorer::new(
-        &p,
-        2,
-        GpuExplorerConfig { block_size: 64, ..Default::default() },
-    );
-    let mut bs256 = PppGpuExplorer::new(
-        &p,
-        2,
-        GpuExplorerConfig { block_size: 256, ..Default::default() },
-    );
+    let mut bs64 =
+        PppGpuExplorer::new(&p, 2, GpuExplorerConfig { block_size: 64, ..Default::default() });
+    let mut bs256 =
+        PppGpuExplorer::new(&p, 2, GpuExplorerConfig { block_size: 256, ..Default::default() });
     let a = run_with(&p, &init, &mut bs64, 15);
     let b = run_with(&p, &init, &mut bs256, 15);
     assert_eq!(a.best, b.best);

@@ -33,10 +33,8 @@ fn table1_band_gpu_loses_on_small_neighborhoods() {
 #[test]
 fn table2_band_gpu_wins_clearly_and_grows() {
     // Paper Table II: ×9.9 → ×18.5, increasing with instance size.
-    let speedups: Vec<f64> = PppInstance::paper_sizes()
-        .iter()
-        .map(|&(m, n)| model_speedup(m, n, 2))
-        .collect();
+    let speedups: Vec<f64> =
+        PppInstance::paper_sizes().iter().map(|&(m, n)| model_speedup(m, n, 2)).collect();
     for (i, s) in speedups.iter().enumerate() {
         assert!((4.0..=40.0).contains(s), "instance {i}: 2-Hamming speedup {s:.1} out of band");
     }
@@ -50,10 +48,8 @@ fn table2_band_gpu_wins_clearly_and_grows() {
 fn table3_band_saturates_above_table2() {
     // Paper Table III: ×24.2 → ×25.8, flat (saturated) and above the
     // matching Table II rows.
-    let s3: Vec<f64> = PppInstance::paper_sizes()
-        .iter()
-        .map(|&(m, n)| model_speedup(m, n, 3))
-        .collect();
+    let s3: Vec<f64> =
+        PppInstance::paper_sizes().iter().map(|&(m, n)| model_speedup(m, n, 3)).collect();
     for s in &s3 {
         assert!((10.0..=80.0).contains(s), "3-Hamming speedup {s:.1} out of band");
     }
@@ -62,11 +58,7 @@ fn table3_band_saturates_above_table2() {
     assert!(max / min < 2.0, "3-Hamming speedups not saturated: {s3:?}");
     // Larger neighborhoods amortize at least as well as Table II's.
     let s2_73 = model_speedup(73, 73, 2);
-    assert!(
-        s3[0] > s2_73,
-        "3-Hamming (73x73, {:.1}) should beat 2-Hamming ({s2_73:.1})",
-        s3[0]
-    );
+    assert!(s3[0] > s2_73, "3-Hamming (73x73, {:.1}) should beat 2-Hamming ({s2_73:.1})", s3[0]);
 }
 
 #[test]
@@ -79,10 +71,7 @@ fn fig8_crossover_and_growth() {
     let pts = run_fig8(100, &sizes, &GpuExplorerConfig::default(), 7);
     let accel: Vec<f64> = pts.iter().map(|p| p.acceleration()).collect();
     assert!(accel[0] < 1.2, "smallest size should not win big: {:.2}", accel[0]);
-    assert!(
-        accel[1] >= 1.0,
-        "crossover should have happened by n=317: {accel:?}"
-    );
+    assert!(accel[1] >= 1.0, "crossover should have happened by n=317: {accel:?}");
     let last = *accel.last().unwrap();
     assert!((6.0..=30.0).contains(&last), "final acceleration {last:.1} out of band");
     // Weak monotonicity: allow small local dips from discrete waves.
@@ -164,8 +153,5 @@ fn per_move_gpu_cost_falls_with_neighborhood_size() {
     );
     // CPU per-move cost varies by at most ~3x (same algorithm per move).
     let cpu_ratio = costs[0].1 / costs[2].1;
-    assert!(
-        (0.3..=3.0).contains(&cpu_ratio),
-        "CPU per-move cost should stay flat: {costs:?}"
-    );
+    assert!((0.3..=3.0).contains(&cpu_ratio), "CPU per-move cost should stay flat: {costs:?}");
 }

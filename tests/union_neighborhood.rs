@@ -144,10 +144,8 @@ fn union_tabu_runs_and_respects_move_indices() {
     let p = Trap { n };
     let union = UnionHamming::ladder123(n);
     let mut ex = SequentialExplorer::new(union.clone());
-    let search = TabuSearch::paper(
-        SearchConfig::budget(30).with_seed(3),
-        Neighborhood::size(&union),
-    );
+    let search =
+        TabuSearch::paper(SearchConfig::budget(30).with_seed(3), Neighborhood::size(&union));
     let r = search.run(&p, &mut ex, weight6(n));
     assert!(r.success, "tabu over the union must reach the optimum");
     assert_eq!(r.best_fitness, p.evaluate(&r.best));

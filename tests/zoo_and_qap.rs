@@ -2,7 +2,7 @@
 //! stream/pipeline models working together through the facade crate.
 
 use lnls::core::peo::{Acceptance, EvalBudget, FitnessTrace, MaxIterations, PeoSearch};
-use lnls::core::problem::{BinaryProblem, IncrementalEval};
+use lnls::core::problem::IncrementalEval;
 use lnls::core::GeneralVns;
 use lnls::gpu::pipeline::{price_multiwalk_ordered, IssueOrder};
 use lnls::gpu::{DeviceSpec, EngineConfig, IterationProfile};
@@ -83,9 +83,7 @@ fn gvns_solves_the_knapsack_plateau() {
         Box::new(SequentialExplorer::new(TwoHamming::new(16))),
         Box::new(SequentialExplorer::new(ThreeHamming::new(16))),
     ];
-    let gvns = GeneralVns::new(
-        SearchConfig::budget(200).with_seed(1).with_target(Some(-opt)),
-    );
+    let gvns = GeneralVns::new(SearchConfig::budget(200).with_seed(1).with_target(Some(-opt)));
     let r = gvns.run(&k, &mut ladder, BitString::zeros(16));
     assert_eq!(r.best_fitness, -opt);
     assert!(k.feasible(&r.best));
@@ -100,10 +98,8 @@ fn qubo_gpu_walk_matches_cpu_walk_through_facade() {
     let q = Qubo::random(&mut rng, 18, 6, 0.5);
     let init = BitString::random(&mut rng, 18);
     let hood = KHamming::new(18, 2);
-    let search = TabuSearch::paper(
-        SearchConfig::budget(40).with_target(None),
-        Neighborhood::size(&hood),
-    );
+    let search =
+        TabuSearch::paper(SearchConfig::budget(40).with_target(None), Neighborhood::size(&hood));
 
     let mut cpu = SequentialExplorer::new(hood);
     let r_cpu = search.run(&q, &mut cpu, init.clone());
@@ -135,10 +131,7 @@ fn qap_rts_backend_equivalence_and_scaling() {
         let book = SwapEvaluator::book(&gpu_eval).unwrap();
         speedups.push(book.speedup().unwrap());
     }
-    assert!(
-        speedups[1] > speedups[0],
-        "modeled speedup must grow with n: {speedups:?}"
-    );
+    assert!(speedups[1] > speedups[0], "modeled speedup must grow with n: {speedups:?}");
 }
 
 /// Pipelining independent walks never beats the engine bound and never

@@ -1,0 +1,328 @@
+//! Minimal, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses: the [`proptest!`] macro, `prop_assert*` / `prop_assume`,
+//! integer-range and [`any`] strategies, tuple strategies, `prop_map`, and
+//! `prop::collection::vec`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and seed,
+//!   which reproduce it deterministically (case seeds derive from the
+//!   test's module path and index, not from entropy);
+//! * generation quality is whatever the in-tree `rand` shim provides.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (`with_cases` is the only knob the workspace
+/// uses; the struct mirrors the real crate's name so `#![proptest_config]`
+/// blocks read identically).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject,
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives the generate-and-check loop for one `proptest!` test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+    case: u32,
+    rejects: u32,
+}
+
+impl TestRunner {
+    /// A runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // Deterministic per-test base seed: FNV-1a over the name.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        Self { config, name, base_seed: h, case: 0, rejects: 0 }
+    }
+
+    /// True while more cases must run.
+    pub fn more(&self) -> bool {
+        self.case < self.config.cases
+    }
+
+    /// Deterministic generator for the upcoming case.
+    pub fn case_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.base_seed ^ ((self.case as u64) << 32) ^ self.rejects as u64)
+    }
+
+    /// Account one case outcome; panics (failing the `#[test]`) on
+    /// assertion failure, and on reject storms that starve generation.
+    pub fn record(&mut self, result: TestCaseResult) {
+        match result {
+            Ok(()) => self.case += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                let budget = self.config.cases.saturating_mul(16).max(1024);
+                assert!(
+                    self.rejects <= budget,
+                    "{}: {} rejects exceeded the budget of {budget}",
+                    self.name,
+                    self.rejects
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "{} failed at case {} (base seed {:#x}, rejects so far {}): {msg}",
+                self.name, self.case, self.base_seed, self.rejects
+            ),
+        }
+    }
+}
+
+/// A value generator (no shrinking — see the crate docs).
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy over a type's full natural domain, as in `proptest::prelude::any`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ ))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with element strategy `S` and a length
+        /// drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `vec(element, len_range)` — as in `proptest::collection::vec`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRunner,
+    };
+}
+
+/// `assert!` that fails the current case with context instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Reject the current case (uncounted) when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The test-authoring macro: each `fn name(arg in strategy, …) { body }`
+/// item becomes a `#[test]` running `cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@fns $cfg:expr;) => {};
+    (@fns $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            while runner.more() {
+                let mut rng = runner.case_rng();
+                let result: $crate::TestCaseResult = (|| {
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strat, &mut rng);
+                    )*
+                    $body
+                    Ok(())
+                })();
+                runner.record(result);
+            }
+        }
+        $crate::proptest!(@fns $cfg; $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
