@@ -1,5 +1,6 @@
 //! Fleet-throughput bench: jobs/second and makespan of the runtime
-//! scheduler across device counts, placement policies and batch widths.
+//! scheduler across device counts, placement policies, batch widths and
+//! preemption quanta.
 //!
 //! ```text
 //! cargo bench -p lnls-bench --bench fleet
@@ -69,6 +70,49 @@ fn main() {
         }
     }
 
+    // Preemption sweep: fairness cost/benefit under contention — long
+    // QAP runs submitted ahead of the PPP tries on one device. The
+    // quantum trades a little re-placement churn for bounded tenant
+    // waits; results are bit-identical at every setting.
+    println!(
+        "\n{:>8} | {:>12} {:>12} {:>12} {:>8} | {:>10}",
+        "quantum", "makespan(s)", "max-wait(s)", "mean-wait(s)", "preempt", "sim-wall"
+    );
+    for quantum in [None, Some(4u64), Some(16), Some(64)] {
+        let mut fleet = Scheduler::new(
+            MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+            SchedulerConfig { max_batch: 8, quantum_iters: quantum, ..Default::default() },
+        );
+        for q in 0..2u64 {
+            let mut rng = StdRng::seed_from_u64(900 + q);
+            let inst = lnls_qap::QapInstance::random_uniform(&mut rng, 20);
+            let init = lnls_qap::Permutation::random(&mut rng, 20);
+            fleet.submit_qap(lnls_runtime::QapJobSpec::new(
+                format!("qap-20-{q}"),
+                inst,
+                lnls_qap::RtsConfig::budget(iters * 8).with_seed(q),
+                init,
+            ));
+        }
+        submit_mix(&mut fleet, tries, iters);
+        let t0 = Instant::now();
+        fleet.run_until_idle();
+        let wall = t0.elapsed();
+        let r = fleet.fleet_report();
+        let qlabel = quantum.map_or("off".to_string(), |q| q.to_string());
+        println!(
+            "{:>8} | {:>12.6} {:>12.6} {:>12.6} {:>8} | {:>8.0}ms",
+            qlabel,
+            r.makespan_s,
+            r.max_wait_s,
+            r.mean_wait_s,
+            r.preemptions,
+            wall.as_secs_f64() * 1e3,
+        );
+    }
+
     println!("\nbatching lever: wider fused launches amortize launch overhead and PCIe latency,");
     println!("the same effect the paper gets from large neighborhoods — applied across tenants.");
+    println!("preemption lever: one neighborhood iteration is the unit of GPU work, so it is the");
+    println!("natural quantum — slicing bounds tenant waits without touching search results.");
 }

@@ -4,8 +4,15 @@
 //! the natural consumer of the unranking functions as samplers: drawing a
 //! uniform move index and unranking it yields a uniform k-flip move
 //! without rejection.
+//!
+//! Like tabu search, the walk is driven through a resumable cursor
+//! ([`AnnealCursor`], a [`SearchCursor`]): [`SimulatedAnnealing::run`]
+//! is implemented on top of it, so a cursor stepped in quanta of any
+//! size makes bit-for-bit the moves an uninterrupted run makes —
+//! temperature schedule, RNG stream and all.
 
 use crate::bitstring::BitString;
+use crate::cursor::SearchCursor;
 use crate::problem::IncrementalEval;
 use crate::search::{SearchConfig, SearchResult};
 use lnls_neighborhood::Neighborhood;
@@ -33,66 +40,201 @@ impl<N: Neighborhood> SimulatedAnnealing<N> {
         Self { config, hood, t0, alpha: 0.999, steps_per_temp: 1 }
     }
 
-    /// Run from `init`.
-    pub fn run<P: IncrementalEval>(&self, problem: &P, init: BitString) -> SearchResult {
-        let wall0 = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let m = self.hood.size();
-        let mut s = init;
-        let mut state = problem.init_state(&s);
-        let mut cur = problem.state_fitness(&state);
-        let mut best = s.clone();
-        let mut best_fitness = cur;
-        let mut temp = self.t0.max(f64::MIN_POSITIVE);
-        let mut evals = 0u64;
-        let mut iterations = 0u64;
+    /// Build a resumable [`AnnealCursor`] positioned at `init`.
+    ///
+    /// The cursor owns every piece of loop-carried state — RNG stream
+    /// and temperature included — so the walk can be stepped in quanta,
+    /// snapshotted mid-flight, and resumed without changing a single
+    /// accept/reject decision.
+    pub fn cursor<P: IncrementalEval>(&self, problem: &P, init: BitString) -> AnnealCursor<P, N>
+    where
+        N: Clone,
+    {
+        assert_eq!(init.len(), problem.dim(), "initial solution has wrong length");
+        let s = init;
+        let state = problem.init_state(&s);
+        let cur = problem.state_fitness(&state);
+        AnnealCursor {
+            max_iters: self.config.max_iters,
+            target: self.config.target_fitness,
+            hood: self.hood.clone(),
+            alpha: self.alpha,
+            steps_per_temp: self.steps_per_temp,
+            rng: StdRng::seed_from_u64(self.config.seed),
+            best: s.clone(),
+            best_fitness: cur,
+            s,
+            state,
+            cur,
+            temp: self.t0.max(f64::MIN_POSITIVE),
+            iterations: 0,
+            evals: 0,
+        }
+    }
 
-        while iterations < self.config.max_iters {
-            if self.config.target_fitness.is_some_and(|t| best_fitness <= t) {
-                break;
-            }
+    /// Run from `init`.
+    pub fn run<P: IncrementalEval>(&self, problem: &P, init: BitString) -> SearchResult
+    where
+        N: Clone,
+    {
+        let wall0 = Instant::now();
+        let mut cursor = self.cursor(problem, init);
+        loop {
             if let Some(limit) = self.config.time_limit {
                 if wall0.elapsed() >= limit {
                     break;
                 }
             }
-            iterations += 1;
-            // Uniform neighbor via unranking — no rejection sampling.
-            let idx = rng.gen_range(0..m);
-            let mv = self.hood.unrank(idx);
-            let f = problem.neighbor_fitness(&mut state, &s, &mv);
-            evals += 1;
-            let delta = f - cur;
-            let accept = delta <= 0 || {
-                let p = (-(delta as f64) / temp).exp();
-                rng.gen::<f64>() < p
-            };
-            if accept {
-                problem.apply_move(&mut state, &s, &mv);
-                s.apply(&mv);
-                cur = f;
-                if cur < best_fitness {
-                    best_fitness = cur;
-                    best = s.clone();
-                }
-            }
-            if iterations.is_multiple_of(self.steps_per_temp) {
-                temp = (temp * self.alpha).max(1e-12);
+            if cursor.step_batch(problem, 1) == 0 {
+                break;
             }
         }
+        cursor.into_result(wall0.elapsed(), self.hood.name())
+    }
+}
 
+/// The loop-carried state of one simulated-annealing walk, stepped
+/// externally. Produced by [`SimulatedAnnealing::cursor`]; one step is
+/// one proposed move (sample, evaluate, accept/reject, cool).
+pub struct AnnealCursor<P: IncrementalEval, N: Neighborhood> {
+    max_iters: u64,
+    target: Option<i64>,
+    hood: N,
+    alpha: f64,
+    steps_per_temp: u64,
+    rng: StdRng,
+    s: BitString,
+    state: P::State,
+    cur: i64,
+    best: BitString,
+    best_fitness: i64,
+    temp: f64,
+    iterations: u64,
+    evals: u64,
+}
+
+impl<P: IncrementalEval, N: Neighborhood + Clone> Clone for AnnealCursor<P, N> {
+    fn clone(&self) -> Self {
+        Self {
+            max_iters: self.max_iters,
+            target: self.target,
+            hood: self.hood.clone(),
+            alpha: self.alpha,
+            steps_per_temp: self.steps_per_temp,
+            rng: self.rng.clone(),
+            s: self.s.clone(),
+            state: self.state.clone(),
+            cur: self.cur,
+            best: self.best.clone(),
+            best_fitness: self.best_fitness,
+            temp: self.temp,
+            iterations: self.iterations,
+            evals: self.evals,
+        }
+    }
+}
+
+impl<P: IncrementalEval, N: Neighborhood + Clone> AnnealCursor<P, N> {
+    /// Current solution.
+    pub fn current(&self) -> &BitString {
+        &self.s
+    }
+
+    /// Best solution seen so far.
+    pub fn best_solution(&self) -> &BitString {
+        &self.best
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temp
+    }
+
+    /// Neighbor evaluations consumed so far.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Finalize into a [`SearchResult`]; the caller supplies elapsed
+    /// wall-clock and the neighborhood name (a cursor has no clock).
+    pub fn into_result(self, wall: std::time::Duration, hood_name: &str) -> SearchResult {
         SearchResult {
-            best,
-            best_fitness,
-            iterations,
-            success: self.config.target_fitness.is_some_and(|t| best_fitness <= t),
-            evals,
-            wall: wall0.elapsed(),
+            success: self.target.is_some_and(|t| self.best_fitness <= t),
+            best: self.best,
+            best_fitness: self.best_fitness,
+            iterations: self.iterations,
+            evals: self.evals,
+            wall,
             book: None,
-            backend: format!("sa/{}", self.hood.name()),
+            backend: format!("sa/{hood_name}"),
             history: None,
             trajectory: None,
         }
+    }
+}
+
+impl<P: IncrementalEval, N: Neighborhood + Clone> SearchCursor for AnnealCursor<P, N> {
+    type Ctx<'a>
+        = &'a P
+    where
+        Self: 'a;
+    type Snapshot = Self;
+
+    fn step_batch(&mut self, problem: &P, quota: u64) -> u64 {
+        let m = self.hood.size();
+        let mut ran = 0;
+        while ran < quota {
+            if self.iterations >= self.max_iters
+                || self.target.is_some_and(|t| self.best_fitness <= t)
+            {
+                break;
+            }
+            self.iterations += 1;
+            // Uniform neighbor via unranking — no rejection sampling.
+            let idx = self.rng.gen_range(0..m);
+            let mv = self.hood.unrank(idx);
+            let f = problem.neighbor_fitness(&mut self.state, &self.s, &mv);
+            self.evals += 1;
+            let delta = f - self.cur;
+            let accept = delta <= 0 || {
+                let p = (-(delta as f64) / self.temp).exp();
+                self.rng.gen::<f64>() < p
+            };
+            if accept {
+                problem.apply_move(&mut self.state, &self.s, &mv);
+                self.s.apply(&mv);
+                self.cur = f;
+                if self.cur < self.best_fitness {
+                    self.best_fitness = self.cur;
+                    self.best = self.s.clone();
+                }
+            }
+            if self.iterations.is_multiple_of(self.steps_per_temp) {
+                self.temp = (self.temp * self.alpha).max(1e-12);
+            }
+            ran += 1;
+        }
+        ran
+    }
+
+    fn is_done(&self) -> bool {
+        self.iterations >= self.max_iters || self.target.is_some_and(|t| self.best_fitness <= t)
+    }
+
+    fn best(&self) -> i64 {
+        self.best_fitness
+    }
+
+    fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    fn restore(&mut self, snapshot: Self) {
+        *self = snapshot;
     }
 }
 
@@ -150,5 +292,32 @@ mod tests {
         );
         let r = sa.run(&p, init);
         assert!(r.best_fitness <= init_fitness);
+    }
+
+    #[test]
+    fn cursor_steps_match_run_exactly() {
+        // The ragged-quantum walk must reproduce run()'s RNG stream,
+        // temperature schedule and accept decisions bit for bit.
+        let p = ZeroCount { n: 28 };
+        let mut rng = StdRng::seed_from_u64(6);
+        let init = BitString::random(&mut rng, 28);
+        let sa = SimulatedAnnealing::new(
+            SearchConfig::budget(700).with_seed(11),
+            TwoHamming::new(28),
+            1.2,
+        );
+        let want = sa.run(&p, init.clone());
+
+        let mut cursor = sa.cursor(&p, init);
+        for quota in [13u64, 1, 200, 5].iter().cycle() {
+            if cursor.step_batch(&p, *quota) == 0 {
+                break;
+            }
+        }
+        let got = cursor.into_result(std::time::Duration::ZERO, sa.hood.name());
+        assert_eq!(got.best, want.best);
+        assert_eq!(got.best_fitness, want.best_fitness);
+        assert_eq!(got.iterations, want.iterations);
+        assert_eq!(got.evals, want.evals);
     }
 }

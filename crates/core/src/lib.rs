@@ -62,26 +62,30 @@
 pub mod anneal;
 pub mod batch;
 pub mod bitstring;
+pub mod cursor;
 pub mod explore;
 pub mod gvns;
 pub mod hillclimb;
 pub mod ils;
 pub mod multistart;
 pub mod peo;
+pub mod persist;
 pub mod problem;
 pub mod report;
 pub mod search;
 pub mod tabu;
 pub mod vns;
 
-pub use anneal::SimulatedAnnealing;
+pub use anneal::{AnnealCursor, SimulatedAnnealing};
 pub use batch::{BatchLane, BatchedExplorer, LaneProfile};
 pub use bitstring::{zobrist_table, BitString};
+pub use cursor::SearchCursor;
 pub use explore::{Explorer, ParallelCpuExplorer, SequentialExplorer};
 pub use gvns::GeneralVns;
 pub use hillclimb::{descend_in_place, HillClimbing, Pivot};
 pub use ils::IteratedLocalSearch;
 pub use multistart::MultiStart;
+pub use persist::{Persist, PersistError, PersistTag, Reader};
 pub use problem::{BinaryProblem, IncrementalEval};
 pub use report::{fmt_seconds, TableRow};
 pub use search::{SearchConfig, SearchResult, StopReason};

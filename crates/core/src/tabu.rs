@@ -17,7 +17,9 @@
 //! best fitness seen so far.
 
 use crate::bitstring::{zobrist_table, BitString};
+use crate::cursor::SearchCursor;
 use crate::explore::Explorer;
+use crate::persist::{Persist, PersistError, Reader};
 use crate::problem::IncrementalEval;
 use crate::search::{SearchConfig, SearchResult, StopReason};
 use lnls_gpu_sim::TimeBook;
@@ -450,6 +452,11 @@ impl<P: IncrementalEval> TabuCursor<P> {
         self.best_fitness
     }
 
+    /// Best solution seen so far.
+    pub fn best_solution(&self) -> &BitString {
+        &self.best
+    }
+
     /// Iterations executed so far.
     pub fn iterations(&self) -> u64 {
         self.iterations
@@ -458,6 +465,124 @@ impl<P: IncrementalEval> TabuCursor<P> {
     /// Neighbor evaluations consumed so far.
     pub fn evals(&self) -> u64 {
         self.evals
+    }
+
+    /// Byte-level snapshot of the walk (hand-rolled; see
+    /// [`crate::persist`]). Everything derivable is left out and rebuilt
+    /// by [`read_persisted`](Self::read_persisted): the Zobrist table
+    /// comes from `(n, seed)`, the incremental state from the problem,
+    /// and the ring lookup sets from the rings themselves.
+    pub fn persist(&self, out: &mut Vec<u8>) {
+        self.search.config.write(out);
+        self.search.strategy.write(out);
+        self.search.aspiration.write(out);
+        self.search.keep_history.write(out);
+        self.s.write(out);
+        self.best.write(out);
+        self.cur_fitness.write(out);
+        self.best_fitness.write(out);
+        self.history.write(out);
+        self.trajectory.write(out);
+        self.ring.write(out);
+        self.ring_pos.write(out);
+        self.mring.write(out);
+        self.mring_pos.write(out);
+        self.last_flip.write(out);
+        self.iterations.write(out);
+        self.evals.write(out);
+        self.last_committed.write(out);
+    }
+
+    /// Rebuild a walk captured by [`persist`](Self::persist). `problem`
+    /// must be the same instance the walk ran on — the rebuilt
+    /// incremental state is cross-checked against the recorded fitness.
+    pub fn read_persisted(r: &mut Reader<'_>, problem: &P) -> Result<Self, PersistError> {
+        let search = TabuSearch {
+            config: r.read()?,
+            strategy: r.read()?,
+            aspiration: r.read()?,
+            keep_history: r.read()?,
+        };
+        let s: BitString = r.read()?;
+        let n = problem.dim();
+        if s.len() != n {
+            return Err(PersistError::new("solution length does not match the problem"));
+        }
+        let best: BitString = r.read()?;
+        let cur_fitness: i64 = r.read()?;
+        let best_fitness: i64 = r.read()?;
+        let history: Option<Vec<i64>> = r.read()?;
+        let trajectory: Option<Vec<i64>> = r.read()?;
+        let ring: Vec<u64> = r.read()?;
+        let ring_pos: usize = r.read()?;
+        let mring: Vec<u64> = r.read()?;
+        let mring_pos: usize = r.read()?;
+        let last_flip: Vec<u64> = r.read()?;
+        let iterations: u64 = r.read()?;
+        let evals: u64 = r.read()?;
+        let last_committed: Option<FlipMove> = r.read()?;
+
+        let state = problem.init_state(&s);
+        if problem.state_fitness(&state) != cur_fitness {
+            return Err(PersistError::new(
+                "rebuilt state fitness disagrees with the snapshot (wrong problem instance?)",
+            ));
+        }
+        let ztable = zobrist_table(n, 0xC0FFEE ^ search.config.seed);
+        let cur_hash = s.zobrist(&ztable);
+        let ring_len = match search.strategy {
+            TabuStrategy::SolutionRing { len } => len,
+            _ => 0,
+        };
+        let mring_len = match search.strategy {
+            TabuStrategy::MoveRing { len } => len,
+            _ => 0,
+        };
+        // Corrupt bytes must be rejected here, not crash a later step:
+        // rings never exceed the strategy's capacity, eviction cursors
+        // stay inside it, and the attribute memory covers every bit.
+        if best.len() != n || last_flip.len() != n {
+            return Err(PersistError::new("best/last-flip length does not match the problem"));
+        }
+        if ring.len() > ring_len || ring_pos >= ring_len.max(1) {
+            return Err(PersistError::new("solution ring exceeds its strategy capacity"));
+        }
+        if mring.len() > mring_len || mring_pos >= mring_len.max(1) {
+            return Err(PersistError::new("move ring exceeds its strategy capacity"));
+        }
+        let mut ring_set: HashMap<u64, u32> = HashMap::new();
+        for &h in &ring {
+            *ring_set.entry(h).or_insert(0) += 1;
+        }
+        let mut mring_set: HashMap<u64, u32> = HashMap::new();
+        for &idx in &mring {
+            *mring_set.entry(idx).or_insert(0) += 1;
+        }
+        Ok(Self {
+            search,
+            s,
+            state,
+            cur_fitness,
+            best,
+            best_fitness,
+            history,
+            trajectory,
+            ztable,
+            cur_hash,
+            ring,
+            ring_pos,
+            ring_set,
+            ring_len,
+            mring,
+            mring_pos,
+            mring_set,
+            mring_len,
+            last_flip,
+            iterations,
+            evals,
+            last_committed,
+            out_scratch: Vec::new(),
+        })
     }
 
     /// Finalize into a [`SearchResult`]; the caller supplies what a
@@ -481,6 +606,45 @@ impl<P: IncrementalEval> TabuCursor<P> {
             history: self.history,
             trajectory: self.trajectory,
         }
+    }
+}
+
+impl<P: IncrementalEval> SearchCursor for TabuCursor<P> {
+    type Ctx<'a>
+        = (&'a P, &'a mut dyn Explorer<P>)
+    where
+        Self: 'a;
+    type Snapshot = Self;
+
+    fn step_batch(&mut self, (problem, explorer): Self::Ctx<'_>, quota: u64) -> u64 {
+        let mut ran = 0;
+        while ran < quota {
+            if self.step(problem, explorer).is_some() {
+                break;
+            }
+            ran += 1;
+        }
+        ran
+    }
+
+    fn is_done(&self) -> bool {
+        self.stop_reason().is_some()
+    }
+
+    fn best(&self) -> i64 {
+        self.best_fitness
+    }
+
+    fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    fn restore(&mut self, snapshot: Self) {
+        *self = snapshot;
     }
 }
 
@@ -631,6 +795,46 @@ mod tests {
         use crate::problem::BinaryProblem;
         assert!(r.best_fitness <= p0.evaluate(&init));
         assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn persisted_cursor_resumes_identically() {
+        let p = ZeroCount { n: 24 };
+        let hood = TwoHamming::new(24);
+        let mut rng = StdRng::seed_from_u64(13);
+        let init = BitString::random(&mut rng, 24);
+        let search = TabuSearch {
+            config: SearchConfig::budget(30).with_seed(3),
+            strategy: TabuStrategy::SolutionRing { len: 9 },
+            aspiration: true,
+            keep_history: true,
+        };
+        let mut cursor = search.cursor(&p, init);
+        let mut ex = SequentialExplorer::new(hood);
+        for _ in 0..7 {
+            cursor.step(&p, &mut ex);
+        }
+        let mut bytes = Vec::new();
+        cursor.persist(&mut bytes);
+        let mut revived = TabuCursor::read_persisted(&mut Reader::new(&bytes), &p).expect("decode");
+        while cursor.step(&p, &mut ex).is_none() {}
+        let mut ex2 = SequentialExplorer::new(hood);
+        while revived.step(&p, &mut ex2).is_none() {}
+        assert_eq!(revived.best_fitness(), cursor.best_fitness());
+        assert_eq!(revived.iterations(), cursor.iterations());
+        assert_eq!(revived.evals(), cursor.evals());
+        assert_eq!(revived.best_solution(), cursor.best_solution());
+    }
+
+    #[test]
+    fn persisted_cursor_rejects_wrong_problem() {
+        let p = ZeroCount { n: 16 };
+        let search = TabuSearch::paper(SearchConfig::budget(5), 16);
+        let cursor = search.cursor(&p, BitString::zeros(16));
+        let mut bytes = Vec::new();
+        cursor.persist(&mut bytes);
+        let wrong = ZeroCount { n: 20 };
+        assert!(TabuCursor::read_persisted(&mut Reader::new(&bytes), &wrong).is_err());
     }
 
     #[test]

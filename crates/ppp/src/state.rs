@@ -27,6 +27,23 @@ impl Ppp {
     }
 }
 
+impl lnls_core::Persist for Ppp {
+    fn write(&self, out: &mut Vec<u8>) {
+        // The `.ppp` text format already round-trips instances without a
+        // serialization crate; embed it as one length-prefixed string.
+        lnls_core::Persist::write(&self.inst.save_to_string(), out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let text: String = r.read()?;
+        let inst = PppInstance::parse(&text).map_err(lnls_core::PersistError::new)?;
+        Ok(Ppp::new(inst))
+    }
+}
+
+impl lnls_core::PersistTag for Ppp {
+    const TAG: &'static str = "ppp";
+}
+
 /// Incremental-evaluation state for [`Ppp`].
 #[derive(Clone, Debug)]
 pub struct PppState {

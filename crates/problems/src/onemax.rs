@@ -67,6 +67,23 @@ impl IncrementalEval for OneMax {
     }
 }
 
+impl lnls_core::Persist for OneMax {
+    fn write(&self, out: &mut Vec<u8>) {
+        lnls_core::Persist::write(&self.n, out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let n: usize = r.read()?;
+        if n == 0 {
+            return Err(lnls_core::PersistError::new("OneMax needs n > 0"));
+        }
+        Ok(OneMax::new(n))
+    }
+}
+
+impl lnls_core::PersistTag for OneMax {
+    const TAG: &'static str = "onemax";
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,7 @@
 //! round-trips instances without a serialization crate.
 
 use crate::permutation::Permutation;
+use lnls_core::Persist;
 use rand::Rng;
 
 /// A QAP instance with dense integer matrices.
@@ -203,6 +204,26 @@ impl QapInstance {
             }
         }
         (best_cost, Permutation::from_vec(best))
+    }
+}
+
+impl Persist for QapInstance {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.n.write(out);
+        self.f.write(out);
+        self.d.write(out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let n: usize = r.read()?;
+        let f: Vec<i64> = r.read()?;
+        let d: Vec<i64> = r.read()?;
+        if n < 2 || f.len() != n * n || d.len() != n * n {
+            return Err(lnls_core::PersistError("malformed QAP instance".into()));
+        }
+        if f.iter().chain(&d).any(|&x| x < 0) {
+            return Err(lnls_core::PersistError("negative QAP matrix entry".into()));
+        }
+        Ok(Self::new(n, f, d))
     }
 }
 

@@ -43,4 +43,6 @@ pub use gpu::{GpuSwapEvaluator, QapSwapKernel};
 pub use instance::QapInstance;
 pub use objective::{swap_delta, DeltaTable};
 pub use permutation::Permutation;
-pub use rts::{FreshEvaluator, RobustTabu, RtsConfig, RtsResult, SwapEvaluator, TableEvaluator};
+pub use rts::{
+    FreshEvaluator, RobustTabu, RtsConfig, RtsCursor, RtsResult, SwapEvaluator, TableEvaluator,
+};

@@ -6,6 +6,7 @@
 //! derives for the 2-Hamming neighborhood (Appendices A–B), which is
 //! how this crate demonstrates the mappings are encoding-agnostic.
 
+use lnls_core::Persist;
 use rand::Rng;
 
 /// A permutation of `0..n`.
@@ -91,6 +92,24 @@ impl std::fmt::Display for Permutation {
             write!(f, "{v}")?;
         }
         write!(f, "]")
+    }
+}
+
+impl Persist for Permutation {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.as_slice().to_vec().write(out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let p: Vec<u32> = r.read()?;
+        let n = p.len();
+        let mut seen = vec![false; n];
+        for &v in &p {
+            if (v as usize) >= n || seen[v as usize] {
+                return Err(lnls_core::PersistError("not a permutation".into()));
+            }
+            seen[v as usize] = true;
+        }
+        Ok(Self::from_vec(p))
     }
 }
 

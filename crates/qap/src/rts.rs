@@ -14,6 +14,8 @@
 use crate::instance::QapInstance;
 use crate::objective::DeltaTable;
 use crate::permutation::Permutation;
+use lnls_core::persist::{Persist, PersistError, Reader};
+use lnls_core::SearchCursor;
 use lnls_gpu_sim::TimeBook;
 use lnls_neighborhood::mapping2d::unrank2;
 use rand::rngs::StdRng;
@@ -170,6 +172,40 @@ pub struct RtsResult {
     pub backend: String,
 }
 
+impl Persist for RtsConfig {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.max_iters.write(out);
+        self.target.write(out);
+        self.seed.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RtsConfig { max_iters: r.read()?, target: r.read()?, seed: r.read()? })
+    }
+}
+
+impl Persist for RtsResult {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.best.write(out);
+        self.best_cost.write(out);
+        self.iterations.write(out);
+        self.evals.write(out);
+        self.success.write(out);
+        self.book.write(out);
+        self.backend.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RtsResult {
+            best: r.read()?,
+            best_cost: r.read()?,
+            iterations: r.read()?,
+            evals: r.read()?,
+            success: r.read()?,
+            book: r.read()?,
+            backend: r.read()?,
+        })
+    }
+}
+
 /// The robust tabu search driver.
 pub struct RobustTabu {
     /// Search knobs.
@@ -182,6 +218,32 @@ impl RobustTabu {
         Self { config }
     }
 
+    /// Build a resumable [`RtsCursor`] positioned at `init`.
+    ///
+    /// The cursor owns every piece of loop-carried state — the tabu
+    /// matrix and the tenure RNG included — so QAP runs can be stepped a
+    /// quantum at a time, checkpointed mid-run and resumed on a
+    /// different evaluator without changing a single swap. [`run`]
+    /// (Self::run) is implemented on top of it.
+    pub fn cursor(&self, inst: &QapInstance, init: Permutation) -> RtsCursor {
+        let n = inst.size();
+        assert_eq!(init.len(), n, "permutation/instance size mismatch");
+        let cost = inst.cost(&init);
+        RtsCursor {
+            config: self.config.clone(),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            best: init.clone(),
+            best_cost: cost,
+            p: init,
+            cost,
+            tabu_until: vec![0u64; n * n],
+            iterations: 0,
+            evals: 0,
+            lo: ((9 * n) / 10).max(1) as u64,
+            hi: ((11 * n) / 10).max(2) as u64,
+        }
+    }
+
     /// Run from `init` using `eval` for the neighborhood scans.
     pub fn run<E: SwapEvaluator>(
         &self,
@@ -189,82 +251,220 @@ impl RobustTabu {
         eval: &mut E,
         init: Permutation,
     ) -> RtsResult {
+        let mut cursor = self.cursor(inst, init);
+        cursor.step_batch((inst, eval as &mut dyn SwapEvaluator), u64::MAX);
+        debug_assert_eq!(cursor.cost, inst.cost(&cursor.p), "incremental cost drifted");
+        cursor.into_result(eval.book(), eval.backend())
+    }
+}
+
+/// The loop-carried state of one robust-tabu walk, stepped externally.
+///
+/// Produced by [`RobustTabu::cursor`]. One step performs exactly one
+/// iteration of Taillard's algorithm — scan all `C(n,2)` swap deltas,
+/// commit the best admissible swap, randomize the reverse tenures — so a
+/// run driven through a cursor makes swap-for-swap the moves
+/// [`RobustTabu::run`] makes (which is implemented on top of it). The
+/// evaluator is *external* state: deltas are exact on every backend, so
+/// a walk may migrate between host tables and simulated devices
+/// mid-flight without perturbing its trajectory.
+#[derive(Clone, Debug)]
+pub struct RtsCursor {
+    config: RtsConfig,
+    p: Permutation,
+    cost: i64,
+    best: Permutation,
+    best_cost: i64,
+    /// `tabu_until[i * n + loc]`: first iteration at which facility `i`
+    /// may return to location `loc`.
+    tabu_until: Vec<u64>,
+    rng: StdRng,
+    iterations: u64,
+    evals: u64,
+    lo: u64,
+    hi: u64,
+}
+
+impl RtsCursor {
+    /// One full iteration through `eval`. Returns `false` (doing
+    /// nothing) when the walk is already finished.
+    pub fn step<E: SwapEvaluator + ?Sized>(&mut self, inst: &QapInstance, eval: &mut E) -> bool {
+        if self.is_done() {
+            return false;
+        }
         let n = inst.size();
-        assert_eq!(init.len(), n, "permutation/instance size mismatch");
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut p = init;
-        let mut cost = inst.cost(&p);
-        let mut best = p.clone();
-        let mut best_cost = cost;
-        // tabu_until[i * n + loc]: first iteration at which facility i may
-        // return to location loc.
-        let mut tabu_until = vec![0u64; n * n];
-        let mut iterations = 0u64;
-        let mut evals = 0u64;
+        let iterations = self.iterations;
+        let deltas = eval.deltas(inst, &self.p);
+        self.evals += deltas.len() as u64;
 
-        let (lo, hi) = (((9 * n) / 10).max(1) as u64, ((11 * n) / 10).max(2) as u64);
+        // Best admissible move: not tabu, or aspirating.
+        let mut chosen: Option<(u64, i64)> = None;
+        for (idx, &d) in deltas.iter().enumerate() {
+            let (r, s) = unrank2(n as u64, idx as u64);
+            let (r, s) = (r as usize, s as usize);
+            let tabu = self.tabu_until[r * n + self.p.get(s)] > iterations
+                && self.tabu_until[s * n + self.p.get(r)] > iterations;
+            let aspirates = self.cost + d < self.best_cost;
+            if tabu && !aspirates {
+                continue;
+            }
+            if chosen.is_none_or(|(_, bd)| d < bd) {
+                chosen = Some((idx as u64, d));
+            }
+        }
+        // Fully tabu neighborhood: take the absolute best (rare; keeps
+        // the walk alive like Taillard's implementation).
+        let (idx, d) = chosen.unwrap_or_else(|| {
+            deltas
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, d)| (*d, i))
+                .map(|(i, &d)| (i as u64, d))
+                .expect("non-empty neighborhood")
+        });
 
-        while iterations < self.config.max_iters {
-            if self.config.target.is_some_and(|t| best_cost <= t) {
+        let (r, s) = unrank2(n as u64, idx);
+        let (r, s) = (r as usize, s as usize);
+        // Forbid sending the facilities back to their old places.
+        let tenure_r = self.rng.gen_range(self.lo..=self.hi);
+        let tenure_s = self.rng.gen_range(self.lo..=self.hi);
+        self.tabu_until[r * n + self.p.get(r)] = iterations + 1 + tenure_r;
+        self.tabu_until[s * n + self.p.get(s)] = iterations + 1 + tenure_s;
+
+        eval.committed(inst, &self.p, r, s);
+        self.p.swap(r, s);
+        self.cost += d;
+        self.iterations += 1;
+        if self.cost < self.best_cost {
+            self.best_cost = self.cost;
+            self.best = self.p.clone();
+        }
+        true
+    }
+
+    /// Current assignment.
+    pub fn current(&self) -> &Permutation {
+        &self.p
+    }
+
+    /// Best assignment seen so far.
+    pub fn best_assignment(&self) -> &Permutation {
+        &self.best
+    }
+
+    /// Best cost seen so far.
+    pub fn best_cost(&self) -> i64 {
+        self.best_cost
+    }
+
+    /// Swap-delta evaluations consumed so far.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Iterations left in the budget.
+    pub fn remaining_iters(&self) -> u64 {
+        self.config.max_iters.saturating_sub(self.iterations)
+    }
+
+    /// Finalize into an [`RtsResult`]; the caller supplies what a cursor
+    /// cannot know — the evaluator's ledger and identity.
+    pub fn into_result(self, book: Option<TimeBook>, backend: String) -> RtsResult {
+        RtsResult {
+            success: self.config.target.is_some_and(|t| self.best_cost <= t),
+            best: self.best,
+            best_cost: self.best_cost,
+            iterations: self.iterations,
+            evals: self.evals,
+            book,
+            backend,
+        }
+    }
+
+    /// Byte-level snapshot of the walk (hand-rolled; see
+    /// [`lnls_core::persist`]). The tenure window `lo`/`hi` is derived
+    /// from the instance size, so it is rebuilt on decode rather than
+    /// trusted from bytes.
+    pub fn persist(&self, out: &mut Vec<u8>) {
+        self.config.write(out);
+        self.p.write(out);
+        self.cost.write(out);
+        self.best.write(out);
+        self.best_cost.write(out);
+        self.tabu_until.write(out);
+        self.rng.write(out);
+        self.iterations.write(out);
+        self.evals.write(out);
+    }
+
+    /// Rebuild a walk captured by [`persist`](Self::persist). `inst`
+    /// must be the same instance the walk ran on — the recorded
+    /// incremental cost is cross-checked against it, and corrupt bytes
+    /// are rejected here, not left to crash a later step.
+    pub fn read_persisted(r: &mut Reader<'_>, inst: &QapInstance) -> Result<Self, PersistError> {
+        let n = inst.size();
+        let cursor = Self {
+            config: r.read()?,
+            p: r.read()?,
+            cost: r.read()?,
+            best: r.read()?,
+            best_cost: r.read()?,
+            tabu_until: r.read()?,
+            rng: r.read()?,
+            iterations: r.read()?,
+            evals: r.read()?,
+            lo: ((9 * n) / 10).max(1) as u64,
+            hi: ((11 * n) / 10).max(2) as u64,
+        };
+        if cursor.p.len() != n || cursor.best.len() != n || cursor.tabu_until.len() != n * n {
+            return Err(PersistError::new("permutation/instance size mismatch"));
+        }
+        if inst.cost(&cursor.p) != cursor.cost {
+            return Err(PersistError::new(
+                "recorded cost disagrees with the instance (wrong QAP instance?)",
+            ));
+        }
+        if inst.cost(&cursor.best) != cursor.best_cost {
+            return Err(PersistError::new("recorded best cost disagrees with the instance"));
+        }
+        Ok(cursor)
+    }
+}
+
+impl SearchCursor for RtsCursor {
+    type Ctx<'a> = (&'a QapInstance, &'a mut dyn SwapEvaluator);
+    type Snapshot = Self;
+
+    fn step_batch(&mut self, (inst, eval): Self::Ctx<'_>, quota: u64) -> u64 {
+        let mut ran = 0;
+        while ran < quota {
+            if !self.step(inst, eval) {
                 break;
             }
-            let deltas = eval.deltas(inst, &p);
-            evals += deltas.len() as u64;
-
-            // Best admissible move: not tabu, or aspirating.
-            let mut chosen: Option<(u64, i64)> = None;
-            for (idx, &d) in deltas.iter().enumerate() {
-                let (r, s) = unrank2(n as u64, idx as u64);
-                let (r, s) = (r as usize, s as usize);
-                let tabu = tabu_until[r * n + p.get(s)] > iterations
-                    && tabu_until[s * n + p.get(r)] > iterations;
-                let aspirates = cost + d < best_cost;
-                if tabu && !aspirates {
-                    continue;
-                }
-                if chosen.is_none_or(|(_, bd)| d < bd) {
-                    chosen = Some((idx as u64, d));
-                }
-            }
-            // Fully tabu neighborhood: take the absolute best (rare;
-            // keeps the walk alive like Taillard's implementation).
-            let (idx, d) = chosen.unwrap_or_else(|| {
-                deltas
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(i, d)| (*d, i))
-                    .map(|(i, &d)| (i as u64, d))
-                    .expect("non-empty neighborhood")
-            });
-
-            let (r, s) = unrank2(n as u64, idx);
-            let (r, s) = (r as usize, s as usize);
-            // Forbid sending the facilities back to their old places.
-            let tenure_r = rng.gen_range(lo..=hi);
-            let tenure_s = rng.gen_range(lo..=hi);
-            tabu_until[r * n + p.get(r)] = iterations + 1 + tenure_r;
-            tabu_until[s * n + p.get(s)] = iterations + 1 + tenure_s;
-
-            eval.committed(inst, &p, r, s);
-            p.swap(r, s);
-            cost += d;
-            iterations += 1;
-            if cost < best_cost {
-                best_cost = cost;
-                best = p.clone();
-            }
+            ran += 1;
         }
+        ran
+    }
 
-        debug_assert_eq!(cost, inst.cost(&p), "incremental cost drifted");
-        RtsResult {
-            best,
-            best_cost,
-            iterations,
-            evals,
-            success: self.config.target.is_some_and(|t| best_cost <= t),
-            book: eval.book(),
-            backend: eval.backend(),
-        }
+    fn is_done(&self) -> bool {
+        self.iterations >= self.config.max_iters
+            || self.config.target.is_some_and(|t| self.best_cost <= t)
+    }
+
+    fn best(&self) -> i64 {
+        self.best_cost
+    }
+
+    fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    fn restore(&mut self, snapshot: Self) {
+        *self = snapshot;
     }
 }
 
@@ -318,6 +518,68 @@ mod tests {
         assert_eq!(r.iterations, 37);
         assert_eq!(r.evals, 37 * 66); // C(12,2) = 66 per iteration
         assert_eq!(inst.cost(&r.best), r.best_cost);
+    }
+
+    #[test]
+    fn cursor_quanta_match_run_exactly() {
+        // Stepping in ragged quanta — including a mid-walk evaluator
+        // migration from the delta table to the naive recompute — must
+        // reproduce run()'s swaps, tenure draws and best cost exactly.
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = QapInstance::random_uniform(&mut rng, 10);
+        let init = Permutation::random(&mut rng, 10);
+        let rts = RobustTabu::new(RtsConfig::budget(90).with_seed(6));
+        let want = rts.run(&inst, &mut TableEvaluator::new(), init.clone());
+
+        let mut cursor = rts.cursor(&inst, init);
+        let mut table = TableEvaluator::new();
+        let mut fresh = FreshEvaluator::new();
+        let mut flip = false;
+        loop {
+            let ran = if flip {
+                cursor.step_batch((&inst, &mut fresh as &mut dyn SwapEvaluator), 7)
+            } else {
+                cursor.step_batch((&inst, &mut table as &mut dyn SwapEvaluator), 7)
+            };
+            // A committed swap invalidates the idle table's incremental
+            // state; rebuild it on re-entry by starting fresh.
+            table = TableEvaluator::new();
+            flip = !flip;
+            if ran < 7 {
+                break;
+            }
+        }
+        assert!(cursor.is_done());
+        assert_eq!(cursor.best_cost(), want.best_cost);
+        assert_eq!(cursor.iterations(), want.iterations);
+        assert_eq!(cursor.evals(), want.evals);
+        assert_eq!(cursor.best_assignment().as_slice(), want.best.as_slice());
+    }
+
+    #[test]
+    fn persisted_cursor_resumes_identically() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let inst = QapInstance::random_uniform(&mut rng, 9);
+        let init = Permutation::random(&mut rng, 9);
+        let rts = RobustTabu::new(RtsConfig::budget(60).with_seed(2));
+
+        let mut cursor = rts.cursor(&inst, init);
+        let mut eval = FreshEvaluator::new();
+        cursor.step_batch((&inst, &mut eval as &mut dyn SwapEvaluator), 23);
+        let mut bytes = Vec::new();
+        cursor.persist(&mut bytes);
+        let mut revived =
+            RtsCursor::read_persisted(&mut lnls_core::Reader::new(&bytes), &inst).expect("decode");
+        cursor.step_batch((&inst, &mut eval as &mut dyn SwapEvaluator), u64::MAX);
+        let mut eval2 = FreshEvaluator::new();
+        revived.step_batch((&inst, &mut eval2 as &mut dyn SwapEvaluator), u64::MAX);
+        assert_eq!(revived.best_cost(), cursor.best_cost());
+        assert_eq!(revived.iterations(), cursor.iterations());
+        assert_eq!(revived.best_assignment().as_slice(), cursor.best_assignment().as_slice());
+
+        // Wrong instance: the cost cross-check must refuse.
+        let other = QapInstance::random_uniform(&mut rng, 9);
+        assert!(RtsCursor::read_persisted(&mut lnls_core::Reader::new(&bytes), &other).is_err());
     }
 
     #[test]

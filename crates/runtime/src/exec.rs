@@ -1,19 +1,27 @@
 //! Type-erased job executors.
 //!
-//! The scheduler sees jobs as `Box<dyn JobExec>`: steppable, priceable,
-//! cloneable (for checkpoints), and — when two erased jobs report the
-//! same [`BatchKey`] — fusable. The key embeds the concrete Rust type
+//! The scheduler sees jobs as `Box<dyn JobExec>`: steppable in iteration
+//! quanta, priceable, cloneable (for checkpoints), byte-persistable (for
+//! disk snapshots), and — when two erased jobs report the same
+//! [`BatchKey`] — fusable. The key embeds the concrete Rust type
 //! (`TypeId`), so a leader may downcast its batch peers to its own type
 //! and drive them through one [`BatchedExplorer`] pass.
+//!
+//! Every executor is a thin shell around a [`SearchCursor`]
+//! (`TabuCursor` for binary jobs, `RtsCursor` for QAP jobs): the cursor
+//! owns the walk, the executor owns the pricing. That is what makes
+//! preemption free of semantic consequence — a job stepped in quanta
+//! makes exactly the moves a run-to-completion job makes.
 
 use crate::job::{JobId, JobOutcome, JobReport};
-use lnls_core::{BatchLane, BatchedExplorer, IncrementalEval, LaneProfile, TabuCursor};
-use lnls_gpu_sim::{Device, DeviceSpec, HostSpec};
-use lnls_neighborhood::Neighborhood;
-use lnls_qap::{
-    GpuSwapEvaluator, Permutation, QapInstance, RobustTabu, RtsConfig, SwapEvaluator,
-    TableEvaluator,
+use lnls_core::persist::{Persist, PersistError, PersistTag, Reader};
+use lnls_core::{
+    BatchLane, BatchedExplorer, Explorer, IncrementalEval, LaneProfile, SearchCursor,
+    SequentialExplorer, TabuCursor,
 };
+use lnls_gpu_sim::{Device, DeviceSpec, HostSpec, TimeBook};
+use lnls_neighborhood::Neighborhood;
+use lnls_qap::{GpuSwapEvaluator, QapInstance, RtsCursor, SwapEvaluator, TableEvaluator};
 use std::any::{Any, TypeId};
 use std::sync::Arc;
 
@@ -29,6 +37,14 @@ pub struct BatchKey {
     k: usize,
 }
 
+/// What one scheduler step actually did: iterations executed and the
+/// modeled seconds they cost on the backend that ran them.
+#[derive(Copy, Clone, Debug, Default)]
+pub(crate) struct StepRun {
+    pub iters: u64,
+    pub seconds: f64,
+}
+
 pub(crate) trait JobExec: Send {
     fn id(&self) -> JobId;
     fn priority(&self) -> u8;
@@ -37,16 +53,16 @@ pub(crate) trait JobExec: Send {
     fn batch_key(&self) -> Option<BatchKey>;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 
-    /// One iteration (or one atomic run) on a fleet device. Charges the
-    /// device ledger; returns the modeled seconds consumed.
-    fn step_device(&mut self, dev: &mut Device) -> f64;
+    /// Run up to `quota` iterations on a fleet device, charging the
+    /// device ledger. A short count means the job finished.
+    fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun;
 
-    /// One iteration (or one atomic run) on a CPU worker; returns the
-    /// modeled host seconds consumed.
-    fn step_host(&mut self, host: &HostSpec) -> f64;
+    /// Run up to `quota` iterations on a CPU worker.
+    fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun;
 
     /// One fused iteration covering `self` and `peers` (all sharing this
     /// job's [`BatchKey`]). Members already finished must not be passed.
+    /// Returns the modeled seconds of the fused launch.
     fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64;
 
     /// Modeled cost of the work this job has *executed so far* if it had
@@ -54,11 +70,24 @@ pub(crate) trait JobExec: Send {
     /// baseline contribution.
     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64;
 
-    /// Produce the final report (call once, after [`done`](Self::done)).
+    /// Produce the final report. Valid even when the job is not
+    /// [`done`](Self::done) — a cancelled job reports its best-so-far.
     fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport;
+
+    /// Notification that the job left its backend (preemption back into
+    /// the queue). Executors drop backend-resident caches here so a
+    /// later placement re-pays residency costs honestly.
+    fn unplaced(&mut self) {}
 
     /// Deep copy for checkpoints.
     fn clone_box(&self) -> Box<dyn JobExec>;
+
+    /// Registry key for disk persistence (see
+    /// [`JobRegistry`](crate::JobRegistry)).
+    fn persist_tag(&self) -> String;
+
+    /// Byte-level snapshot of the job (walk state included).
+    fn persist(&self, out: &mut Vec<u8>);
 }
 
 // ---------------------------------------------------------------------
@@ -66,7 +95,7 @@ pub(crate) trait JobExec: Send {
 // ---------------------------------------------------------------------
 
 /// Executor for [`BinaryJob`](crate::BinaryJob): a [`TabuCursor`] stepped
-/// iteration by iteration, batchable with same-key tenants.
+/// in quanta, batchable with same-key tenants.
 pub(crate) struct BinaryTabuJob<P, N>
 where
     P: IncrementalEval + 'static,
@@ -122,8 +151,8 @@ where
 
 impl<P, N> JobExec for BinaryTabuJob<P, N>
 where
-    P: IncrementalEval + 'static,
-    N: Neighborhood + Clone + Send + Sync + 'static,
+    P: IncrementalEval + Persist + PersistTag + 'static,
+    N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
 {
     fn id(&self) -> JobId {
         self.id
@@ -138,7 +167,7 @@ where
     }
 
     fn done(&self) -> bool {
-        self.cursor.stop_reason().is_some()
+        self.cursor.is_done()
     }
 
     fn batch_key(&self) -> Option<BatchKey> {
@@ -155,33 +184,49 @@ where
         self
     }
 
-    fn step_device(&mut self, dev: &mut Device) -> f64 {
-        self.step_batch(&mut [], dev)
+    fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun {
+        // Each iteration is one single-lane fused launch: same pricing
+        // the multi-tenant path charges, minus the amortization.
+        let spec = dev.spec().clone();
+        let prof = self.profile(&spec);
+        let mut bex = BatchedExplorer::new(self.hood.clone(), spec);
+        let mut iters = 0;
+        while iters < quota && !self.cursor.is_done() {
+            {
+                let (s, state) = self.cursor.explore_parts();
+                let mut lanes = [BatchLane {
+                    problem: &*self.problem,
+                    s,
+                    state,
+                    out: &mut self.out,
+                    profile: prof,
+                }];
+                bex.explore_batch(&mut lanes);
+            }
+            self.cursor.select_and_commit(&*self.problem, &self.hood, &self.out);
+            iters += 1;
+        }
+        let seconds = bex.book().gpu_total_s();
+        dev.charge(bex.book());
+        StepRun { iters, seconds }
     }
 
-    fn step_host(&mut self, host: &HostSpec) -> f64 {
-        // Functional evaluation identical to the device path; priced as
-        // one sequential-host neighborhood scan.
-        let m = self.hood.size();
+    fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun {
+        // Functional evaluation identical to the device path, driven
+        // through the SearchCursor contract; priced as sequential-host
+        // neighborhood scans.
         let prof = LaneProfile::incremental_eval(
             &DeviceSpec::gtx280(),
             host,
-            m,
+            self.hood.size(),
             self.hood.k(),
             self.problem.dim(),
             self.state_h2d_bytes,
         );
-        let problem = &*self.problem;
-        let (s, state) = self.cursor.explore_parts();
-        let out = &mut self.out;
-        out.clear();
-        out.reserve(m as usize);
-        self.hood.for_each_move_in(0, m, &mut |_, mv| {
-            out.push(problem.neighbor_fitness(state, s, &mv));
-            true
-        });
-        self.cursor.select_and_commit(problem, &self.hood, &self.out);
-        prof.host_seconds
+        let mut ex = SequentialExplorer::new(self.hood.clone());
+        let iters =
+            self.cursor.step_batch((&*self.problem, &mut ex as &mut dyn Explorer<P>), quota);
+        StepRun { iters, seconds: prof.host_seconds * iters as f64 }
     }
 
     fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
@@ -245,9 +290,11 @@ where
             id: self.id,
             name: self.name.clone(),
             backend,
+            submitted_s: 0.0,
             started_s,
             finished_s,
             fused_iterations: self.fused_iters,
+            cancelled: false,
             outcome: JobOutcome::Binary(result),
         }
     }
@@ -267,32 +314,106 @@ where
             fused_iters: self.fused_iters,
         })
     }
+
+    fn persist_tag(&self) -> String {
+        tabu_tag::<P, N>()
+    }
+
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.id.0.write(out);
+        self.name.write(out);
+        self.priority.write(out);
+        self.seq.write(out);
+        self.state_h2d_bytes.write(out);
+        self.host.write(out);
+        self.fused_iters.write(out);
+        self.problem.write(out);
+        self.hood.write(out);
+        self.cursor.persist(out);
+    }
+}
+
+/// Registry key of a binary tabu job over `(P, N)`.
+pub(crate) fn tabu_tag<P: PersistTag, N: PersistTag>() -> String {
+    format!("tabu/{}/{}", P::TAG, N::TAG)
+}
+
+/// Decode one [`BinaryTabuJob`] payload (inverse of its `persist`).
+pub(crate) fn read_tabu_job<P, N>(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>
+where
+    P: IncrementalEval + Persist + PersistTag + 'static,
+    N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
+{
+    let id = JobId(r.read::<u64>()?);
+    let name: String = r.read()?;
+    let priority: u8 = r.read()?;
+    let seq: u64 = r.read()?;
+    let state_h2d_bytes: u64 = r.read()?;
+    let host: HostSpec = r.read()?;
+    let fused_iters: u64 = r.read()?;
+    let problem: P = r.read()?;
+    let hood: N = r.read()?;
+    if hood.dim() != problem.dim() {
+        return Err(PersistError::new("neighborhood/problem dimension mismatch"));
+    }
+    let cursor = TabuCursor::read_persisted(r, &problem)?;
+    Ok(Box::new(BinaryTabuJob {
+        id,
+        name,
+        priority,
+        seq,
+        problem: Arc::new(problem),
+        hood,
+        cursor,
+        out: Vec::new(),
+        state_h2d_bytes,
+        host,
+        fused_iters,
+    }))
 }
 
 // ---------------------------------------------------------------------
 // QAP jobs
 // ---------------------------------------------------------------------
 
-/// Executor for [`QapJobSpec`](crate::QapJobSpec): one atomic
-/// robust-tabu run. Unbatchable; the device path prices through the real
-/// simulated swap kernel, the host path through the delta table.
+/// Registry key of a QAP robust-tabu job.
+pub(crate) const QAP_TAG: &str = "qap/rts";
+
+/// Executor for [`QapJobSpec`](crate::QapJobSpec): an [`RtsCursor`]
+/// stepped in quanta. Unbatchable; the device path prices through the
+/// real simulated swap kernel (instance matrices uploaded once per
+/// device residency, assignment re-uploaded per iteration), the host
+/// path through the delta table.
 pub(crate) struct QapJob {
     pub id: JobId,
     pub name: String,
     pub priority: u8,
     pub seq: u64,
     pub instance: Arc<QapInstance>,
-    pub config: RtsConfig,
-    pub init: Permutation,
-    pub result: Option<lnls_qap::RtsResult>,
+    pub cursor: RtsCursor,
+    /// Device seconds charged so far (serialized-baseline contribution
+    /// of the device-resident part of the walk).
     pub charged_s: f64,
+    /// Accumulated device ledger across every device quantum — surfaced
+    /// in the job report (`RtsResult::book`), like a solo device run's.
+    pub book: TimeBook,
+    /// Iterations executed on CPU workers (priced onto the reference
+    /// device for the serialized baseline).
+    pub host_iters: u64,
+    /// Device-resident evaluator, kept across quanta while the job stays
+    /// on a device. Dropped on checkpoint/clone — a revived job pays the
+    /// instance re-upload again, exactly as a real restart would.
+    pub gpu: Option<GpuSwapEvaluator>,
+    /// Host-side delta table, kept across host quanta. Invalidated when
+    /// the walk advances on a device (the table's incremental state only
+    /// tracks commits it saw).
+    pub table: Option<TableEvaluator>,
 }
 
 impl QapJob {
     /// Modeled per-iteration seconds of the O(n)-per-swap kernel over
     /// `C(n,2)` swaps on `spec` — the reference-device price used for
-    /// the serialized baseline when the run itself executed on a CPU
-    /// worker.
+    /// the serialized baseline when iterations executed on a CPU worker.
     fn iter_estimate_s(&self, spec: &DeviceSpec) -> f64 {
         let n = self.instance.size() as f64;
         let m = n * (n - 1.0) / 2.0;
@@ -316,7 +437,7 @@ impl JobExec for QapJob {
     }
 
     fn done(&self) -> bool {
-        self.result.is_some()
+        self.cursor.is_done()
     }
 
     fn batch_key(&self) -> Option<BatchKey> {
@@ -327,59 +448,81 @@ impl JobExec for QapJob {
         self
     }
 
-    fn step_device(&mut self, dev: &mut Device) -> f64 {
-        let mut eval = GpuSwapEvaluator::new(&self.instance, dev.spec().clone());
-        let driver = RobustTabu::new(self.config.clone());
-        let result = driver.run(&self.instance, &mut eval, self.init.clone());
-        let book = eval.book().expect("GPU evaluator prices its work");
-        let seconds = book.gpu_total_s();
-        dev.charge(&book);
-        self.result = Some(result);
-        // Atomic and unfused: when executed on a device, the charged
-        // seconds are exactly the serialized-baseline contribution.
-        self.charged_s = seconds;
-        seconds
+    fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun {
+        let spec = dev.spec().clone();
+        // (Re)build the device-resident evaluator when the job lands on
+        // a new device residency (`unplaced` drops the cache whenever
+        // the job leaves a backend) — instance matrices upload once per
+        // residency, the paper's texture-resident F/D.
+        if self.gpu.as_ref().is_none_or(|g| g.device().spec() != &spec) {
+            self.gpu = Some(GpuSwapEvaluator::new(&self.instance, spec));
+        }
+        let eval = self.gpu.as_mut().expect("just ensured");
+        let prev = eval.device().book().clone();
+        let iters =
+            self.cursor.step_batch((&*self.instance, eval as &mut dyn SwapEvaluator), quota);
+        let delta = eval.device().book().delta_since(&prev);
+        let seconds = delta.gpu_total_s();
+        dev.charge(&delta);
+        self.book.add(&delta);
+        self.charged_s += seconds;
+        // The walk advanced past anything the idle delta table saw.
+        if iters > 0 {
+            self.table = None;
+        }
+        StepRun { iters, seconds }
     }
 
-    fn step_host(&mut self, host: &HostSpec) -> f64 {
-        let mut eval = TableEvaluator::new();
-        let driver = RobustTabu::new(self.config.clone());
-        let result = driver.run(&self.instance, &mut eval, self.init.clone());
+    fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun {
+        let table = self.table.get_or_insert_with(TableEvaluator::new);
+        let iters =
+            self.cursor.step_batch((&*self.instance, table as &mut dyn SwapEvaluator), quota);
         // Table scans are O(1) per swap: m lookups per iteration.
         let n = self.instance.size() as f64;
         let m = n * (n - 1.0) / 2.0;
-        let ops = result.iterations as f64 * m * 10.0;
+        let ops = iters as f64 * m * 10.0;
         let seconds = ops * host.cpi_alu / host.clock_hz;
-        self.result = Some(result);
-        seconds
+        self.host_iters += iters;
+        StepRun { iters, seconds }
     }
 
     fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
         assert!(peers.is_empty(), "QAP jobs are unbatchable");
-        self.step_device(dev)
+        self.step_device(dev, 1).seconds
+    }
+
+    fn unplaced(&mut self) {
+        // Preemption evicts the device residency: the next device
+        // placement — even on an identical spec — re-uploads F/D, like
+        // a real scheduler moving a tenant off a GPU. The host-side
+        // delta table is kept: `step_device` drops it whenever the walk
+        // advances on a device, so a surviving table is always
+        // consistent with the current permutation.
+        self.gpu = None;
     }
 
     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
-        if self.charged_s > 0.0 {
-            // Ran on a device: the real charged seconds.
-            self.charged_s
-        } else {
-            // Ran on a CPU worker: price the same iterations on the
-            // reference device so the baseline stays device-denominated.
-            let iters = self.result.as_ref().map_or(0, |r| r.iterations);
-            self.iter_estimate_s(spec) * iters as f64
-        }
+        // Device-resident iterations: the real charged seconds. Host
+        // iterations: priced onto the reference device so the baseline
+        // stays device-denominated.
+        self.charged_s + self.iter_estimate_s(spec) * self.host_iters as f64
     }
 
     fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport {
-        let result = self.result.clone().expect("finish() after done()");
+        // Device-resident iterations priced their launches into the
+        // job's ledger; host-only runs report no book, matching a solo
+        // TableEvaluator run.
+        let book = (self.book.launches > 0).then(|| self.book.clone());
+        let result = self.cursor.clone().into_result(book, backend.clone());
         JobReport {
             id: self.id,
             name: self.name.clone(),
             backend,
+            submitted_s: 0.0,
             started_s,
             finished_s,
             fused_iterations: 0,
+            cancelled: false,
             outcome: JobOutcome::Qap(result),
         }
     }
@@ -391,10 +534,54 @@ impl JobExec for QapJob {
             priority: self.priority,
             seq: self.seq,
             instance: Arc::clone(&self.instance),
-            config: self.config.clone(),
-            init: self.init.clone(),
-            result: self.result.clone(),
+            cursor: self.cursor.clone(),
             charged_s: self.charged_s,
+            book: self.book.clone(),
+            host_iters: self.host_iters,
+            gpu: None,
+            table: None,
         })
     }
+
+    fn persist_tag(&self) -> String {
+        QAP_TAG.to_string()
+    }
+
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.id.0.write(out);
+        self.name.write(out);
+        self.priority.write(out);
+        self.seq.write(out);
+        self.charged_s.write(out);
+        self.book.write(out);
+        self.host_iters.write(out);
+        (*self.instance).write(out);
+        self.cursor.persist(out);
+    }
+}
+
+/// Decode one [`QapJob`] payload (inverse of its `persist`).
+pub(crate) fn read_qap_job(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+    let id = JobId(r.read::<u64>()?);
+    let name: String = r.read()?;
+    let priority: u8 = r.read()?;
+    let seq: u64 = r.read()?;
+    let charged_s: f64 = r.read()?;
+    let book: TimeBook = r.read()?;
+    let host_iters: u64 = r.read()?;
+    let instance: QapInstance = r.read()?;
+    let cursor = RtsCursor::read_persisted(r, &instance)?;
+    Ok(Box::new(QapJob {
+        id,
+        name,
+        priority,
+        seq,
+        instance: Arc::new(instance),
+        cursor,
+        charged_s,
+        book,
+        host_iters,
+        gpu: None,
+        table: None,
+    }))
 }

@@ -39,6 +39,9 @@ pub enum JobStatus {
     Running,
     /// Finished; a [`JobReport`] is available.
     Done,
+    /// Cancelled via [`Scheduler::cancel`](crate::Scheduler::cancel); a
+    /// [`JobReport`] with the partial best-so-far is available.
+    Cancelled,
     /// Unknown to this scheduler.
     Unknown,
 }
@@ -95,7 +98,7 @@ impl JobOutcome {
     }
 }
 
-/// Everything known about one completed job.
+/// Everything known about one completed (or cancelled) job.
 #[derive(Clone, Debug)]
 pub struct JobReport {
     /// Job identity.
@@ -104,14 +107,33 @@ pub struct JobReport {
     pub name: String,
     /// Backend that completed the job (e.g. `dev0[GTX 280 …]`, `cpu1`).
     pub backend: String,
-    /// Simulated fleet time at which the job left the queue.
+    /// Simulated fleet time at which the job was submitted.
+    pub submitted_s: f64,
+    /// Simulated fleet time at which the job *first* left the queue
+    /// (under preemption a job may leave and re-enter it many times).
     pub started_s: f64,
     /// Simulated fleet time at which the job completed.
     pub finished_s: f64,
     /// Iterations that ran inside a fused batch with other tenants.
     pub fused_iterations: u64,
+    /// True when the job was drained by
+    /// [`Scheduler::cancel`](crate::Scheduler::cancel); the outcome then
+    /// holds the best-so-far at the cancellation boundary.
+    pub cancelled: bool,
     /// The search outcome.
     pub outcome: JobOutcome,
+}
+
+impl JobReport {
+    /// Queue wait: submission → first placement (seconds, modeled).
+    pub fn wait_s(&self) -> f64 {
+        (self.started_s - self.submitted_s).max(0.0)
+    }
+
+    /// Turnaround: submission → completion (seconds, modeled).
+    pub fn turnaround_s(&self) -> f64 {
+        (self.finished_s - self.submitted_s).max(0.0)
+    }
 }
 
 /// A bit-string search job: problem + neighborhood + driver + initial
@@ -171,8 +193,10 @@ impl<P, N: Neighborhood> BinaryJob<P, N> {
 /// A QAP robust-tabu job, submitted via
 /// [`Scheduler::submit_qap`](crate::Scheduler::submit_qap).
 ///
-/// QAP runs execute atomically (the classic driver is not steppable), so
-/// they never fuse with other tenants and checkpoint only while queued.
+/// QAP runs are driven through a steppable
+/// [`RtsCursor`](lnls_qap::RtsCursor), so they batch into quanta,
+/// checkpoint mid-run, and preempt like every other tenant. They never
+/// fuse (the swap neighborhood shares no batch key with binary jobs).
 pub struct QapJobSpec {
     /// Submission name (reports only).
     pub name: String,

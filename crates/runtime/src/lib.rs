@@ -21,13 +21,28 @@
 //!   [`BatchedExplorer`](lnls_core::BatchedExplorer)), amortizing launch
 //!   overhead and PCIe latency — the paper's large-neighborhood effect
 //!   applied across tenants instead of within one search.
+//! * **Preemption & fair share**: every job — binary tabu and QAP robust
+//!   tabu alike — is a resumable [`SearchCursor`](lnls_core::SearchCursor),
+//!   so with [`SchedulerConfig::quantum_iters`] set, assignments become
+//!   time slices served by deficit round-robin weighted by `priority + 1`.
+//!   A long QAP run no longer starves short tenants, and results are
+//!   provably invariant under any quantum (the preemption proptest
+//!   sweeps it).
+//! * **Cancellation**: [`Scheduler::cancel`] drains a queued or running
+//!   job at the next quantum boundary; its report is marked
+//!   [`cancelled`](JobReport::cancelled) and carries the best-so-far.
 //! * **Checkpoint/resume** ([`Scheduler::checkpoint`],
 //!   [`Scheduler::restore`]) snapshots queued *and in-flight* jobs
 //!   (mid-search cursor state included); a restored fleet continues
-//!   deterministically.
-//! * [`FleetReport`] summarizes throughput: makespan, busy fractions,
-//!   jobs per simulated second, and speedup versus the serialized
-//!   one-device baseline.
+//!   deterministically. [`FleetCheckpoint::save`] /
+//!   [`FleetCheckpoint::load`] round-trip the snapshot through a
+//!   hand-rolled byte format (no serde offline) so fleets survive
+//!   process restarts; [`JobRegistry`] maps persisted job tags back to
+//!   concrete types.
+//! * [`FleetReport`] summarizes throughput *and fairness*: makespan,
+//!   busy fractions, jobs per simulated second, speedup versus the
+//!   serialized one-device baseline, preemption counts, and per-tenant
+//!   wait/turnaround stats ([`TenantStat`]).
 //!
 //! Determinism is a design invariant: evaluation is functional and the
 //! event loop is single-threaded over *modeled* time, so a job's result
@@ -76,12 +91,14 @@
 
 mod exec;
 mod job;
+mod persist;
 mod report;
 mod scheduler;
 
 pub use exec::BatchKey;
 pub use job::{BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec};
-pub use report::FleetReport;
+pub use persist::JobRegistry;
+pub use report::{FleetReport, TenantStat};
 pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig};
 
 #[cfg(test)]
@@ -321,5 +338,256 @@ mod tests {
             Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
         let ghost = JobHandle { id: JobId(999) };
         assert_eq!(fleet.status(&ghost), JobStatus::Unknown);
+    }
+
+    // -- preemption / fair share --------------------------------------
+
+    fn qap_spec(seed: u64, n: usize, iters: u64) -> QapJobSpec {
+        use lnls_qap::{Permutation, QapInstance, RtsConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = QapInstance::random_uniform(&mut rng, n);
+        let init = Permutation::random(&mut rng, n);
+        QapJobSpec::new(format!("qap-{seed}"), inst, RtsConfig::budget(iters).with_seed(seed), init)
+    }
+
+    /// The acceptance scenario of the preemption work: a long QAP job
+    /// ahead of short OneMax tenants on one device. Results must be
+    /// bit-identical with and without a quantum; the quantum must cut
+    /// the worst tenant wait.
+    #[test]
+    fn preemption_preserves_results_and_cuts_waits() {
+        let run = |quantum: Option<u64>| {
+            let mut fleet = Scheduler::with_uniform_fleet(
+                1,
+                DeviceSpec::gtx280(),
+                SchedulerConfig { max_batch: 1, quantum_iters: quantum, ..Default::default() },
+            );
+            let qap = fleet.submit_qap(qap_spec(1, 12, 300));
+            let onemax: Vec<_> =
+                (0..4).map(|i| fleet.submit_binary(onemax_job(i, 24, 25))).collect();
+            fleet.run_until_idle();
+            let outcomes: Vec<(i64, u64)> = std::iter::once(&qap)
+                .chain(&onemax)
+                .map(|h| {
+                    let o = &fleet.report(h).unwrap().outcome;
+                    (o.best_fitness(), o.iterations())
+                })
+                .collect();
+            (outcomes, fleet.fleet_report())
+        };
+
+        let (plain_outcomes, plain) = run(None);
+        let (sliced_outcomes, sliced) = run(Some(8));
+        assert_eq!(plain_outcomes, sliced_outcomes, "preemption must not change results");
+        assert_eq!(plain.preemptions, 0);
+        assert!(sliced.preemptions > 0, "the long QAP job must have been sliced");
+        assert!(
+            sliced.max_wait_s < plain.max_wait_s,
+            "fair-share must cut the worst wait: sliced {} vs plain {}",
+            sliced.max_wait_s,
+            plain.max_wait_s
+        );
+    }
+
+    #[test]
+    fn preemptive_groups_still_fuse_and_match_solo() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 4, quantum_iters: Some(3), ..Default::default() },
+        );
+        let handles: Vec<_> = (0..4).map(|i| fleet.submit_binary(onemax_job(i, 24, 12))).collect();
+        let qap = fleet.submit_qap(qap_spec(2, 10, 40));
+        fleet.run_until_idle();
+        let report = fleet.fleet_report();
+        assert!(report.fused_launches > 0, "same-key tenants must fuse across slices");
+        assert!(report.preemptions > 0);
+        for (i, h) in handles.iter().enumerate() {
+            let got = fleet.report(h).unwrap().outcome.as_binary().unwrap();
+            let want = solo_result(i as u64, 24, 12);
+            assert_eq!(got.best, want.best, "job {i}");
+            assert_eq!(got.iterations, want.iterations, "job {i}");
+        }
+        assert!(fleet.report(&qap).unwrap().outcome.as_qap().is_some());
+    }
+
+    #[test]
+    fn priority_buys_a_larger_share() {
+        // Two equally long tenants on one device under DRR: weight
+        // (priority + 1) must let the high-priority job finish first.
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 1, quantum_iters: Some(4), ..Default::default() },
+        );
+        let low = fleet.submit_binary(onemax_job(0, 24, 60));
+        let high = fleet.submit_binary(onemax_job(1, 24, 60).with_priority(3));
+        fleet.run_until_idle();
+        let (r_low, r_high) = (fleet.report(&low).unwrap(), fleet.report(&high).unwrap());
+        assert!(
+            r_high.finished_s < r_low.finished_s,
+            "high priority ({}) must finish before low ({})",
+            r_high.finished_s,
+            r_low.finished_s
+        );
+    }
+
+    // -- cancellation -------------------------------------------------
+
+    #[test]
+    fn cancel_queued_job_drains_without_running() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 1, ..Default::default() },
+        );
+        let running = fleet.submit_binary(onemax_job(0, 16, 40));
+        let queued = fleet.submit_binary(onemax_job(1, 16, 40));
+        assert!(fleet.tick());
+        assert_eq!(fleet.status(&queued), JobStatus::Queued);
+        assert!(fleet.cancel(&queued), "queued job must be cancellable");
+        assert!(!fleet.cancel(&queued) || fleet.status(&queued) != JobStatus::Cancelled);
+        fleet.run_until_idle();
+        let report = fleet.report(&queued).expect("cancelled job still reports");
+        assert!(report.cancelled);
+        assert_eq!(report.outcome.iterations(), 0, "never left the queue");
+        assert_eq!(fleet.status(&queued), JobStatus::Cancelled);
+        assert_eq!(fleet.status(&running), JobStatus::Done);
+        let fr = fleet.fleet_report();
+        assert_eq!(fr.jobs_cancelled, 1);
+        assert_eq!(fr.jobs_completed, 1);
+        // A finished job cannot be cancelled.
+        assert!(!fleet.cancel(&running));
+    }
+
+    #[test]
+    fn cancel_running_job_drains_at_quantum_boundary() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 4, quantum_iters: Some(5), ..Default::default() },
+        );
+        // Two fused lanes; cancelling one mid-flight must not disturb
+        // the other.
+        let victim = fleet.submit_binary(onemax_job(0, 24, 50));
+        let survivor = fleet.submit_binary(onemax_job(1, 24, 50));
+        for _ in 0..3 {
+            fleet.tick();
+        }
+        assert_eq!(fleet.status(&victim), JobStatus::Running);
+        assert!(fleet.cancel(&victim));
+        fleet.run_until_idle();
+        let vr = fleet.report(&victim).unwrap();
+        assert!(vr.cancelled);
+        let iters = vr.outcome.iterations();
+        assert!(iters > 0 && iters < 50, "drained mid-run, got {iters} iterations");
+        let sr = fleet.report(&survivor).unwrap();
+        assert!(!sr.cancelled);
+        assert_eq!(sr.outcome.as_binary().unwrap().best, solo_result(1, 24, 50).best);
+    }
+
+    // -- persistence --------------------------------------------------
+
+    #[test]
+    fn checkpoint_resume_is_deterministic_with_preemption() {
+        let build = || {
+            let mut fleet = Scheduler::with_uniform_fleet(
+                2,
+                DeviceSpec::gtx280(),
+                SchedulerConfig { max_batch: 2, quantum_iters: Some(4), ..Default::default() },
+            );
+            for i in 0..5 {
+                fleet.submit_binary(onemax_job(i, 24, 25));
+            }
+            fleet
+        };
+        let mut straight = build();
+        straight.run_until_idle();
+
+        let mut fleet = build();
+        for _ in 0..3 {
+            fleet.tick();
+        }
+        let checkpoint = fleet.checkpoint();
+        assert!(checkpoint.in_flight_jobs() > 0, "jobs must be captured mid-slice");
+        drop(fleet);
+        let mut resumed = Scheduler::restore(checkpoint);
+        resumed.run_until_idle();
+
+        let a = straight.fleet_report();
+        let b = resumed.fleet_report();
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert!((a.makespan_s - b.makespan_s).abs() < 1e-12);
+        for (ra, rb) in straight.reports().zip(resumed.reports()) {
+            let (ra, rb) = (ra.outcome.as_binary().unwrap(), rb.outcome.as_binary().unwrap());
+            assert_eq!(ra.best, rb.best);
+            assert_eq!(ra.iterations, rb.iterations);
+        }
+    }
+
+    #[test]
+    fn checkpoint_survives_disk_roundtrip() {
+        let build = || {
+            let mut fleet = Scheduler::new(
+                MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
+                SchedulerConfig {
+                    cpu_workers: 1,
+                    max_batch: 2,
+                    quantum_iters: Some(5),
+                    ..Default::default()
+                },
+            );
+            for i in 0..4 {
+                fleet.submit_binary(onemax_job(i, 24, 30));
+            }
+            fleet.submit_qap(qap_spec(7, 10, 60));
+            fleet
+        };
+        let mut straight = build();
+        straight.run_until_idle();
+
+        let mut fleet = build();
+        for _ in 0..4 {
+            fleet.tick();
+        }
+        let checkpoint = fleet.checkpoint();
+        assert!(checkpoint.pending_jobs() > 0);
+        let path =
+            std::env::temp_dir().join(format!("lnls-fleet-roundtrip-{}.ckpt", std::process::id()));
+        checkpoint.save(&path).expect("save");
+        drop(fleet);
+        drop(checkpoint);
+
+        let registry = JobRegistry::with_builtin();
+        let revived = FleetCheckpoint::load(&path, &registry).expect("load");
+        std::fs::remove_file(&path).ok();
+        let mut resumed = Scheduler::restore(revived);
+        resumed.run_until_idle();
+
+        // Search outcomes are bit-identical to the uninterrupted fleet.
+        // (Makespan may differ slightly: a revived QAP job re-uploads
+        // its instance matrices, exactly as a real restart would.)
+        for (ra, rb) in straight.reports().zip(resumed.reports()) {
+            assert_eq!(ra.id, rb.id);
+            assert_eq!(ra.outcome.best_fitness(), rb.outcome.best_fitness(), "{}", ra.name);
+            assert_eq!(ra.outcome.iterations(), rb.outcome.iterations(), "{}", ra.name);
+        }
+    }
+
+    #[test]
+    fn checkpoint_load_rejects_unregistered_tags() {
+        let mut fleet =
+            Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
+        fleet.submit_binary(onemax_job(0, 16, 10));
+        let bytes = fleet.checkpoint().to_bytes();
+        let empty = JobRegistry::new(); // knows QAP only
+        let err = match FleetCheckpoint::from_bytes(&bytes, &empty) {
+            Err(e) => e,
+            Ok(_) => panic!("decode must fail without the tabu tag registered"),
+        };
+        assert!(err.to_string().contains("unregistered"), "{err}");
+        // And corrupt magic is refused outright.
+        assert!(FleetCheckpoint::from_bytes(b"garbage!", &empty).is_err());
     }
 }

@@ -1,0 +1,332 @@
+//! Disk persistence for [`FleetCheckpoint`]: a hand-rolled byte format
+//! (no serde in the offline environment) so fleets survive process
+//! restarts.
+//!
+//! ## Format
+//!
+//! An 8-byte magic (`LNLSFLT` + version), then the scheduler state in
+//! field order through the [`lnls_core::persist`] codec. Jobs are
+//! type-erased in memory, so each one is written as a **tag** (its
+//! [`PersistTag`]-derived registry key) plus a length-prefixed payload;
+//! loading looks the tag up in a [`JobRegistry`] to find the concrete
+//! decoder. The registry is explicit because Rust cannot conjure a
+//! monomorphized `BinaryTabuJob<P, N>` from bytes alone — the host
+//! process must say which `(problem, neighborhood)` pairs it was built
+//! with, exactly like it had to in order to submit them.
+//!
+//! [`JobRegistry::with_builtin`] pre-registers every combination the
+//! workspace ships (QAP robust tabu, OneMax and PPP over the bundled
+//! neighborhoods); custom problems add themselves with
+//! [`JobRegistry::register_tabu`].
+
+use crate::exec::{read_qap_job, read_tabu_job, tabu_tag, JobExec, QAP_TAG};
+use crate::job::{JobId, JobOutcome, JobReport};
+use crate::scheduler::{ActiveJob, ActiveSnapshot, FleetCheckpoint, JobMeta, QueueEntry};
+use crate::{PlacePolicy, SchedulerConfig};
+use lnls_core::persist::{Persist, PersistError, PersistTag, Reader};
+use lnls_core::IncrementalEval;
+use lnls_neighborhood::{KHamming, Neighborhood, OneHamming, ThreeHamming, TwoHamming};
+use lnls_ppp::Ppp;
+use lnls_problems::OneMax;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LNLSFLT\x01";
+
+type Loader = fn(&mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>;
+
+/// Maps persisted job tags back to concrete decoders (see the
+/// [module docs](self)).
+pub struct JobRegistry {
+    loaders: BTreeMap<String, Loader>,
+}
+
+impl JobRegistry {
+    /// An empty registry that can only decode QAP jobs (they are fully
+    /// concrete; no type parameters to resolve).
+    pub fn new() -> Self {
+        let mut loaders: BTreeMap<String, Loader> = BTreeMap::new();
+        loaders.insert(QAP_TAG.to_string(), read_qap_job);
+        Self { loaders }
+    }
+
+    /// A registry pre-loaded with every job type the workspace bundles.
+    pub fn with_builtin() -> Self {
+        let mut reg = Self::new();
+        reg.register_tabu::<OneMax, OneHamming>();
+        reg.register_tabu::<OneMax, TwoHamming>();
+        reg.register_tabu::<OneMax, ThreeHamming>();
+        reg.register_tabu::<OneMax, KHamming>();
+        reg.register_tabu::<Ppp, TwoHamming>();
+        reg.register_tabu::<Ppp, KHamming>();
+        reg
+    }
+
+    /// Register the binary tabu job type over `(P, N)`. Idempotent.
+    pub fn register_tabu<P, N>(&mut self)
+    where
+        P: IncrementalEval + Persist + PersistTag + 'static,
+        N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
+    {
+        self.loaders.insert(tabu_tag::<P, N>(), read_tabu_job::<P, N>);
+    }
+
+    fn decode_job(&self, r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+        let tag: String = r.read()?;
+        let payload: Vec<u8> = r.read()?;
+        let loader = self
+            .loaders
+            .get(&tag)
+            .ok_or_else(|| PersistError::new(format!("unregistered job tag '{tag}'")))?;
+        let mut pr = Reader::new(&payload);
+        let job = loader(&mut pr)?;
+        if pr.remaining() != 0 {
+            return Err(PersistError::new(format!(
+                "job '{tag}' payload has {} trailing bytes",
+                pr.remaining()
+            )));
+        }
+        Ok(job)
+    }
+}
+
+impl Default for JobRegistry {
+    fn default() -> Self {
+        Self::with_builtin()
+    }
+}
+
+fn encode_job(job: &dyn JobExec, out: &mut Vec<u8>) {
+    job.persist_tag().write(out);
+    let mut payload = Vec::new();
+    job.persist(&mut payload);
+    payload.write(out);
+}
+
+fn write_cfg(cfg: &SchedulerConfig, out: &mut Vec<u8>) {
+    let policy: u8 = match cfg.policy {
+        PlacePolicy::RoundRobin => 0,
+        PlacePolicy::LeastLoaded => 1,
+    };
+    policy.write(out);
+    cfg.cpu_workers.write(out);
+    cfg.max_batch.write(out);
+    cfg.host.write(out);
+    cfg.quantum_iters.write(out);
+}
+
+fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
+    let policy = match u8::read(r)? {
+        0 => PlacePolicy::RoundRobin,
+        1 => PlacePolicy::LeastLoaded,
+        b => return Err(PersistError::new(format!("bad placement policy {b}"))),
+    };
+    Ok(SchedulerConfig {
+        policy,
+        cpu_workers: r.read()?,
+        max_batch: r.read()?,
+        host: r.read()?,
+        quantum_iters: r.read()?,
+    })
+}
+
+fn write_report(report: &JobReport, out: &mut Vec<u8>) {
+    report.id.0.write(out);
+    report.name.write(out);
+    report.backend.write(out);
+    report.submitted_s.write(out);
+    report.started_s.write(out);
+    report.finished_s.write(out);
+    report.fused_iterations.write(out);
+    report.cancelled.write(out);
+    match &report.outcome {
+        JobOutcome::Binary(res) => {
+            0u8.write(out);
+            res.write(out);
+        }
+        JobOutcome::Qap(res) => {
+            1u8.write(out);
+            res.write(out);
+        }
+    }
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<JobReport, PersistError> {
+    Ok(JobReport {
+        id: JobId(r.read::<u64>()?),
+        name: r.read()?,
+        backend: r.read()?,
+        submitted_s: r.read()?,
+        started_s: r.read()?,
+        finished_s: r.read()?,
+        fused_iterations: r.read()?,
+        cancelled: r.read()?,
+        outcome: match u8::read(r)? {
+            0 => JobOutcome::Binary(r.read()?),
+            1 => JobOutcome::Qap(r.read()?),
+            b => return Err(PersistError::new(format!("bad outcome tag {b}"))),
+        },
+    })
+}
+
+impl FleetCheckpoint {
+    /// Encode the whole snapshot into bytes (see the [module docs](self)
+    /// for the format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_cfg(&self.cfg, &mut out);
+        self.specs.write(&mut out);
+        self.device_books.write(&mut out);
+        self.queue.len().write(&mut out);
+        for entry in &self.queue {
+            entry.deficit.write(&mut out);
+            encode_job(&*entry.job, &mut out);
+        }
+        self.active.len().write(&mut out);
+        for slot in &self.active {
+            match slot {
+                None => 0u8.write(&mut out),
+                Some(a) => {
+                    1u8.write(&mut out);
+                    a.started_s.write(&mut out);
+                    a.slice_budget.write(&mut out);
+                    a.slice_used.write(&mut out);
+                    a.jobs.len().write(&mut out);
+                    for aj in &a.jobs {
+                        aj.deficit.write(&mut out);
+                        encode_job(&*aj.job, &mut out);
+                    }
+                }
+            }
+        }
+        self.clocks.write(&mut out);
+        self.rr_next.write(&mut out);
+        self.next_id.write(&mut out);
+        self.next_seq.write(&mut out);
+        self.done.len().write(&mut out);
+        for report in self.done.values() {
+            write_report(report, &mut out);
+        }
+        self.meta.len().write(&mut out);
+        for (id, m) in &self.meta {
+            id.0.write(&mut out);
+            m.submitted_s.write(&mut out);
+            m.first_started_s.write(&mut out);
+        }
+        let cancels: Vec<u64> = self.cancel_requested.iter().map(|id| id.0).collect();
+        cancels.write(&mut out);
+        self.serialized_s.write(&mut out);
+        self.fused_launches.write(&mut out);
+        self.launches_saved.write(&mut out);
+        self.preemptions.write(&mut out);
+        out
+    }
+
+    /// Decode a snapshot produced by [`to_bytes`](Self::to_bytes),
+    /// resolving job tags through `registry`.
+    pub fn from_bytes(bytes: &[u8], registry: &JobRegistry) -> Result<Self, PersistError> {
+        let mut r = Reader::new(bytes);
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(PersistError::new("not a fleet checkpoint (bad magic)"));
+        }
+        let cfg = read_cfg(&mut r)?;
+        let specs: Vec<_> = r.read()?;
+        let device_books: Vec<_> = r.read()?;
+        let queue_len: usize = r.read()?;
+        let mut queue = Vec::with_capacity(queue_len.min(1024));
+        for _ in 0..queue_len {
+            let deficit: u64 = r.read()?;
+            let job = registry.decode_job(&mut r)?;
+            queue.push(QueueEntry { job, deficit });
+        }
+        let active_len: usize = r.read()?;
+        let mut active = Vec::with_capacity(active_len.min(1024));
+        for _ in 0..active_len {
+            active.push(match u8::read(&mut r)? {
+                0 => None,
+                1 => {
+                    let started_s: f64 = r.read()?;
+                    let slice_budget: u64 = r.read()?;
+                    let slice_used: u64 = r.read()?;
+                    let njobs: usize = r.read()?;
+                    let mut jobs = Vec::with_capacity(njobs.min(1024));
+                    for _ in 0..njobs {
+                        let deficit: u64 = r.read()?;
+                        let job = registry.decode_job(&mut r)?;
+                        jobs.push(ActiveJob { job, deficit });
+                    }
+                    Some(ActiveSnapshot { jobs, started_s, slice_budget, slice_used })
+                }
+                b => return Err(PersistError::new(format!("bad active-slot tag {b}"))),
+            });
+        }
+        let clocks: Vec<f64> = r.read()?;
+        let rr_next: usize = r.read()?;
+        let next_id: u64 = r.read()?;
+        let next_seq: u64 = r.read()?;
+        let done_len: usize = r.read()?;
+        let mut done = BTreeMap::new();
+        for _ in 0..done_len {
+            let report = read_report(&mut r)?;
+            done.insert(report.id, report);
+        }
+        let meta_len: usize = r.read()?;
+        let mut meta = BTreeMap::new();
+        for _ in 0..meta_len {
+            let id = JobId(r.read::<u64>()?);
+            meta.insert(id, JobMeta { submitted_s: r.read()?, first_started_s: r.read()? });
+        }
+        let cancels: Vec<u64> = r.read()?;
+        let cancel_requested: BTreeSet<JobId> = cancels.into_iter().map(JobId).collect();
+        let checkpoint = Self {
+            specs,
+            device_books,
+            cfg,
+            queue,
+            active,
+            clocks,
+            rr_next,
+            next_id,
+            next_seq,
+            done,
+            meta,
+            cancel_requested,
+            serialized_s: r.read()?,
+            fused_launches: r.read()?,
+            launches_saved: r.read()?,
+            preemptions: r.read()?,
+        };
+        if r.remaining() != 0 {
+            return Err(PersistError::new(format!(
+                "checkpoint has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        if checkpoint.clocks.len() != checkpoint.active.len()
+            || checkpoint.specs.len() != checkpoint.device_books.len()
+            || checkpoint.specs.len() + checkpoint.cfg.cpu_workers != checkpoint.active.len()
+        {
+            return Err(PersistError::new("inconsistent backend counts in checkpoint"));
+        }
+        Ok(checkpoint)
+    }
+
+    /// Write the snapshot to `path` (atomically enough for a checkpoint:
+    /// temp file + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a snapshot written by [`save`](Self::save), resolving job
+    /// tags through `registry`.
+    pub fn load(path: impl AsRef<Path>, registry: &JobRegistry) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes, registry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

@@ -3,11 +3,34 @@
 use lnls_gpu_sim::TimeBook;
 use std::fmt;
 
-/// Throughput and utilization summary of one scheduler run.
+/// One tenant's lifecycle inside a scheduler run (a completed or
+/// cancelled job). All times are modeled fleet seconds.
+#[derive(Clone, Debug)]
+pub struct TenantStat {
+    /// Submission name.
+    pub name: String,
+    /// When the job entered the queue.
+    pub submitted_s: f64,
+    /// When the job first left the queue (its first slice under
+    /// preemption).
+    pub started_s: f64,
+    /// When the job finished (or was drained by cancellation).
+    pub finished_s: f64,
+    /// Queue wait: `started_s − submitted_s`.
+    pub wait_s: f64,
+    /// Turnaround: `finished_s − submitted_s`.
+    pub turnaround_s: f64,
+    /// True when the job was cancelled rather than completed.
+    pub cancelled: bool,
+}
+
+/// Throughput, utilization and fairness summary of one scheduler run.
 #[derive(Clone, Debug)]
 pub struct FleetReport {
-    /// Jobs completed so far.
+    /// Jobs completed so far (cancelled jobs not included).
     pub jobs_completed: u64,
+    /// Jobs drained by cancellation.
+    pub jobs_cancelled: u64,
     /// Jobs still queued.
     pub jobs_queued: u64,
     /// Jobs currently placed on a backend.
@@ -31,6 +54,20 @@ pub struct FleetReport {
     pub fused_launches: u64,
     /// Launches saved versus one-launch-per-lane (the amortization win).
     pub launches_saved: u64,
+    /// Assignments preempted at a quantum boundary (0 when
+    /// `quantum_iters` is off).
+    pub preemptions: u64,
+    /// Worst queue wait over finished tenants — the headline fairness
+    /// number preemption exists to lower.
+    pub max_wait_s: f64,
+    /// Mean queue wait over finished tenants.
+    pub mean_wait_s: f64,
+    /// Worst turnaround over finished tenants.
+    pub max_turnaround_s: f64,
+    /// Mean turnaround over finished tenants.
+    pub mean_turnaround_s: f64,
+    /// Per-tenant lifecycle stats, in job-id order.
+    pub tenant_stats: Vec<TenantStat>,
     /// Sum of the device ledgers (kernels, overhead, transfers, and the
     /// counterfactual sequential-host column). CPU-worker execution time
     /// is reported separately in [`cpu_busy_s`](Self::cpu_busy_s) — it is
@@ -42,13 +79,22 @@ impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet: {} done / {} running / {} queued",
-            self.jobs_completed, self.jobs_running, self.jobs_queued
+            "fleet: {} done / {} cancelled / {} running / {} queued",
+            self.jobs_completed, self.jobs_cancelled, self.jobs_running, self.jobs_queued
         )?;
         writeln!(
             f,
             "makespan {:.6}s | serialized {:.6}s | speedup ×{:.2} | {:.1} jobs/s",
             self.makespan_s, self.serialized_s, self.speedup_vs_serial, self.jobs_per_sim_s
+        )?;
+        writeln!(
+            f,
+            "wait max {:.6}s mean {:.6}s | turnaround max {:.6}s mean {:.6}s | {} preemptions",
+            self.max_wait_s,
+            self.mean_wait_s,
+            self.max_turnaround_s,
+            self.mean_turnaround_s,
+            self.preemptions
         )?;
         for (i, (busy, util)) in self.device_busy_s.iter().zip(&self.device_utilization).enumerate()
         {

@@ -1,12 +1,15 @@
-//! The fleet scheduler: queue, placement, fused stepping, checkpointing.
+//! The fleet scheduler: queue, fair-share placement, quantum-preemptive
+//! fused stepping, cancellation, checkpointing.
 
-use crate::exec::{BatchKey, BinaryTabuJob, JobExec, QapJob};
+use crate::exec::{BatchKey, BinaryTabuJob, JobExec, QapJob, StepRun};
 use crate::job::{BinaryJob, JobHandle, JobId, JobReport, JobStatus, QapJobSpec};
-use crate::report::FleetReport;
+use crate::report::{FleetReport, TenantStat};
+use lnls_core::persist::{Persist, PersistTag};
 use lnls_core::IncrementalEval;
 use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, TimeBook};
 use lnls_neighborhood::Neighborhood;
-use std::collections::BTreeMap;
+use lnls_qap::RobustTabu;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How queued jobs are placed onto idle backends.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -31,6 +34,13 @@ pub struct SchedulerConfig {
     pub max_batch: usize,
     /// Host description for CPU-worker pricing.
     pub host: HostSpec,
+    /// Preemption quantum, in neighborhood iterations. `None` keeps the
+    /// legacy run-to-completion behavior; `Some(q)` makes every
+    /// assignment a *time slice*: after its slice a still-running job
+    /// returns to the queue and placement re-runs under deficit
+    /// round-robin, so no tenant monopolizes a backend. Preemption never
+    /// changes a job's result — only who waits how long.
+    pub quantum_iters: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -40,13 +50,39 @@ impl Default for SchedulerConfig {
             cpu_workers: 0,
             max_batch: 8,
             host: HostSpec::xeon_3ghz(),
+            quantum_iters: None,
         }
     }
 }
 
-struct Active {
-    jobs: Vec<Box<dyn JobExec>>,
-    started_s: f64,
+/// A queued job plus its deficit-round-robin credit (iterations of
+/// backend time it is owed; always 0 when preemption is off).
+pub(crate) struct QueueEntry {
+    pub job: Box<dyn JobExec>,
+    pub deficit: u64,
+}
+
+/// An in-flight job inside an assignment, with the credit it carried in.
+pub(crate) struct ActiveJob {
+    pub job: Box<dyn JobExec>,
+    pub deficit: u64,
+}
+
+pub(crate) struct Active {
+    pub jobs: Vec<ActiveJob>,
+    pub started_s: f64,
+    /// Iterations this assignment may run before preemption
+    /// (`u64::MAX` when preemption is off).
+    pub slice_budget: u64,
+    /// Iterations consumed since the slice began.
+    pub slice_used: u64,
+}
+
+/// Per-job lifecycle timestamps the reports are built from.
+#[derive(Clone, Debug)]
+pub(crate) struct JobMeta {
+    pub submitted_s: f64,
+    pub first_started_s: Option<f64>,
 }
 
 /// A batched multi-tenant search scheduler over a simulated device fleet.
@@ -63,25 +99,37 @@ struct Active {
 /// time; a device assignment may be a *fused group* of up to `max_batch`
 /// jobs sharing a batch key, whose per-iteration evaluations ride in one
 /// launch (see [`lnls_core::BatchedExplorer`]).
+///
+/// With [`SchedulerConfig::quantum_iters`] set, assignments are time
+/// slices: a job that exhausts its quantum is preempted back into the
+/// queue (cursor intact — every job is a
+/// [`SearchCursor`](lnls_core::SearchCursor)), and the queue is served
+/// by deficit round-robin weighted by `priority + 1`, so long QAP runs
+/// no longer starve short tenants. Results are invariant under any
+/// quantum; only waiting times change.
 pub struct Scheduler {
     devices: MultiDevice,
     cfg: SchedulerConfig,
-    queue: Vec<Box<dyn JobExec>>,
+    queue: Vec<QueueEntry>,
     active: Vec<Option<Active>>,
     clocks: Vec<f64>,
     rr_next: usize,
     next_id: u64,
     next_seq: u64,
     done: BTreeMap<JobId, JobReport>,
+    meta: BTreeMap<JobId, JobMeta>,
+    cancel_requested: BTreeSet<JobId>,
     serialized_s: f64,
     fused_launches: u64,
     launches_saved: u64,
+    preemptions: u64,
 }
 
 impl Scheduler {
     /// A scheduler owning `devices` with the given knobs.
     pub fn new(devices: MultiDevice, cfg: SchedulerConfig) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.quantum_iters != Some(0), "quantum_iters must be at least 1");
         let backends = devices.len() + cfg.cpu_workers;
         Self {
             devices,
@@ -93,9 +141,12 @@ impl Scheduler {
             next_id: 0,
             next_seq: 0,
             done: BTreeMap::new(),
+            meta: BTreeMap::new(),
+            cancel_requested: BTreeSet::new(),
             serialized_s: 0.0,
             fused_launches: 0,
             launches_saved: 0,
+            preemptions: 0,
         }
     }
 
@@ -109,10 +160,16 @@ impl Scheduler {
         &self.devices
     }
 
+    /// Current fleet time: the most advanced backend clock.
+    fn now_s(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
     fn enqueue(&mut self, job: Box<dyn JobExec>) -> JobHandle {
-        let handle = JobHandle { id: job.id() };
-        self.queue.push(job);
-        handle
+        let id = job.id();
+        self.meta.insert(id, JobMeta { submitted_s: self.now_s(), first_started_s: None });
+        self.queue.push(QueueEntry { job, deficit: 0 });
+        JobHandle { id }
     }
 
     fn fresh_ids(&mut self) -> (JobId, u64) {
@@ -124,10 +181,14 @@ impl Scheduler {
     }
 
     /// Submit a bit-string search job.
+    ///
+    /// `P` and `N` must be byte-persistable ([`Persist`] + [`PersistTag`])
+    /// so the whole fleet — in-flight cursors included — can survive a
+    /// process restart through [`FleetCheckpoint::save`].
     pub fn submit_binary<P, N>(&mut self, job: BinaryJob<P, N>) -> JobHandle
     where
-        P: IncrementalEval + 'static,
-        N: Neighborhood + Clone + Send + Sync + 'static,
+        P: IncrementalEval + Persist + PersistTag + 'static,
+        N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
     {
         let (id, seq) = self.fresh_ids();
         let host = self.cfg.host.clone();
@@ -137,33 +198,65 @@ impl Scheduler {
     /// Submit a QAP robust-tabu job.
     pub fn submit_qap(&mut self, job: QapJobSpec) -> JobHandle {
         let (id, seq) = self.fresh_ids();
+        let cursor = RobustTabu::new(job.config).cursor(&job.instance, job.init);
         self.enqueue(Box::new(QapJob {
             id,
             name: job.name,
             priority: job.priority,
             seq,
             instance: std::sync::Arc::new(job.instance),
-            config: job.config,
-            init: job.init,
-            result: None,
+            cursor,
             charged_s: 0.0,
+            book: TimeBook::default(),
+            host_iters: 0,
+            gpu: None,
+            table: None,
         }))
     }
 
     /// Where `handle`'s job currently is.
     pub fn status(&self, handle: &JobHandle) -> JobStatus {
-        if self.done.contains_key(&handle.id) {
-            return JobStatus::Done;
+        if let Some(report) = self.done.get(&handle.id) {
+            return if report.cancelled { JobStatus::Cancelled } else { JobStatus::Done };
         }
-        if self.queue.iter().any(|j| j.id() == handle.id) {
+        if self.queue.iter().any(|e| e.job.id() == handle.id) {
             return JobStatus::Queued;
         }
-        let running =
-            self.active.iter().flatten().flat_map(|a| a.jobs.iter()).any(|j| j.id() == handle.id);
+        let running = self
+            .active
+            .iter()
+            .flatten()
+            .flat_map(|a| a.jobs.iter())
+            .any(|a| a.job.id() == handle.id);
         if running {
             JobStatus::Running
         } else {
             JobStatus::Unknown
+        }
+    }
+
+    /// Request cancellation of `handle`'s job. The job is drained at the
+    /// next quantum boundary (the next [`tick`](Self::tick)): it leaves
+    /// the queue or its fused group, and its report — marked
+    /// [`cancelled`](JobReport::cancelled), with the best-so-far at the
+    /// boundary — lands in [`reports`](Self::reports). Returns `false`
+    /// for jobs already finished or unknown to this scheduler.
+    pub fn cancel(&mut self, handle: &JobHandle) -> bool {
+        if self.done.contains_key(&handle.id) {
+            return false;
+        }
+        let queued = self.queue.iter().any(|e| e.job.id() == handle.id);
+        let running = self
+            .active
+            .iter()
+            .flatten()
+            .flat_map(|a| a.jobs.iter())
+            .any(|a| a.job.id() == handle.id);
+        if queued || running {
+            self.cancel_requested.insert(handle.id);
+            true
+        } else {
+            false
         }
     }
 
@@ -198,10 +291,13 @@ impl Scheduler {
         while self.tick() {}
     }
 
-    /// Advance the fleet: place queued jobs on idle backends, then run
-    /// one step (one fused iteration, or one atomic job run) on every
-    /// busy backend. Returns `false` once the fleet is idle.
+    /// Advance the fleet one step: drain pending cancellations, place
+    /// queued jobs on idle backends, then run one quantum (one fused
+    /// iteration for a batched group, up to the slice budget for a solo
+    /// assignment) on every busy backend, preempting assignments whose
+    /// slice expired. Returns `false` once the fleet is idle.
     pub fn tick(&mut self) -> bool {
+        self.drain_cancelled();
         self.place();
         let mut progressed = false;
         for b in 0..self.active.len() {
@@ -210,18 +306,102 @@ impl Scheduler {
         progressed || !self.queue.is_empty()
     }
 
+    // -- completion ----------------------------------------------------
+
+    /// Retire one job into the done map, stamping lifecycle times from
+    /// its metadata. Backend clocks advance independently, so a job
+    /// submitted while another backend raced ahead can be placed on a
+    /// clock that still reads *earlier* than its submission instant; the
+    /// stamps are clamped monotone (submitted ≤ started ≤ finished) so
+    /// reports never show a job starting before it existed. A job that
+    /// never reached a backend (cancelled while queued) reports
+    /// `started_s == submitted_s`: it has no placement instant, and a
+    /// fabricated one would pollute the fairness aggregates preemption
+    /// is measured by.
+    fn complete(&mut self, mut job: Box<dyn JobExec>, backend: String, at_s: f64, cancelled: bool) {
+        let id = job.id();
+        let meta = self.meta.get(&id);
+        let submitted_s = meta.map_or(0.0, |m| m.submitted_s);
+        let started_s =
+            meta.and_then(|m| m.first_started_s).unwrap_or(submitted_s).max(submitted_s);
+        let mut report = job.finish(backend, started_s, at_s.max(started_s));
+        report.submitted_s = submitted_s;
+        report.cancelled = cancelled;
+        self.done.insert(id, report);
+    }
+
+    fn drain_cancelled(&mut self) {
+        if self.cancel_requested.is_empty() {
+            return;
+        }
+        let ids = std::mem::take(&mut self.cancel_requested);
+        let now = self.now_s();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if ids.contains(&self.queue[i].job.id()) {
+                let entry = self.queue.swap_remove(i);
+                self.serialized_s += entry.job.serial_equivalent_s(self.devices.spec(0));
+                self.complete(entry.job, "(cancelled while queued)".into(), now, true);
+            } else {
+                i += 1;
+            }
+        }
+        for b in 0..self.active.len() {
+            let Some(mut active) = self.active[b].take() else { continue };
+            let mut still = Vec::with_capacity(active.jobs.len());
+            for aj in active.jobs {
+                if ids.contains(&aj.job.id()) {
+                    self.serialized_s += aj.job.serial_equivalent_s(self.devices.spec(0));
+                    let name = self.backend_name(b);
+                    let at = self.clocks[b];
+                    self.complete(aj.job, name, at, true);
+                } else {
+                    still.push(aj);
+                }
+            }
+            if !still.is_empty() {
+                active.jobs = still;
+                self.active[b] = Some(active);
+            }
+        }
+    }
+
     // -- placement ----------------------------------------------------
 
     fn idle_backends(&self) -> Vec<usize> {
         (0..self.active.len()).filter(|&b| self.active[b].is_none()).collect()
     }
 
-    /// Index into `queue` of the next job by (priority desc, seq asc).
-    fn next_job_index(&self) -> Option<usize> {
-        (0..self.queue.len()).min_by_key(|&i| {
-            let j = &self.queue[i];
-            (std::cmp::Reverse(j.priority()), j.seq())
-        })
+    /// Index into `queue` of the next lead job.
+    ///
+    /// Run-to-completion mode keeps the legacy strict order (priority
+    /// desc, submission asc). Preemptive mode is deficit round-robin:
+    /// every job carries a credit of backend iterations; when all
+    /// credits are spent a new round tops every queued job up by
+    /// `quantum · (priority + 1)`, and the richest job runs next. Higher
+    /// priority thus buys a proportionally *larger share* of the fleet
+    /// instead of absolute precedence, and nobody starves.
+    fn next_job_index(&mut self) -> Option<usize> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        match self.cfg.quantum_iters {
+            None => (0..self.queue.len()).min_by_key(|&i| {
+                let j = &self.queue[i].job;
+                (std::cmp::Reverse(j.priority()), j.seq())
+            }),
+            Some(q) => {
+                if self.queue.iter().all(|e| e.deficit == 0) {
+                    for e in &mut self.queue {
+                        e.deficit += q * (e.job.priority() as u64 + 1);
+                    }
+                }
+                (0..self.queue.len()).max_by_key(|&i| {
+                    let e = &self.queue[i];
+                    (e.deficit, e.job.priority(), std::cmp::Reverse(e.job.seq()))
+                })
+            }
+        }
     }
 
     fn place(&mut self) {
@@ -249,18 +429,22 @@ impl Scheduler {
             };
             let lead_idx = self.next_job_index().expect("queue is non-empty");
             let lead = self.queue.swap_remove(lead_idx);
-            let mut jobs = vec![lead];
+            let slice_budget = match self.cfg.quantum_iters {
+                None => u64::MAX,
+                Some(q) => lead.deficit.max(q),
+            };
+            let mut jobs = vec![ActiveJob { job: lead.job, deficit: lead.deficit }];
             // Launch batching: device backends co-schedule same-key jobs.
             // Fusing only amortizes overhead and transfer latency (kernel
             // seconds still add up), so parallel devices beat wider
             // batches: cap the group so the key's jobs spread over every
             // idle device instead of piling onto this one.
             if backend < self.devices.len() && self.cfg.max_batch > 1 {
-                if let Some(key) = jobs[0].batch_key() {
+                if let Some(key) = jobs[0].job.batch_key() {
                     let same_key = 1 + self
                         .queue
                         .iter()
-                        .filter(|j| j.batch_key().as_ref() == Some(&key))
+                        .filter(|e| e.job.batch_key().as_ref() == Some(&key))
                         .count();
                     let idle_devices = (0..self.devices.len())
                         .filter(|&b| self.active[b].is_none())
@@ -270,20 +454,29 @@ impl Scheduler {
                     self.drain_batch_peers(&key, &mut jobs, cap);
                 }
             }
-            self.active[backend] = Some(Active { jobs, started_s: self.clocks[backend] });
+            for aj in &jobs {
+                if let Some(m) = self.meta.get_mut(&aj.job.id()) {
+                    m.first_started_s.get_or_insert(self.clocks[backend]);
+                }
+            }
+            self.active[backend] =
+                Some(Active { jobs, started_s: self.clocks[backend], slice_budget, slice_used: 0 });
         }
     }
 
-    fn drain_batch_peers(&mut self, key: &BatchKey, jobs: &mut Vec<Box<dyn JobExec>>, cap: usize) {
+    fn drain_batch_peers(&mut self, key: &BatchKey, jobs: &mut Vec<ActiveJob>, cap: usize) {
         while jobs.len() < cap {
             let peer = (0..self.queue.len())
-                .filter(|&i| self.queue[i].batch_key().as_ref() == Some(key))
+                .filter(|&i| self.queue[i].job.batch_key().as_ref() == Some(key))
                 .min_by_key(|&i| {
-                    let j = &self.queue[i];
+                    let j = &self.queue[i].job;
                     (std::cmp::Reverse(j.priority()), j.seq())
                 });
             match peer {
-                Some(i) => jobs.push(self.queue.swap_remove(i)),
+                Some(i) => {
+                    let entry = self.queue.swap_remove(i);
+                    jobs.push(ActiveJob { job: entry.job, deficit: entry.deficit });
+                }
                 None => return,
             }
         }
@@ -296,38 +489,69 @@ impl Scheduler {
             return false;
         };
         let is_device = b < self.devices.len();
-        let seconds = if is_device {
-            let dev = self.devices.device_mut(b);
-            if active.jobs.len() > 1 {
-                let (lead, peers) = active.jobs.split_at_mut(1);
-                let mut peer_refs: Vec<&mut Box<dyn JobExec>> = peers.iter_mut().collect();
-                let lanes = peer_refs.len() as u64 + 1;
-                let s = lead[0].step_batch(&mut peer_refs, dev);
-                self.fused_launches += 1;
-                self.launches_saved += lanes - 1;
-                s
-            } else {
-                active.jobs[0].step_device(dev)
-            }
+        // Preemptive assignments may burn their whole remaining slice in
+        // one call; without a quantum the legacy contract holds — one
+        // iteration per tick — so solo jobs stay observable (status,
+        // mid-run checkpoint, cancellation) between iterations.
+        let quota = if self.cfg.quantum_iters.is_some() {
+            active.slice_budget.saturating_sub(active.slice_used).max(1)
         } else {
-            active.jobs[0].step_host(&self.cfg.host)
+            1
         };
-        self.clocks[b] += seconds;
+        let run = if active.jobs.len() > 1 {
+            // Fused groups step one iteration per tick so members retire
+            // (and re-batch) at iteration granularity.
+            let dev = self.devices.device_mut(b);
+            let (lead, peers) = active.jobs.split_at_mut(1);
+            let mut peer_refs: Vec<&mut Box<dyn JobExec>> =
+                peers.iter_mut().map(|a| &mut a.job).collect();
+            let lanes = peer_refs.len() as u64 + 1;
+            let seconds = lead[0].job.step_batch(&mut peer_refs, dev);
+            self.fused_launches += 1;
+            self.launches_saved += lanes - 1;
+            StepRun { iters: 1, seconds }
+        } else if is_device {
+            active.jobs[0].job.step_device(self.devices.device_mut(b), quota)
+        } else {
+            active.jobs[0].job.step_host(&self.cfg.host, quota)
+        };
+        self.clocks[b] += run.seconds;
+        active.slice_used += run.iters;
 
         // Retire finished members; survivors keep running as a (smaller)
-        // group on this backend.
-        let mut still: Vec<Box<dyn JobExec>> = Vec::with_capacity(active.jobs.len());
-        for mut job in active.jobs {
-            if job.done() {
-                self.serialized_s += job.serial_equivalent_s(self.devices.spec(0));
-                let report = job.finish(self.backend_name(b), active.started_s, self.clocks[b]);
-                self.done.insert(report.id, report);
+        // group on this backend, or are preempted at the slice boundary.
+        let mut still: Vec<ActiveJob> = Vec::with_capacity(active.jobs.len());
+        for aj in active.jobs {
+            if aj.job.done() {
+                self.serialized_s += aj.job.serial_equivalent_s(self.devices.spec(0));
+                let name = self.backend_name(b);
+                let at = self.clocks[b];
+                self.complete(aj.job, name, at, false);
             } else {
-                still.push(job);
+                still.push(aj);
             }
         }
         if !still.is_empty() {
-            self.active[b] = Some(Active { jobs: still, started_s: active.started_s });
+            let slice_over = active.slice_used >= active.slice_budget;
+            if self.cfg.quantum_iters.is_some() && slice_over && !self.queue.is_empty() {
+                // Preempt: spend each survivor's credit and send it back
+                // through the fair-share queue.
+                self.preemptions += 1;
+                for mut aj in still {
+                    aj.job.unplaced();
+                    let deficit = aj.deficit.saturating_sub(active.slice_used);
+                    self.queue.push(QueueEntry { job: aj.job, deficit });
+                }
+            } else {
+                if slice_over {
+                    // Nobody is waiting: refresh the slice in place
+                    // rather than churning through the queue.
+                    active.slice_used = 0;
+                    active.slice_budget = self.cfg.quantum_iters.unwrap_or(u64::MAX);
+                }
+                active.jobs = still;
+                self.active[b] = Some(active);
+            }
         }
         true
     }
@@ -342,7 +566,7 @@ impl Scheduler {
 
     // -- reporting ----------------------------------------------------
 
-    /// Fleet-level throughput and utilization summary.
+    /// Fleet-level throughput, utilization and fairness summary.
     pub fn fleet_report(&self) -> FleetReport {
         let d = self.devices.len();
         let makespan_s = self.clocks.iter().copied().fold(0.0, f64::max);
@@ -353,10 +577,30 @@ impl Scheduler {
             .map(|&busy| if makespan_s > 0.0 { busy / makespan_s } else { 0.0 })
             .collect();
         let fleet_book = self.devices.books_sum();
-        let jobs_completed = self.done.len() as u64;
+        let tenant_stats: Vec<TenantStat> = self
+            .done
+            .values()
+            .map(|r| TenantStat {
+                name: r.name.clone(),
+                submitted_s: r.submitted_s,
+                started_s: r.started_s,
+                finished_s: r.finished_s,
+                wait_s: r.wait_s(),
+                turnaround_s: r.turnaround_s(),
+                cancelled: r.cancelled,
+            })
+            .collect();
+        let max_wait_s = tenant_stats.iter().map(|t| t.wait_s).fold(0.0, f64::max);
+        let max_turnaround_s = tenant_stats.iter().map(|t| t.turnaround_s).fold(0.0, f64::max);
+        let count = tenant_stats.len().max(1) as f64;
+        let mean_wait_s = tenant_stats.iter().map(|t| t.wait_s).sum::<f64>() / count;
+        let mean_turnaround_s = tenant_stats.iter().map(|t| t.turnaround_s).sum::<f64>() / count;
+        let jobs_cancelled = tenant_stats.iter().filter(|t| t.cancelled).count() as u64;
+        let jobs_completed = self.done.len() as u64 - jobs_cancelled;
         let jobs_running = self.active.iter().flatten().map(|a| a.jobs.len() as u64).sum();
         FleetReport {
             jobs_completed,
+            jobs_cancelled,
             jobs_queued: self.queue.len() as u64,
             jobs_running,
             makespan_s,
@@ -368,16 +612,23 @@ impl Scheduler {
             jobs_per_sim_s: if makespan_s > 0.0 { jobs_completed as f64 / makespan_s } else { 0.0 },
             fused_launches: self.fused_launches,
             launches_saved: self.launches_saved,
+            preemptions: self.preemptions,
+            max_wait_s,
+            mean_wait_s,
+            max_turnaround_s,
+            mean_turnaround_s,
+            tenant_stats,
             fleet_book,
         }
     }
 
     // -- checkpoint / resume ------------------------------------------
 
-    /// Snapshot the whole fleet: queued jobs, in-flight cursors (mid
-    /// search), clocks, ledgers and completed reports. The snapshot is
-    /// independent of the live scheduler; [`Scheduler::restore`] rebuilds
-    /// an equivalent scheduler that continues deterministically.
+    /// Snapshot the whole fleet: queued jobs (with their fair-share
+    /// credits), in-flight cursors (mid search, mid slice), clocks,
+    /// ledgers, lifecycle metadata and completed reports. The snapshot
+    /// is independent of the live scheduler; [`Scheduler::restore`]
+    /// rebuilds an equivalent scheduler that continues deterministically.
     pub fn checkpoint(&self) -> FleetCheckpoint {
         FleetCheckpoint {
             specs: (0..self.devices.len()).map(|i| self.devices.spec(i).clone()).collect(),
@@ -385,14 +636,24 @@ impl Scheduler {
                 .map(|i| self.devices.device(i).book().clone())
                 .collect(),
             cfg: self.cfg.clone(),
-            queue: self.queue.iter().map(|j| j.clone_box()).collect(),
+            queue: self
+                .queue
+                .iter()
+                .map(|e| QueueEntry { job: e.job.clone_box(), deficit: e.deficit })
+                .collect(),
             active: self
                 .active
                 .iter()
                 .map(|slot| {
                     slot.as_ref().map(|a| ActiveSnapshot {
-                        jobs: a.jobs.iter().map(|j| j.clone_box()).collect(),
+                        jobs: a
+                            .jobs
+                            .iter()
+                            .map(|aj| ActiveJob { job: aj.job.clone_box(), deficit: aj.deficit })
+                            .collect(),
                         started_s: a.started_s,
+                        slice_budget: a.slice_budget,
+                        slice_used: a.slice_used,
                     })
                 })
                 .collect(),
@@ -401,9 +662,12 @@ impl Scheduler {
             next_id: self.next_id,
             next_seq: self.next_seq,
             done: self.done.clone(),
+            meta: self.meta.clone(),
+            cancel_requested: self.cancel_requested.clone(),
             serialized_s: self.serialized_s,
             fused_launches: self.fused_launches,
             launches_saved: self.launches_saved,
+            preemptions: self.preemptions,
         }
     }
 
@@ -421,23 +685,35 @@ impl Scheduler {
             active: checkpoint
                 .active
                 .into_iter()
-                .map(|slot| slot.map(|a| Active { jobs: a.jobs, started_s: a.started_s }))
+                .map(|slot| {
+                    slot.map(|a| Active {
+                        jobs: a.jobs,
+                        started_s: a.started_s,
+                        slice_budget: a.slice_budget,
+                        slice_used: a.slice_used,
+                    })
+                })
                 .collect(),
             clocks: checkpoint.clocks,
             rr_next: checkpoint.rr_next,
             next_id: checkpoint.next_id,
             next_seq: checkpoint.next_seq,
             done: checkpoint.done,
+            meta: checkpoint.meta,
+            cancel_requested: checkpoint.cancel_requested,
             serialized_s: checkpoint.serialized_s,
             fused_launches: checkpoint.fused_launches,
             launches_saved: checkpoint.launches_saved,
+            preemptions: checkpoint.preemptions,
         }
     }
 }
 
-struct ActiveSnapshot {
-    jobs: Vec<Box<dyn JobExec>>,
-    started_s: f64,
+pub(crate) struct ActiveSnapshot {
+    pub jobs: Vec<ActiveJob>,
+    pub started_s: f64,
+    pub slice_budget: u64,
+    pub slice_used: u64,
 }
 
 /// A self-contained fleet snapshot (see [`Scheduler::checkpoint`]).
@@ -445,27 +721,32 @@ struct ActiveSnapshot {
 /// Held in memory; queued *and in-flight* jobs are deep-copied, including
 /// mid-search cursor state, so a restored scheduler continues
 /// deterministically and produces the same results the original would
-/// have.
+/// have. [`save`](Self::save) / [`load`](Self::load) round-trip the
+/// snapshot through a hand-rolled byte format so fleets survive process
+/// restarts (see the `persist` module docs for the format).
 pub struct FleetCheckpoint {
-    specs: Vec<DeviceSpec>,
-    device_books: Vec<TimeBook>,
-    cfg: SchedulerConfig,
-    queue: Vec<Box<dyn JobExec>>,
-    active: Vec<Option<ActiveSnapshot>>,
-    clocks: Vec<f64>,
-    rr_next: usize,
-    next_id: u64,
-    next_seq: u64,
-    done: BTreeMap<JobId, JobReport>,
-    serialized_s: f64,
-    fused_launches: u64,
-    launches_saved: u64,
+    pub(crate) specs: Vec<DeviceSpec>,
+    pub(crate) device_books: Vec<TimeBook>,
+    pub(crate) cfg: SchedulerConfig,
+    pub(crate) queue: Vec<QueueEntry>,
+    pub(crate) active: Vec<Option<ActiveSnapshot>>,
+    pub(crate) clocks: Vec<f64>,
+    pub(crate) rr_next: usize,
+    pub(crate) next_id: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) done: BTreeMap<JobId, JobReport>,
+    pub(crate) meta: BTreeMap<JobId, JobMeta>,
+    pub(crate) cancel_requested: BTreeSet<JobId>,
+    pub(crate) serialized_s: f64,
+    pub(crate) fused_launches: u64,
+    pub(crate) launches_saved: u64,
+    pub(crate) preemptions: u64,
 }
 
 impl FleetCheckpoint {
     /// Jobs captured while queued or in flight (not yet completed).
     pub fn pending_jobs(&self) -> usize {
-        self.queue.len() + self.active.iter().flatten().map(|a| a.jobs.len()).sum::<usize>()
+        self.queue.len() + self.in_flight_jobs()
     }
 
     /// Jobs captured mid-run (cursor state preserved).

@@ -2,11 +2,13 @@
 //! cryptanalysis tries, OneMax bulk jobs, QAP assignments — submitted to
 //! a scheduler owning a simulated multi-GPU fleet plus CPU workers.
 //! Shows placement policies, launch batching (fused per-iteration
-//! kernels across tenants), checkpoint/resume mid-flight, and the fleet
-//! throughput report.
+//! kernels across tenants), quantum-preemptive fair-share scheduling,
+//! job cancellation, checkpoint/resume mid-flight (in memory and through
+//! a disk snapshot), and the fleet throughput report.
 //!
 //! ```text
 //! cargo run --release --example fleet_service
+//! LNLS_QUANTUM=8 cargo run --release --example fleet_service   # pick the slice
 //! ```
 
 use lnls::core::{BitString, SearchConfig, TabuSearch};
@@ -53,7 +55,8 @@ fn submit_tenants(fleet: &mut Scheduler) -> Vec<JobHandle> {
         )));
     }
 
-    // Tenant C: QAP assignments (atomic robust-tabu runs).
+    // Tenant C: QAP assignments — long robust-tabu runs, now steppable
+    // cursors that preempt and checkpoint mid-run like everyone else.
     for t in 0..2u64 {
         let mut rng = StdRng::seed_from_u64(200 + t);
         let inst = QapInstance::random_uniform(&mut rng, 12);
@@ -69,32 +72,85 @@ fn submit_tenants(fleet: &mut Scheduler) -> Vec<JobHandle> {
 }
 
 fn main() {
+    let quantum: u64 = std::env::var("LNLS_QUANTUM").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
     println!("=== lnls fleet service: 16 jobs, 2×GTX 280 + 2 CPU workers ===\n");
 
-    for (label, policy, max_batch) in [
-        ("round-robin, batching off", PlacePolicy::RoundRobin, 1),
-        ("round-robin, batching on ", PlacePolicy::RoundRobin, 4),
-        ("least-loaded, batching on ", PlacePolicy::LeastLoaded, 4),
+    for (label, policy, max_batch, quantum_iters) in [
+        ("round-robin, batching off          ", PlacePolicy::RoundRobin, 1, None),
+        ("round-robin, batching on           ", PlacePolicy::RoundRobin, 4, None),
+        ("least-loaded, batching on          ", PlacePolicy::LeastLoaded, 4, None),
+        ("least-loaded, batching + preemption", PlacePolicy::LeastLoaded, 4, Some(quantum)),
     ] {
         let mut fleet = Scheduler::new(
             MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
-            SchedulerConfig { policy, max_batch, cpu_workers: 2, ..Default::default() },
+            SchedulerConfig {
+                policy,
+                max_batch,
+                cpu_workers: 2,
+                quantum_iters,
+                ..Default::default()
+            },
         );
         submit_tenants(&mut fleet);
         fleet.run_until_idle();
         let r = fleet.fleet_report();
         println!(
-            "{label}: makespan {:>9.4}s  speedup ×{:>5.2}  fused {:>3}  saved {:>3}",
-            r.makespan_s, r.speedup_vs_serial, r.fused_launches, r.launches_saved
+            "{label}: makespan {:>9.4}s  speedup ×{:>5.2}  fused {:>3}  max-wait {:>9.6}s  preempt {:>3}",
+            r.makespan_s, r.speedup_vs_serial, r.fused_launches, r.max_wait_s, r.preemptions
         );
     }
 
-    // Checkpoint/resume: stop a fleet mid-flight, snapshot, continue in
-    // a fresh scheduler.
-    println!("\n--- checkpoint/resume ---");
+    // Fairness: the same tenants, one device, with and without slicing.
+    // The long QAP runs monopolize the device unless preempted; results
+    // are bit-identical either way.
+    println!("\n--- fair-share time slicing (1 device, quantum = {quantum} iterations) ---");
+    let run_one_device = |quantum_iters| {
+        let mut fleet = Scheduler::new(
+            MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+            SchedulerConfig { quantum_iters, ..Default::default() },
+        );
+        submit_tenants(&mut fleet);
+        fleet.run_until_idle();
+        fleet.fleet_report()
+    };
+    let plain = run_one_device(None);
+    let sliced = run_one_device(Some(quantum));
+    println!(
+        "run-to-completion: max wait {:>9.6}s  mean wait {:>9.6}s",
+        plain.max_wait_s, plain.mean_wait_s
+    );
+    println!(
+        "preemptive       : max wait {:>9.6}s  mean wait {:>9.6}s  ({} preemptions)",
+        sliced.max_wait_s, sliced.mean_wait_s, sliced.preemptions
+    );
+
+    // Cancellation: drain a tenant at the next quantum boundary.
+    println!("\n--- cancellation ---");
     let mut fleet = Scheduler::new(
         MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
-        SchedulerConfig { cpu_workers: 2, ..Default::default() },
+        SchedulerConfig { cpu_workers: 2, quantum_iters: Some(quantum), ..Default::default() },
+    );
+    let handles = submit_tenants(&mut fleet);
+    for _ in 0..5 {
+        fleet.tick();
+    }
+    let victim = handles[14]; // qap-12-0, mid-run by now
+    let accepted = fleet.cancel(&victim);
+    fleet.run_until_idle();
+    let report = fleet.report(&victim).expect("cancelled jobs still report");
+    println!(
+        "cancel accepted: {accepted}; {} drained after {} iterations (best so far {})",
+        report.name,
+        report.outcome.iterations(),
+        report.outcome.best_fitness(),
+    );
+
+    // Checkpoint/resume: stop a fleet mid-flight, snapshot it to disk,
+    // revive it in a fresh process-equivalent scheduler.
+    println!("\n--- checkpoint/resume through a disk snapshot ---");
+    let mut fleet = Scheduler::new(
+        MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
+        SchedulerConfig { cpu_workers: 2, quantum_iters: Some(quantum), ..Default::default() },
     );
     let handles = submit_tenants(&mut fleet);
     for _ in 0..10 {
@@ -106,22 +162,33 @@ fn main() {
         checkpoint.pending_jobs(),
         checkpoint.in_flight_jobs()
     );
+    let path = std::env::temp_dir().join("lnls_fleet_service.ckpt");
+    checkpoint.save(&path).expect("write checkpoint");
     drop(fleet);
+    drop(checkpoint);
 
-    let mut fleet = Scheduler::restore(checkpoint);
+    let registry = JobRegistry::with_builtin();
+    let revived = FleetCheckpoint::load(&path, &registry).expect("read checkpoint");
+    std::fs::remove_file(&path).ok();
+    let mut fleet = Scheduler::restore(revived);
     fleet.run_until_idle();
-    println!("restored fleet finished all {} jobs\n", fleet.fleet_report().jobs_completed);
+    println!(
+        "revived fleet finished all {} jobs ({} cancelled)\n",
+        fleet.fleet_report().jobs_completed + fleet.fleet_report().jobs_cancelled,
+        fleet.fleet_report().jobs_cancelled,
+    );
 
     // Poll one tenant's handles like a client would.
     println!("--- per-job reports (tenant A) ---");
     for h in handles.iter().take(6) {
         let report = fleet.report(h).expect("fleet is idle");
         println!(
-            "{:<18} {:>9} iters  best {:>3}  fused {:>4} iters  {} @ [{:.4}s .. {:.4}s]",
+            "{:<18} {:>9} iters  best {:>3}  fused {:>4} iters  wait {:.4}s  {} @ [{:.4}s .. {:.4}s]",
             report.name,
             report.outcome.iterations(),
             report.outcome.best_fitness(),
             report.fused_iterations,
+            report.wait_s(),
             report.backend,
             report.started_s,
             report.finished_s,

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use lnls_problems::{IsingLattice, Knapsack, MaxCut, MaxSat, NkLandscape, OneMax, Qubo};
     pub use lnls_qap::{QapInstance, RobustTabu, RtsConfig, TableEvaluator};
     pub use lnls_runtime::{
-        BinaryJob, FleetReport, JobHandle, JobStatus, PlacePolicy, QapJobSpec, Scheduler,
-        SchedulerConfig,
+        BinaryJob, FleetCheckpoint, FleetReport, JobHandle, JobRegistry, JobStatus, PlacePolicy,
+        QapJobSpec, Scheduler, SchedulerConfig, TenantStat,
     };
 }

@@ -115,6 +115,38 @@ fn mixed_fleet_completes_and_matches_solo_runs() {
     assert!(report.fused_launches > 0, "PPP/OneMax triplets share batch keys");
 }
 
+/// A QAP job is now a steppable cursor: it can be captured *mid-run*
+/// (not just while queued), revived, and still land on exactly the solo
+/// result — the ROADMAP's "steppable QAP driver" item, end to end.
+#[test]
+fn qap_jobs_checkpoint_mid_run_and_resume_exactly() {
+    let mut fleet = Scheduler::new(
+        MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+        SchedulerConfig { quantum_iters: Some(6), ..Default::default() },
+    );
+    let (inst, cfg, init) = qap_parts(42);
+    let long_cfg = RtsConfig::budget(200).with_seed(cfg.seed);
+    let h =
+        fleet.submit_qap(QapJobSpec::new("qap-long", inst.clone(), long_cfg.clone(), init.clone()));
+
+    // Step a few slices: the job must be in flight, partway through.
+    for _ in 0..3 {
+        fleet.tick();
+    }
+    assert_eq!(fleet.status(&h), JobStatus::Running);
+    let checkpoint = fleet.checkpoint();
+    assert_eq!(checkpoint.in_flight_jobs(), 1, "QAP cursor captured mid-run");
+    drop(fleet);
+
+    let mut resumed = Scheduler::restore(checkpoint);
+    let report = resumed.await_report(&h).outcome.clone();
+    let want = RobustTabu::new(long_cfg).run(&inst, &mut TableEvaluator::new(), init);
+    let got = report.as_qap().expect("qap outcome");
+    assert_eq!(got.best.as_slice(), want.best.as_slice());
+    assert_eq!(got.best_cost, want.best_cost);
+    assert_eq!(got.iterations, want.iterations);
+}
+
 #[test]
 fn fleet_report_prints() {
     let mut fleet = Scheduler::new(

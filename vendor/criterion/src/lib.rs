@@ -4,14 +4,30 @@
 //!
 //! Semantics: each benchmark runs a short warm-up, then a fixed number of
 //! timed samples, and prints `name: median per-iteration time` to stdout.
-//! No statistics, plots, or baselines — enough to keep `cargo bench`
-//! usable for relative comparisons, and for the bench targets to compile
-//! in CI.
+//! No statistics or plots — enough to keep `cargo bench` usable for
+//! relative comparisons, and for the bench targets to compile in CI.
+//!
+//! ## Baselines
+//!
+//! A minimal version of the real crate's `--save-baseline` /
+//! `--baseline` flags, driven by environment variables (the shim owns no
+//! CLI):
+//!
+//! * `LNLS_CRITERION_BASELINE=save` — write every `label<TAB>seconds`
+//!   result into the baseline file (truncated once per process);
+//! * `LNLS_CRITERION_BASELINE=compare` — load the baseline file and
+//!   print each result's delta against it (`+x%` slower, `−x%` faster);
+//! * `LNLS_CRITERION_BASELINE_PATH` — baseline file location, default
+//!   `target/criterion-baseline.tsv`.
 
 #![forbid(unsafe_code)]
 
+use std::collections::HashMap;
 use std::fmt::Display;
 use std::hint;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque value laundering so the optimizer cannot delete benched work.
@@ -79,6 +95,80 @@ impl Bencher {
         }
         per_iter.sort_by(f64::total_cmp);
         self.last_s = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// What the baseline env vars ask for this run.
+enum BaselineMode {
+    Off,
+    Save,
+    Compare,
+}
+
+fn baseline_mode() -> BaselineMode {
+    match std::env::var("LNLS_CRITERION_BASELINE").as_deref() {
+        Ok("save") => BaselineMode::Save,
+        Ok("compare") => BaselineMode::Compare,
+        _ => BaselineMode::Off,
+    }
+}
+
+fn baseline_path() -> PathBuf {
+    std::env::var_os("LNLS_CRITERION_BASELINE_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/criterion-baseline.tsv"))
+}
+
+/// Append one result to the baseline file; the first write of the
+/// process truncates it, so a bench run replaces the baseline wholesale.
+fn baseline_record(label: &str, seconds: f64) {
+    static SINK: OnceLock<Mutex<Option<std::fs::File>>> = OnceLock::new();
+    let sink = SINK.get_or_init(|| {
+        let path = baseline_path();
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        Mutex::new(std::fs::File::create(&path).ok())
+    });
+    if let Some(file) = sink.lock().expect("baseline sink poisoned").as_mut() {
+        let _ = writeln!(file, "{label}\t{seconds:e}");
+    }
+}
+
+/// Baseline timings loaded once per process for compare mode.
+fn baseline_lookup(label: &str) -> Option<f64> {
+    static LOADED: OnceLock<HashMap<String, f64>> = OnceLock::new();
+    let map = LOADED.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(baseline_path()) {
+            for line in text.lines() {
+                if let Some((label, secs)) = line.rsplit_once('\t') {
+                    if let Ok(s) = secs.parse::<f64>() {
+                        map.insert(label.to_string(), s);
+                    }
+                }
+            }
+        }
+        map
+    });
+    map.get(label).copied()
+}
+
+/// The `  (+x% vs baseline)` suffix for compare mode, empty otherwise.
+fn baseline_suffix(label: &str, seconds: f64) -> String {
+    match baseline_mode() {
+        BaselineMode::Off => String::new(),
+        BaselineMode::Save => {
+            baseline_record(label, seconds);
+            "  [baseline saved]".to_string()
+        }
+        BaselineMode::Compare => match baseline_lookup(label) {
+            Some(base) if base > 0.0 => {
+                let delta = (seconds - base) / base * 100.0;
+                format!("  ({delta:+.1}% vs baseline {})", fmt_seconds(base))
+            }
+            _ => "  (no baseline)".to_string(),
+        },
     }
 }
 
@@ -178,7 +268,8 @@ impl Criterion {
             }
             _ => String::new(),
         };
-        println!("{label:<60} {}{rate}", fmt_seconds(b.last_s));
+        let baseline = baseline_suffix(label, b.last_s);
+        println!("{label:<60} {}{rate}{baseline}", fmt_seconds(b.last_s));
     }
 
     /// Hook for `criterion_group!`'s `config = …` form (identity here).
@@ -229,5 +320,22 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("10x10").to_string(), "10x10");
+    }
+
+    #[test]
+    fn baseline_off_by_default() {
+        // Tests run without LNLS_CRITERION_BASELINE set, so the suffix
+        // must be empty and nothing must be written anywhere.
+        assert_eq!(baseline_suffix("group/bench", 1e-3), "");
+    }
+
+    #[test]
+    fn baseline_line_format_roundtrips() {
+        // The compare path parses `label<TAB>seconds`; labels may contain
+        // anything but a tab, so the split comes from the right.
+        let line = format!("weird label/with spaces\t{:e}", 2.5e-4);
+        let (label, secs) = line.rsplit_once('\t').expect("tab present");
+        assert_eq!(label, "weird label/with spaces");
+        assert_eq!(secs.parse::<f64>().unwrap(), 2.5e-4);
     }
 }

@@ -201,6 +201,26 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The generator's raw xoshiro256++ state, for hand-rolled
+        /// checkpoint serialization (the workspace persists in-flight
+        /// searches byte-for-byte; no serde offline).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from [`state`](Self::state) words. The
+        /// all-zero state (invalid for xoshiro) is remapped exactly like
+        /// [`SeedableRng::from_seed`] does.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                StdRng { s: [0x9E3779B97F4A7C15, 1, 2, 3] }
+            } else {
+                StdRng { s }
+            }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
