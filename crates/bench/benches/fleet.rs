@@ -25,7 +25,7 @@ fn submit_mix(fleet: &mut Scheduler, tries: u64, iters: u64) {
             SearchConfig::budget(iters).with_seed(t).with_target(None),
             hood.size(),
         );
-        fleet.submit_binary(BinaryJob::new(format!("ppp-try{t}"), problem, hood, search, init));
+        fleet.submit(BinaryJob::new(format!("ppp-try{t}"), problem, hood, search, init));
     }
 }
 
@@ -87,7 +87,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(900 + q);
             let inst = lnls_qap::QapInstance::random_uniform(&mut rng, 20);
             let init = lnls_qap::Permutation::random(&mut rng, 20);
-            fleet.submit_qap(lnls_runtime::QapJobSpec::new(
+            fleet.submit(lnls_runtime::QapJobSpec::new(
                 format!("qap-20-{q}"),
                 inst,
                 lnls_qap::RtsConfig::budget(iters * 8).with_seed(q),

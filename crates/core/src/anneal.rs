@@ -140,6 +140,11 @@ impl<P: IncrementalEval, N: Neighborhood + Clone> AnnealCursor<P, N> {
         &self.s
     }
 
+    /// The neighborhood this walk samples from.
+    pub fn hood(&self) -> &N {
+        &self.hood
+    }
+
     /// Best solution seen so far.
     pub fn best_solution(&self) -> &BitString {
         &self.best
@@ -153,6 +158,87 @@ impl<P: IncrementalEval, N: Neighborhood + Clone> AnnealCursor<P, N> {
     /// Neighbor evaluations consumed so far.
     pub fn evals(&self) -> u64 {
         self.evals
+    }
+
+    /// Byte-level snapshot of the walk (hand-rolled; see
+    /// [`crate::persist`]). The incremental state is left out and
+    /// rebuilt from the problem by
+    /// [`read_persisted`](Self::read_persisted).
+    pub fn persist(&self, out: &mut Vec<u8>)
+    where
+        N: crate::persist::Persist,
+    {
+        use crate::persist::Persist;
+        self.max_iters.write(out);
+        self.target.write(out);
+        self.hood.write(out);
+        self.alpha.write(out);
+        self.steps_per_temp.write(out);
+        self.rng.write(out);
+        self.s.write(out);
+        self.cur.write(out);
+        self.best.write(out);
+        self.best_fitness.write(out);
+        self.temp.write(out);
+        self.iterations.write(out);
+        self.evals.write(out);
+    }
+
+    /// Rebuild a walk captured by [`persist`](Self::persist). `problem`
+    /// must be the instance the walk ran on — the rebuilt incremental
+    /// state is cross-checked against the recorded fitness.
+    pub fn read_persisted(
+        r: &mut crate::persist::Reader<'_>,
+        problem: &P,
+    ) -> Result<Self, crate::persist::PersistError>
+    where
+        N: crate::persist::Persist,
+    {
+        use crate::persist::PersistError;
+        let max_iters: u64 = r.read()?;
+        let target: Option<i64> = r.read()?;
+        let hood: N = r.read()?;
+        let alpha: f64 = r.read()?;
+        let steps_per_temp: u64 = r.read()?;
+        let rng: StdRng = r.read()?;
+        let s: BitString = r.read()?;
+        let cur: i64 = r.read()?;
+        let best: BitString = r.read()?;
+        let best_fitness: i64 = r.read()?;
+        let temp: f64 = r.read()?;
+        let iterations: u64 = r.read()?;
+        let evals: u64 = r.read()?;
+        if s.len() != problem.dim() || best.len() != problem.dim() {
+            return Err(PersistError::new("solution length does not match the problem"));
+        }
+        if hood.dim() != problem.dim() {
+            return Err(PersistError::new("neighborhood/problem dimension mismatch"));
+        }
+        if steps_per_temp == 0 || !temp.is_finite() || temp <= 0.0 {
+            return Err(PersistError::new("corrupt annealing schedule"));
+        }
+        let state = problem.init_state(&s);
+        if problem.state_fitness(&state) != cur {
+            return Err(PersistError::new(
+                "rebuilt state fitness disagrees with the snapshot (wrong problem instance?)",
+            ));
+        }
+        Ok(Self {
+            max_iters,
+            target,
+            hood,
+            alpha,
+            steps_per_temp,
+            rng,
+            s,
+            state,
+            cur,
+            best,
+            best_fitness,
+            temp,
+            iterations,
+            evals,
+        })
     }
 
     /// Finalize into a [`SearchResult`]; the caller supplies elapsed
@@ -319,5 +405,45 @@ mod tests {
         assert_eq!(got.best_fitness, want.best_fitness);
         assert_eq!(got.iterations, want.iterations);
         assert_eq!(got.evals, want.evals);
+    }
+
+    #[test]
+    fn cursor_persists_mid_walk_and_resumes_exactly() {
+        let p = ZeroCount { n: 26 };
+        let mut rng = StdRng::seed_from_u64(12);
+        let init = BitString::random(&mut rng, 26);
+        let sa = SimulatedAnnealing::new(
+            SearchConfig::budget(400).with_seed(21),
+            TwoHamming::new(26),
+            1.3,
+        );
+        let want = sa.run(&p, init.clone());
+
+        // Walk part-way, snapshot to bytes, revive, finish.
+        let mut cursor = sa.cursor(&p, init);
+        cursor.step_batch(&p, 137);
+        let mut bytes = Vec::new();
+        cursor.persist(&mut bytes);
+        let mut revived: AnnealCursor<ZeroCount, TwoHamming> =
+            AnnealCursor::read_persisted(&mut crate::persist::Reader::new(&bytes), &p)
+                .expect("decode");
+        assert_eq!(revived.iterations(), 137);
+        revived.step_batch(&p, u64::MAX);
+        assert_eq!(revived.best(), want.best_fitness);
+        assert_eq!(revived.iterations(), want.iterations);
+        assert_eq!(revived.evals(), want.evals);
+
+        // The wrong problem instance is rejected, as is truncation.
+        let wrong = ZeroCount { n: 24 };
+        assert!(AnnealCursor::<ZeroCount, TwoHamming>::read_persisted(
+            &mut crate::persist::Reader::new(&bytes),
+            &wrong
+        )
+        .is_err());
+        assert!(AnnealCursor::<ZeroCount, TwoHamming>::read_persisted(
+            &mut crate::persist::Reader::new(&bytes[..bytes.len() - 3]),
+            &p
+        )
+        .is_err());
     }
 }

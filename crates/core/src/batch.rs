@@ -18,7 +18,7 @@
 //! [`TimeBook`] charges each fused evaluation as a single launch.
 //!
 //! Cost shapes come from [`LaneProfile`], the same analytic quantities
-//! [`IterationProfile`](lnls_gpu_sim::IterationProfile) uses for stream
+//! [`IterationProfile`] uses for stream
 //! pricing, so solo and fused runs are priced with one consistent model.
 
 use crate::bitstring::BitString;

@@ -34,6 +34,12 @@
 /// deliberately outside the trait — a cursor has no clock; drivers that
 /// honor [`SearchConfig::time_limit`](crate::search::SearchConfig)
 /// check it between `step_batch` calls.
+///
+/// `SearchCursor` is not object-safe (the `Ctx` GAT names each driver's
+/// externals precisely); schedulers that need a uniform handle bundle a
+/// cursor with its externals behind [`DynCursor`] — see
+/// [`ProblemCursor`] for the ready-made adapter covering every cursor
+/// that steps against `&P` alone.
 pub trait SearchCursor {
     /// External dependencies one step needs (problem instance,
     /// evaluation backend). Borrowed per call so the cursor itself stays
@@ -67,6 +73,92 @@ pub trait SearchCursor {
 
     /// Rewind the walk to a captured snapshot.
     fn restore(&mut self, snapshot: Self::Snapshot);
+}
+
+/// Object-safe view of a steppable walk: a [`SearchCursor`] *bundled
+/// with the externals its steps need*, so callers that cannot name the
+/// concrete `Ctx` type (job schedulers, registries, plugin layers) can
+/// still drive it through `Box<dyn DynCursor>`.
+///
+/// The contract is inherited from [`SearchCursor`]: stepping in quanta
+/// of any size makes exactly the moves one uninterrupted run makes.
+pub trait DynCursor: Send {
+    /// Run at most `quota` iterations; returns how many actually ran
+    /// (see [`SearchCursor::step_batch`]).
+    fn step(&mut self, quota: u64) -> u64;
+
+    /// True when the walk has nothing left to do.
+    fn is_done(&self) -> bool;
+
+    /// Best fitness (cost) seen so far.
+    fn best(&self) -> i64;
+
+    /// Iterations executed so far.
+    fn iterations(&self) -> u64;
+}
+
+/// Adapter turning any cursor whose [`Ctx`](SearchCursor::Ctx) is a
+/// plain problem borrow (`&P`) into an object-safe [`DynCursor`] by
+/// bundling it with a shared handle to that problem.
+///
+/// [`AnnealCursor`](crate::anneal::AnnealCursor) is the bundled
+/// implementation: simulated annealing samples its own neighbors, so
+/// the problem instance is the only external a step needs. Cursors with
+/// richer externals (an evaluation backend, a device ledger) keep their
+/// own purpose-built executors.
+pub struct ProblemCursor<P, C> {
+    problem: std::sync::Arc<P>,
+    cursor: C,
+}
+
+impl<P, C> ProblemCursor<P, C> {
+    /// Bundle `cursor` with the problem it steps against.
+    pub fn new(problem: std::sync::Arc<P>, cursor: C) -> Self {
+        Self { problem, cursor }
+    }
+
+    /// The bundled problem instance.
+    pub fn problem(&self) -> &std::sync::Arc<P> {
+        &self.problem
+    }
+
+    /// The wrapped cursor.
+    pub fn cursor(&self) -> &C {
+        &self.cursor
+    }
+
+    /// Unbundle into the problem handle and the cursor.
+    pub fn into_parts(self) -> (std::sync::Arc<P>, C) {
+        (self.problem, self.cursor)
+    }
+}
+
+impl<P, C: Clone> Clone for ProblemCursor<P, C> {
+    fn clone(&self) -> Self {
+        Self { problem: std::sync::Arc::clone(&self.problem), cursor: self.cursor.clone() }
+    }
+}
+
+impl<P, C> DynCursor for ProblemCursor<P, C>
+where
+    P: Send + Sync + 'static,
+    C: Send + 'static + for<'a> SearchCursor<Ctx<'a> = &'a P>,
+{
+    fn step(&mut self, quota: u64) -> u64 {
+        self.cursor.step_batch(&self.problem, quota)
+    }
+
+    fn is_done(&self) -> bool {
+        self.cursor.is_done()
+    }
+
+    fn best(&self) -> i64 {
+        self.cursor.best()
+    }
+
+    fn iterations(&self) -> u64 {
+        self.cursor.iterations()
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +228,30 @@ mod tests {
         }
         assert_eq!(cursor.best(), want.best_fitness);
         assert_eq!(cursor.iterations(), want.iterations);
+    }
+
+    /// The object-safe adapter must reproduce the typed walk exactly:
+    /// a boxed `dyn DynCursor` stepped in ragged quanta lands on the
+    /// run-to-completion result.
+    #[test]
+    fn problem_cursor_erases_without_changing_the_walk() {
+        let p = ZeroCount { n: 20 };
+        let hood = TwoHamming::new(20);
+        let mut rng = StdRng::seed_from_u64(8);
+        let init = BitString::random(&mut rng, 20);
+        let sa = SimulatedAnnealing::new(SearchConfig::budget(250).with_seed(13), hood, 1.4);
+        let want = sa.run(&p, init.clone());
+
+        let cursor = sa.cursor(&p, init);
+        let mut walk: Box<dyn DynCursor> =
+            Box::new(ProblemCursor::new(std::sync::Arc::new(p), cursor));
+        for quota in [5u64, 1, 90, 3].iter().cycle() {
+            if walk.step(*quota) == 0 {
+                break;
+            }
+        }
+        assert!(walk.is_done());
+        assert_eq!(walk.best(), want.best_fitness);
+        assert_eq!(walk.iterations(), want.iterations);
     }
 }

@@ -40,7 +40,7 @@ pub trait Explorer<P: IncrementalEval>: Send {
     /// [`explore`](Self::explore) fills.
     ///
     /// The default assumes fixed-`k` lexicographic enumeration (one
-    /// unranking at `lo`, then [`lex_advance`]); explorers wrapping a
+    /// unranking at `lo`, then [`lex_advance`](lnls_neighborhood::lex_advance)); explorers wrapping a
     /// [`Neighborhood`] should delegate to
     /// [`Neighborhood::for_each_move_in`] so mixed-radius unions work.
     fn for_each_move(&self, lo: u64, hi: u64, f: &mut dyn FnMut(u64, FlipMove) -> bool) {

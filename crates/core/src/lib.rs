@@ -79,7 +79,7 @@ pub mod vns;
 pub use anneal::{AnnealCursor, SimulatedAnnealing};
 pub use batch::{BatchLane, BatchedExplorer, LaneProfile};
 pub use bitstring::{zobrist_table, BitString};
-pub use cursor::SearchCursor;
+pub use cursor::{DynCursor, ProblemCursor, SearchCursor};
 pub use explore::{Explorer, ParallelCpuExplorer, SequentialExplorer};
 pub use gvns::GeneralVns;
 pub use hillclimb::{descend_in_place, HillClimbing, Pivot};

@@ -223,8 +223,8 @@ impl RobustTabu {
     /// The cursor owns every piece of loop-carried state — the tabu
     /// matrix and the tenure RNG included — so QAP runs can be stepped a
     /// quantum at a time, checkpointed mid-run and resumed on a
-    /// different evaluator without changing a single swap. [`run`]
-    /// (Self::run) is implemented on top of it.
+    /// different evaluator without changing a single swap.
+    /// [`run`](Self::run) is implemented on top of it.
     pub fn cursor(&self, inst: &QapInstance, init: Permutation) -> RtsCursor {
         let n = inst.size();
         assert_eq!(init.len(), n, "permutation/instance size mismatch");

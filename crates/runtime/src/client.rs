@@ -1,0 +1,326 @@
+//! The fleet front-end: admission-controlled submission over a
+//! [`Scheduler`].
+//!
+//! A raw [`Scheduler`] accepts every submission — fine for a library,
+//! wrong for a service: a fleet serving many tenants must be able to
+//! say *no* before a queue grows without bound. [`FleetClient`] wraps a
+//! scheduler with an [`AdmissionPolicy`] (global and per-tenant queue
+//! caps, reject vs. shed-lowest-priority) and turns submission into
+//! `Result<JobHandle, SubmitError>`. Everything else — status, reports,
+//! ticking, checkpoints — passes through to the scheduler, which is
+//! also reachable directly for anything not wrapped here.
+//!
+//! Admission never changes what accepted jobs compute: the admission
+//! proptest asserts accepted jobs' results are bit-identical with the
+//! policy on and off.
+
+use crate::job::{JobHandle, JobId, JobReport, JobStatus};
+use crate::report::FleetReport;
+use crate::scheduler::{FleetCheckpoint, Scheduler};
+use crate::submit::{JobSpec, SearchJob};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Queue caps and the overload response of a [`FleetClient`].
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionPolicy {
+    /// Maximum jobs waiting in the queue across all tenants (`None` =
+    /// unbounded).
+    pub max_queued: Option<usize>,
+    /// Maximum queued jobs per tenant (`None` = unbounded).
+    pub max_queued_per_tenant: Option<usize>,
+    /// When a cap is hit: `false` rejects the incoming submission;
+    /// `true` sheds the lowest-priority queued job instead — newest
+    /// first among equals, and only when it ranks strictly below the
+    /// incoming priority (otherwise the submission is still rejected).
+    pub shed_lowest_priority: bool,
+}
+
+impl AdmissionPolicy {
+    /// No caps: every submission is admitted.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A global queue cap that rejects on overflow.
+    pub fn queue_cap(max_queued: usize) -> Self {
+        Self { max_queued: Some(max_queued), ..Self::default() }
+    }
+
+    /// Cap each tenant's queue occupancy.
+    pub fn with_tenant_cap(mut self, max_queued: usize) -> Self {
+        self.max_queued_per_tenant = Some(max_queued);
+        self
+    }
+
+    /// Shed the lowest-priority queued job instead of rejecting a
+    /// higher-priority submission.
+    pub fn with_shedding(mut self) -> Self {
+        self.shed_lowest_priority = true;
+        self
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The global queue cap is reached and nothing shed-eligible ranks
+    /// below the submission.
+    QueueFull {
+        /// Jobs currently queued.
+        queued: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The tenant's queue cap is reached and nothing of the tenant's
+    /// ranks below the submission.
+    TenantQueueFull {
+        /// The tenant whose cap was hit.
+        tenant: String,
+        /// The tenant's queued jobs.
+        queued: usize,
+        /// The configured per-tenant cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { queued, limit } => {
+                write!(f, "queue full: {queued} jobs queued, cap {limit}")
+            }
+            SubmitError::TenantQueueFull { tenant, queued, limit } => {
+                write!(f, "tenant '{tenant}' queue full: {queued} jobs queued, cap {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What the client remembers about an admitted job (for per-tenant
+/// counting and shed candidate ranking).
+#[derive(Clone, Debug)]
+struct Admitted {
+    tenant: String,
+    priority: u8,
+}
+
+/// One queued job in an admission-planning snapshot.
+struct QueuedRow {
+    id: JobId,
+    tenant: String,
+    priority: u8,
+}
+
+/// Admission-controlled front-end over a [`Scheduler`].
+///
+/// ```
+/// use lnls_runtime::{AdmissionPolicy, BinaryJob, FleetClient, Scheduler, SchedulerConfig};
+/// use lnls_core::{BitString, SearchConfig, TabuSearch};
+/// use lnls_gpu_sim::DeviceSpec;
+/// use lnls_neighborhood::{Neighborhood, TwoHamming};
+/// use lnls_problems::OneMax;
+///
+/// let fleet = Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
+/// let mut client = FleetClient::new(fleet, AdmissionPolicy::queue_cap(2));
+/// let hood = TwoHamming::new(16);
+/// let job = |i: u64| {
+///     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i);
+///     let init = BitString::random(&mut rng, 16);
+///     let search = TabuSearch::paper(SearchConfig::budget(10).with_seed(i), hood.size());
+///     BinaryJob::new(format!("onemax-{i}"), OneMax::new(16), hood, search, init)
+/// };
+/// let a = client.submit(job(0)).expect("under the cap");
+/// let b = client.submit(job(1)).expect("under the cap");
+/// assert!(client.submit(job(2)).is_err(), "third submission overflows the cap");
+/// client.run_until_idle();
+/// assert!(client.report(a).is_some() && client.report(b).is_some());
+/// assert_eq!(client.fleet_report().jobs_rejected, 1);
+/// ```
+pub struct FleetClient {
+    fleet: Scheduler,
+    policy: AdmissionPolicy,
+    admitted: BTreeMap<JobId, Admitted>,
+    /// Submissions rejected outright (they never got a handle, so the
+    /// scheduler cannot count them).
+    rejected_submissions: u64,
+}
+
+impl FleetClient {
+    /// Wrap `fleet` with `policy`.
+    pub fn new(fleet: Scheduler, policy: AdmissionPolicy) -> Self {
+        Self { fleet, policy, admitted: BTreeMap::new(), rejected_submissions: 0 }
+    }
+
+    /// Submit any [`SearchJob`] under the admission policy.
+    pub fn submit<J: SearchJob>(&mut self, job: J) -> Result<JobHandle, SubmitError> {
+        self.submit_spec(JobSpec::new(job))
+    }
+
+    /// Submit an enveloped [`SearchJob`] under the admission policy.
+    ///
+    /// Caps count *queued* jobs (running jobs have already won
+    /// placement). With shedding enabled, a full queue evicts its
+    /// lowest-priority waiting jobs — newest first among equals — but
+    /// only jobs ranking strictly below the submission; shed jobs'
+    /// reports are marked [`rejected`](JobReport::rejected) and their
+    /// handles report [`JobStatus::Rejected`]. Admission is
+    /// all-or-nothing: victims are *planned* against every cap first
+    /// and evicted only once the submission is certain to be admitted,
+    /// so a rejected submission never sheds anyone.
+    pub fn submit_spec<J: SearchJob>(
+        &mut self,
+        spec: JobSpec<J>,
+    ) -> Result<JobHandle, SubmitError> {
+        let tenant = spec.tenant().to_string();
+        let priority = spec.effective_priority();
+        // One snapshot of the queue, pruning finished bookkeeping on
+        // the way (the admitted map stays bounded by *live* jobs).
+        let mut queued = self.queued_snapshot();
+
+        // Phase 1: plan. Pop victims from the snapshot until both caps
+        // admit the submission; any infeasible cap rejects with nothing
+        // evicted yet.
+        let mut victims: Vec<JobId> = Vec::new();
+        if let Some(limit) = self.policy.max_queued_per_tenant {
+            while queued.iter().filter(|q| q.tenant == tenant).count() >= limit {
+                match self.plan_shed(&mut queued, priority, Some(&tenant)) {
+                    Some(id) => victims.push(id),
+                    None => {
+                        self.rejected_submissions += 1;
+                        return Err(SubmitError::TenantQueueFull {
+                            queued: queued.iter().filter(|q| q.tenant == tenant).count(),
+                            tenant,
+                            limit,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(limit) = self.policy.max_queued {
+            while queued.len() >= limit {
+                match self.plan_shed(&mut queued, priority, None) {
+                    Some(id) => victims.push(id),
+                    None => {
+                        self.rejected_submissions += 1;
+                        return Err(SubmitError::QueueFull { queued: queued.len(), limit });
+                    }
+                }
+            }
+        }
+
+        // Phase 2: commit — evict the planned victims, then submit.
+        for id in victims {
+            self.fleet.reject_queued(JobHandle { id });
+            self.admitted.remove(&id);
+        }
+        let handle = self.fleet.submit_spec(spec);
+        self.admitted.insert(handle.id(), Admitted { tenant, priority });
+        Ok(handle)
+    }
+
+    /// One pass over the fleet's queue: prune terminal jobs from the
+    /// admitted map and return the live queued rows this client admitted.
+    fn queued_snapshot(&mut self) -> Vec<QueuedRow> {
+        let queued_ids = self.fleet.queued_job_ids();
+        let fleet = &self.fleet;
+        self.admitted.retain(|id, _| !fleet.is_terminal(JobHandle { id: *id }));
+        self.admitted
+            .iter()
+            .filter(|(id, _)| queued_ids.contains(id))
+            .map(|(id, a)| QueuedRow { id: *id, tenant: a.tenant.clone(), priority: a.priority })
+            .collect()
+    }
+
+    /// Pick the next shed victim from the snapshot: lowest priority
+    /// strictly below `incoming`, newest first among equals, restricted
+    /// to `tenant` when given. Removes it from the snapshot and returns
+    /// its id; `None` when shedding is off or nothing qualifies.
+    fn plan_shed(
+        &self,
+        queued: &mut Vec<QueuedRow>,
+        incoming: u8,
+        tenant: Option<&str>,
+    ) -> Option<JobId> {
+        if !self.policy.shed_lowest_priority {
+            return None;
+        }
+        let (idx, _) = queued
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| tenant.is_none_or(|t| q.tenant == t) && q.priority < incoming)
+            .min_by_key(|(_, q)| (q.priority, std::cmp::Reverse(q.id)))?;
+        Some(queued.swap_remove(idx).id)
+    }
+
+    // -- pass-throughs ------------------------------------------------
+
+    /// Advance the fleet one step (see [`Scheduler::tick`]).
+    pub fn tick(&mut self) -> bool {
+        self.fleet.tick()
+    }
+
+    /// Run until every admitted job has completed.
+    pub fn run_until_idle(&mut self) {
+        self.fleet.run_until_idle()
+    }
+
+    /// Where `handle`'s job currently is (see [`Scheduler::status`]).
+    pub fn status(&self, handle: JobHandle) -> JobStatus {
+        self.fleet.status(handle)
+    }
+
+    /// Request cancellation (see [`Scheduler::cancel`]).
+    pub fn cancel(&mut self, handle: JobHandle) -> bool {
+        self.fleet.cancel(handle)
+    }
+
+    /// The report of a completed job, if it completed.
+    pub fn report(&self, handle: JobHandle) -> Option<&JobReport> {
+        self.fleet.report(handle)
+    }
+
+    /// Drive the fleet until `handle` completes, then return its report
+    /// (see [`Scheduler::await_report`]).
+    pub fn await_report(&mut self, handle: JobHandle) -> &JobReport {
+        self.fleet.await_report(handle)
+    }
+
+    /// All completed reports, in job-id order.
+    pub fn reports(&self) -> impl Iterator<Item = &JobReport> {
+        self.fleet.reports()
+    }
+
+    /// Snapshot the underlying fleet (see [`Scheduler::checkpoint`]).
+    pub fn checkpoint(&self) -> FleetCheckpoint {
+        self.fleet.checkpoint()
+    }
+
+    /// Fleet summary; [`jobs_rejected`](FleetReport::jobs_rejected)
+    /// includes submissions this client rejected outright on top of the
+    /// jobs the scheduler shed.
+    pub fn fleet_report(&self) -> FleetReport {
+        let mut report = self.fleet.fleet_report();
+        report.jobs_rejected += self.rejected_submissions;
+        report
+    }
+
+    /// The wrapped scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.fleet
+    }
+
+    /// Mutable access to the wrapped scheduler (placement, devices,
+    /// anything not wrapped here). Submitting through the scheduler
+    /// directly bypasses admission control, by design.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.fleet
+    }
+
+    /// Unwrap into the scheduler.
+    pub fn into_scheduler(self) -> Scheduler {
+        self.fleet
+    }
+}

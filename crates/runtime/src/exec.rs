@@ -8,18 +8,26 @@
 //! and drive them through one [`BatchedExplorer`] pass.
 //!
 //! Every executor is a thin shell around a [`SearchCursor`]
-//! (`TabuCursor` for binary jobs, `RtsCursor` for QAP jobs): the cursor
-//! owns the walk, the executor owns the pricing. That is what makes
-//! preemption free of semantic consequence — a job stepped in quanta
-//! makes exactly the moves a run-to-completion job makes.
+//! (`TabuCursor` for binary jobs, `RtsCursor` for QAP jobs, an
+//! [`AnnealCursor`] behind the object-safe
+//! [`ProblemCursor`](lnls_core::ProblemCursor) adapter for annealing
+//! jobs): the cursor owns the walk, the executor owns the pricing. That
+//! is what makes preemption free of semantic consequence — a job
+//! stepped in quanta makes exactly the moves a run-to-completion job
+//! makes.
+//!
+//! [`JobExec`] is public so external workloads can implement
+//! [`SearchJob`](crate::SearchJob) end to end; the bundled executors
+//! stay private behind their spec types.
 
 use crate::job::{JobId, JobOutcome, JobReport};
+use crate::submit::SubmitCtx;
 use lnls_core::persist::{Persist, PersistError, PersistTag, Reader};
 use lnls_core::{
-    BatchLane, BatchedExplorer, Explorer, IncrementalEval, LaneProfile, SearchCursor,
-    SequentialExplorer, TabuCursor,
+    AnnealCursor, BatchLane, BatchedExplorer, DynCursor, Explorer, IncrementalEval, LaneProfile,
+    ProblemCursor, SearchCursor, SequentialExplorer, TabuCursor,
 };
-use lnls_gpu_sim::{Device, DeviceSpec, HostSpec, TimeBook};
+use lnls_gpu_sim::{transfer_seconds, Device, DeviceSpec, HostSpec, TimeBook};
 use lnls_neighborhood::Neighborhood;
 use lnls_qap::{GpuSwapEvaluator, QapInstance, RtsCursor, SwapEvaluator, TableEvaluator};
 use std::any::{Any, TypeId};
@@ -40,17 +48,38 @@ pub struct BatchKey {
 /// What one scheduler step actually did: iterations executed and the
 /// modeled seconds they cost on the backend that ran them.
 #[derive(Copy, Clone, Debug, Default)]
-pub(crate) struct StepRun {
+pub struct StepRun {
+    /// Iterations executed by the step.
     pub iters: u64,
+    /// Modeled seconds charged to the backend.
     pub seconds: f64,
 }
 
-pub(crate) trait JobExec: Send {
+/// The type-erased executor contract behind
+/// [`SearchJob::into_exec`](crate::SearchJob::into_exec): a steppable,
+/// priceable, persistable shell around one search walk.
+///
+/// Implementations wrap a [`SearchCursor`] (directly, or behind
+/// [`DynCursor`]) and price its iterations onto the backend they are
+/// stepped on; the scheduler never sees anything else. The bundled
+/// executors — binary tabu, QAP robust tabu, simulated annealing — are
+/// built by the corresponding spec types; external workloads implement
+/// this trait plus [`SearchJob`](crate::SearchJob) to plug in.
+pub trait JobExec: Send {
+    /// The identity assigned at submission.
     fn id(&self) -> JobId;
+    /// Queue priority (higher = larger fair share).
     fn priority(&self) -> u8;
+    /// Submission sequence number (FIFO tie-breaker).
     fn seq(&self) -> u64;
+    /// True when the walk has nothing left to do.
     fn done(&self) -> bool;
+    /// Iterations the walk has executed so far (drives iteration
+    /// budgets and the serialized baseline).
+    fn iterations(&self) -> u64;
+    /// Launch-batching key; `None` for unbatchable workloads.
     fn batch_key(&self) -> Option<BatchKey>;
+    /// Downcast hook for batch leaders driving same-key peers.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 
     /// Run up to `quota` iterations on a fleet device, charging the
@@ -119,20 +148,20 @@ where
     P: IncrementalEval + 'static,
     N: Neighborhood + Clone + Send + Sync + 'static,
 {
-    pub fn new(id: JobId, seq: u64, spec: crate::job::BinaryJob<P, N>, host: HostSpec) -> Self {
+    pub fn new(ctx: SubmitCtx, spec: crate::job::BinaryJob<P, N>) -> Self {
         let cursor = spec.search.cursor(&spec.problem, spec.init);
         let state_h2d_bytes = spec.state_h2d_bytes.unwrap_or(4 * spec.problem.dim() as u64);
         Self {
-            id,
-            name: spec.name,
-            priority: spec.priority,
-            seq,
+            id: ctx.id,
+            name: ctx.name(spec.name),
+            priority: ctx.priority(spec.priority),
+            seq: ctx.seq,
             problem: Arc::new(spec.problem),
             hood: spec.hood,
             cursor,
             out: Vec::new(),
             state_h2d_bytes,
-            host,
+            host: ctx.host,
             fused_iters: 0,
         }
     }
@@ -168,6 +197,10 @@ where
 
     fn done(&self) -> bool {
         self.cursor.is_done()
+    }
+
+    fn iterations(&self) -> u64 {
+        self.cursor.iterations()
     }
 
     fn batch_key(&self) -> Option<BatchKey> {
@@ -289,13 +322,15 @@ where
         JobReport {
             id: self.id,
             name: self.name.clone(),
+            tenant: String::new(),
             backend,
             submitted_s: 0.0,
             started_s,
             finished_s,
             fused_iterations: self.fused_iters,
             cancelled: false,
-            outcome: JobOutcome::Binary(result),
+            rejected: false,
+            outcome: JobOutcome::binary(result),
         }
     }
 
@@ -411,6 +446,23 @@ pub(crate) struct QapJob {
 }
 
 impl QapJob {
+    pub fn new(ctx: SubmitCtx, spec: crate::job::QapJobSpec) -> Self {
+        let cursor = lnls_qap::RobustTabu::new(spec.config).cursor(&spec.instance, spec.init);
+        Self {
+            id: ctx.id,
+            name: ctx.name(spec.name),
+            priority: ctx.priority(spec.priority),
+            seq: ctx.seq,
+            instance: Arc::new(spec.instance),
+            cursor,
+            charged_s: 0.0,
+            book: TimeBook::default(),
+            host_iters: 0,
+            gpu: None,
+            table: None,
+        }
+    }
+
     /// Modeled per-iteration seconds of the O(n)-per-swap kernel over
     /// `C(n,2)` swaps on `spec` — the reference-device price used for
     /// the serialized baseline when iterations executed on a CPU worker.
@@ -438,6 +490,10 @@ impl JobExec for QapJob {
 
     fn done(&self) -> bool {
         self.cursor.is_done()
+    }
+
+    fn iterations(&self) -> u64 {
+        self.cursor.iterations()
     }
 
     fn batch_key(&self) -> Option<BatchKey> {
@@ -517,13 +573,15 @@ impl JobExec for QapJob {
         JobReport {
             id: self.id,
             name: self.name.clone(),
+            tenant: String::new(),
             backend,
             submitted_s: 0.0,
             started_s,
             finished_s,
             fused_iterations: 0,
             cancelled: false,
-            outcome: JobOutcome::Qap(result),
+            rejected: false,
+            outcome: JobOutcome::qap(result),
         }
     }
 
@@ -558,6 +616,219 @@ impl JobExec for QapJob {
         (*self.instance).write(out);
         self.cursor.persist(out);
     }
+}
+
+// ---------------------------------------------------------------------
+// Simulated-annealing jobs
+// ---------------------------------------------------------------------
+
+/// Registry key of an annealing job over `(P, N)`.
+pub(crate) fn anneal_tag<P: PersistTag, N: PersistTag>() -> String {
+    format!("anneal/{}/{}", P::TAG, N::TAG)
+}
+
+/// Executor for [`AnnealJob`](crate::AnnealJob): an [`AnnealCursor`]
+/// driven through the object-safe [`ProblemCursor`] adapter (SA samples
+/// its own neighbors, so the problem is the only external a step
+/// needs).
+///
+/// Pricing is *sampling-style*: each iteration is one single-neighbor
+/// launch — upload the incremental state, evaluate one sampled move,
+/// read one fitness back. On the cost model that is overhead-dominated
+/// (the paper's launch-size argument seen from the other side), which
+/// is exactly what a per-sample GPU annealer costs; CPU workers price
+/// the same evaluation through host CPIs. Annealing jobs never fuse.
+pub(crate) struct AnnealExec<P, N>
+where
+    P: IncrementalEval + Send + Sync + 'static,
+    N: Neighborhood + Clone + 'static,
+{
+    pub id: JobId,
+    pub name: String,
+    pub priority: u8,
+    pub seq: u64,
+    pub walk: ProblemCursor<P, AnnealCursor<P, N>>,
+    pub state_h2d_bytes: u64,
+    pub host: HostSpec,
+}
+
+impl<P, N> AnnealExec<P, N>
+where
+    P: IncrementalEval + Send + Sync + 'static,
+    N: Neighborhood + Clone + 'static,
+{
+    pub fn new(ctx: SubmitCtx, spec: crate::job::AnnealJob<P, N>) -> Self {
+        let cursor = spec.sa.cursor(&spec.problem, spec.init);
+        let state_h2d_bytes = spec.state_h2d_bytes.unwrap_or(4 * spec.problem.dim() as u64);
+        Self {
+            id: ctx.id,
+            name: ctx.name(spec.name),
+            priority: ctx.priority(spec.priority),
+            seq: ctx.seq,
+            walk: ProblemCursor::new(Arc::new(spec.problem), cursor),
+            state_h2d_bytes,
+            host: ctx.host,
+        }
+    }
+
+    /// One sampled-neighbor evaluation: `m = 1`.
+    fn profile(&self, spec: &DeviceSpec) -> LaneProfile {
+        LaneProfile::incremental_eval(
+            spec,
+            &self.host,
+            1,
+            self.walk.cursor().hood().k(),
+            self.walk.problem().dim(),
+            self.state_h2d_bytes,
+        )
+    }
+}
+
+impl<P, N> JobExec for AnnealExec<P, N>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+    N: Neighborhood + Clone + Persist + PersistTag + 'static,
+{
+    fn id(&self) -> JobId {
+        self.id
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn done(&self) -> bool {
+        self.walk.is_done()
+    }
+
+    fn iterations(&self) -> u64 {
+        self.walk.iterations()
+    }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        None
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun {
+        let spec = dev.spec().clone();
+        let prof = self.profile(&spec);
+        let iters = self.walk.step(quota);
+        // Charge the ledger exactly like `iters` single-lane launches:
+        // per-sample upload, launch overhead, one-neighbor kernel,
+        // one-fitness readback — the same accounting a fused batch uses,
+        // at width one.
+        let h2d_s = transfer_seconds(&spec, prof.h2d_bytes);
+        let d2h_s = transfer_seconds(&spec, prof.d2h_bytes);
+        let n = iters as f64;
+        let book = TimeBook {
+            kernel_s: prof.kernel_seconds * n,
+            overhead_s: spec.launch_overhead_s * n,
+            h2d_s: h2d_s * n,
+            d2h_s: d2h_s * n,
+            bytes_h2d: prof.h2d_bytes * iters,
+            bytes_d2h: prof.d2h_bytes * iters,
+            launches: iters,
+            host_s: prof.host_seconds * n,
+        };
+        let seconds = book.gpu_total_s();
+        dev.charge(&book);
+        StepRun { iters, seconds }
+    }
+
+    fn step_host(&mut self, _host: &HostSpec, quota: u64) -> StepRun {
+        // `profile` already folds the executor's host model in; only
+        // its host column is used here (reference device irrelevant).
+        let prof = self.profile(&DeviceSpec::gtx280());
+        let iters = self.walk.step(quota);
+        StepRun { iters, seconds: prof.host_seconds * iters as f64 }
+    }
+
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
+        assert!(peers.is_empty(), "annealing jobs are unbatchable");
+        self.step_device(dev, 1).seconds
+    }
+
+    fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
+        self.profile(spec).solo_seconds(spec) * self.walk.iterations() as f64
+    }
+
+    fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport {
+        let hood_name = self.walk.cursor().hood().name();
+        let result = self.walk.cursor().clone().into_result(std::time::Duration::ZERO, hood_name);
+        JobReport {
+            id: self.id,
+            name: self.name.clone(),
+            tenant: String::new(),
+            backend,
+            submitted_s: 0.0,
+            started_s,
+            finished_s,
+            fused_iterations: 0,
+            cancelled: false,
+            rejected: false,
+            outcome: JobOutcome::binary(result),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn JobExec> {
+        Box::new(Self {
+            id: self.id,
+            name: self.name.clone(),
+            priority: self.priority,
+            seq: self.seq,
+            walk: self.walk.clone(),
+            state_h2d_bytes: self.state_h2d_bytes,
+            host: self.host.clone(),
+        })
+    }
+
+    fn persist_tag(&self) -> String {
+        anneal_tag::<P, N>()
+    }
+
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.id.0.write(out);
+        self.name.write(out);
+        self.priority.write(out);
+        self.seq.write(out);
+        self.state_h2d_bytes.write(out);
+        self.host.write(out);
+        self.walk.problem().write(out);
+        self.walk.cursor().persist(out);
+    }
+}
+
+/// Decode one [`AnnealExec`] payload (inverse of its `persist`).
+pub(crate) fn read_anneal_job<P, N>(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+    N: Neighborhood + Clone + Persist + PersistTag + 'static,
+{
+    let id = JobId(r.read::<u64>()?);
+    let name: String = r.read()?;
+    let priority: u8 = r.read()?;
+    let seq: u64 = r.read()?;
+    let state_h2d_bytes: u64 = r.read()?;
+    let host: HostSpec = r.read()?;
+    let problem: P = r.read()?;
+    let cursor = AnnealCursor::<P, N>::read_persisted(r, &problem)?;
+    Ok(Box::new(AnnealExec {
+        id,
+        name,
+        priority,
+        seq,
+        walk: ProblemCursor::new(Arc::new(problem), cursor),
+        state_h2d_bytes,
+        host,
+    }))
 }
 
 /// Decode one [`QapJob`] payload (inverse of its `persist`).

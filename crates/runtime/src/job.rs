@@ -1,9 +1,17 @@
-//! Job descriptions, handles and per-job reports.
+//! Job descriptions, handles, outcomes and per-job reports.
 
-use lnls_core::{BitString, SearchResult, TabuSearch};
+use crate::exec::{
+    anneal_tag, read_anneal_job, read_qap_job, read_tabu_job, tabu_tag, AnnealExec, BinaryTabuJob,
+    JobExec, QapJob, QAP_TAG,
+};
+use crate::submit::{JobCodec, SearchJob, SubmitCtx};
+use lnls_core::persist::{Persist, PersistError, PersistTag, Reader};
+use lnls_core::{BitString, IncrementalEval, SearchResult, SimulatedAnnealing, TabuSearch};
 use lnls_neighborhood::Neighborhood;
 use lnls_qap::{Permutation, QapInstance, RtsConfig, RtsResult};
+use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 /// Opaque identity of a submitted job.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -15,9 +23,10 @@ impl fmt::Display for JobId {
     }
 }
 
-/// Typed handle returned by `submit_*`; poll it with
+/// Typed handle returned by submission; poll it with
 /// [`Scheduler::status`](crate::Scheduler::status) or block with
-/// [`Scheduler::await_report`](crate::Scheduler::await_report).
+/// [`Scheduler::await_report`](crate::Scheduler::await_report). Handles
+/// are `Copy` — every handle-taking method accepts them by value.
 #[derive(Copy, Clone, Debug)]
 pub struct JobHandle {
     pub(crate) id: JobId,
@@ -39,72 +48,128 @@ pub enum JobStatus {
     Running,
     /// Finished; a [`JobReport`] is available.
     Done,
-    /// Cancelled via [`Scheduler::cancel`](crate::Scheduler::cancel); a
-    /// [`JobReport`] with the partial best-so-far is available.
+    /// Cancelled via [`Scheduler::cancel`](crate::Scheduler::cancel) (or
+    /// drained past its deadline); a [`JobReport`] with the partial
+    /// best-so-far is available.
     Cancelled,
+    /// Evicted by admission control (shed to make room for a
+    /// higher-priority submission); a [`JobReport`] marked
+    /// [`rejected`](JobReport::rejected) is available.
+    Rejected,
     /// Unknown to this scheduler.
     Unknown,
 }
 
-/// What a finished job produced — binary searches and QAP runs report
-/// through their native result types.
-#[derive(Clone, Debug)]
-pub enum JobOutcome {
-    /// A bit-string search driven by [`TabuSearch`].
-    Binary(SearchResult),
-    /// A robust-tabu QAP run.
-    Qap(RtsResult),
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Rejected => "rejected",
+            JobStatus::Unknown => "unknown",
+        })
+    }
+}
+
+/// What a finished job produced: the generic record every search
+/// reports — best fitness, iterations, success — plus a typed detail
+/// any workload may attach and callers may downcast.
+///
+/// The bundled executors attach their native result types
+/// ([`SearchResult`] for tabu *and* annealing walks over bit-strings,
+/// [`RtsResult`] for QAP), so the long-standing
+/// [`as_binary`](Self::as_binary) / [`as_qap`](Self::as_qap) accessors
+/// keep working; new workloads attach whatever they like via
+/// [`with_detail`](Self::with_detail) and read it back with
+/// [`detail`](Self::detail).
+#[derive(Clone)]
+pub struct JobOutcome {
+    best_fitness: i64,
+    iterations: u64,
+    success: bool,
+    detail: Arc<dyn Any + Send + Sync>,
+}
+
+impl fmt::Debug for JobOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobOutcome")
+            .field("best_fitness", &self.best_fitness)
+            .field("iterations", &self.iterations)
+            .field("success", &self.success)
+            .finish_non_exhaustive()
+    }
 }
 
 impl JobOutcome {
+    /// A bare record with no typed detail.
+    pub fn new(best_fitness: i64, iterations: u64, success: bool) -> Self {
+        Self::with_detail(best_fitness, iterations, success, ())
+    }
+
+    /// A record carrying a typed detail for downcast access.
+    pub fn with_detail<T: Any + Send + Sync>(
+        best_fitness: i64,
+        iterations: u64,
+        success: bool,
+        detail: T,
+    ) -> Self {
+        Self { best_fitness, iterations, success, detail: Arc::new(detail) }
+    }
+
+    /// Wrap a bit-string search result (tabu or annealing walks).
+    pub fn binary(result: SearchResult) -> Self {
+        Self::with_detail(result.best_fitness, result.iterations, result.success, result)
+    }
+
+    /// Wrap a QAP robust-tabu result.
+    pub fn qap(result: RtsResult) -> Self {
+        Self::with_detail(result.best_cost, result.iterations, result.success, result)
+    }
+
     /// Best fitness/cost reached.
     pub fn best_fitness(&self) -> i64 {
-        match self {
-            JobOutcome::Binary(r) => r.best_fitness,
-            JobOutcome::Qap(r) => r.best_cost,
-        }
+        self.best_fitness
     }
 
     /// Iterations executed.
     pub fn iterations(&self) -> u64 {
-        match self {
-            JobOutcome::Binary(r) => r.iterations,
-            JobOutcome::Qap(r) => r.iterations,
-        }
+        self.iterations
     }
 
     /// True if the job hit its target.
     pub fn success(&self) -> bool {
-        match self {
-            JobOutcome::Binary(r) => r.success,
-            JobOutcome::Qap(r) => r.success,
-        }
+        self.success
     }
 
-    /// The binary search result, if this was a binary job.
+    /// The typed detail, if it is a `T`.
+    pub fn detail<T: Any>(&self) -> Option<&T> {
+        self.detail.downcast_ref()
+    }
+
+    /// The full bit-string search result, if this job was one (binary
+    /// tabu jobs and annealing jobs both report through
+    /// [`SearchResult`]).
     pub fn as_binary(&self) -> Option<&SearchResult> {
-        match self {
-            JobOutcome::Binary(r) => Some(r),
-            JobOutcome::Qap(_) => None,
-        }
+        self.detail()
     }
 
     /// The QAP result, if this was a QAP job.
     pub fn as_qap(&self) -> Option<&RtsResult> {
-        match self {
-            JobOutcome::Qap(r) => Some(r),
-            JobOutcome::Binary(_) => None,
-        }
+        self.detail()
     }
 }
 
-/// Everything known about one completed (or cancelled) job.
+/// Everything known about one completed (or cancelled/rejected) job.
 #[derive(Clone, Debug)]
 pub struct JobReport {
     /// Job identity.
     pub id: JobId,
     /// Submission name.
     pub name: String,
+    /// Tenant attribution from the submission envelope.
+    pub tenant: String,
     /// Backend that completed the job (e.g. `dev0[GTX 280 …]`, `cpu1`).
     pub backend: String,
     /// Simulated fleet time at which the job was submitted.
@@ -117,9 +182,13 @@ pub struct JobReport {
     /// Iterations that ran inside a fused batch with other tenants.
     pub fused_iterations: u64,
     /// True when the job was drained by
-    /// [`Scheduler::cancel`](crate::Scheduler::cancel); the outcome then
-    /// holds the best-so-far at the cancellation boundary.
+    /// [`Scheduler::cancel`](crate::Scheduler::cancel) or a missed
+    /// deadline; the outcome then holds the best-so-far at the drain
+    /// boundary.
     pub cancelled: bool,
+    /// True when the job was evicted by admission control; the outcome
+    /// holds whatever had been computed before the eviction.
+    pub rejected: bool,
     /// The search outcome.
     pub outcome: JobOutcome,
 }
@@ -136,9 +205,13 @@ impl JobReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bundled job types
+// ---------------------------------------------------------------------
+
 /// A bit-string search job: problem + neighborhood + driver + initial
-/// solution, submitted via
-/// [`Scheduler::submit_binary`](crate::Scheduler::submit_binary).
+/// solution, submitted via the generic
+/// [`Scheduler::submit`](crate::Scheduler::submit).
 ///
 /// Jobs whose `(problem family, neighborhood)` coincide are eligible for
 /// launch batching — their per-iteration evaluations fuse into one
@@ -190,8 +263,44 @@ impl<P, N: Neighborhood> BinaryJob<P, N> {
     }
 }
 
-/// A QAP robust-tabu job, submitted via
-/// [`Scheduler::submit_qap`](crate::Scheduler::submit_qap).
+impl<P, N> SearchJob for BinaryJob<P, N>
+where
+    P: IncrementalEval + Persist + PersistTag + 'static,
+    N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn persist_tag(&self) -> String {
+        tabu_tag::<P, N>()
+    }
+
+    fn into_exec(self: Box<Self>, ctx: SubmitCtx) -> Box<dyn JobExec> {
+        Box::new(BinaryTabuJob::new(ctx, *self))
+    }
+}
+
+impl<P, N> JobCodec for BinaryJob<P, N>
+where
+    P: IncrementalEval + Persist + PersistTag + 'static,
+    N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
+{
+    fn registry_tag() -> String {
+        tabu_tag::<P, N>()
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+        read_tabu_job::<P, N>(r)
+    }
+}
+
+/// A QAP robust-tabu job, submitted via the generic
+/// [`Scheduler::submit`](crate::Scheduler::submit).
 ///
 /// QAP runs are driven through a steppable
 /// [`RtsCursor`](lnls_qap::RtsCursor), so they batch into quanta,
@@ -225,5 +334,123 @@ impl QapJobSpec {
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
         self
+    }
+}
+
+impl SearchJob for QapJobSpec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn persist_tag(&self) -> String {
+        QAP_TAG.to_string()
+    }
+
+    fn into_exec(self: Box<Self>, ctx: SubmitCtx) -> Box<dyn JobExec> {
+        Box::new(QapJob::new(ctx, *self))
+    }
+}
+
+impl JobCodec for QapJobSpec {
+    fn registry_tag() -> String {
+        QAP_TAG.to_string()
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+        read_qap_job(r)
+    }
+}
+
+/// A simulated-annealing job: problem + sampler + initial solution,
+/// submitted via the generic
+/// [`Scheduler::submit`](crate::Scheduler::submit) — the sampling-style
+/// counterpart of [`BinaryJob`].
+///
+/// The walk is an [`AnnealCursor`](lnls_core::AnnealCursor) driven
+/// through the object-safe
+/// [`ProblemCursor`](lnls_core::ProblemCursor) adapter; each iteration
+/// evaluates **one** sampled neighbor, so launches are priced as
+/// single-neighbor kernels (overhead-dominated — the paper's argument
+/// for large launches, seen from the other side). Annealing jobs never
+/// fuse and report through [`SearchResult`], so
+/// [`JobOutcome::as_binary`] works on them.
+pub struct AnnealJob<P, N: Neighborhood> {
+    /// Submission name (reports only).
+    pub name: String,
+    /// The problem instance (moved into the scheduler).
+    pub problem: P,
+    /// The annealing driver (schedule, neighborhood sampler, seed).
+    pub sa: SimulatedAnnealing<N>,
+    /// Initial solution — explicit so fleet runs are bit-comparable to
+    /// solo runs.
+    pub init: BitString,
+    /// Larger runs first when the queue is contended (0 = bulk).
+    pub priority: u8,
+    /// Per-iteration incremental-state upload, bytes (pricing input);
+    /// defaults to `4·dim` like [`BinaryJob`].
+    pub state_h2d_bytes: Option<u64>,
+}
+
+impl<P, N: Neighborhood> AnnealJob<P, N> {
+    /// A job with default priority and pricing hints.
+    pub fn new(
+        name: impl Into<String>,
+        problem: P,
+        sa: SimulatedAnnealing<N>,
+        init: BitString,
+    ) -> Self {
+        Self { name: name.into(), problem, sa, init, priority: 0, state_h2d_bytes: None }
+    }
+
+    /// Set the queue priority (higher runs first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Override the per-iteration state-upload pricing hint.
+    pub fn with_state_bytes(mut self, bytes: u64) -> Self {
+        self.state_h2d_bytes = Some(bytes);
+        self
+    }
+}
+
+impl<P, N> SearchJob for AnnealJob<P, N>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+    N: Neighborhood + Clone + Persist + PersistTag + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn persist_tag(&self) -> String {
+        anneal_tag::<P, N>()
+    }
+
+    fn into_exec(self: Box<Self>, ctx: SubmitCtx) -> Box<dyn JobExec> {
+        Box::new(AnnealExec::new(ctx, *self))
+    }
+}
+
+impl<P, N> JobCodec for AnnealJob<P, N>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+    N: Neighborhood + Clone + Persist + PersistTag + 'static,
+{
+    fn registry_tag() -> String {
+        anneal_tag::<P, N>()
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+        read_anneal_job::<P, N>(r)
     }
 }

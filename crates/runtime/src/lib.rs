@@ -5,11 +5,22 @@
 //! devices. This crate turns the workspace's single-search machinery
 //! into a service-shaped subsystem:
 //!
-//! * **Jobs** ([`BinaryJob`], [`QapJobSpec`]) describe a search —
-//!   problem + neighborhood + driver config + initial solution +
-//!   priority — and submission returns a typed [`JobHandle`] for
-//!   polling ([`Scheduler::status`]) or awaiting
+//! * **One problem-agnostic submission API**: anything implementing
+//!   [`SearchJob`] — build a steppable executor, price its launches,
+//!   name a persistence tag — goes through the single generic
+//!   [`Scheduler::submit`]. Three workloads ship: [`BinaryJob`]
+//!   (full-neighborhood tabu, fusable), [`QapJobSpec`] (robust tabu
+//!   over swap moves) and [`AnnealJob`] (simulated annealing with
+//!   sampling-style pricing). Submission returns a `Copy`-able
+//!   [`JobHandle`] for polling ([`Scheduler::status`]) or awaiting
 //!   ([`Scheduler::await_report`]).
+//! * **Admission control**: [`FleetClient`] fronts a scheduler with an
+//!   [`AdmissionPolicy`] — global and per-tenant queue caps, reject vs.
+//!   shed-lowest-priority — turning submission into
+//!   `Result<JobHandle, SubmitError>`; shed jobs report
+//!   [`JobStatus::Rejected`]. [`JobSpec`] envelopes add tenant
+//!   attribution, name/priority overrides, iteration budgets, deadlines
+//!   and a per-job checkpoint policy.
 //! * The [`Scheduler`] owns a [`MultiDevice`](lnls_gpu_sim::MultiDevice)
 //!   fleet plus CPU worker backends and places queued jobs under a
 //!   [`PlacePolicy`] (round-robin or least-loaded), charging modeled
@@ -38,7 +49,10 @@
 //!   [`FleetCheckpoint::load`] round-trip the snapshot through a
 //!   hand-rolled byte format (no serde offline) so fleets survive
 //!   process restarts; [`JobRegistry`] maps persisted job tags back to
-//!   concrete types.
+//!   concrete types through the same [`JobCodec`] trait family
+//!   submission uses. [`SchedulerConfig::autosave_every_ticks`] writes
+//!   rotating auto-checkpoints so a crashed fleet resumes from its last
+//!   snapshot.
 //! * [`FleetReport`] summarizes throughput *and fairness*: makespan,
 //!   busy fractions, jobs per simulated second, speedup versus the
 //!   serialized one-device baseline, preemption counts, and per-tenant
@@ -50,9 +64,12 @@
 //!
 //! ## Example
 //!
+//! One generic `submit` serves every workload — tabu, annealing and QAP
+//! jobs below all flow through the same entry point:
+//!
 //! ```
-//! use lnls_runtime::{BinaryJob, Scheduler, SchedulerConfig};
-//! use lnls_core::{BitString, SearchConfig, TabuSearch};
+//! use lnls_runtime::{AnnealJob, BinaryJob, Scheduler, SchedulerConfig};
+//! use lnls_core::{BitString, SearchConfig, SimulatedAnnealing, TabuSearch};
 //! use lnls_gpu_sim::DeviceSpec;
 //! use lnls_neighborhood::{Neighborhood, TwoHamming};
 //! use lnls_problems::OneMax;
@@ -63,43 +80,68 @@
 //!     SchedulerConfig::default(),
 //! );
 //! let hood = TwoHamming::new(32);
-//! let handles: Vec<_> = (0..6)
-//!     .map(|i| {
-//!         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i);
-//!         let init = BitString::random(&mut rng, 32);
-//!         let search = TabuSearch::paper(SearchConfig::budget(40).with_seed(i), hood.size());
-//!         fleet.submit_binary(BinaryJob::new(
-//!             format!("onemax-{i}"),
-//!             OneMax::new(32),
-//!             hood,
-//!             search,
-//!             init,
-//!         ))
-//!     })
-//!     .collect();
+//! let mut handles = Vec::new();
+//! for i in 0..4u64 {
+//!     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i);
+//!     let init = BitString::random(&mut rng, 32);
+//!     let search = TabuSearch::paper(SearchConfig::budget(40).with_seed(i), hood.size());
+//!     handles.push(fleet.submit(BinaryJob::new(
+//!         format!("tabu-{i}"),
+//!         OneMax::new(32),
+//!         hood,
+//!         search,
+//!         init,
+//!     )));
+//! }
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
+//! let init = BitString::random(&mut rng, 32);
+//! let sa = SimulatedAnnealing::new(SearchConfig::budget(200).with_seed(7), hood, 1.5);
+//! handles.push(fleet.submit(AnnealJob::new("sa-0", OneMax::new(32), sa, init)));
 //! fleet.run_until_idle();
 //! let report = fleet.fleet_report();
-//! assert_eq!(report.jobs_completed, 6);
+//! assert_eq!(report.jobs_completed, 5);
 //! assert!(report.speedup_vs_serial > 1.0);
-//! for h in &handles {
+//! for h in handles {
 //!     assert!(fleet.report(h).expect("completed").outcome.iterations() > 0);
 //! }
 //! ```
+//!
+//! ## Migrating from `submit_binary` / `submit_qap`
+//!
+//! Earlier revisions exposed one submission method per workload. Both
+//! are replaced by the generic path — the job types are unchanged:
+//!
+//! ```text
+//! fleet.submit_binary(BinaryJob::new(..))  →  fleet.submit(BinaryJob::new(..))
+//! fleet.submit_qap(QapJobSpec::new(..))    →  fleet.submit(QapJobSpec::new(..))
+//! ```
+//!
+//! Handle-taking methods now take handles by value (they are `Copy`):
+//! `fleet.status(h)`, `fleet.report(h)`, `fleet.cancel(h)`,
+//! `fleet.await_report(h)`. Registry registration is generic too:
+//! `registry.register_tabu::<P, N>()` became
+//! `registry.register::<BinaryJob<P, N>>()`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod client;
 mod exec;
 mod job;
 mod persist;
 mod report;
 mod scheduler;
+mod submit;
 
-pub use exec::BatchKey;
-pub use job::{BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec};
+pub use client::{AdmissionPolicy, FleetClient, SubmitError};
+pub use exec::{BatchKey, JobExec, StepRun};
+pub use job::{
+    AnnealJob, BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec,
+};
 pub use persist::JobRegistry;
 pub use report::{FleetReport, TenantStat};
 pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig};
+pub use submit::{JobCodec, JobSpec, SearchJob, SubmitCtx};
 
 #[cfg(test)]
 mod tests {
@@ -132,10 +174,10 @@ mod tests {
     fn fleet_results_are_bit_identical_to_solo_runs() {
         let mut fleet =
             Scheduler::with_uniform_fleet(2, DeviceSpec::gtx280(), SchedulerConfig::default());
-        let handles: Vec<_> = (0..5).map(|i| fleet.submit_binary(onemax_job(i, 24, 30))).collect();
+        let handles: Vec<_> = (0..5).map(|i| fleet.submit(onemax_job(i, 24, 30))).collect();
         fleet.run_until_idle();
         for (i, h) in handles.iter().enumerate() {
-            let got = fleet.report(h).expect("done");
+            let got = fleet.report(*h).expect("done");
             let want = solo_result(i as u64, 24, 30);
             let got = got.outcome.as_binary().expect("binary job");
             assert_eq!(got.best, want.best, "job {i}");
@@ -153,7 +195,7 @@ mod tests {
             SchedulerConfig { max_batch: 4, ..Default::default() },
         );
         for i in 0..4 {
-            fleet.submit_binary(onemax_job(i, 24, 10));
+            fleet.submit(onemax_job(i, 24, 10));
         }
         fleet.run_until_idle();
         let report = fleet.fleet_report();
@@ -171,7 +213,7 @@ mod tests {
             SchedulerConfig { max_batch: 1, ..Default::default() },
         );
         for i in 0..3 {
-            fleet.submit_binary(onemax_job(i, 16, 8));
+            fleet.submit(onemax_job(i, 16, 8));
         }
         fleet.run_until_idle();
         let report = fleet.fleet_report();
@@ -188,7 +230,7 @@ mod tests {
                 SchedulerConfig { max_batch: 1, ..Default::default() },
             );
             for i in 0..6 {
-                fleet.submit_binary(onemax_job(i, 24, 20));
+                fleet.submit(onemax_job(i, 24, 20));
             }
             fleet.run_until_idle();
             fleet.fleet_report().makespan_s
@@ -205,11 +247,11 @@ mod tests {
             DeviceSpec::gtx280(),
             SchedulerConfig { max_batch: 1, ..Default::default() },
         );
-        let low = fleet.submit_binary(onemax_job(0, 16, 5));
-        let high = fleet.submit_binary(onemax_job(1, 16, 5).with_priority(9));
+        let low = fleet.submit(onemax_job(0, 16, 5));
+        let high = fleet.submit(onemax_job(1, 16, 5).with_priority(9));
         fleet.run_until_idle();
-        let r_low = fleet.report(&low).unwrap();
-        let r_high = fleet.report(&high).unwrap();
+        let r_low = fleet.report(low).unwrap();
+        let r_high = fleet.report(high).unwrap();
         assert!(
             r_high.finished_s <= r_low.started_s + 1e-12,
             "high priority must be scheduled first"
@@ -220,15 +262,15 @@ mod tests {
     fn status_lifecycle_and_await() {
         let mut fleet =
             Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
-        let h = fleet.submit_binary(onemax_job(3, 16, 5));
-        assert_eq!(fleet.status(&h), JobStatus::Queued);
+        let h = fleet.submit(onemax_job(3, 16, 5));
+        assert_eq!(fleet.status(h), JobStatus::Queued);
         assert!(fleet.tick());
-        assert_ne!(fleet.status(&h), JobStatus::Queued, "placed after first tick");
+        assert_ne!(fleet.status(h), JobStatus::Queued, "placed after first tick");
         // 2-Hamming moves preserve ones-count parity, so the target may
         // be unreachable; completion, not success, is what's under test.
-        let report = fleet.await_report(&h).outcome.clone();
+        let report = fleet.await_report(h).outcome.clone();
         assert!(report.iterations() > 0);
-        assert_eq!(fleet.status(&h), JobStatus::Done);
+        assert_eq!(fleet.status(h), JobStatus::Done);
     }
 
     #[test]
@@ -240,7 +282,7 @@ mod tests {
                 SchedulerConfig { max_batch: 2, ..Default::default() },
             );
             for i in 0..4 {
-                fleet.submit_binary(onemax_job(i, 24, 25));
+                fleet.submit(onemax_job(i, 24, 25));
             }
             fleet
         };
@@ -277,7 +319,7 @@ mod tests {
             MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
             SchedulerConfig { cpu_workers: 2, max_batch: 1, ..Default::default() },
         );
-        let handles: Vec<_> = (0..6).map(|i| fleet.submit_binary(onemax_job(i, 20, 12))).collect();
+        let handles: Vec<_> = (0..6).map(|i| fleet.submit(onemax_job(i, 20, 12))).collect();
         fleet.run_until_idle();
         let report = fleet.fleet_report();
         assert_eq!(report.jobs_completed, 6);
@@ -287,7 +329,7 @@ mod tests {
             report.cpu_busy_s
         );
         for (i, h) in handles.iter().enumerate() {
-            let got = fleet.report(h).unwrap().outcome.as_binary().unwrap().best.clone();
+            let got = fleet.report(*h).unwrap().outcome.as_binary().unwrap().best.clone();
             assert_eq!(got, solo_result(i as u64, 20, 12).best, "job {i}");
         }
     }
@@ -304,7 +346,7 @@ mod tests {
             SchedulerConfig { max_batch: 8, ..Default::default() },
         );
         for i in 0..6 {
-            fleet.submit_binary(onemax_job(i, 24, 15));
+            fleet.submit(onemax_job(i, 24, 15));
         }
         fleet.run_until_idle();
         let report = fleet.fleet_report();
@@ -324,7 +366,7 @@ mod tests {
             SchedulerConfig { policy: PlacePolicy::RoundRobin, max_batch: 1, ..Default::default() },
         );
         for i in 0..3 {
-            fleet.submit_binary(onemax_job(i, 20, 10));
+            fleet.submit(onemax_job(i, 20, 10));
         }
         fleet.run_until_idle();
         let report = fleet.fleet_report();
@@ -337,7 +379,7 @@ mod tests {
         let fleet =
             Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
         let ghost = JobHandle { id: JobId(999) };
-        assert_eq!(fleet.status(&ghost), JobStatus::Unknown);
+        assert_eq!(fleet.status(ghost), JobStatus::Unknown);
     }
 
     // -- preemption / fair share --------------------------------------
@@ -362,14 +404,13 @@ mod tests {
                 DeviceSpec::gtx280(),
                 SchedulerConfig { max_batch: 1, quantum_iters: quantum, ..Default::default() },
             );
-            let qap = fleet.submit_qap(qap_spec(1, 12, 300));
-            let onemax: Vec<_> =
-                (0..4).map(|i| fleet.submit_binary(onemax_job(i, 24, 25))).collect();
+            let qap = fleet.submit(qap_spec(1, 12, 300));
+            let onemax: Vec<_> = (0..4).map(|i| fleet.submit(onemax_job(i, 24, 25))).collect();
             fleet.run_until_idle();
             let outcomes: Vec<(i64, u64)> = std::iter::once(&qap)
                 .chain(&onemax)
                 .map(|h| {
-                    let o = &fleet.report(h).unwrap().outcome;
+                    let o = &fleet.report(*h).unwrap().outcome;
                     (o.best_fitness(), o.iterations())
                 })
                 .collect();
@@ -396,19 +437,19 @@ mod tests {
             DeviceSpec::gtx280(),
             SchedulerConfig { max_batch: 4, quantum_iters: Some(3), ..Default::default() },
         );
-        let handles: Vec<_> = (0..4).map(|i| fleet.submit_binary(onemax_job(i, 24, 12))).collect();
-        let qap = fleet.submit_qap(qap_spec(2, 10, 40));
+        let handles: Vec<_> = (0..4).map(|i| fleet.submit(onemax_job(i, 24, 12))).collect();
+        let qap = fleet.submit(qap_spec(2, 10, 40));
         fleet.run_until_idle();
         let report = fleet.fleet_report();
         assert!(report.fused_launches > 0, "same-key tenants must fuse across slices");
         assert!(report.preemptions > 0);
         for (i, h) in handles.iter().enumerate() {
-            let got = fleet.report(h).unwrap().outcome.as_binary().unwrap();
+            let got = fleet.report(*h).unwrap().outcome.as_binary().unwrap();
             let want = solo_result(i as u64, 24, 12);
             assert_eq!(got.best, want.best, "job {i}");
             assert_eq!(got.iterations, want.iterations, "job {i}");
         }
-        assert!(fleet.report(&qap).unwrap().outcome.as_qap().is_some());
+        assert!(fleet.report(qap).unwrap().outcome.as_qap().is_some());
     }
 
     #[test]
@@ -420,10 +461,10 @@ mod tests {
             DeviceSpec::gtx280(),
             SchedulerConfig { max_batch: 1, quantum_iters: Some(4), ..Default::default() },
         );
-        let low = fleet.submit_binary(onemax_job(0, 24, 60));
-        let high = fleet.submit_binary(onemax_job(1, 24, 60).with_priority(3));
+        let low = fleet.submit(onemax_job(0, 24, 60));
+        let high = fleet.submit(onemax_job(1, 24, 60).with_priority(3));
         fleet.run_until_idle();
-        let (r_low, r_high) = (fleet.report(&low).unwrap(), fleet.report(&high).unwrap());
+        let (r_low, r_high) = (fleet.report(low).unwrap(), fleet.report(high).unwrap());
         assert!(
             r_high.finished_s < r_low.finished_s,
             "high priority ({}) must finish before low ({})",
@@ -441,23 +482,23 @@ mod tests {
             DeviceSpec::gtx280(),
             SchedulerConfig { max_batch: 1, ..Default::default() },
         );
-        let running = fleet.submit_binary(onemax_job(0, 16, 40));
-        let queued = fleet.submit_binary(onemax_job(1, 16, 40));
+        let running = fleet.submit(onemax_job(0, 16, 40));
+        let queued = fleet.submit(onemax_job(1, 16, 40));
         assert!(fleet.tick());
-        assert_eq!(fleet.status(&queued), JobStatus::Queued);
-        assert!(fleet.cancel(&queued), "queued job must be cancellable");
-        assert!(!fleet.cancel(&queued) || fleet.status(&queued) != JobStatus::Cancelled);
+        assert_eq!(fleet.status(queued), JobStatus::Queued);
+        assert!(fleet.cancel(queued), "queued job must be cancellable");
+        assert!(!fleet.cancel(queued) || fleet.status(queued) != JobStatus::Cancelled);
         fleet.run_until_idle();
-        let report = fleet.report(&queued).expect("cancelled job still reports");
+        let report = fleet.report(queued).expect("cancelled job still reports");
         assert!(report.cancelled);
         assert_eq!(report.outcome.iterations(), 0, "never left the queue");
-        assert_eq!(fleet.status(&queued), JobStatus::Cancelled);
-        assert_eq!(fleet.status(&running), JobStatus::Done);
+        assert_eq!(fleet.status(queued), JobStatus::Cancelled);
+        assert_eq!(fleet.status(running), JobStatus::Done);
         let fr = fleet.fleet_report();
         assert_eq!(fr.jobs_cancelled, 1);
         assert_eq!(fr.jobs_completed, 1);
         // A finished job cannot be cancelled.
-        assert!(!fleet.cancel(&running));
+        assert!(!fleet.cancel(running));
     }
 
     #[test]
@@ -469,19 +510,19 @@ mod tests {
         );
         // Two fused lanes; cancelling one mid-flight must not disturb
         // the other.
-        let victim = fleet.submit_binary(onemax_job(0, 24, 50));
-        let survivor = fleet.submit_binary(onemax_job(1, 24, 50));
+        let victim = fleet.submit(onemax_job(0, 24, 50));
+        let survivor = fleet.submit(onemax_job(1, 24, 50));
         for _ in 0..3 {
             fleet.tick();
         }
-        assert_eq!(fleet.status(&victim), JobStatus::Running);
-        assert!(fleet.cancel(&victim));
+        assert_eq!(fleet.status(victim), JobStatus::Running);
+        assert!(fleet.cancel(victim));
         fleet.run_until_idle();
-        let vr = fleet.report(&victim).unwrap();
+        let vr = fleet.report(victim).unwrap();
         assert!(vr.cancelled);
         let iters = vr.outcome.iterations();
         assert!(iters > 0 && iters < 50, "drained mid-run, got {iters} iterations");
-        let sr = fleet.report(&survivor).unwrap();
+        let sr = fleet.report(survivor).unwrap();
         assert!(!sr.cancelled);
         assert_eq!(sr.outcome.as_binary().unwrap().best, solo_result(1, 24, 50).best);
     }
@@ -497,7 +538,7 @@ mod tests {
                 SchedulerConfig { max_batch: 2, quantum_iters: Some(4), ..Default::default() },
             );
             for i in 0..5 {
-                fleet.submit_binary(onemax_job(i, 24, 25));
+                fleet.submit(onemax_job(i, 24, 25));
             }
             fleet
         };
@@ -539,9 +580,9 @@ mod tests {
                 },
             );
             for i in 0..4 {
-                fleet.submit_binary(onemax_job(i, 24, 30));
+                fleet.submit(onemax_job(i, 24, 30));
             }
-            fleet.submit_qap(qap_spec(7, 10, 60));
+            fleet.submit(qap_spec(7, 10, 60));
             fleet
         };
         let mut straight = build();
@@ -579,7 +620,7 @@ mod tests {
     fn checkpoint_load_rejects_unregistered_tags() {
         let mut fleet =
             Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
-        fleet.submit_binary(onemax_job(0, 16, 10));
+        fleet.submit(onemax_job(0, 16, 10));
         let bytes = fleet.checkpoint().to_bytes();
         let empty = JobRegistry::new(); // knows QAP only
         let err = match FleetCheckpoint::from_bytes(&bytes, &empty) {

@@ -15,29 +15,31 @@
 //! with, exactly like it had to in order to submit them.
 //!
 //! [`JobRegistry::with_builtin`] pre-registers every combination the
-//! workspace ships (QAP robust tabu, OneMax and PPP over the bundled
-//! neighborhoods); custom problems add themselves with
-//! [`JobRegistry::register_tabu`].
+//! workspace ships (QAP robust tabu, plus tabu *and* annealing jobs for
+//! OneMax and PPP over the bundled neighborhoods); custom workloads add
+//! themselves with [`JobRegistry::register`], keyed by their
+//! [`JobCodec`] implementation — the same trait family submission
+//! flows through.
 
-use crate::exec::{read_qap_job, read_tabu_job, tabu_tag, JobExec, QAP_TAG};
-use crate::job::{JobId, JobOutcome, JobReport};
+use crate::exec::JobExec;
+use crate::job::{AnnealJob, BinaryJob, JobId, JobOutcome, JobReport, QapJobSpec};
 use crate::scheduler::{ActiveJob, ActiveSnapshot, FleetCheckpoint, JobMeta, QueueEntry};
+use crate::submit::JobCodec;
 use crate::{PlacePolicy, SchedulerConfig};
-use lnls_core::persist::{Persist, PersistError, PersistTag, Reader};
-use lnls_core::IncrementalEval;
-use lnls_neighborhood::{KHamming, Neighborhood, OneHamming, ThreeHamming, TwoHamming};
+use lnls_core::persist::{Persist, PersistError, Reader};
+use lnls_neighborhood::{KHamming, OneHamming, ThreeHamming, TwoHamming};
 use lnls_ppp::Ppp;
 use lnls_problems::OneMax;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LNLSFLT\x01";
+const MAGIC: &[u8; 8] = b"LNLSFLT\x02";
 
 type Loader = fn(&mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>;
 
 /// Maps persisted job tags back to concrete decoders (see the
-/// [module docs](self)).
+/// module docs above).
 pub struct JobRegistry {
     loaders: BTreeMap<String, Loader>,
 }
@@ -46,30 +48,34 @@ impl JobRegistry {
     /// An empty registry that can only decode QAP jobs (they are fully
     /// concrete; no type parameters to resolve).
     pub fn new() -> Self {
-        let mut loaders: BTreeMap<String, Loader> = BTreeMap::new();
-        loaders.insert(QAP_TAG.to_string(), read_qap_job);
-        Self { loaders }
+        let mut reg = Self { loaders: BTreeMap::new() };
+        reg.register::<QapJobSpec>();
+        reg
     }
 
     /// A registry pre-loaded with every job type the workspace bundles.
     pub fn with_builtin() -> Self {
         let mut reg = Self::new();
-        reg.register_tabu::<OneMax, OneHamming>();
-        reg.register_tabu::<OneMax, TwoHamming>();
-        reg.register_tabu::<OneMax, ThreeHamming>();
-        reg.register_tabu::<OneMax, KHamming>();
-        reg.register_tabu::<Ppp, TwoHamming>();
-        reg.register_tabu::<Ppp, KHamming>();
+        reg.register::<BinaryJob<OneMax, OneHamming>>();
+        reg.register::<BinaryJob<OneMax, TwoHamming>>();
+        reg.register::<BinaryJob<OneMax, ThreeHamming>>();
+        reg.register::<BinaryJob<OneMax, KHamming>>();
+        reg.register::<BinaryJob<Ppp, TwoHamming>>();
+        reg.register::<BinaryJob<Ppp, KHamming>>();
+        reg.register::<AnnealJob<OneMax, OneHamming>>();
+        reg.register::<AnnealJob<OneMax, TwoHamming>>();
+        reg.register::<AnnealJob<OneMax, KHamming>>();
+        reg.register::<AnnealJob<Ppp, TwoHamming>>();
+        reg.register::<AnnealJob<Ppp, KHamming>>();
         reg
     }
 
-    /// Register the binary tabu job type over `(P, N)`. Idempotent.
-    pub fn register_tabu<P, N>(&mut self)
-    where
-        P: IncrementalEval + Persist + PersistTag + 'static,
-        N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
-    {
-        self.loaders.insert(tabu_tag::<P, N>(), read_tabu_job::<P, N>);
+    /// Register a job type by its [`JobCodec`]. Idempotent. Submission
+    /// and persistence flow through the same trait family, so one
+    /// registration covers a workload end to end — `BinaryJob`,
+    /// `QapJobSpec`, `AnnealJob`, or anything external.
+    pub fn register<J: JobCodec>(&mut self) {
+        self.loaders.insert(J::registry_tag(), J::decode as Loader);
     }
 
     fn decode_job(&self, r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
@@ -114,6 +120,8 @@ fn write_cfg(cfg: &SchedulerConfig, out: &mut Vec<u8>) {
     cfg.max_batch.write(out);
     cfg.host.write(out);
     cfg.quantum_iters.write(out);
+    cfg.autosave_every_ticks.write(out);
+    cfg.autosave_path.as_ref().map(|p| p.to_string_lossy().into_owned()).write(out);
 }
 
 fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
@@ -128,50 +136,76 @@ fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
         max_batch: r.read()?,
         host: r.read()?,
         quantum_iters: r.read()?,
+        autosave_every_ticks: r.read()?,
+        autosave_path: r.read::<Option<String>>()?.map(std::path::PathBuf::from),
+    })
+}
+
+/// Outcomes persist as the generic record plus a tagged detail: the two
+/// bundled detail types round-trip losslessly; an unknown (external)
+/// detail degrades to the record alone — the fitness/iteration numbers
+/// survive, the typed payload does not.
+fn write_outcome(outcome: &JobOutcome, out: &mut Vec<u8>) {
+    if let Some(res) = outcome.as_binary() {
+        0u8.write(out);
+        res.write(out);
+    } else if let Some(res) = outcome.as_qap() {
+        1u8.write(out);
+        res.write(out);
+    } else {
+        2u8.write(out);
+        outcome.best_fitness().write(out);
+        outcome.iterations().write(out);
+        outcome.success().write(out);
+    }
+}
+
+fn read_outcome(r: &mut Reader<'_>) -> Result<JobOutcome, PersistError> {
+    Ok(match u8::read(r)? {
+        0 => JobOutcome::binary(r.read()?),
+        1 => JobOutcome::qap(r.read()?),
+        2 => {
+            let best_fitness: i64 = r.read()?;
+            let iterations: u64 = r.read()?;
+            let success: bool = r.read()?;
+            JobOutcome::new(best_fitness, iterations, success)
+        }
+        b => return Err(PersistError::new(format!("bad outcome tag {b}"))),
     })
 }
 
 fn write_report(report: &JobReport, out: &mut Vec<u8>) {
     report.id.0.write(out);
     report.name.write(out);
+    report.tenant.write(out);
     report.backend.write(out);
     report.submitted_s.write(out);
     report.started_s.write(out);
     report.finished_s.write(out);
     report.fused_iterations.write(out);
     report.cancelled.write(out);
-    match &report.outcome {
-        JobOutcome::Binary(res) => {
-            0u8.write(out);
-            res.write(out);
-        }
-        JobOutcome::Qap(res) => {
-            1u8.write(out);
-            res.write(out);
-        }
-    }
+    report.rejected.write(out);
+    write_outcome(&report.outcome, out);
 }
 
 fn read_report(r: &mut Reader<'_>) -> Result<JobReport, PersistError> {
     Ok(JobReport {
         id: JobId(r.read::<u64>()?),
         name: r.read()?,
+        tenant: r.read()?,
         backend: r.read()?,
         submitted_s: r.read()?,
         started_s: r.read()?,
         finished_s: r.read()?,
         fused_iterations: r.read()?,
         cancelled: r.read()?,
-        outcome: match u8::read(r)? {
-            0 => JobOutcome::Binary(r.read()?),
-            1 => JobOutcome::Qap(r.read()?),
-            b => return Err(PersistError::new(format!("bad outcome tag {b}"))),
-        },
+        rejected: r.read()?,
+        outcome: read_outcome(r)?,
     })
 }
 
 impl FleetCheckpoint {
-    /// Encode the whole snapshot into bytes (see the [module docs](self)
+    /// Encode the whole snapshot into bytes (see the module docs
     /// for the format).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -214,6 +248,10 @@ impl FleetCheckpoint {
             id.0.write(&mut out);
             m.submitted_s.write(&mut out);
             m.first_started_s.write(&mut out);
+            m.tenant.write(&mut out);
+            m.iter_budget.write(&mut out);
+            m.deadline_s.write(&mut out);
+            m.checkpoint.write(&mut out);
         }
         let cancels: Vec<u64> = self.cancel_requested.iter().map(|id| id.0).collect();
         cancels.write(&mut out);
@@ -221,6 +259,8 @@ impl FleetCheckpoint {
         self.fused_launches.write(&mut out);
         self.launches_saved.write(&mut out);
         self.preemptions.write(&mut out);
+        self.ticks.write(&mut out);
+        self.autosaves.write(&mut out);
         out
     }
 
@@ -276,7 +316,17 @@ impl FleetCheckpoint {
         let mut meta = BTreeMap::new();
         for _ in 0..meta_len {
             let id = JobId(r.read::<u64>()?);
-            meta.insert(id, JobMeta { submitted_s: r.read()?, first_started_s: r.read()? });
+            meta.insert(
+                id,
+                JobMeta {
+                    submitted_s: r.read()?,
+                    first_started_s: r.read()?,
+                    tenant: r.read()?,
+                    iter_budget: r.read()?,
+                    deadline_s: r.read()?,
+                    checkpoint: r.read()?,
+                },
+            );
         }
         let cancels: Vec<u64> = r.read()?;
         let cancel_requested: BTreeSet<JobId> = cancels.into_iter().map(JobId).collect();
@@ -297,6 +347,8 @@ impl FleetCheckpoint {
             fused_launches: r.read()?,
             launches_saved: r.read()?,
             preemptions: r.read()?,
+            ticks: r.read()?,
+            autosaves: r.read()?,
         };
         if r.remaining() != 0 {
             return Err(PersistError::new(format!(

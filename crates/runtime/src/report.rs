@@ -9,6 +9,8 @@ use std::fmt;
 pub struct TenantStat {
     /// Submission name.
     pub name: String,
+    /// Tenant attribution from the submission envelope.
+    pub tenant: String,
     /// When the job entered the queue.
     pub submitted_s: f64,
     /// When the job first left the queue (its first slice under
@@ -22,6 +24,9 @@ pub struct TenantStat {
     pub turnaround_s: f64,
     /// True when the job was cancelled rather than completed.
     pub cancelled: bool,
+    /// True when the job was evicted by admission control; rejected
+    /// rows are excluded from the wait/turnaround aggregates.
+    pub rejected: bool,
 }
 
 /// Throughput, utilization and fairness summary of one scheduler run.
@@ -31,6 +36,10 @@ pub struct FleetReport {
     pub jobs_completed: u64,
     /// Jobs drained by cancellation.
     pub jobs_cancelled: u64,
+    /// Jobs evicted by admission control (shed from the queue, plus —
+    /// through [`FleetClient`](crate::FleetClient) — submissions
+    /// rejected outright).
+    pub jobs_rejected: u64,
     /// Jobs still queued.
     pub jobs_queued: u64,
     /// Jobs currently placed on a backend.
@@ -57,6 +66,9 @@ pub struct FleetReport {
     /// Assignments preempted at a quantum boundary (0 when
     /// `quantum_iters` is off).
     pub preemptions: u64,
+    /// Auto-checkpoints written (see
+    /// [`SchedulerConfig::autosave_every_ticks`](crate::SchedulerConfig::autosave_every_ticks)).
+    pub autosaves: u64,
     /// Worst queue wait over finished tenants — the headline fairness
     /// number preemption exists to lower.
     pub max_wait_s: f64,
@@ -79,8 +91,12 @@ impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "fleet: {} done / {} cancelled / {} running / {} queued",
-            self.jobs_completed, self.jobs_cancelled, self.jobs_running, self.jobs_queued
+            "fleet: {} done / {} cancelled / {} rejected / {} running / {} queued",
+            self.jobs_completed,
+            self.jobs_cancelled,
+            self.jobs_rejected,
+            self.jobs_running,
+            self.jobs_queued
         )?;
         writeln!(
             f,

@@ -1,15 +1,14 @@
-//! The fleet scheduler: queue, fair-share placement, quantum-preemptive
-//! fused stepping, cancellation, checkpointing.
+//! The fleet scheduler: the generic submission path, queue, fair-share
+//! placement, quantum-preemptive fused stepping, cancellation,
+//! iteration budgets and deadlines, checkpointing and auto-checkpoints.
 
-use crate::exec::{BatchKey, BinaryTabuJob, JobExec, QapJob, StepRun};
-use crate::job::{BinaryJob, JobHandle, JobId, JobReport, JobStatus, QapJobSpec};
+use crate::exec::{BatchKey, JobExec, StepRun};
+use crate::job::{JobHandle, JobId, JobReport, JobStatus};
 use crate::report::{FleetReport, TenantStat};
-use lnls_core::persist::{Persist, PersistTag};
-use lnls_core::IncrementalEval;
+use crate::submit::{JobSpec, SearchJob, SubmitCtx};
 use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, TimeBook};
-use lnls_neighborhood::Neighborhood;
-use lnls_qap::RobustTabu;
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 
 /// How queued jobs are placed onto idle backends.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -41,6 +40,14 @@ pub struct SchedulerConfig {
     /// round-robin, so no tenant monopolizes a backend. Preemption never
     /// changes a job's result — only who waits how long.
     pub quantum_iters: Option<u64>,
+    /// Auto-checkpoint cadence: every `n` ticks the scheduler snapshots
+    /// itself to [`autosave_path`](Self::autosave_path) (no effect when
+    /// either knob is unset). The previous snapshot is rotated to
+    /// `<path>.1`, so a crash mid-write still leaves a loadable file.
+    pub autosave_every_ticks: Option<u64>,
+    /// Where auto-checkpoints land (see
+    /// [`autosave_every_ticks`](Self::autosave_every_ticks)).
+    pub autosave_path: Option<PathBuf>,
 }
 
 impl Default for SchedulerConfig {
@@ -51,6 +58,8 @@ impl Default for SchedulerConfig {
             max_batch: 8,
             host: HostSpec::xeon_3ghz(),
             quantum_iters: None,
+            autosave_every_ticks: None,
+            autosave_path: None,
         }
     }
 }
@@ -78,17 +87,24 @@ pub(crate) struct Active {
     pub slice_used: u64,
 }
 
-/// Per-job lifecycle timestamps the reports are built from.
+/// Per-job lifecycle timestamps and envelope policy (tenant, budget,
+/// deadline, checkpointability) the reports and drain sweeps are built
+/// from.
 #[derive(Clone, Debug)]
 pub(crate) struct JobMeta {
     pub submitted_s: f64,
     pub first_started_s: Option<f64>,
+    pub tenant: String,
+    pub iter_budget: Option<u64>,
+    pub deadline_s: Option<f64>,
+    pub checkpoint: bool,
 }
 
 /// A batched multi-tenant search scheduler over a simulated device fleet.
 ///
-/// Submit jobs ([`submit_binary`](Self::submit_binary),
-/// [`submit_qap`](Self::submit_qap)), then drive the simulation with
+/// Submit any [`SearchJob`] through the one generic entry point
+/// ([`submit`](Self::submit), or [`submit_spec`](Self::submit_spec) for
+/// an enveloped submission), then drive the simulation with
 /// [`tick`](Self::tick) / [`run_until_idle`](Self::run_until_idle) /
 /// [`await_report`](Self::await_report). All time is *modeled* time from
 /// the gpu-sim cost models; execution is deterministic, so fleet runs
@@ -119,10 +135,16 @@ pub struct Scheduler {
     done: BTreeMap<JobId, JobReport>,
     meta: BTreeMap<JobId, JobMeta>,
     cancel_requested: BTreeSet<JobId>,
+    /// Live jobs carrying an envelope constraint (deadline or iteration
+    /// budget) — lets the per-tick policy sweep skip entirely in the
+    /// common all-plain-submissions case.
+    policed: BTreeSet<JobId>,
     serialized_s: f64,
     fused_launches: u64,
     launches_saved: u64,
     preemptions: u64,
+    ticks: u64,
+    autosaves: u64,
 }
 
 impl Scheduler {
@@ -143,10 +165,13 @@ impl Scheduler {
             done: BTreeMap::new(),
             meta: BTreeMap::new(),
             cancel_requested: BTreeSet::new(),
+            policed: BTreeSet::new(),
             serialized_s: 0.0,
             fused_launches: 0,
             launches_saved: 0,
             preemptions: 0,
+            ticks: 0,
+            autosaves: 0,
         }
     }
 
@@ -160,16 +185,28 @@ impl Scheduler {
         &self.devices
     }
 
-    /// Current fleet time: the most advanced backend clock.
-    fn now_s(&self) -> f64 {
+    /// Current fleet time: the most advanced backend clock (modeled
+    /// seconds — the clock [`JobSpec::with_deadline`] compares against).
+    pub fn now_s(&self) -> f64 {
         self.clocks.iter().copied().fold(0.0, f64::max)
     }
 
-    fn enqueue(&mut self, job: Box<dyn JobExec>) -> JobHandle {
-        let id = job.id();
-        self.meta.insert(id, JobMeta { submitted_s: self.now_s(), first_started_s: None });
-        self.queue.push(QueueEntry { job, deficit: 0 });
-        JobHandle { id }
+    /// Jobs currently waiting in the queue (what admission-control caps
+    /// count).
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Identities of the currently queued jobs (one snapshot for
+    /// admission-control planning, instead of per-job status scans).
+    pub(crate) fn queued_job_ids(&self) -> BTreeSet<JobId> {
+        self.queue.iter().map(|e| e.job.id()).collect()
+    }
+
+    /// True once `handle`'s job has a final report (done, cancelled or
+    /// rejected) — the client uses this to prune its bookkeeping.
+    pub(crate) fn is_terminal(&self, handle: JobHandle) -> bool {
+        self.done.contains_key(&handle.id)
     }
 
     fn fresh_ids(&mut self) -> (JobId, u64) {
@@ -180,44 +217,61 @@ impl Scheduler {
         (id, seq)
     }
 
-    /// Submit a bit-string search job.
+    /// Submit any [`SearchJob`] — the one generic entry point for every
+    /// workload: binary tabu, QAP robust tabu, simulated annealing, or
+    /// an external implementation.
     ///
-    /// `P` and `N` must be byte-persistable ([`Persist`] + [`PersistTag`])
-    /// so the whole fleet — in-flight cursors included — can survive a
-    /// process restart through [`FleetCheckpoint::save`].
-    pub fn submit_binary<P, N>(&mut self, job: BinaryJob<P, N>) -> JobHandle
-    where
-        P: IncrementalEval + Persist + PersistTag + 'static,
-        N: Neighborhood + Clone + Send + Sync + Persist + PersistTag + 'static,
-    {
-        let (id, seq) = self.fresh_ids();
-        let host = self.cfg.host.clone();
-        self.enqueue(Box::new(BinaryTabuJob::new(id, seq, job, host)))
+    /// Equivalent to [`submit_spec`](Self::submit_spec) with a default
+    /// envelope. Admission control lives one layer up, in
+    /// [`FleetClient`](crate::FleetClient); the raw scheduler accepts
+    /// everything.
+    pub fn submit<J: SearchJob>(&mut self, job: J) -> JobHandle {
+        self.submit_spec(JobSpec::new(job))
     }
 
-    /// Submit a QAP robust-tabu job.
-    pub fn submit_qap(&mut self, job: QapJobSpec) -> JobHandle {
+    /// Submit an enveloped [`SearchJob`]: the [`JobSpec`] adds tenant
+    /// attribution, name/priority overrides, an iteration budget, a
+    /// deadline and the checkpoint policy on top of the job itself.
+    pub fn submit_spec<J: SearchJob>(&mut self, spec: JobSpec<J>) -> JobHandle {
         let (id, seq) = self.fresh_ids();
-        let cursor = RobustTabu::new(job.config).cursor(&job.instance, job.init);
-        self.enqueue(Box::new(QapJob {
+        let JobSpec { job, name, priority, tenant, iter_budget, deadline_s, checkpoint } = spec;
+        let ctx = SubmitCtx {
             id,
-            name: job.name,
-            priority: job.priority,
             seq,
-            instance: std::sync::Arc::new(job.instance),
-            cursor,
-            charged_s: 0.0,
-            book: TimeBook::default(),
-            host_iters: 0,
-            gpu: None,
-            table: None,
-        }))
+            host: self.cfg.host.clone(),
+            name_override: name,
+            priority_override: priority,
+        };
+        let exec = Box::new(job).into_exec(ctx);
+        debug_assert_eq!(exec.id(), id, "executors must adopt the SubmitCtx identity");
+        if iter_budget.is_some() || deadline_s.is_some() {
+            self.policed.insert(id);
+        }
+        self.meta.insert(
+            id,
+            JobMeta {
+                submitted_s: self.now_s(),
+                first_started_s: None,
+                tenant,
+                iter_budget,
+                deadline_s,
+                checkpoint,
+            },
+        );
+        self.queue.push(QueueEntry { job: exec, deficit: 0 });
+        JobHandle { id }
     }
 
     /// Where `handle`'s job currently is.
-    pub fn status(&self, handle: &JobHandle) -> JobStatus {
+    pub fn status(&self, handle: JobHandle) -> JobStatus {
         if let Some(report) = self.done.get(&handle.id) {
-            return if report.cancelled { JobStatus::Cancelled } else { JobStatus::Done };
+            return if report.rejected {
+                JobStatus::Rejected
+            } else if report.cancelled {
+                JobStatus::Cancelled
+            } else {
+                JobStatus::Done
+            };
         }
         if self.queue.iter().any(|e| e.job.id() == handle.id) {
             return JobStatus::Queued;
@@ -241,7 +295,7 @@ impl Scheduler {
     /// [`cancelled`](JobReport::cancelled), with the best-so-far at the
     /// boundary — lands in [`reports`](Self::reports). Returns `false`
     /// for jobs already finished or unknown to this scheduler.
-    pub fn cancel(&mut self, handle: &JobHandle) -> bool {
+    pub fn cancel(&mut self, handle: JobHandle) -> bool {
         if self.done.contains_key(&handle.id) {
             return false;
         }
@@ -260,8 +314,27 @@ impl Scheduler {
         }
     }
 
+    /// Evict a *queued* job on behalf of admission control (the
+    /// shed-lowest-priority policy of
+    /// [`FleetClient`](crate::FleetClient)). The job leaves the queue
+    /// immediately; its report is marked
+    /// [`rejected`](JobReport::rejected) and carries whatever had been
+    /// computed before the eviction (a previously-preempted job may have
+    /// partial progress). Returns `false` when the job is not currently
+    /// queued.
+    pub fn reject_queued(&mut self, handle: JobHandle) -> bool {
+        let Some(i) = self.queue.iter().position(|e| e.job.id() == handle.id) else {
+            return false;
+        };
+        let entry = self.queue.swap_remove(i);
+        self.serialized_s += entry.job.serial_equivalent_s(self.devices.spec(0));
+        let now = self.now_s();
+        self.complete(entry.job, "(rejected by admission control)".into(), now, false, true);
+        true
+    }
+
     /// The report of a completed job, if it completed.
-    pub fn report(&self, handle: &JobHandle) -> Option<&JobReport> {
+    pub fn report(&self, handle: JobHandle) -> Option<&JobReport> {
         self.done.get(&handle.id)
     }
 
@@ -275,7 +348,7 @@ impl Scheduler {
     ///
     /// # Panics
     /// Panics if the job is unknown to this scheduler.
-    pub fn await_report(&mut self, handle: &JobHandle) -> &JobReport {
+    pub fn await_report(&mut self, handle: JobHandle) -> &JobReport {
         while !self.done.contains_key(&handle.id) {
             assert!(
                 self.tick(),
@@ -291,19 +364,43 @@ impl Scheduler {
         while self.tick() {}
     }
 
-    /// Advance the fleet one step: drain pending cancellations, place
-    /// queued jobs on idle backends, then run one quantum (one fused
-    /// iteration for a batched group, up to the slice budget for a solo
-    /// assignment) on every busy backend, preempting assignments whose
-    /// slice expired. Returns `false` once the fleet is idle.
+    /// Advance the fleet one step: drain pending cancellations, missed
+    /// deadlines and exhausted iteration budgets; place queued jobs on
+    /// idle backends; then run one quantum (one fused iteration for a
+    /// batched group, up to the slice budget for a solo assignment) on
+    /// every busy backend, preempting assignments whose slice expired.
+    /// Auto-checkpoints fire on the configured tick cadence. Returns
+    /// `false` once the fleet is idle.
     pub fn tick(&mut self) -> bool {
         self.drain_cancelled();
+        self.drain_policy();
         self.place();
         let mut progressed = false;
         for b in 0..self.active.len() {
             progressed |= self.step_backend(b);
         }
+        self.ticks += 1;
+        if let Some(every) = self.cfg.autosave_every_ticks {
+            if every > 0 && self.ticks.is_multiple_of(every) {
+                self.autosave();
+            }
+        }
         progressed || !self.queue.is_empty()
+    }
+
+    /// Snapshot to the configured autosave path, rotating the previous
+    /// snapshot to `<path>.1` first.
+    fn autosave(&mut self) {
+        let Some(path) = self.cfg.autosave_path.clone() else { return };
+        let mut rotated = path.clone().into_os_string();
+        rotated.push(".1");
+        if path.exists() {
+            let _ = std::fs::rename(&path, PathBuf::from(rotated));
+        }
+        match self.checkpoint().save(&path) {
+            Ok(()) => self.autosaves += 1,
+            Err(e) => eprintln!("lnls-runtime: autosave to {} failed: {e}", path.display()),
+        }
     }
 
     // -- completion ----------------------------------------------------
@@ -318,7 +415,14 @@ impl Scheduler {
     /// `started_s == submitted_s`: it has no placement instant, and a
     /// fabricated one would pollute the fairness aggregates preemption
     /// is measured by.
-    fn complete(&mut self, mut job: Box<dyn JobExec>, backend: String, at_s: f64, cancelled: bool) {
+    fn complete(
+        &mut self,
+        mut job: Box<dyn JobExec>,
+        backend: String,
+        at_s: f64,
+        cancelled: bool,
+        rejected: bool,
+    ) {
         let id = job.id();
         let meta = self.meta.get(&id);
         let submitted_s = meta.map_or(0.0, |m| m.submitted_s);
@@ -327,21 +431,22 @@ impl Scheduler {
         let mut report = job.finish(backend, started_s, at_s.max(started_s));
         report.submitted_s = submitted_s;
         report.cancelled = cancelled;
+        report.rejected = rejected;
+        report.tenant = meta.map_or_else(String::new, |m| m.tenant.clone());
+        self.policed.remove(&id);
         self.done.insert(id, report);
     }
 
-    fn drain_cancelled(&mut self) {
-        if self.cancel_requested.is_empty() {
-            return;
-        }
-        let ids = std::mem::take(&mut self.cancel_requested);
+    /// Drain every job in `ids` out of the queue and the active slots,
+    /// completing each with the given disposition flags.
+    fn drain_ids(&mut self, ids: &BTreeSet<JobId>, queued_backend: &str, cancelled: bool) {
         let now = self.now_s();
         let mut i = 0;
         while i < self.queue.len() {
             if ids.contains(&self.queue[i].job.id()) {
                 let entry = self.queue.swap_remove(i);
                 self.serialized_s += entry.job.serial_equivalent_s(self.devices.spec(0));
-                self.complete(entry.job, "(cancelled while queued)".into(), now, true);
+                self.complete(entry.job, queued_backend.into(), now, cancelled, false);
             } else {
                 i += 1;
             }
@@ -354,7 +459,7 @@ impl Scheduler {
                     self.serialized_s += aj.job.serial_equivalent_s(self.devices.spec(0));
                     let name = self.backend_name(b);
                     let at = self.clocks[b];
-                    self.complete(aj.job, name, at, true);
+                    self.complete(aj.job, name, at, cancelled, false);
                 } else {
                     still.push(aj);
                 }
@@ -363,6 +468,49 @@ impl Scheduler {
                 active.jobs = still;
                 self.active[b] = Some(active);
             }
+        }
+    }
+
+    fn drain_cancelled(&mut self) {
+        if self.cancel_requested.is_empty() {
+            return;
+        }
+        let ids = std::mem::take(&mut self.cancel_requested);
+        self.drain_ids(&ids, "(cancelled while queued)", true);
+    }
+
+    /// Enforce the submission envelopes: jobs past their deadline drain
+    /// through the cancellation path (report marked cancelled); jobs
+    /// that exhausted their iteration budget complete normally with the
+    /// best-so-far.
+    fn drain_policy(&mut self) {
+        if self.policed.is_empty() {
+            return;
+        }
+        let now = self.now_s();
+        let mut over_deadline = BTreeSet::new();
+        let mut over_budget = BTreeSet::new();
+        let live = self
+            .queue
+            .iter()
+            .map(|e| &e.job)
+            .chain(self.active.iter().flatten().flat_map(|a| a.jobs.iter().map(|aj| &aj.job)));
+        for job in live {
+            if !self.policed.contains(&job.id()) {
+                continue;
+            }
+            let Some(meta) = self.meta.get(&job.id()) else { continue };
+            if meta.deadline_s.is_some_and(|d| now >= d) {
+                over_deadline.insert(job.id());
+            } else if meta.iter_budget.is_some_and(|b| job.iterations() >= b) {
+                over_budget.insert(job.id());
+            }
+        }
+        if !over_deadline.is_empty() {
+            self.drain_ids(&over_deadline, "(deadline missed while queued)", true);
+        }
+        if !over_budget.is_empty() {
+            self.drain_ids(&over_budget, "(iteration budget exhausted)", false);
         }
     }
 
@@ -493,11 +641,22 @@ impl Scheduler {
         // one call; without a quantum the legacy contract holds — one
         // iteration per tick — so solo jobs stay observable (status,
         // mid-run checkpoint, cancellation) between iterations.
-        let quota = if self.cfg.quantum_iters.is_some() {
+        let mut quota = if self.cfg.quantum_iters.is_some() {
             active.slice_budget.saturating_sub(active.slice_used).max(1)
         } else {
             1
         };
+        // A solo assignment must not run past its envelope's iteration
+        // budget inside one quantum (fused groups step one iteration per
+        // tick, so the drain sweep catches them exactly).
+        if active.jobs.len() == 1 {
+            if let Some(budget) =
+                self.meta.get(&active.jobs[0].job.id()).and_then(|m| m.iter_budget)
+            {
+                let remaining = budget.saturating_sub(active.jobs[0].job.iterations());
+                quota = quota.min(remaining.max(1));
+            }
+        }
         let run = if active.jobs.len() > 1 {
             // Fused groups step one iteration per tick so members retire
             // (and re-batch) at iteration granularity.
@@ -526,7 +685,7 @@ impl Scheduler {
                 self.serialized_s += aj.job.serial_equivalent_s(self.devices.spec(0));
                 let name = self.backend_name(b);
                 let at = self.clocks[b];
-                self.complete(aj.job, name, at, false);
+                self.complete(aj.job, name, at, false, false);
             } else {
                 still.push(aj);
             }
@@ -582,25 +741,34 @@ impl Scheduler {
             .values()
             .map(|r| TenantStat {
                 name: r.name.clone(),
+                tenant: r.tenant.clone(),
                 submitted_s: r.submitted_s,
                 started_s: r.started_s,
                 finished_s: r.finished_s,
                 wait_s: r.wait_s(),
                 turnaround_s: r.turnaround_s(),
                 cancelled: r.cancelled,
+                rejected: r.rejected,
             })
             .collect();
-        let max_wait_s = tenant_stats.iter().map(|t| t.wait_s).fold(0.0, f64::max);
-        let max_turnaround_s = tenant_stats.iter().map(|t| t.turnaround_s).fold(0.0, f64::max);
-        let count = tenant_stats.len().max(1) as f64;
-        let mean_wait_s = tenant_stats.iter().map(|t| t.wait_s).sum::<f64>() / count;
-        let mean_turnaround_s = tenant_stats.iter().map(|t| t.turnaround_s).sum::<f64>() / count;
+        // Rejected jobs never competed for backend time; their zeroed
+        // lifecycle would skew the fairness aggregates, so they are
+        // excluded from the wait/turnaround statistics (the stats rows
+        // themselves keep them, flagged).
+        let served: Vec<&TenantStat> = tenant_stats.iter().filter(|t| !t.rejected).collect();
+        let max_wait_s = served.iter().map(|t| t.wait_s).fold(0.0, f64::max);
+        let max_turnaround_s = served.iter().map(|t| t.turnaround_s).fold(0.0, f64::max);
+        let count = served.len().max(1) as f64;
+        let mean_wait_s = served.iter().map(|t| t.wait_s).sum::<f64>() / count;
+        let mean_turnaround_s = served.iter().map(|t| t.turnaround_s).sum::<f64>() / count;
         let jobs_cancelled = tenant_stats.iter().filter(|t| t.cancelled).count() as u64;
-        let jobs_completed = self.done.len() as u64 - jobs_cancelled;
+        let jobs_rejected = tenant_stats.iter().filter(|t| t.rejected).count() as u64;
+        let jobs_completed = self.done.len() as u64 - jobs_cancelled - jobs_rejected;
         let jobs_running = self.active.iter().flatten().map(|a| a.jobs.len() as u64).sum();
         FleetReport {
             jobs_completed,
             jobs_cancelled,
+            jobs_rejected,
             jobs_queued: self.queue.len() as u64,
             jobs_running,
             makespan_s,
@@ -613,6 +781,7 @@ impl Scheduler {
             fused_launches: self.fused_launches,
             launches_saved: self.launches_saved,
             preemptions: self.preemptions,
+            autosaves: self.autosaves,
             max_wait_s,
             mean_wait_s,
             max_turnaround_s,
@@ -626,10 +795,13 @@ impl Scheduler {
 
     /// Snapshot the whole fleet: queued jobs (with their fair-share
     /// credits), in-flight cursors (mid search, mid slice), clocks,
-    /// ledgers, lifecycle metadata and completed reports. The snapshot
+    /// ledgers, lifecycle metadata and completed reports. Jobs submitted
+    /// [`without_checkpoint`](crate::JobSpec::without_checkpoint) are
+    /// skipped — they are simply absent after a restore. The snapshot
     /// is independent of the live scheduler; [`Scheduler::restore`]
     /// rebuilds an equivalent scheduler that continues deterministically.
     pub fn checkpoint(&self) -> FleetCheckpoint {
+        let included = |id: &JobId| self.meta.get(id).is_none_or(|m| m.checkpoint);
         FleetCheckpoint {
             specs: (0..self.devices.len()).map(|i| self.devices.spec(i).clone()).collect(),
             device_books: (0..self.devices.len())
@@ -639,21 +811,26 @@ impl Scheduler {
             queue: self
                 .queue
                 .iter()
+                .filter(|e| included(&e.job.id()))
                 .map(|e| QueueEntry { job: e.job.clone_box(), deficit: e.deficit })
                 .collect(),
             active: self
                 .active
                 .iter()
                 .map(|slot| {
-                    slot.as_ref().map(|a| ActiveSnapshot {
-                        jobs: a
+                    slot.as_ref().and_then(|a| {
+                        let jobs: Vec<ActiveJob> = a
                             .jobs
                             .iter()
+                            .filter(|aj| included(&aj.job.id()))
                             .map(|aj| ActiveJob { job: aj.job.clone_box(), deficit: aj.deficit })
-                            .collect(),
-                        started_s: a.started_s,
-                        slice_budget: a.slice_budget,
-                        slice_used: a.slice_used,
+                            .collect();
+                        (!jobs.is_empty()).then_some(ActiveSnapshot {
+                            jobs,
+                            started_s: a.started_s,
+                            slice_budget: a.slice_budget,
+                            slice_used: a.slice_used,
+                        })
                     })
                 })
                 .collect(),
@@ -668,6 +845,8 @@ impl Scheduler {
             fused_launches: self.fused_launches,
             launches_saved: self.launches_saved,
             preemptions: self.preemptions,
+            ticks: self.ticks,
+            autosaves: self.autosaves,
         }
     }
 
@@ -678,6 +857,17 @@ impl Scheduler {
         for (i, book) in checkpoint.device_books.iter().enumerate() {
             devices.device_mut(i).charge(book);
         }
+        // The envelope fast-path set is derivable: every non-terminal
+        // job whose metadata carries a deadline or budget.
+        let policed: BTreeSet<JobId> = checkpoint
+            .meta
+            .iter()
+            .filter(|(id, m)| {
+                (m.deadline_s.is_some() || m.iter_budget.is_some())
+                    && !checkpoint.done.contains_key(id)
+            })
+            .map(|(id, _)| *id)
+            .collect();
         Self {
             devices,
             cfg: checkpoint.cfg,
@@ -701,10 +891,13 @@ impl Scheduler {
             done: checkpoint.done,
             meta: checkpoint.meta,
             cancel_requested: checkpoint.cancel_requested,
+            policed,
             serialized_s: checkpoint.serialized_s,
             fused_launches: checkpoint.fused_launches,
             launches_saved: checkpoint.launches_saved,
             preemptions: checkpoint.preemptions,
+            ticks: checkpoint.ticks,
+            autosaves: checkpoint.autosaves,
         }
     }
 }
@@ -741,6 +934,8 @@ pub struct FleetCheckpoint {
     pub(crate) fused_launches: u64,
     pub(crate) launches_saved: u64,
     pub(crate) preemptions: u64,
+    pub(crate) ticks: u64,
+    pub(crate) autosaves: u64,
 }
 
 impl FleetCheckpoint {

@@ -1,17 +1,20 @@
 //! The runtime subsystem as a service: a multi-tenant job mix — PPP
-//! cryptanalysis tries, OneMax bulk jobs, QAP assignments — submitted to
-//! a scheduler owning a simulated multi-GPU fleet plus CPU workers.
-//! Shows placement policies, launch batching (fused per-iteration
-//! kernels across tenants), quantum-preemptive fair-share scheduling,
-//! job cancellation, checkpoint/resume mid-flight (in memory and through
-//! a disk snapshot), and the fleet throughput report.
+//! cryptanalysis tries, OneMax bulk jobs, simulated-annealing chains,
+//! QAP assignments — submitted through the **one generic
+//! `SearchJob` path** to a `FleetClient` fronting a simulated
+//! multi-GPU fleet plus CPU workers. Shows admission control (queue
+//! caps, shed-lowest-priority), placement policies, launch batching,
+//! quantum-preemptive fair-share scheduling, cancellation,
+//! checkpoint/resume (in memory, through a disk snapshot, and via
+//! periodic auto-checkpoints), and the fleet throughput report.
 //!
 //! ```text
 //! cargo run --release --example fleet_service
-//! LNLS_QUANTUM=8 cargo run --release --example fleet_service   # pick the slice
+//! LNLS_QUANTUM=8 cargo run --release --example fleet_service      # pick the slice
+//! LNLS_QUEUE_CAP=6 cargo run --release --example fleet_service    # admission cap
 //! ```
 
-use lnls::core::{BitString, SearchConfig, TabuSearch};
+use lnls::core::{BitString, SearchConfig, SimulatedAnnealing, TabuSearch};
 use lnls::gpu::{DeviceSpec, MultiDevice};
 use lnls::neighborhood::{KHamming, Neighborhood};
 use lnls::ppp::{Ppp, PppInstance};
@@ -33,7 +36,7 @@ fn submit_tenants(fleet: &mut Scheduler) -> Vec<JobHandle> {
         let init = BitString::random(&mut rng, 49);
         let search = TabuSearch::paper(SearchConfig::budget(120).with_seed(t), hood.size());
         handles.push(
-            fleet.submit_binary(
+            fleet.submit(
                 BinaryJob::new(format!("ppp-49x49-try{t}"), problem, hood, search, init)
                     .with_priority(5),
             ),
@@ -46,7 +49,7 @@ fn submit_tenants(fleet: &mut Scheduler) -> Vec<JobHandle> {
         let mut rng = StdRng::seed_from_u64(100 + t);
         let init = BitString::random(&mut rng, 64);
         let search = TabuSearch::paper(SearchConfig::budget(80).with_seed(t), hood.size());
-        handles.push(fleet.submit_binary(BinaryJob::new(
+        handles.push(fleet.submit(BinaryJob::new(
             format!("onemax-64-{t}"),
             OneMax::new(64),
             hood,
@@ -55,25 +58,37 @@ fn submit_tenants(fleet: &mut Scheduler) -> Vec<JobHandle> {
         )));
     }
 
-    // Tenant C: QAP assignments — long robust-tabu runs, now steppable
+    // Tenant C: QAP assignments — long robust-tabu runs, steppable
     // cursors that preempt and checkpoint mid-run like everyone else.
     for t in 0..2u64 {
         let mut rng = StdRng::seed_from_u64(200 + t);
         let inst = QapInstance::random_uniform(&mut rng, 12);
         let init = Permutation::random(&mut rng, 12);
-        handles.push(fleet.submit_qap(QapJobSpec::new(
+        handles.push(fleet.submit(QapJobSpec::new(
             format!("qap-12-{t}"),
             inst,
             RtsConfig::budget(150).with_seed(t),
             init,
         )));
     }
+
+    // Tenant D: simulated-annealing chains — the sampling-style
+    // workload, scheduled through the very same generic entry point.
+    for t in 0..2u64 {
+        let hood = KHamming::new(48, 2);
+        let mut rng = StdRng::seed_from_u64(300 + t);
+        let init = BitString::random(&mut rng, 48);
+        let sa = SimulatedAnnealing::new(SearchConfig::budget(160).with_seed(t), hood, 1.5);
+        handles.push(fleet.submit(AnnealJob::new(format!("sa-48-{t}"), OneMax::new(48), sa, init)));
+    }
     handles
 }
 
 fn main() {
     let quantum: u64 = std::env::var("LNLS_QUANTUM").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
-    println!("=== lnls fleet service: 16 jobs, 2×GTX 280 + 2 CPU workers ===\n");
+    let queue_cap: Option<usize> =
+        std::env::var("LNLS_QUEUE_CAP").ok().and_then(|v| v.parse().ok());
+    println!("=== lnls fleet service: 18 jobs, 2×GTX 280 + 2 CPU workers ===\n");
 
     for (label, policy, max_batch, quantum_iters) in [
         ("round-robin, batching off          ", PlacePolicy::RoundRobin, 1, None),
@@ -100,10 +115,46 @@ fn main() {
         );
     }
 
+    // Admission control: bulk submissions pushed through a FleetClient
+    // with a queue cap (LNLS_QUEUE_CAP, default 6) and
+    // shed-lowest-priority: high-priority arrivals evict queued bulk
+    // work; same-priority arrivals bounce with a typed SubmitError.
+    let cap = queue_cap.unwrap_or(6);
+    println!("--- admission control (queue cap {cap}, shed-lowest-priority) ---");
+    let fleet = Scheduler::new(
+        MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+        SchedulerConfig { quantum_iters: Some(quantum), ..Default::default() },
+    );
+    let mut client = FleetClient::new(fleet, AdmissionPolicy::queue_cap(cap).with_shedding());
+    let mut admitted = 0u64;
+    let mut rejections: Vec<SubmitError> = Vec::new();
+    for t in 0..12u64 {
+        let hood = KHamming::new(40, 2);
+        let mut rng = StdRng::seed_from_u64(400 + t);
+        let init = BitString::random(&mut rng, 40);
+        let search = TabuSearch::paper(SearchConfig::budget(60).with_seed(t), hood.size());
+        let job = BinaryJob::new(format!("bulk-{t}"), OneMax::new(40), hood, search, init);
+        let spec =
+            JobSpec::new(job).with_priority(if t % 2 == 1 { 4 } else { 0 }).for_tenant("bulk");
+        match client.submit_spec(spec) {
+            Ok(_) => admitted += 1,
+            Err(e) => rejections.push(e),
+        }
+    }
+    client.run_until_idle();
+    let r = client.fleet_report();
+    println!(
+        "admitted {admitted}, rejected {} total ({} shed, {} bounced); first bounce: {}\n",
+        r.jobs_rejected,
+        r.tenant_stats.iter().filter(|t| t.rejected).count(),
+        rejections.len(),
+        rejections.first().map_or("none".to_string(), |e| e.to_string()),
+    );
+
     // Fairness: the same tenants, one device, with and without slicing.
     // The long QAP runs monopolize the device unless preempted; results
     // are bit-identical either way.
-    println!("\n--- fair-share time slicing (1 device, quantum = {quantum} iterations) ---");
+    println!("--- fair-share time slicing (1 device, quantum = {quantum} iterations) ---");
     let run_one_device = |quantum_iters| {
         let mut fleet = Scheduler::new(
             MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
@@ -135,9 +186,9 @@ fn main() {
         fleet.tick();
     }
     let victim = handles[14]; // qap-12-0, mid-run by now
-    let accepted = fleet.cancel(&victim);
+    let accepted = fleet.cancel(victim);
     fleet.run_until_idle();
-    let report = fleet.report(&victim).expect("cancelled jobs still report");
+    let report = fleet.report(victim).expect("cancelled jobs still report");
     println!(
         "cancel accepted: {accepted}; {} drained after {} iterations (best so far {})",
         report.name,
@@ -145,42 +196,52 @@ fn main() {
         report.outcome.best_fitness(),
     );
 
-    // Checkpoint/resume: stop a fleet mid-flight, snapshot it to disk,
-    // revive it in a fresh process-equivalent scheduler.
-    println!("\n--- checkpoint/resume through a disk snapshot ---");
+    // Checkpoint/resume: run with periodic auto-checkpoints, "crash"
+    // mid-flight, revive from the last autosave in a fresh
+    // process-equivalent scheduler.
+    println!("\n--- crash/restore through rotating auto-checkpoints ---");
+    let autosave = std::env::temp_dir().join("lnls_fleet_service_autosave.ckpt");
     let mut fleet = Scheduler::new(
         MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
-        SchedulerConfig { cpu_workers: 2, quantum_iters: Some(quantum), ..Default::default() },
+        SchedulerConfig {
+            cpu_workers: 2,
+            quantum_iters: Some(quantum),
+            autosave_every_ticks: Some(4),
+            autosave_path: Some(autosave.clone()),
+            ..Default::default()
+        },
     );
     let handles = submit_tenants(&mut fleet);
     for _ in 0..10 {
         fleet.tick();
     }
-    let checkpoint = fleet.checkpoint();
-    println!(
-        "snapshot after 10 ticks: {} pending jobs, {} mid-search",
-        checkpoint.pending_jobs(),
-        checkpoint.in_flight_jobs()
-    );
-    let path = std::env::temp_dir().join("lnls_fleet_service.ckpt");
-    checkpoint.save(&path).expect("write checkpoint");
-    drop(fleet);
-    drop(checkpoint);
+    let autosaves = fleet.fleet_report().autosaves;
+    drop(fleet); // the "crash": in-memory state is gone
 
     let registry = JobRegistry::with_builtin();
-    let revived = FleetCheckpoint::load(&path, &registry).expect("read checkpoint");
-    std::fs::remove_file(&path).ok();
+    let revived = FleetCheckpoint::load(&autosave, &registry).expect("read autosave");
+    std::fs::remove_file(&autosave).ok();
+    let mut rotated = autosave.into_os_string();
+    rotated.push(".1");
+    std::fs::remove_file(rotated).ok();
     let mut fleet = Scheduler::restore(revived);
     fleet.run_until_idle();
+    // The revived fleet kept autosaving on its inherited cadence; tidy
+    // the temp files it left behind.
+    let path = std::env::temp_dir().join("lnls_fleet_service_autosave.ckpt");
+    let mut rotated = path.clone().into_os_string();
+    rotated.push(".1");
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(rotated).ok();
     println!(
-        "revived fleet finished all {} jobs ({} cancelled)\n",
+        "crashed after {autosaves} autosaves; revived fleet finished all {} jobs ({} cancelled)",
         fleet.fleet_report().jobs_completed + fleet.fleet_report().jobs_cancelled,
         fleet.fleet_report().jobs_cancelled,
     );
 
     // Poll one tenant's handles like a client would.
-    println!("--- per-job reports (tenant A) ---");
-    for h in handles.iter().take(6) {
+    println!("\n--- per-job reports (tenant A) ---");
+    for h in handles.iter().take(6).copied() {
         let report = fleet.report(h).expect("fleet is idle");
         println!(
             "{:<18} {:>9} iters  best {:>3}  fused {:>4} iters  wait {:.4}s  {} @ [{:.4}s .. {:.4}s]",

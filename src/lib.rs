@@ -66,7 +66,8 @@ pub mod prelude {
     pub use lnls_problems::{IsingLattice, Knapsack, MaxCut, MaxSat, NkLandscape, OneMax, Qubo};
     pub use lnls_qap::{QapInstance, RobustTabu, RtsConfig, TableEvaluator};
     pub use lnls_runtime::{
-        BinaryJob, FleetCheckpoint, FleetReport, JobHandle, JobRegistry, JobStatus, PlacePolicy,
-        QapJobSpec, Scheduler, SchedulerConfig, TenantStat,
+        AdmissionPolicy, AnnealJob, BinaryJob, FleetCheckpoint, FleetClient, FleetReport,
+        JobHandle, JobOutcome, JobRegistry, JobReport, JobSpec, JobStatus, PlacePolicy, QapJobSpec,
+        Scheduler, SchedulerConfig, SearchJob, SubmitError, TenantStat,
     };
 }

@@ -1,17 +1,17 @@
 //! Property test of the preemptive runtime: for *any* quantum, a mixed
-//! PPP / QAP / OneMax fleet must report bit-identical best fitness and
-//! iteration counts to the run-to-completion scheduler — preemption is
-//! a pure scheduling concern, invisible to search semantics. The fair
-//! side of the bargain is asserted too: slicing never worsens the worst
-//! tenant wait.
+//! PPP / QAP / OneMax / simulated-annealing fleet must report
+//! bit-identical best fitness and iteration counts to the
+//! run-to-completion scheduler — preemption is a pure scheduling
+//! concern, invisible to search semantics. The fair side of the bargain
+//! is asserted too: slicing never worsens the worst tenant wait.
 
-use lnls::core::{BitString, SearchConfig, TabuSearch};
+use lnls::core::{BitString, SearchConfig, SimulatedAnnealing, TabuSearch};
 use lnls::gpu::{DeviceSpec, MultiDevice};
 use lnls::neighborhood::{KHamming, Neighborhood, TwoHamming};
 use lnls::ppp::{Ppp, PppInstance};
 use lnls::prelude::{
-    BinaryJob, FleetReport, OneMax, QapInstance, QapJobSpec, RobustTabu, RtsConfig, Scheduler,
-    SchedulerConfig, TableEvaluator,
+    AnnealJob, BinaryJob, FleetReport, OneMax, QapInstance, QapJobSpec, RobustTabu, RtsConfig,
+    Scheduler, SchedulerConfig, TableEvaluator,
 };
 use lnls::qap::Permutation;
 use proptest::prelude::*;
@@ -29,14 +29,14 @@ fn submit_mixed(fleet: &mut Scheduler, iters: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
         let init = BitString::random(&mut rng, PPP_N);
         let search = TabuSearch::paper(SearchConfig::budget(iters).with_seed(seed), hood.size());
-        fleet.submit_binary(BinaryJob::new(format!("ppp-{seed}"), problem, hood, search, init));
+        fleet.submit(BinaryJob::new(format!("ppp-{seed}"), problem, hood, search, init));
     }
     for seed in 0..2u64 {
         let hood = TwoHamming::new(ONEMAX_N);
         let mut rng = StdRng::seed_from_u64(10 + seed);
         let init = BitString::random(&mut rng, ONEMAX_N);
         let search = TabuSearch::paper(SearchConfig::budget(iters).with_seed(seed), hood.size());
-        fleet.submit_binary(
+        fleet.submit(
             BinaryJob::new(format!("onemax-{seed}"), OneMax::new(ONEMAX_N), hood, search, init)
                 .with_priority((seed % 2) as u8 * 2),
         );
@@ -44,12 +44,19 @@ fn submit_mixed(fleet: &mut Scheduler, iters: u64) {
     let mut rng = StdRng::seed_from_u64(77);
     let inst = QapInstance::random_uniform(&mut rng, QAP_N);
     let init = Permutation::random(&mut rng, QAP_N);
-    fleet.submit_qap(QapJobSpec::new(
-        "qap-0",
-        inst,
-        RtsConfig::budget(iters * 3).with_seed(5),
-        init,
-    ));
+    fleet.submit(QapJobSpec::new("qap-0", inst, RtsConfig::budget(iters * 3).with_seed(5), init));
+}
+
+/// A sampling-style tenant: annealing flows through the same generic
+/// submit path and must be exactly as quantum-invariant. (Kept out of
+/// [`submit_mixed`] — the wait-fairness property below is a claim about
+/// that specific tenant mix.)
+fn submit_sa(fleet: &mut Scheduler, iters: u64) {
+    let hood = TwoHamming::new(ONEMAX_N);
+    let mut rng = StdRng::seed_from_u64(33);
+    let init = BitString::random(&mut rng, ONEMAX_N);
+    let sa = SimulatedAnnealing::new(SearchConfig::budget(iters).with_seed(3), hood, 1.4);
+    fleet.submit(AnnealJob::new("sa-0", OneMax::new(ONEMAX_N), sa, init));
 }
 
 /// Run the mixed batch and collect `(best fitness, iterations)` per job
@@ -108,6 +115,7 @@ fn preempted_fleet_matches_solo_runs_exactly() {
         SchedulerConfig { cpu_workers: 1, quantum_iters: Some(4), ..Default::default() },
     );
     submit_mixed(&mut fleet, 20);
+    submit_sa(&mut fleet, 80);
     fleet.run_until_idle();
 
     // PPP jobs (ids 0, 1).
@@ -136,6 +144,15 @@ fn preempted_fleet_matches_solo_runs_exactly() {
     assert_eq!(got.best.as_slice(), want.best.as_slice());
     assert_eq!(got.best_cost, want.best_cost);
     assert_eq!(got.iterations, want.iterations);
+    // Annealing job (id 5).
+    let hood = TwoHamming::new(ONEMAX_N);
+    let mut rng = StdRng::seed_from_u64(33);
+    let init = BitString::random(&mut rng, ONEMAX_N);
+    let sa = SimulatedAnnealing::new(SearchConfig::budget(80).with_seed(3), hood, 1.4);
+    let want = sa.run(&OneMax::new(ONEMAX_N), init);
+    let got = fleet.reports().nth(5).unwrap().outcome.as_binary().unwrap();
+    assert_eq!(got.best, want.best, "sa-0");
+    assert_eq!(got.iterations, want.iterations, "sa-0");
 
     let report = fleet.fleet_report();
     assert!(report.preemptions > 0, "the QAP job must have been sliced");

@@ -52,12 +52,12 @@ fn mixed_fleet_completes_and_matches_solo_runs() {
         SchedulerConfig::default(),
     );
 
-    let ppp_handles: Vec<_> = (0..3).map(|i| fleet.submit_binary(ppp_job(10 + i))).collect();
-    let onemax_handles: Vec<_> = (0..3).map(|i| fleet.submit_binary(onemax_job(20 + i))).collect();
+    let ppp_handles: Vec<_> = (0..3).map(|i| fleet.submit(ppp_job(10 + i))).collect();
+    let onemax_handles: Vec<_> = (0..3).map(|i| fleet.submit(onemax_job(20 + i))).collect();
     let qap_handles: Vec<_> = (0..2)
         .map(|i| {
             let (inst, cfg, init) = qap_parts(30 + i);
-            fleet.submit_qap(QapJobSpec::new(format!("qap-{i}"), inst, cfg, init))
+            fleet.submit(QapJobSpec::new(format!("qap-{i}"), inst, cfg, init))
         })
         .collect();
 
@@ -67,7 +67,7 @@ fn mixed_fleet_completes_and_matches_solo_runs() {
     // Everything completed.
     assert_eq!(report.jobs_completed, 8);
     for h in ppp_handles.iter().chain(&onemax_handles).chain(&qap_handles) {
-        assert_eq!(fleet.status(h), JobStatus::Done);
+        assert_eq!(fleet.status(*h), JobStatus::Done);
     }
 
     // Fleet results are bit-identical to solo runs of the same jobs.
@@ -76,7 +76,7 @@ fn mixed_fleet_completes_and_matches_solo_runs() {
         let job = ppp_job(seed);
         let mut ex = SequentialExplorer::new(job.hood);
         let want = job.search.run(&job.problem, &mut ex, job.init);
-        let got = fleet.report(h).unwrap().outcome.as_binary().unwrap();
+        let got = fleet.report(*h).unwrap().outcome.as_binary().unwrap();
         assert_eq!(got.best, want.best, "ppp job {i}");
         assert_eq!(got.best_fitness, want.best_fitness, "ppp job {i}");
         assert_eq!(got.iterations, want.iterations, "ppp job {i}");
@@ -86,7 +86,7 @@ fn mixed_fleet_completes_and_matches_solo_runs() {
         let job = onemax_job(seed);
         let mut ex = SequentialExplorer::new(job.hood);
         let want = job.search.run(&job.problem, &mut ex, job.init);
-        let got = fleet.report(h).unwrap().outcome.as_binary().unwrap();
+        let got = fleet.report(*h).unwrap().outcome.as_binary().unwrap();
         assert_eq!(got.best, want.best, "onemax job {i}");
         assert_eq!(got.best_fitness, want.best_fitness, "onemax job {i}");
         assert_eq!(got.iterations, want.iterations, "onemax job {i}");
@@ -95,7 +95,7 @@ fn mixed_fleet_completes_and_matches_solo_runs() {
         let (inst, cfg, init) = qap_parts(30 + i as u64);
         let mut eval = TableEvaluator::new();
         let want = RobustTabu::new(cfg).run(&inst, &mut eval, init);
-        let got = fleet.report(h).unwrap().outcome.as_qap().unwrap();
+        let got = fleet.report(*h).unwrap().outcome.as_qap().unwrap();
         assert_eq!(got.best.as_slice(), want.best.as_slice(), "qap job {i}");
         assert_eq!(got.best_cost, want.best_cost, "qap job {i}");
         assert_eq!(got.iterations, want.iterations, "qap job {i}");
@@ -126,20 +126,19 @@ fn qap_jobs_checkpoint_mid_run_and_resume_exactly() {
     );
     let (inst, cfg, init) = qap_parts(42);
     let long_cfg = RtsConfig::budget(200).with_seed(cfg.seed);
-    let h =
-        fleet.submit_qap(QapJobSpec::new("qap-long", inst.clone(), long_cfg.clone(), init.clone()));
+    let h = fleet.submit(QapJobSpec::new("qap-long", inst.clone(), long_cfg.clone(), init.clone()));
 
     // Step a few slices: the job must be in flight, partway through.
     for _ in 0..3 {
         fleet.tick();
     }
-    assert_eq!(fleet.status(&h), JobStatus::Running);
+    assert_eq!(fleet.status(h), JobStatus::Running);
     let checkpoint = fleet.checkpoint();
     assert_eq!(checkpoint.in_flight_jobs(), 1, "QAP cursor captured mid-run");
     drop(fleet);
 
     let mut resumed = Scheduler::restore(checkpoint);
-    let report = resumed.await_report(&h).outcome.clone();
+    let report = resumed.await_report(h).outcome.clone();
     let want = RobustTabu::new(long_cfg).run(&inst, &mut TableEvaluator::new(), init);
     let got = report.as_qap().expect("qap outcome");
     assert_eq!(got.best.as_slice(), want.best.as_slice());
@@ -154,7 +153,7 @@ fn fleet_report_prints() {
         SchedulerConfig::default(),
     );
     for i in 0..2 {
-        fleet.submit_binary(onemax_job(i));
+        fleet.submit(onemax_job(i));
     }
     fleet.run_until_idle();
     let text = fleet.fleet_report().to_string();

@@ -1,14 +1,20 @@
 //! Minimal, dependency-free stand-in for the parts of `proptest` this
 //! workspace uses: the [`proptest!`] macro, `prop_assert*` / `prop_assume`,
-//! integer-range and [`any`] strategies, tuple strategies, `prop_map`, and
-//! `prop::collection::vec`.
+//! integer-range and [`any`] strategies, tuple strategies, `prop_map`,
+//! `prop::collection::vec`, and **basic shrinking**.
 //!
-//! Differences from the real crate, by design:
+//! Shrinking is greedy and structural: when a case fails, each
+//! strategy proposes smaller candidates ([`Strategy::shrink`] — halve
+//! integers toward the range start, truncate vectors, flatten tuples
+//! component-wise), the failing body is re-run on them, and the last
+//! still-failing candidate is reported as the minimal input. Mapped
+//! strategies ([`Strategy::prop_map`]) do not shrink (the mapping is
+//! not invertible); the original failing case is reported instead.
 //!
-//! * **no shrinking** — a failing case reports its case index and seed,
-//!   which reproduce it deterministically (case seeds derive from the
-//!   test's module path and index, not from entropy);
-//! * generation quality is whatever the in-tree `rand` shim provides.
+//! Other differences from the real crate, by design: case seeds derive
+//! from the test's module path and index (not entropy), so a failure
+//! report reproduces the run deterministically; generation quality is
+//! whatever the in-tree `rand` shim provides.
 
 #![forbid(unsafe_code)]
 
@@ -101,15 +107,86 @@ impl TestRunner {
             ),
         }
     }
+
+    /// Shrink a failing input with `strategy`'s candidates, re-running
+    /// `run` on each, then panic reporting the minimal still-failing
+    /// input (the [`proptest!`] macro's failure path).
+    pub fn fail_shrunk<S: Strategy>(
+        &self,
+        strategy: &S,
+        value: S::Value,
+        msg: String,
+        run: impl Fn(&S::Value) -> TestCaseResult,
+    ) -> !
+    where
+        S::Value: Clone + std::fmt::Debug,
+    {
+        let (min, min_msg, steps) = shrink_failure(strategy, value, msg, &run);
+        panic!(
+            "{} failed at case {} (base seed {:#x}, rejects so far {}): {min_msg}\n\
+             minimal failing input after {steps} shrink step(s): {min:?}",
+            self.name, self.case, self.base_seed, self.rejects
+        )
+    }
 }
 
-/// A value generator (no shrinking — see the crate docs).
+/// Greedy structural shrink: try each candidate in order; adopt the
+/// first that still fails and restart from it; stop at a fixed point
+/// (or after a bounded number of re-runs). Returns the minimal failing
+/// value, its failure message, and the number of adopted shrink steps.
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    run: &impl Fn(&S::Value) -> TestCaseResult,
+) -> (S::Value, String, u32)
+where
+    S::Value: Clone,
+{
+    let mut steps = 0u32;
+    let mut attempts = 0u32;
+    'outer: while attempts < 1024 {
+        for candidate in strategy.shrink(&value) {
+            attempts += 1;
+            if attempts >= 1024 {
+                break 'outer;
+            }
+            // A candidate that passes (or is rejected by an assume) is
+            // discarded; only still-failing candidates are adopted.
+            if let Err(TestCaseError::Fail(m)) = run(&candidate) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+/// Ties a strategy to its check closure so the closure's parameter
+/// type is known when its body is type-checked (the [`proptest!`]
+/// macro's binding helper).
+pub fn bind<S: Strategy, F: Fn(&S::Value) -> TestCaseResult>(strategy: S, run: F) -> (S, F) {
+    (strategy, run)
+}
+
+/// A value generator with optional structural shrinking.
 pub trait Strategy {
     /// Generated type.
     type Value;
 
     /// Draw one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Propose strictly "smaller" candidates for a failing `value`,
+    /// most aggressive first (empty at a fixed point — the default for
+    /// strategies that cannot shrink).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Map generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -134,6 +211,51 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
+/// Candidates for an integer failing at `v`, shrinking toward `lo`:
+/// jump straight to the minimum, halve the distance, and finally step
+/// down by one (the decrement is what lets the greedy loop land on an
+/// exact failure boundary once halving overshoots).
+fn shrink_toward<T>(v: T, lo: T) -> Vec<T>
+where
+    T: Copy + PartialOrd + std::ops::Sub<Output = T> + std::ops::Add<Output = T> + HalfOps,
+{
+    if lo >= v {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let halved = lo + (v - lo).half();
+    if halved != lo && halved != v {
+        out.push(halved);
+    }
+    let dec = v.dec();
+    if dec != lo && Some(dec) != out.get(1).copied() {
+        out.push(dec);
+    }
+    out
+}
+
+/// Helper for the integer shrink candidates: integer halving and decrement.
+pub trait HalfOps: PartialEq + Sized {
+    /// `self / 2`, truncating.
+    fn half(&self) -> Self;
+    /// `self - 1`.
+    fn dec(&self) -> Self;
+}
+
+macro_rules! impl_half {
+    ($($t:ty),*) => {$(
+        impl HalfOps for $t {
+            fn half(&self) -> Self {
+                self / 2
+            }
+            fn dec(&self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_half!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -141,11 +263,17 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*value, self.start)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*value, *self.start())
             }
         }
     )*};
@@ -160,24 +288,106 @@ pub fn any<T>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
-macro_rules! impl_any {
+macro_rules! impl_any_int {
     ($($t:ty),*) => {$(
         impl Strategy for Any<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.gen()
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*value, 0)
+            }
         }
     )*};
 }
-impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+impl_any_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_any_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Toward zero from either side.
+                let v = *value;
+                if v == 0 {
+                    Vec::new()
+                } else {
+                    let mut out = vec![0];
+                    let halved = v / 2;
+                    if halved != 0 && halved != v {
+                        out.push(halved);
+                    }
+                    let stepped = v - v.signum();
+                    if stepped != 0 && stepped != halved {
+                        out.push(stepped);
+                    }
+                    out
+                }
+            }
+        }
+    )*};
+}
+impl_any_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen()
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        if *value == 0.0 {
+            Vec::new()
+        } else {
+            vec![0.0, value / 2.0]
+        }
+    }
+}
+
+/// Zero-argument `proptest!` functions bind the unit strategy.
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut StdRng) {}
+}
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+ ))+) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component shrunk at a time, the rest held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )+};
@@ -213,12 +423,37 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
 
             fn generate(&self, rng: &mut StdRng) -> Self::Value {
                 let n = rng.gen_range(self.len.clone());
                 (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Truncate toward the minimum legal length (most
+                // aggressive first), then shrink the first element.
+                let mut out = Vec::new();
+                let min = self.len.start;
+                if value.len() > min {
+                    out.push(value[..min].to_vec());
+                    let half = min + (value.len() - min) / 2;
+                    if half != min && half != value.len() {
+                        out.push(value[..half].to_vec());
+                    }
+                }
+                if let Some(first) = value.first() {
+                    for candidate in self.element.shrink(first) {
+                        let mut v = value.clone();
+                        v[0] = candidate;
+                        out.push(v);
+                    }
+                }
+                out
             }
         }
     }
@@ -289,7 +524,9 @@ macro_rules! prop_assume {
 }
 
 /// The test-authoring macro: each `fn name(arg in strategy, …) { body }`
-/// item becomes a `#[test]` running `cases` generated cases.
+/// item becomes a `#[test]` running `cases` generated cases; a failing
+/// case is shrunk toward a minimal failing input before the panic
+/// (see the crate docs).
 #[macro_export]
 macro_rules! proptest {
     (@fns $cfg:expr;) => {};
@@ -305,16 +542,20 @@ macro_rules! proptest {
                 config,
                 concat!(module_path!(), "::", stringify!($name)),
             );
+            let (strategy, run) = $crate::bind(($($strat,)*), |values| {
+                let ($($arg,)*) = ::std::clone::Clone::clone(values);
+                $body
+                Ok(())
+            });
             while runner.more() {
                 let mut rng = runner.case_rng();
-                let result: $crate::TestCaseResult = (|| {
-                    $(
-                        let $arg = $crate::Strategy::generate(&$strat, &mut rng);
-                    )*
-                    $body
-                    Ok(())
-                })();
-                runner.record(result);
+                let values = $crate::Strategy::generate(&strategy, &mut rng);
+                match run(&values) {
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        runner.fail_shrunk(&strategy, values, msg, run)
+                    }
+                    other => runner.record(other),
+                }
             }
         }
         $crate::proptest!(@fns $cfg; $($rest)*);
@@ -325,4 +566,94 @@ macro_rules! proptest {
     ($($rest:tt)*) => {
         $crate::proptest!(@fns $crate::ProptestConfig::default(); $($rest)*);
     };
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    use super::*;
+
+    /// "Fails whenever x ≥ 17" must shrink to exactly 17.
+    #[test]
+    fn integers_shrink_to_the_boundary() {
+        let strat = 0u64..1000;
+        let run = |v: &u64| -> TestCaseResult {
+            if *v >= 17 {
+                Err(TestCaseError::Fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = shrink_failure(&strat, 900, "seed".into(), &run);
+        assert_eq!(min, 17, "greedy halving must land on the boundary");
+        assert!(msg.contains("17"));
+        assert!(steps > 0);
+    }
+
+    /// "Fails whenever the vector has ≥ 3 elements" must shrink to
+    /// exactly 3 elements.
+    #[test]
+    fn vectors_shrink_to_minimal_length() {
+        let strat = prop::collection::vec(0u32..10, 1..64);
+        let run = |v: &Vec<u32>| -> TestCaseResult {
+            if v.len() >= 3 {
+                Err(TestCaseError::Fail(format!("len {}", v.len())))
+            } else {
+                Ok(())
+            }
+        };
+        let value = vec![5; 40];
+        let (min, _, _) = shrink_failure(&strat, value, "seed".into(), &run);
+        assert_eq!(min.len(), 3);
+    }
+
+    /// Tuple components shrink independently: a failure depending only
+    /// on the first component zeroes the second.
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let strat = (0u64..100, 0u64..100);
+        let run = |v: &(u64, u64)| -> TestCaseResult {
+            if v.0 >= 5 {
+                Err(TestCaseError::Fail("first too big".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = shrink_failure(&strat, (90, 77), "seed".into(), &run);
+        assert_eq!(min, (5, 0));
+    }
+
+    /// A passing candidate is never adopted: shrinking stops at the
+    /// smallest still-failing input even when the predicate is spiky.
+    #[test]
+    fn shrinking_only_adopts_failing_candidates() {
+        let strat = 0i64..200;
+        let run = |v: &i64| -> TestCaseResult {
+            // Fails only on even numbers ≥ 10.
+            if *v >= 10 && *v % 2 == 0 {
+                Err(TestCaseError::Fail("even and big".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = shrink_failure(&strat, 160, "seed".into(), &run);
+        assert!(min >= 10 && min % 2 == 0, "minimal value still fails: {min}");
+        assert!(min < 160, "some progress was made");
+    }
+
+    /// The macro's failure path reports the shrunken input in the panic
+    /// message.
+    #[test]
+    fn macro_reports_minimal_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            fn always_fails_over_10(x in 0u64..1000) {
+                prop_assert!(x < 10, "x = {x}");
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails_over_10)
+            .expect_err("the property is falsifiable");
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains("(10,)"), "must shrink to the boundary: {msg}");
+    }
 }
