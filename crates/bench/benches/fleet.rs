@@ -5,6 +5,10 @@
 //! ```text
 //! cargo bench -p lnls-bench --bench fleet
 //! ```
+//!
+//! Alongside the human-readable table, every row lands in
+//! `BENCH_fleet.json` (path overridable with `LNLS_BENCH_JSON_PATH`) so
+//! the perf trajectory is machine-trackable across PRs.
 
 use lnls_core::{BitString, SearchConfig, TabuSearch};
 use lnls_gpu_sim::{DeviceSpec, MultiDevice};
@@ -34,6 +38,7 @@ fn main() {
         std::env::var("LNLS_FLEET_TRIES").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
     let iters: u64 =
         std::env::var("LNLS_FLEET_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
+    let mut json = criterion::summary::Sink::new("BENCH_fleet.json", "fleet");
 
     println!("fleet throughput: {tries} PPP 49x49 2-Hamming tries, {iters} iterations each\n");
     println!(
@@ -66,6 +71,16 @@ fn main() {
                     r.fused_launches,
                     wall.as_secs_f64() * 1e3,
                 );
+                json.record(&[
+                    ("scenario", format!("fleet/{devices}dev/{pname}/batch{max_batch}").into()),
+                    ("jobs", tries.into()),
+                    ("makespan_s", r.makespan_s.into()),
+                    ("throughput_jobs_per_sim_s", r.jobs_per_sim_s.into()),
+                    ("speedup_vs_serial", r.speedup_vs_serial.into()),
+                    ("p95_wait_s", r.wait_p95_s.into()),
+                    ("device_busy_fraction", r.mean_device_utilization().into()),
+                    ("fused_launches", r.fused_launches.into()),
+                ]);
             }
         }
     }
@@ -109,6 +124,21 @@ fn main() {
             r.preemptions,
             wall.as_secs_f64() * 1e3,
         );
+        json.record(&[
+            ("scenario", format!("fleet/quantum-{qlabel}").into()),
+            ("jobs", (tries + 2).into()),
+            ("makespan_s", r.makespan_s.into()),
+            ("throughput_jobs_per_sim_s", r.jobs_per_sim_s.into()),
+            ("p95_wait_s", r.wait_p95_s.into()),
+            ("max_wait_s", r.max_wait_s.into()),
+            ("device_busy_fraction", r.mean_device_utilization().into()),
+            ("preemptions", r.preemptions.into()),
+        ]);
+    }
+
+    match json.finish() {
+        Ok(path) => println!("\nmachine-readable summary: {}", path.display()),
+        Err(e) => eprintln!("\ncould not write bench summary: {e}"),
     }
 
     println!("\nbatching lever: wider fused launches amortize launch overhead and PCIe latency,");

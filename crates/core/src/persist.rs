@@ -85,6 +85,19 @@ impl<'a> Reader<'a> {
     pub fn read<T: Persist>(&mut self) -> Result<T, PersistError> {
         T::read(self)
     }
+
+    /// Consume and verify a fixed magic prefix — the entry check of
+    /// every tagged on-disk artifact (fleet checkpoints, workload
+    /// traces). `what` names the artifact in the error message.
+    pub fn expect_magic(&mut self, magic: &[u8], what: &str) -> Result<(), PersistError> {
+        let got = self
+            .take(magic.len())
+            .map_err(|_| PersistError::new(format!("not a {what} (truncated magic)")))?;
+        if got != magic {
+            return Err(PersistError::new(format!("not a {what} (bad magic)")));
+        }
+        Ok(())
+    }
 }
 
 /// Structural byte-level encode/decode. See the [module docs](self) for
@@ -206,6 +219,27 @@ impl<T: Persist> Persist for Vec<T> {
             v.push(T::read(r)?);
         }
         Ok(v)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok((A::read(r)?, B::read(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok((A::read(r)?, B::read(r)?, C::read(r)?))
     }
 }
 
@@ -606,6 +640,25 @@ mod tests {
         roundtrip(&vec![1u64, 2, 3]);
         roundtrip(&Some(vec![-1i64, 5]));
         roundtrip(&Option::<u64>::None);
+        roundtrip(&(7u64, "pair".to_string()));
+        roundtrip(&(1u32, 2u32, -3i64));
+        roundtrip(&vec![(0u32, 1u32, 5i64), (1, 2, -7)]);
+    }
+
+    #[test]
+    fn expect_magic_accepts_and_rejects() {
+        let mut buf = b"LNLSTRC\x01".to_vec();
+        42u64.write(&mut buf);
+        let mut r = Reader::new(&buf);
+        r.expect_magic(b"LNLSTRC\x01", "workload trace").expect("good magic");
+        assert_eq!(r.read::<u64>().unwrap(), 42);
+
+        let mut r = Reader::new(&buf);
+        let err = r.expect_magic(b"LNLSFLT\x03", "fleet checkpoint").unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        let mut r = Reader::new(&buf[..3]);
+        let err = r.expect_magic(b"LNLSTRC\x01", "workload trace").unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 
     #[test]

@@ -91,6 +91,54 @@ impl MaxCut {
     }
 }
 
+/// Persisted as the vertex count plus the undirected edge list (each
+/// edge once, lower endpoint first) — enough to rebuild the adjacency
+/// lists with identical search semantics. Needed so Max-Cut fleet jobs
+/// survive checkpoint/restore like OneMax and PPP ones do.
+impl lnls_core::Persist for MaxCut {
+    fn write(&self, out: &mut Vec<u8>) {
+        lnls_core::Persist::write(&self.n, out);
+        let mut edges: Vec<(u32, u32, i64)> = Vec::with_capacity(self.edges);
+        for (u, lst) in self.adj.iter().enumerate() {
+            for &(v, w) in lst {
+                if (v as usize) > u {
+                    edges.push((u as u32, v, w));
+                }
+            }
+        }
+        edges.write(out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let n: usize = r.read()?;
+        // The adjacency allocation is O(n) before any edge check can
+        // run: bound the count so a corrupt prefix errors instead of
+        // aborting on an absurd allocation (2^24 vertices is already
+        // far past anything a fleet-job snapshot legitimately holds).
+        if n > 1 << 24 {
+            return Err(lnls_core::PersistError::new(format!("implausible maxcut size {n}")));
+        }
+        let edges: Vec<(u32, u32, i64)> = r.read()?;
+        // `MaxCut::new` asserts its invariants; corrupt input must error
+        // instead, so re-check them first.
+        let mut seen = std::collections::BTreeSet::new();
+        for &(u, v, _) in &edges {
+            if u == v || (u as usize) >= n || (v as usize) >= n {
+                return Err(lnls_core::PersistError::new(format!("bad maxcut edge ({u},{v})")));
+            }
+            if !seen.insert((u.min(v), u.max(v))) {
+                return Err(lnls_core::PersistError::new(format!(
+                    "duplicate maxcut edge ({u},{v})"
+                )));
+            }
+        }
+        Ok(MaxCut::new(n, &edges))
+    }
+}
+
+impl lnls_core::PersistTag for MaxCut {
+    const TAG: &'static str = "maxcut";
+}
+
 impl MaxCutState {
     /// Current fitness (= −cut) tracked by the state.
     pub fn fitness(&self) -> i64 {
@@ -298,6 +346,36 @@ mod tests {
             TabuSearch::paper(SearchConfig::budget(300).with_target(Some(-12)), hood.size());
         let r = search.run(&g, &mut ex, BitString::zeros(12));
         assert_eq!(r.best_fitness, -12, "alternating cut of the even ring");
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_semantics() {
+        use lnls_core::{Persist, Reader};
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = MaxCut::random(&mut rng, 14, 0.4, 6);
+        let back: MaxCut = Reader::new(&g.to_bytes()).read().expect("decode");
+        assert_eq!(back.dim(), g.dim());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for _ in 0..16 {
+            let s = BitString::random(&mut rng, 14);
+            assert_eq!(back.evaluate(&s), g.evaluate(&s));
+        }
+        // Corrupt payloads error instead of panicking.
+        let mut bad = Vec::new();
+        3usize.write(&mut bad);
+        vec![(1u32, 1u32, 1i64)].write(&mut bad);
+        assert!(Reader::new(&bad).read::<MaxCut>().is_err(), "self-loop must be refused");
+        let mut dup = Vec::new();
+        3usize.write(&mut dup);
+        vec![(0u32, 1u32, 1i64), (1u32, 0u32, 2i64)].write(&mut dup);
+        assert!(Reader::new(&dup).read::<MaxCut>().is_err(), "duplicate edge must be refused");
+        let mut huge = Vec::new();
+        (1usize << 40).write(&mut huge);
+        Vec::<(u32, u32, i64)>::new().write(&mut huge);
+        assert!(
+            Reader::new(&huge).read::<MaxCut>().is_err(),
+            "an absurd vertex count must error, not allocate"
+        );
     }
 
     #[test]

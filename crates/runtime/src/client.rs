@@ -18,11 +18,12 @@ use crate::job::{JobHandle, JobId, JobReport, JobStatus};
 use crate::report::FleetReport;
 use crate::scheduler::{FleetCheckpoint, Scheduler};
 use crate::submit::{JobSpec, SearchJob};
+use lnls_core::persist::{Persist, PersistError, Reader};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Queue caps and the overload response of a [`FleetClient`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AdmissionPolicy {
     /// Maximum jobs waiting in the queue across all tenants (`None` =
     /// unbounded).
@@ -58,6 +59,23 @@ impl AdmissionPolicy {
     pub fn with_shedding(mut self) -> Self {
         self.shed_lowest_priority = true;
         self
+    }
+}
+
+/// Policies ride along in workload traces, so a recorded run replays
+/// under the very admission rules it was captured with.
+impl Persist for AdmissionPolicy {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.max_queued.write(out);
+        self.max_queued_per_tenant.write(out);
+        self.shed_lowest_priority.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            max_queued: r.read()?,
+            max_queued_per_tenant: r.read()?,
+            shed_lowest_priority: r.read()?,
+        })
     }
 }
 
@@ -152,6 +170,26 @@ impl FleetClient {
     /// Wrap `fleet` with `policy`.
     pub fn new(fleet: Scheduler, policy: AdmissionPolicy) -> Self {
         Self { fleet, policy, admitted: BTreeMap::new(), rejected_submissions: 0 }
+    }
+
+    /// Wrap a *restored* scheduler (see
+    /// [`Scheduler::restore`](crate::Scheduler::restore)), rebuilding
+    /// the admission bookkeeping from its live jobs — queued *and*
+    /// running, since preemption returns running jobs to the queue
+    /// where caps and shed planning must see them — so admission keeps
+    /// working across a crash/restore boundary.
+    ///
+    /// `rejected_submissions` carries forward the count of submissions
+    /// the pre-crash client bounced outright — they never reached the
+    /// scheduler, so the checkpoint cannot know about them; pass 0 to
+    /// forget them.
+    pub fn resume(fleet: Scheduler, policy: AdmissionPolicy, rejected_submissions: u64) -> Self {
+        let admitted = fleet
+            .live_rows()
+            .into_iter()
+            .map(|(id, tenant, priority)| (id, Admitted { tenant, priority }))
+            .collect();
+        Self { fleet, policy, admitted, rejected_submissions }
     }
 
     /// Submit any [`SearchJob`] under the admission policy.

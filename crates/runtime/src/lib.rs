@@ -55,8 +55,16 @@
 //!   snapshot.
 //! * [`FleetReport`] summarizes throughput *and fairness*: makespan,
 //!   busy fractions, jobs per simulated second, speedup versus the
-//!   serialized one-device baseline, preemption counts, and per-tenant
-//!   wait/turnaround stats ([`TenantStat`]).
+//!   serialized one-device baseline, preemption counts, per-tenant
+//!   wait/turnaround stats ([`TenantStat`]) and p50/p95/p99 wait and
+//!   turnaround percentiles.
+//! * **Telemetry over time**: with
+//!   [`SchedulerConfig::telemetry_every_ticks`] set, the tick loop
+//!   records a [`TickSample`] series — queue depth, running jobs,
+//!   cumulative completions/cancellations/rejections, per-device busy
+//!   time — surfaced through [`Scheduler::telemetry`] and
+//!   [`FleetReport::telemetry`]; this is the backpressure history the
+//!   `lnls-workload` scenario driver plots and regresses on.
 //!
 //! Determinism is a design invariant: evaluation is functional and the
 //! event loop is single-threaded over *modeled* time, so a job's result
@@ -132,6 +140,7 @@ mod persist;
 mod report;
 mod scheduler;
 mod submit;
+mod telemetry;
 
 pub use client::{AdmissionPolicy, FleetClient, SubmitError};
 pub use exec::{BatchKey, JobExec, StepRun};
@@ -142,6 +151,7 @@ pub use persist::JobRegistry;
 pub use report::{FleetReport, TenantStat};
 pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig};
 pub use submit::{JobCodec, JobSpec, SearchJob, SubmitCtx};
+pub use telemetry::{percentile, Telemetry, TickSample};
 
 #[cfg(test)]
 mod tests {
@@ -372,6 +382,89 @@ mod tests {
         let report = fleet.fleet_report();
         let used = report.device_busy_s.iter().filter(|&&b| b > 0.0).count();
         assert_eq!(used, 3, "round-robin must touch every device: {:?}", report.device_busy_s);
+    }
+
+    #[test]
+    fn telemetry_records_backpressure_series() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig {
+                max_batch: 1,
+                quantum_iters: Some(4),
+                telemetry_every_ticks: Some(1),
+                ..Default::default()
+            },
+        );
+        for i in 0..5 {
+            fleet.submit(onemax_job(i, 24, 20));
+        }
+        fleet.run_until_idle();
+        let series = fleet.telemetry().expect("telemetry enabled");
+        assert!(!series.is_empty());
+        assert!(series.max_queue_depth() >= 3, "4 jobs must have queued behind the first");
+        let last = series.samples().last().unwrap();
+        assert_eq!(last.completed, 5);
+        assert_eq!(last.queue_depth, 0);
+        assert_eq!(last.device_busy_s.len(), 1);
+
+        let report = fleet.fleet_report();
+        let embedded = report.telemetry.as_ref().expect("report embeds the series");
+        assert_eq!(embedded.samples().len(), series.samples().len());
+        assert!(report.wait_p50_s <= report.wait_p95_s);
+        assert!(report.wait_p95_s <= report.wait_p99_s);
+        assert!(report.wait_p99_s <= report.max_wait_s + 1e-12);
+        assert!(report.turnaround_p50_s <= report.turnaround_p99_s);
+        assert!(report.turnaround_p99_s <= report.max_turnaround_s + 1e-12);
+        // The Display summary mentions the backpressure line.
+        assert!(report.to_string().contains("backpressure: queue depth max"));
+    }
+
+    #[test]
+    fn resumed_client_counts_restored_in_flight_jobs_against_caps() {
+        // Capture jobs *in flight* (a fused group stays active across
+        // ticks), restore, and verify the resumed client's admission
+        // bookkeeping sees them once preemption returns them to the
+        // queue — not just the jobs that were queued at the snapshot.
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 2, quantum_iters: Some(4), ..Default::default() },
+        );
+        fleet.submit_spec(JobSpec::new(onemax_job(0, 24, 40)).for_tenant("t"));
+        fleet.submit_spec(JobSpec::new(onemax_job(1, 24, 40)).for_tenant("t"));
+        fleet.tick();
+        let checkpoint = fleet.checkpoint();
+        assert_eq!(checkpoint.in_flight_jobs(), 2, "the fused pair must be captured mid-run");
+        drop(fleet);
+
+        let mut client =
+            FleetClient::resume(Scheduler::restore(checkpoint), AdmissionPolicy::queue_cap(3), 0);
+        client
+            .submit_spec(JobSpec::new(onemax_job(2, 16, 10)).for_tenant("t"))
+            .expect("under the cap");
+        // Tick until the restored group is preempted back into the queue
+        // behind the new submission.
+        while client.scheduler().queued_len() < 3 {
+            assert!(client.tick(), "fleet must keep progressing toward the preemption");
+        }
+        let overflow = client.submit_spec(JobSpec::new(onemax_job(3, 16, 10)).for_tenant("t"));
+        assert!(
+            overflow.is_err(),
+            "restored in-flight jobs must count against the queue cap once requeued"
+        );
+        client.run_until_idle();
+        assert_eq!(client.fleet_report().jobs_completed, 3);
+    }
+
+    #[test]
+    fn telemetry_off_by_default() {
+        let mut fleet =
+            Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
+        fleet.submit(onemax_job(0, 16, 5));
+        fleet.run_until_idle();
+        assert!(fleet.telemetry().is_none());
+        assert!(fleet.fleet_report().telemetry.is_none());
     }
 
     #[test]

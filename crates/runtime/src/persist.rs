@@ -16,7 +16,8 @@
 //!
 //! [`JobRegistry::with_builtin`] pre-registers every combination the
 //! workspace ships (QAP robust tabu, plus tabu *and* annealing jobs for
-//! OneMax and PPP over the bundled neighborhoods); custom workloads add
+//! OneMax, PPP and Max-Cut over the bundled neighborhoods); custom
+//! workloads add
 //! themselves with [`JobRegistry::register`], keyed by their
 //! [`JobCodec`] implementation — the same trait family submission
 //! flows through.
@@ -29,12 +30,12 @@ use crate::{PlacePolicy, SchedulerConfig};
 use lnls_core::persist::{Persist, PersistError, Reader};
 use lnls_neighborhood::{KHamming, OneHamming, ThreeHamming, TwoHamming};
 use lnls_ppp::Ppp;
-use lnls_problems::OneMax;
+use lnls_problems::{MaxCut, OneMax};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LNLSFLT\x02";
+const MAGIC: &[u8; 8] = b"LNLSFLT\x03";
 
 type Loader = fn(&mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>;
 
@@ -62,11 +63,14 @@ impl JobRegistry {
         reg.register::<BinaryJob<OneMax, KHamming>>();
         reg.register::<BinaryJob<Ppp, TwoHamming>>();
         reg.register::<BinaryJob<Ppp, KHamming>>();
+        reg.register::<BinaryJob<MaxCut, TwoHamming>>();
+        reg.register::<BinaryJob<MaxCut, KHamming>>();
         reg.register::<AnnealJob<OneMax, OneHamming>>();
         reg.register::<AnnealJob<OneMax, TwoHamming>>();
         reg.register::<AnnealJob<OneMax, KHamming>>();
         reg.register::<AnnealJob<Ppp, TwoHamming>>();
         reg.register::<AnnealJob<Ppp, KHamming>>();
+        reg.register::<AnnealJob<MaxCut, KHamming>>();
         reg
     }
 
@@ -122,6 +126,7 @@ fn write_cfg(cfg: &SchedulerConfig, out: &mut Vec<u8>) {
     cfg.quantum_iters.write(out);
     cfg.autosave_every_ticks.write(out);
     cfg.autosave_path.as_ref().map(|p| p.to_string_lossy().into_owned()).write(out);
+    cfg.telemetry_every_ticks.write(out);
 }
 
 fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
@@ -138,6 +143,7 @@ fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
         quantum_iters: r.read()?,
         autosave_every_ticks: r.read()?,
         autosave_path: r.read::<Option<String>>()?.map(std::path::PathBuf::from),
+        telemetry_every_ticks: r.read()?,
     })
 }
 

@@ -1,6 +1,8 @@
 //! Fleet-level reporting.
 
+use crate::telemetry::Telemetry;
 use lnls_gpu_sim::TimeBook;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One tenant's lifecycle inside a scheduler run (a completed or
@@ -78,13 +80,54 @@ pub struct FleetReport {
     pub max_turnaround_s: f64,
     /// Mean turnaround over finished tenants.
     pub mean_turnaround_s: f64,
+    /// Median queue wait over finished tenants (nearest rank).
+    pub wait_p50_s: f64,
+    /// 95th-percentile queue wait — the tail-latency headline the
+    /// workload scenarios regress on.
+    pub wait_p95_s: f64,
+    /// 99th-percentile queue wait.
+    pub wait_p99_s: f64,
+    /// Median turnaround over finished tenants.
+    pub turnaround_p50_s: f64,
+    /// 95th-percentile turnaround.
+    pub turnaround_p95_s: f64,
+    /// 99th-percentile turnaround.
+    pub turnaround_p99_s: f64,
     /// Per-tenant lifecycle stats, in job-id order.
     pub tenant_stats: Vec<TenantStat>,
+    /// Tick-by-tick fleet time series (queue depth, running jobs,
+    /// cumulative outcomes, device busy time), present when
+    /// [`SchedulerConfig::telemetry_every_ticks`](crate::SchedulerConfig::telemetry_every_ticks)
+    /// was set.
+    pub telemetry: Option<Telemetry>,
     /// Sum of the device ledgers (kernels, overhead, transfers, and the
     /// counterfactual sequential-host column). CPU-worker execution time
     /// is reported separately in [`cpu_busy_s`](Self::cpu_busy_s) — it is
     /// real busy time, not a baseline, so it never mixes into this book.
     pub fleet_book: TimeBook,
+}
+
+impl FleetReport {
+    /// Rejections/sheds per tenant — who admission control said *no* to
+    /// (outright bounces never got a report row, so they are not here;
+    /// [`jobs_rejected`](Self::jobs_rejected) counts both).
+    pub fn rejections_by_tenant(&self) -> BTreeMap<String, u64> {
+        let mut by_tenant = BTreeMap::new();
+        for t in self.tenant_stats.iter().filter(|t| t.rejected) {
+            *by_tenant.entry(t.tenant.clone()).or_insert(0) += 1;
+        }
+        by_tenant
+    }
+
+    /// Fraction of the makespan the average device was busy (0.0 with
+    /// no devices or no makespan) — the utilization headline the bench
+    /// summaries track.
+    pub fn mean_device_utilization(&self) -> f64 {
+        if self.device_utilization.is_empty() {
+            return 0.0;
+        }
+        self.device_utilization.iter().sum::<f64>() / self.device_utilization.len() as f64
+    }
 }
 
 impl fmt::Display for FleetReport {
@@ -112,6 +155,30 @@ impl fmt::Display for FleetReport {
             self.mean_turnaround_s,
             self.preemptions
         )?;
+        writeln!(
+            f,
+            "wait p50/p95/p99 {:.6}/{:.6}/{:.6}s | turnaround p50/p95/p99 {:.6}/{:.6}/{:.6}s",
+            self.wait_p50_s,
+            self.wait_p95_s,
+            self.wait_p99_s,
+            self.turnaround_p50_s,
+            self.turnaround_p95_s,
+            self.turnaround_p99_s
+        )?;
+        let rejections = self.rejections_by_tenant();
+        if !rejections.is_empty() {
+            let rows: Vec<String> = rejections
+                .iter()
+                .map(|(tenant, n)| {
+                    let name = if tenant.is_empty() { "(unattributed)" } else { tenant };
+                    format!("{name}: {n}")
+                })
+                .collect();
+            writeln!(f, "rejected by tenant: {}", rows.join(", "))?;
+        }
+        if let Some(t) = self.telemetry.as_ref().filter(|t| !t.is_empty()) {
+            writeln!(f, "backpressure: {t}")?;
+        }
         for (i, (busy, util)) in self.device_busy_s.iter().zip(&self.device_utilization).enumerate()
         {
             writeln!(f, "  dev{i}: busy {busy:.6}s ({:.0}%)", util * 100.0)?;

@@ -6,6 +6,7 @@ use crate::exec::{BatchKey, JobExec, StepRun};
 use crate::job::{JobHandle, JobId, JobReport, JobStatus};
 use crate::report::{FleetReport, TenantStat};
 use crate::submit::{JobSpec, SearchJob, SubmitCtx};
+use crate::telemetry::{percentile, Telemetry, TickSample};
 use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, TimeBook};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
@@ -48,6 +49,14 @@ pub struct SchedulerConfig {
     /// Where auto-checkpoints land (see
     /// [`autosave_every_ticks`](Self::autosave_every_ticks)).
     pub autosave_path: Option<PathBuf>,
+    /// Telemetry cadence: every `n` ticks the scheduler appends one
+    /// [`TickSample`](crate::TickSample) (queue depth, running jobs,
+    /// cumulative outcome counters, per-device busy time) to the
+    /// [`Telemetry`](crate::Telemetry) series surfaced through
+    /// [`Scheduler::telemetry`] and [`FleetReport::telemetry`]. `None`
+    /// (the default) records nothing. The series is observational and
+    /// not checkpointed.
+    pub telemetry_every_ticks: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -60,6 +69,7 @@ impl Default for SchedulerConfig {
             quantum_iters: None,
             autosave_every_ticks: None,
             autosave_path: None,
+            telemetry_every_ticks: None,
         }
     }
 }
@@ -145,6 +155,13 @@ pub struct Scheduler {
     preemptions: u64,
     ticks: u64,
     autosaves: u64,
+    telemetry: Option<Telemetry>,
+    /// Cumulative outcome counters, bumped as jobs retire — kept so the
+    /// per-tick telemetry sample never rescans the done map (which
+    /// would make telemetry O(jobs · ticks) at cadence 1).
+    completed_count: u64,
+    cancelled_count: u64,
+    rejected_count: u64,
 }
 
 impl Scheduler {
@@ -153,6 +170,7 @@ impl Scheduler {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.quantum_iters != Some(0), "quantum_iters must be at least 1");
         let backends = devices.len() + cfg.cpu_workers;
+        let telemetry = cfg.telemetry_every_ticks.map(|_| Telemetry::new());
         Self {
             devices,
             cfg,
@@ -172,6 +190,10 @@ impl Scheduler {
             preemptions: 0,
             ticks: 0,
             autosaves: 0,
+            telemetry,
+            completed_count: 0,
+            cancelled_count: 0,
+            rejected_count: 0,
         }
     }
 
@@ -197,10 +219,43 @@ impl Scheduler {
         self.queue.len()
     }
 
+    /// Jobs currently placed on a backend (members of fused groups each
+    /// count once). With `queued_len` this is the cheap idleness probe
+    /// the workload driver polls every tick.
+    pub fn running_len(&self) -> usize {
+        self.active.iter().flatten().map(|a| a.jobs.len()).sum()
+    }
+
+    /// The telemetry series recorded so far, when
+    /// [`SchedulerConfig::telemetry_every_ticks`] is set.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
     /// Identities of the currently queued jobs (one snapshot for
     /// admission-control planning, instead of per-job status scans).
     pub(crate) fn queued_job_ids(&self) -> BTreeSet<JobId> {
         self.queue.iter().map(|e| e.job.id()).collect()
+    }
+
+    /// `(id, tenant, priority)` of every *live* job — queued or placed
+    /// on a backend. What
+    /// [`FleetClient::resume`](crate::FleetClient::resume) rebuilds its
+    /// admission bookkeeping from after a restore: running jobs matter
+    /// too, because under preemption they return to the queue and must
+    /// count against caps and be shed-eligible, exactly as they were in
+    /// the pre-crash client.
+    pub(crate) fn live_rows(&self) -> Vec<(JobId, String, u8)> {
+        let queued = self.queue.iter().map(|e| &e.job);
+        let running = self.active.iter().flatten().flat_map(|a| a.jobs.iter().map(|aj| &aj.job));
+        queued
+            .chain(running)
+            .map(|job| {
+                let id = job.id();
+                let tenant = self.meta.get(&id).map_or_else(String::new, |m| m.tenant.clone());
+                (id, tenant, job.priority())
+            })
+            .collect()
     }
 
     /// True once `handle`'s job has a final report (done, cancelled or
@@ -385,7 +440,30 @@ impl Scheduler {
                 self.autosave();
             }
         }
+        if let Some(every) = self.cfg.telemetry_every_ticks {
+            if every > 0 && self.ticks.is_multiple_of(every) {
+                self.sample_telemetry();
+            }
+        }
         progressed || !self.queue.is_empty()
+    }
+
+    /// Append one [`TickSample`] of the current fleet state.
+    fn sample_telemetry(&mut self) {
+        let sample = TickSample {
+            tick: self.ticks,
+            now_s: self.now_s(),
+            queue_depth: self.queue.len() as u64,
+            running: self.running_len() as u64,
+            completed: self.completed_count,
+            cancelled: self.cancelled_count,
+            rejected: self.rejected_count,
+            preemptions: self.preemptions,
+            device_busy_s: self.clocks[..self.devices.len()].to_vec(),
+        };
+        if let Some(t) = self.telemetry.as_mut() {
+            t.push(sample);
+        }
     }
 
     /// Snapshot to the configured autosave path, rotating the previous
@@ -434,6 +512,13 @@ impl Scheduler {
         report.rejected = rejected;
         report.tenant = meta.map_or_else(String::new, |m| m.tenant.clone());
         self.policed.remove(&id);
+        if rejected {
+            self.rejected_count += 1;
+        } else if cancelled {
+            self.cancelled_count += 1;
+        } else {
+            self.completed_count += 1;
+        }
         self.done.insert(id, report);
     }
 
@@ -761,6 +846,8 @@ impl Scheduler {
         let count = served.len().max(1) as f64;
         let mean_wait_s = served.iter().map(|t| t.wait_s).sum::<f64>() / count;
         let mean_turnaround_s = served.iter().map(|t| t.turnaround_s).sum::<f64>() / count;
+        let waits: Vec<f64> = served.iter().map(|t| t.wait_s).collect();
+        let turnarounds: Vec<f64> = served.iter().map(|t| t.turnaround_s).collect();
         let jobs_cancelled = tenant_stats.iter().filter(|t| t.cancelled).count() as u64;
         let jobs_rejected = tenant_stats.iter().filter(|t| t.rejected).count() as u64;
         let jobs_completed = self.done.len() as u64 - jobs_cancelled - jobs_rejected;
@@ -786,8 +873,15 @@ impl Scheduler {
             mean_wait_s,
             max_turnaround_s,
             mean_turnaround_s,
+            wait_p50_s: percentile(&waits, 0.50),
+            wait_p95_s: percentile(&waits, 0.95),
+            wait_p99_s: percentile(&waits, 0.99),
+            turnaround_p50_s: percentile(&turnarounds, 0.50),
+            turnaround_p95_s: percentile(&turnarounds, 0.95),
+            turnaround_p99_s: percentile(&turnarounds, 0.99),
             tenant_stats,
             fleet_book,
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -868,6 +962,21 @@ impl Scheduler {
             })
             .map(|(id, _)| *id)
             .collect();
+        // Telemetry is observational and not checkpointed: a restored
+        // fleet records a fresh series from its inherited tick counter.
+        let telemetry = checkpoint.cfg.telemetry_every_ticks.map(|_| Telemetry::new());
+        // The cumulative outcome counters are derivable: one pass over
+        // the restored reports (restore is rare; ticks are not).
+        let (mut completed_count, mut cancelled_count, mut rejected_count) = (0u64, 0u64, 0u64);
+        for r in checkpoint.done.values() {
+            if r.rejected {
+                rejected_count += 1;
+            } else if r.cancelled {
+                cancelled_count += 1;
+            } else {
+                completed_count += 1;
+            }
+        }
         Self {
             devices,
             cfg: checkpoint.cfg,
@@ -898,6 +1007,10 @@ impl Scheduler {
             preemptions: checkpoint.preemptions,
             ticks: checkpoint.ticks,
             autosaves: checkpoint.autosaves,
+            telemetry,
+            completed_count,
+            cancelled_count,
+            rejected_count,
         }
     }
 }

@@ -1,0 +1,215 @@
+//! Fleet time-series telemetry: what the scheduler looked like at every
+//! tick, not just at the end.
+//!
+//! The ROADMAP asks for *admission backpressure signals over time* —
+//! queue depth history, not final counts. With
+//! [`SchedulerConfig::telemetry_every_ticks`](crate::SchedulerConfig::telemetry_every_ticks)
+//! set, the tick loop appends one [`TickSample`] per cadence beat to a
+//! [`Telemetry`] series; the series rides along in
+//! [`FleetReport::telemetry`](crate::FleetReport::telemetry) so the
+//! workload driver, the benches and the `Display` summary can all read
+//! the same record. Telemetry is observational: it never influences
+//! scheduling, and it is not checkpointed (a restored fleet starts a
+//! fresh series at its inherited tick counter).
+
+use std::fmt;
+
+/// One sampled instant of the fleet: the tick-loop state after the
+/// backends stepped. Count fields are cumulative; `queue_depth` and
+/// `running` are instantaneous.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TickSample {
+    /// The scheduler tick this sample was taken at (monotone, survives
+    /// checkpoint/restore).
+    pub tick: u64,
+    /// Fleet clock at the sample (modeled seconds — the max backend
+    /// clock).
+    pub now_s: f64,
+    /// Jobs waiting in the queue — the backpressure signal admission
+    /// caps act on.
+    pub queue_depth: u64,
+    /// Jobs currently placed on a backend.
+    pub running: u64,
+    /// Jobs completed so far (cumulative, cancelled/rejected excluded).
+    pub completed: u64,
+    /// Jobs cancelled so far (cumulative).
+    pub cancelled: u64,
+    /// Jobs rejected/shed so far (cumulative; scheduler-side sheds only
+    /// — outright submission bounces never reach the scheduler).
+    pub rejected: u64,
+    /// Preemptions so far (cumulative).
+    pub preemptions: u64,
+    /// Busy seconds per device backend at the sample.
+    pub device_busy_s: Vec<f64>,
+}
+
+/// A time series of [`TickSample`]s plus summary accessors.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Telemetry {
+    samples: Vec<TickSample>,
+}
+
+impl Telemetry {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, sample: TickSample) {
+        self.samples.push(sample);
+    }
+
+    /// The recorded samples, in tick order.
+    pub fn samples(&self) -> &[TickSample] {
+        &self.samples
+    }
+
+    /// True when nothing was recorded (telemetry off or no ticks ran).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Deepest queue observed at any sample.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.samples.iter().map(|s| s.queue_depth).max().unwrap_or(0)
+    }
+
+    /// Mean queue depth over the samples (0 when empty).
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.queue_depth as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Rejections/sheds that landed between consecutive samples — the
+    /// per-tick backpressure response (first entry counts from zero).
+    pub fn rejections_per_sample(&self) -> Vec<u64> {
+        let mut prev = 0;
+        self.samples
+            .iter()
+            .map(|s| {
+                let d = s.rejected.saturating_sub(prev);
+                prev = s.rejected;
+                d
+            })
+            .collect()
+    }
+
+    /// Queue depth compressed to at most `buckets` points (max within
+    /// each bucket — backpressure spikes must survive the compression).
+    pub fn queue_depth_buckets(&self, buckets: usize) -> Vec<u64> {
+        bucket_max(&self.samples.iter().map(|s| s.queue_depth).collect::<Vec<_>>(), buckets)
+    }
+
+    /// One-line sparkline of the queue depth (empty string when no
+    /// samples) — the `Display` backpressure summary.
+    pub fn queue_sparkline(&self, buckets: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let series = self.queue_depth_buckets(buckets);
+        let peak = series.iter().copied().max().unwrap_or(0).max(1);
+        series
+            .iter()
+            .map(|&d| {
+                if d == 0 {
+                    ' '
+                } else {
+                    BARS[((d * (BARS.len() as u64 - 1)).div_ceil(peak) as usize)
+                        .min(BARS.len() - 1)]
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue depth max {} mean {:.1} over {} samples [{}]",
+            self.max_queue_depth(),
+            self.mean_queue_depth(),
+            self.samples.len(),
+            self.queue_sparkline(32),
+        )
+    }
+}
+
+/// Compress `values` to at most `buckets` entries, keeping the max of
+/// each bucket.
+fn bucket_max(values: &[u64], buckets: usize) -> Vec<u64> {
+    if values.is_empty() || buckets == 0 {
+        return Vec::new();
+    }
+    let per = values.len().div_ceil(buckets);
+    values.chunks(per).map(|c| c.iter().copied().max().unwrap_or(0)).collect()
+}
+
+/// Nearest-rank percentile of an **unsorted** sample set (`q` in
+/// `[0, 1]`); 0.0 for an empty set. Deterministic — the workload replay
+/// proptest compares reports bit for bit.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(tick: u64, depth: u64, rejected: u64) -> TickSample {
+        TickSample {
+            tick,
+            now_s: tick as f64,
+            queue_depth: depth,
+            running: 1,
+            completed: 0,
+            cancelled: 0,
+            rejected,
+            preemptions: 0,
+            device_busy_s: vec![0.0],
+        }
+    }
+
+    #[test]
+    fn summaries_over_a_small_series() {
+        let mut t = Telemetry::new();
+        for (i, d) in [3u64, 5, 2, 0].iter().enumerate() {
+            t.push(sample(i as u64, *d, i as u64));
+        }
+        assert_eq!(t.max_queue_depth(), 5);
+        assert!((t.mean_queue_depth() - 2.5).abs() < 1e-12);
+        assert_eq!(t.rejections_per_sample(), vec![0, 1, 1, 1]);
+        assert_eq!(t.queue_depth_buckets(2), vec![5, 2]);
+        assert_eq!(t.queue_sparkline(4).chars().count(), 4);
+        assert!(t.queue_sparkline(4).ends_with(' '), "empty queue renders blank");
+    }
+
+    #[test]
+    fn empty_series_is_harmless() {
+        let t = Telemetry::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_queue_depth(), 0);
+        assert_eq!(t.mean_queue_depth(), 0.0);
+        assert_eq!(t.queue_sparkline(8), "");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 0.5), 5.0);
+    }
+}

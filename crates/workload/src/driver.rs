@@ -1,0 +1,265 @@
+//! The replay driver: interleaving a timed submission stream with
+//! scheduler ticks, under admission control, with optional mid-run
+//! crash/restore.
+//!
+//! [`Driver::record`] lowers a scenario and runs it; [`Driver::replay`]
+//! runs an existing [`Trace`]. Both execute the *same* code path over
+//! the same lowered stream, so a recorded run and the replay of its
+//! saved trace produce bit-identical [`FleetReport`]s — the property
+//! the workload proptest pins down.
+
+use crate::scenario::Scenario;
+use crate::trace::Trace;
+use lnls_gpu_sim::{DeviceSpec, MultiDevice};
+use lnls_runtime::{
+    FleetCheckpoint, FleetClient, FleetReport, JobRegistry, Scheduler, SchedulerConfig,
+};
+use std::fmt;
+
+/// What one driven run produced: the fleet's own report plus the
+/// driver-side counters (submissions that bounced at admission never
+/// reach the scheduler, so only the driver can count them).
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Scenario name the run was lowered from.
+    pub scenario: String,
+    /// The lowering seed.
+    pub seed: u64,
+    /// Submissions attempted (the trace's arrival count).
+    pub submitted: u64,
+    /// Submissions admitted by the fleet client.
+    pub admitted: u64,
+    /// Submissions bounced outright with a
+    /// [`SubmitError`](lnls_runtime::SubmitError).
+    pub bounced: u64,
+    /// Crash/restore cycles the driver performed.
+    pub crashes: u64,
+    /// Driver ticks executed.
+    pub ticks: u64,
+    /// The fleet's throughput/fairness/telemetry report.
+    pub fleet: FleetReport,
+}
+
+impl fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "workload '{}' (seed {}): {} submitted, {} admitted, {} bounced, {} crash(es), {} ticks",
+            self.scenario, self.seed, self.submitted, self.admitted, self.bounced, self.crashes,
+            self.ticks
+        )?;
+        write!(f, "{}", self.fleet)
+    }
+}
+
+/// Drives traces through a [`FleetClient`]: [`record`](Self::record)
+/// lowers and runs a scenario, [`replay`](Self::replay) re-runs a
+/// trace bit-identically.
+pub struct Driver;
+
+impl Driver {
+    /// Lower `(scenario, seed)` and run it, returning the trace (ready
+    /// to [`save`](Trace::save)) alongside the report.
+    pub fn record(scenario: &Scenario, seed: u64) -> (Trace, WorkloadReport) {
+        let trace = crate::TrafficGen::lower(scenario, seed);
+        let report = Self::replay(&trace);
+        (trace, report)
+    }
+
+    /// Run a lowered trace to completion.
+    ///
+    /// Arrivals are delivered when the fleet clock reaches their
+    /// timestamp; when the fleet is fully idle the next arrival is
+    /// delivered immediately (modeled time cannot advance through an
+    /// empty fleet). With [`Trace::crash_at_tick`] set, the driver
+    /// serializes the whole fleet to checkpoint bytes at that tick,
+    /// drops it, and resumes from the decoded bytes — jobs submitted
+    /// [`without_checkpoint`](lnls_runtime::JobSpec::without_checkpoint)
+    /// are lost there, exactly as a real crash would lose them.
+    pub fn replay(trace: &Trace) -> WorkloadReport {
+        let registry = JobRegistry::with_builtin();
+        let mut client = FleetClient::new(Self::build_fleet(trace), trace.admission.clone());
+        let mut next = 0usize;
+        let (mut admitted, mut bounced) = (0u64, 0u64);
+        let mut crashes = 0u64;
+        let mut ticks = 0u64;
+        loop {
+            // Deliver every arrival that is due; when the fleet is
+            // drained, jump to the next arrival instead of spinning.
+            while let Some(arrival) = trace.arrivals.get(next) {
+                let scheduler = client.scheduler();
+                let due = arrival.at_s <= scheduler.now_s()
+                    || (scheduler.queued_len() == 0 && scheduler.running_len() == 0);
+                if !due {
+                    break;
+                }
+                match arrival.submit(&mut client) {
+                    Ok(_) => admitted += 1,
+                    Err(_) => bounced += 1,
+                }
+                next += 1;
+            }
+            let progressed = client.tick();
+            ticks += 1;
+            if trace.crash_at_tick == Some(ticks) {
+                let bytes = client.checkpoint().to_bytes();
+                drop(client); // the crash: all in-memory state is gone
+                let revived = FleetCheckpoint::from_bytes(&bytes, &registry)
+                    .expect("a checkpoint the fleet just wrote must decode");
+                client = FleetClient::resume(
+                    Scheduler::restore(revived),
+                    trace.admission.clone(),
+                    bounced,
+                );
+                crashes += 1;
+            }
+            if !progressed && next >= trace.arrivals.len() {
+                break;
+            }
+        }
+        WorkloadReport {
+            scenario: trace.scenario.clone(),
+            seed: trace.seed,
+            submitted: trace.arrivals.len() as u64,
+            admitted,
+            bounced,
+            crashes,
+            ticks,
+            fleet: client.fleet_report(),
+        }
+    }
+
+    fn build_fleet(trace: &Trace) -> Scheduler {
+        Scheduler::new(
+            MultiDevice::new_uniform(trace.fleet.devices, DeviceSpec::gtx280()),
+            SchedulerConfig {
+                cpu_workers: trace.fleet.cpu_workers,
+                max_batch: trace.fleet.max_batch,
+                quantum_iters: trace.fleet.quantum_iters,
+                telemetry_every_ticks: Some(trace.fleet.telemetry_every_ticks),
+                ..Default::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::TrafficGen;
+
+    /// Accounting invariant of a completed run without crashes: every
+    /// submission is admitted or bounced, and every admitted job ends
+    /// completed, cancelled or shed.
+    #[test]
+    fn counters_add_up_across_the_catalog() {
+        for scenario in Scenario::catalog() {
+            if scenario.crash_at_tick.is_some() {
+                continue; // opt-out jobs are lost at the crash, by design
+            }
+            let (_, report) = Driver::record(&scenario, 4);
+            let name = &scenario.name;
+            assert_eq!(report.submitted, scenario.jobs, "{name}");
+            assert_eq!(report.admitted + report.bounced, report.submitted, "{name}");
+            let fleet = &report.fleet;
+            assert_eq!(fleet.jobs_queued + fleet.jobs_running, 0, "{name}: fleet drained");
+            let sheds = fleet.jobs_rejected - report.bounced;
+            assert_eq!(
+                fleet.jobs_completed + fleet.jobs_cancelled + sheds,
+                report.admitted,
+                "{name}: every admitted job must account for itself"
+            );
+            let telemetry = fleet.telemetry.as_ref().expect("scenarios record telemetry");
+            assert!(!telemetry.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn burst_storms_trip_the_queue_cap() {
+        let (_, report) = Driver::record(&Scenario::burst(), 1);
+        assert!(report.bounced > 0, "storms against a hard cap must bounce submissions");
+        assert!(report.fleet.jobs_completed > 0, "the fleet still serves what it admitted");
+    }
+
+    #[test]
+    fn priority_inversion_sheds_bulk_not_urgent() {
+        let (trace, report) = Driver::record(&Scenario::priority_inversion(), 2);
+        assert!(
+            trace.arrivals.iter().any(|a| a.tenant == "urgent"),
+            "the mix must contain urgent arrivals (tune weights otherwise)"
+        );
+        let shed_by_tenant = report.fleet.rejections_by_tenant();
+        assert_eq!(
+            shed_by_tenant.get("urgent"),
+            None,
+            "urgent tenants must never be shed: {shed_by_tenant:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_heavy_cancels_late_jobs() {
+        let (trace, report) = Driver::record(&Scenario::deadline_heavy(), 3);
+        assert!(trace.arrivals.iter().any(|a| a.deadline_s.is_some()));
+        assert!(
+            report.fleet.jobs_cancelled > 0,
+            "tight deadlines must produce misses: {}",
+            report.fleet
+        );
+    }
+
+    #[test]
+    fn checkpoint_churn_crashes_and_finishes() {
+        let scenario = Scenario::checkpoint_churn();
+        let (trace, report) = Driver::record(&scenario, 5);
+        assert_eq!(report.crashes, 1, "the scenario crashes once");
+        assert!(report.fleet.jobs_completed > 0);
+        // Jobs that opted out of checkpoints may be lost at the crash;
+        // nobody else may be.
+        let opted_out = trace.arrivals.iter().filter(|a| !a.checkpoint).count() as u64;
+        let fleet = &report.fleet;
+        let accounted =
+            fleet.jobs_completed + fleet.jobs_cancelled + fleet.jobs_rejected - report.bounced;
+        assert!(
+            report.admitted - accounted <= opted_out,
+            "only checkpoint opt-outs may vanish: admitted {}, accounted {accounted}, \
+             opted out {opted_out}",
+            report.admitted
+        );
+    }
+
+    #[test]
+    fn record_equals_inline_replay() {
+        let scenario = Scenario::steady();
+        let (trace, recorded) = Driver::record(&scenario, 9);
+        let replayed = Driver::replay(&trace);
+        assert_eq!(
+            format!("{:?}", recorded.fleet),
+            format!("{:?}", replayed.fleet),
+            "replaying the in-memory trace must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn saturation_exercises_every_backend() {
+        let (trace, report) = Driver::record(&Scenario::saturation(), 6);
+        assert!(report.fleet.fused_launches > 0, "same-key tabu lanes must fuse");
+        assert!(
+            report.fleet.device_busy_s.iter().all(|&b| b > 0.0),
+            "every device must see work: {:?}",
+            report.fleet.device_busy_s
+        );
+        let qaps =
+            trace.arrivals.iter().filter(|a| a.recipe.family() == crate::Family::Qap).count();
+        assert!(qaps > 0, "saturation must include QAP tenants");
+    }
+
+    #[test]
+    fn report_display_names_the_scenario() {
+        let trace = TrafficGen::lower(&Scenario::steady().scaled(0.3), 1);
+        let report = Driver::replay(&trace);
+        let text = report.to_string();
+        assert!(text.contains("workload 'steady'"), "{text}");
+        assert!(text.contains("wait p50/p95/p99"), "{text}");
+    }
+}

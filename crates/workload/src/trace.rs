@@ -1,0 +1,216 @@
+//! The trace record/replay format.
+//!
+//! A [`Trace`] is a fully lowered run: the fleet/admission shape plus
+//! every timed [`Arrival`], encoded through the workspace's
+//! [`lnls_core::persist`] codec (f64 fields round-trip as raw bits, so
+//! a loaded trace replays **bit-identically** — the replay proptest
+//! holds the whole [`FleetReport`](lnls_runtime::FleetReport) to that
+//! standard). Traces are small by construction: recipes store sizes,
+//! budgets and seeds, never instance payloads.
+
+use crate::scenario::FleetProfile;
+use crate::traffic::{Arrival, JobRecipe};
+use lnls_core::persist::{Persist, PersistError, Reader};
+use lnls_runtime::AdmissionPolicy;
+use std::io;
+use std::path::Path;
+
+/// Magic prefix of a trace file (`LNLSTRC` + format version).
+const MAGIC: &[u8; 8] = b"LNLSTRC\x01";
+
+/// A recorded (or freshly lowered) run: everything
+/// [`Driver::replay`](crate::Driver::replay) needs, self-contained.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Name of the scenario this trace was lowered from (display only —
+    /// the trace itself carries every runtime parameter).
+    pub scenario: String,
+    /// The lowering seed.
+    pub seed: u64,
+    /// The fleet shape the traffic ran on.
+    pub fleet: FleetProfile,
+    /// The admission policy fronting the fleet.
+    pub admission: AdmissionPolicy,
+    /// Crash/restore tick, if the run crashes mid-replay.
+    pub crash_at_tick: Option<u64>,
+    /// The timed submission stream, in arrival order.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl Trace {
+    /// Encode into bytes: the magic prefix, then the trace through the
+    /// [`lnls_core::persist`] codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        self.write(&mut out);
+        out
+    }
+
+    /// Decode a trace written by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader::new(bytes);
+        r.expect_magic(MAGIC, "workload trace")?;
+        let trace = Self::read(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(PersistError::new(format!("trace has {} trailing bytes", r.remaining())));
+        }
+        Ok(trace)
+    }
+
+    /// Write the trace to `path` (temp file + rename, like fleet
+    /// checkpoints).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a trace written by [`save`](Self::save).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl Persist for Trace {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.scenario.write(out);
+        self.seed.write(out);
+        self.fleet.write(out);
+        self.admission.write(out);
+        self.crash_at_tick.write(out);
+        self.arrivals.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            scenario: r.read()?,
+            seed: r.read()?,
+            fleet: r.read()?,
+            admission: r.read()?,
+            crash_at_tick: r.read()?,
+            arrivals: r.read()?,
+        })
+    }
+}
+
+impl Persist for FleetProfile {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.devices.write(out);
+        self.cpu_workers.write(out);
+        self.max_batch.write(out);
+        self.quantum_iters.write(out);
+        self.telemetry_every_ticks.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            devices: r.read()?,
+            cpu_workers: r.read()?,
+            max_batch: r.read()?,
+            quantum_iters: r.read()?,
+            telemetry_every_ticks: r.read()?,
+        })
+    }
+}
+
+impl Persist for Arrival {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.at_s.write(out);
+        self.name.write(out);
+        self.tenant.write(out);
+        self.priority.write(out);
+        self.iter_budget.write(out);
+        self.deadline_s.write(out);
+        self.checkpoint.write(out);
+        self.recipe.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            at_s: r.read()?,
+            name: r.read()?,
+            tenant: r.read()?,
+            priority: r.read()?,
+            iter_budget: r.read()?,
+            deadline_s: r.read()?,
+            checkpoint: r.read()?,
+            recipe: r.read()?,
+        })
+    }
+}
+
+impl Persist for JobRecipe {
+    fn write(&self, out: &mut Vec<u8>) {
+        match *self {
+            JobRecipe::TabuOneMax { dim, iters, seed } => {
+                out.push(0);
+                (dim, iters, seed).write(out);
+            }
+            JobRecipe::TabuPpp { dim, iters, seed } => {
+                out.push(1);
+                (dim, iters, seed).write(out);
+            }
+            JobRecipe::TabuMaxCut { dim, iters, seed } => {
+                out.push(2);
+                (dim, iters, seed).write(out);
+            }
+            JobRecipe::AnnealOneMax { dim, iters, seed } => {
+                out.push(3);
+                (dim, iters, seed).write(out);
+            }
+            JobRecipe::Qap { n, iters, seed } => {
+                out.push(4);
+                (n, iters, seed).write(out);
+            }
+        }
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let tag = u8::read(r)?;
+        let (dim, iters, seed): (usize, u64, u64) = r.read()?;
+        Ok(match tag {
+            0 => JobRecipe::TabuOneMax { dim, iters, seed },
+            1 => JobRecipe::TabuPpp { dim, iters, seed },
+            2 => JobRecipe::TabuMaxCut { dim, iters, seed },
+            3 => JobRecipe::AnnealOneMax { dim, iters, seed },
+            4 => JobRecipe::Qap { n: dim, iters, seed },
+            b => return Err(PersistError::new(format!("bad job-recipe tag {b}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::traffic::TrafficGen;
+
+    #[test]
+    fn traces_roundtrip_bit_exactly() {
+        for scenario in Scenario::catalog() {
+            let trace = TrafficGen::lower(&scenario, 11);
+            let bytes = trace.to_bytes();
+            let back = Trace::from_bytes(&bytes).expect("decode");
+            assert_eq!(back, trace, "{}", scenario.name);
+            assert_eq!(back.to_bytes(), bytes, "{}: re-encoding must be stable", scenario.name);
+        }
+    }
+
+    #[test]
+    fn disk_roundtrip_and_corruption_errors() {
+        let trace = TrafficGen::lower(&Scenario::steady(), 2);
+        let path =
+            std::env::temp_dir().join(format!("lnls-workload-trace-{}.trc", std::process::id()));
+        trace.save(&path).expect("save");
+        let back = Trace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, trace);
+
+        assert!(Trace::from_bytes(b"garbage!").is_err(), "bad magic must be refused");
+        let mut truncated = trace.to_bytes();
+        truncated.truncate(truncated.len() - 3);
+        assert!(Trace::from_bytes(&truncated).is_err(), "truncation must be refused");
+        let mut trailing = trace.to_bytes();
+        trailing.push(0);
+        assert!(Trace::from_bytes(&trailing).is_err(), "trailing bytes must be refused");
+    }
+}

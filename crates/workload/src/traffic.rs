@@ -1,0 +1,409 @@
+//! Deterministic traffic generation: lowering a `(scenario, seed)` pair
+//! into a concrete, timed submission stream.
+//!
+//! The lowering draws every random choice — arrival gaps, tenant,
+//! family, size, priority, deadlines, budgets, per-job search seeds —
+//! from one seeded [`StdRng`] stream in a fixed order, so the same
+//! `(scenario, seed)` always produces the same [`Arrival`] list, byte
+//! for byte. The lowered stream *is* the trace
+//! ([`Trace`](crate::Trace)): recording a run and replaying its trace
+//! execute identical submissions against identical fleets.
+
+use crate::scenario::{ArrivalProcess, Family, Scenario, TenantProfile};
+use crate::trace::Trace;
+use lnls_core::{BitString, SearchConfig, SimulatedAnnealing, TabuSearch};
+use lnls_neighborhood::{KHamming, Neighborhood};
+use lnls_ppp::{Ppp, PppInstance};
+use lnls_problems::{MaxCut, OneMax};
+use lnls_qap::{Permutation, QapInstance, RtsConfig};
+use lnls_runtime::{
+    AnnealJob, BinaryJob, FleetClient, JobHandle, JobSpec, QapJobSpec, SubmitError,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Everything needed to rebuild one concrete job, compactly: sizes,
+/// budgets and a seed, never instance payloads (instances regenerate
+/// deterministically from the seed, which keeps traces small).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobRecipe {
+    /// Full-neighborhood tabu over OneMax, 2-Hamming moves.
+    TabuOneMax {
+        /// Bit-string length.
+        dim: usize,
+        /// Search iteration budget.
+        iters: u64,
+        /// Seed for the initial solution and the search.
+        seed: u64,
+    },
+    /// Full-neighborhood tabu over a generated PPP instance.
+    TabuPpp {
+        /// Instance dimension (`m = n = dim`).
+        dim: usize,
+        /// Search iteration budget.
+        iters: u64,
+        /// Seed for instance, initial solution and search.
+        seed: u64,
+    },
+    /// Full-neighborhood tabu over a random Max-Cut instance.
+    TabuMaxCut {
+        /// Vertex count.
+        dim: usize,
+        /// Search iteration budget.
+        iters: u64,
+        /// Seed for graph, initial solution and search.
+        seed: u64,
+    },
+    /// Simulated annealing over OneMax (sampling-style pricing).
+    AnnealOneMax {
+        /// Bit-string length.
+        dim: usize,
+        /// Annealing step budget.
+        iters: u64,
+        /// Seed for the initial solution and the walk.
+        seed: u64,
+    },
+    /// QAP robust tabu over a random uniform instance.
+    Qap {
+        /// Facility/location count.
+        n: usize,
+        /// Robust-tabu iteration budget.
+        iters: u64,
+        /// Seed for instance, initial assignment and search.
+        seed: u64,
+    },
+}
+
+impl JobRecipe {
+    /// The family this recipe belongs to.
+    pub fn family(&self) -> Family {
+        match self {
+            JobRecipe::TabuOneMax { .. } => Family::TabuOneMax,
+            JobRecipe::TabuPpp { .. } => Family::TabuPpp,
+            JobRecipe::TabuMaxCut { .. } => Family::TabuMaxCut,
+            JobRecipe::AnnealOneMax { .. } => Family::Anneal,
+            JobRecipe::Qap { .. } => Family::Qap,
+        }
+    }
+}
+
+/// One timed submission: the envelope the scheduler sees plus the
+/// [`JobRecipe`] that rebuilds the job itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Arrival {
+    /// Modeled fleet second the submission arrives at.
+    pub at_s: f64,
+    /// Submission name (tenant, family and index — stable across runs).
+    pub name: String,
+    /// Tenant attribution.
+    pub tenant: String,
+    /// Queue priority.
+    pub priority: u8,
+    /// Envelope iteration budget, if any.
+    pub iter_budget: Option<u64>,
+    /// Absolute deadline in modeled seconds, if any.
+    pub deadline_s: Option<f64>,
+    /// False when the job opts out of checkpoints.
+    pub checkpoint: bool,
+    /// How to rebuild the job.
+    pub recipe: JobRecipe,
+}
+
+impl Arrival {
+    /// Build the concrete job and submit it through `client` under this
+    /// arrival's envelope. Every family flows through the same generic
+    /// [`FleetClient::submit_spec`] path.
+    pub fn submit(&self, client: &mut FleetClient) -> Result<JobHandle, SubmitError> {
+        match self.recipe {
+            JobRecipe::TabuOneMax { dim, iters, seed } => {
+                let hood = KHamming::new(dim, 2);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let init = BitString::random(&mut rng, dim);
+                let search =
+                    TabuSearch::paper(SearchConfig::budget(iters).with_seed(seed), hood.size());
+                self.enveloped(client, BinaryJob::new("", OneMax::new(dim), hood, search, init))
+            }
+            JobRecipe::TabuPpp { dim, iters, seed } => {
+                let problem = Ppp::new(PppInstance::generate(dim, dim, seed));
+                let hood = KHamming::new(dim, 2);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let init = BitString::random(&mut rng, dim);
+                let search =
+                    TabuSearch::paper(SearchConfig::budget(iters).with_seed(seed), hood.size());
+                self.enveloped(client, BinaryJob::new("", problem, hood, search, init))
+            }
+            JobRecipe::TabuMaxCut { dim, iters, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let problem = MaxCut::random(&mut rng, dim, 0.35, 5);
+                let hood = KHamming::new(dim, 2);
+                let init = BitString::random(&mut rng, dim);
+                let search =
+                    TabuSearch::paper(SearchConfig::budget(iters).with_seed(seed), hood.size());
+                self.enveloped(client, BinaryJob::new("", problem, hood, search, init))
+            }
+            JobRecipe::AnnealOneMax { dim, iters, seed } => {
+                let hood = KHamming::new(dim, 2);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let init = BitString::random(&mut rng, dim);
+                let sa =
+                    SimulatedAnnealing::new(SearchConfig::budget(iters).with_seed(seed), hood, 1.5);
+                self.enveloped(client, AnnealJob::new("", OneMax::new(dim), sa, init))
+            }
+            JobRecipe::Qap { n, iters, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let inst = QapInstance::random_uniform(&mut rng, n);
+                let init = Permutation::random(&mut rng, n);
+                self.enveloped(
+                    client,
+                    QapJobSpec::new("", inst, RtsConfig::budget(iters).with_seed(seed), init),
+                )
+            }
+        }
+    }
+
+    fn enveloped<J: lnls_runtime::SearchJob>(
+        &self,
+        client: &mut FleetClient,
+        job: J,
+    ) -> Result<JobHandle, SubmitError> {
+        let mut spec = JobSpec::new(job)
+            .named(self.name.clone())
+            .with_priority(self.priority)
+            .for_tenant(self.tenant.clone());
+        if let Some(budget) = self.iter_budget {
+            spec = spec.with_iter_budget(budget);
+        }
+        if let Some(deadline) = self.deadline_s {
+            spec = spec.with_deadline(deadline);
+        }
+        if !self.checkpoint {
+            spec = spec.without_checkpoint();
+        }
+        client.submit_spec(spec)
+    }
+}
+
+/// The deterministic lowering from a scenario to its timed stream.
+pub struct TrafficGen;
+
+impl TrafficGen {
+    /// Lower `(scenario, seed)` into a [`Trace`]: `scenario.jobs` timed
+    /// arrivals in non-decreasing time order, plus the fleet/admission
+    /// shape a replay rebuilds. Bit-deterministic per input pair.
+    pub fn lower(scenario: &Scenario, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut clock = ArrivalClock::new(scenario.arrivals.clone());
+        let mut arrivals = Vec::with_capacity(scenario.jobs as usize);
+        for idx in 0..scenario.jobs {
+            let at_s = clock.next_arrival(&mut rng);
+            let tenant = pick_tenant(&scenario.tenants, &mut rng);
+            arrivals.push(sample_arrival(tenant, idx, at_s, &mut rng));
+        }
+        Trace {
+            scenario: scenario.name.clone(),
+            seed,
+            fleet: scenario.fleet,
+            admission: scenario.admission.clone(),
+            crash_at_tick: scenario.crash_at_tick,
+            arrivals,
+        }
+    }
+}
+
+/// Stateful arrival-time sampler over the three process shapes.
+struct ArrivalClock {
+    process: ArrivalProcess,
+    now_s: f64,
+    /// Arrivals emitted inside the current burst (bursty only).
+    in_burst: u64,
+    /// Current phase index and its end time (diurnal only).
+    phase: usize,
+    phase_end_s: f64,
+}
+
+impl ArrivalClock {
+    fn new(process: ArrivalProcess) -> Self {
+        let phase_end_s = match &process {
+            ArrivalProcess::Diurnal { phases } => {
+                // A cycle of non-positive durations would make the
+                // phase-advance loop below spin forever; refuse the
+                // degenerate description up front with a clear message.
+                assert!(
+                    phases.iter().any(|p| p.0 > 0.0),
+                    "diurnal arrival processes need at least one phase with a positive duration"
+                );
+                phases.first().map_or(0.0, |p| p.0)
+            }
+            _ => 0.0,
+        };
+        Self { process, now_s: 0.0, in_burst: 0, phase: 0, phase_end_s }
+    }
+
+    fn next_arrival<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        match &self.process {
+            ArrivalProcess::Poisson { rate_per_s } => {
+                self.now_s += exp_gap(rng, *rate_per_s);
+            }
+            ArrivalProcess::Bursty { burst, gap_s } => {
+                if self.in_burst >= *burst {
+                    self.now_s += gap_s.max(0.0);
+                    self.in_burst = 0;
+                }
+                self.in_burst += 1;
+            }
+            ArrivalProcess::Diurnal { phases } => {
+                self.now_s += exp_gap(rng, phases[self.phase].1);
+                while self.now_s >= self.phase_end_s {
+                    self.phase = (self.phase + 1) % phases.len();
+                    self.phase_end_s += phases[self.phase].0;
+                }
+            }
+        }
+        self.now_s
+    }
+}
+
+/// One exponential inter-arrival gap with the given rate (degenerate
+/// rates collapse to zero gap).
+fn exp_gap<R: Rng>(rng: &mut R, rate_per_s: f64) -> f64 {
+    if rate_per_s <= 0.0 || !rate_per_s.is_finite() {
+        return 0.0;
+    }
+    let u: f64 = rng.gen(); // [0, 1)
+    -(1.0 - u).ln() / rate_per_s
+}
+
+fn pick_tenant<'a, R: Rng>(tenants: &'a [TenantProfile], rng: &mut R) -> &'a TenantProfile {
+    let total: f64 = tenants.iter().map(|t| t.weight).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for t in tenants {
+        x -= t.weight;
+        if x < 0.0 {
+            return t;
+        }
+    }
+    tenants.last().expect("scenarios have at least one tenant")
+}
+
+fn pick_family<R: Rng>(families: &[(Family, f64)], rng: &mut R) -> Family {
+    let total: f64 = families.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (f, w) in families {
+        x -= w;
+        if x < 0.0 {
+            return *f;
+        }
+    }
+    families.last().expect("tenants have at least one family").0
+}
+
+/// Draw one arrival from a tenant's distributions. The sampling order
+/// is part of the determinism contract — never reorder the draws.
+fn sample_arrival<R: Rng>(tenant: &TenantProfile, idx: u64, at_s: f64, rng: &mut R) -> Arrival {
+    let family = pick_family(&tenant.families, rng);
+    let dim = tenant.dims[rng.gen_range(0..tenant.dims.len())];
+    let (lo, hi) = tenant.iters;
+    let iters = rng.gen_range(lo..=hi.max(lo));
+    let priority = tenant.priorities[rng.gen_range(0..tenant.priorities.len())];
+    let job_seed: u64 = rng.gen();
+    let deadline_s = (tenant.deadline_p > 0.0 && rng.gen::<f64>() < tenant.deadline_p).then(|| {
+        let (dlo, dhi) = tenant.deadline_s;
+        at_s + dlo + rng.gen::<f64>() * (dhi - dlo).max(0.0)
+    });
+    let iter_budget = (tenant.budget_p > 0.0 && rng.gen::<f64>() < tenant.budget_p)
+        .then(|| rng.gen_range(iters.div_ceil(2)..=iters));
+    let checkpoint = !(tenant.no_checkpoint_p > 0.0 && rng.gen::<f64>() < tenant.no_checkpoint_p);
+    let recipe = match family {
+        Family::TabuOneMax => JobRecipe::TabuOneMax { dim, iters, seed: job_seed },
+        Family::TabuPpp => JobRecipe::TabuPpp { dim, iters, seed: job_seed },
+        Family::TabuMaxCut => JobRecipe::TabuMaxCut { dim, iters, seed: job_seed },
+        Family::Anneal => JobRecipe::AnnealOneMax { dim, iters, seed: job_seed },
+        // QAP cost matrices are n²; keep fleet-sized instances small.
+        Family::Qap => JobRecipe::Qap { n: dim.clamp(6, 12), iters, seed: job_seed },
+    };
+    Arrival {
+        at_s,
+        name: format!("{}-{}-{idx}", tenant.name, family.label()),
+        tenant: tenant.name.clone(),
+        priority,
+        iter_budget,
+        deadline_s,
+        checkpoint,
+        recipe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn lowering_is_deterministic_per_seed() {
+        for scenario in Scenario::catalog() {
+            let a = TrafficGen::lower(&scenario, 7);
+            let b = TrafficGen::lower(&scenario, 7);
+            assert_eq!(a, b, "{}: same (scenario, seed) must lower identically", scenario.name);
+            let c = TrafficGen::lower(&scenario, 8);
+            assert_ne!(
+                a.arrivals, c.arrivals,
+                "{}: a new seed must change the stream",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_are_timed_and_complete() {
+        for scenario in Scenario::catalog() {
+            let trace = TrafficGen::lower(&scenario, 3);
+            assert_eq!(trace.arrivals.len() as u64, scenario.jobs, "{}", scenario.name);
+            for pair in trace.arrivals.windows(2) {
+                assert!(
+                    pair[0].at_s <= pair[1].at_s,
+                    "{}: arrivals must be time-ordered",
+                    scenario.name
+                );
+            }
+            for a in &trace.arrivals {
+                assert!(a.at_s.is_finite() && a.at_s >= 0.0);
+                if let Some(d) = a.deadline_s {
+                    assert!(d >= a.at_s, "deadlines are after arrival");
+                }
+                if let Some(b) = a.iter_budget {
+                    assert!(b > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burst_storms_arrive_simultaneously() {
+        let trace = TrafficGen::lower(&Scenario::burst(), 1);
+        let first = trace.arrivals[0].at_s;
+        let same: usize = trace.arrivals.iter().filter(|a| a.at_s == first).count();
+        assert!(same >= 2, "a storm must contain simultaneous arrivals");
+        assert!(trace.arrivals.iter().any(|a| a.at_s > first), "storms must be separated by gaps");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn degenerate_diurnal_phases_are_refused() {
+        let mut scenario = Scenario::steady();
+        scenario.arrivals = ArrivalProcess::Diurnal { phases: vec![(0.0, 100.0)] };
+        let _ = TrafficGen::lower(&scenario, 1);
+    }
+
+    #[test]
+    fn family_mixes_are_respected() {
+        let trace = TrafficGen::lower(&Scenario::saturation(), 5);
+        let families: std::collections::BTreeSet<&'static str> =
+            trace.arrivals.iter().map(|a| a.recipe.family().label()).collect();
+        assert!(families.len() >= 3, "saturation must mix families, got {families:?}");
+        for a in &trace.arrivals {
+            if let JobRecipe::Qap { n, .. } = a.recipe {
+                assert!((6..=12).contains(&n), "fleet QAP instances stay small");
+            }
+        }
+    }
+}

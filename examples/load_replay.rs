@@ -1,0 +1,95 @@
+//! Drive a catalog workload scenario end to end: lower it into a timed
+//! submission stream, run it against a simulated fleet under admission
+//! control, print the queue-depth/backpressure time series and latency
+//! percentiles, then save the trace, reload it from disk and replay it
+//! — verifying the replayed `FleetReport` is **bit-identical** to the
+//! recorded one.
+//!
+//! ```text
+//! cargo run --release --example load_replay                       # steady scenario
+//! LNLS_SCENARIO=burst cargo run --release --example load_replay   # any catalog name
+//! LNLS_SEED=7 LNLS_SCALE=4 cargo run --release --example load_replay
+//! ```
+
+use lnls::prelude::*;
+
+fn main() {
+    let name = std::env::var("LNLS_SCENARIO").unwrap_or_else(|_| "steady".to_string());
+    let seed: u64 = std::env::var("LNLS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+    let scale: f64 = std::env::var("LNLS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let scenario = Scenario::by_name(&name).unwrap_or_else(|| {
+        let names: Vec<String> = Scenario::catalog().into_iter().map(|s| s.name).collect();
+        panic!("unknown scenario '{name}'; catalog: {names:?}")
+    });
+    let scenario = scenario.scaled(scale);
+    println!("=== lnls workload: '{}' — {} ===", scenario.name, scenario.summary);
+    println!(
+        "{} jobs over {} device(s) + {} CPU worker(s), seed {seed}\n",
+        scenario.jobs, scenario.fleet.devices, scenario.fleet.cpu_workers
+    );
+
+    // Record: lower the scenario deterministically and drive the fleet.
+    let (trace, recorded) = Driver::record(&scenario, seed);
+
+    // Backpressure over time: queue depth, running jobs and cumulative
+    // rejections per sampled tick, bucketed to a terminal-sized series.
+    let telemetry = recorded.fleet.telemetry.as_ref().expect("scenarios record telemetry");
+    println!("--- fleet time series ({} tick samples) ---", telemetry.samples().len());
+    println!(
+        "queue depth  [{}] peak {}",
+        telemetry.queue_sparkline(48),
+        telemetry.max_queue_depth()
+    );
+    let samples = telemetry.samples();
+    let step = samples.len().div_ceil(8).max(1);
+    println!(
+        "{:>8} {:>10} {:>7} {:>9} {:>11} {:>9}",
+        "tick", "now(ms)", "queued", "running", "completed", "rejected"
+    );
+    for s in samples.iter().step_by(step) {
+        println!(
+            "{:>8} {:>10.4} {:>7} {:>9} {:>11} {:>9}",
+            s.tick,
+            s.now_s * 1e3,
+            s.queue_depth,
+            s.running,
+            s.completed,
+            s.rejected
+        );
+    }
+
+    println!("\n--- latency percentiles (modeled seconds) ---");
+    let f = &recorded.fleet;
+    println!(
+        "wait       p50 {:.6}  p95 {:.6}  p99 {:.6}  max {:.6}",
+        f.wait_p50_s, f.wait_p95_s, f.wait_p99_s, f.max_wait_s
+    );
+    println!(
+        "turnaround p50 {:.6}  p95 {:.6}  p99 {:.6}  max {:.6}",
+        f.turnaround_p50_s, f.turnaround_p95_s, f.turnaround_p99_s, f.max_turnaround_s
+    );
+
+    // Replay: save the trace, reload it from disk, run it again, and
+    // hold the reports to bit-identity.
+    let path = std::env::temp_dir().join(format!(
+        "lnls_load_replay_{}_{}.trc",
+        scenario.name,
+        std::process::id()
+    ));
+    trace.save(&path).expect("save trace");
+    let reloaded = Trace::load(&path).expect("load trace");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, trace, "the trace must survive the disk round-trip unchanged");
+    let replayed = Driver::replay(&reloaded);
+    assert_eq!(
+        format!("{:?}", replayed.fleet),
+        format!("{:?}", recorded.fleet),
+        "replaying a recorded trace must reproduce the FleetReport bit for bit"
+    );
+    println!(
+        "\nreplay: trace of {} arrivals saved, reloaded and re-run — FleetReport bit-identical ✓",
+        reloaded.arrivals.len()
+    );
+
+    println!("\n--- final report ---\n{recorded}");
+}

@@ -14,7 +14,8 @@
 //! | [`ppp`] | the Permuted Perceptron Problem: instances, objective, incremental evaluation, GPU kernels (paper §IV) |
 //! | [`problems`] | OneMax, QUBO, MAX-3SAT, NK landscapes, Max-Cut, knapsack, Ising — the "binary problems" generality claim, with GPU kernels |
 //! | [`qap`] | the quadratic assignment problem under Taillard's robust tabu search (the paper's reference \[11\]), swap moves flat-indexed by the paper's 2D mapping |
-//! | [`runtime`] | the fleet scheduler: batched multi-tenant search jobs over simulated multi-GPU devices, with checkpoint/resume and throughput reporting (§V perspective, scaled out) |
+//! | [`runtime`] | the fleet scheduler: batched multi-tenant search jobs over simulated multi-GPU devices, with checkpoint/resume, time-series telemetry and throughput reporting (§V perspective, scaled out) |
+//! | [`workload`] | the scenario catalog, deterministic traffic generator and record/replay driver that stress-test the runtime |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use lnls_ppp as ppp;
 pub use lnls_problems as problems;
 pub use lnls_qap as qap;
 pub use lnls_runtime as runtime;
+pub use lnls_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use lnls_runtime::{
         AdmissionPolicy, AnnealJob, BinaryJob, FleetCheckpoint, FleetClient, FleetReport,
         JobHandle, JobOutcome, JobRegistry, JobReport, JobSpec, JobStatus, PlacePolicy, QapJobSpec,
-        Scheduler, SchedulerConfig, SearchJob, SubmitError, TenantStat,
+        Scheduler, SchedulerConfig, SearchJob, SubmitError, Telemetry, TenantStat, TickSample,
     };
+    pub use lnls_workload::{Driver, Scenario, Trace, TrafficGen, WorkloadReport};
 }

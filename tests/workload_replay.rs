@@ -1,0 +1,134 @@
+//! Replay determinism of the workload subsystem, held to the strongest
+//! standard available: for any catalog scenario and any seed, recording
+//! a run and replaying its disk-round-tripped trace must produce
+//! **bit-identical** `FleetReport`s — every f64 (makespans, waits,
+//! percentiles, busy clocks, telemetry samples) compared through its
+//! exact `Debug` rendering, which round-trips floats losslessly.
+//!
+//! Plus the envelope-policy edge case the drain sweep must order
+//! deterministically: an iteration budget and a deadline expiring in
+//! the *same* quantum.
+
+use lnls::core::{BitString, SearchConfig, TabuSearch};
+use lnls::neighborhood::{Neighborhood, TwoHamming};
+use lnls::prelude::{BinaryJob, DeviceSpec};
+use lnls::prelude::{
+    Driver, JobSpec, OneMax, Scenario, Scheduler, SchedulerConfig, Trace, TrafficGen,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any (scenario, seed): record, save the trace to bytes, reload,
+    /// replay — the fleet reports must match bit for bit, and so must
+    /// the driver-side counters.
+    #[test]
+    fn any_recorded_trace_replays_bit_identically(
+        scenario_idx in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let scenario = &Scenario::catalog()[scenario_idx];
+        let (trace, recorded) = Driver::record(scenario, seed);
+
+        let bytes = trace.to_bytes();
+        let reloaded = Trace::from_bytes(&bytes).expect("traces decode");
+        prop_assert_eq!(&reloaded, &trace, "byte round-trip must be lossless");
+
+        let replayed = Driver::replay(&reloaded);
+        prop_assert_eq!(
+            format!("{:?}", replayed.fleet),
+            format!("{:?}", recorded.fleet),
+            "scenario '{}' seed {} must replay bit-identically",
+            scenario.name,
+            seed
+        );
+        prop_assert_eq!(replayed.submitted, recorded.submitted);
+        prop_assert_eq!(replayed.admitted, recorded.admitted);
+        prop_assert_eq!(replayed.bounced, recorded.bounced);
+        prop_assert_eq!(replayed.crashes, recorded.crashes);
+        prop_assert_eq!(replayed.ticks, recorded.ticks);
+    }
+
+    /// The lowering itself is a pure function of (scenario, seed).
+    #[test]
+    fn lowering_is_reproducible(scenario_idx in 0usize..6, seed in 0u64..1000) {
+        let scenario = &Scenario::catalog()[scenario_idx];
+        let a = TrafficGen::lower(scenario, seed);
+        let b = TrafficGen::lower(scenario, seed);
+        prop_assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+}
+
+/// A job that trips its iteration budget *and* its deadline inside one
+/// quantum: the drain sweep checks deadlines first, so the job must
+/// drain through the cancellation path (reported cancelled at the
+/// boundary, with exactly the budgeted iterations executed) — not
+/// complete as a budget-exhausted success. Pinning the precedence keeps
+/// replay determinism honest for deadline-heavy scenarios.
+#[test]
+fn iter_budget_and_deadline_expiring_in_the_same_quantum_cancels() {
+    let n = 24;
+    let hood = TwoHamming::new(n);
+    let mut rng = StdRng::seed_from_u64(1);
+    let init = BitString::random(&mut rng, n);
+    let search =
+        TabuSearch::paper(SearchConfig::budget(50).with_seed(1).with_target(None), hood.size());
+    let job = BinaryJob::new("both-expire", OneMax::new(n), hood, search, init);
+
+    let mut fleet = Scheduler::with_uniform_fleet(
+        1,
+        DeviceSpec::gtx280(),
+        SchedulerConfig { max_batch: 1, quantum_iters: Some(10), ..Default::default() },
+    );
+    // Budget of 3 iterations caps the first slice at exactly 3; any
+    // positive fleet time passes the epsilon deadline in that same
+    // quantum — both envelope conditions trip before the next drain.
+    let handle = fleet
+        .submit_spec(JobSpec::new(job).with_iter_budget(3).with_deadline(1e-12).for_tenant("edge"));
+    fleet.run_until_idle();
+
+    let report = fleet.report(handle).expect("drained jobs report");
+    assert!(
+        report.cancelled,
+        "deadline precedence: the job must drain cancelled, not complete on budget"
+    );
+    assert!(!report.rejected);
+    assert_eq!(report.outcome.iterations(), 3, "the budget capped the quantum");
+    let fr = fleet.fleet_report();
+    assert_eq!(fr.jobs_cancelled, 1);
+    assert_eq!(fr.jobs_completed, 0);
+
+    // Control: without the deadline, the same budgeted job completes.
+    let hood = TwoHamming::new(n);
+    let mut rng = StdRng::seed_from_u64(1);
+    let init = BitString::random(&mut rng, n);
+    let search =
+        TabuSearch::paper(SearchConfig::budget(50).with_seed(1).with_target(None), hood.size());
+    let job = BinaryJob::new("budget-only", OneMax::new(n), hood, search, init);
+    let mut fleet = Scheduler::with_uniform_fleet(
+        1,
+        DeviceSpec::gtx280(),
+        SchedulerConfig { max_batch: 1, quantum_iters: Some(10), ..Default::default() },
+    );
+    let handle = fleet.submit_spec(JobSpec::new(job).with_iter_budget(3));
+    fleet.run_until_idle();
+    let report = fleet.report(handle).unwrap();
+    assert!(!report.cancelled, "budget exhaustion alone completes the job");
+    assert_eq!(report.outcome.iterations(), 3);
+}
+
+/// The checkpoint-churn scenario loses exactly its checkpoint opt-outs
+/// at the crash — and still replays bit-identically (both runs crash at
+/// the same tick and lose the same jobs).
+#[test]
+fn checkpoint_churn_replays_through_the_crash() {
+    let scenario = Scenario::by_name("checkpoint-churn").expect("catalog scenario");
+    let (trace, recorded) = Driver::record(&scenario, 123);
+    assert_eq!(recorded.crashes, 1);
+    let replayed = Driver::replay(&Trace::from_bytes(&trace.to_bytes()).unwrap());
+    assert_eq!(replayed.crashes, 1);
+    assert_eq!(format!("{:?}", replayed.fleet), format!("{:?}", recorded.fleet));
+}

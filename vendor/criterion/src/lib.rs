@@ -19,6 +19,14 @@
 //!   print each result's delta against it (`+x%` slower, `−x%` faster);
 //! * `LNLS_CRITERION_BASELINE_PATH` — baseline file location, default
 //!   `target/criterion-baseline.tsv`.
+//!
+//! ## Machine-readable summaries
+//!
+//! The [`summary`] module is a small JSON sink the bench targets use to
+//! emit cross-PR perf-trajectory records (`BENCH_fleet.json` and
+//! friends): one object per record, written as a JSON array on
+//! [`summary::Sink::finish`]. Hand-rolled — the offline environment has
+//! no serde.
 
 #![forbid(unsafe_code)]
 
@@ -278,6 +286,135 @@ impl Criterion {
     }
 }
 
+/// Machine-readable benchmark summaries (see the crate docs).
+pub mod summary {
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+
+    /// One typed field value of a summary record.
+    #[derive(Clone, Debug)]
+    pub enum Value {
+        /// A float (written with full `{:?}` round-trip precision).
+        F64(f64),
+        /// An unsigned counter.
+        U64(u64),
+        /// A string (escaped minimally: `"`, `\` and control bytes).
+        Str(String),
+    }
+
+    impl From<f64> for Value {
+        fn from(v: f64) -> Self {
+            Value::F64(v)
+        }
+    }
+
+    impl From<u64> for Value {
+        fn from(v: u64) -> Self {
+            Value::U64(v)
+        }
+    }
+
+    impl From<&str> for Value {
+        fn from(v: &str) -> Self {
+            Value::Str(v.to_string())
+        }
+    }
+
+    impl From<String> for Value {
+        fn from(v: String) -> Self {
+            Value::Str(v)
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn render(v: &Value) -> String {
+        match v {
+            // JSON has no NaN/Inf; clamp to null like most emitters do.
+            Value::F64(x) if !x.is_finite() => "null".to_string(),
+            Value::F64(x) => format!("{x:?}"),
+            Value::U64(x) => x.to_string(),
+            Value::Str(s) => format!("\"{}\"", escape(s)),
+        }
+    }
+
+    /// Collects records and writes them as one JSON array on
+    /// [`finish`](Self::finish).
+    ///
+    /// Several bench binaries may share one summary file (the fleet and
+    /// workload benches both write `BENCH_fleet.json`): each sink is
+    /// named after its bench, every record is stamped with a `"bench"`
+    /// field, and `finish` keeps the records *other* benches wrote
+    /// while replacing this bench's previous ones.
+    pub struct Sink {
+        path: PathBuf,
+        bench: String,
+        records: Vec<String>,
+    }
+
+    impl Sink {
+        /// A sink for bench `bench` writing to `default_path`,
+        /// overridable with the `LNLS_BENCH_JSON_PATH` environment
+        /// variable.
+        pub fn new(default_path: impl AsRef<Path>, bench: &str) -> Self {
+            let path = std::env::var_os("LNLS_BENCH_JSON_PATH")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| default_path.as_ref().to_path_buf());
+            Self { path, bench: bench.to_string(), records: Vec::new() }
+        }
+
+        /// Append one record; field order is preserved and a leading
+        /// `"bench"` field is added automatically.
+        pub fn record(&mut self, fields: &[(&str, Value)]) {
+            let mut body = vec![format!("\"bench\": {}", render(&Value::Str(self.bench.clone())))];
+            body.extend(fields.iter().map(|(k, v)| format!("\"{}\": {}", escape(k), render(v))));
+            self.records.push(format!("  {{{}}}", body.join(", ")));
+        }
+
+        /// Write `[record, …]` to the sink's path (parent directories
+        /// created), merging with other benches' surviving records.
+        /// Returns the path written.
+        pub fn finish(self) -> std::io::Result<PathBuf> {
+            if let Some(dir) = self.path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)?;
+                }
+            }
+            // Keep record lines written by other benches (our own
+            // format: one record per line, stamped with its bench).
+            let own_stamp = format!("\"bench\": {}", render(&Value::Str(self.bench.clone())));
+            let mut merged: Vec<String> = std::fs::read_to_string(&self.path)
+                .map(|text| {
+                    text.lines()
+                        .filter(|l| l.trim_start().starts_with('{') && !l.contains(&own_stamp))
+                        .map(|l| l.trim_end_matches(',').to_string())
+                        .collect()
+                })
+                .unwrap_or_default();
+            merged.extend(self.records);
+            let mut file = std::fs::File::create(&self.path)?;
+            writeln!(file, "[")?;
+            writeln!(file, "{}", merged.join(",\n"))?;
+            writeln!(file, "]")?;
+            Ok(self.path)
+        }
+    }
+}
+
 /// Declare a group of benchmark functions, as in the real crate.
 #[macro_export]
 macro_rules! criterion_group {
@@ -327,6 +464,51 @@ mod tests {
         // Tests run without LNLS_CRITERION_BASELINE set, so the suffix
         // must be empty and nothing must be written anywhere.
         assert_eq!(baseline_suffix("group/bench", 1e-3), "");
+    }
+
+    #[test]
+    fn summary_sink_writes_valid_json() {
+        let path = std::env::temp_dir()
+            .join(format!("lnls-criterion-summary-{}.json", std::process::id()));
+        let mut sink = summary::Sink::new(&path, "fleet");
+        sink.record(&[
+            ("scenario", "burst \"storm\"".into()),
+            ("throughput_jobs_per_s", 1234.5.into()),
+            ("p95_wait_s", summary::Value::F64(f64::NAN)),
+            ("jobs", 24u64.into()),
+        ]);
+        sink.record(&[("scenario", "steady".into())]);
+        let written = sink.finish().expect("write");
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.starts_with("[\n"), "{text}");
+        assert!(text.contains("\"bench\": \"fleet\""), "{text}");
+        assert!(text.contains("\"scenario\": \"burst \\\"storm\\\"\""), "{text}");
+        assert!(text.contains("\"throughput_jobs_per_s\": 1234.5"), "{text}");
+        assert!(text.contains("\"p95_wait_s\": null"), "non-finite floats become null: {text}");
+        assert!(text.contains("\"jobs\": 24"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_sinks_merge_across_benches() {
+        let path = std::env::temp_dir()
+            .join(format!("lnls-criterion-summary-merge-{}.json", std::process::id()));
+        let mut fleet = summary::Sink::new(&path, "fleet");
+        fleet.record(&[("row", "old-fleet".into())]);
+        fleet.finish().expect("write fleet");
+        let mut workload = summary::Sink::new(&path, "workload");
+        workload.record(&[("row", "workload".into())]);
+        workload.finish().expect("merge workload");
+        // Re-running the fleet bench replaces its rows, keeps workload's.
+        let mut fleet = summary::Sink::new(&path, "fleet");
+        fleet.record(&[("row", "new-fleet".into())]);
+        fleet.finish().expect("rewrite fleet");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("new-fleet") && text.contains("workload"), "{text}");
+        assert!(!text.contains("old-fleet"), "stale same-bench rows are replaced: {text}");
     }
 
     #[test]
