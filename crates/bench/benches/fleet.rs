@@ -11,7 +11,7 @@
 //! the perf trajectory is machine-trackable across PRs.
 
 use lnls_core::{BitString, SearchConfig, TabuSearch};
-use lnls_gpu_sim::{DeviceSpec, MultiDevice};
+use lnls_gpu_sim::{DeviceSpec, EngineConfig, MultiDevice, SelectionMode};
 use lnls_neighborhood::{KHamming, Neighborhood};
 use lnls_ppp::{Ppp, PppInstance};
 use lnls_runtime::{BinaryJob, PlacePolicy, Scheduler, SchedulerConfig};
@@ -134,6 +134,50 @@ fn main() {
             ("device_busy_fraction", r.mean_device_utilization().into()),
             ("preemptions", r.preemptions.into()),
         ]);
+    }
+
+    // Stream-overlap × selection sweep: the same fused PPP mix on one
+    // device under both engine layouts and both selection modes. GT200
+    // cannot overlap inside a fused iteration (makespan == serial sum);
+    // Fermi overlaps per-lane copies; DeviceArgmin collapses the
+    // readback from m·8 bytes to one record per lane (m = 1225 here).
+    println!(
+        "\n{:>8} {:>8} | {:>12} {:>12} {:>9} | {:>12} {:>8}",
+        "engines", "argmin", "makespan(s)", "serial(s)", "overlap", "d2h B/iter", "launches"
+    );
+    for (engines, ename) in [(EngineConfig::gt200(), "gt200"), (EngineConfig::fermi(), "fermi")] {
+        for (selection, sname) in
+            [(SelectionMode::HostArgmin, "host"), (SelectionMode::DeviceArgmin, "device")]
+        {
+            let mut fleet = Scheduler::new(
+                MultiDevice::new_uniform(1, DeviceSpec::gtx280().with_engines(engines)),
+                SchedulerConfig { max_batch: 8, selection, ..Default::default() },
+            );
+            submit_mix(&mut fleet, tries, iters);
+            fleet.run_until_idle();
+            let r = fleet.fleet_report();
+            println!(
+                "{:>8} {:>8} | {:>12.6} {:>12.6} {:>8.3}x | {:>12.0} {:>8}",
+                ename,
+                sname,
+                r.stream_makespan_s,
+                r.stream_serialized_s,
+                r.stream_overlap_factor(),
+                r.d2h_bytes_per_iteration(),
+                r.fleet_book.launches,
+            );
+            json.record(&[
+                ("scenario", format!("fleet/knobs/{ename}/{sname}").into()),
+                ("jobs", tries.into()),
+                ("makespan_s", r.makespan_s.into()),
+                ("fused_stream_makespan_s", r.stream_makespan_s.into()),
+                ("fused_serial_sum_s", r.stream_serialized_s.into()),
+                ("stream_overlap_factor", r.stream_overlap_factor().into()),
+                ("h2d_bytes_per_iter", r.h2d_bytes_per_iteration().into()),
+                ("d2h_bytes_per_iter", r.d2h_bytes_per_iteration().into()),
+                ("launches", r.fleet_book.launches.into()),
+            ]);
+        }
     }
 
     match json.finish() {

@@ -12,6 +12,7 @@
 //! `LNLS_BENCH_JSON_PATH`), merged with the fleet bench's rows, so the
 //! perf trajectory is machine-trackable across PRs.
 
+use lnls_gpu_sim::{EngineConfig, SelectionMode};
 use lnls_workload::{Driver, Scenario};
 use std::time::Instant;
 
@@ -69,6 +70,50 @@ fn main() {
             ("jobs_cancelled", f.jobs_cancelled.into()),
             ("crashes", report.crashes.into()),
         ]);
+    }
+
+    // Fleet-knob sweep: every catalog scenario re-run under the four
+    // (engine layout × selection mode) combinations — the overlap +
+    // argmin pricing trajectory. Traffic and search results are
+    // identical across a row's four runs (the knobs are pricing-only);
+    // what moves is the stream makespan and the PCIe bytes per
+    // iteration.
+    println!(
+        "\n{:>20} {:>7} {:>7} | {:>12} {:>12} {:>9} | {:>12}",
+        "scenario", "engines", "argmin", "makespan(s)", "serial(s)", "overlap", "d2h B/iter"
+    );
+    for scenario in Scenario::catalog() {
+        for (engines, ename) in [(EngineConfig::gt200(), "gt200"), (EngineConfig::fermi(), "fermi")]
+        {
+            for (selection, sname) in
+                [(SelectionMode::HostArgmin, "host"), (SelectionMode::DeviceArgmin, "device")]
+            {
+                let scenario = scenario.clone().scaled(scale).with_fleet_knobs(engines, selection);
+                let (_, report) = Driver::record(&scenario, seed);
+                let f = &report.fleet;
+                println!(
+                    "{:>20} {:>7} {:>7} | {:>12.6} {:>12.6} {:>8.3}x | {:>12.0}",
+                    report.scenario,
+                    ename,
+                    sname,
+                    f.stream_makespan_s,
+                    f.stream_serialized_s,
+                    f.stream_overlap_factor(),
+                    f.d2h_bytes_per_iteration(),
+                );
+                json.record(&[
+                    ("scenario", format!("{}/{ename}/{sname}", report.scenario).into()),
+                    ("seed", seed.into()),
+                    ("jobs", report.submitted.into()),
+                    ("makespan_s", f.makespan_s.into()),
+                    ("fused_stream_makespan_s", f.stream_makespan_s.into()),
+                    ("fused_serial_sum_s", f.stream_serialized_s.into()),
+                    ("stream_overlap_factor", f.stream_overlap_factor().into()),
+                    ("h2d_bytes_per_iter", f.h2d_bytes_per_iteration().into()),
+                    ("d2h_bytes_per_iter", f.d2h_bytes_per_iteration().into()),
+                ]);
+            }
+        }
     }
 
     match json.finish() {

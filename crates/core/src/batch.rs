@@ -1,4 +1,5 @@
-//! Fused neighborhood evaluation for co-scheduled searches.
+//! Fused neighborhood evaluation for co-scheduled searches, priced
+//! through the stream/event model.
 //!
 //! The paper wins by making each kernel launch *large* — thousands of
 //! neighbors per iteration amortize the launch overhead and PCIe
@@ -6,24 +7,51 @@
 //! searches can apply the same lever one level up: when several walks
 //! share a problem family and neighborhood, their per-iteration
 //! evaluations are independent and can ride in **one** fused launch —
-//! one kernel covering `Σ mᵢ` threads, one coalesced upload of all
-//! solutions, one coalesced fitness readback — instead of `B` small
-//! launches each paying overhead and transfer latency.
+//! one kernel covering `Σ mᵢ` threads — instead of `B` small launches
+//! each paying its own overhead.
 //!
 //! [`BatchedExplorer`] implements that fusion over the simulated-device
 //! cost model. Functionally it evaluates every lane exactly like
 //! [`SequentialExplorer`](crate::explore::SequentialExplorer) — the
 //! fitness vectors, and therefore the moves a driver selects from them,
-//! are bit-for-bit those of a solo run. Only the *pricing* differs: its
-//! [`TimeBook`] charges each fused evaluation as a single launch.
+//! are bit-for-bit those of a solo run. Only the *pricing* differs, and
+//! it is no longer a serial sum: each fused iteration is lowered to a
+//! **breadth-first stream schedule**
+//! ([`price_fused_iteration`] —
+//! per-lane async H2D copies, the fused kernel chain gated on them by
+//! events, per-lane D2H readbacks) and the walk is charged the
+//! schedule's **makespan** under the device's engine layout
+//! ([`DeviceSpec::engines`]). On the paper's GT200 (one DMA queue, one
+//! kernel at a time) nothing inside the dependent iteration can overlap,
+//! so the makespan *is* the serial sum; layouts with more engines
+//! ([`EngineConfig::fermi`](lnls_gpu_sim::EngineConfig::fermi)) overlap
+//! the per-lane copies against each other and the makespan prices the
+//! win. The [`TimeBook`] keeps recording per-component busy time (its
+//! total is the serialized cost; the makespan is what the fleet clock
+//! advances by), and [`BatchedExplorer::overlap_factor`] reports the
+//! cumulative serialized-over-makespan ratio.
+//!
+//! Selection is a second knob, and it is **per lane**
+//! ([`BatchLane::selection`]): when any lane selects
+//! [`SelectionMode::DeviceArgmin`](lnls_gpu_sim::SelectionMode), the
+//! schedule appends the on-device argmin reduction
+//! ([`argmin_kernel_seconds`], keyed over exactly the opted-in lanes'
+//! segments) to the kernel chain and shrinks *those* lanes' readbacks
+//! from `m·8` bytes to one packed `(fitness, index)` record — so a
+//! per-job override keeps its pricing even inside a mixed fused batch.
+//! Pricing-only, exactly like the rest of this module (see
+//! `lnls_gpu_sim::reduce`).
 //!
 //! Cost shapes come from [`LaneProfile`], the same analytic quantities
-//! [`IterationProfile`] uses for stream
-//! pricing, so solo and fused runs are priced with one consistent model.
+//! [`IterationProfile`] uses for multi-walk stream pricing, so solo and
+//! fused runs are priced with one consistent model.
 
 use crate::bitstring::BitString;
 use crate::problem::IncrementalEval;
-use lnls_gpu_sim::{transfer_seconds, DeviceSpec, HostSpec, IterationProfile, TimeBook};
+use lnls_gpu_sim::{
+    argmin_kernel_seconds, price_fused_iteration, transfer_seconds, DeviceSpec, HostSpec,
+    IterationProfile, LaneIo, SelectionMode, TimeBook, ARGMIN_RECORD_BYTES,
+};
 use lnls_neighborhood::Neighborhood;
 use std::time::{Duration, Instant};
 
@@ -100,6 +128,11 @@ pub struct BatchLane<'a, P: IncrementalEval> {
     pub out: &'a mut Vec<i64>,
     /// The lane's per-iteration cost shape.
     pub profile: LaneProfile,
+    /// How *this lane's* readback is priced. Selection is per lane, not
+    /// per group: the fused argmin kernel reduces only the opted-in
+    /// lanes' segments of the fitness buffer, so jobs overriding the
+    /// fleet default keep their pricing even inside a mixed fused batch.
+    pub selection: SelectionMode,
 }
 
 /// Evaluates the neighborhoods of many co-scheduled walks in one fused
@@ -110,11 +143,14 @@ pub struct BatchedExplorer<N: Neighborhood> {
     book: TimeBook,
     fused_launches: u64,
     lanes_evaluated: u64,
+    stream_makespan_s: f64,
+    stream_serialized_s: f64,
     wall: Duration,
 }
 
 impl<N: Neighborhood> BatchedExplorer<N> {
-    /// A fused evaluator for `hood` priced against `spec`.
+    /// A fused evaluator for `hood` priced against `spec`. Each lane
+    /// declares its own [`SelectionMode`] ([`BatchLane::selection`]).
     pub fn new(hood: N, spec: DeviceSpec) -> Self {
         Self {
             hood,
@@ -122,6 +158,8 @@ impl<N: Neighborhood> BatchedExplorer<N> {
             book: TimeBook::default(),
             fused_launches: 0,
             lanes_evaluated: 0,
+            stream_makespan_s: 0.0,
+            stream_serialized_s: 0.0,
             wall: Duration::ZERO,
         }
     }
@@ -139,21 +177,25 @@ impl<N: Neighborhood> BatchedExplorer<N> {
     /// Evaluate every lane's full neighborhood, filling each `out`
     /// vector with exactly the values a solo
     /// [`SequentialExplorer`](crate::explore::SequentialExplorer) run
-    /// would produce, and charge the ledger **one** fused launch:
-    /// overhead once, one coalesced H2D of all lane uploads, summed
-    /// kernel time (a single compute engine executes the fused grid),
-    /// one coalesced D2H of all fitness arrays.
+    /// would produce, and charge the walk the **stream makespan** of one
+    /// fused iteration: per-lane async uploads, the fused evaluation
+    /// kernel (overhead once — the amortization lever), the appended
+    /// argmin reduction when any lane selects
+    /// [`SelectionMode::DeviceArgmin`] (it reduces exactly those lanes'
+    /// segments), then per-lane readbacks — scheduled breadth-first
+    /// under the device's engine layout by [`price_fused_iteration`].
     ///
-    /// Returns the modeled device seconds of this fused iteration.
+    /// Returns the modeled device seconds (the makespan) of this fused
+    /// iteration.
     pub fn explore_batch<P: IncrementalEval>(&mut self, lanes: &mut [BatchLane<'_, P>]) -> f64 {
         assert!(!lanes.is_empty(), "cannot fuse an empty batch");
         let t0 = Instant::now();
         let m = self.hood.size();
 
-        let mut h2d_bytes = 0u64;
-        let mut d2h_bytes = 0u64;
         let mut kernel_s = 0.0f64;
         let mut host_s = 0.0f64;
+        let mut argmin_keys = 0u64;
+        let mut io = Vec::with_capacity(lanes.len());
         for lane in lanes.iter_mut() {
             lane.out.clear();
             lane.out.reserve(m as usize);
@@ -166,33 +208,72 @@ impl<N: Neighborhood> BatchedExplorer<N> {
                 true
             });
             debug_assert_eq!(out.len(), m as usize);
-            h2d_bytes += lane.profile.h2d_bytes;
-            d2h_bytes += lane.profile.d2h_bytes;
+            // A one-key reduction cannot shrink the readback it gates
+            // on, so degenerate neighborhoods stay on the host path.
+            let device_argmin = lane.selection.is_device() && m > 1;
+            let d2h_bytes =
+                if device_argmin { ARGMIN_RECORD_BYTES } else { lane.profile.d2h_bytes };
+            if device_argmin {
+                argmin_keys += m;
+            }
+            io.push(LaneIo { h2d_bytes: lane.profile.h2d_bytes, d2h_bytes });
             kernel_s += lane.profile.kernel_seconds;
             host_s += lane.profile.host_seconds;
         }
 
-        let h2d_s = transfer_seconds(&self.spec, h2d_bytes);
-        let d2h_s = transfer_seconds(&self.spec, d2h_bytes);
-        let fused = h2d_s + self.spec.launch_overhead_s + kernel_s + d2h_s;
+        let mut kernels = vec![kernel_s];
+        if argmin_keys > 0 {
+            kernels.push(argmin_kernel_seconds(&self.spec, argmin_keys));
+        }
+        let sched = price_fused_iteration(&self.spec, &io, &kernels);
 
-        self.book.kernel_s += kernel_s;
-        self.book.overhead_s += self.spec.launch_overhead_s;
-        self.book.h2d_s += h2d_s;
-        self.book.d2h_s += d2h_s;
-        self.book.bytes_h2d += h2d_bytes;
-        self.book.bytes_d2h += d2h_bytes;
-        self.book.launches += 1;
+        // The ledger keeps per-component busy time (its total is the
+        // serialized cost of the ops); the fleet clock advances by the
+        // makespan.
+        self.book.kernel_s += kernels.iter().sum::<f64>();
+        self.book.overhead_s += self.spec.launch_overhead_s * kernels.len() as f64;
+        for lane in io {
+            self.book.h2d_s += transfer_seconds(&self.spec, lane.h2d_bytes);
+            self.book.d2h_s += transfer_seconds(&self.spec, lane.d2h_bytes);
+            self.book.bytes_h2d += lane.h2d_bytes;
+            self.book.bytes_d2h += lane.d2h_bytes;
+        }
+        self.book.launches += kernels.len() as u64;
         self.book.host_s += host_s;
         self.fused_launches += 1;
         self.lanes_evaluated += lanes.len() as u64;
+        self.stream_makespan_s += sched.makespan;
+        self.stream_serialized_s += sched.serialized;
         self.wall += t0.elapsed();
-        fused
+        sched.makespan
     }
 
     /// Accumulated fused-launch ledger.
     pub fn book(&self) -> &TimeBook {
         &self.book
+    }
+
+    /// Cumulative stream-schedule makespan actually charged (seconds).
+    pub fn stream_makespan_s(&self) -> f64 {
+        self.stream_makespan_s
+    }
+
+    /// Cumulative serialized cost of the same operations back-to-back
+    /// (seconds) — the synchronous baseline the makespan is measured
+    /// against.
+    pub fn stream_serialized_s(&self) -> f64 {
+        self.stream_serialized_s
+    }
+
+    /// Cumulative overlap win: serialized time over makespan (≥ 1;
+    /// exactly 1 on single-engine layouts, where nothing inside a fused
+    /// iteration can overlap).
+    pub fn overlap_factor(&self) -> f64 {
+        if self.stream_makespan_s > 0.0 {
+            self.stream_serialized_s / self.stream_makespan_s
+        } else {
+            1.0
+        }
     }
 
     /// Fused launches issued.
@@ -242,8 +323,22 @@ mod tests {
 
         let mut batch = BatchedExplorer::new(hood, spec.clone());
         let mut lanes = [
-            BatchLane { problem: &p1, s: &s1, state: &mut st1, out: &mut o1, profile: prof },
-            BatchLane { problem: &p2, s: &s2, state: &mut st2, out: &mut o2, profile: prof },
+            BatchLane {
+                problem: &p1,
+                s: &s1,
+                state: &mut st1,
+                out: &mut o1,
+                profile: prof,
+                selection: SelectionMode::HostArgmin,
+            },
+            BatchLane {
+                problem: &p2,
+                s: &s2,
+                state: &mut st2,
+                out: &mut o2,
+                profile: prof,
+                selection: SelectionMode::HostArgmin,
+            },
         ];
         let fused_s = batch.explore_batch(&mut lanes);
         assert!(fused_s > 0.0);
@@ -274,7 +369,14 @@ mod tests {
             .iter()
             .zip(states.iter_mut())
             .zip(outs.iter_mut())
-            .map(|((s, state), out)| BatchLane { problem: &p, s, state, out, profile: prof })
+            .map(|((s, state), out)| BatchLane {
+                problem: &p,
+                s,
+                state,
+                out,
+                profile: prof,
+                selection: SelectionMode::HostArgmin,
+            })
             .collect();
         let fused = batch.explore_batch(&mut lanes);
         let solo_sum = prof.solo_seconds(&spec) * 8.0;
@@ -285,6 +387,89 @@ mod tests {
         // The kernel work itself is not discounted — only overhead and
         // transfer latency are amortized.
         assert!((batch.book().kernel_s - prof.kernel_seconds * 8.0).abs() < 1e-12);
+    }
+
+    fn batch_of(
+        n_lanes: usize,
+        spec: &DeviceSpec,
+        selection: SelectionMode,
+    ) -> (TimeBook, f64, f64, Vec<Vec<i64>>) {
+        let hood = TwoHamming::new(24);
+        let prof = profile(spec, hood.size());
+        let p = ZeroCount { n: 24 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let solutions: Vec<BitString> =
+            (0..n_lanes).map(|_| BitString::random(&mut rng, 24)).collect();
+        let mut states: Vec<_> = solutions.iter().map(|s| p.init_state(s)).collect();
+        let mut outs: Vec<Vec<i64>> = vec![Vec::new(); n_lanes];
+        let mut batch = BatchedExplorer::new(hood, spec.clone());
+        let mut lanes: Vec<BatchLane<'_, ZeroCount>> = solutions
+            .iter()
+            .zip(states.iter_mut())
+            .zip(outs.iter_mut())
+            .map(|((s, state), out)| BatchLane {
+                problem: &p,
+                s,
+                state,
+                out,
+                profile: prof,
+                selection,
+            })
+            .collect();
+        let makespan = batch.explore_batch(&mut lanes);
+        drop(lanes);
+        (batch.book().clone(), makespan, batch.stream_serialized_s(), outs)
+    }
+
+    #[test]
+    fn gt200_makespan_is_the_serial_sum_of_the_schedule() {
+        // Single DMA queue + serial kernels: nothing inside the
+        // dependent fused iteration can overlap, so the charged makespan
+        // equals the component-wise ledger total — today's serial-sum
+        // economics, now derived from the stream model instead of
+        // assumed. Relative to the old coalesced-transfer model the only
+        // delta is the per-lane PCIe setup latency (a launch-overhead-
+        // scale constant per extra lane).
+        let spec = DeviceSpec::gtx280();
+        let (book, makespan, serialized, _) = batch_of(4, &spec, SelectionMode::HostArgmin);
+        assert!((makespan - serialized).abs() < 1e-15);
+        assert!((makespan - book.gpu_total_s()).abs() < 1e-12);
+        let prof = profile(&spec, TwoHamming::new(24).size());
+        let coalesced = transfer_seconds(&spec, prof.h2d_bytes * 4)
+            + spec.launch_overhead_s
+            + prof.kernel_seconds * 4.0
+            + transfer_seconds(&spec, prof.d2h_bytes * 4);
+        let delta = makespan - coalesced;
+        assert!(delta >= 0.0 && delta <= 2.0 * 3.0 * spec.pcie_latency_s + 1e-15, "{delta}");
+    }
+
+    #[test]
+    fn fermi_layout_overlaps_per_lane_copies() {
+        use lnls_gpu_sim::EngineConfig;
+        let gt = DeviceSpec::gtx280();
+        let fermi = DeviceSpec::gtx280().with_engines(EngineConfig::fermi());
+        let (_, gt_makespan, gt_serial, gt_outs) = batch_of(4, &gt, SelectionMode::HostArgmin);
+        let (_, f_makespan, f_serial, f_outs) = batch_of(4, &fermi, SelectionMode::HostArgmin);
+        assert!((gt_serial - f_serial).abs() < 1e-15, "same ops, same serialized cost");
+        assert!(
+            f_makespan < gt_makespan - 1e-12,
+            "dual copy engines must beat the serial sum: fermi {f_makespan} vs gt200 {gt_makespan}"
+        );
+        assert_eq!(gt_outs, f_outs, "engine layout is pricing-only");
+    }
+
+    #[test]
+    fn device_argmin_shrinks_readback_and_prices_the_reduction() {
+        let spec = DeviceSpec::gtx280();
+        let (host_book, _, _, host_outs) = batch_of(3, &spec, SelectionMode::HostArgmin);
+        let (dev_book, _, _, dev_outs) = batch_of(3, &spec, SelectionMode::DeviceArgmin);
+        assert_eq!(dev_outs, host_outs, "selection mode is pricing-only");
+        assert_eq!(dev_book.bytes_d2h, 3 * ARGMIN_RECORD_BYTES);
+        assert!(host_book.bytes_d2h >= 10 * dev_book.bytes_d2h, "m=276 lanes cut D2H ≥ 10×");
+        assert_eq!(dev_book.launches, 2, "eval launch + argmin launch");
+        assert_eq!(host_book.launches, 1);
+        assert!(dev_book.kernel_s > host_book.kernel_s, "the reduction costs kernel time");
+        assert_eq!(dev_book.bytes_h2d, host_book.bytes_h2d, "uploads unchanged");
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   baseline the paper leaves on the table; used by the ablations);
 //! * `PppGpuExplorer` (in `lnls-ppp`) — the simulated-GPU path of the
 //!   paper, implementing this same trait.
+//!
+//! Fleet runs fuse several walks' explorations into one launch and
+//! price it through the stream/event model — see
+//! [`BatchedExplorer`](crate::batch::BatchedExplorer), which produces
+//! per-lane fitness vectors bit-identical to [`SequentialExplorer`]'s.
 
 use crate::bitstring::BitString;
 use crate::problem::IncrementalEval;

@@ -24,7 +24,7 @@
 use crate::bitstring::BitString;
 use crate::search::{SearchConfig, SearchResult};
 use crate::tabu::{TabuSearch, TabuStrategy};
-use lnls_gpu_sim::{DeviceSpec, HostSpec, TimeBook};
+use lnls_gpu_sim::{DeviceSpec, EngineConfig, HostSpec, SelectionMode, TimeBook};
 use lnls_neighborhood::{FlipMove, KHamming, Neighborhood, OneHamming, ThreeHamming, TwoHamming};
 use rand::rngs::StdRng;
 use std::fmt;
@@ -374,6 +374,36 @@ fn static_name(name: String, presets: &[&'static str]) -> &'static str {
         .unwrap_or_else(|| Box::leak(name.into_boxed_str()))
 }
 
+impl Persist for EngineConfig {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.copy_engines.write(out);
+        self.concurrent_kernels.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let cfg = EngineConfig { copy_engines: r.read()?, concurrent_kernels: r.read()? };
+        if cfg.copy_engines == 0 || cfg.concurrent_kernels == 0 {
+            return Err(PersistError::new("engine layout needs at least one engine per pool"));
+        }
+        Ok(cfg)
+    }
+}
+
+impl Persist for SelectionMode {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SelectionMode::HostArgmin => 0,
+            SelectionMode::DeviceArgmin => 1,
+        });
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match u8::read(r)? {
+            0 => SelectionMode::HostArgmin,
+            1 => SelectionMode::DeviceArgmin,
+            b => return Err(PersistError::new(format!("bad selection mode {b}"))),
+        })
+    }
+}
+
 impl Persist for DeviceSpec {
     fn write(&self, out: &mut Vec<u8>) {
         self.name.to_string().write(out);
@@ -396,6 +426,7 @@ impl Persist for DeviceSpec {
         self.launch_overhead_s.write(out);
         self.pcie_latency_s.write(out);
         self.pcie_bandwidth.write(out);
+        self.engines.write(out);
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         let name: String = r.read()?;
@@ -426,6 +457,7 @@ impl Persist for DeviceSpec {
             launch_overhead_s: r.read()?,
             pcie_latency_s: r.read()?,
             pcie_bandwidth: r.read()?,
+            engines: r.read()?,
         })
     }
 }

@@ -91,7 +91,11 @@ pub use multigpu::MultiDevice;
 pub use occupancy::{occupancy, Limit, Occupancy};
 pub use pipeline::{price_multiwalk, IterationProfile, PipelineReport};
 pub use race::{RaceEvent, RaceKind};
+pub use reduce::{argmin_kernel_seconds, SelectionMode, ARGMIN_RECORD_BYTES};
 pub use report::{LaunchReport, TimeBook};
 pub use spec::{DeviceSpec, HostSpec};
-pub use stream::{EngineConfig, EventId, Schedule, ScheduledOp, StreamOp, StreamSim};
+pub use stream::{
+    price_fused_iteration, EngineConfig, EventId, LaneIo, Schedule, ScheduledOp, StreamOp,
+    StreamSim,
+};
 pub use timing::{predict, predict_host_seconds, transfer_seconds, TimingBreakdown};

@@ -1,11 +1,29 @@
-//! On-device parallel min-reduction.
+//! On-device argmin selection: the kernel, its analytic price, and the
+//! scheduler-wide [`SelectionMode`] knob.
 //!
-//! The paper's search loop copies the whole fitness array back to the host
-//! every iteration and lets the CPU pick the best neighbor. A classic
-//! optimization — and our ablation A4 companion — reduces on the device
-//! first, shrinking the D2H transfer from `m` words to `gridDim` words.
-//! The kernel is also the simulator's showcase for block barriers
-//! (`__syncthreads` = phase boundaries) and shared memory.
+//! The paper's search loop copies the whole fitness array back to the
+//! host every iteration and lets the CPU pick the best neighbor — `m·8`
+//! bytes of D2H traffic per iteration per walk. The classic follow-up
+//! (mirrored in the GPU-SA-for-QAP line of work, arXiv:1208.2675)
+//! reduces on the device first, shrinking the readback to **one packed
+//! `(fitness, index)` record per walk**. This module is both sides of
+//! that option:
+//!
+//! * [`MinReduceKernel`] + [`device_min`] — the *functional* tree
+//!   reduction, executed for real on the simulator (and the showcase for
+//!   block barriers and shared memory; the pipelining ablation uses it
+//!   solo);
+//! * [`SelectionMode`] + [`argmin_kernel_seconds`] — the *fleet-wide*
+//!   pricing knob: `lnls-runtime`'s `SchedulerConfig` (and per-job
+//!   `JobSpec` overrides) select [`SelectionMode::DeviceArgmin`] to
+//!   price one extra reduction launch per fused iteration and cut each
+//!   lane's modeled D2H from `m·8` bytes to [`ARGMIN_RECORD_BYTES`].
+//!
+//! Selection mode is **pricing-only**: the runtime's cursors still
+//! commit exactly the move a host-side scan picks (the modeled kernel
+//! folds admissibility — e.g. tabu status — into the packed keys, so the
+//! record it would return is the very move the host selects). Search
+//! results are bit-identical under either mode; only the ledger changes.
 //!
 //! Values are `u64` keys ordered ascending; to arg-min a fitness array,
 //! pack `(fitness, index)` with [`pack_key`] so ties break toward the
@@ -15,7 +33,52 @@ use crate::dim::LaunchConfig;
 use crate::exec::ExecMode;
 use crate::kernel::{Kernel, ThreadCtx};
 use crate::memory::{DeviceBuffer, MemSpace};
+use crate::spec::DeviceSpec;
 use crate::Device;
+
+/// How the best neighbor of an evaluated batch is selected — the
+/// scheduler-wide knob of `lnls-runtime`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SelectionMode {
+    /// The paper's loop: download every lane's whole fitness array
+    /// (`m·8` bytes) and scan on the host.
+    #[default]
+    HostArgmin,
+    /// Reduce on the device first: one extra tree-reduction launch per
+    /// fused iteration (priced by [`argmin_kernel_seconds`]), then one
+    /// packed `(fitness, index)` record ([`ARGMIN_RECORD_BYTES`]) read
+    /// back per lane.
+    DeviceArgmin,
+}
+
+impl SelectionMode {
+    /// True for [`SelectionMode::DeviceArgmin`].
+    pub fn is_device(self) -> bool {
+        matches!(self, SelectionMode::DeviceArgmin)
+    }
+}
+
+/// Bytes read back per lane per iteration under
+/// [`SelectionMode::DeviceArgmin`]: one packed `(fitness, index)` key.
+pub const ARGMIN_RECORD_BYTES: u64 = 8;
+
+/// Modeled execution seconds (excluding launch overhead) of one fused
+/// argmin reduction over `keys` packed values.
+///
+/// The reduction streams every key once (bandwidth bound:
+/// `8·keys / mem_bandwidth`) and spends ~2 abstract ops per key in the
+/// shared-memory tree (issue bound, derated to 25 % of peak like every
+/// measured kernel of this workspace); per-block minima fold into the
+/// per-lane output records with 64-bit global atomics (native on GT200 /
+/// sm_13), so one launch suffices. The caller adds the device's launch
+/// overhead — in a stream schedule that happens automatically
+/// ([`crate::stream::price_fused_iteration`] adds it per kernel op).
+pub fn argmin_kernel_seconds(spec: &DeviceSpec, keys: u64) -> f64 {
+    let bandwidth_s = (keys * ARGMIN_RECORD_BYTES) as f64 / spec.mem_bandwidth;
+    let peak_ops = spec.sm_count as f64 * spec.warp_size as f64 / spec.issue_cycles * spec.clock_hz;
+    let issue_s = keys as f64 * 2.0 / (peak_ops * 0.25);
+    bandwidth_s.max(issue_s)
+}
 
 /// Pack a non-negative fitness and a move index into an order-preserving
 /// `u64` key: smaller fitness first, then smaller index.
@@ -133,6 +196,28 @@ pub fn device_min(
 mod tests {
     use super::*;
     use crate::spec::DeviceSpec;
+
+    #[test]
+    fn selection_mode_defaults_to_the_paper_loop() {
+        assert_eq!(SelectionMode::default(), SelectionMode::HostArgmin);
+        assert!(!SelectionMode::HostArgmin.is_device());
+        assert!(SelectionMode::DeviceArgmin.is_device());
+    }
+
+    #[test]
+    fn argmin_price_scales_and_beats_the_readback_it_replaces() {
+        let spec = DeviceSpec::gtx280();
+        let small = argmin_kernel_seconds(&spec, 1024);
+        let large = argmin_kernel_seconds(&spec, 1 << 20);
+        assert!(small > 0.0 && large > small, "price must grow with the key count");
+        // At the paper's saturated scale the reduction is far cheaper
+        // than the m·8-byte PCIe readback it eliminates.
+        let m = 260_130u64;
+        let saved = crate::timing::transfer_seconds(&spec, m * ARGMIN_RECORD_BYTES)
+            - crate::timing::transfer_seconds(&spec, ARGMIN_RECORD_BYTES);
+        let cost = argmin_kernel_seconds(&spec, m) + spec.launch_overhead_s;
+        assert!(cost < saved, "reduction {cost}s must beat the {saved}s of PCIe it saves");
+    }
 
     #[test]
     fn pack_orders_lexicographically() {

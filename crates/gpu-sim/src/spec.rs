@@ -5,6 +5,17 @@
 //! presets and default to the datasheet value) against an Intel Xeon at
 //! 3 GHz. All constants that the model multiplies counters by are listed
 //! here with their provenance, so the calibration is auditable.
+//!
+//! Each spec also carries its **engine layout**
+//! ([`EngineConfig`]): how many DMA queues
+//! and concurrent-kernel slots the part exposes. The layout decides what
+//! a stream schedule may overlap, so the batched fleet pricing
+//! (`lnls_core::BatchedExplorer` → [`crate::stream::price_fused_iteration`])
+//! reads it straight off the device it charges. Every preset ships the
+//! historically accurate GT200 layout; [`DeviceSpec::with_engines`]
+//! swaps in another (e.g. [`EngineConfig::fermi`]) for overlap studies.
+
+use crate::stream::EngineConfig;
 
 /// Static description of a simulated CUDA-class device.
 ///
@@ -56,6 +67,9 @@ pub struct DeviceSpec {
     pub pcie_latency_s: f64,
     /// Host↔device transfer: sustained bandwidth, bytes/second.
     pub pcie_bandwidth: f64,
+    /// Hardware queue layout: DMA engines and concurrent-kernel slots.
+    /// Decides what a stream schedule may overlap on this device.
+    pub engines: EngineConfig,
 }
 
 impl DeviceSpec {
@@ -83,7 +97,17 @@ impl DeviceSpec {
             launch_overhead_s: 18e-6,
             pcie_latency_s: 12e-6,
             pcie_bandwidth: 3.0e9,
+            engines: EngineConfig::gt200(),
         }
+    }
+
+    /// The same silicon with a different engine layout — the overlap
+    /// ablation knob (e.g. a GT200 timing model scheduled under
+    /// [`EngineConfig::fermi`] queues).
+    #[must_use]
+    pub fn with_engines(mut self, engines: EngineConfig) -> Self {
+        self.engines = engines;
+        self
     }
 
     /// Same silicon but with the SM count the paper states (32); kept so

@@ -13,10 +13,11 @@
 //!
 //! * every operation (H2D copy, kernel, D2H copy) is enqueued on a
 //!   stream; operations within one stream serialize in enqueue order;
-//! * the device has one **copy engine** and one **compute engine** by
-//!   default (the GT200 layout — concurrent copy + execute, but no
-//!   concurrent kernels and a single DMA queue shared by both copy
-//!   directions); an [`EngineConfig`] relaxes this to model newer parts;
+//! * the device runs the [`EngineConfig`] its [`DeviceSpec`] carries —
+//!   one **copy engine** and one **compute engine** on every preset (the
+//!   GT200 layout — concurrent copy + execute, but no concurrent kernels
+//!   and a single DMA queue shared by both copy directions);
+//!   [`DeviceSpec::with_engines`] relaxes this to model newer parts;
 //! * **events** impose cross-stream edges (`record_event` /
 //!   `wait_event`), exactly like `cudaStreamWaitEvent`.
 //!
@@ -177,10 +178,10 @@ pub struct StreamSim<'a> {
 }
 
 impl<'a> StreamSim<'a> {
-    /// A simulator for `spec` with its historically accurate engine
-    /// layout (GT200 for the GTX 280 preset).
+    /// A simulator for `spec` with the engine layout the spec itself
+    /// carries ([`DeviceSpec::engines`] — GT200 for every preset).
     pub fn new(spec: &'a DeviceSpec) -> Self {
-        Self::with_engines(spec, EngineConfig::gt200())
+        Self::with_engines(spec, spec.engines)
     }
 
     /// Override the engine layout (ablations).
@@ -303,6 +304,65 @@ impl<'a> StreamSim<'a> {
 
         Schedule { ops, makespan, copy_busy, compute_busy, serialized }
     }
+}
+
+/// Per-lane PCIe traffic of one fused evaluation iteration (see
+/// [`price_fused_iteration`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LaneIo {
+    /// Bytes this lane uploads (solution bits + incremental state).
+    pub h2d_bytes: u64,
+    /// Bytes this lane reads back (its fitness array, or one packed
+    /// argmin record under on-device selection).
+    pub d2h_bytes: u64,
+}
+
+/// Price one fused multi-lane iteration as a **breadth-first** stream
+/// schedule on `spec` (under [`DeviceSpec::engines`]): every lane's
+/// upload is enqueued first (one stream per lane), then the fused kernel
+/// chain on a dedicated compute stream gated on all uploads by events,
+/// then every lane's readback gated on the kernels. `kernels` is the
+/// dependent kernel chain of the iteration — the fused evaluation
+/// kernel, optionally followed by the on-device argmin reduction — each
+/// entry in modeled seconds *excluding* launch overhead (the stream
+/// model adds it per kernel).
+///
+/// Breadth-first issue matters: on a single-copy-engine part (GT200),
+/// depth-first enqueueing puts each lane's readback in front of the next
+/// lane's upload in the one DMA queue and serializes everything; see
+/// [`IssueOrder`](crate::pipeline::IssueOrder). Under GT200 layouts this
+/// schedule's makespan equals its serialized sum (nothing can overlap
+/// within one dependent iteration); multi-engine layouts overlap the
+/// per-lane copies against each other, and [`Schedule::makespan`] prices
+/// the win.
+///
+/// # Panics
+/// Panics when `lanes` or `kernels` is empty.
+pub fn price_fused_iteration(spec: &DeviceSpec, lanes: &[LaneIo], kernels: &[f64]) -> Schedule {
+    assert!(!lanes.is_empty(), "cannot price an empty fused iteration");
+    assert!(!kernels.is_empty(), "a fused iteration launches at least one kernel");
+    let mut sim = StreamSim::new(spec);
+    let kernel_stream = lanes.len();
+    let mut uploaded = Vec::with_capacity(lanes.len());
+    for (stream, lane) in lanes.iter().enumerate() {
+        sim.h2d(stream, lane.h2d_bytes);
+        let ev = sim.new_event();
+        sim.record_event(stream, ev);
+        uploaded.push(ev);
+    }
+    for ev in uploaded {
+        sim.wait_event(kernel_stream, ev);
+    }
+    for &seconds in kernels {
+        sim.kernel(kernel_stream, seconds);
+    }
+    let done = sim.new_event();
+    sim.record_event(kernel_stream, done);
+    for (stream, lane) in lanes.iter().enumerate() {
+        sim.wait_event(stream, done);
+        sim.d2h(stream, lane.d2h_bytes);
+    }
+    sim.run()
 }
 
 #[cfg(test)]
@@ -445,6 +505,74 @@ mod tests {
         assert!(g.contains("s1 |"));
         assert!(g.contains('U') && g.contains('K'));
         assert!(g.contains("overlap"));
+    }
+
+    #[test]
+    fn fused_iteration_gt200_equals_serialized() {
+        let s = spec();
+        let lanes = [
+            LaneIo { h2d_bytes: 64, d2h_bytes: 4096 },
+            LaneIo { h2d_bytes: 128, d2h_bytes: 8192 },
+            LaneIo { h2d_bytes: 32, d2h_bytes: 2048 },
+        ];
+        let sched = price_fused_iteration(&s, &lanes, &[1e-3]);
+        // One copy engine + a dependent chain: nothing can overlap.
+        assert!((sched.makespan - sched.serialized).abs() < EPS);
+        // Serialized = per-lane transfers + the kernel with its overhead.
+        let expect: f64 = lanes
+            .iter()
+            .map(|l| {
+                crate::timing::transfer_seconds(&s, l.h2d_bytes)
+                    + crate::timing::transfer_seconds(&s, l.d2h_bytes)
+            })
+            .sum::<f64>()
+            + 1e-3
+            + s.launch_overhead_s;
+        assert!((sched.serialized - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn fused_iteration_fermi_overlaps_per_lane_copies() {
+        let s = spec().with_engines(EngineConfig::fermi());
+        let lanes = [
+            LaneIo { h2d_bytes: 1 << 16, d2h_bytes: 1 << 16 },
+            LaneIo { h2d_bytes: 1 << 16, d2h_bytes: 1 << 16 },
+        ];
+        let sched = price_fused_iteration(&s, &lanes, &[5e-4]);
+        assert!(
+            sched.makespan < sched.serialized - EPS,
+            "dual copy engines must overlap the two lanes' transfers"
+        );
+        // The kernel still waits for both uploads.
+        let kernel = sched.ops.iter().find(|o| matches!(o.op, StreamOp::Kernel { .. })).unwrap();
+        let last_upload = sched
+            .ops
+            .iter()
+            .filter(|o| matches!(o.op, StreamOp::H2D { .. }))
+            .map(|o| o.finish)
+            .fold(0.0, f64::max);
+        assert!(kernel.start >= last_upload - EPS);
+    }
+
+    #[test]
+    fn fused_iteration_kernel_chain_serializes() {
+        // Eval kernel then argmin kernel: same stream, strict order, one
+        // launch overhead each.
+        let s = spec();
+        let lanes = [LaneIo { h2d_bytes: 64, d2h_bytes: 8 }];
+        let sched = price_fused_iteration(&s, &lanes, &[1e-3, 1e-5]);
+        let kernels: Vec<_> =
+            sched.ops.iter().filter(|o| matches!(o.op, StreamOp::Kernel { .. })).collect();
+        assert_eq!(kernels.len(), 2);
+        assert!(kernels[1].start >= kernels[0].finish - EPS);
+        let readback = sched.ops.iter().rfind(|o| matches!(o.op, StreamOp::D2H { .. })).unwrap();
+        assert!(readback.start >= kernels[1].finish - EPS, "readback waits for the reduction");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fused iteration")]
+    fn fused_iteration_rejects_empty_batches() {
+        let _ = price_fused_iteration(&spec(), &[], &[1e-3]);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property-based tests of the stream-overlap invariants behind the
+//! fleet's fused-batch pricing (`price_fused_iteration`): a breadth-
+//! first schedule's makespan never exceeds the serialized sum of its
+//! operations, equals it on the GT200 single-engine layout (where
+//! nothing inside one dependent fused iteration can overlap), and is
+//! strictly smaller for a two-lane fused batch under a Fermi-class
+//! layout (dual copy engines overlap the per-lane transfers).
+
+use lnls_gpu_sim::{
+    price_fused_iteration, transfer_seconds, DeviceSpec, EngineConfig, LaneIo, StreamOp,
+};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-12;
+
+fn lanes_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..1 << 20, 0u64..1 << 20), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any breadth-first fused schedule, any engine layout: the makespan
+    /// is bounded by the serialized sum, floored by every engine's busy
+    /// time, and the serialized sum is exactly the per-op durations.
+    #[test]
+    fn makespan_bounded_by_serialized(
+        shapes in lanes_strategy(),
+        kernel_us in 1u64..5_000,
+        argmin_us in 0u64..200,
+        copy_engines in 1usize..4,
+        kernel_slots in 1usize..4,
+    ) {
+        let spec = DeviceSpec::gtx280()
+            .with_engines(EngineConfig { copy_engines, concurrent_kernels: kernel_slots });
+        let lanes: Vec<LaneIo> = shapes
+            .iter()
+            .map(|&(h2d_bytes, d2h_bytes)| LaneIo { h2d_bytes, d2h_bytes })
+            .collect();
+        let mut kernels = vec![kernel_us as f64 * 1e-6];
+        if argmin_us > 0 {
+            kernels.push(argmin_us as f64 * 1e-6);
+        }
+        let sched = price_fused_iteration(&spec, &lanes, &kernels);
+
+        prop_assert!(sched.makespan <= sched.serialized + EPS);
+        prop_assert!(sched.makespan >= sched.copy_busy / copy_engines as f64 - EPS);
+        prop_assert!(sched.makespan >= sched.compute_busy - EPS, "one kernel chain");
+
+        let expect_serialized: f64 = lanes
+            .iter()
+            .map(|l| transfer_seconds(&spec, l.h2d_bytes) + transfer_seconds(&spec, l.d2h_bytes))
+            .sum::<f64>()
+            + kernels.iter().map(|k| k + spec.launch_overhead_s).sum::<f64>();
+        prop_assert!((sched.serialized - expect_serialized).abs() < EPS);
+    }
+
+    /// GT200 layout (one DMA queue, serial kernels): a fused iteration
+    /// is one dependent chain through single-capacity engines, so the
+    /// makespan *equals* the serialized time — the stream model
+    /// reproduces the paper-era serial-sum pricing exactly.
+    #[test]
+    fn gt200_fused_iteration_cannot_overlap(
+        shapes in lanes_strategy(),
+        kernel_us in 1u64..5_000,
+        with_argmin in any::<bool>(),
+    ) {
+        let spec = DeviceSpec::gtx280();
+        prop_assert_eq!(spec.engines, EngineConfig::gt200());
+        let lanes: Vec<LaneIo> = shapes
+            .iter()
+            .map(|&(h2d_bytes, d2h_bytes)| LaneIo { h2d_bytes, d2h_bytes })
+            .collect();
+        let mut kernels = vec![kernel_us as f64 * 1e-6];
+        if with_argmin {
+            kernels.push(2e-6);
+        }
+        let sched = price_fused_iteration(&spec, &lanes, &kernels);
+        prop_assert!(
+            (sched.makespan - sched.serialized).abs() < EPS,
+            "GT200 must serialize the whole fused iteration: makespan {} vs serialized {}",
+            sched.makespan,
+            sched.serialized
+        );
+    }
+
+    /// Fermi layout, two fused lanes: the dual copy engines run the two
+    /// lanes' uploads (and readbacks) concurrently, so the makespan is
+    /// *strictly* below the serialized sum — every transfer carries at
+    /// least the PCIe setup latency, so there is always something to
+    /// hide.
+    #[test]
+    fn fermi_two_lane_batch_strictly_overlaps(
+        h2d in 0u64..1 << 20,
+        d2h in 0u64..1 << 20,
+        kernel_us in 1u64..5_000,
+    ) {
+        let spec = DeviceSpec::gtx280().with_engines(EngineConfig::fermi());
+        let lanes = [LaneIo { h2d_bytes: h2d, d2h_bytes: d2h }; 2];
+        let sched = price_fused_iteration(&spec, &lanes, &[kernel_us as f64 * 1e-6]);
+        prop_assert!(
+            sched.makespan < sched.serialized - EPS,
+            "two-lane fermi batch must overlap: makespan {} vs serialized {}",
+            sched.makespan,
+            sched.serialized
+        );
+        // The overlap is real concurrency, not dropped work: both
+        // uploads start before the kernel, both readbacks after it.
+        let kernel_start = sched
+            .ops
+            .iter()
+            .find(|o| matches!(o.op, StreamOp::Kernel { .. }))
+            .expect("one kernel")
+            .start;
+        for op in sched.ops.iter().filter(|o| matches!(o.op, StreamOp::H2D { .. })) {
+            prop_assert!(op.finish <= kernel_start + EPS);
+        }
+    }
+}

@@ -27,7 +27,7 @@ use lnls_core::{
     AnnealCursor, BatchLane, BatchedExplorer, DynCursor, Explorer, IncrementalEval, LaneProfile,
     ProblemCursor, SearchCursor, SequentialExplorer, TabuCursor,
 };
-use lnls_gpu_sim::{transfer_seconds, Device, DeviceSpec, HostSpec, TimeBook};
+use lnls_gpu_sim::{transfer_seconds, Device, DeviceSpec, HostSpec, SelectionMode, TimeBook};
 use lnls_neighborhood::Neighborhood;
 use lnls_qap::{GpuSwapEvaluator, QapInstance, RtsCursor, SwapEvaluator, TableEvaluator};
 use std::any::{Any, TypeId};
@@ -51,8 +51,14 @@ pub struct BatchKey {
 pub struct StepRun {
     /// Iterations executed by the step.
     pub iters: u64,
-    /// Modeled seconds charged to the backend.
+    /// Modeled seconds charged to the backend — for device launches
+    /// priced through the stream model, the schedule **makespan**.
     pub seconds: f64,
+    /// What the same operations would cost executed back-to-back on one
+    /// queue. Equals [`seconds`](Self::seconds) when nothing overlapped
+    /// (single-engine layouts, host steps); the gap is the stream-level
+    /// overlap win the fleet report aggregates.
+    pub serialized_s: f64,
 }
 
 /// The type-erased executor contract behind
@@ -91,8 +97,9 @@ pub trait JobExec: Send {
 
     /// One fused iteration covering `self` and `peers` (all sharing this
     /// job's [`BatchKey`]). Members already finished must not be passed.
-    /// Returns the modeled seconds of the fused launch.
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64;
+    /// Returns the fused launch's cost (`iters` counts the *group's*
+    /// iterations: one per member walk is implied, reported as 1).
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun;
 
     /// Modeled cost of the work this job has *executed so far* if it had
     /// run solo, launch-per-iteration, on `spec` — the serialized-fleet
@@ -140,6 +147,7 @@ where
     pub out: Vec<i64>,
     pub state_h2d_bytes: u64,
     pub host: HostSpec,
+    pub selection: SelectionMode,
     pub fused_iters: u64,
 }
 
@@ -162,6 +170,7 @@ where
             out: Vec::new(),
             state_h2d_bytes,
             host: ctx.host,
+            selection: ctx.selection,
             fused_iters: 0,
         }
     }
@@ -218,8 +227,8 @@ where
     }
 
     fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun {
-        // Each iteration is one single-lane fused launch: same pricing
-        // the multi-tenant path charges, minus the amortization.
+        // Each iteration is one single-lane fused launch: same stream
+        // pricing the multi-tenant path charges, minus the amortization.
         let spec = dev.spec().clone();
         let prof = self.profile(&spec);
         let mut bex = BatchedExplorer::new(self.hood.clone(), spec);
@@ -233,15 +242,17 @@ where
                     state,
                     out: &mut self.out,
                     profile: prof,
+                    selection: self.selection,
                 }];
                 bex.explore_batch(&mut lanes);
             }
             self.cursor.select_and_commit(&*self.problem, &self.hood, &self.out);
             iters += 1;
         }
-        let seconds = bex.book().gpu_total_s();
+        let seconds = bex.stream_makespan_s();
+        let serialized_s = bex.stream_serialized_s();
         dev.charge(bex.book());
-        StepRun { iters, seconds }
+        StepRun { iters, seconds, serialized_s }
     }
 
     fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun {
@@ -259,10 +270,11 @@ where
         let mut ex = SequentialExplorer::new(self.hood.clone());
         let iters =
             self.cursor.step_batch((&*self.problem, &mut ex as &mut dyn Explorer<P>), quota);
-        StepRun { iters, seconds: prof.host_seconds * iters as f64 }
+        let seconds = prof.host_seconds * iters as f64;
+        StepRun { iters, seconds, serialized_s: seconds }
     }
 
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
         let spec = dev.spec().clone();
         let prof = self.profile(&spec);
         let mut typed: Vec<&mut Self> = peers
@@ -275,6 +287,9 @@ where
             .collect();
         let peer_profiles: Vec<LaneProfile> = typed.iter().map(|t| t.profile(&spec)).collect();
 
+        // Selection is per lane: each member's effective mode — the
+        // fleet default or its own JobSpec override — prices its slice
+        // of the fused readback.
         let mut bex = BatchedExplorer::new(self.hood.clone(), spec);
         {
             let mut lanes: Vec<BatchLane<'_, P>> = Vec::with_capacity(1 + typed.len());
@@ -285,8 +300,10 @@ where
                 state,
                 out: &mut self.out,
                 profile: prof,
+                selection: self.selection,
             });
             for (t, p) in typed.iter_mut().zip(&peer_profiles) {
+                let selection = t.selection;
                 let (s, state) = t.cursor.explore_parts();
                 lanes.push(BatchLane {
                     problem: &*t.problem,
@@ -294,6 +311,7 @@ where
                     state,
                     out: &mut t.out,
                     profile: *p,
+                    selection,
                 });
             }
             bex.explore_batch(&mut lanes);
@@ -307,9 +325,10 @@ where
             t.cursor.select_and_commit(&*t.problem, &t.hood, &t.out);
             t.fused_iters += 1;
         }
-        let seconds = bex.book().gpu_total_s();
+        let seconds = bex.stream_makespan_s();
+        let serialized_s = bex.stream_serialized_s();
         dev.charge(bex.book());
-        seconds
+        StepRun { iters: 1, seconds, serialized_s }
     }
 
     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
@@ -346,6 +365,7 @@ where
             out: Vec::new(),
             state_h2d_bytes: self.state_h2d_bytes,
             host: self.host.clone(),
+            selection: self.selection,
             fused_iters: self.fused_iters,
         })
     }
@@ -361,6 +381,7 @@ where
         self.seq.write(out);
         self.state_h2d_bytes.write(out);
         self.host.write(out);
+        self.selection.write(out);
         self.fused_iters.write(out);
         self.problem.write(out);
         self.hood.write(out);
@@ -385,6 +406,7 @@ where
     let seq: u64 = r.read()?;
     let state_h2d_bytes: u64 = r.read()?;
     let host: HostSpec = r.read()?;
+    let selection: SelectionMode = r.read()?;
     let fused_iters: u64 = r.read()?;
     let problem: P = r.read()?;
     let hood: N = r.read()?;
@@ -403,6 +425,7 @@ where
         out: Vec::new(),
         state_h2d_bytes,
         host,
+        selection,
         fused_iters,
     }))
 }
@@ -526,7 +549,9 @@ impl JobExec for QapJob {
         if iters > 0 {
             self.table = None;
         }
-        StepRun { iters, seconds }
+        // QAP launches run through the real simulated kernel, a single
+        // dependent chain per iteration — nothing to overlap.
+        StepRun { iters, seconds, serialized_s: seconds }
     }
 
     fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun {
@@ -539,12 +564,12 @@ impl JobExec for QapJob {
         let ops = iters as f64 * m * 10.0;
         let seconds = ops * host.cpi_alu / host.clock_hz;
         self.host_iters += iters;
-        StepRun { iters, seconds }
+        StepRun { iters, seconds, serialized_s: seconds }
     }
 
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
         assert!(peers.is_empty(), "QAP jobs are unbatchable");
-        self.step_device(dev, 1).seconds
+        self.step_device(dev, 1)
     }
 
     fn unplaced(&mut self) {
@@ -740,7 +765,10 @@ where
         };
         let seconds = book.gpu_total_s();
         dev.charge(&book);
-        StepRun { iters, seconds }
+        // Single-neighbor launches are one dependent chain each; the
+        // readback is already one record, so [`SelectionMode`] is a
+        // no-op here and nothing overlaps.
+        StepRun { iters, seconds, serialized_s: seconds }
     }
 
     fn step_host(&mut self, _host: &HostSpec, quota: u64) -> StepRun {
@@ -748,12 +776,13 @@ where
         // its host column is used here (reference device irrelevant).
         let prof = self.profile(&DeviceSpec::gtx280());
         let iters = self.walk.step(quota);
-        StepRun { iters, seconds: prof.host_seconds * iters as f64 }
+        let seconds = prof.host_seconds * iters as f64;
+        StepRun { iters, seconds, serialized_s: seconds }
     }
 
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> f64 {
+    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
         assert!(peers.is_empty(), "annealing jobs are unbatchable");
-        self.step_device(dev, 1).seconds
+        self.step_device(dev, 1)
     }
 
     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {

@@ -1,4 +1,175 @@
 //! Job descriptions, handles, outcomes and per-job reports.
+//!
+//! ## Implementing your own `SearchJob`, end to end
+//!
+//! Everything the scheduler runs goes through three traits: a steppable
+//! executor ([`JobExec`] — usually a thin shell over a cursor), the
+//! submittable description ([`SearchJob`]), and the checkpoint decoder
+//! ([`JobCodec`]). The toy below walks a countdown "search" through the
+//! whole lifecycle — submit, tick, checkpoint to bytes, restore, finish
+//! — with per-iteration launch pricing on the simulated device:
+//!
+//! ```
+//! use lnls_core::persist::{Persist, PersistError, Reader};
+//! use lnls_gpu_sim::{transfer_seconds, Device, DeviceSpec, HostSpec, TimeBook};
+//! use lnls_runtime::{
+//!     BatchKey, FleetCheckpoint, JobCodec, JobExec, JobId, JobOutcome, JobRegistry, JobReport,
+//!     Scheduler, SchedulerConfig, SearchJob, StepRun, SubmitCtx,
+//! };
+//! use std::any::Any;
+//!
+//! // 1. The executor: the walk's loop-carried state (here just two
+//! //    counters — a real workload would wrap a `SearchCursor`), plus
+//! //    the identity the scheduler assigned and the pricing of one
+//! //    iteration's launch.
+//! struct CountdownExec {
+//!     id: JobId,
+//!     name: String,
+//!     seq: u64,
+//!     left: u64,
+//!     executed: u64,
+//! }
+//!
+//! impl CountdownExec {
+//!     /// One iteration = one tiny launch: fixed overhead plus an
+//!     /// 8-byte upload (toy numbers; real executors derive this from
+//!     /// the neighborhood size, e.g. via `lnls_core::LaneProfile`).
+//!     fn iter_book(spec: &lnls_gpu_sim::DeviceSpec, iters: u64) -> TimeBook {
+//!         TimeBook {
+//!             overhead_s: spec.launch_overhead_s * iters as f64,
+//!             h2d_s: transfer_seconds(spec, 8) * iters as f64,
+//!             bytes_h2d: 8 * iters,
+//!             launches: iters,
+//!             ..TimeBook::default()
+//!         }
+//!     }
+//! }
+//!
+//! impl JobExec for CountdownExec {
+//!     fn id(&self) -> JobId { self.id }
+//!     fn priority(&self) -> u8 { 0 }
+//!     fn seq(&self) -> u64 { self.seq }
+//!     fn done(&self) -> bool { self.left == 0 }
+//!     fn iterations(&self) -> u64 { self.executed }
+//!     fn batch_key(&self) -> Option<BatchKey> { None } // never fuses
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//!
+//!     fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun {
+//!         let iters = quota.min(self.left);
+//!         self.left -= iters;
+//!         self.executed += iters;
+//!         let book = Self::iter_book(dev.spec(), iters);
+//!         let seconds = book.gpu_total_s();
+//!         dev.charge(&book); // the fleet ledger sees every launch
+//!         StepRun { iters, seconds, serialized_s: seconds }
+//!     }
+//!
+//!     fn step_host(&mut self, _host: &HostSpec, quota: u64) -> StepRun {
+//!         let iters = quota.min(self.left);
+//!         self.left -= iters;
+//!         self.executed += iters;
+//!         let seconds = 1e-6 * iters as f64;
+//!         StepRun { iters, seconds, serialized_s: seconds }
+//!     }
+//!
+//!     fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
+//!         assert!(peers.is_empty(), "batch_key() is None, so no peers ever arrive");
+//!         self.step_device(dev, 1)
+//!     }
+//!
+//!     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
+//!         Self::iter_book(spec, self.executed).gpu_total_s()
+//!     }
+//!
+//!     fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport {
+//!         JobReport {
+//!             id: self.id,
+//!             name: self.name.clone(),
+//!             tenant: String::new(), // the scheduler stamps attribution
+//!             backend,
+//!             submitted_s: 0.0,
+//!             started_s,
+//!             finished_s,
+//!             fused_iterations: 0,
+//!             cancelled: false,
+//!             rejected: false,
+//!             outcome: JobOutcome::new(-(self.left as i64), self.executed, self.left == 0),
+//!         }
+//!     }
+//!
+//!     fn clone_box(&self) -> Box<dyn JobExec> {
+//!         Box::new(CountdownExec {
+//!             id: self.id,
+//!             name: self.name.clone(),
+//!             seq: self.seq,
+//!             left: self.left,
+//!             executed: self.executed,
+//!         })
+//!     }
+//!
+//!     fn persist_tag(&self) -> String { "example/countdown".into() }
+//!
+//!     fn persist(&self, out: &mut Vec<u8>) {
+//!         self.id.write(out);
+//!         self.name.write(out);
+//!         self.seq.write(out);
+//!         self.left.write(out);
+//!         self.executed.write(out);
+//!     }
+//! }
+//!
+//! // 2. The submittable description: what users hand to `submit`.
+//! struct CountdownJob { name: String, steps: u64 }
+//!
+//! impl SearchJob for CountdownJob {
+//!     fn name(&self) -> &str { &self.name }
+//!     fn persist_tag(&self) -> String { "example/countdown".into() }
+//!     fn into_exec(self: Box<Self>, ctx: SubmitCtx) -> Box<dyn JobExec> {
+//!         Box::new(CountdownExec {
+//!             id: ctx.id(), // executors must adopt the assigned identity
+//!             name: ctx.name(self.name),
+//!             seq: ctx.seq(),
+//!             left: self.steps,
+//!             executed: 0,
+//!         })
+//!     }
+//! }
+//!
+//! // 3. The checkpoint decoder: inverse of `CountdownExec::persist`.
+//! impl JobCodec for CountdownJob {
+//!     fn registry_tag() -> String { "example/countdown".into() }
+//!     fn decode(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+//!         Ok(Box::new(CountdownExec {
+//!             id: r.read()?,
+//!             name: r.read()?,
+//!             seq: r.read()?,
+//!             left: r.read()?,
+//!             executed: r.read()?,
+//!         }))
+//!     }
+//! }
+//!
+//! // Submit, run one tick, checkpoint through bytes (a "crash"),
+//! // restore, finish — scheduling, preemption and persistence all come
+//! // from the traits above.
+//! let mut fleet =
+//!     Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
+//! let handle = fleet.submit(CountdownJob { name: "count-3".into(), steps: 3 });
+//! fleet.tick(); // one iteration ran; two remain in the live cursor
+//!
+//! let mut registry = JobRegistry::new();
+//! registry.register::<CountdownJob>(); // one registration per job type
+//! let bytes = fleet.checkpoint().to_bytes();
+//! drop(fleet); // the crash
+//!
+//! let revived = FleetCheckpoint::from_bytes(&bytes, &registry).expect("decodes");
+//! let mut fleet = Scheduler::restore(revived);
+//! fleet.run_until_idle();
+//! let report = fleet.report(handle).expect("finished");
+//! assert!(report.outcome.success());
+//! assert_eq!(report.outcome.iterations(), 3); // 1 before the crash + 2 after
+//! assert!(fleet.fleet_report().fleet_book.launches >= 3);
+//! ```
 
 use crate::exec::{
     anneal_tag, read_anneal_job, read_qap_job, read_tabu_job, tabu_tag, AnnealExec, BinaryTabuJob,
@@ -20,6 +191,18 @@ pub struct JobId(pub(crate) u64);
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "job#{}", self.0)
+    }
+}
+
+/// Ids persist as their raw `u64`, so external [`JobCodec`]
+/// implementations can round-trip the identity their executors adopted
+/// at submission (see the module-level example).
+impl Persist for JobId {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(JobId(r.read()?))
     }
 }
 

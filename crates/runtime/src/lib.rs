@@ -26,12 +26,26 @@
 //!   [`PlacePolicy`] (round-robin or least-loaded), charging modeled
 //!   wall-clock through the gpu-sim cost models so fleet makespan and
 //!   per-device utilization come out of one consistent ledger.
-//! * **Launch batching**: queued jobs sharing a problem family and
-//!   neighborhood fuse their per-iteration evaluations into one larger
-//!   simulated launch (driven by
+//! * **Launch batching with stream-overlapped pricing**: queued jobs
+//!   sharing a problem family and neighborhood fuse their per-iteration
+//!   evaluations into one larger simulated launch (driven by
 //!   [`BatchedExplorer`](lnls_core::BatchedExplorer)), amortizing launch
-//!   overhead and PCIe latency — the paper's large-neighborhood effect
-//!   applied across tenants instead of within one search.
+//!   overhead — the paper's large-neighborhood effect applied across
+//!   tenants instead of within one search. Each fused iteration is
+//!   priced as a breadth-first stream schedule under the device's engine
+//!   layout ([`DeviceSpec::engines`](lnls_gpu_sim::DeviceSpec)): on the
+//!   paper's GT200 the makespan equals the serial sum, while multi-engine
+//!   layouts overlap per-lane copies and the fleet clock charges the
+//!   (smaller) makespan. [`FleetReport::stream_overlap_factor`] reports
+//!   the win.
+//! * **On-device argmin selection**: [`SchedulerConfig::selection`]
+//!   (overridable per job via [`JobSpec::with_selection`]) prices the
+//!   readback either as the paper's full `m·8`-byte fitness download
+//!   ([`SelectionMode::HostArgmin`]) or as one extra tree-reduction
+//!   launch plus a single packed `(fitness, index)` record per lane
+//!   ([`SelectionMode::DeviceArgmin`]) — pricing-only, results
+//!   bit-identical; [`FleetReport::d2h_bytes_per_iteration`] shows the
+//!   traffic collapse.
 //! * **Preemption & fair share**: every job — binary tabu and QAP robust
 //!   tabu alike — is a resumable [`SearchCursor`](lnls_core::SearchCursor),
 //!   so with [`SchedulerConfig::quantum_iters`] set, assignments become
@@ -147,6 +161,7 @@ pub use exec::{BatchKey, JobExec, StepRun};
 pub use job::{
     AnnealJob, BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec,
 };
+pub use lnls_gpu_sim::SelectionMode;
 pub use persist::JobRegistry;
 pub use report::{FleetReport, TenantStat};
 pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig};

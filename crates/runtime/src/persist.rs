@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LNLSFLT\x03";
+const MAGIC: &[u8; 8] = b"LNLSFLT\x04";
 
 type Loader = fn(&mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>;
 
@@ -127,6 +127,7 @@ fn write_cfg(cfg: &SchedulerConfig, out: &mut Vec<u8>) {
     cfg.autosave_every_ticks.write(out);
     cfg.autosave_path.as_ref().map(|p| p.to_string_lossy().into_owned()).write(out);
     cfg.telemetry_every_ticks.write(out);
+    cfg.selection.write(out);
 }
 
 fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
@@ -144,6 +145,7 @@ fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
         autosave_every_ticks: r.read()?,
         autosave_path: r.read::<Option<String>>()?.map(std::path::PathBuf::from),
         telemetry_every_ticks: r.read()?,
+        selection: r.read()?,
     })
 }
 
@@ -267,6 +269,9 @@ impl FleetCheckpoint {
         self.preemptions.write(&mut out);
         self.ticks.write(&mut out);
         self.autosaves.write(&mut out);
+        self.iterations_executed.write(&mut out);
+        self.stream_makespan_s.write(&mut out);
+        self.stream_serialized_s.write(&mut out);
         out
     }
 
@@ -355,6 +360,9 @@ impl FleetCheckpoint {
             preemptions: r.read()?,
             ticks: r.read()?,
             autosaves: r.read()?,
+            iterations_executed: r.read()?,
+            stream_makespan_s: r.read()?,
+            stream_serialized_s: r.read()?,
         };
         if r.remaining() != 0 {
             return Err(PersistError::new(format!(

@@ -68,6 +68,19 @@ pub struct FleetReport {
     /// Assignments preempted at a quantum boundary (0 when
     /// `quantum_iters` is off).
     pub preemptions: u64,
+    /// Job-iterations executed across every backend step (each member of
+    /// a fused group counts one per fused launch) — the denominator of
+    /// the bytes-moved-per-iteration headline.
+    pub iterations_executed: u64,
+    /// Cumulative stream-schedule makespan actually charged by device
+    /// steps (seconds): per-iteration launches priced breadth-first
+    /// under each device's engine layout.
+    pub stream_makespan_s: f64,
+    /// What the same device operations would cost executed back-to-back
+    /// on one queue — the synchronous baseline the stream makespan is
+    /// measured against. Equal to [`stream_makespan_s`](Self::stream_makespan_s)
+    /// on single-engine (GT200) layouts.
+    pub stream_serialized_s: f64,
     /// Auto-checkpoints written (see
     /// [`SchedulerConfig::autosave_every_ticks`](crate::SchedulerConfig::autosave_every_ticks)).
     pub autosaves: u64,
@@ -117,6 +130,38 @@ impl FleetReport {
             *by_tenant.entry(t.tenant.clone()).or_insert(0) += 1;
         }
         by_tenant
+    }
+
+    /// Stream-level overlap win of the device launches: serialized cost
+    /// over charged makespan (≥ 1; exactly 1 when nothing overlapped —
+    /// single-engine layouts, or nothing ran on a device).
+    pub fn stream_overlap_factor(&self) -> f64 {
+        if self.stream_makespan_s > 0.0 {
+            self.stream_serialized_s / self.stream_makespan_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean bytes uploaded per executed job-iteration (0 when nothing
+    /// ran on a device).
+    pub fn h2d_bytes_per_iteration(&self) -> f64 {
+        if self.iterations_executed > 0 {
+            self.fleet_book.bytes_h2d as f64 / self.iterations_executed as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean bytes read back per executed job-iteration — the PCIe
+    /// headline [`SelectionMode::DeviceArgmin`](lnls_gpu_sim::SelectionMode)
+    /// exists to shrink (0 when nothing ran on a device).
+    pub fn d2h_bytes_per_iteration(&self) -> f64 {
+        if self.iterations_executed > 0 {
+            self.fleet_book.bytes_d2h as f64 / self.iterations_executed as f64
+        } else {
+            0.0
+        }
     }
 
     /// Fraction of the makespan the average device was busy (0.0 with
@@ -186,10 +231,18 @@ impl fmt::Display for FleetReport {
         for (i, busy) in self.cpu_busy_s.iter().enumerate() {
             writeln!(f, "  cpu{i}: busy {busy:.6}s")?;
         }
-        write!(
+        writeln!(
             f,
             "  batching: {} fused launches, {} launches saved",
             self.fused_launches, self.launches_saved
+        )?;
+        write!(
+            f,
+            "  pcie: {:.0} B up / {:.0} B down per iteration ({} iterations) | stream overlap ×{:.3}",
+            self.h2d_bytes_per_iteration(),
+            self.d2h_bytes_per_iteration(),
+            self.iterations_executed,
+            self.stream_overlap_factor()
         )
     }
 }

@@ -2,12 +2,12 @@
 //! placement, quantum-preemptive fused stepping, cancellation,
 //! iteration budgets and deadlines, checkpointing and auto-checkpoints.
 
-use crate::exec::{BatchKey, JobExec, StepRun};
+use crate::exec::{BatchKey, JobExec};
 use crate::job::{JobHandle, JobId, JobReport, JobStatus};
 use crate::report::{FleetReport, TenantStat};
 use crate::submit::{JobSpec, SearchJob, SubmitCtx};
 use crate::telemetry::{percentile, Telemetry, TickSample};
-use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, TimeBook};
+use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, SelectionMode, TimeBook};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
@@ -51,12 +51,21 @@ pub struct SchedulerConfig {
     pub autosave_path: Option<PathBuf>,
     /// Telemetry cadence: every `n` ticks the scheduler appends one
     /// [`TickSample`](crate::TickSample) (queue depth, running jobs,
-    /// cumulative outcome counters, per-device busy time) to the
-    /// [`Telemetry`](crate::Telemetry) series surfaced through
-    /// [`Scheduler::telemetry`] and [`FleetReport::telemetry`]. `None`
-    /// (the default) records nothing. The series is observational and
-    /// not checkpointed.
+    /// cumulative outcome counters, per-device busy time and cumulative
+    /// PCIe bytes) to the [`Telemetry`](crate::Telemetry) series
+    /// surfaced through [`Scheduler::telemetry`] and
+    /// [`FleetReport::telemetry`]. `None` (the default) records nothing.
+    /// The series is observational and not checkpointed.
     pub telemetry_every_ticks: Option<u64>,
+    /// Fleet-wide best-neighbor selection mode: how evaluated batches'
+    /// readbacks are priced. [`SelectionMode::HostArgmin`] (the default)
+    /// is the paper's loop — the whole fitness array crosses PCIe every
+    /// iteration; [`SelectionMode::DeviceArgmin`] prices an on-device
+    /// reduction launch and shrinks each lane's readback to one packed
+    /// record. Overridable per job with
+    /// [`JobSpec::with_selection`](crate::JobSpec::with_selection).
+    /// Pricing-only: search results are bit-identical under either mode.
+    pub selection: SelectionMode,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +79,7 @@ impl Default for SchedulerConfig {
             autosave_every_ticks: None,
             autosave_path: None,
             telemetry_every_ticks: None,
+            selection: SelectionMode::HostArgmin,
         }
     }
 }
@@ -155,6 +165,15 @@ pub struct Scheduler {
     preemptions: u64,
     ticks: u64,
     autosaves: u64,
+    /// Job-iterations executed across every backend step (fused groups
+    /// count one per member) — the denominator of the bytes-moved-per-
+    /// iteration report.
+    iterations_executed: u64,
+    /// Cumulative stream-schedule makespan charged by device steps.
+    stream_makespan_s: f64,
+    /// What the same device operations would cost back-to-back — the
+    /// stream-overlap baseline.
+    stream_serialized_s: f64,
     telemetry: Option<Telemetry>,
     /// Cumulative outcome counters, bumped as jobs retire — kept so the
     /// per-tick telemetry sample never rescans the done map (which
@@ -190,6 +209,9 @@ impl Scheduler {
             preemptions: 0,
             ticks: 0,
             autosaves: 0,
+            iterations_executed: 0,
+            stream_makespan_s: 0.0,
+            stream_serialized_s: 0.0,
             telemetry,
             completed_count: 0,
             cancelled_count: 0,
@@ -289,11 +311,13 @@ impl Scheduler {
     /// deadline and the checkpoint policy on top of the job itself.
     pub fn submit_spec<J: SearchJob>(&mut self, spec: JobSpec<J>) -> JobHandle {
         let (id, seq) = self.fresh_ids();
-        let JobSpec { job, name, priority, tenant, iter_budget, deadline_s, checkpoint } = spec;
+        let JobSpec { job, name, priority, tenant, iter_budget, deadline_s, checkpoint, selection } =
+            spec;
         let ctx = SubmitCtx {
             id,
             seq,
             host: self.cfg.host.clone(),
+            selection: selection.unwrap_or(self.cfg.selection),
             name_override: name,
             priority_override: priority,
         };
@@ -450,6 +474,7 @@ impl Scheduler {
 
     /// Append one [`TickSample`] of the current fleet state.
     fn sample_telemetry(&mut self) {
+        let books = self.devices.books_sum();
         let sample = TickSample {
             tick: self.ticks,
             now_s: self.now_s(),
@@ -460,6 +485,8 @@ impl Scheduler {
             rejected: self.rejected_count,
             preemptions: self.preemptions,
             device_busy_s: self.clocks[..self.devices.len()].to_vec(),
+            bytes_h2d: books.bytes_h2d,
+            bytes_d2h: books.bytes_d2h,
         };
         if let Some(t) = self.telemetry.as_mut() {
             t.push(sample);
@@ -750,10 +777,10 @@ impl Scheduler {
             let mut peer_refs: Vec<&mut Box<dyn JobExec>> =
                 peers.iter_mut().map(|a| &mut a.job).collect();
             let lanes = peer_refs.len() as u64 + 1;
-            let seconds = lead[0].job.step_batch(&mut peer_refs, dev);
+            let run = lead[0].job.step_batch(&mut peer_refs, dev);
             self.fused_launches += 1;
             self.launches_saved += lanes - 1;
-            StepRun { iters: 1, seconds }
+            run
         } else if is_device {
             active.jobs[0].job.step_device(self.devices.device_mut(b), quota)
         } else {
@@ -761,6 +788,12 @@ impl Scheduler {
         };
         self.clocks[b] += run.seconds;
         active.slice_used += run.iters;
+        // Fused groups advance every member one iteration per step.
+        self.iterations_executed += run.iters * active.jobs.len() as u64;
+        if is_device {
+            self.stream_makespan_s += run.seconds;
+            self.stream_serialized_s += run.serialized_s;
+        }
 
         // Retire finished members; survivors keep running as a (smaller)
         // group on this backend, or are preempted at the slice boundary.
@@ -869,6 +902,9 @@ impl Scheduler {
             launches_saved: self.launches_saved,
             preemptions: self.preemptions,
             autosaves: self.autosaves,
+            iterations_executed: self.iterations_executed,
+            stream_makespan_s: self.stream_makespan_s,
+            stream_serialized_s: self.stream_serialized_s,
             max_wait_s,
             mean_wait_s,
             max_turnaround_s,
@@ -941,6 +977,9 @@ impl Scheduler {
             preemptions: self.preemptions,
             ticks: self.ticks,
             autosaves: self.autosaves,
+            iterations_executed: self.iterations_executed,
+            stream_makespan_s: self.stream_makespan_s,
+            stream_serialized_s: self.stream_serialized_s,
         }
     }
 
@@ -1007,6 +1046,9 @@ impl Scheduler {
             preemptions: checkpoint.preemptions,
             ticks: checkpoint.ticks,
             autosaves: checkpoint.autosaves,
+            iterations_executed: checkpoint.iterations_executed,
+            stream_makespan_s: checkpoint.stream_makespan_s,
+            stream_serialized_s: checkpoint.stream_serialized_s,
             telemetry,
             completed_count,
             cancelled_count,
@@ -1049,6 +1091,9 @@ pub struct FleetCheckpoint {
     pub(crate) preemptions: u64,
     pub(crate) ticks: u64,
     pub(crate) autosaves: u64,
+    pub(crate) iterations_executed: u64,
+    pub(crate) stream_makespan_s: f64,
+    pub(crate) stream_serialized_s: f64,
 }
 
 impl FleetCheckpoint {

@@ -25,11 +25,12 @@
 use crate::exec::JobExec;
 use crate::job::JobId;
 use lnls_core::persist::{PersistError, Reader};
-use lnls_gpu_sim::HostSpec;
+use lnls_gpu_sim::{HostSpec, SelectionMode};
 
 /// Everything the scheduler grants a job at submission time: identity,
-/// submission order, the host model for CPU-worker pricing, and the
-/// envelope's name/priority overrides.
+/// submission order, the host model for CPU-worker pricing, the
+/// effective [`SelectionMode`] (the scheduler-wide default, or the
+/// envelope's override), and the envelope's name/priority overrides.
 ///
 /// Constructed only by the scheduler; [`SearchJob::into_exec`] receives
 /// it and threads the pieces into the concrete executor.
@@ -37,6 +38,7 @@ pub struct SubmitCtx {
     pub(crate) id: JobId,
     pub(crate) seq: u64,
     pub(crate) host: HostSpec,
+    pub(crate) selection: SelectionMode,
     pub(crate) name_override: Option<String>,
     pub(crate) priority_override: Option<u8>,
 }
@@ -55,6 +57,15 @@ impl SubmitCtx {
     /// Host description for CPU-worker pricing.
     pub fn host(&self) -> &HostSpec {
         &self.host
+    }
+
+    /// The effective selection mode this job's launches are priced
+    /// under: the [`JobSpec`] override when one was given, else the
+    /// scheduler-wide [`SchedulerConfig::selection`](crate::SchedulerConfig::selection).
+    /// Executors whose readback is already a single record per iteration
+    /// (e.g. sampling-style annealing) may ignore it.
+    pub fn selection(&self) -> SelectionMode {
+        self.selection
     }
 
     /// The effective submission name: the [`JobSpec`] override when one
@@ -129,11 +140,13 @@ pub struct JobSpec<J> {
     pub(crate) iter_budget: Option<u64>,
     pub(crate) deadline_s: Option<f64>,
     pub(crate) checkpoint: bool,
+    pub(crate) selection: Option<SelectionMode>,
 }
 
 impl<J: SearchJob> JobSpec<J> {
     /// A default envelope: the job's own name and priority, tenant
-    /// `"default"`, no budget, no deadline, checkpointable.
+    /// `"default"`, no budget, no deadline, checkpointable, the
+    /// scheduler-wide selection mode.
     pub fn new(job: J) -> Self {
         Self {
             job,
@@ -143,6 +156,7 @@ impl<J: SearchJob> JobSpec<J> {
             iter_budget: None,
             deadline_s: None,
             checkpoint: true,
+            selection: None,
         }
     }
 
@@ -180,6 +194,17 @@ impl<J: SearchJob> JobSpec<J> {
     /// best-so-far.
     pub fn with_deadline(mut self, deadline_s: f64) -> Self {
         self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Override the scheduler-wide
+    /// [`SelectionMode`] for this job alone: how its per-iteration
+    /// readback is priced (host-side scan of the whole fitness array vs.
+    /// on-device argmin reduction to one record per lane). Pricing-only —
+    /// the job's search trajectory and result are bit-identical either
+    /// way.
+    pub fn with_selection(mut self, selection: SelectionMode) -> Self {
+        self.selection = Some(selection);
         self
     }
 

@@ -41,6 +41,13 @@ pub struct TickSample {
     pub preemptions: u64,
     /// Busy seconds per device backend at the sample.
     pub device_busy_s: Vec<f64>,
+    /// Bytes uploaded over PCIe so far, summed across devices
+    /// (cumulative).
+    pub bytes_h2d: u64,
+    /// Bytes read back over PCIe so far, summed across devices
+    /// (cumulative) — the series that collapses under
+    /// [`SelectionMode::DeviceArgmin`](lnls_gpu_sim::SelectionMode).
+    pub bytes_d2h: u64,
 }
 
 /// A time series of [`TickSample`]s plus summary accessors.
@@ -173,6 +180,8 @@ mod tests {
             rejected,
             preemptions: 0,
             device_busy_s: vec![0.0],
+            bytes_h2d: 0,
+            bytes_d2h: 0,
         }
     }
 

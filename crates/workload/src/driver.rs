@@ -130,13 +130,17 @@ impl Driver {
     }
 
     fn build_fleet(trace: &Trace) -> Scheduler {
+        // The fleet knobs ride in the trace, so a replayed run prices on
+        // the very engine layout and selection mode it was recorded with.
+        let spec = DeviceSpec::gtx280().with_engines(trace.fleet.engines);
         Scheduler::new(
-            MultiDevice::new_uniform(trace.fleet.devices, DeviceSpec::gtx280()),
+            MultiDevice::new_uniform(trace.fleet.devices, spec),
             SchedulerConfig {
                 cpu_workers: trace.fleet.cpu_workers,
                 max_batch: trace.fleet.max_batch,
                 quantum_iters: trace.fleet.quantum_iters,
                 telemetry_every_ticks: Some(trace.fleet.telemetry_every_ticks),
+                selection: trace.fleet.selection,
                 ..Default::default()
             },
         )

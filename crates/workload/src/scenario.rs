@@ -10,7 +10,8 @@
 //! [`TrafficGen`](crate::TrafficGen)'s job and is deterministic per
 //! `(scenario, seed)`.
 
-use lnls_runtime::AdmissionPolicy;
+use lnls_gpu_sim::EngineConfig;
+use lnls_runtime::{AdmissionPolicy, SelectionMode};
 
 /// How arrivals are spaced over modeled fleet seconds.
 #[derive(Clone, Debug, PartialEq)]
@@ -130,6 +131,14 @@ pub struct FleetProfile {
     pub quantum_iters: Option<u64>,
     /// Telemetry cadence in ticks (scenarios always record).
     pub telemetry_every_ticks: u64,
+    /// Engine layout of every device: GT200 (the paper's part, nothing
+    /// overlaps inside a fused iteration) or a multi-engine layout whose
+    /// stream schedules overlap per-lane copies.
+    pub engines: EngineConfig,
+    /// Fleet-wide best-neighbor selection mode (host scan vs. on-device
+    /// argmin) — pricing-only; see
+    /// [`SchedulerConfig::selection`](lnls_runtime::SchedulerConfig::selection).
+    pub selection: SelectionMode,
 }
 
 impl Default for FleetProfile {
@@ -140,6 +149,8 @@ impl Default for FleetProfile {
             max_batch: 4,
             quantum_iters: Some(8),
             telemetry_every_ticks: 1,
+            engines: EngineConfig::gt200(),
+            selection: SelectionMode::HostArgmin,
         }
     }
 }
@@ -175,6 +186,17 @@ impl Scenario {
     #[must_use]
     pub fn scaled(mut self, factor: f64) -> Self {
         self.jobs = ((self.jobs as f64 * factor).round() as u64).max(1);
+        self
+    }
+
+    /// The same traffic on a fleet with a different engine layout and
+    /// selection mode — how the benches sweep the overlap/argmin knobs
+    /// across the catalog without redefining scenarios. Pricing-only:
+    /// arrivals and search results are unchanged.
+    #[must_use]
+    pub fn with_fleet_knobs(mut self, engines: EngineConfig, selection: SelectionMode) -> Self {
+        self.fleet.engines = engines;
+        self.fleet.selection = selection;
         self
     }
 

@@ -16,7 +16,7 @@ use std::io;
 use std::path::Path;
 
 /// Magic prefix of a trace file (`LNLSTRC` + format version).
-const MAGIC: &[u8; 8] = b"LNLSTRC\x01";
+const MAGIC: &[u8; 8] = b"LNLSTRC\x02";
 
 /// A recorded (or freshly lowered) run: everything
 /// [`Driver::replay`](crate::Driver::replay) needs, self-contained.
@@ -102,6 +102,8 @@ impl Persist for FleetProfile {
         self.max_batch.write(out);
         self.quantum_iters.write(out);
         self.telemetry_every_ticks.write(out);
+        self.engines.write(out);
+        self.selection.write(out);
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(Self {
@@ -110,6 +112,8 @@ impl Persist for FleetProfile {
             max_batch: r.read()?,
             quantum_iters: r.read()?,
             telemetry_every_ticks: r.read()?,
+            engines: r.read()?,
+            selection: r.read()?,
         })
     }
 }

@@ -10,8 +10,9 @@
 //!
 //! ```text
 //! cargo run --release --example fleet_service
-//! LNLS_QUANTUM=8 cargo run --release --example fleet_service      # pick the slice
-//! LNLS_QUEUE_CAP=6 cargo run --release --example fleet_service    # admission cap
+//! LNLS_QUANTUM=8 cargo run --release --example fleet_service         # pick the slice
+//! LNLS_QUEUE_CAP=6 cargo run --release --example fleet_service       # admission cap
+//! LNLS_SELECTION=device cargo run --release --example fleet_service  # on-device argmin
 //! ```
 
 use lnls::core::{BitString, SearchConfig, SimulatedAnnealing, TabuSearch};
@@ -88,7 +89,14 @@ fn main() {
     let quantum: u64 = std::env::var("LNLS_QUANTUM").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
     let queue_cap: Option<usize> =
         std::env::var("LNLS_QUEUE_CAP").ok().and_then(|v| v.parse().ok());
-    println!("=== lnls fleet service: 18 jobs, 2×GTX 280 + 2 CPU workers ===\n");
+    // LNLS_SELECTION=device prices the on-device argmin reduction: one
+    // extra launch per fused iteration, one packed record per lane read
+    // back instead of the whole fitness array. Results are identical.
+    let selection = match std::env::var("LNLS_SELECTION").as_deref() {
+        Ok("device") => SelectionMode::DeviceArgmin,
+        _ => SelectionMode::HostArgmin,
+    };
+    println!("=== lnls fleet service: 18 jobs, 2×GTX 280 + 2 CPU workers ({selection:?}) ===\n");
 
     for (label, policy, max_batch, quantum_iters) in [
         ("round-robin, batching off          ", PlacePolicy::RoundRobin, 1, None),
@@ -103,6 +111,7 @@ fn main() {
                 max_batch,
                 cpu_workers: 2,
                 quantum_iters,
+                selection,
                 ..Default::default()
             },
         );
@@ -110,8 +119,9 @@ fn main() {
         fleet.run_until_idle();
         let r = fleet.fleet_report();
         println!(
-            "{label}: makespan {:>9.4}s  speedup ×{:>5.2}  fused {:>3}  max-wait {:>9.6}s  preempt {:>3}",
-            r.makespan_s, r.speedup_vs_serial, r.fused_launches, r.max_wait_s, r.preemptions
+            "{label}: makespan {:>9.4}s  speedup ×{:>5.2}  fused {:>3}  max-wait {:>9.6}s  preempt {:>3}  d2h {:>7.0} B/iter",
+            r.makespan_s, r.speedup_vs_serial, r.fused_launches, r.max_wait_s, r.preemptions,
+            r.d2h_bytes_per_iteration()
         );
     }
 
@@ -123,7 +133,7 @@ fn main() {
     println!("--- admission control (queue cap {cap}, shed-lowest-priority) ---");
     let fleet = Scheduler::new(
         MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
-        SchedulerConfig { quantum_iters: Some(quantum), ..Default::default() },
+        SchedulerConfig { quantum_iters: Some(quantum), selection, ..Default::default() },
     );
     let mut client = FleetClient::new(fleet, AdmissionPolicy::queue_cap(cap).with_shedding());
     let mut admitted = 0u64;
@@ -158,7 +168,7 @@ fn main() {
     let run_one_device = |quantum_iters| {
         let mut fleet = Scheduler::new(
             MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
-            SchedulerConfig { quantum_iters, ..Default::default() },
+            SchedulerConfig { quantum_iters, selection, ..Default::default() },
         );
         submit_tenants(&mut fleet);
         fleet.run_until_idle();
@@ -179,7 +189,12 @@ fn main() {
     println!("\n--- cancellation ---");
     let mut fleet = Scheduler::new(
         MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
-        SchedulerConfig { cpu_workers: 2, quantum_iters: Some(quantum), ..Default::default() },
+        SchedulerConfig {
+            cpu_workers: 2,
+            quantum_iters: Some(quantum),
+            selection,
+            ..Default::default()
+        },
     );
     let handles = submit_tenants(&mut fleet);
     for _ in 0..5 {
@@ -206,6 +221,7 @@ fn main() {
         SchedulerConfig {
             cpu_workers: 2,
             quantum_iters: Some(quantum),
+            selection,
             autosave_every_ticks: Some(4),
             autosave_path: Some(autosave.clone()),
             ..Default::default()

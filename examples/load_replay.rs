@@ -58,8 +58,18 @@ fn main() {
         );
     }
 
-    println!("\n--- latency percentiles (modeled seconds) ---");
+    println!("\n--- pricing (stream overlap + PCIe traffic) ---");
     let f = &recorded.fleet;
+    println!(
+        "stream overlap ×{:.3} (makespan {:.6}s vs serial {:.6}s) | pcie {:.0} B up / {:.0} B down per iteration",
+        f.stream_overlap_factor(),
+        f.stream_makespan_s,
+        f.stream_serialized_s,
+        f.h2d_bytes_per_iteration(),
+        f.d2h_bytes_per_iteration(),
+    );
+
+    println!("\n--- latency percentiles (modeled seconds) ---");
     println!(
         "wait       p50 {:.6}  p95 {:.6}  p99 {:.6}  max {:.6}",
         f.wait_p50_s, f.wait_p95_s, f.wait_p99_s, f.max_wait_s

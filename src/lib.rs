@@ -60,7 +60,10 @@ pub mod prelude {
         fmt_seconds, GeneralVns, HillClimbing, IteratedLocalSearch, SimulatedAnnealing,
         VariableNeighborhoodSearch,
     };
-    pub use lnls_gpu_sim::{Device, DeviceSpec, ExecMode, HostSpec, LaunchConfig, MultiDevice};
+    pub use lnls_gpu_sim::{
+        Device, DeviceSpec, EngineConfig, ExecMode, HostSpec, LaunchConfig, MultiDevice,
+        SelectionMode,
+    };
     pub use lnls_neighborhood::{
         FlipMove, KHamming, Neighborhood, OneHamming, ThreeHamming, TwoHamming, UnionHamming,
     };

@@ -1,0 +1,160 @@
+//! The pricing-only invariant of the two new fleet knobs: engine layout
+//! (stream overlap) and selection mode (on-device argmin) change what
+//! the simulator *charges*, never what the searches *compute*.
+//!
+//! `DeviceArgmin` must leave every job's best solution, fitness and
+//! iteration count bit-identical to `HostArgmin` while cutting the
+//! modeled D2H traffic per iteration by ≥ 10× at `m ≥ 1024`; a Fermi
+//! engine layout must leave results bit-identical to GT200 while pricing
+//! a fused-batch makespan strictly below the serial sum.
+
+use lnls::prelude::*;
+use lnls::{core::SearchConfig, core::TabuSearch, gpu::DeviceSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 2-Hamming on 46 bits: m = C(46,2) = 1035 ≥ 1024 moves.
+const DIM: usize = 46;
+
+fn job(i: u64, iters: u64) -> BinaryJob<OneMax, KHamming> {
+    let hood = KHamming::new(DIM, 2);
+    let mut rng = StdRng::seed_from_u64(i);
+    let init = BitString::random(&mut rng, DIM);
+    let search =
+        TabuSearch::paper(SearchConfig::budget(iters).with_seed(i).with_target(None), hood.size());
+    BinaryJob::new(format!("tabu-{i}"), OneMax::new(DIM), hood, search, init)
+}
+
+fn run_fleet(
+    selection: SelectionMode,
+    engines: EngineConfig,
+) -> (Vec<(BitString, i64, u64)>, FleetReport) {
+    let mut fleet = Scheduler::with_uniform_fleet(
+        1,
+        DeviceSpec::gtx280().with_engines(engines),
+        SchedulerConfig { max_batch: 4, quantum_iters: Some(4), selection, ..Default::default() },
+    );
+    let handles: Vec<_> = (0..4).map(|i| fleet.submit(job(i, 25))).collect();
+    fleet.run_until_idle();
+    let outcomes = handles
+        .iter()
+        .map(|h| {
+            let r = fleet.report(*h).expect("done").outcome.as_binary().expect("binary");
+            (r.best.clone(), r.best_fitness, r.iterations)
+        })
+        .collect();
+    (outcomes, fleet.fleet_report())
+}
+
+#[test]
+fn device_argmin_is_pricing_only_and_cuts_d2h_10x() {
+    let gt200 = EngineConfig::gt200();
+    let (host_outcomes, host_report) = run_fleet(SelectionMode::HostArgmin, gt200);
+    let (dev_outcomes, dev_report) = run_fleet(SelectionMode::DeviceArgmin, gt200);
+
+    assert_eq!(
+        host_outcomes, dev_outcomes,
+        "DeviceArgmin must never change any job's best solution or fitness"
+    );
+    assert_eq!(host_report.iterations_executed, dev_report.iterations_executed);
+
+    let host_d2h = host_report.d2h_bytes_per_iteration();
+    let dev_d2h = dev_report.d2h_bytes_per_iteration();
+    assert!(
+        host_d2h >= 10.0 * dev_d2h,
+        "m = 1035 ≥ 1024 must cut modeled D2H ≥ 10×: host {host_d2h} B/iter vs device {dev_d2h}"
+    );
+    // Uploads are untouched; the reduction costs extra launches.
+    assert_eq!(host_report.fleet_book.bytes_h2d, dev_report.fleet_book.bytes_h2d);
+    assert!(dev_report.fleet_book.launches > host_report.fleet_book.launches);
+}
+
+#[test]
+fn per_job_selection_override_beats_the_fleet_default() {
+    let mut fleet = Scheduler::with_uniform_fleet(
+        1,
+        DeviceSpec::gtx280(),
+        SchedulerConfig { max_batch: 1, ..Default::default() },
+    );
+    // Fleet default HostArgmin; this job opts into the device reduction.
+    let h = fleet.submit_spec(JobSpec::new(job(7, 10)).with_selection(SelectionMode::DeviceArgmin));
+    fleet.run_until_idle();
+    let report = fleet.fleet_report();
+    let m = KHamming::new(DIM, 2).size();
+    assert!(
+        report.d2h_bytes_per_iteration() < m as f64 * 8.0 / 10.0,
+        "the override must price argmin readbacks: {} B/iter",
+        report.d2h_bytes_per_iteration()
+    );
+    assert!(fleet.report(h).expect("done").outcome.iterations() > 0);
+}
+
+#[test]
+fn selection_override_holds_inside_a_mixed_fused_group() {
+    // Three fleet-default (HostArgmin) jobs fused with one DeviceArgmin
+    // override: the opted-in lane must keep its one-record readback even
+    // though the group leader runs host-side selection.
+    let run = |override_one: bool| {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            DeviceSpec::gtx280(),
+            SchedulerConfig { max_batch: 4, ..Default::default() },
+        );
+        for i in 0..4u64 {
+            let spec = JobSpec::new(job(i, 12));
+            let spec = if override_one && i == 3 {
+                spec.with_selection(SelectionMode::DeviceArgmin)
+            } else {
+                spec
+            };
+            fleet.submit_spec(spec);
+        }
+        fleet.run_until_idle();
+        let outcomes: Vec<i64> = fleet.reports().map(|r| r.outcome.best_fitness()).collect();
+        (outcomes, fleet.fleet_report())
+    };
+    let (host_outcomes, host_report) = run(false);
+    let (mixed_outcomes, mixed_report) = run(true);
+    assert_eq!(host_outcomes, mixed_outcomes, "mixed selection is still pricing-only");
+    assert!(host_report.fused_launches > 0, "the four jobs must fuse");
+    let m = KHamming::new(DIM, 2).size();
+    let saved = host_report.fleet_book.bytes_d2h - mixed_report.fleet_book.bytes_d2h;
+    // Every fused iteration of the opted-in lane replaces an m·8-byte
+    // array with one 8-byte record; at minimum its fused iterations
+    // (12 each for the four equal-budget walks here) must show up.
+    assert!(
+        saved >= 12 * (m * 8 - 8),
+        "the overridden lane must shrink its readbacks: saved only {saved} bytes"
+    );
+    assert!(
+        mixed_report.fleet_book.launches > host_report.fleet_book.launches,
+        "mixed groups price the extra argmin launch"
+    );
+}
+
+#[test]
+fn fermi_layout_is_pricing_only_and_overlaps_fused_batches() {
+    let (gt_outcomes, gt_report) = run_fleet(SelectionMode::HostArgmin, EngineConfig::gt200());
+    let (f_outcomes, f_report) = run_fleet(SelectionMode::HostArgmin, EngineConfig::fermi());
+
+    assert_eq!(gt_outcomes, f_outcomes, "the engine layout must never change search results");
+
+    // GT200: nothing inside a dependent fused iteration can overlap —
+    // the makespan is exactly the serial sum of the scheduled ops.
+    assert!((gt_report.stream_overlap_factor() - 1.0).abs() < 1e-9, "{}", {
+        gt_report.stream_overlap_factor()
+    });
+    // Fermi: the fused 4-lane batches overlap per-lane copies, so the
+    // charged makespan drops strictly below the serial sum.
+    assert!(
+        f_report.stream_overlap_factor() > 1.0 + 1e-9,
+        "fermi fused batches must overlap: ×{}",
+        f_report.stream_overlap_factor()
+    );
+    assert!(
+        f_report.stream_makespan_s < f_report.stream_serialized_s,
+        "fused makespan must beat the serial sum"
+    );
+    // Overlap shows up in the fleet clock too.
+    assert!(f_report.makespan_s < gt_report.makespan_s);
+}

@@ -11,7 +11,7 @@
 
 use lnls::core::{BitString, SearchConfig, TabuSearch};
 use lnls::neighborhood::{Neighborhood, TwoHamming};
-use lnls::prelude::{BinaryJob, DeviceSpec};
+use lnls::prelude::{BinaryJob, DeviceSpec, EngineConfig, SelectionMode};
 use lnls::prelude::{
     Driver, JobSpec, OneMax, Scenario, Scheduler, SchedulerConfig, Trace, TrafficGen,
 };
@@ -22,16 +22,23 @@ use rand::SeedableRng;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Any (scenario, seed): record, save the trace to bytes, reload,
-    /// replay — the fleet reports must match bit for bit, and so must
-    /// the driver-side counters.
+    /// Any (scenario, seed) under any combination of the fleet pricing
+    /// knobs — engine layout (GT200 vs. Fermi stream overlap) and
+    /// selection mode (host vs. on-device argmin): record, save the
+    /// trace to bytes, reload, replay — the fleet reports must match bit
+    /// for bit, and so must the driver-side counters.
     #[test]
     fn any_recorded_trace_replays_bit_identically(
         scenario_idx in 0usize..6,
         seed in 0u64..1000,
+        fermi in proptest::prelude::any::<bool>(),
+        device_argmin in proptest::prelude::any::<bool>(),
     ) {
-        let scenario = &Scenario::catalog()[scenario_idx];
-        let (trace, recorded) = Driver::record(scenario, seed);
+        let engines = if fermi { EngineConfig::fermi() } else { EngineConfig::gt200() };
+        let selection =
+            if device_argmin { SelectionMode::DeviceArgmin } else { SelectionMode::HostArgmin };
+        let scenario = Scenario::catalog()[scenario_idx].clone().with_fleet_knobs(engines, selection);
+        let (trace, recorded) = Driver::record(&scenario, seed);
 
         let bytes = trace.to_bytes();
         let reloaded = Trace::from_bytes(&bytes).expect("traces decode");
