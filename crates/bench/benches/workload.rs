@@ -13,7 +13,8 @@
 //! perf trajectory is machine-trackable across PRs.
 
 use lnls_gpu_sim::{EngineConfig, SelectionMode};
-use lnls_workload::{Driver, Scenario};
+use lnls_runtime::RingSink;
+use lnls_workload::{Driver, Scenario, TrafficGen};
 use std::time::Instant;
 
 fn main() {
@@ -115,6 +116,41 @@ fn main() {
             }
         }
     }
+
+    // Observability overhead: the same trace replayed bare, with a
+    // structured event sink, and with a live metrics registry. Reports
+    // are bit-identical by construction (the neutrality proptest pins
+    // that); what this row tracks is the *wall-time* cost of observing.
+    let trace = TrafficGen::lower(&Scenario::saturation().scaled(scale), seed);
+    let wall_of = |label: &str, f: &dyn Fn() -> u64| {
+        let t0 = Instant::now();
+        let events = f();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{label:>20}: {wall:>7.1}ms ({events} events)");
+        wall
+    };
+    println!("\nobservability overhead (saturation, wall-clock):");
+    let bare_ms = wall_of("bare replay", &|| {
+        Driver::replay(&trace);
+        0
+    });
+    let observed_ms = wall_of("ring-sink replay", &|| {
+        let ring = RingSink::unbounded().shared();
+        Driver::replay_observed(&trace, Box::new(ring.clone()));
+        let events = ring.borrow().len() as u64;
+        events
+    });
+    let metered_ms = wall_of("metered replay", &|| {
+        let (_, metrics) = Driver::replay_metered(&trace);
+        metrics.counter("fleet_quanta_total")
+    });
+    json.record(&[
+        ("scenario", "saturation/observability".into()),
+        ("seed", seed.into()),
+        ("bare_replay_ms", bare_ms.into()),
+        ("observed_replay_ms", observed_ms.into()),
+        ("metered_replay_ms", metered_ms.into()),
+    ]);
 
     match json.finish() {
         Ok(path) => println!("\nmachine-readable summary: {}", path.display()),

@@ -167,6 +167,50 @@ impl Schedule {
         ));
         out
     }
+
+    /// Lower the schedule to Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` format `chrome://tracing` and Perfetto
+    /// open directly). Each stream becomes a trace thread named
+    /// `stream {i}`; every copy and kernel becomes a complete (`ph:"X"`)
+    /// span with microsecond timestamps, category `copy` or `compute`,
+    /// and the modeled bytes/seconds as args. Zero-duration event
+    /// bookkeeping ops (`RecordEvent`/`WaitEvent`) are omitted.
+    pub fn chrome_trace_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                "0".to_string()
+            }
+        }
+        let us = |seconds: f64| num(seconds * 1e6);
+        let streams = self.ops.iter().map(|o| o.stream).max().map_or(0, |m| m + 1);
+        let mut events = Vec::new();
+        for i in 0..streams {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{i},\
+                 \"args\":{{\"name\":\"stream {i}\"}}}}"
+            ));
+        }
+        for op in &self.ops {
+            let (name, cat, args) = match op.op {
+                StreamOp::H2D { bytes } => ("H2D", "copy", format!("{{\"bytes\":{bytes}}}")),
+                StreamOp::D2H { bytes } => ("D2H", "copy", format!("{{\"bytes\":{bytes}}}")),
+                StreamOp::Kernel { seconds } => {
+                    ("Kernel", "compute", format!("{{\"seconds\":{}}}", num(seconds)))
+                }
+                StreamOp::RecordEvent(_) | StreamOp::WaitEvent(_) => continue,
+            };
+            events.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":1,\
+                 \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{args}}}",
+                op.stream,
+                us(op.start),
+                us(op.finish - op.start),
+            ));
+        }
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
 }
 
 /// Builder + simulator for a stream schedule on one device.
@@ -505,6 +549,31 @@ mod tests {
         assert!(g.contains("s1 |"));
         assert!(g.contains('U') && g.contains('K'));
         assert!(g.contains("overlap"));
+    }
+
+    #[test]
+    fn chrome_trace_lowers_spans_per_stream() {
+        let s = spec();
+        let mut sim = StreamSim::with_engines(&s, EngineConfig::fermi());
+        let ev = sim.new_event();
+        sim.h2d(0, 1 << 20);
+        sim.record_event(0, ev);
+        sim.wait_event(1, ev);
+        sim.kernel(1, 1e-3);
+        sim.d2h(1, 1 << 16);
+        let json = sim.run().chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"stream 0\""));
+        assert!(json.contains("\"name\":\"stream 1\""));
+        assert!(json.contains("\"name\":\"H2D\"") && json.contains("\"cat\":\"copy\""));
+        assert!(json.contains("\"name\":\"Kernel\"") && json.contains("\"cat\":\"compute\""));
+        assert!(json.contains("\"name\":\"D2H\""));
+        // Event bookkeeping is omitted, and spans carry ph:"X".
+        assert!(!json.contains("RecordEvent") && !json.contains("WaitEvent"));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Deterministic: same schedule, same bytes.
+        assert_eq!(json, sim.run().chrome_trace_json());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! policy on and off.
 
 use crate::job::{JobHandle, JobId, JobReport, JobStatus};
+use crate::observe::{EventSink, FleetEvent, MetricsRegistry, RejectReason};
 use crate::report::FleetReport;
 use crate::scheduler::{FleetCheckpoint, Scheduler};
 use crate::submit::{JobSpec, SearchJob};
@@ -228,6 +229,13 @@ impl FleetClient {
                     Some(id) => victims.push(id),
                     None => {
                         self.rejected_submissions += 1;
+                        if self.fleet.observing() {
+                            self.fleet.emit_event(FleetEvent::Rejected {
+                                job: None,
+                                tenant: tenant.clone(),
+                                reason: RejectReason::TenantQueueFull,
+                            });
+                        }
                         return Err(SubmitError::TenantQueueFull {
                             queued: queued.iter().filter(|q| q.tenant == tenant).count(),
                             tenant,
@@ -243,6 +251,13 @@ impl FleetClient {
                     Some(id) => victims.push(id),
                     None => {
                         self.rejected_submissions += 1;
+                        if self.fleet.observing() {
+                            self.fleet.emit_event(FleetEvent::Rejected {
+                                job: None,
+                                tenant: tenant.clone(),
+                                reason: RejectReason::QueueFull,
+                            });
+                        }
                         return Err(SubmitError::QueueFull { queued: queued.len(), limit });
                     }
                 }
@@ -255,6 +270,9 @@ impl FleetClient {
             self.admitted.remove(&id);
         }
         let handle = self.fleet.submit_spec(spec);
+        if self.fleet.observing() {
+            self.fleet.emit_event(FleetEvent::Admitted { job: handle.id() });
+        }
         self.admitted.insert(handle.id(), Admitted { tenant, priority });
         Ok(handle)
     }
@@ -343,6 +361,40 @@ impl FleetClient {
         let mut report = self.fleet.fleet_report();
         report.jobs_rejected += self.rejected_submissions;
         report
+    }
+
+    /// Attach an event sink (see [`Scheduler::attach_sink`]). Sinks
+    /// attached through the client also see the client-side admission
+    /// events (`Admitted`, outright-bounce `Rejected`).
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.fleet.attach_sink(sink);
+    }
+
+    /// Detach the current event sink, flushed (see
+    /// [`Scheduler::detach_sink`]).
+    pub fn detach_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.fleet.detach_sink()
+    }
+
+    /// Attach a metrics registry (see [`Scheduler::attach_metrics`]).
+    pub fn attach_metrics(&mut self, registry: MetricsRegistry) {
+        self.fleet.attach_metrics(registry);
+    }
+
+    /// Attach a fresh, empty metrics registry (see
+    /// [`Scheduler::enable_metrics`]).
+    pub fn enable_metrics(&mut self) {
+        self.fleet.enable_metrics();
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.fleet.metrics()
+    }
+
+    /// Detach and return the attached metrics registry, if any.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.fleet.take_metrics()
     }
 
     /// The wrapped scheduler.

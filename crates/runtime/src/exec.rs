@@ -74,6 +74,12 @@ pub struct StepRun {
 pub trait JobExec: Send {
     /// The identity assigned at submission.
     fn id(&self) -> JobId;
+    /// Submission name, as the report will carry it — surfaced in the
+    /// observability event stream (`Submitted` events). The default
+    /// covers external executors predating the accessor.
+    fn name(&self) -> &str {
+        ""
+    }
     /// Queue priority (higher = larger fair share).
     fn priority(&self) -> u8;
     /// Submission sequence number (FIFO tie-breaker).
@@ -194,6 +200,10 @@ where
 {
     fn id(&self) -> JobId {
         self.id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn priority(&self) -> u8 {
@@ -503,6 +513,10 @@ impl JobExec for QapJob {
         self.id
     }
 
+    fn name(&self) -> &str {
+        &self.name
+    }
+
     fn priority(&self) -> u8 {
         self.priority
     }
@@ -716,6 +730,10 @@ where
 {
     fn id(&self) -> JobId {
         self.id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn priority(&self) -> u8 {

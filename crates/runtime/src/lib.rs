@@ -79,6 +79,15 @@
 //!   time — surfaced through [`Scheduler::telemetry`] and
 //!   [`FleetReport::telemetry`]; this is the backpressure history the
 //!   `lnls-workload` scenario driver plots and regresses on.
+//! * **Structured observability** ([`observe`](crate::EventSink)): a
+//!   typed [`FleetEvent`] stream (submission through completion, quantum
+//!   by quantum) emitted behind a pluggable [`EventSink`]
+//!   ([`RingSink`] in memory, [`JsonlSink`] to disk), a
+//!   [`MetricsRegistry`] of counters/gauges/log2 histograms with a
+//!   Prometheus-text renderer, per-tenant event analytics
+//!   ([`tenant_summaries`]) and Chrome trace-event export
+//!   ([`chrome_trace`]). Strictly observational: zero-cost when nothing
+//!   is attached, never checkpointed, results bit-identical either way.
 //!
 //! Determinism is a design invariant: evaluation is functional and the
 //! event loop is single-threaded over *modeled* time, so a job's result
@@ -150,6 +159,7 @@
 mod client;
 mod exec;
 mod job;
+mod observe;
 mod persist;
 mod report;
 mod scheduler;
@@ -162,11 +172,15 @@ pub use job::{
     AnnealJob, BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec,
 };
 pub use lnls_gpu_sim::SelectionMode;
+pub use observe::{
+    chrome_trace, tenant_summaries, EventRecord, EventSink, FleetEvent, Histogram, JsonlSink,
+    MetricsRegistry, RejectReason, RingSink, TenantSummary,
+};
 pub use persist::JobRegistry;
 pub use report::{FleetReport, TenantStat};
 pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig};
 pub use submit::{JobCodec, JobSpec, SearchJob, SubmitCtx};
-pub use telemetry::{percentile, Telemetry, TickSample};
+pub use telemetry::{percentile, percentile_sorted, Telemetry, TickSample};
 
 #[cfg(test)]
 mod tests {

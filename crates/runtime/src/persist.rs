@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LNLSFLT\x04";
+const MAGIC: &[u8; 8] = b"LNLSFLT\x05";
 
 type Loader = fn(&mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>;
 
@@ -127,6 +127,7 @@ fn write_cfg(cfg: &SchedulerConfig, out: &mut Vec<u8>) {
     cfg.autosave_every_ticks.write(out);
     cfg.autosave_path.as_ref().map(|p| p.to_string_lossy().into_owned()).write(out);
     cfg.telemetry_every_ticks.write(out);
+    cfg.telemetry_max_samples.write(out);
     cfg.selection.write(out);
 }
 
@@ -145,6 +146,7 @@ fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
         autosave_every_ticks: r.read()?,
         autosave_path: r.read::<Option<String>>()?.map(std::path::PathBuf::from),
         telemetry_every_ticks: r.read()?,
+        telemetry_max_samples: r.read()?,
         selection: r.read()?,
     })
 }

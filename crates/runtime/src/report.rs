@@ -164,6 +164,30 @@ impl FleetReport {
         }
     }
 
+    /// A [`MetricsRegistry`](crate::MetricsRegistry) derived from the
+    /// finished report itself: outcome counters from the `jobs_*`
+    /// fields plus preemptions, and wait/turnaround histograms rebuilt
+    /// from the non-rejected [`tenant_stats`](Self::tenant_stats) rows.
+    /// Useful for exporting Prometheus text from a run that did not
+    /// attach a live registry; live registries additionally carry
+    /// placement, batching, byte, and quantum series the report does
+    /// not retain.
+    pub fn metrics(&self) -> crate::MetricsRegistry {
+        let mut m = crate::MetricsRegistry::new();
+        m.inc_by("fleet_jobs_completed_total", self.jobs_completed);
+        m.inc_by("fleet_jobs_cancelled_total", self.jobs_cancelled);
+        m.inc_by("fleet_jobs_rejected_total", self.jobs_rejected);
+        m.inc_by("fleet_preemptions_total", self.preemptions);
+        m.inc_by("fleet_iterations_total", self.iterations_executed);
+        m.set_gauge("fleet_queue_depth", self.jobs_queued as f64);
+        m.set_gauge("fleet_jobs_running", self.jobs_running as f64);
+        for t in self.tenant_stats.iter().filter(|t| !t.rejected) {
+            m.observe("fleet_wait_seconds", t.wait_s);
+            m.observe("fleet_turnaround_seconds", t.turnaround_s);
+        }
+        m
+    }
+
     /// Fraction of the makespan the average device was busy (0.0 with
     /// no devices or no makespan) — the utilization headline the bench
     /// summaries track.

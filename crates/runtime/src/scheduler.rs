@@ -4,9 +4,10 @@
 
 use crate::exec::{BatchKey, JobExec};
 use crate::job::{JobHandle, JobId, JobReport, JobStatus};
+use crate::observe::{EventRecord, EventSink, FleetEvent, MetricsRegistry, ObserveState};
 use crate::report::{FleetReport, TenantStat};
 use crate::submit::{JobSpec, SearchJob, SubmitCtx};
-use crate::telemetry::{percentile, Telemetry, TickSample};
+use crate::telemetry::{percentile_sorted, Telemetry, TickSample};
 use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, SelectionMode, TimeBook};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
@@ -57,6 +58,15 @@ pub struct SchedulerConfig {
     /// [`FleetReport::telemetry`]. `None` (the default) records nothing.
     /// The series is observational and not checkpointed.
     pub telemetry_every_ticks: Option<u64>,
+    /// Telemetry memory bound: cap the sample series at this many
+    /// entries; on overflow the series is thinned deterministically
+    /// (keep-every-other compaction — see
+    /// [`Telemetry::with_cap`](crate::Telemetry::with_cap)), so long
+    /// saturation runs hold a coarser history in flat memory. `None`
+    /// (the default) keeps every sample. The compaction is a pure
+    /// function of the push sequence, so replayed runs stay
+    /// bit-identical.
+    pub telemetry_max_samples: Option<usize>,
     /// Fleet-wide best-neighbor selection mode: how evaluated batches'
     /// readbacks are priced. [`SelectionMode::HostArgmin`] (the default)
     /// is the paper's loop — the whole fitness array crosses PCIe every
@@ -79,6 +89,7 @@ impl Default for SchedulerConfig {
             autosave_every_ticks: None,
             autosave_path: None,
             telemetry_every_ticks: None,
+            telemetry_max_samples: None,
             selection: SelectionMode::HostArgmin,
         }
     }
@@ -181,6 +192,10 @@ pub struct Scheduler {
     completed_count: u64,
     cancelled_count: u64,
     rejected_count: u64,
+    /// Attached observability (event sink + metrics registry). Strictly
+    /// observational and never checkpointed — a restored fleet starts
+    /// unobserved, like telemetry.
+    observe: ObserveState,
 }
 
 impl Scheduler {
@@ -189,7 +204,8 @@ impl Scheduler {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.quantum_iters != Some(0), "quantum_iters must be at least 1");
         let backends = devices.len() + cfg.cpu_workers;
-        let telemetry = cfg.telemetry_every_ticks.map(|_| Telemetry::new());
+        let telemetry =
+            cfg.telemetry_every_ticks.map(|_| Telemetry::with_cap(cfg.telemetry_max_samples));
         Self {
             devices,
             cfg,
@@ -216,6 +232,7 @@ impl Scheduler {
             completed_count: 0,
             cancelled_count: 0,
             rejected_count: 0,
+            observe: ObserveState::default(),
         }
     }
 
@@ -252,6 +269,66 @@ impl Scheduler {
     /// [`SchedulerConfig::telemetry_every_ticks`] is set.
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.telemetry.as_ref()
+    }
+
+    // -- observability -------------------------------------------------
+
+    /// Attach an event sink: every [`FleetEvent`] from now on is stamped
+    /// with the tick and the modeled fleet clock and handed to `sink`.
+    /// Strictly observational — results are bit-identical with or
+    /// without a sink — and zero-cost while nothing is attached. Sinks
+    /// are never checkpointed; a restored fleet starts unobserved.
+    /// Replaces (and drops) any previously attached sink.
+    pub fn attach_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.observe.sink = Some(sink);
+    }
+
+    /// Detach the current event sink (flushed first), if any.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        let mut sink = self.observe.sink.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    /// Attach a metrics registry: every emitted event is routed through
+    /// [`MetricsRegistry::record`] (before any sink sees it), and the
+    /// tick loop keeps the `fleet_queue_depth` / `fleet_jobs_running`
+    /// gauges current. Observational and never checkpointed.
+    pub fn attach_metrics(&mut self, registry: MetricsRegistry) {
+        self.observe.metrics = Some(registry);
+    }
+
+    /// Convenience: attach a fresh, empty [`MetricsRegistry`].
+    pub fn enable_metrics(&mut self) {
+        self.attach_metrics(MetricsRegistry::new());
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.observe.metrics.as_ref()
+    }
+
+    /// Detach and return the attached metrics registry, if any.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.observe.metrics.take()
+    }
+
+    /// True when a sink or a metrics registry is attached — the
+    /// zero-cost guard emission sites check before building payloads.
+    pub(crate) fn observing(&self) -> bool {
+        self.observe.enabled()
+    }
+
+    /// Stamp `event` with the current tick + fleet clock and feed the
+    /// attached observers (metrics first, then the sink).
+    pub(crate) fn emit_event(&mut self, event: FleetEvent) {
+        if !self.observe.enabled() {
+            return;
+        }
+        let record = EventRecord { tick: self.ticks, now_s: self.now_s(), event };
+        self.observe.emit(record);
     }
 
     /// Identities of the currently queued jobs (one snapshot for
@@ -326,6 +403,12 @@ impl Scheduler {
         if iter_budget.is_some() || deadline_s.is_some() {
             self.policed.insert(id);
         }
+        let submitted_event = self.observing().then(|| FleetEvent::Submitted {
+            job: id,
+            name: exec.name().to_string(),
+            tenant: tenant.clone(),
+            priority: exec.priority(),
+        });
         self.meta.insert(
             id,
             JobMeta {
@@ -338,6 +421,9 @@ impl Scheduler {
             },
         );
         self.queue.push(QueueEntry { job: exec, deficit: 0 });
+        if let Some(event) = submitted_event {
+            self.emit_event(event);
+        }
         JobHandle { id }
     }
 
@@ -469,6 +555,14 @@ impl Scheduler {
                 self.sample_telemetry();
             }
         }
+        if self.observe.metrics.is_some() {
+            let depth = self.queue.len() as f64;
+            let running = self.running_len() as f64;
+            if let Some(m) = self.observe.metrics.as_mut() {
+                m.set_gauge("fleet_queue_depth", depth);
+                m.set_gauge("fleet_jobs_running", running);
+            }
+        }
         progressed || !self.queue.is_empty()
     }
 
@@ -503,7 +597,13 @@ impl Scheduler {
             let _ = std::fs::rename(&path, PathBuf::from(rotated));
         }
         match self.checkpoint().save(&path) {
-            Ok(()) => self.autosaves += 1,
+            Ok(()) => {
+                self.autosaves += 1;
+                if self.observing() {
+                    let pending = (self.queue.len() + self.running_len()) as u64;
+                    self.emit_event(FleetEvent::Checkpointed { pending });
+                }
+            }
             Err(e) => eprintln!("lnls-runtime: autosave to {} failed: {e}", path.display()),
         }
     }
@@ -533,6 +633,7 @@ impl Scheduler {
         let submitted_s = meta.map_or(0.0, |m| m.submitted_s);
         let started_s =
             meta.and_then(|m| m.first_started_s).unwrap_or(submitted_s).max(submitted_s);
+        let backend_label = if self.observing() { backend.clone() } else { String::new() };
         let mut report = job.finish(backend, started_s, at_s.max(started_s));
         report.submitted_s = submitted_s;
         report.cancelled = cancelled;
@@ -546,7 +647,24 @@ impl Scheduler {
         } else {
             self.completed_count += 1;
         }
+        let retire_event = self.observing().then(|| {
+            let (wait_s, turnaround_s) = (report.wait_s(), report.turnaround_s());
+            if rejected {
+                FleetEvent::Rejected {
+                    job: Some(id),
+                    tenant: report.tenant.clone(),
+                    reason: crate::observe::RejectReason::Shed,
+                }
+            } else if cancelled {
+                FleetEvent::Cancelled { job: id, wait_s, turnaround_s }
+            } else {
+                FleetEvent::Completed { job: id, device: backend_label, wait_s, turnaround_s }
+            }
+        });
         self.done.insert(id, report);
+        if let Some(event) = retire_event {
+            self.emit_event(event);
+        }
     }
 
     /// Drain every job in `ids` out of the queue and the active slots,
@@ -719,6 +837,18 @@ impl Scheduler {
                     m.first_started_s.get_or_insert(self.clocks[backend]);
                 }
             }
+            if self.observing() {
+                let device = self.backend_name(backend);
+                for aj in &jobs {
+                    self.emit_event(FleetEvent::Placed {
+                        job: aj.job.id(),
+                        device: device.clone(),
+                    });
+                }
+                if jobs.len() > 1 {
+                    self.emit_event(FleetEvent::BatchFused { device, lanes: jobs.len() as u64 });
+                }
+            }
             self.active[backend] =
                 Some(Active { jobs, started_s: self.clocks[backend], slice_budget, slice_used: 0 });
         }
@@ -749,6 +879,23 @@ impl Scheduler {
             return false;
         };
         let is_device = b < self.devices.len();
+        let observing = self.observing();
+        // Everything the quantum events need, captured before stepping
+        // (device label, lane ids, clock, and the PCIe ledger to diff
+        // against). Only built while observers are attached.
+        let quantum_ctx = observing.then(|| {
+            let device = self.backend_name(b);
+            let jobs: Vec<JobId> = active.jobs.iter().map(|a| a.job.id()).collect();
+            let book = is_device.then(|| self.devices.device(b).book().clone());
+            (device, jobs, self.clocks[b], book)
+        });
+        if let Some((device, jobs, start_s, _)) = quantum_ctx.as_ref() {
+            self.emit_event(FleetEvent::QuantumStart {
+                device: device.clone(),
+                jobs: jobs.clone(),
+                start_s: *start_s,
+            });
+        }
         // Preemptive assignments may burn their whole remaining slice in
         // one call; without a quantum the legacy contract holds — one
         // iteration per tick — so solo jobs stay observable (status,
@@ -794,6 +941,26 @@ impl Scheduler {
             self.stream_makespan_s += run.seconds;
             self.stream_serialized_s += run.serialized_s;
         }
+        if let Some((device, jobs, start_s, book_before)) = quantum_ctx {
+            let (bytes_h2d, bytes_d2h) = match book_before {
+                Some(before) => {
+                    let now = self.devices.device(b).book();
+                    (now.bytes_h2d - before.bytes_h2d, now.bytes_d2h - before.bytes_d2h)
+                }
+                None => (0, 0),
+            };
+            let iters = run.iters * jobs.len() as u64;
+            self.emit_event(FleetEvent::QuantumEnd {
+                device,
+                jobs,
+                iters,
+                makespan_s: run.seconds,
+                start_s,
+                end_s: self.clocks[b],
+                bytes_h2d,
+                bytes_d2h,
+            });
+        }
 
         // Retire finished members; survivors keep running as a (smaller)
         // group on this backend, or are preempted at the slice boundary.
@@ -814,6 +981,11 @@ impl Scheduler {
                 // Preempt: spend each survivor's credit and send it back
                 // through the fair-share queue.
                 self.preemptions += 1;
+                if observing {
+                    let device = self.backend_name(b);
+                    let ids: Vec<JobId> = still.iter().map(|a| a.job.id()).collect();
+                    self.emit_event(FleetEvent::Preempted { device, jobs: ids });
+                }
                 for mut aj in still {
                     aj.job.unplaced();
                     let deficit = aj.deficit.saturating_sub(active.slice_used);
@@ -879,8 +1051,12 @@ impl Scheduler {
         let count = served.len().max(1) as f64;
         let mean_wait_s = served.iter().map(|t| t.wait_s).sum::<f64>() / count;
         let mean_turnaround_s = served.iter().map(|t| t.turnaround_s).sum::<f64>() / count;
-        let waits: Vec<f64> = served.iter().map(|t| t.wait_s).collect();
-        let turnarounds: Vec<f64> = served.iter().map(|t| t.turnaround_s).collect();
+        // Sort once, read three quantiles each — `percentile` would
+        // clone + sort per call (six sorts per report).
+        let mut waits: Vec<f64> = served.iter().map(|t| t.wait_s).collect();
+        waits.sort_by(f64::total_cmp);
+        let mut turnarounds: Vec<f64> = served.iter().map(|t| t.turnaround_s).collect();
+        turnarounds.sort_by(f64::total_cmp);
         let jobs_cancelled = tenant_stats.iter().filter(|t| t.cancelled).count() as u64;
         let jobs_rejected = tenant_stats.iter().filter(|t| t.rejected).count() as u64;
         let jobs_completed = self.done.len() as u64 - jobs_cancelled - jobs_rejected;
@@ -909,12 +1085,12 @@ impl Scheduler {
             mean_wait_s,
             max_turnaround_s,
             mean_turnaround_s,
-            wait_p50_s: percentile(&waits, 0.50),
-            wait_p95_s: percentile(&waits, 0.95),
-            wait_p99_s: percentile(&waits, 0.99),
-            turnaround_p50_s: percentile(&turnarounds, 0.50),
-            turnaround_p95_s: percentile(&turnarounds, 0.95),
-            turnaround_p99_s: percentile(&turnarounds, 0.99),
+            wait_p50_s: percentile_sorted(&waits, 0.50),
+            wait_p95_s: percentile_sorted(&waits, 0.95),
+            wait_p99_s: percentile_sorted(&waits, 0.99),
+            turnaround_p50_s: percentile_sorted(&turnarounds, 0.50),
+            turnaround_p95_s: percentile_sorted(&turnarounds, 0.95),
+            turnaround_p99_s: percentile_sorted(&turnarounds, 0.99),
             tenant_stats,
             fleet_book,
             telemetry: self.telemetry.clone(),
@@ -1003,7 +1179,10 @@ impl Scheduler {
             .collect();
         // Telemetry is observational and not checkpointed: a restored
         // fleet records a fresh series from its inherited tick counter.
-        let telemetry = checkpoint.cfg.telemetry_every_ticks.map(|_| Telemetry::new());
+        let telemetry = checkpoint
+            .cfg
+            .telemetry_every_ticks
+            .map(|_| Telemetry::with_cap(checkpoint.cfg.telemetry_max_samples));
         // The cumulative outcome counters are derivable: one pass over
         // the restored reports (restore is rare; ticks are not).
         let (mut completed_count, mut cancelled_count, mut rejected_count) = (0u64, 0u64, 0u64);
@@ -1053,6 +1232,9 @@ impl Scheduler {
             completed_count,
             cancelled_count,
             rejected_count,
+            // Observability is never checkpointed: the restored fleet
+            // starts unobserved until a sink/registry is re-attached.
+            observe: ObserveState::default(),
         }
     }
 }

@@ -51,9 +51,17 @@ pub struct TickSample {
 }
 
 /// A time series of [`TickSample`]s plus summary accessors.
+///
+/// Long saturation runs can record millions of ticks; a
+/// [`with_cap`](Self::with_cap) bound keeps memory flat by
+/// deterministically thinning the series (keep-every-other compaction)
+/// whenever it outgrows the cap — the surviving samples are a coarser
+/// but faithful history, and the compaction depends only on push count,
+/// so replayed runs thin identically.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Telemetry {
     samples: Vec<TickSample>,
+    max_samples: Option<usize>,
 }
 
 impl Telemetry {
@@ -62,8 +70,34 @@ impl Telemetry {
         Self::default()
     }
 
+    /// An empty series bounded to at most `cap` samples (clamped to a
+    /// floor of 2 so thinning always keeps the endpoints meaningful);
+    /// `None` keeps every sample.
+    pub fn with_cap(cap: Option<usize>) -> Self {
+        Self { samples: Vec::new(), max_samples: cap.map(|c| c.max(2)) }
+    }
+
+    /// The configured sample cap, if any.
+    pub fn max_samples(&self) -> Option<usize> {
+        self.max_samples
+    }
+
     pub(crate) fn push(&mut self, sample: TickSample) {
         self.samples.push(sample);
+        if let Some(cap) = self.max_samples {
+            if self.samples.len() > cap {
+                // Keep-every-other compaction: retain even indices,
+                // halving the series while preserving its oldest sample
+                // and overall shape. Purely a function of push count —
+                // bit-identical across replays.
+                let mut i = 0usize;
+                self.samples.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+            }
+        }
     }
 
     /// The recorded samples, in tick order.
@@ -154,13 +188,23 @@ fn bucket_max(values: &[u64], buckets: usize) -> Vec<u64> {
 
 /// Nearest-rank percentile of an **unsorted** sample set (`q` in
 /// `[0, 1]`); 0.0 for an empty set. Deterministic — the workload replay
-/// proptest compares reports bit for bit.
+/// proptest compares reports bit for bit. Clones and sorts per call:
+/// when reading several quantiles from one set, sort once and use
+/// [`percentile_sorted`].
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, q)
+}
+
+/// Nearest-rank percentile of an **already sorted** (ascending,
+/// `f64::total_cmp` order) sample set — the allocation-free fast path
+/// for reading many quantiles from one series. Same rank arithmetic as
+/// [`percentile`], so the two agree bit for bit.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -220,5 +264,47 @@ mod tests {
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
         // Unsorted input is handled.
         assert_eq!(percentile(&[9.0, 1.0, 5.0], 0.5), 5.0);
+    }
+
+    #[test]
+    fn percentile_sorted_agrees_with_percentile() {
+        let v = [9.0, 1.0, 5.0, 2.0, 8.0, 3.0, 0.5];
+        let mut sorted = v.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&v, q), percentile_sorted(&sorted, q), "q={q}");
+        }
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn capped_series_thins_deterministically_and_stays_bounded() {
+        let cap = 8usize;
+        let mut a = Telemetry::with_cap(Some(cap));
+        let mut b = Telemetry::with_cap(Some(cap));
+        for i in 0..1000u64 {
+            a.push(sample(i, i % 7, 0));
+            b.push(sample(i, i % 7, 0));
+            assert!(a.samples().len() <= cap, "cap must hold at every push");
+        }
+        assert_eq!(a, b, "compaction is a pure function of the push sequence");
+        assert_eq!(a.samples()[0].tick, 0, "the oldest sample survives every halving");
+        let ticks: Vec<u64> = a.samples().iter().map(|s| s.tick).collect();
+        assert!(ticks.windows(2).all(|w| w[0] < w[1]), "order preserved: {ticks:?}");
+
+        // A cap below the floor is clamped, not honored literally.
+        let mut tiny = Telemetry::with_cap(Some(0));
+        for i in 0..10u64 {
+            tiny.push(sample(i, 0, 0));
+        }
+        assert!(tiny.samples().len() <= 2);
+        assert_eq!(tiny.max_samples(), Some(2));
+
+        // Uncapped series keep everything.
+        let mut unbounded = Telemetry::with_cap(None);
+        for i in 0..100u64 {
+            unbounded.push(sample(i, 0, 0));
+        }
+        assert_eq!(unbounded.samples().len(), 100);
     }
 }

@@ -12,7 +12,8 @@ use crate::scenario::Scenario;
 use crate::trace::Trace;
 use lnls_gpu_sim::{DeviceSpec, MultiDevice};
 use lnls_runtime::{
-    FleetCheckpoint, FleetClient, FleetReport, JobRegistry, Scheduler, SchedulerConfig,
+    EventSink, FleetCheckpoint, FleetClient, FleetReport, JobRegistry, MetricsRegistry, Scheduler,
+    SchedulerConfig,
 };
 use std::fmt;
 
@@ -77,8 +78,51 @@ impl Driver {
     /// [`without_checkpoint`](lnls_runtime::JobSpec::without_checkpoint)
     /// are lost there, exactly as a real crash would lose them.
     pub fn replay(trace: &Trace) -> WorkloadReport {
+        Self::run(trace, None, false).0
+    }
+
+    /// [`replay`](Self::replay) with a structured event sink attached:
+    /// every fleet lifecycle event (submissions, rejections, placements,
+    /// quanta, preemptions, completions) flows into `sink`, stamped with
+    /// tick and modeled seconds. Observation is strictly passive — the
+    /// returned report is bit-identical to a bare [`replay`](Self::replay)
+    /// of the same trace. Across a simulated crash the driver detaches
+    /// the sink before dropping the fleet and reattaches it to the
+    /// restored one, so the event stream spans the crash (checkpoints
+    /// never persist observers).
+    pub fn replay_observed(trace: &Trace, sink: Box<dyn EventSink>) -> WorkloadReport {
+        Self::run(trace, Some(sink), false).0
+    }
+
+    /// [`replay`](Self::replay) with a live [`MetricsRegistry`]
+    /// attached, returned alongside the report. Counters in the
+    /// registry match the report's outcome fields (completed, cancelled,
+    /// rejected, preemptions); histograms carry wait/turnaround/quantum
+    /// distributions. Carried across simulated crashes like the event
+    /// sink in [`replay_observed`](Self::replay_observed).
+    pub fn replay_metered(trace: &Trace) -> (WorkloadReport, MetricsRegistry) {
+        let (report, metrics) = Self::run(trace, None, true);
+        (report, metrics.unwrap_or_default())
+    }
+
+    /// The one replay loop every public entry point shares. `sink` and
+    /// `metered` attach observers; both are detached before the
+    /// crash-tick `drop` and reattached after restore, so observation
+    /// never leaks into checkpoint bytes (which would break replay
+    /// bit-identity) and never loses events across the crash.
+    fn run(
+        trace: &Trace,
+        sink: Option<Box<dyn EventSink>>,
+        metered: bool,
+    ) -> (WorkloadReport, Option<MetricsRegistry>) {
         let registry = JobRegistry::with_builtin();
         let mut client = FleetClient::new(Self::build_fleet(trace), trace.admission.clone());
+        if let Some(sink) = sink {
+            client.attach_sink(sink);
+        }
+        if metered {
+            client.enable_metrics();
+        }
         let mut next = 0usize;
         let (mut admitted, mut bounced) = (0u64, 0u64);
         let mut crashes = 0u64;
@@ -103,6 +147,11 @@ impl Driver {
             ticks += 1;
             if trace.crash_at_tick == Some(ticks) {
                 let bytes = client.checkpoint().to_bytes();
+                // Observers survive the crash on the driver side — the
+                // checkpoint never carries them (they are process
+                // artifacts, not fleet state).
+                let saved_sink = client.detach_sink();
+                let saved_metrics = client.take_metrics();
                 drop(client); // the crash: all in-memory state is gone
                 let revived = FleetCheckpoint::from_bytes(&bytes, &registry)
                     .expect("a checkpoint the fleet just wrote must decode");
@@ -111,22 +160,37 @@ impl Driver {
                     trace.admission.clone(),
                     bounced,
                 );
+                if let Some(sink) = saved_sink {
+                    client.attach_sink(sink);
+                }
+                if let Some(metrics) = saved_metrics {
+                    client.attach_metrics(metrics);
+                }
                 crashes += 1;
             }
             if !progressed && next >= trace.arrivals.len() {
                 break;
             }
         }
-        WorkloadReport {
-            scenario: trace.scenario.clone(),
-            seed: trace.seed,
-            submitted: trace.arrivals.len() as u64,
-            admitted,
-            bounced,
-            crashes,
-            ticks,
-            fleet: client.fleet_report(),
+        // Flush the sink before the client goes away so file-backed
+        // sinks are complete the moment the report is in hand.
+        if let Some(mut sink) = client.detach_sink() {
+            sink.flush();
         }
+        let metrics = client.take_metrics();
+        (
+            WorkloadReport {
+                scenario: trace.scenario.clone(),
+                seed: trace.seed,
+                submitted: trace.arrivals.len() as u64,
+                admitted,
+                bounced,
+                crashes,
+                ticks,
+                fleet: client.fleet_report(),
+            },
+            metrics,
+        )
     }
 
     fn build_fleet(trace: &Trace) -> Scheduler {
@@ -140,6 +204,7 @@ impl Driver {
                 max_batch: trace.fleet.max_batch,
                 quantum_iters: trace.fleet.quantum_iters,
                 telemetry_every_ticks: Some(trace.fleet.telemetry_every_ticks),
+                telemetry_max_samples: trace.fleet.telemetry_max_samples,
                 selection: trace.fleet.selection,
                 ..Default::default()
             },

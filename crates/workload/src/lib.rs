@@ -22,6 +22,13 @@
 //!   a [`FleetClient`](lnls_runtime::FleetClient), collects the fleet's
 //!   time-series telemetry, and (for the checkpoint-churn scenario)
 //!   crashes the fleet mid-run and restores it from checkpoint bytes.
+//!   [`Driver::replay_observed`] and [`Driver::replay_metered`] attach
+//!   structured event sinks and a live metrics registry without
+//!   perturbing the replay (reports stay bit-identical).
+//! * **[`WhatIf`]** — trace-diff analytics: replay one recorded trace
+//!   across fleet variants (engine layout × selection mode × device
+//!   count) and tabulate tail wait, rejections, bytes moved and busy
+//!   fraction per variant.
 //!
 //! ## Quickstart
 //!
@@ -49,8 +56,10 @@ mod driver;
 mod scenario;
 mod trace;
 mod traffic;
+mod whatif;
 
 pub use driver::{Driver, WorkloadReport};
 pub use scenario::{ArrivalProcess, Family, FleetProfile, Scenario, TenantProfile};
 pub use trace::Trace;
 pub use traffic::{Arrival, JobRecipe, TrafficGen};
+pub use whatif::{Variant, VariantOutcome, WhatIf, WhatIfReport};

@@ -131,6 +131,10 @@ pub struct FleetProfile {
     pub quantum_iters: Option<u64>,
     /// Telemetry cadence in ticks (scenarios always record).
     pub telemetry_every_ticks: u64,
+    /// Telemetry memory bound: keep at most this many samples per
+    /// series, thinning deterministically (`None` = unbounded); see
+    /// [`SchedulerConfig::telemetry_max_samples`](lnls_runtime::SchedulerConfig::telemetry_max_samples).
+    pub telemetry_max_samples: Option<usize>,
     /// Engine layout of every device: GT200 (the paper's part, nothing
     /// overlaps inside a fused iteration) or a multi-engine layout whose
     /// stream schedules overlap per-lane copies.
@@ -149,6 +153,7 @@ impl Default for FleetProfile {
             max_batch: 4,
             quantum_iters: Some(8),
             telemetry_every_ticks: 1,
+            telemetry_max_samples: None,
             engines: EngineConfig::gt200(),
             selection: SelectionMode::HostArgmin,
         }

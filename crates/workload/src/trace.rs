@@ -16,7 +16,7 @@ use std::io;
 use std::path::Path;
 
 /// Magic prefix of a trace file (`LNLSTRC` + format version).
-const MAGIC: &[u8; 8] = b"LNLSTRC\x02";
+const MAGIC: &[u8; 8] = b"LNLSTRC\x03";
 
 /// A recorded (or freshly lowered) run: everything
 /// [`Driver::replay`](crate::Driver::replay) needs, self-contained.
@@ -102,6 +102,7 @@ impl Persist for FleetProfile {
         self.max_batch.write(out);
         self.quantum_iters.write(out);
         self.telemetry_every_ticks.write(out);
+        self.telemetry_max_samples.write(out);
         self.engines.write(out);
         self.selection.write(out);
     }
@@ -112,6 +113,7 @@ impl Persist for FleetProfile {
             max_batch: r.read()?,
             quantum_iters: r.read()?,
             telemetry_every_ticks: r.read()?,
+            telemetry_max_samples: r.read()?,
             engines: r.read()?,
             selection: r.read()?,
         })

@@ -1,0 +1,262 @@
+//! What-if trace analytics: replay one recorded [`Trace`] across fleet
+//! variants and compare the outcomes.
+//!
+//! A trace pins the traffic — every arrival, its timing, its recipe —
+//! so replaying the *same* trace on a different fleet shape isolates
+//! the fleet knobs' effect exactly (no confounding from regenerated
+//! traffic). [`WhatIf::compare`] runs the as-recorded baseline plus any
+//! number of [`Variant`]s (engine layout, selection mode, device
+//! count) and tabulates tail wait, rejections, bytes moved, and device
+//! busy fraction per variant; [`WhatIf::knob_grid`] builds the standard
+//! sweep the benches and the `trace_diff` example walk.
+
+use crate::trace::Trace;
+use crate::Driver;
+use lnls_gpu_sim::EngineConfig;
+use lnls_runtime::SelectionMode;
+use std::fmt;
+
+/// One fleet-shape override to replay a recorded trace under. Arrivals
+/// and search semantics are untouched; only the pricing/placement knobs
+/// change.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Variant {
+    /// Display name for the comparison table.
+    pub name: String,
+    /// Engine layout of every device.
+    pub engines: EngineConfig,
+    /// Best-neighbor selection mode (host scan vs. on-device argmin).
+    pub selection: SelectionMode,
+    /// Simulated device count.
+    pub devices: usize,
+}
+
+impl Variant {
+    /// A variant keeping the trace's own fleet shape except for the
+    /// given engine layout and selection mode.
+    pub fn knobs(
+        name: impl Into<String>,
+        trace: &Trace,
+        engines: EngineConfig,
+        selection: SelectionMode,
+    ) -> Self {
+        Self { name: name.into(), engines, selection, devices: trace.fleet.devices }
+    }
+}
+
+/// What one variant's replay produced — the comparison columns.
+#[derive(Clone, Debug)]
+pub struct VariantOutcome {
+    /// Variant name (`as-recorded` for the baseline row).
+    pub variant: String,
+    /// 95th-percentile queue wait (modeled seconds).
+    pub wait_p95_s: f64,
+    /// Worst queue wait.
+    pub max_wait_s: f64,
+    /// Fleet makespan.
+    pub makespan_s: f64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Rejections (sheds plus outright bounces).
+    pub rejected: u64,
+    /// Bytes uploaded to devices over the whole run.
+    pub bytes_h2d: u64,
+    /// Bytes read back from devices over the whole run.
+    pub bytes_d2h: u64,
+    /// Mean fraction of the makespan each device was busy.
+    pub busy_fraction: f64,
+}
+
+impl VariantOutcome {
+    fn from_run(variant: impl Into<String>, report: &crate::WorkloadReport) -> Self {
+        let fleet = &report.fleet;
+        Self {
+            variant: variant.into(),
+            wait_p95_s: fleet.wait_p95_s,
+            max_wait_s: fleet.max_wait_s,
+            makespan_s: fleet.makespan_s,
+            completed: fleet.jobs_completed,
+            rejected: fleet.jobs_rejected + report.bounced,
+            bytes_h2d: fleet.fleet_book.bytes_h2d,
+            bytes_d2h: fleet.fleet_book.bytes_d2h,
+            busy_fraction: fleet.mean_device_utilization(),
+        }
+    }
+}
+
+/// The comparative report: one row per replay, baseline first.
+#[derive(Clone, Debug)]
+pub struct WhatIfReport {
+    /// Scenario name of the compared trace.
+    pub scenario: String,
+    /// Lowering seed of the compared trace.
+    pub seed: u64,
+    /// Outcomes, baseline (`as-recorded`) first, then one per variant
+    /// in input order.
+    pub rows: Vec<VariantOutcome>,
+}
+
+impl WhatIfReport {
+    /// The as-recorded baseline row.
+    pub fn baseline(&self) -> &VariantOutcome {
+        &self.rows[0]
+    }
+
+    /// The variant with the lowest p95 wait (the baseline qualifies
+    /// too).
+    pub fn best_by_wait_p95(&self) -> &VariantOutcome {
+        self.rows
+            .iter()
+            .min_by(|a, b| a.wait_p95_s.total_cmp(&b.wait_p95_s))
+            .expect("a report always has its baseline row")
+    }
+}
+
+impl fmt::Display for WhatIfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "what-if '{}' (seed {}): {} replays",
+            self.scenario,
+            self.seed,
+            self.rows.len()
+        )?;
+        writeln!(
+            f,
+            "{:<26} {:>12} {:>12} {:>10} {:>6} {:>6} {:>12} {:>12} {:>6}",
+            "variant",
+            "wait p95 (s)",
+            "makespan (s)",
+            "max wait",
+            "done",
+            "rej",
+            "B up",
+            "B down",
+            "busy"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<26} {:>12.6} {:>12.6} {:>10.6} {:>6} {:>6} {:>12} {:>12} {:>5.0}%",
+                row.variant,
+                row.wait_p95_s,
+                row.makespan_s,
+                row.max_wait_s,
+                row.completed,
+                row.rejected,
+                row.bytes_h2d,
+                row.bytes_d2h,
+                row.busy_fraction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The what-if comparator.
+pub struct WhatIf;
+
+impl WhatIf {
+    /// Replay `trace` as recorded, then once per variant with the
+    /// variant's fleet knobs substituted. Row 0 of the result is always
+    /// the as-recorded baseline. Every replay is a full deterministic
+    /// run of the same arrival stream — comparisons are exact, not
+    /// sampled.
+    pub fn compare(trace: &Trace, variants: &[Variant]) -> WhatIfReport {
+        let baseline = Driver::replay(trace);
+        let mut rows = vec![VariantOutcome::from_run("as-recorded", &baseline)];
+        for v in variants {
+            let mut alt = trace.clone();
+            alt.fleet.engines = v.engines;
+            alt.fleet.selection = v.selection;
+            alt.fleet.devices = v.devices.max(1);
+            let report = Driver::replay(&alt);
+            rows.push(VariantOutcome::from_run(v.name.clone(), &report));
+        }
+        WhatIfReport { scenario: trace.scenario.clone(), seed: trace.seed, rows }
+    }
+
+    /// The standard knob sweep for `trace`: engine layout × selection
+    /// mode (GT200/Fermi × host/device argmin) plus a one-more-device
+    /// fleet — five variants, so a comparison always spans at least
+    /// three meaningfully different replays beyond the baseline.
+    pub fn knob_grid(trace: &Trace) -> Vec<Variant> {
+        let mut grid = vec![
+            Variant::knobs(
+                "gt200/host-argmin",
+                trace,
+                EngineConfig::gt200(),
+                SelectionMode::HostArgmin,
+            ),
+            Variant::knobs(
+                "gt200/device-argmin",
+                trace,
+                EngineConfig::gt200(),
+                SelectionMode::DeviceArgmin,
+            ),
+            Variant::knobs(
+                "fermi/host-argmin",
+                trace,
+                EngineConfig::fermi(),
+                SelectionMode::HostArgmin,
+            ),
+            Variant::knobs(
+                "fermi/device-argmin",
+                trace,
+                EngineConfig::fermi(),
+                SelectionMode::DeviceArgmin,
+            ),
+        ];
+        grid.push(Variant {
+            name: format!("{} devices", trace.fleet.devices + 1),
+            engines: trace.fleet.engines,
+            selection: trace.fleet.selection,
+            devices: trace.fleet.devices + 1,
+        });
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::TrafficGen;
+
+    #[test]
+    fn compare_keeps_the_baseline_first_and_honours_variants() {
+        let trace = TrafficGen::lower(&Scenario::steady(), 7);
+        let report = WhatIf::compare(&trace, &WhatIf::knob_grid(&trace));
+        assert_eq!(report.rows.len(), 6, "baseline + five grid variants");
+        assert_eq!(report.baseline().variant, "as-recorded");
+        // The baseline must be bit-identical to a plain replay.
+        let plain = Driver::replay(&trace);
+        assert_eq!(report.baseline().wait_p95_s.to_bits(), plain.fleet.wait_p95_s.to_bits());
+        assert_eq!(report.baseline().bytes_d2h, plain.fleet.fleet_book.bytes_d2h);
+        // Device-argmin variants must shrink readback traffic.
+        let host = &report.rows[1];
+        let device = &report.rows[2];
+        assert!(
+            device.bytes_d2h < host.bytes_d2h,
+            "on-device argmin must cut D2H bytes: {} vs {}",
+            device.bytes_d2h,
+            host.bytes_d2h
+        );
+        // All work still completes under every pricing-only variant.
+        for row in &report.rows {
+            assert_eq!(row.completed, report.baseline().completed, "{}", row.variant);
+        }
+    }
+
+    #[test]
+    fn display_tabulates_every_row() {
+        let trace = TrafficGen::lower(&Scenario::steady().scaled(0.5), 3);
+        let grid = WhatIf::knob_grid(&trace);
+        let text = WhatIf::compare(&trace, &grid).to_string();
+        assert!(text.contains("as-recorded"), "{text}");
+        for v in &grid {
+            assert!(text.contains(&v.name), "missing row {}: {text}", v.name);
+        }
+        assert!(text.contains("wait p95"), "{text}");
+    }
+}

@@ -13,7 +13,14 @@
 //! LNLS_QUANTUM=8 cargo run --release --example fleet_service         # pick the slice
 //! LNLS_QUEUE_CAP=6 cargo run --release --example fleet_service       # admission cap
 //! LNLS_SELECTION=device cargo run --release --example fleet_service  # on-device argmin
+//! LNLS_TRACE_OUT=/tmp cargo run --release --example fleet_service    # export observability artifacts
 //! ```
+//!
+//! With `LNLS_TRACE_OUT=<dir>` set, one additional observed run writes
+//! three artifacts into the directory: `fleet_events.jsonl` (the
+//! structured event log), `fleet_trace.json` (Chrome trace-event JSON —
+//! open in Perfetto or `chrome://tracing`), and `fleet_metrics.prom`
+//! (Prometheus text exposition).
 
 use lnls::core::{BitString, SearchConfig, SimulatedAnnealing, TabuSearch};
 use lnls::gpu::{DeviceSpec, MultiDevice};
@@ -269,6 +276,54 @@ fn main() {
             report.backend,
             report.started_s,
             report.finished_s,
+        );
+    }
+
+    // Observability export: one more run of the same tenant mix with a
+    // shared event ring and a live metrics registry attached, lowered
+    // into the three artifact files. Attaching observers is passive —
+    // this run prices identically to the unobserved ones above.
+    if let Ok(dir) = std::env::var("LNLS_TRACE_OUT") {
+        println!("\n--- observability export ---");
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create trace output directory");
+        let mut fleet = Scheduler::new(
+            MultiDevice::new_uniform(2, DeviceSpec::gtx280()),
+            SchedulerConfig {
+                cpu_workers: 2,
+                quantum_iters: Some(quantum),
+                selection,
+                ..Default::default()
+            },
+        );
+        let ring = RingSink::unbounded().shared();
+        fleet.attach_sink(Box::new(ring.clone()));
+        fleet.enable_metrics();
+        submit_tenants(&mut fleet);
+        fleet.run_until_idle();
+
+        let records = ring.borrow().records();
+        let events_path = dir.join("fleet_events.jsonl");
+        let mut jsonl = String::new();
+        for record in &records {
+            jsonl.push_str(&record.to_json());
+            jsonl.push('\n');
+        }
+        std::fs::write(&events_path, jsonl).expect("write event log");
+
+        let trace_path = dir.join("fleet_trace.json");
+        std::fs::write(&trace_path, chrome_trace(&records)).expect("write chrome trace");
+
+        let metrics = fleet.take_metrics().expect("metrics were enabled");
+        let prom_path = dir.join("fleet_metrics.prom");
+        std::fs::write(&prom_path, metrics.render_prometheus()).expect("write metrics");
+
+        println!(
+            "wrote {} events to {}, chrome trace to {}, metrics to {}",
+            records.len(),
+            events_path.display(),
+            trace_path.display(),
+            prom_path.display()
         );
     }
 

@@ -2,8 +2,9 @@
 //! submission stream, run it against a simulated fleet under admission
 //! control, print the queue-depth/backpressure time series and latency
 //! percentiles, then save the trace, reload it from disk and replay it
-//! — verifying the replayed `FleetReport` is **bit-identical** to the
-//! recorded one.
+//! through a structured event sink — verifying the replayed
+//! `FleetReport` is **bit-identical** to the recorded one and printing
+//! a per-tenant lifecycle summary rebuilt from the event stream.
 //!
 //! ```text
 //! cargo run --release --example load_replay                       # steady scenario
@@ -90,7 +91,11 @@ fn main() {
     let reloaded = Trace::load(&path).expect("load trace");
     std::fs::remove_file(&path).ok();
     assert_eq!(reloaded, trace, "the trace must survive the disk round-trip unchanged");
-    let replayed = Driver::replay(&reloaded);
+    // Replay through a shared ring sink: observation is passive, so the
+    // replayed report stays bit-identical while the event stream feeds
+    // the per-tenant summary below.
+    let ring = RingSink::unbounded().shared();
+    let replayed = Driver::replay_observed(&reloaded, Box::new(ring.clone()));
     assert_eq!(
         format!("{:?}", replayed.fleet),
         format!("{:?}", recorded.fleet),
@@ -100,6 +105,20 @@ fn main() {
         "\nreplay: trace of {} arrivals saved, reloaded and re-run — FleetReport bit-identical ✓",
         reloaded.arrivals.len()
     );
+
+    // Per-tenant lifecycle, reconstructed purely from the event stream.
+    let events = ring.borrow().records();
+    println!("\n--- per-tenant events ({} records) ---", events.len());
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "tenant", "submitted", "admitted", "rejected", "preempted", "completed", "cancelled"
+    );
+    for t in tenant_summaries(&events) {
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+            t.tenant, t.submitted, t.admitted, t.rejected, t.preempted, t.completed, t.cancelled
+        );
+    }
 
     println!("\n--- final report ---\n{recorded}");
 }

@@ -11,7 +11,13 @@
 //!
 //! ```text
 //! cargo run --release --example streams_overlap
+//! LNLS_TRACE_OUT=/tmp cargo run --release --example streams_overlap  # + Chrome trace export
 //! ```
+//!
+//! With `LNLS_TRACE_OUT=<dir>` set, the fermi-layout schedule is also
+//! lowered to `<dir>/streams_trace.json` in Chrome trace-event format
+//! (open in Perfetto or `chrome://tracing` — one row per stream,
+//! overlapped H2D/Kernel/D2H spans).
 
 use lnls::gpu::pipeline::{price_multiwalk_ordered, IssueOrder};
 use lnls::gpu::stream::{EngineConfig, StreamSim};
@@ -67,4 +73,29 @@ fn main() {
         "  breadth-first: serial {:>7.2} s   pipelined {:>7.2} s   speedup x{:.2}",
         r.serial_s, r.pipelined_s, r.speedup
     );
+
+    // --- Chrome trace export (Perfetto / chrome://tracing) --------------
+    if let Ok(dir) = std::env::var("LNLS_TRACE_OUT") {
+        // Re-run the two-round walk interleave on the fermi layout so
+        // the exported spans actually overlap across stream rows.
+        let mut sim = StreamSim::with_engines(&spec, EngineConfig::fermi());
+        for _round in 0..2usize {
+            for walk in 0..4usize {
+                sim.h2d(walk, profile.h2d_bytes);
+                sim.kernel(walk, profile.kernel_seconds);
+                sim.d2h(walk, profile.d2h_bytes);
+            }
+        }
+        let sched = sim.run();
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create trace output directory");
+        let path = dir.join("streams_trace.json");
+        std::fs::write(&path, sched.chrome_trace_json()).expect("write chrome trace");
+        println!(
+            "\nwrote chrome trace to {} ({} ops, overlap x{:.2})",
+            path.display(),
+            sched.ops.len(),
+            sched.overlap_factor()
+        );
+    }
 }

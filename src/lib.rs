@@ -14,8 +14,8 @@
 //! | [`ppp`] | the Permuted Perceptron Problem: instances, objective, incremental evaluation, GPU kernels (paper §IV) |
 //! | [`problems`] | OneMax, QUBO, MAX-3SAT, NK landscapes, Max-Cut, knapsack, Ising — the "binary problems" generality claim, with GPU kernels |
 //! | [`qap`] | the quadratic assignment problem under Taillard's robust tabu search (the paper's reference \[11\]), swap moves flat-indexed by the paper's 2D mapping |
-//! | [`runtime`] | the fleet scheduler: batched multi-tenant search jobs over simulated multi-GPU devices, with checkpoint/resume, time-series telemetry and throughput reporting (§V perspective, scaled out) |
-//! | [`workload`] | the scenario catalog, deterministic traffic generator and record/replay driver that stress-test the runtime |
+//! | [`runtime`] | the fleet scheduler: batched multi-tenant search jobs over simulated multi-GPU devices, with checkpoint/resume, time-series telemetry, structured event tracing, a metrics registry and throughput reporting (§V perspective, scaled out) |
+//! | [`workload`] | the scenario catalog, deterministic traffic generator, record/replay driver and what-if trace analytics that stress-test the runtime |
 //!
 //! ## Quickstart
 //!
@@ -71,9 +71,14 @@ pub mod prelude {
     pub use lnls_problems::{IsingLattice, Knapsack, MaxCut, MaxSat, NkLandscape, OneMax, Qubo};
     pub use lnls_qap::{QapInstance, RobustTabu, RtsConfig, TableEvaluator};
     pub use lnls_runtime::{
-        AdmissionPolicy, AnnealJob, BinaryJob, FleetCheckpoint, FleetClient, FleetReport,
-        JobHandle, JobOutcome, JobRegistry, JobReport, JobSpec, JobStatus, PlacePolicy, QapJobSpec,
-        Scheduler, SchedulerConfig, SearchJob, SubmitError, Telemetry, TenantStat, TickSample,
+        chrome_trace, tenant_summaries, AdmissionPolicy, AnnealJob, BinaryJob, EventRecord,
+        EventSink, FleetCheckpoint, FleetClient, FleetEvent, FleetReport, Histogram, JobHandle,
+        JobOutcome, JobRegistry, JobReport, JobSpec, JobStatus, JsonlSink, MetricsRegistry,
+        PlacePolicy, QapJobSpec, RejectReason, RingSink, Scheduler, SchedulerConfig, SearchJob,
+        SubmitError, Telemetry, TenantStat, TenantSummary, TickSample,
     };
-    pub use lnls_workload::{Driver, Scenario, Trace, TrafficGen, WorkloadReport};
+    pub use lnls_workload::{
+        Driver, Scenario, Trace, TrafficGen, Variant, VariantOutcome, WhatIf, WhatIfReport,
+        WorkloadReport,
+    };
 }
