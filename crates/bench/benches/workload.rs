@@ -117,6 +117,54 @@ fn main() {
         }
     }
 
+    // Span-pipelining sweep: every catalog scenario re-run on a Fermi
+    // layout with multi-iteration fused spans — per-iteration launches
+    // first (pure double-buffered pipelining), then a persistent span
+    // (pipelining plus launch-overhead amortization). Pricing-only
+    // again: the per-iteration column of span 1 is exactly the fermi
+    // row of the knob sweep above.
+    println!(
+        "\n{:>20} {:>18} | {:>12} {:>12} {:>10} {:>12}",
+        "scenario", "span", "makespan(s)", "serial(s)", "iters/span", "ovh-saved(s)"
+    );
+    let span_settings = [
+        (1u64, lnls_gpu_sim::LaunchMode::PerIteration, "span1/per-iter"),
+        (8, lnls_gpu_sim::LaunchMode::PerIteration, "span8/per-iter"),
+        (8, lnls_gpu_sim::LaunchMode::PersistentSpan, "span8/persistent"),
+    ];
+    for scenario in Scenario::catalog() {
+        for (span, mode, label) in span_settings {
+            let scenario = scenario
+                .clone()
+                .scaled(scale)
+                .with_fleet_knobs(EngineConfig::fermi(), SelectionMode::HostArgmin)
+                .with_span_knobs(span, mode);
+            let (_, report) = Driver::record(&scenario, seed);
+            let f = &report.fleet;
+            println!(
+                "{:>20} {:>18} | {:>12.6} {:>12.6} {:>10.2} {:>12.9}",
+                report.scenario,
+                label,
+                f.stream_makespan_s,
+                f.stream_serialized_s,
+                f.mean_span_iterations(),
+                f.launch_overhead_saved_s,
+            );
+            json.record(&[
+                ("scenario", format!("{}/fermi/{label}", report.scenario).into()),
+                ("seed", seed.into()),
+                ("jobs", report.submitted.into()),
+                ("makespan_s", f.makespan_s.into()),
+                ("fused_stream_makespan_s", f.stream_makespan_s.into()),
+                ("fused_serial_sum_s", f.stream_serialized_s.into()),
+                ("stream_overlap_factor", f.stream_overlap_factor().into()),
+                ("spans", f.spans.into()),
+                ("mean_span_iterations", f.mean_span_iterations().into()),
+                ("launch_overhead_saved_s", f.launch_overhead_saved_s.into()),
+            ]);
+        }
+    }
+
     // Observability overhead: the same trace replayed bare, with a
     // structured event sink, and with a live metrics registry. Reports
     // are bit-identical by construction (the neutrality proptest pins

@@ -49,8 +49,8 @@
 use crate::bitstring::BitString;
 use crate::problem::IncrementalEval;
 use lnls_gpu_sim::{
-    argmin_kernel_seconds, price_fused_iteration, transfer_seconds, DeviceSpec, HostSpec,
-    IterationProfile, LaneIo, SelectionMode, TimeBook, ARGMIN_RECORD_BYTES,
+    argmin_kernel_seconds, price_fused_iteration, price_fused_span, transfer_seconds, DeviceSpec,
+    HostSpec, IterationProfile, LaneIo, LaunchMode, SelectionMode, TimeBook, ARGMIN_RECORD_BYTES,
 };
 use lnls_neighborhood::Neighborhood;
 use std::time::{Duration, Instant};
@@ -135,6 +135,36 @@ pub struct BatchLane<'a, P: IncrementalEval> {
     pub selection: SelectionMode,
 }
 
+/// What one priced span of fused iterations cost (see
+/// [`BatchedExplorer::finish_span`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct SpanPricing {
+    /// Stream makespan of the whole span (the seconds the fleet clock
+    /// advances by).
+    pub makespan_s: f64,
+    /// Serialized back-to-back cost of the same operations.
+    pub serialized_s: f64,
+    /// Launch overhead amortized away relative to re-launching every
+    /// iteration (nonzero only under [`LaunchMode::PersistentSpan`]).
+    pub overhead_saved_s: f64,
+    /// Fused iterations the span covered.
+    pub iterations: u64,
+    /// Kernel launches actually charged (once per kernel position per
+    /// iteration, or once per kernel position per span when resident).
+    pub launches: u64,
+}
+
+/// In-flight accumulation of one multi-iteration span (between
+/// [`BatchedExplorer::begin_span`] and
+/// [`BatchedExplorer::finish_span`]).
+struct SpanState {
+    mode: LaunchMode,
+    io: Vec<LaneIo>,
+    kernels: Vec<f64>,
+    iterations: u64,
+    host_s: f64,
+}
+
 /// Evaluates the neighborhoods of many co-scheduled walks in one fused
 /// simulated launch. See the module docs for semantics.
 pub struct BatchedExplorer<N: Neighborhood> {
@@ -145,6 +175,7 @@ pub struct BatchedExplorer<N: Neighborhood> {
     lanes_evaluated: u64,
     stream_makespan_s: f64,
     stream_serialized_s: f64,
+    span: Option<SpanState>,
     wall: Duration,
 }
 
@@ -160,6 +191,7 @@ impl<N: Neighborhood> BatchedExplorer<N> {
             lanes_evaluated: 0,
             stream_makespan_s: 0.0,
             stream_serialized_s: 0.0,
+            span: None,
             wall: Duration::ZERO,
         }
     }
@@ -188,6 +220,37 @@ impl<N: Neighborhood> BatchedExplorer<N> {
     /// Returns the modeled device seconds (the makespan) of this fused
     /// iteration.
     pub fn explore_batch<P: IncrementalEval>(&mut self, lanes: &mut [BatchLane<'_, P>]) -> f64 {
+        let (io, kernels, host_s) = self.eval_lanes(lanes);
+        let sched = price_fused_iteration(&self.spec, &io, &kernels);
+
+        // The ledger keeps per-component busy time (its total is the
+        // serialized cost of the ops); the fleet clock advances by the
+        // makespan.
+        self.book.kernel_s += kernels.iter().sum::<f64>();
+        self.book.overhead_s += self.spec.launch_overhead_s * kernels.len() as f64;
+        for lane in io {
+            self.book.h2d_s += transfer_seconds(&self.spec, lane.h2d_bytes);
+            self.book.d2h_s += transfer_seconds(&self.spec, lane.d2h_bytes);
+            self.book.bytes_h2d += lane.h2d_bytes;
+            self.book.bytes_d2h += lane.d2h_bytes;
+        }
+        self.book.launches += kernels.len() as u64;
+        self.book.host_s += host_s;
+        self.fused_launches += 1;
+        self.stream_makespan_s += sched.makespan;
+        self.stream_serialized_s += sched.serialized;
+        sched.makespan
+    }
+
+    /// Functionally evaluate every lane and return the iteration's cost
+    /// shape: per-lane PCIe traffic, the kernel chain, and the summed
+    /// host seconds. Shared by the per-iteration and span paths — the
+    /// fitness vectors are identical either way (fusion and spans are
+    /// pricing-only).
+    fn eval_lanes<P: IncrementalEval>(
+        &mut self,
+        lanes: &mut [BatchLane<'_, P>],
+    ) -> (Vec<LaneIo>, Vec<f64>, f64) {
         assert!(!lanes.is_empty(), "cannot fuse an empty batch");
         let t0 = Instant::now();
         let m = self.hood.size();
@@ -225,27 +288,100 @@ impl<N: Neighborhood> BatchedExplorer<N> {
         if argmin_keys > 0 {
             kernels.push(argmin_kernel_seconds(&self.spec, argmin_keys));
         }
-        let sched = price_fused_iteration(&self.spec, &io, &kernels);
-
-        // The ledger keeps per-component busy time (its total is the
-        // serialized cost of the ops); the fleet clock advances by the
-        // makespan.
-        self.book.kernel_s += kernels.iter().sum::<f64>();
-        self.book.overhead_s += self.spec.launch_overhead_s * kernels.len() as f64;
-        for lane in io {
-            self.book.h2d_s += transfer_seconds(&self.spec, lane.h2d_bytes);
-            self.book.d2h_s += transfer_seconds(&self.spec, lane.d2h_bytes);
-            self.book.bytes_h2d += lane.h2d_bytes;
-            self.book.bytes_d2h += lane.d2h_bytes;
-        }
-        self.book.launches += kernels.len() as u64;
-        self.book.host_s += host_s;
-        self.fused_launches += 1;
         self.lanes_evaluated += lanes.len() as u64;
+        self.wall += t0.elapsed();
+        (io, kernels, host_s)
+    }
+
+    /// Open a multi-iteration span under `mode`. Subsequent
+    /// [`explore_span`](Self::explore_span) calls accumulate iterations;
+    /// [`finish_span`](Self::finish_span) prices them as **one**
+    /// double-buffered stream schedule
+    /// ([`price_fused_span`]) instead of one schedule per iteration.
+    ///
+    /// # Panics
+    /// Panics if a span is already open.
+    pub fn begin_span(&mut self, mode: LaunchMode) {
+        assert!(self.span.is_none(), "a span is already open");
+        self.span = Some(SpanState {
+            mode,
+            io: Vec::new(),
+            kernels: Vec::new(),
+            iterations: 0,
+            host_s: 0.0,
+        });
+    }
+
+    /// Evaluate one iteration of the open span: every lane's fitness
+    /// vector is filled exactly as [`explore_batch`](Self::explore_batch)
+    /// would (bit-identical results), but pricing is deferred to
+    /// [`finish_span`](Self::finish_span). Every iteration of a span
+    /// must share one cost shape — group membership is fixed for the
+    /// span's duration.
+    ///
+    /// # Panics
+    /// Panics if no span is open, or if the iteration's cost shape
+    /// differs from the span's first iteration.
+    pub fn explore_span<P: IncrementalEval>(&mut self, lanes: &mut [BatchLane<'_, P>]) {
+        let (io, kernels, host_s) = self.eval_lanes(lanes);
+        let span = self.span.as_mut().expect("explore_span outside begin_span/finish_span");
+        if span.iterations == 0 {
+            span.io = io;
+            span.kernels = kernels;
+        } else {
+            assert_eq!(span.io, io, "span iterations must share one I/O shape");
+            assert_eq!(span.kernels, kernels, "span iterations must share one kernel chain");
+        }
+        span.iterations += 1;
+        span.host_s += host_s;
+    }
+
+    /// Close the open span: lower its iterations into one breadth-first
+    /// double-buffered stream schedule, charge the ledger, and return
+    /// the pricing. A span that accumulated zero iterations books
+    /// nothing and returns a zeroed [`SpanPricing`].
+    ///
+    /// # Panics
+    /// Panics if no span is open.
+    pub fn finish_span(&mut self) -> SpanPricing {
+        let span = self.span.take().expect("finish_span without begin_span");
+        if span.iterations == 0 {
+            return SpanPricing::default();
+        }
+        let n = span.iterations;
+        let sched = price_fused_span(&self.spec, &span.io, &span.kernels, n as usize, span.mode);
+        let positions = span.kernels.len() as u64;
+        let (launches, overhead_saved_s) = match span.mode {
+            LaunchMode::PerIteration => (positions * n, 0.0),
+            LaunchMode::PersistentSpan => {
+                (positions, (n - 1) as f64 * positions as f64 * self.spec.launch_overhead_s)
+            }
+        };
+        self.book.kernel_s += span.kernels.iter().sum::<f64>() * n as f64;
+        self.book.overhead_s += self.spec.launch_overhead_s * launches as f64;
+        for lane in &span.io {
+            self.book.h2d_s += transfer_seconds(&self.spec, lane.h2d_bytes) * n as f64;
+            self.book.d2h_s += transfer_seconds(&self.spec, lane.d2h_bytes) * n as f64;
+            self.book.bytes_h2d += lane.h2d_bytes * n;
+            self.book.bytes_d2h += lane.d2h_bytes * n;
+        }
+        self.book.launches += launches;
+        self.book.host_s += span.host_s;
+        // One fused launch per charged kernel-chain issue: a persistent
+        // span issues once for all its iterations.
+        self.fused_launches += match span.mode {
+            LaunchMode::PerIteration => n,
+            LaunchMode::PersistentSpan => 1,
+        };
         self.stream_makespan_s += sched.makespan;
         self.stream_serialized_s += sched.serialized;
-        self.wall += t0.elapsed();
-        sched.makespan
+        SpanPricing {
+            makespan_s: sched.makespan,
+            serialized_s: sched.serialized,
+            overhead_saved_s,
+            iterations: n,
+            launches,
+        }
     }
 
     /// Accumulated fused-launch ledger.
@@ -470,6 +606,107 @@ mod tests {
         assert_eq!(host_book.launches, 1);
         assert!(dev_book.kernel_s > host_book.kernel_s, "the reduction costs kernel time");
         assert_eq!(dev_book.bytes_h2d, host_book.bytes_h2d, "uploads unchanged");
+    }
+
+    #[test]
+    fn span_results_match_per_iteration_and_amortize_overhead() {
+        use lnls_gpu_sim::EngineConfig;
+        let spec = DeviceSpec::gtx280().with_engines(EngineConfig::fermi());
+        let hood = TwoHamming::new(24);
+        let prof = profile(&spec, hood.size());
+        let p = ZeroCount { n: 24 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let s1 = BitString::random(&mut rng, 24);
+        let s2 = BitString::random(&mut rng, 24);
+        let n_iters = 4;
+
+        // Reference: n per-iteration fused launches.
+        let run_per_iteration = || {
+            let mut batch = BatchedExplorer::new(hood, spec.clone());
+            let mut st1 = p.init_state(&s1);
+            let mut st2 = p.init_state(&s2);
+            let (mut o1, mut o2) = (Vec::new(), Vec::new());
+            let mut total = 0.0;
+            for _ in 0..n_iters {
+                let mut lanes = [
+                    BatchLane {
+                        problem: &p,
+                        s: &s1,
+                        state: &mut st1,
+                        out: &mut o1,
+                        profile: prof,
+                        selection: SelectionMode::HostArgmin,
+                    },
+                    BatchLane {
+                        problem: &p,
+                        s: &s2,
+                        state: &mut st2,
+                        out: &mut o2,
+                        profile: prof,
+                        selection: SelectionMode::HostArgmin,
+                    },
+                ];
+                total += batch.explore_batch(&mut lanes);
+            }
+            (total, o1, o2, batch.book().clone())
+        };
+        let run_span = |mode: LaunchMode| {
+            let mut batch = BatchedExplorer::new(hood, spec.clone());
+            let mut st1 = p.init_state(&s1);
+            let mut st2 = p.init_state(&s2);
+            let (mut o1, mut o2) = (Vec::new(), Vec::new());
+            batch.begin_span(mode);
+            for _ in 0..n_iters {
+                let mut lanes = [
+                    BatchLane {
+                        problem: &p,
+                        s: &s1,
+                        state: &mut st1,
+                        out: &mut o1,
+                        profile: prof,
+                        selection: SelectionMode::HostArgmin,
+                    },
+                    BatchLane {
+                        problem: &p,
+                        s: &s2,
+                        state: &mut st2,
+                        out: &mut o2,
+                        profile: prof,
+                        selection: SelectionMode::HostArgmin,
+                    },
+                ];
+                batch.explore_span(&mut lanes);
+            }
+            let pricing = batch.finish_span();
+            (pricing, o1, o2, batch.book().clone())
+        };
+
+        let (per_total, ref_o1, ref_o2, per_book) = run_per_iteration();
+        let (span, s_o1, s_o2, span_book) = run_span(LaunchMode::PerIteration);
+        let (resident, r_o1, r_o2, resident_book) = run_span(LaunchMode::PersistentSpan);
+
+        // Pricing-only: fitness vectors identical on every path.
+        assert_eq!((&s_o1, &s_o2), (&ref_o1, &ref_o2));
+        assert_eq!((&r_o1, &r_o2), (&ref_o1, &ref_o2));
+
+        assert_eq!(span.iterations, n_iters as u64);
+        assert!(
+            span.makespan_s < per_total - 1e-12,
+            "pipelined span {} must beat {} per-iteration launches ({per_total})",
+            span.makespan_s,
+            n_iters
+        );
+        assert!(resident.makespan_s < span.makespan_s);
+        let amortized = (n_iters - 1) as f64 * spec.launch_overhead_s;
+        assert!((resident.overhead_saved_s - amortized).abs() < 1e-15);
+        assert!((span_book.overhead_s - resident_book.overhead_s - amortized).abs() < 1e-15);
+        // The ledger's component totals are unchanged by spanning —
+        // bytes and kernel seconds move identically.
+        assert_eq!(span_book.bytes_h2d, per_book.bytes_h2d);
+        assert_eq!(span_book.bytes_d2h, per_book.bytes_d2h);
+        assert!((span_book.kernel_s - per_book.kernel_s).abs() < 1e-15);
+        assert_eq!(span_book.launches, per_book.launches);
+        assert_eq!(resident_book.launches, 1);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod tabu;
 pub mod vns;
 
 pub use anneal::{AnnealCursor, SimulatedAnnealing};
-pub use batch::{BatchLane, BatchedExplorer, LaneProfile};
+pub use batch::{BatchLane, BatchedExplorer, LaneProfile, SpanPricing};
 pub use bitstring::{zobrist_table, BitString};
 pub use cursor::{DynCursor, ProblemCursor, SearchCursor};
 pub use explore::{Explorer, ParallelCpuExplorer, SequentialExplorer};

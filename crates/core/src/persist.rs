@@ -24,7 +24,7 @@
 use crate::bitstring::BitString;
 use crate::search::{SearchConfig, SearchResult};
 use crate::tabu::{TabuSearch, TabuStrategy};
-use lnls_gpu_sim::{DeviceSpec, EngineConfig, HostSpec, SelectionMode, TimeBook};
+use lnls_gpu_sim::{DeviceSpec, EngineConfig, HostSpec, LaunchMode, SelectionMode, TimeBook};
 use lnls_neighborhood::{FlipMove, KHamming, Neighborhood, OneHamming, ThreeHamming, TwoHamming};
 use rand::rngs::StdRng;
 use std::fmt;
@@ -400,6 +400,22 @@ impl Persist for SelectionMode {
             0 => SelectionMode::HostArgmin,
             1 => SelectionMode::DeviceArgmin,
             b => return Err(PersistError::new(format!("bad selection mode {b}"))),
+        })
+    }
+}
+
+impl Persist for LaunchMode {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            LaunchMode::PerIteration => 0,
+            LaunchMode::PersistentSpan => 1,
+        });
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match u8::read(r)? {
+            0 => LaunchMode::PerIteration,
+            1 => LaunchMode::PersistentSpan,
+            b => return Err(PersistError::new(format!("bad launch mode {b}"))),
         })
     }
 }

@@ -57,6 +57,23 @@ impl EngineConfig {
     }
 }
 
+/// How kernel-launch overhead is charged across the iterations of a
+/// fused span (see [`price_fused_span`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LaunchMode {
+    /// Every iteration re-launches its kernel chain, so launch overhead
+    /// is charged once per kernel per iteration — the paper's
+    /// synchronous loop (§IV.B).
+    #[default]
+    PerIteration,
+    /// A persistent kernel stays resident on the device for the whole
+    /// span: launch overhead is charged once per kernel position for the
+    /// span's *first* iteration only; later iterations are device-side
+    /// loop trips that re-synchronize through events, not fresh
+    /// launches.
+    PersistentSpan,
+}
+
 /// An operation enqueued on a stream.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StreamOp {
@@ -217,7 +234,11 @@ impl Schedule {
 pub struct StreamSim<'a> {
     spec: &'a DeviceSpec,
     engines: EngineConfig,
-    queued: Vec<(usize, StreamOp)>,
+    // (stream, op, overhead-exempt): the flag marks kernels that are
+    // device-side loop trips of a persistent span — they occupy a
+    // compute slot for their modeled seconds but pay no launch
+    // overhead (see `LaunchMode::PersistentSpan`).
+    queued: Vec<(usize, StreamOp, bool)>,
     n_events: usize,
 }
 
@@ -243,39 +264,49 @@ impl<'a> StreamSim<'a> {
 
     /// Enqueue a host→device copy on `stream`.
     pub fn h2d(&mut self, stream: usize, bytes: u64) -> &mut Self {
-        self.queued.push((stream, StreamOp::H2D { bytes }));
+        self.queued.push((stream, StreamOp::H2D { bytes }, false));
         self
     }
 
     /// Enqueue a device→host copy on `stream`.
     pub fn d2h(&mut self, stream: usize, bytes: u64) -> &mut Self {
-        self.queued.push((stream, StreamOp::D2H { bytes }));
+        self.queued.push((stream, StreamOp::D2H { bytes }, false));
         self
     }
 
     /// Enqueue a kernel of `seconds` modeled duration on `stream`.
     pub fn kernel(&mut self, stream: usize, seconds: f64) -> &mut Self {
         assert!(seconds >= 0.0 && seconds.is_finite(), "kernel duration must be finite");
-        self.queued.push((stream, StreamOp::Kernel { seconds }));
+        self.queued.push((stream, StreamOp::Kernel { seconds }, false));
+        self
+    }
+
+    /// Enqueue a kernel that pays no launch overhead: a device-side loop
+    /// trip of an already-resident persistent kernel. Private — reached
+    /// through [`price_fused_span`] with [`LaunchMode::PersistentSpan`].
+    fn kernel_resident(&mut self, stream: usize, seconds: f64) -> &mut Self {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "kernel duration must be finite");
+        self.queued.push((stream, StreamOp::Kernel { seconds }, true));
         self
     }
 
     /// Record `event` on `stream` (fires when all earlier ops of the
     /// stream finish).
     pub fn record_event(&mut self, stream: usize, event: EventId) -> &mut Self {
-        self.queued.push((stream, StreamOp::RecordEvent(event)));
+        self.queued.push((stream, StreamOp::RecordEvent(event), false));
         self
     }
 
     /// Make later ops of `stream` wait until `event` fires.
     pub fn wait_event(&mut self, stream: usize, event: EventId) -> &mut Self {
-        self.queued.push((stream, StreamOp::WaitEvent(event)));
+        self.queued.push((stream, StreamOp::WaitEvent(event), false));
         self
     }
 
-    fn duration_of(&self, op: &StreamOp) -> f64 {
+    fn duration_of(&self, op: &StreamOp, overhead_exempt: bool) -> f64 {
         match *op {
             StreamOp::H2D { bytes } | StreamOp::D2H { bytes } => transfer_seconds(self.spec, bytes),
+            StreamOp::Kernel { seconds } if overhead_exempt => seconds,
             StreamOp::Kernel { seconds } => seconds + self.spec.launch_overhead_s,
             StreamOp::RecordEvent(_) | StreamOp::WaitEvent(_) => 0.0,
         }
@@ -301,11 +332,11 @@ impl<'a> StreamSim<'a> {
         let mut compute_busy = 0.0;
         let mut serialized = 0.0;
 
-        for &(stream, ref op) in &self.queued {
+        for &(stream, ref op, overhead_exempt) in &self.queued {
             if stream >= stream_ready.len() {
                 stream_ready.resize(stream + 1, 0.0);
             }
-            let dur = self.duration_of(op);
+            let dur = self.duration_of(op, overhead_exempt);
             serialized += dur;
             let mut start = stream_ready[stream];
             match *op {
@@ -406,6 +437,105 @@ pub fn price_fused_iteration(spec: &DeviceSpec, lanes: &[LaneIo], kernels: &[f64
         sim.wait_event(stream, done);
         sim.d2h(stream, lane.d2h_bytes);
     }
+    sim.run()
+}
+
+/// Price `n` consecutive fused iterations of the same multi-lane shape
+/// as **one** breadth-first stream/event schedule on `spec` — the
+/// cross-iteration pipelining rung above [`price_fused_iteration`].
+///
+/// Layout (`L = lanes.len()`): each lane uploads on its own stream
+/// `0..L`; the fused kernel chain runs on the dedicated compute stream
+/// `L`; each lane reads back on its own *download* stream `L+1..=2L`.
+/// Downloads ride separate streams from uploads on purpose: per-stream
+/// FIFO order would otherwise re-serialize iteration *k+1*'s H2D behind
+/// iteration *k*'s D2H, defeating the pipeline.
+///
+/// Two cross-iteration effects are modeled:
+///
+/// * **Double-buffered H2D** — two upload buffers per lane, so
+///   iteration *k*'s uploads are event-gated only on *buffer release*:
+///   the completion of iteration *k−2*'s kernel chain (the last consumer
+///   of the re-used buffer), never on any D2H. Iterations 0 and 1 start
+///   uploading immediately.
+/// * **[`LaunchMode`]** — under [`LaunchMode::PerIteration`] every
+///   iteration's kernels pay [`DeviceSpec::launch_overhead_s`] (the
+///   paper's synchronous loop); under [`LaunchMode::PersistentSpan`] the
+///   kernel chain stays resident and only iteration 0 pays it, so the
+///   span amortizes `(n−1)·kernels.len()` launches. Both the makespan
+///   *and* [`Schedule::serialized`] reflect the exemption, keeping
+///   [`Schedule::overlap_factor`] an overlap measure rather than an
+///   amortization measure.
+///
+/// Issue order is the breadth-first software pipeline: iteration
+/// *k+1*'s uploads are **enqueued before** iteration *k*'s readbacks,
+/// so DMA engines (granted in enqueue order) serve the eager uploads
+/// first and the pipeline actually fills. With `n = 1` and
+/// [`LaunchMode::PerIteration`] the makespan and serialized sum equal
+/// [`price_fused_iteration`]'s exactly. Engine contention stays honest:
+/// a GT200 layout's single DMA queue still serializes H2D against D2H,
+/// but the eager issue order lets it overlap the next iteration's
+/// upload against the current kernel — partial pipelining plus launch
+/// amortization — while multi-engine layouts overlap uploads, kernels
+/// and readbacks of adjacent iterations fully.
+///
+/// # Panics
+/// Panics when `lanes` or `kernels` is empty, or when `n == 0`.
+pub fn price_fused_span(
+    spec: &DeviceSpec,
+    lanes: &[LaneIo],
+    kernels: &[f64],
+    n: usize,
+    mode: LaunchMode,
+) -> Schedule {
+    assert!(!lanes.is_empty(), "cannot price an empty fused span");
+    assert!(!kernels.is_empty(), "a fused span launches at least one kernel");
+    assert!(n >= 1, "a span covers at least one iteration");
+    let mut sim = StreamSim::new(spec);
+    let kernel_stream = lanes.len();
+    let download_base = lanes.len() + 1;
+    let mut kernel_done: Vec<EventId> = Vec::with_capacity(n);
+    let enqueue_downloads = |sim: &mut StreamSim<'_>, done: EventId| {
+        for (i, lane) in lanes.iter().enumerate() {
+            sim.wait_event(download_base + i, done);
+            sim.d2h(download_base + i, lane.d2h_bytes);
+        }
+    };
+    for iter in 0..n {
+        let mut uploaded = Vec::with_capacity(lanes.len());
+        for (lane_stream, lane) in lanes.iter().enumerate() {
+            if iter >= 2 {
+                // Buffer release: this iteration re-uses the upload
+                // buffer iteration `iter - 2` consumed.
+                sim.wait_event(lane_stream, kernel_done[iter - 2]);
+            }
+            sim.h2d(lane_stream, lane.h2d_bytes);
+            let ev = sim.new_event();
+            sim.record_event(lane_stream, ev);
+            uploaded.push(ev);
+        }
+        // Eager issue: the previous iteration's readbacks go in *after*
+        // this iteration's uploads so they never hog the DMA queue
+        // ahead of them.
+        if iter >= 1 {
+            enqueue_downloads(&mut sim, kernel_done[iter - 1]);
+        }
+        for ev in uploaded {
+            sim.wait_event(kernel_stream, ev);
+        }
+        let resident = mode == LaunchMode::PersistentSpan && iter > 0;
+        for &seconds in kernels {
+            if resident {
+                sim.kernel_resident(kernel_stream, seconds);
+            } else {
+                sim.kernel(kernel_stream, seconds);
+            }
+        }
+        let done = sim.new_event();
+        sim.record_event(kernel_stream, done);
+        kernel_done.push(done);
+    }
+    enqueue_downloads(&mut sim, kernel_done[n - 1]);
     sim.run()
 }
 
@@ -651,5 +781,84 @@ mod tests {
         sim.kernel(0, 1e-3);
         let sched = sim.run();
         assert!((sched.makespan - (1e-3 + s.launch_overhead_s)).abs() < EPS);
+    }
+
+    #[test]
+    fn span_of_one_matches_fused_iteration() {
+        let s = spec();
+        let lanes =
+            [LaneIo { h2d_bytes: 64, d2h_bytes: 4096 }, LaneIo { h2d_bytes: 128, d2h_bytes: 8192 }];
+        let kernels = [1e-3, 1e-5];
+        let single = price_fused_iteration(&s, &lanes, &kernels);
+        let span = price_fused_span(&s, &lanes, &kernels, 1, LaunchMode::PerIteration);
+        assert!((span.makespan - single.makespan).abs() < EPS);
+        assert!((span.serialized - single.serialized).abs() < EPS);
+    }
+
+    #[test]
+    fn persistent_span_charges_launch_overhead_once() {
+        // Kernel-dominated shape on GT200: transfers (≈12 µs) hide under
+        // the 1 ms kernel chain, so the kernel chain is the critical
+        // path and residency saves exactly (n-1)·kernels·overhead.
+        let s = spec();
+        let lanes = [LaneIo { h2d_bytes: 8, d2h_bytes: 8 }];
+        let kernels = [1e-3, 1e-5];
+        let n = 5;
+        let per = price_fused_span(&s, &lanes, &kernels, n, LaunchMode::PerIteration);
+        let single = price_fused_iteration(&s, &lanes, &kernels);
+        assert!(
+            per.makespan < n as f64 * single.makespan - EPS,
+            "even GT200 overlaps the next upload against the current kernel"
+        );
+        let resident = price_fused_span(&s, &lanes, &kernels, n, LaunchMode::PersistentSpan);
+        let saved = (n - 1) as f64 * kernels.len() as f64 * s.launch_overhead_s;
+        assert!((per.makespan - resident.makespan - saved).abs() < EPS);
+        assert!((per.serialized - resident.serialized - saved).abs() < EPS);
+    }
+
+    #[test]
+    fn fermi_span_pipelines_iterations() {
+        let s = spec().with_engines(EngineConfig::fermi());
+        let lanes = [LaneIo { h2d_bytes: 1 << 16, d2h_bytes: 1 << 16 }; 2];
+        let kernels = [5e-4];
+        let n = 3;
+        let single = price_fused_iteration(&s, &lanes, &kernels);
+        let span = price_fused_span(&s, &lanes, &kernels, n, LaunchMode::PerIteration);
+        assert!(
+            span.makespan < n as f64 * single.makespan - EPS,
+            "cross-iteration pipelining must beat {} back-to-back iterations: {} vs {}",
+            n,
+            span.makespan,
+            n as f64 * single.makespan
+        );
+        let resident = price_fused_span(&s, &lanes, &kernels, n, LaunchMode::PersistentSpan);
+        assert!(resident.makespan < span.makespan + EPS, "residency never hurts");
+    }
+
+    #[test]
+    fn double_buffered_uploads_gate_on_buffer_release_not_d2h() {
+        let s = spec().with_engines(EngineConfig::fermi());
+        let lanes = [LaneIo { h2d_bytes: 1 << 16, d2h_bytes: 1 << 18 }];
+        let sched = price_fused_span(&s, &lanes, &[5e-4], 3, LaunchMode::PerIteration);
+        let uploads: Vec<_> =
+            sched.ops.iter().filter(|o| matches!(o.op, StreamOp::H2D { .. })).collect();
+        let kernels: Vec<_> =
+            sched.ops.iter().filter(|o| matches!(o.op, StreamOp::Kernel { .. })).collect();
+        let downloads: Vec<_> =
+            sched.ops.iter().filter(|o| matches!(o.op, StreamOp::D2H { .. })).collect();
+        assert_eq!((uploads.len(), kernels.len(), downloads.len()), (3, 3, 3));
+        // Iteration 1's upload starts before iteration 0's readback
+        // finishes — gated on the kernel, not the D2H.
+        assert!(uploads[1].start < downloads[0].finish - EPS);
+        // Iteration 2's upload waits for buffer release: iteration 0's
+        // kernel completion.
+        assert!(uploads[2].start >= kernels[0].finish - EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn span_rejects_zero_iterations() {
+        let lanes = [LaneIo { h2d_bytes: 64, d2h_bytes: 64 }];
+        let _ = price_fused_span(&spec(), &lanes, &[1e-3], 0, LaunchMode::PerIteration);
     }
 }

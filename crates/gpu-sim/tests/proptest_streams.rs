@@ -7,7 +7,8 @@
 //! layout (dual copy engines overlap the per-lane transfers).
 
 use lnls_gpu_sim::{
-    price_fused_iteration, transfer_seconds, DeviceSpec, EngineConfig, LaneIo, StreamOp,
+    price_fused_iteration, price_fused_span, transfer_seconds, DeviceSpec, EngineConfig, LaneIo,
+    LaunchMode, StreamOp,
 };
 use proptest::prelude::*;
 
@@ -115,5 +116,74 @@ proptest! {
         for op in sched.ops.iter().filter(|o| matches!(o.op, StreamOp::H2D { .. })) {
             prop_assert!(op.finish <= kernel_start + EPS);
         }
+    }
+
+    /// A multi-iteration span (any engine layout, either launch mode)
+    /// never costs more than the same iterations priced back to back:
+    /// double-buffered uploads and persistent kernels only relax
+    /// constraints. Under `PersistentSpan` the serialized sum drops by
+    /// exactly the amortized launch overheads, and the makespan by at
+    /// most that plus whatever pipelining hides.
+    #[test]
+    fn span_makespan_bounded_by_per_iteration_sum(
+        shapes in lanes_strategy(),
+        kernel_us in 1u64..5_000,
+        argmin_us in 0u64..200,
+        n in 1usize..6,
+        copy_engines in 1usize..4,
+        kernel_slots in 1usize..4,
+    ) {
+        let spec = DeviceSpec::gtx280()
+            .with_engines(EngineConfig { copy_engines, concurrent_kernels: kernel_slots });
+        let lanes: Vec<LaneIo> = shapes
+            .iter()
+            .map(|&(h2d_bytes, d2h_bytes)| LaneIo { h2d_bytes, d2h_bytes })
+            .collect();
+        let mut kernels = vec![kernel_us as f64 * 1e-6];
+        if argmin_us > 0 {
+            kernels.push(argmin_us as f64 * 1e-6);
+        }
+        let single = price_fused_iteration(&spec, &lanes, &kernels);
+        let per = price_fused_span(&spec, &lanes, &kernels, n, LaunchMode::PerIteration);
+        let resident = price_fused_span(&spec, &lanes, &kernels, n, LaunchMode::PersistentSpan);
+        let bound = n as f64 * single.makespan;
+        prop_assert!(
+            per.makespan <= bound + EPS,
+            "span must never exceed per-iteration pricing: {} vs {}",
+            per.makespan,
+            bound
+        );
+        prop_assert!(resident.makespan <= per.makespan + EPS, "residency never hurts");
+        let amortized = (n - 1) as f64 * kernels.len() as f64 * spec.launch_overhead_s;
+        prop_assert!((per.serialized - resident.serialized - amortized).abs() < EPS);
+        prop_assert!(per.makespan - resident.makespan <= amortized + EPS);
+    }
+
+    /// Fermi layout, ≥2 fused lanes, n ≥ 2 iterations: cross-iteration
+    /// pipelining is a *strict* win — the next iteration's uploads
+    /// always overlap something (kernel, readback, or the other lane's
+    /// transfers), so the span beats n back-to-back fused iterations.
+    #[test]
+    fn fermi_multi_iteration_span_strictly_pipelines(
+        h2d in 0u64..1 << 20,
+        d2h in 0u64..1 << 20,
+        kernel_us in 1u64..5_000,
+        n in 2usize..6,
+        persistent in any::<bool>(),
+    ) {
+        let spec = DeviceSpec::gtx280().with_engines(EngineConfig::fermi());
+        let lanes = [LaneIo { h2d_bytes: h2d, d2h_bytes: d2h }; 2];
+        let kernels = [kernel_us as f64 * 1e-6];
+        let mode =
+            if persistent { LaunchMode::PersistentSpan } else { LaunchMode::PerIteration };
+        let single = price_fused_iteration(&spec, &lanes, &kernels);
+        let span = price_fused_span(&spec, &lanes, &kernels, n, mode);
+        prop_assert!(
+            span.makespan < n as f64 * single.makespan - EPS,
+            "a {}-iteration fermi span must strictly pipeline: {} vs {}",
+            n,
+            span.makespan,
+            n as f64 * single.makespan
+        );
     }
 }

@@ -27,7 +27,10 @@ use lnls_core::{
     AnnealCursor, BatchLane, BatchedExplorer, DynCursor, Explorer, IncrementalEval, LaneProfile,
     ProblemCursor, SearchCursor, SequentialExplorer, TabuCursor,
 };
-use lnls_gpu_sim::{transfer_seconds, Device, DeviceSpec, HostSpec, SelectionMode, TimeBook};
+use lnls_gpu_sim::{
+    price_fused_span, transfer_seconds, Device, DeviceSpec, HostSpec, LaneIo, LaunchMode,
+    SelectionMode, TimeBook,
+};
 use lnls_neighborhood::Neighborhood;
 use lnls_qap::{GpuSwapEvaluator, QapInstance, RtsCursor, SwapEvaluator, TableEvaluator};
 use std::any::{Any, TypeId};
@@ -59,6 +62,13 @@ pub struct StepRun {
     /// (single-engine layouts, host steps); the gap is the stream-level
     /// overlap win the fleet report aggregates.
     pub serialized_s: f64,
+    /// Multi-iteration stream spans the step priced (0 for solo and
+    /// host steps, 1 per fused [`JobExec::step_batch`] call).
+    pub spans: u64,
+    /// Launch overhead amortized away by persistent-kernel residency
+    /// relative to re-launching every iteration (nonzero only under
+    /// [`LaunchMode::PersistentSpan`]).
+    pub launch_overhead_saved_s: f64,
 }
 
 /// The type-erased executor contract behind
@@ -101,11 +111,22 @@ pub trait JobExec: Send {
     /// Run up to `quota` iterations on a CPU worker.
     fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun;
 
-    /// One fused iteration covering `self` and `peers` (all sharing this
-    /// job's [`BatchKey`]). Members already finished must not be passed.
-    /// Returns the fused launch's cost (`iters` counts the *group's*
-    /// iterations: one per member walk is implied, reported as 1).
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun;
+    /// Run up to `span_iters` consecutive fused iterations covering
+    /// `self` and `peers` (all sharing this job's [`BatchKey`]), priced
+    /// as **one** breadth-first stream span: iteration `k+1`'s uploads
+    /// are double-buffered against iteration `k`'s kernel, and launch
+    /// overhead is charged per `mode`. Members already finished must not
+    /// be passed, and the span ends early as soon as any member
+    /// finishes — group membership never changes mid-span. `iters`
+    /// reports the iterations *each member* executed (identical across
+    /// the group).
+    fn step_batch(
+        &mut self,
+        peers: &mut [&mut Box<dyn JobExec>],
+        dev: &mut Device,
+        span_iters: u64,
+        mode: LaunchMode,
+    ) -> StepRun;
 
     /// Modeled cost of the work this job has *executed so far* if it had
     /// run solo, launch-per-iteration, on `spec` — the serialized-fleet
@@ -262,7 +283,7 @@ where
         let seconds = bex.stream_makespan_s();
         let serialized_s = bex.stream_serialized_s();
         dev.charge(bex.book());
-        StepRun { iters, seconds, serialized_s }
+        StepRun { iters, seconds, serialized_s, ..StepRun::default() }
     }
 
     fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun {
@@ -281,10 +302,16 @@ where
         let iters =
             self.cursor.step_batch((&*self.problem, &mut ex as &mut dyn Explorer<P>), quota);
         let seconds = prof.host_seconds * iters as f64;
-        StepRun { iters, seconds, serialized_s: seconds }
+        StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
     }
 
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
+    fn step_batch(
+        &mut self,
+        peers: &mut [&mut Box<dyn JobExec>],
+        dev: &mut Device,
+        span_iters: u64,
+        mode: LaunchMode,
+    ) -> StepRun {
         let spec = dev.spec().clone();
         let prof = self.profile(&spec);
         let mut typed: Vec<&mut Self> = peers
@@ -299,46 +326,65 @@ where
 
         // Selection is per lane: each member's effective mode — the
         // fleet default or its own JobSpec override — prices its slice
-        // of the fused readback.
+        // of the fused readback. The span accumulates up to `span_iters`
+        // such iterations and prices them as one double-buffered stream
+        // schedule; the commits in between are pure host work on
+        // already-downloaded fitness, so deferring the pricing changes
+        // nothing the walks can observe.
         let mut bex = BatchedExplorer::new(self.hood.clone(), spec);
-        {
-            let mut lanes: Vec<BatchLane<'_, P>> = Vec::with_capacity(1 + typed.len());
-            let (s, state) = self.cursor.explore_parts();
-            lanes.push(BatchLane {
-                problem: &*self.problem,
-                s,
-                state,
-                out: &mut self.out,
-                profile: prof,
-                selection: self.selection,
-            });
-            for (t, p) in typed.iter_mut().zip(&peer_profiles) {
-                let selection = t.selection;
-                let (s, state) = t.cursor.explore_parts();
+        bex.begin_span(mode);
+        let fused = !typed.is_empty();
+        let budget = span_iters.max(1);
+        let mut iters = 0;
+        loop {
+            {
+                let mut lanes: Vec<BatchLane<'_, P>> = Vec::with_capacity(1 + typed.len());
+                let (s, state) = self.cursor.explore_parts();
                 lanes.push(BatchLane {
-                    problem: &*t.problem,
+                    problem: &*self.problem,
                     s,
                     state,
-                    out: &mut t.out,
-                    profile: *p,
-                    selection,
+                    out: &mut self.out,
+                    profile: prof,
+                    selection: self.selection,
                 });
+                for (t, p) in typed.iter_mut().zip(&peer_profiles) {
+                    let selection = t.selection;
+                    let (s, state) = t.cursor.explore_parts();
+                    lanes.push(BatchLane {
+                        problem: &*t.problem,
+                        s,
+                        state,
+                        out: &mut t.out,
+                        profile: *p,
+                        selection,
+                    });
+                }
+                bex.explore_span(&mut lanes);
             }
-            bex.explore_batch(&mut lanes);
+            self.cursor.select_and_commit(&*self.problem, &self.hood, &self.out);
+            if fused {
+                self.fused_iters += 1;
+            }
+            for t in typed.iter_mut() {
+                t.cursor.select_and_commit(&*t.problem, &t.hood, &t.out);
+                t.fused_iters += 1;
+            }
+            iters += 1;
+            if iters >= budget || self.cursor.is_done() || typed.iter().any(|t| t.cursor.is_done())
+            {
+                break;
+            }
         }
-        let fused = !typed.is_empty();
-        self.cursor.select_and_commit(&*self.problem, &self.hood, &self.out);
-        if fused {
-            self.fused_iters += 1;
-        }
-        for t in typed {
-            t.cursor.select_and_commit(&*t.problem, &t.hood, &t.out);
-            t.fused_iters += 1;
-        }
-        let seconds = bex.stream_makespan_s();
-        let serialized_s = bex.stream_serialized_s();
+        let pricing = bex.finish_span();
         dev.charge(bex.book());
-        StepRun { iters: 1, seconds, serialized_s }
+        StepRun {
+            iters,
+            seconds: pricing.makespan_s,
+            serialized_s: pricing.serialized_s,
+            spans: 1,
+            launch_overhead_saved_s: pricing.overhead_saved_s,
+        }
     }
 
     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
@@ -459,6 +505,16 @@ pub(crate) struct QapJob {
     pub seq: u64,
     pub instance: Arc<QapInstance>,
     pub cursor: RtsCursor,
+    /// The fitness-selection mode the fleet (or a per-job override)
+    /// asked for. The QAP swap path evaluates through the *functional*
+    /// simulated kernel, whose contract is to download the full
+    /// `C(n,2)` delta array — robust tabu inspects every delta for
+    /// aspiration, so there is no argmin launch to substitute.
+    /// [`SelectionMode::DeviceArgmin`] is therefore a documented no-op
+    /// here: the full readback is charged either way (priced honestly,
+    /// never discounted), and the mode is carried so checkpoints and
+    /// what-if sweeps see exactly what was requested.
+    pub selection: SelectionMode,
     /// Device seconds charged so far (serialized-baseline contribution
     /// of the device-resident part of the walk).
     pub charged_s: f64,
@@ -488,6 +544,7 @@ impl QapJob {
             seq: ctx.seq,
             instance: Arc::new(spec.instance),
             cursor,
+            selection: ctx.selection,
             charged_s: 0.0,
             book: TimeBook::default(),
             host_iters: 0,
@@ -564,8 +621,10 @@ impl JobExec for QapJob {
             self.table = None;
         }
         // QAP launches run through the real simulated kernel, a single
-        // dependent chain per iteration — nothing to overlap.
-        StepRun { iters, seconds, serialized_s: seconds }
+        // dependent chain per iteration — nothing to overlap, and
+        // `self.selection` cannot shrink the readback (see the field
+        // docs): the full delta download above is the honest price.
+        StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
     }
 
     fn step_host(&mut self, host: &HostSpec, quota: u64) -> StepRun {
@@ -578,12 +637,18 @@ impl JobExec for QapJob {
         let ops = iters as f64 * m * 10.0;
         let seconds = ops * host.cpi_alu / host.clock_hz;
         self.host_iters += iters;
-        StepRun { iters, seconds, serialized_s: seconds }
+        StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
     }
 
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
+    fn step_batch(
+        &mut self,
+        peers: &mut [&mut Box<dyn JobExec>],
+        dev: &mut Device,
+        span_iters: u64,
+        _mode: LaunchMode,
+    ) -> StepRun {
         assert!(peers.is_empty(), "QAP jobs are unbatchable");
-        self.step_device(dev, 1)
+        self.step_device(dev, span_iters.max(1))
     }
 
     fn unplaced(&mut self) {
@@ -632,6 +697,7 @@ impl JobExec for QapJob {
             seq: self.seq,
             instance: Arc::clone(&self.instance),
             cursor: self.cursor.clone(),
+            selection: self.selection,
             charged_s: self.charged_s,
             book: self.book.clone(),
             host_iters: self.host_iters,
@@ -649,6 +715,7 @@ impl JobExec for QapJob {
         self.name.write(out);
         self.priority.write(out);
         self.seq.write(out);
+        self.selection.write(out);
         self.charged_s.write(out);
         self.book.write(out);
         self.host_iters.write(out);
@@ -676,7 +743,15 @@ pub(crate) fn anneal_tag<P: PersistTag, N: PersistTag>() -> String {
 /// read one fitness back. On the cost model that is overhead-dominated
 /// (the paper's launch-size argument seen from the other side), which
 /// is exactly what a per-sample GPU annealer costs; CPU workers price
-/// the same evaluation through host CPIs. Annealing jobs never fuse.
+/// the same evaluation through host CPIs.
+///
+/// Same-shape chains **fuse**: annealing jobs sharing a problem family,
+/// dimension and sampling neighborhood report a common [`BatchKey`], so
+/// a group of `L` chains pays one `L`-lane sampled launch per iteration
+/// (one launch overhead for the group) instead of `L` single-lane
+/// launches — the overhead-dominated regime is exactly where that
+/// matters. Sampling stays per chain (each walk draws its own move from
+/// its own RNG), so fusion is pricing-only, like everywhere else.
 pub(crate) struct AnnealExec<P, N>
 where
     P: IncrementalEval + Send + Sync + 'static,
@@ -689,6 +764,8 @@ where
     pub walk: ProblemCursor<P, AnnealCursor<P, N>>,
     pub state_h2d_bytes: u64,
     pub host: HostSpec,
+    /// Iterations executed inside fused (≥ 2 member) launches.
+    pub fused_iters: u64,
 }
 
 impl<P, N> AnnealExec<P, N>
@@ -707,6 +784,7 @@ where
             walk: ProblemCursor::new(Arc::new(spec.problem), cursor),
             state_h2d_bytes,
             host: ctx.host,
+            fused_iters: 0,
         }
     }
 
@@ -753,7 +831,17 @@ where
     }
 
     fn batch_key(&self) -> Option<BatchKey> {
-        None
+        // Chains fuse when they sample the same neighborhood family over
+        // the same problem shape; `hood_size` is 1 — every member
+        // evaluates one sampled move per iteration regardless of how
+        // large the neighborhood it samples from is.
+        Some(BatchKey {
+            type_id: TypeId::of::<Self>(),
+            family: self.walk.problem().name(),
+            dim: self.walk.problem().dim(),
+            hood_size: 1,
+            k: self.walk.cursor().hood().k(),
+        })
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -786,7 +874,7 @@ where
         // Single-neighbor launches are one dependent chain each; the
         // readback is already one record, so [`SelectionMode`] is a
         // no-op here and nothing overlaps.
-        StepRun { iters, seconds, serialized_s: seconds }
+        StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
     }
 
     fn step_host(&mut self, _host: &HostSpec, quota: u64) -> StepRun {
@@ -795,12 +883,84 @@ where
         let prof = self.profile(&DeviceSpec::gtx280());
         let iters = self.walk.step(quota);
         let seconds = prof.host_seconds * iters as f64;
-        StepRun { iters, seconds, serialized_s: seconds }
+        StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
     }
 
-    fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
-        assert!(peers.is_empty(), "annealing jobs are unbatchable");
-        self.step_device(dev, 1)
+    fn step_batch(
+        &mut self,
+        peers: &mut [&mut Box<dyn JobExec>],
+        dev: &mut Device,
+        span_iters: u64,
+        mode: LaunchMode,
+    ) -> StepRun {
+        // Fused annealing: the group's chains each sample one move per
+        // iteration, evaluated as one multi-lane launch — `L` lanes
+        // share a single kernel (work is additive: the fused grid covers
+        // all sampled moves) and a single launch overhead, instead of
+        // paying one launch per chain. Spans then double-buffer the
+        // per-chain state uploads across iterations exactly like the
+        // tabu path.
+        let spec = dev.spec().clone();
+        let mut typed: Vec<&mut Self> = peers
+            .iter_mut()
+            .map(|p| {
+                p.as_any_mut()
+                    .downcast_mut::<Self>()
+                    .expect("batch key embeds TypeId; peers must share the leader's type")
+            })
+            .collect();
+        let profiles: Vec<LaneProfile> = std::iter::once(self.profile(&spec))
+            .chain(typed.iter().map(|t| t.profile(&spec)))
+            .collect();
+        let lanes: Vec<LaneIo> = profiles
+            .iter()
+            .map(|p| LaneIo { h2d_bytes: p.h2d_bytes, d2h_bytes: p.d2h_bytes })
+            .collect();
+        let kernel_s: f64 = profiles.iter().map(|p| p.kernel_seconds).sum();
+        let host_per_iter: f64 = profiles.iter().map(|p| p.host_seconds).sum();
+        let fused = !typed.is_empty();
+        let budget = span_iters.max(1);
+        let mut iters = 0u64;
+        loop {
+            self.walk.step(1);
+            for t in typed.iter_mut() {
+                t.walk.step(1);
+            }
+            iters += 1;
+            if fused {
+                self.fused_iters += 1;
+                for t in typed.iter_mut() {
+                    t.fused_iters += 1;
+                }
+            }
+            if iters >= budget || self.walk.is_done() || typed.iter().any(|t| t.walk.is_done()) {
+                break;
+            }
+        }
+        let sched = price_fused_span(&spec, &lanes, &[kernel_s], iters as usize, mode);
+        let launches = match mode {
+            LaunchMode::PerIteration => iters,
+            LaunchMode::PersistentSpan => 1,
+        };
+        let n = iters as f64;
+        let book = TimeBook {
+            kernel_s: kernel_s * n,
+            overhead_s: spec.launch_overhead_s * launches as f64,
+            h2d_s: lanes.iter().map(|l| transfer_seconds(&spec, l.h2d_bytes)).sum::<f64>() * n,
+            d2h_s: lanes.iter().map(|l| transfer_seconds(&spec, l.d2h_bytes)).sum::<f64>() * n,
+            bytes_h2d: lanes.iter().map(|l| l.h2d_bytes).sum::<u64>() * iters,
+            bytes_d2h: lanes.iter().map(|l| l.d2h_bytes).sum::<u64>() * iters,
+            launches,
+            host_s: host_per_iter * n,
+        };
+        dev.charge(&book);
+        StepRun {
+            iters,
+            seconds: sched.makespan,
+            serialized_s: sched.serialized,
+            spans: 1,
+            launch_overhead_saved_s: (iters - launches) as f64 * spec.launch_overhead_s,
+        }
     }
 
     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {
@@ -818,7 +978,7 @@ where
             submitted_s: 0.0,
             started_s,
             finished_s,
-            fused_iterations: 0,
+            fused_iterations: self.fused_iters,
             cancelled: false,
             rejected: false,
             outcome: JobOutcome::binary(result),
@@ -834,6 +994,7 @@ where
             walk: self.walk.clone(),
             state_h2d_bytes: self.state_h2d_bytes,
             host: self.host.clone(),
+            fused_iters: self.fused_iters,
         })
     }
 
@@ -848,6 +1009,7 @@ where
         self.seq.write(out);
         self.state_h2d_bytes.write(out);
         self.host.write(out);
+        self.fused_iters.write(out);
         self.walk.problem().write(out);
         self.walk.cursor().persist(out);
     }
@@ -865,6 +1027,7 @@ where
     let seq: u64 = r.read()?;
     let state_h2d_bytes: u64 = r.read()?;
     let host: HostSpec = r.read()?;
+    let fused_iters: u64 = r.read()?;
     let problem: P = r.read()?;
     let cursor = AnnealCursor::<P, N>::read_persisted(r, &problem)?;
     Ok(Box::new(AnnealExec {
@@ -875,6 +1038,7 @@ where
         walk: ProblemCursor::new(Arc::new(problem), cursor),
         state_h2d_bytes,
         host,
+        fused_iters,
     }))
 }
 
@@ -884,6 +1048,7 @@ pub(crate) fn read_qap_job(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, Persi
     let name: String = r.read()?;
     let priority: u8 = r.read()?;
     let seq: u64 = r.read()?;
+    let selection: SelectionMode = r.read()?;
     let charged_s: f64 = r.read()?;
     let book: TimeBook = r.read()?;
     let host_iters: u64 = r.read()?;
@@ -896,6 +1061,7 @@ pub(crate) fn read_qap_job(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, Persi
         seq,
         instance: Arc::new(instance),
         cursor,
+        selection,
         charged_s,
         book,
         host_iters,

@@ -61,7 +61,7 @@
 //!         let book = Self::iter_book(dev.spec(), iters);
 //!         let seconds = book.gpu_total_s();
 //!         dev.charge(&book); // the fleet ledger sees every launch
-//!         StepRun { iters, seconds, serialized_s: seconds }
+//!         StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
 //!     }
 //!
 //!     fn step_host(&mut self, _host: &HostSpec, quota: u64) -> StepRun {
@@ -69,12 +69,18 @@
 //!         self.left -= iters;
 //!         self.executed += iters;
 //!         let seconds = 1e-6 * iters as f64;
-//!         StepRun { iters, seconds, serialized_s: seconds }
+//!         StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
 //!     }
 //!
-//!     fn step_batch(&mut self, peers: &mut [&mut Box<dyn JobExec>], dev: &mut Device) -> StepRun {
+//!     fn step_batch(
+//!         &mut self,
+//!         peers: &mut [&mut Box<dyn JobExec>],
+//!         dev: &mut Device,
+//!         span_iters: u64,
+//!         _mode: lnls_gpu_sim::LaunchMode,
+//!     ) -> StepRun {
 //!         assert!(peers.is_empty(), "batch_key() is None, so no peers ever arrive");
-//!         self.step_device(dev, 1)
+//!         self.step_device(dev, span_iters.max(1))
 //!     }
 //!
 //!     fn serial_equivalent_s(&self, spec: &DeviceSpec) -> f64 {

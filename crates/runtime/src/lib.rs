@@ -171,7 +171,7 @@ pub use exec::{BatchKey, JobExec, StepRun};
 pub use job::{
     AnnealJob, BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec,
 };
-pub use lnls_gpu_sim::SelectionMode;
+pub use lnls_gpu_sim::{LaunchMode, SelectionMode};
 pub use observe::{
     chrome_trace, tenant_summaries, EventRecord, EventSink, FleetEvent, Histogram, JsonlSink,
     MetricsRegistry, RejectReason, RingSink, TenantSummary,

@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LNLSFLT\x05";
+const MAGIC: &[u8; 8] = b"LNLSFLT\x06";
 
 type Loader = fn(&mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>;
 
@@ -129,6 +129,8 @@ fn write_cfg(cfg: &SchedulerConfig, out: &mut Vec<u8>) {
     cfg.telemetry_every_ticks.write(out);
     cfg.telemetry_max_samples.write(out);
     cfg.selection.write(out);
+    cfg.span_iters.write(out);
+    cfg.launch_mode.write(out);
 }
 
 fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
@@ -148,6 +150,8 @@ fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
         telemetry_every_ticks: r.read()?,
         telemetry_max_samples: r.read()?,
         selection: r.read()?,
+        span_iters: r.read()?,
+        launch_mode: r.read()?,
     })
 }
 
@@ -274,6 +278,9 @@ impl FleetCheckpoint {
         self.iterations_executed.write(&mut out);
         self.stream_makespan_s.write(&mut out);
         self.stream_serialized_s.write(&mut out);
+        self.spans.write(&mut out);
+        self.span_iterations.write(&mut out);
+        self.launch_overhead_saved_s.write(&mut out);
         out
     }
 
@@ -365,6 +372,9 @@ impl FleetCheckpoint {
             iterations_executed: r.read()?,
             stream_makespan_s: r.read()?,
             stream_serialized_s: r.read()?,
+            spans: r.read()?,
+            span_iterations: r.read()?,
+            launch_overhead_saved_s: r.read()?,
         };
         if r.remaining() != 0 {
             return Err(PersistError::new(format!(

@@ -81,6 +81,19 @@ pub struct FleetReport {
     /// measured against. Equal to [`stream_makespan_s`](Self::stream_makespan_s)
     /// on single-engine (GT200) layouts.
     pub stream_serialized_s: f64,
+    /// Multi-iteration stream spans priced by fused device steps (see
+    /// [`SchedulerConfig::span_iters`](crate::SchedulerConfig::span_iters)).
+    /// One per fused assignment step; 0 when nothing fused.
+    pub spans: u64,
+    /// Iterations executed inside those spans (per group, not per
+    /// member) — `span_iterations / spans` is the mean span length the
+    /// fleet actually achieved after quantum, budget and retirement
+    /// caps.
+    pub span_iterations: u64,
+    /// Kernel-launch overhead amortized away by persistent-kernel spans
+    /// (seconds; nonzero only under
+    /// [`LaunchMode::PersistentSpan`](lnls_gpu_sim::LaunchMode)).
+    pub launch_overhead_saved_s: f64,
     /// Auto-checkpoints written (see
     /// [`SchedulerConfig::autosave_every_ticks`](crate::SchedulerConfig::autosave_every_ticks)).
     pub autosaves: u64,
@@ -188,6 +201,16 @@ impl FleetReport {
         m
     }
 
+    /// Mean iterations per fused stream span (1.0 is the legacy
+    /// one-iteration-per-tick contract; 0.0 when nothing fused).
+    pub fn mean_span_iterations(&self) -> f64 {
+        if self.spans > 0 {
+            self.span_iterations as f64 / self.spans as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Fraction of the makespan the average device was busy (0.0 with
     /// no devices or no makespan) — the utilization headline the bench
     /// summaries track.
@@ -260,6 +283,15 @@ impl fmt::Display for FleetReport {
             "  batching: {} fused launches, {} launches saved",
             self.fused_launches, self.launches_saved
         )?;
+        if self.spans > 0 {
+            writeln!(
+                f,
+                "  spans: {} spans, {:.2} iterations/span, {:.9}s launch overhead amortized",
+                self.spans,
+                self.mean_span_iterations(),
+                self.launch_overhead_saved_s
+            )?;
+        }
         write!(
             f,
             "  pcie: {:.0} B up / {:.0} B down per iteration ({} iterations) | stream overlap ×{:.3}",

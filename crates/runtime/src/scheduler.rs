@@ -8,7 +8,7 @@ use crate::observe::{EventRecord, EventSink, FleetEvent, MetricsRegistry, Observ
 use crate::report::{FleetReport, TenantStat};
 use crate::submit::{JobSpec, SearchJob, SubmitCtx};
 use crate::telemetry::{percentile_sorted, Telemetry, TickSample};
-use lnls_gpu_sim::{DeviceSpec, HostSpec, MultiDevice, SelectionMode, TimeBook};
+use lnls_gpu_sim::{DeviceSpec, HostSpec, LaunchMode, MultiDevice, SelectionMode, TimeBook};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
@@ -76,6 +76,23 @@ pub struct SchedulerConfig {
     /// [`JobSpec::with_selection`](crate::JobSpec::with_selection).
     /// Pricing-only: search results are bit-identical under either mode.
     pub selection: SelectionMode,
+    /// Fused-group span length: how many consecutive iterations a fused
+    /// device assignment runs (and prices) as **one** breadth-first
+    /// stream schedule per tick, double-buffering iteration `k+1`'s
+    /// uploads against iteration `k`'s kernel. 1 (the default) is the
+    /// legacy one-iteration-per-tick contract. Spans are capped at the
+    /// slice remainder (never crossing a quantum, so preemption
+    /// semantics are untouched) and at the tightest member iteration
+    /// budget (so envelopes retire at exactly the same iteration).
+    /// Pricing-only: search results are bit-identical under every span
+    /// length.
+    pub span_iters: u64,
+    /// How fused spans charge kernel-launch overhead:
+    /// [`LaunchMode::PerIteration`] (the default) re-launches every
+    /// iteration; [`LaunchMode::PersistentSpan`] keeps the kernel
+    /// resident and charges the overhead once per span. Pricing-only,
+    /// like [`span_iters`](Self::span_iters).
+    pub launch_mode: LaunchMode,
 }
 
 impl Default for SchedulerConfig {
@@ -91,6 +108,8 @@ impl Default for SchedulerConfig {
             telemetry_every_ticks: None,
             telemetry_max_samples: None,
             selection: SelectionMode::HostArgmin,
+            span_iters: 1,
+            launch_mode: LaunchMode::PerIteration,
         }
     }
 }
@@ -185,6 +204,13 @@ pub struct Scheduler {
     /// What the same device operations would cost back-to-back — the
     /// stream-overlap baseline.
     stream_serialized_s: f64,
+    /// Multi-iteration stream spans priced by fused steps.
+    spans: u64,
+    /// Iterations that ran inside those spans (mean span length =
+    /// `span_iterations / spans`).
+    span_iterations: u64,
+    /// Launch overhead amortized away by persistent-kernel spans.
+    launch_overhead_saved_s: f64,
     telemetry: Option<Telemetry>,
     /// Cumulative outcome counters, bumped as jobs retire — kept so the
     /// per-tick telemetry sample never rescans the done map (which
@@ -203,6 +229,7 @@ impl Scheduler {
     pub fn new(devices: MultiDevice, cfg: SchedulerConfig) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.quantum_iters != Some(0), "quantum_iters must be at least 1");
+        assert!(cfg.span_iters >= 1, "span_iters must be at least 1");
         let backends = devices.len() + cfg.cpu_workers;
         let telemetry =
             cfg.telemetry_every_ticks.map(|_| Telemetry::with_cap(cfg.telemetry_max_samples));
@@ -228,6 +255,9 @@ impl Scheduler {
             iterations_executed: 0,
             stream_makespan_s: 0.0,
             stream_serialized_s: 0.0,
+            spans: 0,
+            span_iterations: 0,
+            launch_overhead_saved_s: 0.0,
             telemetry,
             completed_count: 0,
             cancelled_count: 0,
@@ -531,9 +561,10 @@ impl Scheduler {
 
     /// Advance the fleet one step: drain pending cancellations, missed
     /// deadlines and exhausted iteration budgets; place queued jobs on
-    /// idle backends; then run one quantum (one fused iteration for a
-    /// batched group, up to the slice budget for a solo assignment) on
-    /// every busy backend, preempting assignments whose slice expired.
+    /// idle backends; then run one quantum (one fused *span* of up to
+    /// [`SchedulerConfig::span_iters`] iterations for a batched group,
+    /// up to the slice budget for a solo assignment) on every busy
+    /// backend, preempting assignments whose slice expired.
     /// Auto-checkpoints fire on the configured tick cadence. Returns
     /// `false` once the fleet is idle.
     pub fn tick(&mut self) -> bool {
@@ -905,9 +936,10 @@ impl Scheduler {
         } else {
             1
         };
-        // A solo assignment must not run past its envelope's iteration
-        // budget inside one quantum (fused groups step one iteration per
-        // tick, so the drain sweep catches them exactly).
+        // An assignment must not run past any member's envelope
+        // iteration budget inside one quantum: solo jobs clamp their
+        // quota, fused groups clamp their span, so envelopes retire at
+        // exactly the same iteration under every span length.
         if active.jobs.len() == 1 {
             if let Some(budget) =
                 self.meta.get(&active.jobs[0].job.id()).and_then(|m| m.iter_budget)
@@ -917,16 +949,39 @@ impl Scheduler {
             }
         }
         let run = if active.jobs.len() > 1 {
-            // Fused groups step one iteration per tick so members retire
-            // (and re-batch) at iteration granularity.
+            // Fused groups run one *span* per tick: up to `span_iters`
+            // consecutive iterations priced as one double-buffered
+            // stream schedule. The span is capped at the slice
+            // remainder (it never crosses a quantum) and at the
+            // tightest member budget; members still retire (and
+            // re-batch) at iteration granularity because the span ends
+            // early when any member finishes.
+            let mut span = self.cfg.span_iters;
+            if self.cfg.quantum_iters.is_some() {
+                span = span.min(active.slice_budget.saturating_sub(active.slice_used).max(1));
+            }
+            for aj in &active.jobs {
+                if let Some(budget) = self.meta.get(&aj.job.id()).and_then(|m| m.iter_budget) {
+                    span = span.min(budget.saturating_sub(aj.job.iterations()).max(1));
+                }
+            }
+            let mode = self.cfg.launch_mode;
             let dev = self.devices.device_mut(b);
             let (lead, peers) = active.jobs.split_at_mut(1);
             let mut peer_refs: Vec<&mut Box<dyn JobExec>> =
                 peers.iter_mut().map(|a| &mut a.job).collect();
             let lanes = peer_refs.len() as u64 + 1;
-            let run = lead[0].job.step_batch(&mut peer_refs, dev);
-            self.fused_launches += 1;
-            self.launches_saved += lanes - 1;
+            let run = lead[0].job.step_batch(&mut peer_refs, dev, span, mode);
+            // A per-iteration span issues its fused kernel chain once
+            // per iteration; a persistent span issues it once for the
+            // whole span. Either way a solo schedule would have issued
+            // `lanes` launches per iteration.
+            let issued = match mode {
+                LaunchMode::PerIteration => run.iters,
+                LaunchMode::PersistentSpan => 1,
+            };
+            self.fused_launches += issued;
+            self.launches_saved += lanes * run.iters - issued;
             run
         } else if is_device {
             active.jobs[0].job.step_device(self.devices.device_mut(b), quota)
@@ -940,6 +995,11 @@ impl Scheduler {
         if is_device {
             self.stream_makespan_s += run.seconds;
             self.stream_serialized_s += run.serialized_s;
+            if run.spans > 0 {
+                self.spans += run.spans;
+                self.span_iterations += run.iters;
+            }
+            self.launch_overhead_saved_s += run.launch_overhead_saved_s;
         }
         if let Some((device, jobs, start_s, book_before)) = quantum_ctx {
             let (bytes_h2d, bytes_d2h) = match book_before {
@@ -1081,6 +1141,9 @@ impl Scheduler {
             iterations_executed: self.iterations_executed,
             stream_makespan_s: self.stream_makespan_s,
             stream_serialized_s: self.stream_serialized_s,
+            spans: self.spans,
+            span_iterations: self.span_iterations,
+            launch_overhead_saved_s: self.launch_overhead_saved_s,
             max_wait_s,
             mean_wait_s,
             max_turnaround_s,
@@ -1156,6 +1219,9 @@ impl Scheduler {
             iterations_executed: self.iterations_executed,
             stream_makespan_s: self.stream_makespan_s,
             stream_serialized_s: self.stream_serialized_s,
+            spans: self.spans,
+            span_iterations: self.span_iterations,
+            launch_overhead_saved_s: self.launch_overhead_saved_s,
         }
     }
 
@@ -1228,6 +1294,9 @@ impl Scheduler {
             iterations_executed: checkpoint.iterations_executed,
             stream_makespan_s: checkpoint.stream_makespan_s,
             stream_serialized_s: checkpoint.stream_serialized_s,
+            spans: checkpoint.spans,
+            span_iterations: checkpoint.span_iterations,
+            launch_overhead_saved_s: checkpoint.launch_overhead_saved_s,
             telemetry,
             completed_count,
             cancelled_count,
@@ -1276,6 +1345,9 @@ pub struct FleetCheckpoint {
     pub(crate) iterations_executed: u64,
     pub(crate) stream_makespan_s: f64,
     pub(crate) stream_serialized_s: f64,
+    pub(crate) spans: u64,
+    pub(crate) span_iterations: u64,
+    pub(crate) launch_overhead_saved_s: f64,
 }
 
 impl FleetCheckpoint {

@@ -206,6 +206,8 @@ impl Driver {
                 telemetry_every_ticks: Some(trace.fleet.telemetry_every_ticks),
                 telemetry_max_samples: trace.fleet.telemetry_max_samples,
                 selection: trace.fleet.selection,
+                span_iters: trace.fleet.span_iters,
+                launch_mode: trace.fleet.launch_mode,
                 ..Default::default()
             },
         )

@@ -11,7 +11,7 @@
 //! `(scenario, seed)`.
 
 use lnls_gpu_sim::EngineConfig;
-use lnls_runtime::{AdmissionPolicy, SelectionMode};
+use lnls_runtime::{AdmissionPolicy, LaunchMode, SelectionMode};
 
 /// How arrivals are spaced over modeled fleet seconds.
 #[derive(Clone, Debug, PartialEq)]
@@ -143,6 +143,15 @@ pub struct FleetProfile {
     /// argmin) — pricing-only; see
     /// [`SchedulerConfig::selection`](lnls_runtime::SchedulerConfig::selection).
     pub selection: SelectionMode,
+    /// Fused-span length: up to this many consecutive fused iterations
+    /// are priced as one breadth-first stream schedule per tick (capped
+    /// at the preemption quantum) — pricing-only; see
+    /// [`SchedulerConfig::span_iters`](lnls_runtime::SchedulerConfig::span_iters).
+    pub span_iters: u64,
+    /// How kernel-launch overhead is charged across a fused span —
+    /// pricing-only; see
+    /// [`SchedulerConfig::launch_mode`](lnls_runtime::SchedulerConfig::launch_mode).
+    pub launch_mode: LaunchMode,
 }
 
 impl Default for FleetProfile {
@@ -156,6 +165,8 @@ impl Default for FleetProfile {
             telemetry_max_samples: None,
             engines: EngineConfig::gt200(),
             selection: SelectionMode::HostArgmin,
+            span_iters: 1,
+            launch_mode: LaunchMode::PerIteration,
         }
     }
 }
@@ -202,6 +213,17 @@ impl Scenario {
     pub fn with_fleet_knobs(mut self, engines: EngineConfig, selection: SelectionMode) -> Self {
         self.fleet.engines = engines;
         self.fleet.selection = selection;
+        self
+    }
+
+    /// The same traffic with a different fused-span length and
+    /// launch-overhead mode — how the benches sweep the multi-iteration
+    /// pipelining knobs. Pricing-only: arrivals and search results are
+    /// unchanged (`span_iters` clamps to at least one iteration).
+    #[must_use]
+    pub fn with_span_knobs(mut self, span_iters: u64, launch_mode: LaunchMode) -> Self {
+        self.fleet.span_iters = span_iters.max(1);
+        self.fleet.launch_mode = launch_mode;
         self
     }
 

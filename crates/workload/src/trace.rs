@@ -16,7 +16,7 @@ use std::io;
 use std::path::Path;
 
 /// Magic prefix of a trace file (`LNLSTRC` + format version).
-const MAGIC: &[u8; 8] = b"LNLSTRC\x03";
+const MAGIC: &[u8; 8] = b"LNLSTRC\x04";
 
 /// A recorded (or freshly lowered) run: everything
 /// [`Driver::replay`](crate::Driver::replay) needs, self-contained.
@@ -105,6 +105,8 @@ impl Persist for FleetProfile {
         self.telemetry_max_samples.write(out);
         self.engines.write(out);
         self.selection.write(out);
+        self.span_iters.write(out);
+        self.launch_mode.write(out);
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(Self {
@@ -116,6 +118,8 @@ impl Persist for FleetProfile {
             telemetry_max_samples: r.read()?,
             engines: r.read()?,
             selection: r.read()?,
+            span_iters: r.read()?,
+            launch_mode: r.read()?,
         })
     }
 }

@@ -5,15 +5,16 @@
 //! so replaying the *same* trace on a different fleet shape isolates
 //! the fleet knobs' effect exactly (no confounding from regenerated
 //! traffic). [`WhatIf::compare`] runs the as-recorded baseline plus any
-//! number of [`Variant`]s (engine layout, selection mode, device
-//! count) and tabulates tail wait, rejections, bytes moved, and device
-//! busy fraction per variant; [`WhatIf::knob_grid`] builds the standard
-//! sweep the benches and the `trace_diff` example walk.
+//! number of [`Variant`]s (engine layout, selection mode, span length,
+//! launch mode, device count) and tabulates tail wait, rejections,
+//! bytes moved, and device busy fraction per variant;
+//! [`WhatIf::knob_grid`] builds the standard sweep the benches and the
+//! `trace_diff` example walk.
 
 use crate::trace::Trace;
 use crate::Driver;
 use lnls_gpu_sim::EngineConfig;
-use lnls_runtime::SelectionMode;
+use lnls_runtime::{LaunchMode, SelectionMode};
 use std::fmt;
 
 /// One fleet-shape override to replay a recorded trace under. Arrivals
@@ -27,6 +28,11 @@ pub struct Variant {
     pub engines: EngineConfig,
     /// Best-neighbor selection mode (host scan vs. on-device argmin).
     pub selection: SelectionMode,
+    /// Fused-span length (consecutive fused iterations priced as one
+    /// stream schedule; capped at the preemption quantum at runtime).
+    pub span_iters: u64,
+    /// How kernel-launch overhead is charged across a fused span.
+    pub launch_mode: LaunchMode,
     /// Simulated device count.
     pub devices: usize,
 }
@@ -40,7 +46,32 @@ impl Variant {
         engines: EngineConfig,
         selection: SelectionMode,
     ) -> Self {
-        Self { name: name.into(), engines, selection, devices: trace.fleet.devices }
+        Self {
+            name: name.into(),
+            engines,
+            selection,
+            span_iters: trace.fleet.span_iters,
+            launch_mode: trace.fleet.launch_mode,
+            devices: trace.fleet.devices,
+        }
+    }
+
+    /// A variant keeping the trace's own fleet shape except for the
+    /// given fused-span length and launch-overhead mode.
+    pub fn span(
+        name: impl Into<String>,
+        trace: &Trace,
+        span_iters: u64,
+        launch_mode: LaunchMode,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            engines: trace.fleet.engines,
+            selection: trace.fleet.selection,
+            span_iters: span_iters.max(1),
+            launch_mode,
+            devices: trace.fleet.devices,
+        }
     }
 }
 
@@ -169,6 +200,8 @@ impl WhatIf {
             let mut alt = trace.clone();
             alt.fleet.engines = v.engines;
             alt.fleet.selection = v.selection;
+            alt.fleet.span_iters = v.span_iters.max(1);
+            alt.fleet.launch_mode = v.launch_mode;
             alt.fleet.devices = v.devices.max(1);
             let report = Driver::replay(&alt);
             rows.push(VariantOutcome::from_run(v.name.clone(), &report));
@@ -177,9 +210,12 @@ impl WhatIf {
     }
 
     /// The standard knob sweep for `trace`: engine layout × selection
-    /// mode (GT200/Fermi × host/device argmin) plus a one-more-device
-    /// fleet — five variants, so a comparison always spans at least
-    /// three meaningfully different replays beyond the baseline.
+    /// mode (GT200/Fermi × host/device argmin), two multi-iteration
+    /// span settings (an eight-iteration span charged per iteration and
+    /// the same span under persistent launch amortization) plus a
+    /// one-more-device fleet — seven variants, so a comparison always
+    /// spans the overlap, selection, pipelining and capacity axes
+    /// beyond the baseline.
     pub fn knob_grid(trace: &Trace) -> Vec<Variant> {
         let mut grid = vec![
             Variant::knobs(
@@ -207,10 +243,14 @@ impl WhatIf {
                 SelectionMode::DeviceArgmin,
             ),
         ];
+        grid.push(Variant::span("span8/per-iteration", trace, 8, LaunchMode::PerIteration));
+        grid.push(Variant::span("span8/persistent", trace, 8, LaunchMode::PersistentSpan));
         grid.push(Variant {
             name: format!("{} devices", trace.fleet.devices + 1),
             engines: trace.fleet.engines,
             selection: trace.fleet.selection,
+            span_iters: trace.fleet.span_iters,
+            launch_mode: trace.fleet.launch_mode,
             devices: trace.fleet.devices + 1,
         });
         grid
@@ -227,7 +267,7 @@ mod tests {
     fn compare_keeps_the_baseline_first_and_honours_variants() {
         let trace = TrafficGen::lower(&Scenario::steady(), 7);
         let report = WhatIf::compare(&trace, &WhatIf::knob_grid(&trace));
-        assert_eq!(report.rows.len(), 6, "baseline + five grid variants");
+        assert_eq!(report.rows.len(), 8, "baseline + seven grid variants");
         assert_eq!(report.baseline().variant, "as-recorded");
         // The baseline must be bit-identical to a plain replay.
         let plain = Driver::replay(&trace);
@@ -246,6 +286,18 @@ mod tests {
         for row in &report.rows {
             assert_eq!(row.completed, report.baseline().completed, "{}", row.variant);
         }
+        // Amortizing launch overhead over a span can only help the
+        // makespan relative to the same span charged per iteration.
+        let per_iter = &report.rows[5];
+        let persistent = &report.rows[6];
+        assert_eq!(per_iter.variant, "span8/per-iteration");
+        assert_eq!(persistent.variant, "span8/persistent");
+        assert!(
+            persistent.makespan_s <= per_iter.makespan_s,
+            "persistent-span launches must not slow the fleet: {} vs {}",
+            persistent.makespan_s,
+            per_iter.makespan_s
+        );
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub mod prelude {
         VariableNeighborhoodSearch,
     };
     pub use lnls_gpu_sim::{
-        Device, DeviceSpec, EngineConfig, ExecMode, HostSpec, LaunchConfig, MultiDevice,
-        SelectionMode,
+        Device, DeviceSpec, EngineConfig, ExecMode, HostSpec, LaunchConfig, LaunchMode,
+        MultiDevice, SelectionMode,
     };
     pub use lnls_neighborhood::{
         FlipMove, KHamming, Neighborhood, OneHamming, ThreeHamming, TwoHamming, UnionHamming,

@@ -11,7 +11,7 @@
 
 use lnls::core::{BitString, SearchConfig, TabuSearch};
 use lnls::neighborhood::{Neighborhood, TwoHamming};
-use lnls::prelude::{BinaryJob, DeviceSpec, EngineConfig, SelectionMode};
+use lnls::prelude::{BinaryJob, DeviceSpec, EngineConfig, LaunchMode, SelectionMode};
 use lnls::prelude::{
     Driver, JobSpec, OneMax, Scenario, Scheduler, SchedulerConfig, Trace, TrafficGen,
 };
@@ -23,21 +23,29 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Any (scenario, seed) under any combination of the fleet pricing
-    /// knobs — engine layout (GT200 vs. Fermi stream overlap) and
-    /// selection mode (host vs. on-device argmin): record, save the
-    /// trace to bytes, reload, replay — the fleet reports must match bit
-    /// for bit, and so must the driver-side counters.
+    /// knobs — engine layout (GT200 vs. Fermi stream overlap), selection
+    /// mode (host vs. on-device argmin), fused-span length and
+    /// launch-overhead mode: record, save the trace to bytes, reload,
+    /// replay — the fleet reports must match bit for bit, and so must
+    /// the driver-side counters.
     #[test]
     fn any_recorded_trace_replays_bit_identically(
         scenario_idx in 0usize..6,
         seed in 0u64..1000,
         fermi in proptest::prelude::any::<bool>(),
         device_argmin in proptest::prelude::any::<bool>(),
+        span in 1u64..=8,
+        persistent in proptest::prelude::any::<bool>(),
     ) {
         let engines = if fermi { EngineConfig::fermi() } else { EngineConfig::gt200() };
         let selection =
             if device_argmin { SelectionMode::DeviceArgmin } else { SelectionMode::HostArgmin };
-        let scenario = Scenario::catalog()[scenario_idx].clone().with_fleet_knobs(engines, selection);
+        let mode =
+            if persistent { LaunchMode::PersistentSpan } else { LaunchMode::PerIteration };
+        let scenario = Scenario::catalog()[scenario_idx]
+            .clone()
+            .with_fleet_knobs(engines, selection)
+            .with_span_knobs(span, mode);
         let (trace, recorded) = Driver::record(&scenario, seed);
 
         let bytes = trace.to_bytes();
@@ -125,6 +133,31 @@ fn iter_budget_and_deadline_expiring_in_the_same_quantum_cancels() {
     let report = fleet.report(handle).unwrap();
     assert!(!report.cancelled, "budget exhaustion alone completes the job");
     assert_eq!(report.outcome.iterations(), 3);
+}
+
+/// Span length and launch mode are pricing-only at the workload level
+/// too: on the deadline-free steady scenario every span setting admits,
+/// completes and iterates exactly the same work — only the modeled
+/// prices move. (Deadline-heavy scenarios are excluded on purpose:
+/// coarser span ticks may legitimately cancel a late job at a different
+/// iteration, which is a timing effect, not a search-result change.)
+#[test]
+fn span_knobs_preserve_steady_outcomes() {
+    let (_, base) = Driver::record(&Scenario::steady(), 42);
+    for span in [2u64, 5, 8] {
+        for mode in [LaunchMode::PerIteration, LaunchMode::PersistentSpan] {
+            let scenario = Scenario::steady().with_span_knobs(span, mode);
+            let (_, report) = Driver::record(&scenario, 42);
+            let fleet = &report.fleet;
+            assert_eq!(fleet.jobs_completed, base.fleet.jobs_completed, "span {span} {mode:?}");
+            assert_eq!(fleet.jobs_cancelled, base.fleet.jobs_cancelled, "span {span} {mode:?}");
+            assert_eq!(
+                fleet.iterations_executed, base.fleet.iterations_executed,
+                "span {span} {mode:?}: every admitted search must run its exact budget"
+            );
+            assert_eq!(report.admitted, base.admitted, "span {span} {mode:?}");
+        }
+    }
 }
 
 /// The checkpoint-churn scenario loses exactly its checkpoint opt-outs
