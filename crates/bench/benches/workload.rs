@@ -204,7 +204,8 @@ fn main() {
         Ok(path) => println!("\nmachine-readable summary: {}", path.display()),
         Err(e) => eprintln!("\ncould not write bench summary: {e}"),
     }
-    println!("the six scenarios cover: steady-state, burst storms vs. caps, priority inversion,");
-    println!("deadline pressure, crash/restore churn, and mixed-family saturation — each one a");
-    println!("deterministic (scenario, seed) pair any regression can replay bit-identically.");
+    println!("the eight scenarios cover: steady-state, burst storms vs. caps, priority inversion,");
+    println!("deadline pressure, crash/restore churn, mixed-family saturation, destroy-and-repair");
+    println!("LNS and portfolio races — each one a deterministic (scenario, seed) pair any");
+    println!("regression can replay bit-identically.");
 }

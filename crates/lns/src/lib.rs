@@ -1,0 +1,44 @@
+//! # lnls-lns — destroy-and-repair large-neighborhood search
+//!
+//! The repo's namesake finally made literal: a large-neighborhood
+//! search that alternates a **destroy** operator (free a subset of the
+//! variables) with a **repair** phase (re-optimize the freed
+//! sub-problem from several starts at once), accepting the repaired
+//! incumbent when it improves. The decomposition follows the
+//! learning-LNS line of work on MIP (Sonnerat et al.,
+//! arXiv:2107.10201); the [`AdaptiveRadius`] controller that widens the
+//! destroy fraction only when the search stalls is justified by the
+//! Neighbours' Similar Fitness property (Wallace & Aleti,
+//! arXiv:2001.02872) — near a good incumbent, small repairs usually
+//! suffice.
+//!
+//! Two cursor families live here, both implementing
+//! [`SearchCursor`](lnls_core::SearchCursor) with the fleet's bit-exact
+//! preemption contract (stepping in quanta of any size makes exactly
+//! the moves one uninterrupted run makes):
+//!
+//! * [`LnsCursor`] — the destroy-and-repair loop. One iteration is one
+//!   full round: destroy ([`DestroyOp`]), multi-lane repair, accept or
+//!   reject, [`AdaptiveRadius`] update. The repair lanes are what the
+//!   runtime prices as one fused multi-lane device batch.
+//! * [`PortfolioCursor`] — races a tabu lane, an annealing lane and a
+//!   shake-based greedy-descent lane on the same instance, reallocating
+//!   iteration budget to the leading lane at deterministic round
+//!   boundaries ([`PortfolioOutcome`] reports the race).
+//!
+//! Everything is deterministic per seed and byte-persistable, so both
+//! families survive mid-run checkpoint/restore and bit-identical trace
+//! replay.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod destroy;
+pub mod lns;
+pub mod portfolio;
+pub mod radius;
+
+pub use destroy::DestroyOp;
+pub use lns::{LnsCursor, LnsSearch};
+pub use portfolio::{PortfolioCursor, PortfolioOutcome, PortfolioSearch, LANE_NAMES};
+pub use radius::AdaptiveRadius;

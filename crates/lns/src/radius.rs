@@ -1,0 +1,170 @@
+//! The adaptive destroy-radius controller.
+
+use lnls_core::persist::{Persist, PersistError, Reader};
+
+/// Destroy-fraction controller: shrink on improvement, grow only after
+/// `grow_after` consecutive non-improving rounds, bounded both ends.
+///
+/// The policy encodes the Neighbours' Similar Fitness intuition: near a
+/// good incumbent small repairs usually suffice, so the radius contracts
+/// whenever a round improves; only a demonstrated stall earns a wider
+/// destroy set. Fully deterministic (no randomness, pure function of
+/// the improvement/stall history) and byte-persistable, so a restored
+/// checkpoint resumes with the exact same schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptiveRadius {
+    fraction: f64,
+    min: f64,
+    max: f64,
+    grow_after: u32,
+    stalls: u32,
+}
+
+impl AdaptiveRadius {
+    /// Growth factor applied after `grow_after` stalls.
+    const GROW: f64 = 2.0;
+    /// Shrink factor applied on improvement.
+    const SHRINK: f64 = 0.5;
+
+    /// A controller starting at `min`, growing toward `max` after every
+    /// `grow_after` consecutive non-improving rounds.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min <= max <= 1` and `grow_after >= 1`.
+    pub fn new(min: f64, max: f64, grow_after: u32) -> Self {
+        assert!(min > 0.0 && min <= max && max <= 1.0, "need 0 < min <= max <= 1");
+        assert!(grow_after >= 1, "grow_after must be at least 1");
+        Self { fraction: min, min, max, grow_after, stalls: 0 }
+    }
+
+    /// The fleet default: destroy 1/8 of the variables, allow growth to
+    /// half of them after 3 consecutive stalls.
+    pub fn paper_default() -> Self {
+        Self::new(0.125, 0.5, 3)
+    }
+
+    /// Current destroy fraction in `(0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Consecutive non-improving rounds since the last change.
+    pub fn stalls(&self) -> u32 {
+        self.stalls
+    }
+
+    /// Lower bound of the fraction.
+    pub fn min_fraction(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the fraction.
+    pub fn max_fraction(&self) -> f64 {
+        self.max
+    }
+
+    /// An improving round: contract the radius and reset the stall run.
+    pub fn record_improvement(&mut self) {
+        self.fraction = (self.fraction * Self::SHRINK).max(self.min);
+        self.stalls = 0;
+    }
+
+    /// A non-improving round: after `grow_after` of these in a row,
+    /// widen the radius and restart the count.
+    pub fn record_stall(&mut self) {
+        self.stalls += 1;
+        if self.stalls >= self.grow_after {
+            self.fraction = (self.fraction * Self::GROW).min(self.max);
+            self.stalls = 0;
+        }
+    }
+}
+
+impl Persist for AdaptiveRadius {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.fraction.write(out);
+        self.min.write(out);
+        self.max.write(out);
+        self.grow_after.write(out);
+        self.stalls.write(out);
+    }
+    fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let fraction: f64 = r.read()?;
+        let min: f64 = r.read()?;
+        let max: f64 = r.read()?;
+        let grow_after: u32 = r.read()?;
+        let stalls: u32 = r.read()?;
+        if !(min > 0.0 && min <= max && max <= 1.0) || grow_after == 0 {
+            return Err(PersistError::new("corrupt adaptive-radius bounds"));
+        }
+        if !(fraction >= min && fraction <= max) {
+            return Err(PersistError::new("adaptive-radius fraction outside its bounds"));
+        }
+        Ok(Self { fraction, min, max, grow_after, stalls })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_only_after_k_stalls_and_stays_bounded() {
+        let mut r = AdaptiveRadius::new(0.1, 0.4, 3);
+        assert_eq!(r.fraction(), 0.1);
+        r.record_stall();
+        r.record_stall();
+        assert_eq!(r.fraction(), 0.1, "two stalls are not enough");
+        r.record_stall();
+        assert_eq!(r.fraction(), 0.2, "third stall doubles the radius");
+        for _ in 0..30 {
+            r.record_stall();
+        }
+        assert_eq!(r.fraction(), 0.4, "growth is capped at max");
+    }
+
+    #[test]
+    fn shrinks_on_improvement_and_stays_bounded() {
+        let mut r = AdaptiveRadius::new(0.1, 0.4, 2);
+        r.record_stall();
+        r.record_stall();
+        r.record_stall();
+        r.record_stall();
+        assert_eq!(r.fraction(), 0.4);
+        r.record_improvement();
+        assert_eq!(r.fraction(), 0.2);
+        for _ in 0..10 {
+            r.record_improvement();
+        }
+        assert_eq!(r.fraction(), 0.1, "shrink is floored at min");
+        assert_eq!(r.stalls(), 0);
+    }
+
+    #[test]
+    fn improvement_resets_the_stall_run() {
+        let mut r = AdaptiveRadius::new(0.1, 0.4, 3);
+        r.record_stall();
+        r.record_stall();
+        r.record_improvement();
+        r.record_stall();
+        r.record_stall();
+        assert_eq!(r.fraction(), 0.1, "the run restarts after an improvement");
+    }
+
+    #[test]
+    fn persist_roundtrip_and_corruption() {
+        let mut r = AdaptiveRadius::new(0.1, 0.4, 3);
+        r.record_stall();
+        r.record_stall();
+        let bytes = r.to_bytes();
+        let back: AdaptiveRadius = Reader::new(&bytes).read().expect("decode");
+        assert_eq!(back, r);
+        let mut bad = Vec::new();
+        0.9f64.write(&mut bad); // fraction above max
+        0.1f64.write(&mut bad);
+        0.4f64.write(&mut bad);
+        3u32.write(&mut bad);
+        0u32.write(&mut bad);
+        assert!(Reader::new(&bad).read::<AdaptiveRadius>().is_err());
+    }
+}

@@ -96,6 +96,53 @@ impl Knapsack {
     }
 }
 
+/// Persisted as the parallel value/weight arrays plus the capacity —
+/// the penalty rate is a pure function of the values, so `new` rebuilds
+/// it identically. Needed so knapsack fleet jobs (LNS repair included)
+/// survive checkpoint/restore.
+impl lnls_core::Persist for Knapsack {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.values.write(out);
+        self.weights.write(out);
+        lnls_core::Persist::write(&self.capacity, out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let values: Vec<i64> = r.read()?;
+        let weights: Vec<i64> = r.read()?;
+        let capacity: i64 = r.read()?;
+        // `Knapsack::new` asserts its invariants; corrupt input must
+        // error instead, so re-check them first.
+        if values.len() != weights.len() {
+            return Err(lnls_core::PersistError::new(format!(
+                "knapsack arrays disagree: {} values vs {} weights",
+                values.len(),
+                weights.len()
+            )));
+        }
+        if values.len() > 1 << 24 {
+            return Err(lnls_core::PersistError::new(format!(
+                "implausible knapsack size {}",
+                values.len()
+            )));
+        }
+        if capacity < 0 {
+            return Err(lnls_core::PersistError::new(format!(
+                "negative knapsack capacity {capacity}"
+            )));
+        }
+        if values.iter().any(|&v| v <= 0) || weights.iter().any(|&w| w <= 0) {
+            return Err(lnls_core::PersistError::new(
+                "knapsack values and weights must be positive",
+            ));
+        }
+        Ok(Knapsack::new(values, weights, capacity))
+    }
+}
+
+impl lnls_core::PersistTag for Knapsack {
+    const TAG: &'static str = "knapsack";
+}
+
 /// Incremental state: running total value and weight.
 #[derive(Clone, Debug)]
 pub struct KnapsackState {
@@ -274,6 +321,31 @@ mod tests {
             assert_eq!(k.state_fitness(&st), predicted);
             assert_eq!(k.state_fitness(&st), k.evaluate(&s));
         }
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_semantics() {
+        use lnls_core::{Persist, Reader};
+        let mut rng = StdRng::seed_from_u64(9);
+        let k = Knapsack::random(&mut rng, 18, 10, 6);
+        let back: Knapsack = Reader::new(&k.to_bytes()).read().expect("decode");
+        assert_eq!(back.dim(), k.dim());
+        assert_eq!(back.penalty_rate(), k.penalty_rate());
+        for _ in 0..16 {
+            let s = BitString::random(&mut rng, 18);
+            assert_eq!(back.evaluate(&s), k.evaluate(&s));
+        }
+        // Corrupt payloads error instead of panicking.
+        let mut bad = Vec::new();
+        vec![1i64, 2].write(&mut bad);
+        vec![1i64].write(&mut bad);
+        3i64.write(&mut bad);
+        assert!(Reader::new(&bad).read::<Knapsack>().is_err(), "length mismatch must be refused");
+        let mut neg = Vec::new();
+        vec![1i64].write(&mut neg);
+        vec![0i64].write(&mut neg);
+        3i64.write(&mut neg);
+        assert!(Reader::new(&neg).read::<Knapsack>().is_err(), "zero weight must be refused");
     }
 
     #[test]

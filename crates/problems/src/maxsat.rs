@@ -101,6 +101,62 @@ impl MaxSat {
     }
 }
 
+/// One clause flattened for persistence: three `(var, polarity)` pairs.
+type FlatClause = ((u32, bool), (u32, bool), (u32, bool));
+
+/// Persisted as the variable count plus the clause list (three
+/// `(var, polarity)` pairs per clause) — the occurrence lists rebuild
+/// deterministically in `new`. Needed so MAX-3SAT fleet jobs survive
+/// checkpoint/restore.
+impl lnls_core::Persist for MaxSat {
+    fn write(&self, out: &mut Vec<u8>) {
+        lnls_core::Persist::write(&self.n, out);
+        let flat: Vec<FlatClause> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                ((c[0].var, c[0].positive), (c[1].var, c[1].positive), (c[2].var, c[2].positive))
+            })
+            .collect();
+        flat.write(out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let n: usize = r.read()?;
+        // The occurrence-list allocation is O(n) before any clause check
+        // can run: bound the count so a corrupt prefix errors instead of
+        // aborting on an absurd allocation.
+        if n > 1 << 24 {
+            return Err(lnls_core::PersistError::new(format!("implausible max3sat size {n}")));
+        }
+        let flat: Vec<FlatClause> = r.read()?;
+        // `MaxSat::new` asserts its invariants; corrupt input must error
+        // instead, so re-check them first.
+        let mut clauses = Vec::with_capacity(flat.len());
+        for (ci, &((v0, p0), (v1, p1), (v2, p2))) in flat.iter().enumerate() {
+            if v0 == v1 || v0 == v2 || v1 == v2 {
+                return Err(lnls_core::PersistError::new(format!(
+                    "max3sat clause {ci} repeats a variable"
+                )));
+            }
+            if [v0, v1, v2].iter().any(|&v| v as usize >= n) {
+                return Err(lnls_core::PersistError::new(format!(
+                    "max3sat clause {ci} references a variable >= {n}"
+                )));
+            }
+            clauses.push([
+                Lit { var: v0, positive: p0 },
+                Lit { var: v1, positive: p1 },
+                Lit { var: v2, positive: p2 },
+            ]);
+        }
+        Ok(MaxSat::new(n, clauses))
+    }
+}
+
+impl lnls_core::PersistTag for MaxSat {
+    const TAG: &'static str = "max3sat";
+}
+
 /// Incremental state: per-clause satisfied-literal counts, the number of
 /// unsatisfied clauses, and a stamp array for deduplicating the clauses a
 /// k-flip move touches.
@@ -245,6 +301,35 @@ mod tests {
         let p = MaxSat::random(&mut rng, 10, 40);
         let total: usize = p.occ.iter().map(Vec::len).sum();
         assert_eq!(total, 3 * 40);
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_semantics() {
+        use lnls_core::{Persist, Reader};
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = MaxSat::random(&mut rng, 16, 70);
+        let back: MaxSat = Reader::new(&p.to_bytes()).read().expect("decode");
+        assert_eq!(back.dim(), p.dim());
+        assert_eq!(back.clause_count(), p.clause_count());
+        for _ in 0..16 {
+            let s = BitString::random(&mut rng, 16);
+            assert_eq!(back.evaluate(&s), p.evaluate(&s));
+        }
+        // Corrupt payloads error instead of panicking.
+        let mut dup = Vec::new();
+        3usize.write(&mut dup);
+        vec![((0u32, true), (0u32, false), (1u32, true))].write(&mut dup);
+        assert!(Reader::new(&dup).read::<MaxSat>().is_err(), "repeated variable must be refused");
+        let mut oob = Vec::new();
+        3usize.write(&mut oob);
+        vec![((0u32, true), (1u32, false), (5u32, true))].write(&mut oob);
+        assert!(Reader::new(&oob).read::<MaxSat>().is_err(), "out-of-range var must be refused");
+        let mut huge = Vec::new();
+        (1usize << 40).write(&mut huge);
+        assert!(
+            Reader::new(&huge).read::<MaxSat>().is_err(),
+            "an absurd variable count must error, not allocate"
+        );
     }
 
     #[test]

@@ -57,6 +57,46 @@ impl Qubo {
     }
 }
 
+/// Persisted as the dimension plus the dense row-major matrix. Needed
+/// so QUBO fleet jobs survive checkpoint/restore.
+impl lnls_core::Persist for Qubo {
+    fn write(&self, out: &mut Vec<u8>) {
+        lnls_core::Persist::write(&self.n, out);
+        self.q.write(out);
+    }
+    fn read(r: &mut lnls_core::Reader<'_>) -> Result<Self, lnls_core::PersistError> {
+        let n: usize = r.read()?;
+        // The matrix is n² entries: bound the dimension so a corrupt
+        // prefix errors instead of aborting on an absurd allocation.
+        if n > 1 << 14 {
+            return Err(lnls_core::PersistError::new(format!("implausible qubo size {n}")));
+        }
+        let q: Vec<i64> = r.read()?;
+        // `Qubo::new` asserts its invariants; corrupt input must error
+        // instead, so re-check them first.
+        if q.len() != n * n {
+            return Err(lnls_core::PersistError::new(format!(
+                "qubo matrix has {} entries, expected {n}²",
+                q.len()
+            )));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if q[i * n + j] != q[j * n + i] {
+                    return Err(lnls_core::PersistError::new(format!(
+                        "qubo matrix asymmetric at ({i},{j})"
+                    )));
+                }
+            }
+        }
+        Ok(Qubo::new(n, q))
+    }
+}
+
+impl lnls_core::PersistTag for Qubo {
+    const TAG: &'static str = "qubo";
+}
+
 impl QuboState {
     /// Current fitness tracked by the state.
     pub fn fitness(&self) -> i64 {
@@ -238,6 +278,35 @@ mod tests {
             TabuSearch::paper(SearchConfig::budget(500).with_target(Some(best)), hood.size());
         let r = search.run(&q, &mut ex, BitString::zeros(12));
         assert_eq!(r.best_fitness, best, "tabu must find the global optimum");
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_semantics() {
+        use lnls_core::{Persist, Reader};
+        let mut rng = StdRng::seed_from_u64(8);
+        let q = Qubo::random(&mut rng, 15, 7, 0.5);
+        let back: Qubo = Reader::new(&q.to_bytes()).read().expect("decode");
+        assert_eq!(back.dim(), q.dim());
+        assert_eq!(back.matrix(), q.matrix());
+        for _ in 0..16 {
+            let s = BitString::random(&mut rng, 15);
+            assert_eq!(back.evaluate(&s), q.evaluate(&s));
+        }
+        // Corrupt payloads error instead of panicking.
+        let mut asym = Vec::new();
+        2usize.write(&mut asym);
+        vec![0i64, 1, 2, 0].write(&mut asym);
+        assert!(Reader::new(&asym).read::<Qubo>().is_err(), "asymmetry must be refused");
+        let mut short = Vec::new();
+        3usize.write(&mut short);
+        vec![0i64; 4].write(&mut short);
+        assert!(Reader::new(&short).read::<Qubo>().is_err(), "wrong length must be refused");
+        let mut huge = Vec::new();
+        (1usize << 40).write(&mut huge);
+        assert!(
+            Reader::new(&huge).read::<Qubo>().is_err(),
+            "an absurd dimension must error, not allocate"
+        );
     }
 
     #[test]

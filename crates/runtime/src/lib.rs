@@ -8,10 +8,17 @@
 //! * **One problem-agnostic submission API**: anything implementing
 //!   [`SearchJob`] — build a steppable executor, price its launches,
 //!   name a persistence tag — goes through the single generic
-//!   [`Scheduler::submit`]. Three workloads ship: [`BinaryJob`]
+//!   [`Scheduler::submit`]. Five workloads ship: [`BinaryJob`]
 //!   (full-neighborhood tabu, fusable), [`QapJobSpec`] (robust tabu
-//!   over swap moves) and [`AnnealJob`] (simulated annealing with
-//!   sampling-style pricing). Submission returns a `Copy`-able
+//!   over swap moves), [`AnnealJob`] (simulated annealing with
+//!   sampling-style pricing), [`LnsJob`] (destroy-and-repair large
+//!   neighborhood search whose per-round repair lanes price as one
+//!   fused multi-lane stream span) and [`PortfolioJob`] (a
+//!   tabu/annealing/descent race over one instance that reallocates
+//!   iteration budget to the leading lane at quantum boundaries, and
+//!   attaches a [`PortfolioOutcome`](lnls_lns::PortfolioOutcome)
+//!   detail saying where the budget went). Submission returns a
+//!   `Copy`-able
 //!   [`JobHandle`] for polling ([`Scheduler::status`]) or awaiting
 //!   ([`Scheduler::await_report`]).
 //! * **Admission control**: [`FleetClient`] fronts a scheduler with an
@@ -159,6 +166,7 @@
 mod client;
 mod exec;
 mod job;
+mod lns;
 mod observe;
 mod persist;
 mod report;
@@ -172,6 +180,7 @@ pub use job::{
     AnnealJob, BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec,
 };
 pub use lnls_gpu_sim::{LaunchMode, SelectionMode};
+pub use lns::{LnsJob, PortfolioJob};
 pub use observe::{
     chrome_trace, tenant_summaries, EventRecord, EventSink, FleetEvent, Histogram, JsonlSink,
     MetricsRegistry, RejectReason, RingSink, TenantSummary,

@@ -1,0 +1,965 @@
+//! Executors for the `lnls-lns` cursor families: destroy-and-repair
+//! jobs ([`LnsJob`]) and portfolio races ([`PortfolioJob`]).
+//!
+//! Neither family fuses with *other* tenants (`batch_key` is `None`) —
+//! each job is its own fused batch. A destroy-and-repair round repairs
+//! `L` lanes of the freed sub-problem in lockstep, so the executor
+//! prices every round as one multi-lane stream span of `inner_iters`
+//! fused repair launches through [`price_fused_span`] — the paper's
+//! launch-amortization argument applied *inside* a single tenant. A
+//! portfolio round advances three heterogeneous lanes (tabu, annealing,
+//! shaken descent) whose per-iteration shapes differ wildly; the
+//! executor prices one span per leader window (the leader is constant
+//! between reallocation boundaries) with a kernel chain entry per lane
+//! sub-step, which is exactly the stress test the heterogeneous-lane
+//! batcher needed.
+
+use crate::exec::{BatchKey, JobExec, StepRun};
+use crate::job::{JobId, JobOutcome, JobReport};
+use crate::submit::{JobCodec, SearchJob, SubmitCtx};
+use lnls_core::persist::{Persist, PersistError, PersistTag, Reader};
+use lnls_core::{BitString, DynCursor, IncrementalEval, LaneProfile, ProblemCursor};
+use lnls_gpu_sim::{
+    price_fused_span, transfer_seconds, Device, DeviceSpec, HostSpec, LaneIo, LaunchMode, TimeBook,
+};
+use lnls_lns::{LnsCursor, LnsSearch, PortfolioCursor, PortfolioSearch};
+use lnls_neighborhood::Neighborhood;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Registry tag of destroy-and-repair jobs over `P`.
+pub(crate) fn lns_tag<P: PersistTag>() -> String {
+    format!("lns/{}", P::TAG)
+}
+
+/// Registry tag of portfolio-race jobs over `P`.
+pub(crate) fn portfolio_tag<P: PersistTag>() -> String {
+    format!("portfolio/{}", P::TAG)
+}
+
+// ---------------------------------------------------------------------
+// Destroy-and-repair jobs
+// ---------------------------------------------------------------------
+
+/// A destroy-and-repair large-neighborhood-search job, submitted via the
+/// generic [`Scheduler::submit`](crate::Scheduler::submit).
+///
+/// One scheduler iteration is one LNS round (destroy → multi-lane
+/// repair → accept/reject); the repair lanes are priced as one fused
+/// multi-lane stream span per round, sized by the adaptive destroy
+/// radius. Reports through [`SearchResult`](lnls_core::SearchResult),
+/// so [`JobOutcome::as_binary`] works.
+pub struct LnsJob<P> {
+    /// Submission name (reports only).
+    pub name: String,
+    /// The problem instance (moved into the scheduler).
+    pub problem: P,
+    /// Driver configuration (budget, seed, lanes, destroy op, radius).
+    pub search: LnsSearch,
+    /// Initial solution — explicit so fleet runs are bit-comparable to
+    /// solo runs.
+    pub init: BitString,
+    /// Larger runs first when the queue is contended (0 = bulk).
+    pub priority: u8,
+    /// Per-repair-pass incremental-state upload, bytes (pricing input);
+    /// defaults to `4·dim` like [`BinaryJob`](crate::BinaryJob).
+    pub state_h2d_bytes: Option<u64>,
+    /// How the per-round repair span charges launch overhead
+    /// (pricing-only; results identical either way).
+    pub launch_mode: LaunchMode,
+}
+
+impl<P> LnsJob<P> {
+    /// A job with default priority, pricing hints and per-iteration
+    /// launches.
+    pub fn new(name: impl Into<String>, problem: P, search: LnsSearch, init: BitString) -> Self {
+        Self {
+            name: name.into(),
+            problem,
+            search,
+            init,
+            priority: 0,
+            state_h2d_bytes: None,
+            launch_mode: LaunchMode::PerIteration,
+        }
+    }
+
+    /// Set the queue priority (higher runs first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Override the per-pass state-upload pricing hint.
+    pub fn with_state_bytes(mut self, bytes: u64) -> Self {
+        self.state_h2d_bytes = Some(bytes);
+        self
+    }
+
+    /// Price repair spans under `mode` (e.g. persistent-kernel
+    /// residency).
+    pub fn with_launch_mode(mut self, mode: LaunchMode) -> Self {
+        self.launch_mode = mode;
+        self
+    }
+}
+
+impl<P> SearchJob for LnsJob<P>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn persist_tag(&self) -> String {
+        lns_tag::<P>()
+    }
+
+    fn into_exec(self: Box<Self>, ctx: SubmitCtx) -> Box<dyn JobExec> {
+        Box::new(LnsExec::new(ctx, *self))
+    }
+}
+
+impl<P> JobCodec for LnsJob<P>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    fn registry_tag() -> String {
+        lns_tag::<P>()
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+        read_lns_job::<P>(r)
+    }
+}
+
+/// Executor for [`LnsJob`]: an [`LnsCursor`] stepped round by round,
+/// each round priced as one fused multi-lane repair span.
+pub(crate) struct LnsExec<P>
+where
+    P: IncrementalEval + Send + Sync + 'static,
+{
+    pub id: JobId,
+    pub name: String,
+    pub priority: u8,
+    pub seq: u64,
+    pub state_h2d_bytes: u64,
+    pub host: HostSpec,
+    pub launch_mode: LaunchMode,
+    /// Accumulated launch-per-pass solo cost of the rounds executed so
+    /// far — the serialized-fleet baseline contribution (the freed-set
+    /// size varies round to round, so this cannot be reconstructed from
+    /// the final state).
+    pub serial_s: f64,
+    pub walk: ProblemCursor<P, LnsCursor<P>>,
+}
+
+impl<P> LnsExec<P>
+where
+    P: IncrementalEval + Send + Sync + 'static,
+{
+    pub fn new(ctx: SubmitCtx, spec: LnsJob<P>) -> Self {
+        let cursor = spec.search.cursor(&spec.problem, spec.init);
+        let state_h2d_bytes = spec.state_h2d_bytes.unwrap_or(4 * spec.problem.dim() as u64);
+        Self {
+            id: ctx.id,
+            name: ctx.name(spec.name),
+            priority: ctx.priority(spec.priority),
+            seq: ctx.seq,
+            state_h2d_bytes,
+            host: ctx.host,
+            launch_mode: spec.launch_mode,
+            serial_s: 0.0,
+            walk: ProblemCursor::new(Arc::new(spec.problem), cursor),
+        }
+    }
+
+    /// One repair lane's per-pass shape for the *next* round: `m` freed
+    /// single-flip candidates, re-evaluated incrementally.
+    fn profile(&self, spec: &DeviceSpec) -> LaneProfile {
+        LaneProfile::incremental_eval(
+            spec,
+            &self.host,
+            self.walk.cursor().planned_free_count() as u64,
+            1,
+            self.walk.problem().dim(),
+            self.state_h2d_bytes,
+        )
+    }
+
+    /// Step up to `quota` rounds, pricing each round as one fused
+    /// multi-lane span of `inner_iters` repair launches.
+    fn run_rounds(&mut self, dev: &mut Device, quota: u64, mode: LaunchMode) -> StepRun {
+        let spec = dev.spec().clone();
+        let lanes_n = self.walk.cursor().lanes();
+        let inner = self.walk.cursor().inner_iters();
+        let mut run = StepRun::default();
+        while run.iters < quota && !self.walk.is_done() {
+            // The radius (and therefore the freed-set size) is only
+            // known round by round — capture the shape before stepping.
+            let prof = self.profile(&spec);
+            if self.walk.step(1) == 0 {
+                break;
+            }
+            let lanes =
+                vec![LaneIo { h2d_bytes: prof.h2d_bytes, d2h_bytes: prof.d2h_bytes }; lanes_n];
+            // One fused kernel per repair pass covers all lanes (work is
+            // additive across the fused grid).
+            let kernel_s = prof.kernel_seconds * lanes_n as f64;
+            let sched = price_fused_span(&spec, &lanes, &[kernel_s], inner as usize, mode);
+            let launches = match mode {
+                LaunchMode::PerIteration => inner,
+                LaunchMode::PersistentSpan => 1,
+            };
+            let n = inner as f64;
+            let h2d_one: f64 = lanes.iter().map(|l| transfer_seconds(&spec, l.h2d_bytes)).sum();
+            let d2h_one: f64 = lanes.iter().map(|l| transfer_seconds(&spec, l.d2h_bytes)).sum();
+            let book = TimeBook {
+                kernel_s: kernel_s * n,
+                overhead_s: spec.launch_overhead_s * launches as f64,
+                h2d_s: h2d_one * n,
+                d2h_s: d2h_one * n,
+                bytes_h2d: lanes.iter().map(|l| l.h2d_bytes).sum::<u64>() * inner,
+                bytes_d2h: lanes.iter().map(|l| l.d2h_bytes).sum::<u64>() * inner,
+                launches,
+                host_s: prof.host_seconds * lanes_n as f64 * n,
+            };
+            dev.charge(&book);
+            self.serial_s += prof.solo_seconds(&spec) * (lanes_n as u64 * inner) as f64;
+            run.iters += 1;
+            run.seconds += sched.makespan;
+            run.serialized_s += sched.serialized;
+            run.spans += 1;
+            run.launch_overhead_saved_s += (inner - launches) as f64 * spec.launch_overhead_s;
+        }
+        run
+    }
+}
+
+impl<P> JobExec for LnsExec<P>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    fn id(&self) -> JobId {
+        self.id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn done(&self) -> bool {
+        self.walk.is_done()
+    }
+
+    fn iterations(&self) -> u64 {
+        self.walk.iterations()
+    }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        // Each round already *is* a fused multi-lane batch; rounds of
+        // different jobs have unrelated freed sets, so cross-tenant
+        // fusion has nothing coherent to fuse.
+        None
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun {
+        let mode = self.launch_mode;
+        self.run_rounds(dev, quota, mode)
+    }
+
+    fn step_host(&mut self, _host: &HostSpec, quota: u64) -> StepRun {
+        // Host repairs run the same passes serially; `profile` folds the
+        // executor's host model in (reference device irrelevant).
+        let ref_spec = DeviceSpec::gtx280();
+        let lanes_n = self.walk.cursor().lanes();
+        let inner = self.walk.cursor().inner_iters();
+        let mut run = StepRun::default();
+        while run.iters < quota && !self.walk.is_done() {
+            let prof = self.profile(&ref_spec);
+            if self.walk.step(1) == 0 {
+                break;
+            }
+            let seconds = prof.host_seconds * (lanes_n as u64 * inner) as f64;
+            self.serial_s += seconds;
+            run.iters += 1;
+            run.seconds += seconds;
+            run.serialized_s += seconds;
+        }
+        run
+    }
+
+    fn step_batch(
+        &mut self,
+        peers: &mut [&mut Box<dyn JobExec>],
+        dev: &mut Device,
+        span_iters: u64,
+        mode: LaunchMode,
+    ) -> StepRun {
+        assert!(peers.is_empty(), "batch_key() is None, so no peers ever arrive");
+        self.run_rounds(dev, span_iters.max(1), mode)
+    }
+
+    fn serial_equivalent_s(&self, _spec: &DeviceSpec) -> f64 {
+        self.serial_s
+    }
+
+    fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport {
+        let result = self.walk.cursor().clone().into_result(std::time::Duration::ZERO);
+        JobReport {
+            id: self.id,
+            name: self.name.clone(),
+            tenant: String::new(),
+            backend,
+            submitted_s: 0.0,
+            started_s,
+            finished_s,
+            fused_iterations: 0,
+            cancelled: false,
+            rejected: false,
+            outcome: JobOutcome::binary(result),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn JobExec> {
+        Box::new(Self {
+            id: self.id,
+            name: self.name.clone(),
+            priority: self.priority,
+            seq: self.seq,
+            state_h2d_bytes: self.state_h2d_bytes,
+            host: self.host.clone(),
+            launch_mode: self.launch_mode,
+            serial_s: self.serial_s,
+            walk: self.walk.clone(),
+        })
+    }
+
+    fn persist_tag(&self) -> String {
+        lns_tag::<P>()
+    }
+
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.id.0.write(out);
+        self.name.write(out);
+        self.priority.write(out);
+        self.seq.write(out);
+        self.state_h2d_bytes.write(out);
+        self.host.write(out);
+        self.launch_mode.write(out);
+        self.serial_s.write(out);
+        self.walk.problem().write(out);
+        self.walk.cursor().persist(out);
+    }
+}
+
+/// Decode one [`LnsExec`] payload (inverse of its `persist`).
+pub(crate) fn read_lns_job<P>(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    let id = JobId(r.read::<u64>()?);
+    let name: String = r.read()?;
+    let priority: u8 = r.read()?;
+    let seq: u64 = r.read()?;
+    let state_h2d_bytes: u64 = r.read()?;
+    let host: HostSpec = r.read()?;
+    let launch_mode: LaunchMode = r.read()?;
+    let serial_s: f64 = r.read()?;
+    let problem: P = r.read()?;
+    let cursor = LnsCursor::read_persisted(r, &problem)?;
+    Ok(Box::new(LnsExec {
+        id,
+        name,
+        priority,
+        seq,
+        state_h2d_bytes,
+        host,
+        launch_mode,
+        serial_s,
+        walk: ProblemCursor::new(Arc::new(problem), cursor),
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Portfolio-race jobs
+// ---------------------------------------------------------------------
+
+/// A portfolio-race job — tabu vs. simulated annealing vs. shaken
+/// descent on one instance — submitted via the generic
+/// [`Scheduler::submit`](crate::Scheduler::submit).
+///
+/// One scheduler iteration is one race round. The three heterogeneous
+/// lanes are priced as one fused stream span per leader window, and the
+/// finished job attaches a
+/// [`PortfolioOutcome`](lnls_lns::PortfolioOutcome) detail
+/// ([`JobOutcome::detail`]) reporting where the iteration budget went.
+pub struct PortfolioJob<P> {
+    /// Submission name (reports only).
+    pub name: String,
+    /// The problem instance (moved into the scheduler).
+    pub problem: P,
+    /// Driver configuration (budget, seed, reallocation quantum, boost).
+    pub search: PortfolioSearch,
+    /// Initial solution — explicit so fleet runs are bit-comparable to
+    /// solo runs.
+    pub init: BitString,
+    /// Larger runs first when the queue is contended (0 = bulk).
+    pub priority: u8,
+    /// Per-sub-step incremental-state upload, bytes (pricing input);
+    /// defaults to `4·dim` like [`BinaryJob`](crate::BinaryJob).
+    pub state_h2d_bytes: Option<u64>,
+    /// How leader-window spans charge launch overhead (pricing-only).
+    pub launch_mode: LaunchMode,
+}
+
+impl<P> PortfolioJob<P> {
+    /// A job with default priority, pricing hints and per-iteration
+    /// launches.
+    pub fn new(
+        name: impl Into<String>,
+        problem: P,
+        search: PortfolioSearch,
+        init: BitString,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            problem,
+            search,
+            init,
+            priority: 0,
+            state_h2d_bytes: None,
+            launch_mode: LaunchMode::PerIteration,
+        }
+    }
+
+    /// Set the queue priority (higher runs first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Override the per-sub-step state-upload pricing hint.
+    pub fn with_state_bytes(mut self, bytes: u64) -> Self {
+        self.state_h2d_bytes = Some(bytes);
+        self
+    }
+
+    /// Price leader-window spans under `mode`.
+    pub fn with_launch_mode(mut self, mode: LaunchMode) -> Self {
+        self.launch_mode = mode;
+        self
+    }
+}
+
+impl<P> SearchJob for PortfolioJob<P>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn persist_tag(&self) -> String {
+        portfolio_tag::<P>()
+    }
+
+    fn into_exec(self: Box<Self>, ctx: SubmitCtx) -> Box<dyn JobExec> {
+        Box::new(PortfolioExec::new(ctx, *self))
+    }
+}
+
+impl<P> JobCodec for PortfolioJob<P>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    fn registry_tag() -> String {
+        portfolio_tag::<P>()
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+        read_portfolio_job::<P>(r)
+    }
+}
+
+/// Executor for [`PortfolioJob`]: a [`PortfolioCursor`] stepped round by
+/// round, priced one heterogeneous-lane span per leader window.
+pub(crate) struct PortfolioExec<P>
+where
+    P: IncrementalEval + Send + Sync + 'static,
+{
+    pub id: JobId,
+    pub name: String,
+    pub priority: u8,
+    pub seq: u64,
+    pub state_h2d_bytes: u64,
+    pub host: HostSpec,
+    pub launch_mode: LaunchMode,
+    /// Accumulated solo cost of the sub-steps executed so far (the
+    /// leader schedule varies, so this cannot be reconstructed from the
+    /// final state).
+    pub serial_s: f64,
+    pub walk: ProblemCursor<P, PortfolioCursor<P>>,
+}
+
+impl<P> PortfolioExec<P>
+where
+    P: IncrementalEval + Send + Sync + 'static,
+{
+    pub fn new(ctx: SubmitCtx, spec: PortfolioJob<P>) -> Self {
+        let cursor = spec.search.cursor(&spec.problem, spec.init);
+        let state_h2d_bytes = spec.state_h2d_bytes.unwrap_or(4 * spec.problem.dim() as u64);
+        Self {
+            id: ctx.id,
+            name: ctx.name(spec.name),
+            priority: ctx.priority(spec.priority),
+            seq: ctx.seq,
+            state_h2d_bytes,
+            host: ctx.host,
+            launch_mode: spec.launch_mode,
+            serial_s: 0.0,
+            walk: ProblemCursor::new(Arc::new(spec.problem), cursor),
+        }
+    }
+
+    /// The three lanes' per-sub-step shapes: full-neighborhood tabu
+    /// scan, one sampled annealing move, whole-string greedy descent.
+    fn profiles(&self, spec: &DeviceSpec) -> [LaneProfile; 3] {
+        let cursor = self.walk.cursor();
+        let dim = self.walk.problem().dim();
+        let hood = cursor.hood();
+        [
+            LaneProfile::incremental_eval(
+                spec,
+                &self.host,
+                hood.size(),
+                hood.k(),
+                dim,
+                self.state_h2d_bytes,
+            ),
+            LaneProfile::incremental_eval(spec, &self.host, 1, hood.k(), dim, self.state_h2d_bytes),
+            LaneProfile::incremental_eval(
+                spec,
+                &self.host,
+                dim as u64,
+                1,
+                dim,
+                self.state_h2d_bytes,
+            ),
+        ]
+    }
+
+    /// Sub-steps lane `lane` runs per round under `leader`.
+    fn substeps(&self, lane: usize, leader: usize) -> u64 {
+        if lane == leader {
+            self.walk.cursor().boost()
+        } else {
+            1
+        }
+    }
+
+    /// Step up to `quota` rounds; each leader window (the leader is
+    /// constant between reallocation boundaries) is priced as one fused
+    /// heterogeneous-lane span with one kernel-chain entry per lane
+    /// sub-step.
+    fn run_rounds(&mut self, dev: &mut Device, quota: u64, mode: LaunchMode) -> StepRun {
+        let spec = dev.spec().clone();
+        let mut run = StepRun::default();
+        while run.iters < quota && !self.walk.is_done() {
+            let leader = self.walk.cursor().leader();
+            let realloc = self.walk.cursor().realloc_every();
+            let window = realloc - self.walk.iterations() % realloc;
+            let profs = self.profiles(&spec);
+            let lanes: Vec<LaneIo> = profs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let s = self.substeps(i, leader);
+                    LaneIo { h2d_bytes: p.h2d_bytes * s, d2h_bytes: p.d2h_bytes * s }
+                })
+                .collect();
+            let kernels: Vec<f64> = profs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, p)| {
+                    std::iter::repeat_n(p.kernel_seconds, self.substeps(i, leader) as usize)
+                })
+                .collect();
+            let ran = self.walk.step(window.min(quota - run.iters));
+            if ran == 0 {
+                break;
+            }
+            let sched = price_fused_span(&spec, &lanes, &kernels, ran as usize, mode);
+            let per_iter = kernels.len() as u64;
+            let launches = match mode {
+                LaunchMode::PerIteration => ran * per_iter,
+                LaunchMode::PersistentSpan => per_iter,
+            };
+            let n = ran as f64;
+            let h2d_one: f64 = lanes.iter().map(|l| transfer_seconds(&spec, l.h2d_bytes)).sum();
+            let d2h_one: f64 = lanes.iter().map(|l| transfer_seconds(&spec, l.d2h_bytes)).sum();
+            let host_one: f64 = profs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.host_seconds * self.substeps(i, leader) as f64)
+                .sum();
+            let book = TimeBook {
+                kernel_s: kernels.iter().sum::<f64>() * n,
+                overhead_s: spec.launch_overhead_s * launches as f64,
+                h2d_s: h2d_one * n,
+                d2h_s: d2h_one * n,
+                bytes_h2d: lanes.iter().map(|l| l.h2d_bytes).sum::<u64>() * ran,
+                bytes_d2h: lanes.iter().map(|l| l.d2h_bytes).sum::<u64>() * ran,
+                launches,
+                host_s: host_one * n,
+            };
+            dev.charge(&book);
+            self.serial_s += profs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.solo_seconds(&spec) * self.substeps(i, leader) as f64)
+                .sum::<f64>()
+                * n;
+            run.iters += ran;
+            run.seconds += sched.makespan;
+            run.serialized_s += sched.serialized;
+            run.spans += 1;
+            run.launch_overhead_saved_s +=
+                (ran * per_iter - launches) as f64 * spec.launch_overhead_s;
+        }
+        run
+    }
+}
+
+impl<P> JobExec for PortfolioExec<P>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    fn id(&self) -> JobId {
+        self.id
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn priority(&self) -> u8 {
+        self.priority
+    }
+
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn done(&self) -> bool {
+        self.walk.is_done()
+    }
+
+    fn iterations(&self) -> u64 {
+        self.walk.iterations()
+    }
+
+    fn batch_key(&self) -> Option<BatchKey> {
+        // The race is already a fused heterogeneous batch of its own
+        // three lanes; it never fuses with other tenants.
+        None
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn step_device(&mut self, dev: &mut Device, quota: u64) -> StepRun {
+        let mode = self.launch_mode;
+        self.run_rounds(dev, quota, mode)
+    }
+
+    fn step_host(&mut self, _host: &HostSpec, quota: u64) -> StepRun {
+        let ref_spec = DeviceSpec::gtx280();
+        let mut run = StepRun::default();
+        while run.iters < quota && !self.walk.is_done() {
+            let leader = self.walk.cursor().leader();
+            let profs = self.profiles(&ref_spec);
+            if self.walk.step(1) == 0 {
+                break;
+            }
+            let seconds: f64 = profs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.host_seconds * self.substeps(i, leader) as f64)
+                .sum();
+            self.serial_s += seconds;
+            run.iters += 1;
+            run.seconds += seconds;
+            run.serialized_s += seconds;
+        }
+        run
+    }
+
+    fn step_batch(
+        &mut self,
+        peers: &mut [&mut Box<dyn JobExec>],
+        dev: &mut Device,
+        span_iters: u64,
+        mode: LaunchMode,
+    ) -> StepRun {
+        assert!(peers.is_empty(), "batch_key() is None, so no peers ever arrive");
+        self.run_rounds(dev, span_iters.max(1), mode)
+    }
+
+    fn serial_equivalent_s(&self, _spec: &DeviceSpec) -> f64 {
+        self.serial_s
+    }
+
+    fn finish(&mut self, backend: String, started_s: f64, finished_s: f64) -> JobReport {
+        let outcome = self.walk.cursor().outcome();
+        let result = self.walk.cursor().clone().into_result(std::time::Duration::ZERO);
+        JobReport {
+            id: self.id,
+            name: self.name.clone(),
+            tenant: String::new(),
+            backend,
+            submitted_s: 0.0,
+            started_s,
+            finished_s,
+            fused_iterations: 0,
+            cancelled: false,
+            rejected: false,
+            outcome: JobOutcome::with_detail(
+                result.best_fitness,
+                result.iterations,
+                result.success,
+                outcome,
+            ),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn JobExec> {
+        Box::new(Self {
+            id: self.id,
+            name: self.name.clone(),
+            priority: self.priority,
+            seq: self.seq,
+            state_h2d_bytes: self.state_h2d_bytes,
+            host: self.host.clone(),
+            launch_mode: self.launch_mode,
+            serial_s: self.serial_s,
+            walk: self.walk.clone(),
+        })
+    }
+
+    fn persist_tag(&self) -> String {
+        portfolio_tag::<P>()
+    }
+
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.id.0.write(out);
+        self.name.write(out);
+        self.priority.write(out);
+        self.seq.write(out);
+        self.state_h2d_bytes.write(out);
+        self.host.write(out);
+        self.launch_mode.write(out);
+        self.serial_s.write(out);
+        self.walk.problem().write(out);
+        self.walk.cursor().persist(out);
+    }
+}
+
+/// Decode one [`PortfolioExec`] payload (inverse of its `persist`).
+pub(crate) fn read_portfolio_job<P>(r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>
+where
+    P: IncrementalEval + Persist + PersistTag + Send + Sync + 'static,
+{
+    let id = JobId(r.read::<u64>()?);
+    let name: String = r.read()?;
+    let priority: u8 = r.read()?;
+    let seq: u64 = r.read()?;
+    let state_h2d_bytes: u64 = r.read()?;
+    let host: HostSpec = r.read()?;
+    let launch_mode: LaunchMode = r.read()?;
+    let serial_s: f64 = r.read()?;
+    let problem: P = r.read()?;
+    let cursor = PortfolioCursor::read_persisted(r, &problem)?;
+    Ok(Box::new(PortfolioExec {
+        id,
+        name,
+        priority,
+        seq,
+        state_h2d_bytes,
+        host,
+        launch_mode,
+        serial_s,
+        walk: ProblemCursor::new(Arc::new(problem), cursor),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FleetCheckpoint, JobRegistry, Scheduler, SchedulerConfig};
+    use lnls_core::{SearchConfig, SearchCursor};
+    use lnls_problems::{Knapsack, MaxSat, Qubo};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lns_search(rounds: u64, seed: u64) -> LnsSearch {
+        LnsSearch::paper(SearchConfig::budget(rounds).with_seed(seed).with_target(None))
+    }
+
+    fn portfolio_search(rounds: u64, seed: u64) -> PortfolioSearch {
+        PortfolioSearch::paper(SearchConfig::budget(rounds).with_seed(seed).with_target(None))
+    }
+
+    fn knap_lns(i: u64, rounds: u64) -> LnsJob<Knapsack> {
+        let mut rng = StdRng::seed_from_u64(i);
+        let problem = Knapsack::random(&mut rng, 24, 9, 5);
+        let init = BitString::random(&mut rng, 24);
+        LnsJob::new(format!("lns-{i}"), problem, lns_search(rounds, i), init)
+    }
+
+    fn qubo_portfolio(i: u64, rounds: u64) -> PortfolioJob<Qubo> {
+        let mut rng = StdRng::seed_from_u64(i);
+        let problem = Qubo::random(&mut rng, 20, 7, 0.5);
+        let init = BitString::random(&mut rng, 20);
+        PortfolioJob::new(format!("race-{i}"), problem, portfolio_search(rounds, i), init)
+    }
+
+    #[test]
+    fn fleet_lns_results_match_solo_runs() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            2,
+            lnls_gpu_sim::DeviceSpec::gtx280(),
+            SchedulerConfig { quantum_iters: Some(3), ..Default::default() },
+        );
+        let handles: Vec<_> = (0..4).map(|i| fleet.submit(knap_lns(i, 25))).collect();
+        fleet.run_until_idle();
+        for (i, h) in handles.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(i as u64);
+            let problem = Knapsack::random(&mut rng, 24, 9, 5);
+            let init = BitString::random(&mut rng, 24);
+            let want = lns_search(25, i as u64).run(&problem, init);
+            let got = fleet.report(*h).expect("done");
+            let got = got.outcome.as_binary().expect("lns reports SearchResult");
+            assert_eq!(got.best, want.best, "job {i}");
+            assert_eq!(got.best_fitness, want.best_fitness, "job {i}");
+            assert_eq!(got.iterations, want.iterations, "job {i}");
+            assert_eq!(got.evals, want.evals, "job {i}");
+        }
+        let report = fleet.fleet_report();
+        assert!(report.spans > 0, "every round prices one fused span");
+    }
+
+    #[test]
+    fn fleet_portfolio_matches_solo_and_reports_reallocation() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            lnls_gpu_sim::DeviceSpec::gtx280(),
+            SchedulerConfig { quantum_iters: Some(5), ..Default::default() },
+        );
+        let h = fleet.submit(qubo_portfolio(3, 48));
+        fleet.run_until_idle();
+        let mut rng = StdRng::seed_from_u64(3);
+        let problem = Qubo::random(&mut rng, 20, 7, 0.5);
+        let init = BitString::random(&mut rng, 20);
+        let mut solo = portfolio_search(48, 3).cursor(&problem, init);
+        solo.step_batch(&problem, u64::MAX);
+        let report = fleet.report(h).expect("done");
+        let detail: &lnls_lns::PortfolioOutcome =
+            report.outcome.detail().expect("portfolio attaches its race outcome");
+        assert_eq!(*detail, solo.outcome(), "fleet race must equal the solo race");
+        assert_eq!(report.outcome.best_fitness(), solo.best());
+        let total: u64 = detail.lane_iterations.iter().sum();
+        let max_lane = *detail.lane_iterations.iter().max().expect("lanes");
+        assert!(
+            max_lane > total / 3,
+            "the boost must concentrate budget on the leading lane: {:?}",
+            detail.lane_iterations
+        );
+    }
+
+    #[test]
+    fn lns_and_portfolio_survive_checkpoint_bytes_mid_run() {
+        let build = || {
+            let mut fleet = Scheduler::with_uniform_fleet(
+                1,
+                lnls_gpu_sim::DeviceSpec::gtx280(),
+                SchedulerConfig { quantum_iters: Some(4), ..Default::default() },
+            );
+            fleet.submit(knap_lns(7, 30));
+            fleet.submit(qubo_portfolio(8, 40));
+            fleet
+        };
+        let mut straight = build();
+        straight.run_until_idle();
+
+        let mut fleet = build();
+        for _ in 0..3 {
+            fleet.tick();
+        }
+        let bytes = fleet.checkpoint().to_bytes();
+        drop(fleet);
+        let registry = JobRegistry::with_builtin();
+        let revived = FleetCheckpoint::from_bytes(&bytes, &registry).expect("both tags registered");
+        let mut resumed = Scheduler::restore(revived);
+        resumed.run_until_idle();
+
+        for (ra, rb) in straight.reports().zip(resumed.reports()) {
+            assert_eq!(ra.id, rb.id);
+            assert_eq!(ra.outcome.best_fitness(), rb.outcome.best_fitness(), "{}", ra.name);
+            assert_eq!(ra.outcome.iterations(), rb.outcome.iterations(), "{}", ra.name);
+        }
+        let a = straight.fleet_report();
+        let b = resumed.fleet_report();
+        assert!((a.makespan_s - b.makespan_s).abs() < 1e-9, "{} vs {}", a.makespan_s, b.makespan_s);
+    }
+
+    #[test]
+    fn builtin_registry_knows_all_six_new_tags() {
+        let mut fleet = Scheduler::with_uniform_fleet(
+            1,
+            lnls_gpu_sim::DeviceSpec::gtx280(),
+            SchedulerConfig::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let sat = MaxSat::random(&mut rng, 12, 40);
+        let qubo = Qubo::random(&mut rng, 12, 5, 0.5);
+        let knap = Knapsack::random(&mut rng, 12, 8, 4);
+        let init = BitString::random(&mut rng, 12);
+        fleet.submit(LnsJob::new("a", sat.clone(), lns_search(6, 1), init.clone()));
+        fleet.submit(LnsJob::new("b", qubo.clone(), lns_search(6, 2), init.clone()));
+        fleet.submit(LnsJob::new("c", knap.clone(), lns_search(6, 3), init.clone()));
+        fleet.submit(PortfolioJob::new("d", sat, portfolio_search(6, 4), init.clone()));
+        fleet.submit(PortfolioJob::new("e", qubo, portfolio_search(6, 5), init.clone()));
+        fleet.submit(PortfolioJob::new("f", knap, portfolio_search(6, 6), init));
+        fleet.tick();
+        let bytes = fleet.checkpoint().to_bytes();
+        let registry = JobRegistry::with_builtin();
+        let revived =
+            FleetCheckpoint::from_bytes(&bytes, &registry).expect("all six tags registered");
+        let mut resumed = Scheduler::restore(revived);
+        resumed.run_until_idle();
+        assert_eq!(resumed.fleet_report().jobs_completed, 6);
+    }
+}

@@ -15,22 +15,24 @@
 //! with, exactly like it had to in order to submit them.
 //!
 //! [`JobRegistry::with_builtin`] pre-registers every combination the
-//! workspace ships (QAP robust tabu, plus tabu *and* annealing jobs for
-//! OneMax, PPP and Max-Cut over the bundled neighborhoods); custom
-//! workloads add
+//! workspace ships (QAP robust tabu; tabu *and* annealing jobs for
+//! OneMax, PPP and Max-Cut over the bundled neighborhoods; LNS
+//! destroy-and-repair and portfolio races over Knapsack, Max-3-Sat and
+//! QUBO); custom workloads add
 //! themselves with [`JobRegistry::register`], keyed by their
 //! [`JobCodec`] implementation — the same trait family submission
 //! flows through.
 
 use crate::exec::JobExec;
 use crate::job::{AnnealJob, BinaryJob, JobId, JobOutcome, JobReport, QapJobSpec};
+use crate::lns::{LnsJob, PortfolioJob};
 use crate::scheduler::{ActiveJob, ActiveSnapshot, FleetCheckpoint, JobMeta, QueueEntry};
 use crate::submit::JobCodec;
 use crate::{PlacePolicy, SchedulerConfig};
 use lnls_core::persist::{Persist, PersistError, Reader};
 use lnls_neighborhood::{KHamming, OneHamming, ThreeHamming, TwoHamming};
 use lnls_ppp::Ppp;
-use lnls_problems::{MaxCut, OneMax};
+use lnls_problems::{Knapsack, MaxCut, MaxSat, OneMax, Qubo};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
@@ -71,15 +73,32 @@ impl JobRegistry {
         reg.register::<AnnealJob<Ppp, TwoHamming>>();
         reg.register::<AnnealJob<Ppp, KHamming>>();
         reg.register::<AnnealJob<MaxCut, KHamming>>();
+        reg.register::<LnsJob<Knapsack>>();
+        reg.register::<LnsJob<MaxSat>>();
+        reg.register::<LnsJob<Qubo>>();
+        reg.register::<PortfolioJob<Knapsack>>();
+        reg.register::<PortfolioJob<MaxSat>>();
+        reg.register::<PortfolioJob<Qubo>>();
         reg
     }
 
-    /// Register a job type by its [`JobCodec`]. Idempotent. Submission
-    /// and persistence flow through the same trait family, so one
+    /// Register a job type by its [`JobCodec`]. Submission and
+    /// persistence flow through the same trait family, so one
     /// registration covers a workload end to end — `BinaryJob`,
     /// `QapJobSpec`, `AnnealJob`, or anything external.
+    ///
+    /// # Panics
+    /// Panics if the tag is already registered: two decoders under one
+    /// tag means the later one would silently shadow the earlier, and
+    /// which jobs decode correctly would depend on registration order.
+    /// Tags must be globally unique (e.g. `"lns/knapsack"`).
     pub fn register<J: JobCodec>(&mut self) {
-        self.loaders.insert(J::registry_tag(), J::decode as Loader);
+        let tag = J::registry_tag();
+        assert!(
+            self.loaders.insert(tag.clone(), J::decode as Loader).is_none(),
+            "job tag '{tag}' is already registered; a second decoder would \
+             silently shadow the first"
+        );
     }
 
     fn decode_job(&self, r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
@@ -155,7 +174,7 @@ fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
     })
 }
 
-/// Outcomes persist as the generic record plus a tagged detail: the two
+/// Outcomes persist as the generic record plus a tagged detail: the
 /// bundled detail types round-trip losslessly; an unknown (external)
 /// detail degrades to the record alone — the fitness/iteration numbers
 /// survive, the typed payload does not.
@@ -166,6 +185,12 @@ fn write_outcome(outcome: &JobOutcome, out: &mut Vec<u8>) {
     } else if let Some(res) = outcome.as_qap() {
         1u8.write(out);
         res.write(out);
+    } else if let Some(race) = outcome.detail::<lnls_lns::PortfolioOutcome>() {
+        3u8.write(out);
+        outcome.best_fitness().write(out);
+        outcome.iterations().write(out);
+        outcome.success().write(out);
+        race.write(out);
     } else {
         2u8.write(out);
         outcome.best_fitness().write(out);
@@ -183,6 +208,13 @@ fn read_outcome(r: &mut Reader<'_>) -> Result<JobOutcome, PersistError> {
             let iterations: u64 = r.read()?;
             let success: bool = r.read()?;
             JobOutcome::new(best_fitness, iterations, success)
+        }
+        3 => {
+            let best_fitness: i64 = r.read()?;
+            let iterations: u64 = r.read()?;
+            let success: bool = r.read()?;
+            let race: lnls_lns::PortfolioOutcome = r.read()?;
+            JobOutcome::with_detail(best_fitness, iterations, success, race)
         }
         b => return Err(PersistError::new(format!("bad outcome tag {b}"))),
     })
@@ -406,5 +438,32 @@ impl FleetCheckpoint {
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes, registry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_tag_registration_is_rejected() {
+        let mut reg = JobRegistry::new();
+        // QapJobSpec is already in `new()`; a second registration would
+        // silently shadow the first decoder.
+        reg.register::<QapJobSpec>();
+    }
+
+    #[test]
+    fn builtin_registry_rejects_unknown_tags_with_the_tag_name() {
+        let reg = JobRegistry::with_builtin();
+        let mut bytes = Vec::new();
+        "no/such-job".to_string().write(&mut bytes);
+        Vec::<u8>::new().write(&mut bytes);
+        let err = match reg.decode_job(&mut Reader::new(&bytes)) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown tag must not decode"),
+        };
+        assert!(err.to_string().contains("no/such-job"), "{err}");
     }
 }

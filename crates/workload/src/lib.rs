@@ -10,9 +10,10 @@
 //!   tenant mixes with per-tenant family/size/priority/deadline/budget
 //!   distributions over every bundled job family (binary tabu, PPP
 //!   cryptanalysis, Max-Cut from the problems zoo, simulated annealing,
-//!   QAP robust tabu), a fleet shape and an admission policy. A named
-//!   [catalog](Scenario::catalog) ships six scenarios from steady-state
-//!   to crash-churn.
+//!   QAP robust tabu, destroy-and-repair LNS and portfolio races over
+//!   Knapsack/Max-3-Sat/QUBO), a fleet shape and an admission policy.
+//!   A named [catalog](Scenario::catalog) ships eight scenarios from
+//!   steady-state to crash-churn.
 //! * **[`TrafficGen`]** — the deterministic lowering: `(scenario, seed)`
 //!   becomes a [`Trace`] of timed [`Arrival`]s, bit-reproducibly.
 //! * **[`Trace`]** — the record/replay format on
@@ -59,7 +60,9 @@ mod traffic;
 mod whatif;
 
 pub use driver::{Driver, WorkloadReport};
-pub use scenario::{ArrivalProcess, Family, FleetProfile, Scenario, TenantProfile};
+pub use scenario::{
+    ArrivalProcess, Family, FleetProfile, Scenario, TenantProfile, UnknownScenario,
+};
 pub use trace::Trace;
 pub use traffic::{Arrival, JobRecipe, TrafficGen};
 pub use whatif::{Variant, VariantOutcome, WhatIf, WhatIfReport};

@@ -56,6 +56,12 @@ pub enum Family {
     Anneal,
     /// QAP robust tabu (long, unbatchable, preemption-sensitive).
     Qap,
+    /// Destroy-and-repair LNS over Knapsack/Max-3-Sat/QUBO (per-round
+    /// fused multi-lane repair spans, adaptive destroy radius).
+    LnsRepair,
+    /// Tabu/SA/descent portfolio races over Knapsack/Max-3-Sat/QUBO
+    /// (heterogeneous-lane spans, budget reallocation to the leader).
+    PortfolioRace,
 }
 
 impl Family {
@@ -67,6 +73,8 @@ impl Family {
             Family::TabuMaxCut => "maxcut",
             Family::Anneal => "sa",
             Family::Qap => "qap",
+            Family::LnsRepair => "lns",
+            Family::PortfolioRace => "portfolio",
         }
     }
 }
@@ -237,6 +245,8 @@ impl Scenario {
     /// | `deadline-heavy` | tight deadlines, cancellations expected |
     /// | `checkpoint-churn` | mid-replay crash/restore through checkpoint bytes |
     /// | `saturation` | every family at once over an undersized fleet |
+    /// | `lns-repair` | destroy-and-repair LNS over the Knapsack/Max-3-Sat/QUBO zoo |
+    /// | `portfolio-race` | tabu/SA/descent portfolio races, budget follows the leader |
     pub fn catalog() -> Vec<Scenario> {
         vec![
             Self::steady(),
@@ -245,12 +255,21 @@ impl Scenario {
             Self::deadline_heavy(),
             Self::checkpoint_churn(),
             Self::saturation(),
+            Self::lns_repair(),
+            Self::portfolio_race(),
         ]
     }
 
-    /// Look a catalog scenario up by name (case-insensitive).
-    pub fn by_name(name: &str) -> Option<Scenario> {
-        Self::catalog().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
+    /// Look a catalog scenario up by name (case-insensitive); an
+    /// unknown name comes back as an [`UnknownScenario`] listing every
+    /// valid name, so misspellings are self-diagnosing.
+    pub fn by_name(name: &str) -> Result<Scenario, UnknownScenario> {
+        Self::catalog().into_iter().find(|s| s.name.eq_ignore_ascii_case(name)).ok_or_else(|| {
+            UnknownScenario {
+                requested: name.to_string(),
+                known: Self::catalog().into_iter().map(|s| s.name).collect(),
+            }
+        })
     }
 
     /// Steady multi-tenant mix: tabu bulk, PPP tries and an annealing
@@ -443,7 +462,94 @@ impl Scenario {
             crash_at_tick: None,
         }
     }
+
+    /// Destroy-and-repair LNS over the binary-problems zoo: every round
+    /// prices its repair lanes as one fused multi-lane stream span, so
+    /// this scenario exercises the stream pricer *within* single
+    /// tenants, alongside an annealing chain for contrast.
+    pub fn lns_repair() -> Scenario {
+        Scenario {
+            name: "lns-repair".into(),
+            summary: "destroy-and-repair LNS over Knapsack/Max-3-Sat/QUBO (fused repair spans)"
+                .into(),
+            jobs: 16,
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 5000.0 },
+            tenants: vec![
+                TenantProfile {
+                    weight: 3.0,
+                    dims: vec![24, 32],
+                    iters: (15, 30),
+                    ..TenantProfile::new("repair", vec![(Family::LnsRepair, 1.0)])
+                },
+                TenantProfile {
+                    iters: (30, 60),
+                    ..TenantProfile::new("sampler", vec![(Family::Anneal, 1.0)])
+                },
+            ],
+            fleet: FleetProfile { devices: 2, cpu_workers: 1, ..FleetProfile::default() },
+            admission: AdmissionPolicy::unbounded(),
+            crash_at_tick: None,
+        }
+    }
+
+    /// Portfolio races: tabu, annealing and shaken descent compete on
+    /// one instance inside one fused heterogeneous batch, and iteration
+    /// budget follows the leading lane at reallocation boundaries.
+    pub fn portfolio_race() -> Scenario {
+        Scenario {
+            name: "portfolio-race".into(),
+            summary: "tabu/SA/descent races per instance, budget follows the leading lane".into(),
+            jobs: 12,
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 4000.0 },
+            tenants: vec![
+                TenantProfile {
+                    weight: 2.0,
+                    dims: vec![20, 24],
+                    iters: (16, 40),
+                    ..TenantProfile::new("racers", vec![(Family::PortfolioRace, 1.0)])
+                },
+                TenantProfile {
+                    dims: vec![24],
+                    iters: (15, 25),
+                    ..TenantProfile::new("bulk", vec![(Family::TabuOneMax, 1.0)])
+                },
+            ],
+            fleet: FleetProfile {
+                devices: 2,
+                cpu_workers: 0,
+                quantum_iters: Some(6),
+                ..FleetProfile::default()
+            },
+            admission: AdmissionPolicy::unbounded(),
+            crash_at_tick: None,
+        }
+    }
 }
+
+/// The typed "no such scenario" error [`Scenario::by_name`] returns:
+/// carries the requested name and the full list of valid names, and
+/// renders both, so a typo in e.g. `LNLS_SCENARIO` tells the user what
+/// the catalog actually contains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownScenario {
+    /// The name that failed to resolve.
+    pub requested: String,
+    /// Every valid catalog name, in catalog order.
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scenario '{}'; valid scenarios: {}",
+            self.requested,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScenario {}
 
 #[cfg(test)]
 mod tests {
@@ -452,18 +558,28 @@ mod tests {
     #[test]
     fn catalog_names_are_unique_and_findable() {
         let catalog = Scenario::catalog();
-        assert!(catalog.len() >= 6, "the catalog promises at least six scenarios");
+        assert!(catalog.len() >= 8, "the catalog promises at least eight scenarios");
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), catalog.len(), "names must be unique");
         for s in &catalog {
-            assert_eq!(Scenario::by_name(&s.name).as_ref().map(|f| &f.name), Some(&s.name));
+            assert_eq!(Scenario::by_name(&s.name).as_ref().map(|f| &f.name), Ok(&s.name));
             assert!(s.jobs > 0 && !s.tenants.is_empty());
             assert!(s.tenants.iter().all(|t| t.weight > 0.0 && !t.families.is_empty()));
         }
-        assert_eq!(Scenario::by_name("BURST").map(|s| s.name), Some("burst".into()));
-        assert!(Scenario::by_name("no-such-scenario").is_none());
+        assert_eq!(Scenario::by_name("BURST").map(|s| s.name), Ok("burst".into()));
+    }
+
+    #[test]
+    fn unknown_scenarios_error_with_the_full_catalog() {
+        let err = Scenario::by_name("no-such-scenario").expect_err("must not resolve");
+        assert_eq!(err.requested, "no-such-scenario");
+        assert_eq!(err.known.len(), Scenario::catalog().len());
+        let rendered = err.to_string();
+        for s in Scenario::catalog() {
+            assert!(rendered.contains(&s.name), "the error must list '{}': {rendered}", s.name);
+        }
     }
 
     #[test]

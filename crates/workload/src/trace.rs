@@ -172,6 +172,14 @@ impl Persist for JobRecipe {
                 out.push(4);
                 (n, iters, seed).write(out);
             }
+            JobRecipe::LnsRepair { dim, iters, seed } => {
+                out.push(5);
+                (dim, iters, seed).write(out);
+            }
+            JobRecipe::PortfolioRace { dim, iters, seed } => {
+                out.push(6);
+                (dim, iters, seed).write(out);
+            }
         }
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -183,6 +191,8 @@ impl Persist for JobRecipe {
             2 => JobRecipe::TabuMaxCut { dim, iters, seed },
             3 => JobRecipe::AnnealOneMax { dim, iters, seed },
             4 => JobRecipe::Qap { n: dim, iters, seed },
+            5 => JobRecipe::LnsRepair { dim, iters, seed },
+            6 => JobRecipe::PortfolioRace { dim, iters, seed },
             b => return Err(PersistError::new(format!("bad job-recipe tag {b}"))),
         })
     }

@@ -12,12 +12,14 @@
 use crate::scenario::{ArrivalProcess, Family, Scenario, TenantProfile};
 use crate::trace::Trace;
 use lnls_core::{BitString, SearchConfig, SimulatedAnnealing, TabuSearch};
+use lnls_lns::{LnsSearch, PortfolioSearch};
 use lnls_neighborhood::{KHamming, Neighborhood};
 use lnls_ppp::{Ppp, PppInstance};
-use lnls_problems::{MaxCut, OneMax};
+use lnls_problems::{Knapsack, MaxCut, MaxSat, OneMax, Qubo};
 use lnls_qap::{Permutation, QapInstance, RtsConfig};
 use lnls_runtime::{
-    AnnealJob, BinaryJob, FleetClient, JobHandle, JobSpec, QapJobSpec, SubmitError,
+    AnnealJob, BinaryJob, FleetClient, JobHandle, JobSpec, LnsJob, PortfolioJob, QapJobSpec,
+    SubmitError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,6 +74,26 @@ pub enum JobRecipe {
         /// Seed for instance, initial assignment and search.
         seed: u64,
     },
+    /// Destroy-and-repair LNS over a random Knapsack, Max-3-Sat or QUBO
+    /// instance (`seed % 3` picks the problem kind).
+    LnsRepair {
+        /// Variable count.
+        dim: usize,
+        /// LNS round budget.
+        iters: u64,
+        /// Seed for instance, initial solution and search.
+        seed: u64,
+    },
+    /// Tabu/SA/descent portfolio race over a random Knapsack, Max-3-Sat
+    /// or QUBO instance (`seed % 3` picks the problem kind).
+    PortfolioRace {
+        /// Variable count.
+        dim: usize,
+        /// Race round budget.
+        iters: u64,
+        /// Seed for instance, initial solution and lanes.
+        seed: u64,
+    },
 }
 
 impl JobRecipe {
@@ -83,6 +105,8 @@ impl JobRecipe {
             JobRecipe::TabuMaxCut { .. } => Family::TabuMaxCut,
             JobRecipe::AnnealOneMax { .. } => Family::Anneal,
             JobRecipe::Qap { .. } => Family::Qap,
+            JobRecipe::LnsRepair { .. } => Family::LnsRepair,
+            JobRecipe::PortfolioRace { .. } => Family::PortfolioRace,
         }
     }
 }
@@ -157,6 +181,54 @@ impl Arrival {
                     client,
                     QapJobSpec::new("", inst, RtsConfig::budget(iters).with_seed(seed), init),
                 )
+            }
+            JobRecipe::LnsRepair { dim, iters, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Knapsack and QUBO have negative fitness, so the
+                // budget default `target_fitness = Some(0)` would stop
+                // round 0; clear it and let each problem's own optimum
+                // (known for Max-3-Sat, unknown otherwise) decide.
+                let cfg = SearchConfig::budget(iters).with_seed(seed).with_target(None);
+                let search = LnsSearch::paper(cfg);
+                match seed % 3 {
+                    0 => {
+                        let problem = Knapsack::random(&mut rng, dim, 10, 6);
+                        let init = BitString::random(&mut rng, dim);
+                        self.enveloped(client, LnsJob::new("", problem, search, init))
+                    }
+                    1 => {
+                        let problem = MaxSat::random(&mut rng, dim, 4 * dim);
+                        let init = BitString::random(&mut rng, dim);
+                        self.enveloped(client, LnsJob::new("", problem, search, init))
+                    }
+                    _ => {
+                        let problem = Qubo::random(&mut rng, dim, 7, 0.5);
+                        let init = BitString::random(&mut rng, dim);
+                        self.enveloped(client, LnsJob::new("", problem, search, init))
+                    }
+                }
+            }
+            JobRecipe::PortfolioRace { dim, iters, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let cfg = SearchConfig::budget(iters).with_seed(seed).with_target(None);
+                let search = PortfolioSearch::paper(cfg);
+                match seed % 3 {
+                    0 => {
+                        let problem = Knapsack::random(&mut rng, dim, 10, 6);
+                        let init = BitString::random(&mut rng, dim);
+                        self.enveloped(client, PortfolioJob::new("", problem, search, init))
+                    }
+                    1 => {
+                        let problem = MaxSat::random(&mut rng, dim, 4 * dim);
+                        let init = BitString::random(&mut rng, dim);
+                        self.enveloped(client, PortfolioJob::new("", problem, search, init))
+                    }
+                    _ => {
+                        let problem = Qubo::random(&mut rng, dim, 7, 0.5);
+                        let init = BitString::random(&mut rng, dim);
+                        self.enveloped(client, PortfolioJob::new("", problem, search, init))
+                    }
+                }
             }
         }
     }
@@ -320,6 +392,8 @@ fn sample_arrival<R: Rng>(tenant: &TenantProfile, idx: u64, at_s: f64, rng: &mut
         Family::Anneal => JobRecipe::AnnealOneMax { dim, iters, seed: job_seed },
         // QAP cost matrices are n²; keep fleet-sized instances small.
         Family::Qap => JobRecipe::Qap { n: dim.clamp(6, 12), iters, seed: job_seed },
+        Family::LnsRepair => JobRecipe::LnsRepair { dim, iters, seed: job_seed },
+        Family::PortfolioRace => JobRecipe::PortfolioRace { dim, iters, seed: job_seed },
     };
     Arrival {
         at_s,

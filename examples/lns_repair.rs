@@ -1,0 +1,139 @@
+//! Destroy-and-repair LNS and portfolio races, end to end: a solo
+//! destroy/repair walk with its adaptive radius trail, the same jobs
+//! scheduled on a simulated fleet (every repair round priced as one
+//! fused multi-lane stream span), a portfolio race whose iteration
+//! budget visibly follows the leading lane, and finally the `lns-repair`
+//! catalog scenario driven through the workload recorder.
+//!
+//! ```text
+//! cargo run --release --example lns_repair
+//! LNLS_SEED=7 cargo run --release --example lns_repair
+//! ```
+
+use lnls::core::SearchCursor;
+use lnls::lns::{LnsCursor, PortfolioOutcome, LANE_NAMES};
+use lnls::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::var("LNLS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    // --- 1. A solo destroy-and-repair walk, radius trail included. ---
+    let n = 48;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let knap = Knapsack::random(&mut rng, n, 12, 6);
+    let init = BitString::random(&mut rng, n);
+    // Knapsack fitness is negative (we minimize -value), so clear the
+    // budget default `target_fitness = Some(0)` — the optimum is unknown.
+    let config = SearchConfig::budget(60).with_seed(seed).with_target(None);
+    let search = LnsSearch::paper(config.clone()).with_lanes(4).with_destroy(DestroyOp::Cycle);
+
+    println!("=== destroy-and-repair LNS: knapsack n={n}, 60 rounds, 4 repair lanes ===");
+    let mut cursor: LnsCursor<Knapsack> = search.cursor(&knap, init.clone());
+    let mut last_best = cursor.best();
+    println!("{:>6} {:>10} {:>8} {:>6} {:>14}", "round", "best", "radius", "freed", "destroy op");
+    while !cursor.is_done() {
+        let round = cursor.iterations();
+        let op = cursor.op().for_round(round);
+        let freed = cursor.planned_free_count();
+        let frac = cursor.radius().fraction();
+        cursor.step_batch(&knap, 1);
+        if cursor.best() < last_best || round.is_multiple_of(12) {
+            println!(
+                "{:>6} {:>10} {:>8.3} {:>6} {:>14}",
+                round,
+                cursor.best(),
+                frac,
+                freed,
+                op.label()
+            );
+            last_best = cursor.best();
+        }
+    }
+    let solo = search.run(&knap, init.clone());
+    assert_eq!(solo.best_fitness, cursor.best(), "run() and the stepped cursor agree");
+    println!(
+        "solo best {} after {} rounds / {} evals (backend {})\n",
+        solo.best_fitness, solo.iterations, solo.evals, solo.backend
+    );
+
+    // --- 2. The same family scheduled: fused repair spans on a fleet. ---
+    let mut fleet = Scheduler::with_uniform_fleet(
+        2,
+        DeviceSpec::gtx280(),
+        SchedulerConfig { quantum_iters: Some(4), ..Default::default() },
+    );
+    let lns_handle = fleet.submit(LnsJob::new("lns-knap", knap.clone(), search.clone(), init));
+    for i in 0..3u64 {
+        let mut jrng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ i);
+        let qubo = Qubo::random(&mut jrng, 32, 7, 0.5);
+        let qinit = BitString::random(&mut jrng, 32);
+        let qcfg = SearchConfig::budget(40).with_seed(seed ^ i).with_target(None);
+        fleet.submit(LnsJob::new(format!("lns-qubo-{i}"), qubo, LnsSearch::paper(qcfg), qinit));
+    }
+    fleet.run_until_idle();
+    let report = fleet.fleet_report();
+    let fleet_lns = fleet.report(lns_handle).expect("done");
+    let fleet_best = fleet_lns.outcome.as_binary().expect("LNS reports a SearchResult");
+    assert_eq!(
+        fleet_best.best_fitness, solo.best_fitness,
+        "scheduling is invisible to the search result"
+    );
+    println!("=== fleet: 4 LNS jobs, every round one fused multi-lane repair span ===");
+    println!(
+        "makespan {:.6}s, {} spans priced, launch overhead saved {:.9}s",
+        report.makespan_s, report.spans, report.launch_overhead_saved_s
+    );
+    println!("fleet best equals solo best: {}\n", fleet_best.best_fitness);
+
+    // --- 3. A portfolio race: budget follows the leading lane. ---
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed + 1);
+    let qubo = Qubo::random(&mut rng, 28, 9, 0.5);
+    let qinit = BitString::random(&mut rng, 28);
+    let rcfg = SearchConfig::budget(64).with_seed(seed + 1).with_target(None);
+    let race = PortfolioSearch::paper(rcfg).with_realloc_every(8).with_boost(4);
+    let mut fleet = Scheduler::with_uniform_fleet(
+        1,
+        DeviceSpec::gtx280(),
+        SchedulerConfig { quantum_iters: Some(6), ..Default::default() },
+    );
+    let handle = fleet.submit(PortfolioJob::new("race-qubo", qubo, race, qinit));
+    fleet.run_until_idle();
+    let report = fleet.report(handle).expect("done");
+    let outcome: &PortfolioOutcome =
+        report.outcome.detail().expect("portfolio jobs attach their race outcome");
+    println!("=== portfolio race: tabu vs. SA vs. shaken descent, one fused batch ===");
+    for (i, name) in LANE_NAMES.iter().enumerate() {
+        let marker = if i == outcome.leader { "  <- leader" } else { "" };
+        println!(
+            "{:>8}: {:>5} sub-steps, best {}{}",
+            name, outcome.lane_iterations[i], outcome.lane_best[i], marker
+        );
+    }
+    println!(
+        "{} rounds, {} leader switches, winner '{}' (best {})\n",
+        outcome.rounds,
+        outcome.switches,
+        outcome.leader_name(),
+        report.outcome.best_fitness()
+    );
+
+    // --- 4. The catalog scenario, recorded through the driver. ---
+    let scenario = Scenario::by_name("lns-repair").expect("catalog scenario");
+    let (trace, recorded) = Driver::record(&scenario, seed);
+    let f = &recorded.fleet;
+    println!("=== workload scenario '{}' — {} ===", scenario.name, scenario.summary);
+    println!(
+        "{} arrivals, makespan {:.6}s, {:.1} jobs/sim-s, {} fused spans",
+        trace.arrivals.len(),
+        f.makespan_s,
+        f.jobs_per_sim_s,
+        f.spans
+    );
+    let replayed = Driver::replay(&Trace::from_bytes(&trace.to_bytes()).expect("traces decode"));
+    assert_eq!(
+        format!("{:?}", replayed.fleet),
+        format!("{:?}", recorded.fleet),
+        "the recorded LNS scenario must replay bit-identically"
+    );
+    println!("replay is bit-identical to the recording.");
+}

@@ -18,9 +18,9 @@ fn main() {
     let name = std::env::var("LNLS_SCENARIO").unwrap_or_else(|_| "steady".to_string());
     let seed: u64 = std::env::var("LNLS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
     let scale: f64 = std::env::var("LNLS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let scenario = Scenario::by_name(&name).unwrap_or_else(|| {
-        let names: Vec<String> = Scenario::catalog().into_iter().map(|s| s.name).collect();
-        panic!("unknown scenario '{name}'; catalog: {names:?}")
+    let scenario = Scenario::by_name(&name).unwrap_or_else(|err| {
+        eprintln!("{err}");
+        std::process::exit(2);
     });
     let scenario = scenario.scaled(scale);
     println!("=== lnls workload: '{}' — {} ===", scenario.name, scenario.summary);

@@ -18,9 +18,9 @@ use lnls::prelude::*;
 fn main() {
     let name = std::env::var("LNLS_SCENARIO").unwrap_or_else(|_| "steady".to_string());
     let seed: u64 = std::env::var("LNLS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
-    let scenario = Scenario::by_name(&name).unwrap_or_else(|| {
-        let names: Vec<String> = Scenario::catalog().into_iter().map(|s| s.name).collect();
-        panic!("unknown scenario '{name}'; catalog: {names:?}")
+    let scenario = Scenario::by_name(&name).unwrap_or_else(|err| {
+        eprintln!("{err}");
+        std::process::exit(2);
     });
     println!("=== lnls trace diff: '{}' — {} ===", scenario.name, scenario.summary);
 

@@ -14,6 +14,7 @@
 //! | [`ppp`] | the Permuted Perceptron Problem: instances, objective, incremental evaluation, GPU kernels (paper §IV) |
 //! | [`problems`] | OneMax, QUBO, MAX-3SAT, NK landscapes, Max-Cut, knapsack, Ising — the "binary problems" generality claim, with GPU kernels |
 //! | [`qap`] | the quadratic assignment problem under Taillard's robust tabu search (the paper's reference \[11\]), swap moves flat-indexed by the paper's 2D mapping |
+//! | [`lns`] | large neighborhood search: destroy-and-repair cursors with an adaptive destroy radius, plus a tabu/SA/descent portfolio race — the "large neighborhood" idea applied to the *search* as well as its exploration |
 //! | [`runtime`] | the fleet scheduler: batched multi-tenant search jobs over simulated multi-GPU devices, with checkpoint/resume, time-series telemetry, structured event tracing, a metrics registry and throughput reporting (§V perspective, scaled out) |
 //! | [`workload`] | the scenario catalog, deterministic traffic generator, record/replay driver and what-if trace analytics that stress-test the runtime |
 //!
@@ -46,6 +47,7 @@
 
 pub use lnls_core as core;
 pub use lnls_gpu_sim as gpu;
+pub use lnls_lns as lns;
 pub use lnls_neighborhood as neighborhood;
 pub use lnls_ppp as ppp;
 pub use lnls_problems as problems;
@@ -64,6 +66,7 @@ pub mod prelude {
         Device, DeviceSpec, EngineConfig, ExecMode, HostSpec, LaunchConfig, LaunchMode,
         MultiDevice, SelectionMode,
     };
+    pub use lnls_lns::{AdaptiveRadius, DestroyOp, LnsSearch, PortfolioOutcome, PortfolioSearch};
     pub use lnls_neighborhood::{
         FlipMove, KHamming, Neighborhood, OneHamming, ThreeHamming, TwoHamming, UnionHamming,
     };
@@ -73,12 +76,12 @@ pub mod prelude {
     pub use lnls_runtime::{
         chrome_trace, tenant_summaries, AdmissionPolicy, AnnealJob, BinaryJob, EventRecord,
         EventSink, FleetCheckpoint, FleetClient, FleetEvent, FleetReport, Histogram, JobHandle,
-        JobOutcome, JobRegistry, JobReport, JobSpec, JobStatus, JsonlSink, MetricsRegistry,
-        PlacePolicy, QapJobSpec, RejectReason, RingSink, Scheduler, SchedulerConfig, SearchJob,
-        SubmitError, Telemetry, TenantStat, TenantSummary, TickSample,
+        JobOutcome, JobRegistry, JobReport, JobSpec, JobStatus, JsonlSink, LnsJob, MetricsRegistry,
+        PlacePolicy, PortfolioJob, QapJobSpec, RejectReason, RingSink, Scheduler, SchedulerConfig,
+        SearchJob, SubmitError, Telemetry, TenantStat, TenantSummary, TickSample,
     };
     pub use lnls_workload::{
-        Driver, Scenario, Trace, TrafficGen, Variant, VariantOutcome, WhatIf, WhatIfReport,
-        WorkloadReport,
+        Driver, Scenario, Trace, TrafficGen, UnknownScenario, Variant, VariantOutcome, WhatIf,
+        WhatIfReport, WorkloadReport,
     };
 }

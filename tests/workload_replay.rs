@@ -30,7 +30,7 @@ proptest! {
     /// the driver-side counters.
     #[test]
     fn any_recorded_trace_replays_bit_identically(
-        scenario_idx in 0usize..6,
+        scenario_idx in 0usize..8,
         seed in 0u64..1000,
         fermi in proptest::prelude::any::<bool>(),
         device_argmin in proptest::prelude::any::<bool>(),
@@ -69,7 +69,7 @@ proptest! {
 
     /// The lowering itself is a pure function of (scenario, seed).
     #[test]
-    fn lowering_is_reproducible(scenario_idx in 0usize..6, seed in 0u64..1000) {
+    fn lowering_is_reproducible(scenario_idx in 0usize..8, seed in 0u64..1000) {
         let scenario = &Scenario::catalog()[scenario_idx];
         let a = TrafficGen::lower(scenario, seed);
         let b = TrafficGen::lower(scenario, seed);
@@ -171,4 +171,100 @@ fn checkpoint_churn_replays_through_the_crash() {
     let replayed = Driver::replay(&Trace::from_bytes(&trace.to_bytes()).unwrap());
     assert_eq!(replayed.crashes, 1);
     assert_eq!(format!("{:?}", replayed.fleet), format!("{:?}", recorded.fleet));
+}
+
+/// The new LNS families crash and restore exactly like the rest of the
+/// catalog: force a mid-run crash into the `lns-repair` and
+/// `portfolio-race` scenarios and hold the crashed run to the same
+/// bit-identical replay standard as `checkpoint-churn`.
+#[test]
+fn lns_scenarios_replay_through_a_forced_crash() {
+    for mut scenario in
+        [Scenario::by_name("lns-repair").unwrap(), Scenario::by_name("portfolio-race").unwrap()]
+    {
+        scenario.crash_at_tick = Some(9);
+        let (trace, recorded) = Driver::record(&scenario, 77);
+        assert_eq!(recorded.crashes, 1, "{}", scenario.name);
+        let replayed = Driver::replay(&Trace::from_bytes(&trace.to_bytes()).unwrap());
+        assert_eq!(replayed.crashes, 1, "{}", scenario.name);
+        assert_eq!(
+            format!("{:?}", replayed.fleet),
+            format!("{:?}", recorded.fleet),
+            "{} must replay bit-identically through the crash",
+            scenario.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Preemption, fused-span length and launch mode are invisible to
+    /// LNS and portfolio search results: for any quantum × span × mode,
+    /// a scheduled destroy-and-repair job and a scheduled portfolio
+    /// race both finish with exactly the best/iteration/eval trail of
+    /// the unpreempted solo cursor.
+    #[test]
+    fn lns_results_are_invariant_under_quantum_span_and_mode(
+        quantum in 1u64..=9,
+        span in 1u64..=6,
+        persistent in proptest::prelude::any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        use lnls::lns::{LnsSearch, PortfolioSearch};
+        use lnls::prelude::{Knapsack, LnsJob, PortfolioJob, Qubo};
+        use lnls::core::SearchCursor;
+
+        let mode =
+            if persistent { LaunchMode::PersistentSpan } else { LaunchMode::PerIteration };
+        let mut fleet = Scheduler::with_uniform_fleet(
+            2,
+            DeviceSpec::gtx280(),
+            SchedulerConfig {
+                quantum_iters: Some(quantum),
+                span_iters: span,
+                launch_mode: mode,
+                ..Default::default()
+            },
+        );
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let knap = Knapsack::random(&mut rng, 24, 10, 6);
+        let knap_init = BitString::random(&mut rng, 24);
+        let qubo = Qubo::random(&mut rng, 20, 7, 0.5);
+        let qubo_init = BitString::random(&mut rng, 20);
+        let lns_cfg = SearchConfig::budget(20).with_seed(seed).with_target(None);
+        let race_cfg = SearchConfig::budget(24).with_seed(seed).with_target(None);
+
+        let lns_handle = fleet.submit(
+            LnsJob::new("lns", knap.clone(), LnsSearch::paper(lns_cfg.clone()), knap_init.clone())
+                .with_launch_mode(mode),
+        );
+        let race_handle = fleet.submit(
+            PortfolioJob::new(
+                "race",
+                qubo.clone(),
+                PortfolioSearch::paper(race_cfg.clone()),
+                qubo_init.clone(),
+            )
+            .with_launch_mode(mode),
+        );
+        fleet.run_until_idle();
+
+        let solo_lns = LnsSearch::paper(lns_cfg).run(&knap, knap_init);
+        let got = fleet.report(lns_handle).expect("done");
+        let got = got.outcome.as_binary().expect("lns reports a SearchResult");
+        prop_assert_eq!(&got.best, &solo_lns.best);
+        prop_assert_eq!(got.best_fitness, solo_lns.best_fitness);
+        prop_assert_eq!(got.iterations, solo_lns.iterations);
+        prop_assert_eq!(got.evals, solo_lns.evals);
+
+        let mut solo_race = PortfolioSearch::paper(race_cfg).cursor(&qubo, qubo_init);
+        solo_race.step_batch(&qubo, u64::MAX);
+        let report = fleet.report(race_handle).expect("done");
+        let detail: &lnls::lns::PortfolioOutcome =
+            report.outcome.detail().expect("portfolio attaches its race outcome");
+        prop_assert_eq!(detail, &solo_race.outcome());
+        prop_assert_eq!(report.outcome.best_fitness(), solo_race.best());
+    }
 }
