@@ -165,6 +165,129 @@ fn main() {
         }
     }
 
+    // Shard-scaling sweep: the same saturation-style traffic (96
+    // generated tenants, fixed submission count) routed by consistent
+    // hashing onto 1 → 64 single-device shards. Modeled throughput is
+    // the merged fleet's jobs per simulated second; efficiency is
+    // throughput over the 1-shard baseline divided by the shard count
+    // (1.0 = perfect linear scaling — the tail flattens as the fixed
+    // traffic stops saturating the fleet, which is the honest shape of
+    // strong scaling).
+    println!(
+        "\n{:>20} {:>7} | {:>12} {:>10} {:>10} {:>7} | {:>9}",
+        "scenario", "shards", "makespan(s)", "jobs/sim-s", "speedup", "effic", "sim-wall"
+    );
+    let mut base_jps = 0.0f64;
+    for shards in [1usize, 2, 4, 8, 16, 32, 64] {
+        let scenario = Scenario::saturation_sharded_sized(96, shards, (384.0 * scale) as u64);
+        let t0 = Instant::now();
+        let (_, report) = Driver::record(&scenario, seed);
+        let wall = t0.elapsed();
+        let f = &report.fleet;
+        if shards == 1 {
+            base_jps = f.jobs_per_sim_s;
+        }
+        let speedup = f.jobs_per_sim_s / base_jps;
+        let efficiency = speedup / shards as f64;
+        println!(
+            "{:>20} {:>7} | {:>12.6} {:>10.1} {:>9.2}x {:>6.0}% | {:>7.0}ms",
+            report.scenario,
+            shards,
+            f.makespan_s,
+            f.jobs_per_sim_s,
+            speedup,
+            efficiency * 100.0,
+            wall.as_secs_f64() * 1e3,
+        );
+        json.record(&[
+            ("scenario", format!("saturation-sharded/shards-{shards}").into()),
+            ("seed", seed.into()),
+            ("shards", (shards as u64).into()),
+            ("jobs", report.submitted.into()),
+            ("makespan_s", f.makespan_s.into()),
+            ("throughput_jobs_per_sim_s", f.jobs_per_sim_s.into()),
+            ("scaling_speedup", speedup.into()),
+            ("scaling_efficiency", efficiency.into()),
+            ("jobs_rejected", f.jobs_rejected.into()),
+            ("device_busy_fraction", f.mean_device_utilization().into()),
+        ]);
+    }
+
+    // Delta-checkpoint size curve: fleets of growing live-job counts
+    // snapshotted with the rotating base + dirty-delta checkpointer.
+    // The drain cadence (max_batch) is held fixed, so per-tick churn is
+    // constant while fleet state grows — base bytes must grow with the
+    // fleet, delta bytes must track the (constant) churn. That gap is
+    // the whole point of incremental checkpoints.
+    println!(
+        "\n{:>12} | {:>12} {:>12} {:>12} {:>10}",
+        "live jobs", "base(B)", "mean-dlt(B)", "dlt/base", "dirty/dlt"
+    );
+    for live_jobs in [64usize, 128, 256, 512] {
+        let dir = std::env::temp_dir()
+            .join(format!("lnls-bench-delta-{live_jobs}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fleet = lnls_runtime::Scheduler::with_uniform_fleet(
+            1,
+            lnls_gpu_sim::DeviceSpec::gtx280(),
+            lnls_runtime::SchedulerConfig {
+                max_batch: 4,
+                quantum_iters: Some(8),
+                ..Default::default()
+            },
+        );
+        for i in 0..live_jobs {
+            let n = 24;
+            let hood = lnls_neighborhood::TwoHamming::new(n);
+            let size = lnls_neighborhood::Neighborhood::size(&hood);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i as u64);
+            let init = lnls_core::BitString::random(&mut rng, n);
+            let search = lnls_core::TabuSearch::paper(
+                lnls_core::SearchConfig::budget(64).with_seed(i as u64).with_target(None),
+                size,
+            );
+            fleet.submit(lnls_runtime::BinaryJob::new(
+                format!("curve-{i}"),
+                lnls_problems::OneMax::new(n),
+                hood,
+                search,
+                init,
+            ));
+        }
+        let mut ckpt =
+            lnls_runtime::DeltaCheckpointer::open(&dir, 64).expect("bench checkpoint dir opens");
+        let base = ckpt.snapshot(&fleet).expect("base snapshot");
+        let mut delta_bytes = 0u64;
+        let mut dirty = 0usize;
+        let ticks = 6u64;
+        for _ in 0..ticks {
+            fleet.tick();
+            let stats = ckpt.snapshot(&fleet).expect("delta snapshot");
+            delta_bytes += stats.bytes;
+            dirty += stats.dirty_jobs;
+        }
+        let mean_delta = delta_bytes as f64 / ticks as f64;
+        let mean_dirty = dirty as f64 / ticks as f64;
+        println!(
+            "{:>12} | {:>12} {:>12.0} {:>11.1}% {:>10.1}",
+            live_jobs,
+            base.bytes,
+            mean_delta,
+            mean_delta / base.bytes as f64 * 100.0,
+            mean_dirty,
+        );
+        json.record(&[
+            ("scenario", format!("delta-checkpoint/jobs-{live_jobs}").into()),
+            ("seed", seed.into()),
+            ("live_jobs", (live_jobs as u64).into()),
+            ("base_bytes", base.bytes.into()),
+            ("mean_delta_bytes", mean_delta.into()),
+            ("delta_to_base_ratio", (mean_delta / base.bytes as f64).into()),
+            ("mean_dirty_jobs_per_delta", mean_dirty.into()),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // Observability overhead: the same trace replayed bare, with a
     // structured event sink, and with a live metrics registry. Reports
     // are bit-identical by construction (the neutrality proptest pins
@@ -204,8 +327,8 @@ fn main() {
         Ok(path) => println!("\nmachine-readable summary: {}", path.display()),
         Err(e) => eprintln!("\ncould not write bench summary: {e}"),
     }
-    println!("the eight scenarios cover: steady-state, burst storms vs. caps, priority inversion,");
+    println!("the nine scenarios cover: steady-state, burst storms vs. caps, priority inversion,");
     println!("deadline pressure, crash/restore churn, mixed-family saturation, destroy-and-repair");
-    println!("LNS and portfolio races — each one a deterministic (scenario, seed) pair any");
-    println!("regression can replay bit-identically.");
+    println!("LNS, portfolio races and sharded saturation — each one a deterministic");
+    println!("(scenario, seed) pair any regression can replay bit-identically.");
 }

@@ -17,7 +17,7 @@
 use crate::job::{JobHandle, JobId, JobReport, JobStatus};
 use crate::observe::{EventSink, FleetEvent, MetricsRegistry, RejectReason};
 use crate::report::FleetReport;
-use crate::scheduler::{FleetCheckpoint, Scheduler};
+use crate::scheduler::{FleetCheckpoint, Scheduler, StolenJob};
 use crate::submit::{JobSpec, SearchJob};
 use lnls_core::persist::{Persist, PersistError, Reader};
 use std::collections::BTreeMap;
@@ -395,6 +395,33 @@ impl FleetClient {
     /// Detach and return the attached metrics registry, if any.
     pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
         self.fleet.take_metrics()
+    }
+
+    /// Submissions this client refused (admission policy, not the
+    /// scheduler). Carried across a crash via
+    /// [`resume`](Self::resume)'s `rejected_submissions` argument.
+    pub fn rejected_submissions(&self) -> u64 {
+        self.rejected_submissions
+    }
+
+    /// Extract a *queued* job for a shard-level steal, forgetting it
+    /// from this client's admission ledger. Running jobs are never
+    /// donated. `None` when the id is not queued here.
+    pub fn donate_queued(&mut self, id: JobId) -> Option<StolenJob> {
+        let stolen = self.fleet.donate_queued(id)?;
+        self.admitted.remove(&id);
+        Some(stolen)
+    }
+
+    /// Adopt a job stolen from another shard, adding it to this
+    /// client's admission ledger (a steal bypasses admission policy:
+    /// the job was already admitted fleet-wide by its donor).
+    pub fn adopt(&mut self, stolen: StolenJob) -> JobHandle {
+        let tenant = stolen.tenant().to_string();
+        let priority = stolen.priority();
+        let handle = self.fleet.adopt(stolen);
+        self.admitted.insert(handle.id(), Admitted { tenant, priority });
+        handle
     }
 
     /// The wrapped scheduler.

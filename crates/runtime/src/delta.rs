@@ -1,0 +1,765 @@
+//! Incremental (delta) checkpoints: per-shard dirty-job deltas against
+//! a rotating base snapshot.
+//!
+//! [`Scheduler::checkpoint`](crate::Scheduler::checkpoint) serializes
+//! every live job, so its cost grows with fleet size even when almost
+//! nothing moved since the last snapshot — fine for one scheduler,
+//! ruinous for a sharded fleet snapshotting every few ticks. A
+//! [`DeltaCheckpointer`] instead writes a full **base** snapshot once
+//! per epoch and then small **delta** segments against it:
+//!
+//! * **Dirty jobs only.** A job is re-encoded only when its iteration
+//!   count moved since the last segment (every state change a cursor
+//!   can make advances its iteration counter, so the counter is a
+//!   sound one-word fingerprint). Jobs parked in the queue cost
+//!   nothing per delta beyond their id.
+//! * **Differential queue layout.** The scheduler only ever removes
+//!   queue entries in place and appends at the tail, so the queue is
+//!   encoded as `(removed ids, deficit updates, appended entries)`
+//!   against the previous segment — `O(churn)`, not `O(queue)`. When
+//!   an exotic mutation breaks that shape (e.g. a job stolen away and
+//!   re-adopted between snapshots), the segment falls back to a full
+//!   layout, flagged as such.
+//! * **Append-only report log.** Completed-job reports are written
+//!   once, in the segment where they first appeared.
+//! * **Rotation + compaction.** After `deltas_per_base` segments the
+//!   next snapshot is a fresh base in a new epoch, and every segment
+//!   of older epochs is deleted — disk usage is bounded by one base
+//!   plus one epoch of deltas.
+//!
+//! Segments live in one directory per scheduler (`base-NNNNNNNN.ckpt`,
+//! `delta-NNNNNNNN-NNNNNNNN.ckpt`); [`CheckpointStore::load_latest`]
+//! finds the newest epoch, replays its chain in index order and
+//! returns a [`FleetCheckpoint`] identical to what a full
+//! [`checkpoint()`](crate::Scheduler::checkpoint) at the same instant
+//! would have produced. A broken chain — missing base, a gap in the
+//! delta indices, a truncated or garbled segment — comes back as a
+//! typed [`CheckpointError`] naming the exact segment, so the operator
+//! knows *which* file to restore instead of staring at a generic
+//! decode failure.
+
+use crate::exec::JobExec;
+use crate::job::{JobId, JobReport};
+use crate::persist::{encode_job, read_report, write_report, JobRegistry};
+use crate::scheduler::{
+    ActiveJob, ActiveSnapshot, FleetCheckpoint, JobMeta, QueueEntry, Scheduler,
+};
+use lnls_core::persist::{Persist, PersistError, Reader};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a delta segment (`LNLSDLT` + format version).
+const DELTA_MAGIC: &[u8; 8] = b"LNLSDLT\x01";
+
+/// Typed failure modes of checkpoint loading — every variant names the
+/// segment (file) that broke the chain.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The base snapshot a chain needs is gone (or a directly-loaded
+    /// checkpoint file does not exist).
+    MissingBase {
+        /// Path of the missing base segment.
+        segment: String,
+    },
+    /// The delta chain has a hole: `index` is absent while later
+    /// segments of the same epoch exist.
+    MissingDelta {
+        /// Path the missing segment should have had.
+        segment: String,
+        /// Epoch of the broken chain.
+        epoch: u64,
+        /// The first missing delta index.
+        index: u64,
+    },
+    /// A segment exists but does not decode (truncated, garbled, or
+    /// referencing a job the chain never carried).
+    CorruptSegment {
+        /// Path of the segment that failed to decode.
+        segment: String,
+        /// The decoder's diagnosis.
+        source: PersistError,
+    },
+    /// The store directory holds no snapshot at all.
+    Empty {
+        /// The directory that was scanned.
+        dir: String,
+    },
+    /// An I/O failure outside the not-found case (permissions, disk).
+    Io {
+        /// Path of the segment being read or written.
+        segment: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::MissingBase { segment } => {
+                write!(f, "missing base checkpoint segment '{segment}'")
+            }
+            CheckpointError::MissingDelta { segment, epoch, index } => write!(
+                f,
+                "delta chain of epoch {epoch} has a hole: segment '{segment}' \
+                 (delta index {index}) is missing"
+            ),
+            CheckpointError::CorruptSegment { segment, source } => {
+                write!(f, "corrupt checkpoint segment '{segment}': {source}")
+            }
+            CheckpointError::Empty { dir } => {
+                write!(f, "checkpoint store '{dir}' holds no snapshot")
+            }
+            CheckpointError::Io { segment, source } => {
+                write!(f, "i/o error on checkpoint segment '{segment}': {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::CorruptSegment { source, .. } => Some(source),
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A directory of checkpoint segments for one scheduler: rotating base
+/// snapshots plus the delta chain of the current epoch.
+///
+/// The store is deliberately dumb — naming, scanning, gap detection and
+/// chain replay. Writing segments on a cadence (and deciding *what* is
+/// dirty) is [`DeltaCheckpointer`]'s job.
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the segment directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The segment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn base_path(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("base-{epoch:08}.ckpt"))
+    }
+
+    fn delta_path(&self, epoch: u64, index: u64) -> PathBuf {
+        self.dir.join(format!("delta-{epoch:08}-{index:08}.ckpt"))
+    }
+
+    fn write_segment(&self, path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let io_err = |source| CheckpointError::Io { segment: path.display().to_string(), source };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, bytes).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Delete every segment belonging to an epoch older than
+    /// `keep_epoch`, returning how many files were removed. Called
+    /// after a new base lands, so the store never holds more than the
+    /// current chain (plus the base that anchors it).
+    pub fn compact(&self, keep_epoch: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some((epoch, _)) = parse_segment_name(&name) {
+                if epoch < keep_epoch {
+                    std::fs::remove_file(entry.path())?;
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Scan the store, pick the newest epoch, and replay its chain:
+    /// the base snapshot, then every delta in index order. Returns a
+    /// [`FleetCheckpoint`] identical to the full checkpoint the
+    /// scheduler would have written at the instant of the last
+    /// segment. Typed errors name the broken segment (see
+    /// [`CheckpointError`]).
+    pub fn load_latest(&self, registry: &JobRegistry) -> Result<FleetCheckpoint, CheckpointError> {
+        let mut base_epochs: Vec<u64> = Vec::new();
+        let mut deltas: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|source| CheckpointError::Io {
+            segment: self.dir.display().to_string(),
+            source,
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|source| CheckpointError::Io {
+                segment: self.dir.display().to_string(),
+                source,
+            })?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            match parse_segment_name(&name) {
+                Some((epoch, None)) => base_epochs.push(epoch),
+                Some((epoch, Some(index))) => deltas.entry(epoch).or_default().push(index),
+                None => {}
+            }
+        }
+        // The newest epoch wins; deltas newer than every base mean the
+        // chain head lost its anchor.
+        let newest_delta_epoch = deltas.keys().next_back().copied();
+        let newest_base_epoch = base_epochs.iter().max().copied();
+        let epoch = match (newest_base_epoch, newest_delta_epoch) {
+            (Some(b), Some(d)) if d > b => {
+                return Err(CheckpointError::MissingBase {
+                    segment: self.base_path(d).display().to_string(),
+                });
+            }
+            (Some(b), _) => b,
+            (None, Some(d)) => {
+                return Err(CheckpointError::MissingBase {
+                    segment: self.base_path(d).display().to_string(),
+                });
+            }
+            (None, None) => {
+                return Err(CheckpointError::Empty { dir: self.dir.display().to_string() });
+            }
+        };
+        let base = FleetCheckpoint::load(self.base_path(epoch), registry)?;
+        let mut indices = deltas.remove(&epoch).unwrap_or_default();
+        indices.sort_unstable();
+        // Indices must run 1..=k with no holes.
+        for (i, &index) in indices.iter().enumerate() {
+            let expected = i as u64 + 1;
+            if index != expected {
+                return Err(CheckpointError::MissingDelta {
+                    segment: self.delta_path(epoch, expected).display().to_string(),
+                    epoch,
+                    index: expected,
+                });
+            }
+        }
+        let mut chain = ChainState::from_base(base);
+        for index in indices {
+            let path = self.delta_path(epoch, index);
+            let segment = path.display().to_string();
+            let bytes = std::fs::read(&path)
+                .map_err(|source| CheckpointError::Io { segment: segment.clone(), source })?;
+            chain
+                .apply(&bytes, registry)
+                .map_err(|source| CheckpointError::CorruptSegment { segment, source })?;
+        }
+        Ok(chain.into_checkpoint())
+    }
+}
+
+/// `base-EEEEEEEE.ckpt` → `(epoch, None)`;
+/// `delta-EEEEEEEE-IIIIIIII.ckpt` → `(epoch, Some(index))`.
+fn parse_segment_name(name: &str) -> Option<(u64, Option<u64>)> {
+    if let Some(rest) = name.strip_prefix("base-").and_then(|r| r.strip_suffix(".ckpt")) {
+        return rest.parse().ok().map(|e| (e, None));
+    }
+    let rest = name.strip_prefix("delta-").and_then(|r| r.strip_suffix(".ckpt"))?;
+    let (epoch, index) = rest.split_once('-')?;
+    Some((epoch.parse().ok()?, Some(index.parse().ok()?)))
+}
+
+/// What one [`DeltaCheckpointer::snapshot`] call wrote.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A full base snapshot opened a new epoch (and compacted the old).
+    Base,
+    /// A delta segment extended the current chain.
+    Delta,
+}
+
+/// Size/churn accounting for one written segment — the raw material of
+/// the checkpoint-size-vs-fleet-size bench curve.
+#[derive(Copy, Clone, Debug)]
+pub struct SnapshotStats {
+    /// Whether a base or a delta was written.
+    pub kind: SnapshotKind,
+    /// Bytes of the written segment.
+    pub bytes: u64,
+    /// Jobs whose payload was (re-)encoded: every live job for a base,
+    /// only the dirty ones for a delta.
+    pub dirty_jobs: usize,
+    /// Live (queued + running) checkpointable jobs at snapshot time.
+    pub live_jobs: usize,
+}
+
+/// Writes a scheduler's snapshots as a rotating base + delta chain
+/// into a [`CheckpointStore`], tracking per-job fingerprints so a
+/// delta re-encodes only what moved. See the module docs for the
+/// format and the dirtiness rules.
+pub struct DeltaCheckpointer {
+    store: CheckpointStore,
+    deltas_per_base: u64,
+    epoch: u64,
+    next_index: u64,
+    /// iteration count at the last segment, per live job.
+    job_fp: BTreeMap<JobId, u64>,
+    /// `first_started_s` bits at the last segment, per known job.
+    meta_fp: BTreeMap<JobId, u64>,
+    done_seen: BTreeSet<JobId>,
+    prev_queue: Vec<(u64, u64)>,
+}
+
+fn meta_fingerprint(m: &JobMeta) -> u64 {
+    m.first_started_s.map_or(u64::MAX, f64::to_bits)
+}
+
+impl DeltaCheckpointer {
+    /// Open a checkpointer over `dir`, writing a fresh base every
+    /// `deltas_per_base` deltas (clamped to at least 1). The first
+    /// [`snapshot`](Self::snapshot) always writes a base.
+    pub fn open(dir: impl Into<PathBuf>, deltas_per_base: u64) -> io::Result<Self> {
+        Ok(Self {
+            store: CheckpointStore::open(dir)?,
+            deltas_per_base: deltas_per_base.max(1),
+            epoch: 0,
+            next_index: 0,
+            job_fp: BTreeMap::new(),
+            meta_fp: BTreeMap::new(),
+            done_seen: BTreeSet::new(),
+            prev_queue: Vec::new(),
+        })
+    }
+
+    /// The underlying segment store (for
+    /// [`CheckpointStore::load_latest`] after a crash).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// Snapshot `scheduler` now: a base when the epoch is due to
+    /// rotate (first call, or `deltas_per_base` deltas written), a
+    /// delta otherwise.
+    pub fn snapshot(&mut self, scheduler: &Scheduler) -> Result<SnapshotStats, CheckpointError> {
+        if self.next_index == 0 || self.next_index > self.deltas_per_base {
+            self.write_base(scheduler)
+        } else {
+            self.write_delta(scheduler)
+        }
+    }
+
+    fn write_base(&mut self, scheduler: &Scheduler) -> Result<SnapshotStats, CheckpointError> {
+        let checkpoint = scheduler.checkpoint();
+        let bytes = checkpoint.to_bytes();
+        self.epoch += 1;
+        let path = self.store.base_path(self.epoch);
+        self.store.write_segment(&path, &bytes)?;
+        // Only compact once the new anchor is durable; a crash between
+        // the two leaves both epochs loadable.
+        self.store.compact(self.epoch).map_err(|source| CheckpointError::Io {
+            segment: path.display().to_string(),
+            source,
+        })?;
+        self.next_index = 1;
+        // Fingerprints reset to exactly what the base carries.
+        self.job_fp.clear();
+        self.meta_fp.clear();
+        self.done_seen.clear();
+        let mut live = 0usize;
+        self.prev_queue.clear();
+        for entry in &checkpoint.queue {
+            self.job_fp.insert(entry.job.id(), entry.job.iterations());
+            self.prev_queue.push((entry.job.id().0, entry.deficit));
+            live += 1;
+        }
+        for slot in checkpoint.active.iter().flatten() {
+            for aj in &slot.jobs {
+                self.job_fp.insert(aj.job.id(), aj.job.iterations());
+                live += 1;
+            }
+        }
+        for (id, m) in &checkpoint.meta {
+            self.meta_fp.insert(*id, meta_fingerprint(m));
+        }
+        self.done_seen.extend(checkpoint.done.keys().copied());
+        Ok(SnapshotStats {
+            kind: SnapshotKind::Base,
+            bytes: bytes.len() as u64,
+            dirty_jobs: live,
+            live_jobs: live,
+        })
+    }
+
+    fn write_delta(&mut self, scheduler: &Scheduler) -> Result<SnapshotStats, CheckpointError> {
+        let parts = scheduler.delta_parts();
+        let included = |id: &JobId| parts.meta.get(id).is_none_or(|m| m.checkpoint);
+        let mut out = Vec::new();
+        out.extend_from_slice(DELTA_MAGIC);
+        self.epoch.write(&mut out);
+        self.next_index.write(&mut out);
+        parts.clocks.to_vec().write(&mut out);
+        parts.device_books.write(&mut out);
+        parts.rr_next.write(&mut out);
+        parts.next_id.write(&mut out);
+        parts.next_seq.write(&mut out);
+        parts.serialized_s.write(&mut out);
+        parts.fused_launches.write(&mut out);
+        parts.launches_saved.write(&mut out);
+        parts.preemptions.write(&mut out);
+        parts.ticks.write(&mut out);
+        parts.autosaves.write(&mut out);
+        parts.iterations_executed.write(&mut out);
+        parts.stream_makespan_s.write(&mut out);
+        parts.stream_serialized_s.write(&mut out);
+        parts.spans.write(&mut out);
+        parts.span_iterations.write(&mut out);
+        parts.launch_overhead_saved_s.write(&mut out);
+        let cancels: Vec<u64> = parts.cancel_requested.iter().map(|id| id.0).collect();
+        cancels.write(&mut out);
+
+        // Queue layout: differential when the tick's mutations kept the
+        // removal+append shape, full otherwise.
+        let new_queue: Vec<(u64, u64)> = parts
+            .queue
+            .iter()
+            .filter(|e| included(&e.job.id()))
+            .map(|e| (e.job.id().0, e.deficit))
+            .collect();
+        match queue_diff(&self.prev_queue, &new_queue) {
+            Some((removed, deficits, appended)) => {
+                1u8.write(&mut out);
+                removed.write(&mut out);
+                deficits.write(&mut out);
+                appended.write(&mut out);
+            }
+            None => {
+                0u8.write(&mut out);
+                new_queue.write(&mut out);
+            }
+        }
+        self.prev_queue = new_queue;
+
+        // Active layout: O(backends), always full.
+        parts.active.len().write(&mut out);
+        for slot in parts.active {
+            let jobs: Vec<(u64, u64)> = slot
+                .as_ref()
+                .map(|a| {
+                    a.jobs
+                        .iter()
+                        .filter(|aj| included(&aj.job.id()))
+                        .map(|aj| (aj.job.id().0, aj.deficit))
+                        .collect()
+                })
+                .unwrap_or_default();
+            match slot {
+                Some(a) if !jobs.is_empty() => {
+                    1u8.write(&mut out);
+                    a.started_s.write(&mut out);
+                    a.slice_budget.write(&mut out);
+                    a.slice_used.write(&mut out);
+                    jobs.write(&mut out);
+                }
+                _ => 0u8.write(&mut out),
+            }
+        }
+
+        // Dirty jobs: live, checkpointable, and moved since the last
+        // segment (or new to the chain).
+        let mut live_ids: BTreeSet<JobId> = BTreeSet::new();
+        let mut dirty: Vec<&dyn JobExec> = Vec::new();
+        {
+            let queued = parts.queue.iter().map(|e| &e.job);
+            let running =
+                parts.active.iter().flatten().flat_map(|a| a.jobs.iter().map(|aj| &aj.job));
+            for job in queued.chain(running) {
+                let id = job.id();
+                if !included(&id) {
+                    continue;
+                }
+                live_ids.insert(id);
+                let fp = job.iterations();
+                if self.job_fp.get(&id) != Some(&fp) {
+                    self.job_fp.insert(id, fp);
+                    dirty.push(&**job);
+                }
+            }
+        }
+        self.job_fp.retain(|id, _| live_ids.contains(id));
+        dirty.len().write(&mut out);
+        for job in &dirty {
+            encode_job(*job, &mut out);
+        }
+
+        // Meta upserts: new ids, or the one mutable field
+        // (`first_started_s`) moved.
+        let mut meta_upserts: Vec<(JobId, &JobMeta)> = Vec::new();
+        for (id, m) in parts.meta {
+            let fp = meta_fingerprint(m);
+            if self.meta_fp.get(id) != Some(&fp) {
+                self.meta_fp.insert(*id, fp);
+                meta_upserts.push((*id, m));
+            }
+        }
+        meta_upserts.len().write(&mut out);
+        for (id, m) in &meta_upserts {
+            id.0.write(&mut out);
+            m.submitted_s.write(&mut out);
+            m.first_started_s.write(&mut out);
+            m.tenant.write(&mut out);
+            m.iter_budget.write(&mut out);
+            m.deadline_s.write(&mut out);
+            m.checkpoint.write(&mut out);
+        }
+
+        // Done reports: append-only log, written once each.
+        let mut new_done: Vec<&JobReport> = Vec::new();
+        for (id, report) in parts.done {
+            if self.done_seen.insert(*id) {
+                new_done.push(report);
+            }
+        }
+        new_done.len().write(&mut out);
+        for report in &new_done {
+            write_report(report, &mut out);
+        }
+
+        let path = self.store.delta_path(self.epoch, self.next_index);
+        self.store.write_segment(&path, &out)?;
+        self.next_index += 1;
+        Ok(SnapshotStats {
+            kind: SnapshotKind::Delta,
+            bytes: out.len() as u64,
+            dirty_jobs: dirty.len(),
+            live_jobs: live_ids.len(),
+        })
+    }
+}
+
+/// Try to express `new` as `old` minus removals (order preserved), with
+/// in-place deficit updates, plus a tail of appended entries — the only
+/// mutations a scheduler tick performs. Returns `None` when the shape
+/// does not hold (the writer then falls back to a full layout).
+#[allow(clippy::type_complexity)]
+fn queue_diff(
+    old: &[(u64, u64)],
+    new: &[(u64, u64)],
+) -> Option<(Vec<u64>, Vec<(u64, u64)>, Vec<(u64, u64)>)> {
+    let new_ids: BTreeSet<u64> = new.iter().map(|e| e.0).collect();
+    let old_ids: BTreeSet<u64> = old.iter().map(|e| e.0).collect();
+    let surviving: Vec<&(u64, u64)> = old.iter().filter(|e| new_ids.contains(&e.0)).collect();
+    if new.len() < surviving.len() {
+        return None;
+    }
+    let mut deficits = Vec::new();
+    for (kept, fresh) in surviving.iter().zip(new) {
+        if kept.0 != fresh.0 {
+            return None; // surviving order changed: not removal+append
+        }
+        if kept.1 != fresh.1 {
+            deficits.push(*fresh);
+        }
+    }
+    let appended = &new[surviving.len()..];
+    if appended.iter().any(|e| old_ids.contains(&e.0)) {
+        return None; // an old id re-appeared at the tail
+    }
+    let removed: Vec<u64> = old.iter().map(|e| e.0).filter(|id| !new_ids.contains(id)).collect();
+    // A diff bigger than the full layout buys nothing.
+    if removed.len() + deficits.len() + appended.len() > new.len() {
+        return None;
+    }
+    Some((removed, deficits, appended.to_vec()))
+}
+
+/// One decoded active-batch slot: `(started_s, slice_budget,
+/// slice_used, [(job id, iters done)])`, or `None` for an idle device.
+type ActiveSlot = Option<(f64, u64, u64, Vec<(u64, u64)>)>;
+
+/// Chain replay state: the decoded base, updated segment by segment.
+struct ChainState {
+    checkpoint: FleetCheckpoint,
+    jobs: BTreeMap<u64, Box<dyn JobExec>>,
+    queue_layout: Vec<(u64, u64)>,
+    done_log: BTreeMap<JobId, JobReport>,
+}
+
+impl ChainState {
+    fn from_base(mut base: FleetCheckpoint) -> Self {
+        let mut jobs = BTreeMap::new();
+        let mut queue_layout = Vec::new();
+        for entry in base.queue.drain(..) {
+            queue_layout.push((entry.job.id().0, entry.deficit));
+            jobs.insert(entry.job.id().0, entry.job);
+        }
+        for slot in base.active.iter_mut().flatten() {
+            for aj in slot.jobs.drain(..) {
+                jobs.insert(aj.job.id().0, aj.job);
+            }
+        }
+        base.active.iter_mut().for_each(|s| *s = None);
+        let done_log = std::mem::take(&mut base.done);
+        Self { checkpoint: base, jobs, queue_layout, done_log }
+    }
+
+    fn apply(&mut self, bytes: &[u8], registry: &JobRegistry) -> Result<(), PersistError> {
+        let ckpt = &mut self.checkpoint;
+        let mut r = Reader::new(bytes);
+        if r.take(DELTA_MAGIC.len())? != DELTA_MAGIC {
+            return Err(PersistError::new("not a delta checkpoint segment (bad magic)"));
+        }
+        let _epoch: u64 = r.read()?;
+        let _index: u64 = r.read()?;
+        ckpt.clocks = r.read()?;
+        ckpt.device_books = r.read()?;
+        ckpt.rr_next = r.read()?;
+        ckpt.next_id = r.read()?;
+        ckpt.next_seq = r.read()?;
+        ckpt.serialized_s = r.read()?;
+        ckpt.fused_launches = r.read()?;
+        ckpt.launches_saved = r.read()?;
+        ckpt.preemptions = r.read()?;
+        ckpt.ticks = r.read()?;
+        ckpt.autosaves = r.read()?;
+        ckpt.iterations_executed = r.read()?;
+        ckpt.stream_makespan_s = r.read()?;
+        ckpt.stream_serialized_s = r.read()?;
+        ckpt.spans = r.read()?;
+        ckpt.span_iterations = r.read()?;
+        ckpt.launch_overhead_saved_s = r.read()?;
+        let cancels: Vec<u64> = r.read()?;
+        ckpt.cancel_requested = cancels.into_iter().map(JobId).collect();
+
+        // Queue layout (differential or full).
+        self.queue_layout = match u8::read(&mut r)? {
+            1 => {
+                let removed: Vec<u64> = r.read()?;
+                let deficits: Vec<(u64, u64)> = r.read()?;
+                let appended: Vec<(u64, u64)> = r.read()?;
+                let removed: BTreeSet<u64> = removed.into_iter().collect();
+                let mut layout: Vec<(u64, u64)> =
+                    self.queue_layout.iter().copied().filter(|e| !removed.contains(&e.0)).collect();
+                for (id, deficit) in deficits {
+                    match layout.iter_mut().find(|e| e.0 == id) {
+                        Some(e) => e.1 = deficit,
+                        None => {
+                            return Err(PersistError::new(format!(
+                                "queue diff updates job #{id} absent from the chain"
+                            )));
+                        }
+                    }
+                }
+                layout.extend(appended);
+                layout
+            }
+            0 => r.read()?,
+            b => return Err(PersistError::new(format!("bad queue-layout tag {b}"))),
+        };
+
+        // Active layout.
+        let active_len: usize = r.read()?;
+        let mut active_layout: Vec<ActiveSlot> = Vec::with_capacity(active_len.min(1024));
+        for _ in 0..active_len {
+            active_layout.push(match u8::read(&mut r)? {
+                0 => None,
+                1 => {
+                    let started_s: f64 = r.read()?;
+                    let slice_budget: u64 = r.read()?;
+                    let slice_used: u64 = r.read()?;
+                    let jobs: Vec<(u64, u64)> = r.read()?;
+                    Some((started_s, slice_budget, slice_used, jobs))
+                }
+                b => return Err(PersistError::new(format!("bad active-slot tag {b}"))),
+            });
+        }
+
+        // Dirty job payloads upsert the chain's job table.
+        let dirty_len: usize = r.read()?;
+        for _ in 0..dirty_len {
+            let job = registry.decode_job(&mut r)?;
+            self.jobs.insert(job.id().0, job);
+        }
+
+        // Meta upserts.
+        let meta_len: usize = r.read()?;
+        for _ in 0..meta_len {
+            let id = JobId(r.read::<u64>()?);
+            ckpt.meta.insert(
+                id,
+                JobMeta {
+                    submitted_s: r.read()?,
+                    first_started_s: r.read()?,
+                    tenant: r.read()?,
+                    iter_budget: r.read()?,
+                    deadline_s: r.read()?,
+                    checkpoint: r.read()?,
+                },
+            );
+        }
+
+        // Newly completed reports.
+        let done_len: usize = r.read()?;
+        for _ in 0..done_len {
+            let report = read_report(&mut r)?;
+            self.done_log.insert(report.id, report);
+        }
+        if r.remaining() != 0 {
+            return Err(PersistError::new(format!(
+                "delta segment has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+
+        // Jobs that left every layout are done (or cancelled): drop
+        // their payloads from the chain table.
+        let live: BTreeSet<u64> = self
+            .queue_layout
+            .iter()
+            .map(|e| e.0)
+            .chain(
+                active_layout.iter().flatten().flat_map(|(_, _, _, jobs)| jobs.iter().map(|e| e.0)),
+            )
+            .collect();
+        self.jobs.retain(|id, _| live.contains(id));
+        // Materialize the active slots for this segment.
+        ckpt.active.clear();
+        for slot in active_layout {
+            ckpt.active.push(match slot {
+                None => None,
+                Some((started_s, slice_budget, slice_used, jobs)) => {
+                    let mut active_jobs = Vec::with_capacity(jobs.len());
+                    for (id, deficit) in jobs {
+                        let job = self.jobs.get(&id).ok_or_else(|| {
+                            PersistError::new(format!(
+                                "active layout references job #{id} absent from the chain"
+                            ))
+                        })?;
+                        active_jobs.push(ActiveJob { job: job.clone_box(), deficit });
+                    }
+                    Some(ActiveSnapshot { jobs: active_jobs, started_s, slice_budget, slice_used })
+                }
+            });
+        }
+        Ok(())
+    }
+
+    fn into_checkpoint(mut self) -> FleetCheckpoint {
+        self.checkpoint.queue = self
+            .queue_layout
+            .iter()
+            .map(|&(id, deficit)| {
+                let job = self
+                    .jobs
+                    .get(&id)
+                    .expect("apply() verified every layout id resolves")
+                    .clone_box();
+                QueueEntry { job, deficit }
+            })
+            .collect();
+        self.checkpoint.done = self.done_log;
+        self.checkpoint
+    }
+}

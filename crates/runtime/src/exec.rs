@@ -28,8 +28,8 @@ use lnls_core::{
     ProblemCursor, SearchCursor, SequentialExplorer, TabuCursor,
 };
 use lnls_gpu_sim::{
-    price_fused_span, transfer_seconds, Device, DeviceSpec, HostSpec, LaneIo, LaunchMode,
-    SelectionMode, TimeBook,
+    argmin_kernel_seconds, price_fused_span, transfer_seconds, Device, DeviceSpec, HostSpec,
+    LaneIo, LaunchMode, SelectionMode, TimeBook, ARGMIN_RECORD_BYTES,
 };
 use lnls_neighborhood::Neighborhood;
 use lnls_qap::{GpuSwapEvaluator, QapInstance, RtsCursor, SwapEvaluator, TableEvaluator};
@@ -506,14 +506,17 @@ pub(crate) struct QapJob {
     pub instance: Arc<QapInstance>,
     pub cursor: RtsCursor,
     /// The fitness-selection mode the fleet (or a per-job override)
-    /// asked for. The QAP swap path evaluates through the *functional*
-    /// simulated kernel, whose contract is to download the full
-    /// `C(n,2)` delta array — robust tabu inspects every delta for
-    /// aspiration, so there is no argmin launch to substitute.
-    /// [`SelectionMode::DeviceArgmin`] is therefore a documented no-op
-    /// here: the full readback is charged either way (priced honestly,
-    /// never discounted), and the mode is carried so checkpoints and
-    /// what-if sweeps see exactly what was requested.
+    /// asked for. The QAP swap path still *evaluates* through the
+    /// functional simulated kernel — the full `C(n,2)` delta array is
+    /// downloaded so robust tabu's functional walk (tabu inspection,
+    /// aspiration) is bit-identical under either mode. What changes
+    /// under [`SelectionMode::DeviceArgmin`] is the *pricing*, exactly
+    /// like the tabu path: the modeled kernel folds tabu admissibility
+    /// and aspiration into packed `(key, swap)` records, an on-device
+    /// reduction launch ([`argmin_kernel_seconds`] over `C(n,2)` keys)
+    /// selects the winner, and one packed record
+    /// ([`ARGMIN_RECORD_BYTES`]) crosses PCIe per iteration instead of
+    /// the whole delta array.
     pub selection: SelectionMode,
     /// Device seconds charged so far (serialized-baseline contribution
     /// of the device-resident part of the walk).
@@ -605,13 +608,36 @@ impl JobExec for QapJob {
         // the job leaves a backend) — instance matrices upload once per
         // residency, the paper's texture-resident F/D.
         if self.gpu.as_ref().is_none_or(|g| g.device().spec() != &spec) {
-            self.gpu = Some(GpuSwapEvaluator::new(&self.instance, spec));
+            self.gpu = Some(GpuSwapEvaluator::new(&self.instance, spec.clone()));
         }
         let eval = self.gpu.as_mut().expect("just ensured");
         let prev = eval.device().book().clone();
         let iters =
             self.cursor.step_batch((&*self.instance, eval as &mut dyn SwapEvaluator), quota);
-        let delta = eval.device().book().delta_since(&prev);
+        let mut delta = eval.device().book().delta_since(&prev);
+        // Under DeviceArgmin the functional evaluation above is
+        // unchanged (the walk still saw every delta), but the *pricing*
+        // swaps the full `C(n,2)` readback for a packed-key reduction:
+        // one argmin launch per iteration over the swap keys, one
+        // packed record back per iteration (see the `selection` field
+        // docs). The transformation mirrors what the tabu batch path
+        // charges per lane.
+        if self.selection.is_device() && iters > 0 {
+            let n = self.instance.size() as u64;
+            let m = n * (n - 1) / 2;
+            if m > 1 {
+                let full_bytes = m * std::mem::size_of::<i64>() as u64;
+                let k = iters as f64;
+                delta.d2h_s += (transfer_seconds(&spec, ARGMIN_RECORD_BYTES)
+                    - transfer_seconds(&spec, full_bytes))
+                    * k;
+                delta.bytes_d2h =
+                    delta.bytes_d2h + ARGMIN_RECORD_BYTES * iters - full_bytes * iters;
+                delta.kernel_s += argmin_kernel_seconds(&spec, m) * k;
+                delta.overhead_s += spec.launch_overhead_s * k;
+                delta.launches += iters;
+            }
+        }
         let seconds = delta.gpu_total_s();
         dev.charge(&delta);
         self.book.add(&delta);
@@ -621,9 +647,8 @@ impl JobExec for QapJob {
             self.table = None;
         }
         // QAP launches run through the real simulated kernel, a single
-        // dependent chain per iteration — nothing to overlap, and
-        // `self.selection` cannot shrink the readback (see the field
-        // docs): the full delta download above is the honest price.
+        // dependent chain per iteration — nothing overlaps, so the
+        // serialized baseline equals the charged makespan.
         StepRun { iters, seconds, serialized_s: seconds, ..StepRun::default() }
     }
 

@@ -164,6 +164,7 @@
 #![forbid(unsafe_code)]
 
 mod client;
+mod delta;
 mod exec;
 mod job;
 mod lns;
@@ -175,6 +176,7 @@ mod submit;
 mod telemetry;
 
 pub use client::{AdmissionPolicy, FleetClient, SubmitError};
+pub use delta::{CheckpointError, CheckpointStore, DeltaCheckpointer, SnapshotKind, SnapshotStats};
 pub use exec::{BatchKey, JobExec, StepRun};
 pub use job::{
     AnnealJob, BinaryJob, JobHandle, JobId, JobOutcome, JobReport, JobStatus, QapJobSpec,
@@ -187,7 +189,7 @@ pub use observe::{
 };
 pub use persist::JobRegistry;
 pub use report::{FleetReport, TenantStat};
-pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig};
+pub use scheduler::{FleetCheckpoint, PlacePolicy, Scheduler, SchedulerConfig, StolenJob};
 pub use submit::{JobCodec, JobSpec, SearchJob, SubmitCtx};
 pub use telemetry::{percentile, percentile_sorted, Telemetry, TickSample};
 

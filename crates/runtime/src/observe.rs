@@ -524,6 +524,16 @@ impl Histogram {
         self.sum += v;
     }
 
+    /// Fold another histogram into this one (the bucket layout is
+    /// fixed, so bucket counts add element-wise).
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -587,6 +597,24 @@ impl MetricsRegistry {
     /// Record one observation into histogram `name`.
     pub fn observe(&mut self, name: &str, v: f64) {
         self.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Fold `other` into this registry: counters and histogram buckets
+    /// add (both are monotone totals, so per-shard registries merge
+    /// into exact fleet-wide ones); a gauge keeps the larger of the two
+    /// readings (gauges are point-in-time samples, and the merged view
+    /// reports the worst shard).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, n) in &other.counters {
+            self.inc_by(name, *n);
+        }
+        for (name, v) in &other.gauges {
+            let g = self.gauges.entry(name.clone()).or_insert(f64::NEG_INFINITY);
+            *g = g.max(*v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().absorb(h);
+        }
     }
 
     /// Current value of counter `name` (0 when never touched).

@@ -23,6 +23,7 @@
 //! [`JobCodec`] implementation — the same trait family submission
 //! flows through.
 
+use crate::delta::CheckpointError;
 use crate::exec::JobExec;
 use crate::job::{AnnealJob, BinaryJob, JobId, JobOutcome, JobReport, QapJobSpec};
 use crate::lns::{LnsJob, PortfolioJob};
@@ -37,7 +38,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LNLSFLT\x06";
+const MAGIC: &[u8; 8] = b"LNLSFLT\x07";
 
 type Loader = fn(&mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError>;
 
@@ -101,7 +102,7 @@ impl JobRegistry {
         );
     }
 
-    fn decode_job(&self, r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
+    pub(crate) fn decode_job(&self, r: &mut Reader<'_>) -> Result<Box<dyn JobExec>, PersistError> {
         let tag: String = r.read()?;
         let payload: Vec<u8> = r.read()?;
         let loader = self
@@ -126,7 +127,7 @@ impl Default for JobRegistry {
     }
 }
 
-fn encode_job(job: &dyn JobExec, out: &mut Vec<u8>) {
+pub(crate) fn encode_job(job: &dyn JobExec, out: &mut Vec<u8>) {
     job.persist_tag().write(out);
     let mut payload = Vec::new();
     job.persist(&mut payload);
@@ -150,6 +151,7 @@ fn write_cfg(cfg: &SchedulerConfig, out: &mut Vec<u8>) {
     cfg.selection.write(out);
     cfg.span_iters.write(out);
     cfg.launch_mode.write(out);
+    cfg.id_base.write(out);
 }
 
 fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
@@ -171,6 +173,7 @@ fn read_cfg(r: &mut Reader<'_>) -> Result<SchedulerConfig, PersistError> {
         selection: r.read()?,
         span_iters: r.read()?,
         launch_mode: r.read()?,
+        id_base: r.read()?,
     })
 }
 
@@ -220,7 +223,7 @@ fn read_outcome(r: &mut Reader<'_>) -> Result<JobOutcome, PersistError> {
     })
 }
 
-fn write_report(report: &JobReport, out: &mut Vec<u8>) {
+pub(crate) fn write_report(report: &JobReport, out: &mut Vec<u8>) {
     report.id.0.write(out);
     report.name.write(out);
     report.tenant.write(out);
@@ -234,7 +237,7 @@ fn write_report(report: &JobReport, out: &mut Vec<u8>) {
     write_outcome(&report.outcome, out);
 }
 
-fn read_report(r: &mut Reader<'_>) -> Result<JobReport, PersistError> {
+pub(crate) fn read_report(r: &mut Reader<'_>) -> Result<JobReport, PersistError> {
     Ok(JobReport {
         id: JobId(r.read::<u64>()?),
         name: r.read()?,
@@ -434,10 +437,28 @@ impl FleetCheckpoint {
 
     /// Read a snapshot written by [`save`](Self::save), resolving job
     /// tags through `registry`.
-    pub fn load(path: impl AsRef<Path>, registry: &JobRegistry) -> io::Result<Self> {
-        let bytes = std::fs::read(path)?;
+    ///
+    /// Failures come back as a typed [`CheckpointError`] naming the
+    /// offending segment: a vanished file is
+    /// [`MissingBase`](CheckpointError::MissingBase), a truncated or
+    /// garbled one is
+    /// [`CorruptSegment`](CheckpointError::CorruptSegment) carrying the
+    /// file name and the decoder's diagnosis — so a broken delta chain
+    /// (see [`CheckpointStore`](crate::CheckpointStore)) tells the
+    /// operator *which* segment to restore from backup instead of a
+    /// generic decode failure.
+    pub fn load(path: impl AsRef<Path>, registry: &JobRegistry) -> Result<Self, CheckpointError> {
+        let path = path.as_ref();
+        let segment = path.display().to_string();
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(CheckpointError::MissingBase { segment });
+            }
+            Err(e) => return Err(CheckpointError::Io { segment, source: e }),
+        };
         Self::from_bytes(&bytes, registry)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            .map_err(|source| CheckpointError::CorruptSegment { segment, source })
     }
 }
 

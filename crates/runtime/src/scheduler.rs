@@ -93,6 +93,13 @@ pub struct SchedulerConfig {
     /// resident and charges the overhead once per span. Pricing-only,
     /// like [`span_iters`](Self::span_iters).
     pub launch_mode: LaunchMode,
+    /// First job id / submission sequence number this scheduler hands
+    /// out (default 0). A sharded fleet gives each member scheduler a
+    /// disjoint base (shard `i` starts at `i << 40`), so jobs keep
+    /// globally unique identities when work stealing moves them between
+    /// shards — and shard 0 of a 1-shard fleet, based at 0, stays
+    /// bit-identical to a bare scheduler.
+    pub id_base: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -110,6 +117,7 @@ impl Default for SchedulerConfig {
             selection: SelectionMode::HostArgmin,
             span_iters: 1,
             launch_mode: LaunchMode::PerIteration,
+            id_base: 0,
         }
     }
 }
@@ -148,6 +156,37 @@ pub(crate) struct JobMeta {
     pub iter_budget: Option<u64>,
     pub deadline_s: Option<f64>,
     pub checkpoint: bool,
+}
+
+/// A queued job in transit between schedulers: the executor (cursor
+/// state included), its lifecycle metadata, its fair-share credit and
+/// any pending cancel request — everything the donor knew. Produced by
+/// [`Scheduler::donate_queued`], consumed by [`Scheduler::adopt`];
+/// opaque on purpose, because the only correct thing to do with one is
+/// hand it to another scheduler (dropping it loses the job, exactly
+/// like dropping a checkpoint).
+pub struct StolenJob {
+    job: Box<dyn JobExec>,
+    meta: JobMeta,
+    deficit: u64,
+    cancel_requested: bool,
+}
+
+impl StolenJob {
+    /// The job's fleet-wide identity (preserved across the move).
+    pub fn id(&self) -> JobId {
+        self.job.id()
+    }
+
+    /// The tenant the job was submitted under.
+    pub fn tenant(&self) -> &str {
+        &self.meta.tenant
+    }
+
+    /// The job's queue priority.
+    pub fn priority(&self) -> u8 {
+        self.job.priority()
+    }
 }
 
 /// A batched multi-tenant search scheduler over a simulated device fleet.
@@ -231,6 +270,7 @@ impl Scheduler {
         assert!(cfg.quantum_iters != Some(0), "quantum_iters must be at least 1");
         assert!(cfg.span_iters >= 1, "span_iters must be at least 1");
         let backends = devices.len() + cfg.cpu_workers;
+        let id_base = cfg.id_base;
         let telemetry =
             cfg.telemetry_every_ticks.map(|_| Telemetry::with_cap(cfg.telemetry_max_samples));
         Self {
@@ -240,8 +280,8 @@ impl Scheduler {
             active: (0..backends).map(|_| None).collect(),
             clocks: vec![0.0; backends],
             rr_next: 0,
-            next_id: 0,
-            next_seq: 0,
+            next_id: id_base,
+            next_seq: id_base,
             done: BTreeMap::new(),
             meta: BTreeMap::new(),
             cancel_requested: BTreeSet::new(),
@@ -391,6 +431,59 @@ impl Scheduler {
     /// rejected) — the client uses this to prune its bookkeeping.
     pub(crate) fn is_terminal(&self, handle: JobHandle) -> bool {
         self.done.contains_key(&handle.id)
+    }
+
+    /// Remove a *queued* (not running) job from this scheduler and hand
+    /// it over as a [`StolenJob`] — the donor half of shard-level work
+    /// stealing. Returns `None` when `id` is not currently queued
+    /// (running, finished and unknown jobs are not donatable; stealing
+    /// only ever moves jobs that have not started their current slice,
+    /// so preemption semantics are untouched). The job's metadata,
+    /// fair-share deficit and any pending cancel request travel with
+    /// it; the donor forgets the job entirely.
+    pub fn donate_queued(&mut self, id: JobId) -> Option<StolenJob> {
+        let pos = self.queue.iter().position(|e| e.job.id() == id)?;
+        let entry = self.queue.remove(pos);
+        let meta = self.meta.remove(&id).expect("every live job carries metadata");
+        self.policed.remove(&id);
+        let cancel_requested = self.cancel_requested.remove(&id);
+        Some(StolenJob { job: entry.job, meta, deficit: entry.deficit, cancel_requested })
+    }
+
+    /// Adopt a job donated by another scheduler: the taker half of
+    /// shard-level work stealing. The job keeps its identity, priority,
+    /// submission timestamps, envelope policy, fair-share deficit and
+    /// pending cancel request, and joins this scheduler's queue as if
+    /// it had always been here.
+    ///
+    /// # Panics
+    /// Panics if the adopted id collides with a job this scheduler
+    /// already knows — donors and takers must draw ids from disjoint
+    /// [`SchedulerConfig::id_base`] ranges.
+    pub fn adopt(&mut self, stolen: StolenJob) -> JobHandle {
+        let StolenJob { job, meta, deficit, cancel_requested } = stolen;
+        let id = job.id();
+        assert!(
+            !self.meta.contains_key(&id) && !self.done.contains_key(&id),
+            "adopted job id {id:?} collides; give shards disjoint `id_base` ranges"
+        );
+        if meta.iter_budget.is_some() || meta.deadline_s.is_some() {
+            self.policed.insert(id);
+        }
+        if cancel_requested {
+            self.cancel_requested.insert(id);
+        }
+        self.meta.insert(id, meta);
+        self.queue.push(QueueEntry { job, deficit });
+        JobHandle { id }
+    }
+
+    /// The most recently submitted queued job (highest submission
+    /// sequence number), if any — the one a steal barrier donates
+    /// first: the newest arrival has waited least, so moving it
+    /// perturbs fairness least.
+    pub fn newest_queued(&self) -> Option<JobId> {
+        self.queue.iter().max_by_key(|e| e.job.seq()).map(|e| e.job.id())
     }
 
     fn fresh_ids(&mut self) -> (JobId, u64) {
@@ -1162,6 +1255,40 @@ impl Scheduler {
 
     // -- checkpoint / resume ------------------------------------------
 
+    /// Borrowed view of everything a delta checkpoint needs: live jobs
+    /// by reference (so dirty detection never clones or re-encodes a
+    /// clean job), plus the scalar state that always rides along. Used
+    /// by [`DeltaCheckpointer`](crate::DeltaCheckpointer); full
+    /// snapshots keep going through [`checkpoint`](Self::checkpoint).
+    pub(crate) fn delta_parts(&self) -> DeltaParts<'_> {
+        DeltaParts {
+            device_books: (0..self.devices.len())
+                .map(|i| self.devices.device(i).book().clone())
+                .collect(),
+            queue: &self.queue,
+            active: &self.active,
+            clocks: &self.clocks,
+            rr_next: self.rr_next,
+            next_id: self.next_id,
+            next_seq: self.next_seq,
+            done: &self.done,
+            meta: &self.meta,
+            cancel_requested: &self.cancel_requested,
+            serialized_s: self.serialized_s,
+            fused_launches: self.fused_launches,
+            launches_saved: self.launches_saved,
+            preemptions: self.preemptions,
+            ticks: self.ticks,
+            autosaves: self.autosaves,
+            iterations_executed: self.iterations_executed,
+            stream_makespan_s: self.stream_makespan_s,
+            stream_serialized_s: self.stream_serialized_s,
+            spans: self.spans,
+            span_iterations: self.span_iterations,
+            launch_overhead_saved_s: self.launch_overhead_saved_s,
+        }
+    }
+
     /// Snapshot the whole fleet: queued jobs (with their fair-share
     /// credits), in-flight cursors (mid search, mid slice), clocks,
     /// ledgers, lifecycle metadata and completed reports. Jobs submitted
@@ -1313,6 +1440,33 @@ pub(crate) struct ActiveSnapshot {
     pub started_s: f64,
     pub slice_budget: u64,
     pub slice_used: u64,
+}
+
+/// Borrowed scheduler state for delta checkpoints (see
+/// [`Scheduler::delta_parts`]).
+pub(crate) struct DeltaParts<'a> {
+    pub device_books: Vec<TimeBook>,
+    pub queue: &'a [QueueEntry],
+    pub active: &'a [Option<Active>],
+    pub clocks: &'a [f64],
+    pub rr_next: usize,
+    pub next_id: u64,
+    pub next_seq: u64,
+    pub done: &'a BTreeMap<JobId, JobReport>,
+    pub meta: &'a BTreeMap<JobId, JobMeta>,
+    pub cancel_requested: &'a BTreeSet<JobId>,
+    pub serialized_s: f64,
+    pub fused_launches: u64,
+    pub launches_saved: u64,
+    pub preemptions: u64,
+    pub ticks: u64,
+    pub autosaves: u64,
+    pub iterations_executed: u64,
+    pub stream_makespan_s: f64,
+    pub stream_serialized_s: f64,
+    pub spans: u64,
+    pub span_iterations: u64,
+    pub launch_overhead_saved_s: f64,
 }
 
 /// A self-contained fleet snapshot (see [`Scheduler::checkpoint`]).

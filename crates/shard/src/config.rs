@@ -1,0 +1,118 @@
+//! Versioned shard configuration — the sui-protocol-config idiom.
+//!
+//! Defaults move between releases (a wider ring, a faster steal
+//! cadence), but a workload trace recorded under version N must replay
+//! under version N *semantics* forever, or replay stops being
+//! bit-identical the day a default changes. So [`ShardConfig`] is
+//! never built from bare literals: every knob set is minted by
+//! [`ShardConfig::for_version`], traces record the version they were
+//! captured under, and replay calls `for_version(recorded)` instead of
+//! [`ShardConfig::current`]. Adding a version means adding a match arm
+//! — old arms are frozen history and never edited.
+
+use std::fmt;
+
+/// The version new recordings are minted at. Bump this (and add a
+/// `for_version` arm) whenever a default below changes.
+pub const CONFIG_VERSION: u32 = 2;
+
+/// A trace referenced a config version this build does not know —
+/// recorded by a newer release. Replaying it here would silently
+/// apply the wrong semantics, so it is refused instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownConfigVersion(pub u32);
+
+impl fmt::Display for UnknownConfigVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown shard config version {} (this build knows 1..={CONFIG_VERSION})", self.0)
+    }
+}
+
+impl std::error::Error for UnknownConfigVersion {}
+
+/// Sharding knobs, minted per [`CONFIG_VERSION`]. All fields feed
+/// deterministic machinery (ring layout, steal barrier), so two runs
+/// under the same version are bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// The version these knobs were minted at.
+    pub version: u32,
+    /// Virtual nodes per shard on the placement ring.
+    pub ring_replicas: u32,
+    /// Steal barrier cadence: donations happen when the global tick
+    /// count is a multiple of this.
+    pub steal_every_ticks: u64,
+    /// Most jobs moved per barrier across the whole fleet.
+    pub steal_max_per_barrier: usize,
+    /// Seed of the donor tie-break hash (see the fleet docs). Not
+    /// versioned — a recording knob like a scenario seed.
+    pub steal_seed: u64,
+}
+
+impl ShardConfig {
+    /// The knob set of the current [`CONFIG_VERSION`].
+    pub fn current() -> Self {
+        Self::for_version(CONFIG_VERSION).expect("CONFIG_VERSION always has an arm")
+    }
+
+    /// The knob set frozen at `version`. Replay paths call this with
+    /// the recorded version so old traces keep old semantics.
+    pub fn for_version(version: u32) -> Result<Self, UnknownConfigVersion> {
+        match version {
+            // v1: the initial sharding release — sparse ring, slow
+            // conservative stealing.
+            1 => Ok(Self {
+                version,
+                ring_replicas: 16,
+                steal_every_ticks: 8,
+                steal_max_per_barrier: 1,
+                steal_seed: 0x0100_5EED,
+            }),
+            // v2: denser ring (smoother placement), twice the barrier
+            // cadence and twice the per-barrier budget.
+            2 => Ok(Self {
+                version,
+                ring_replicas: 32,
+                steal_every_ticks: 4,
+                steal_max_per_barrier: 2,
+                steal_seed: 0x0100_5EED,
+            }),
+            other => Err(UnknownConfigVersion(other)),
+        }
+    }
+
+    /// Override the steal tie-break seed (a recording knob, like a
+    /// scenario seed — does not change the config version).
+    pub fn with_steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_matches_version_constant() {
+        assert_eq!(ShardConfig::current().version, CONFIG_VERSION);
+    }
+
+    #[test]
+    fn old_versions_stay_frozen() {
+        let v1 = ShardConfig::for_version(1).unwrap();
+        assert_eq!(
+            (v1.ring_replicas, v1.steal_every_ticks, v1.steal_max_per_barrier),
+            (16, 8, 1),
+            "v1 semantics are frozen history; never edit the arm"
+        );
+        let v2 = ShardConfig::for_version(2).unwrap();
+        assert_eq!((v2.ring_replicas, v2.steal_every_ticks, v2.steal_max_per_barrier), (32, 4, 2));
+    }
+
+    #[test]
+    fn future_versions_are_refused() {
+        assert_eq!(ShardConfig::for_version(99), Err(UnknownConfigVersion(99)));
+        assert_eq!(ShardConfig::for_version(0), Err(UnknownConfigVersion(0)));
+    }
+}

@@ -15,6 +15,7 @@ use lnls_runtime::{
     EventSink, FleetCheckpoint, FleetClient, FleetReport, JobRegistry, MetricsRegistry, Scheduler,
     SchedulerConfig,
 };
+use lnls_shard::{ShardConfig, ShardedFleet};
 use std::fmt;
 
 /// What one driven run produced: the fleet's own report plus the
@@ -110,11 +111,19 @@ impl Driver {
     /// crash-tick `drop` and reattached after restore, so observation
     /// never leaks into checkpoint bytes (which would break replay
     /// bit-identity) and never loses events across the crash.
+    ///
+    /// Traces with [`FleetProfile::shards`](crate::FleetProfile::shards)
+    /// above one take the sharded loop instead
+    /// ([`run_sharded`](Self::run_sharded)); a 1-shard profile stays on
+    /// this exact path, so pre-sharding traces replay byte-for-byte.
     fn run(
         trace: &Trace,
         sink: Option<Box<dyn EventSink>>,
         metered: bool,
     ) -> (WorkloadReport, Option<MetricsRegistry>) {
+        if trace.fleet.shards > 1 {
+            return Self::run_sharded(trace, sink, metered);
+        }
         let registry = JobRegistry::with_builtin();
         let mut client = FleetClient::new(Self::build_fleet(trace), trace.admission.clone());
         if let Some(sink) = sink {
@@ -193,23 +202,157 @@ impl Driver {
         )
     }
 
+    /// The sharded replay loop. Differences from the unsharded path,
+    /// all deterministic:
+    ///
+    /// * The fleet is a [`ShardedFleet`] minted under the trace's
+    ///   recorded [`config_version`](crate::FleetProfile::config_version)
+    ///   — a trace captured under v1 replays under v1 ring/steal
+    ///   semantics even after the current version moves on.
+    /// * An arrival is due when its *target shard's* clock reaches its
+    ///   timestamp (tenants route by consistent hashing), or when the
+    ///   whole fleet is idle — which reduces to the unsharded rule on
+    ///   one shard.
+    /// * Event sinks attach to shard 0 only: event streams are
+    ///   per-scheduler time series, and samples from shards with
+    ///   unsynchronized clocks do not interleave meaningfully. Metrics
+    ///   registries attach to *every* shard — counters and histograms
+    ///   are additive, so the per-shard registries merge into exact
+    ///   fleet-wide totals at the end.
+    /// * The simulated crash serializes every shard's checkpoint bytes,
+    ///   drops the fleet, and reassembles it from the decoded shards
+    ///   with the steal-barrier phase realigned to the crash tick.
+    fn run_sharded(
+        trace: &Trace,
+        sink: Option<Box<dyn EventSink>>,
+        metered: bool,
+    ) -> (WorkloadReport, Option<MetricsRegistry>) {
+        let registry = JobRegistry::with_builtin();
+        let shard_cfg = ShardConfig::for_version(trace.fleet.config_version)
+            .unwrap_or_else(|e| panic!("trace '{}' is unreplayable: {e}", trace.scenario));
+        let mut fleet = Self::build_sharded_fleet(trace, shard_cfg);
+        if let Some(sink) = sink {
+            fleet.shard_mut(0).attach_sink(sink);
+        }
+        if metered {
+            for i in 0..fleet.shard_count() {
+                fleet.shard_mut(i).enable_metrics();
+            }
+        }
+        let mut next = 0usize;
+        let (mut admitted, mut crashes, mut ticks) = (0u64, 0u64, 0u64);
+        let mut bounced = vec![0u64; trace.fleet.shards];
+        loop {
+            while let Some(arrival) = trace.arrivals.get(next) {
+                let target = fleet.shard_for(&arrival.tenant);
+                let due = arrival.at_s <= fleet.shard(target).scheduler().now_s()
+                    || (fleet.queued_len() == 0 && fleet.running_len() == 0);
+                if !due {
+                    break;
+                }
+                match arrival.submit(fleet.shard_mut(target)) {
+                    Ok(_) => admitted += 1,
+                    Err(_) => bounced[target] += 1,
+                }
+                next += 1;
+            }
+            let progressed = fleet.tick();
+            ticks += 1;
+            if trace.crash_at_tick == Some(ticks) {
+                let shard_bytes: Vec<Vec<u8>> = (0..fleet.shard_count())
+                    .map(|i| fleet.shard(i).checkpoint().to_bytes())
+                    .collect();
+                let saved_sink = fleet.shard_mut(0).detach_sink();
+                let saved_metrics: Vec<Option<MetricsRegistry>> =
+                    (0..fleet.shard_count()).map(|i| fleet.shard_mut(i).take_metrics()).collect();
+                drop(fleet); // the crash: all in-memory state is gone
+                let shards = shard_bytes
+                    .iter()
+                    .zip(&bounced)
+                    .map(|(bytes, &shard_bounced)| {
+                        let revived = FleetCheckpoint::from_bytes(bytes, &registry)
+                            .expect("a checkpoint the fleet just wrote must decode");
+                        FleetClient::resume(
+                            Scheduler::restore(revived),
+                            trace.admission.clone(),
+                            shard_bounced,
+                        )
+                    })
+                    .collect();
+                fleet = ShardedFleet::from_clients(shard_cfg, shards, ticks);
+                if let Some(sink) = saved_sink {
+                    fleet.shard_mut(0).attach_sink(sink);
+                }
+                for (i, metrics) in saved_metrics.into_iter().enumerate() {
+                    if let Some(metrics) = metrics {
+                        fleet.shard_mut(i).attach_metrics(metrics);
+                    }
+                }
+                crashes += 1;
+            }
+            if !progressed && next >= trace.arrivals.len() {
+                break;
+            }
+        }
+        if let Some(mut sink) = fleet.shard_mut(0).detach_sink() {
+            sink.flush();
+        }
+        let mut metrics: Option<MetricsRegistry> = None;
+        for i in 0..fleet.shard_count() {
+            if let Some(shard_metrics) = fleet.shard_mut(i).take_metrics() {
+                match metrics.as_mut() {
+                    Some(merged) => merged.absorb(&shard_metrics),
+                    None => metrics = Some(shard_metrics),
+                }
+            }
+        }
+        (
+            WorkloadReport {
+                scenario: trace.scenario.clone(),
+                seed: trace.seed,
+                submitted: trace.arrivals.len() as u64,
+                admitted,
+                bounced: bounced.iter().sum(),
+                crashes,
+                ticks,
+                fleet: fleet.fleet_report(),
+            },
+            metrics,
+        )
+    }
+
+    fn scheduler_config(trace: &Trace) -> SchedulerConfig {
+        SchedulerConfig {
+            cpu_workers: trace.fleet.cpu_workers,
+            max_batch: trace.fleet.max_batch,
+            quantum_iters: trace.fleet.quantum_iters,
+            telemetry_every_ticks: Some(trace.fleet.telemetry_every_ticks),
+            telemetry_max_samples: trace.fleet.telemetry_max_samples,
+            selection: trace.fleet.selection,
+            span_iters: trace.fleet.span_iters,
+            launch_mode: trace.fleet.launch_mode,
+            ..Default::default()
+        }
+    }
+
     fn build_fleet(trace: &Trace) -> Scheduler {
         // The fleet knobs ride in the trace, so a replayed run prices on
         // the very engine layout and selection mode it was recorded with.
         let spec = DeviceSpec::gtx280().with_engines(trace.fleet.engines);
         Scheduler::new(
             MultiDevice::new_uniform(trace.fleet.devices, spec),
-            SchedulerConfig {
-                cpu_workers: trace.fleet.cpu_workers,
-                max_batch: trace.fleet.max_batch,
-                quantum_iters: trace.fleet.quantum_iters,
-                telemetry_every_ticks: Some(trace.fleet.telemetry_every_ticks),
-                telemetry_max_samples: trace.fleet.telemetry_max_samples,
-                selection: trace.fleet.selection,
-                span_iters: trace.fleet.span_iters,
-                launch_mode: trace.fleet.launch_mode,
-                ..Default::default()
-            },
+            Self::scheduler_config(trace),
+        )
+    }
+
+    fn build_sharded_fleet(trace: &Trace, shard_cfg: ShardConfig) -> ShardedFleet {
+        let spec = DeviceSpec::gtx280().with_engines(trace.fleet.engines);
+        ShardedFleet::new(
+            shard_cfg,
+            trace.admission.clone(),
+            trace.fleet.shards,
+            Self::scheduler_config(trace),
+            move |_| MultiDevice::new_uniform(trace.fleet.devices, spec.clone()),
         )
     }
 }
@@ -308,6 +451,39 @@ mod tests {
             format!("{:?}", recorded.fleet),
             format!("{:?}", replayed.fleet),
             "replaying the in-memory trace must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn sharded_saturation_round_trips_bit_identically() {
+        let scenario = Scenario::saturation_sharded();
+        assert!(scenario.fleet.shards > 1, "the scenario must exercise the sharded loop");
+        let (trace, recorded) = Driver::record(&scenario, 11);
+        let reloaded =
+            crate::Trace::from_bytes(&trace.to_bytes()).expect("sharded traces round-trip");
+        assert_eq!(reloaded.fleet.shards, scenario.fleet.shards);
+        assert_eq!(reloaded.fleet.config_version, lnls_shard::CONFIG_VERSION);
+        let replayed = Driver::replay(&reloaded);
+        assert_eq!(
+            format!("{:?}", recorded.fleet),
+            format!("{:?}", replayed.fleet),
+            "a sharded trace reloaded from bytes must replay bit-identically"
+        );
+        assert!(recorded.fleet.jobs_completed > 0);
+    }
+
+    #[test]
+    fn sharded_crash_restores_every_shard() {
+        let mut scenario = Scenario::saturation_sharded();
+        scenario.crash_at_tick = Some(12);
+        let (trace, report) = Driver::record(&scenario, 3);
+        assert_eq!(report.crashes, 1, "the driver must crash the sharded fleet once");
+        assert!(report.fleet.jobs_completed > 0, "the restored fleet must finish the work");
+        let replayed = Driver::replay(&trace);
+        assert_eq!(
+            format!("{:?}", report.fleet),
+            format!("{:?}", replayed.fleet),
+            "crash/restore across shards must stay deterministic"
         );
     }
 

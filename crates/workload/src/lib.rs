@@ -12,8 +12,8 @@
 //!   cryptanalysis, Max-Cut from the problems zoo, simulated annealing,
 //!   QAP robust tabu, destroy-and-repair LNS and portfolio races over
 //!   Knapsack/Max-3-Sat/QUBO), a fleet shape and an admission policy.
-//!   A named [catalog](Scenario::catalog) ships eight scenarios from
-//!   steady-state to crash-churn.
+//!   A named [catalog](Scenario::catalog) ships nine scenarios from
+//!   steady-state to crash-churn to sharded saturation.
 //! * **[`TrafficGen`]** — the deterministic lowering: `(scenario, seed)`
 //!   becomes a [`Trace`] of timed [`Arrival`]s, bit-reproducibly.
 //! * **[`Trace`]** — the record/replay format on

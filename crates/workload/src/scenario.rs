@@ -160,6 +160,16 @@ pub struct FleetProfile {
     /// pricing-only; see
     /// [`SchedulerConfig::launch_mode`](lnls_runtime::SchedulerConfig::launch_mode).
     pub launch_mode: LaunchMode,
+    /// Shards in the fleet (1 = an unsharded scheduler, byte-for-byte
+    /// the pre-sharding behavior). [`devices`](Self::devices) counts
+    /// devices *per shard*.
+    pub shards: usize,
+    /// Shard-config version the scenario was authored (and any trace
+    /// recorded) under — replay mints
+    /// [`ShardConfig::for_version`](lnls_shard::ShardConfig::for_version)
+    /// with this, so old traces keep old steal/ring semantics as
+    /// defaults move.
+    pub config_version: u32,
 }
 
 impl Default for FleetProfile {
@@ -175,6 +185,8 @@ impl Default for FleetProfile {
             selection: SelectionMode::HostArgmin,
             span_iters: 1,
             launch_mode: LaunchMode::PerIteration,
+            shards: 1,
+            config_version: lnls_shard::CONFIG_VERSION,
         }
     }
 }
@@ -247,6 +259,7 @@ impl Scenario {
     /// | `saturation` | every family at once over an undersized fleet |
     /// | `lns-repair` | destroy-and-repair LNS over the Knapsack/Max-3-Sat/QUBO zoo |
     /// | `portfolio-race` | tabu/SA/descent portfolio races, budget follows the leader |
+    /// | `saturation-sharded` | saturation pressure spread over many tenants on a 4-shard fleet |
     pub fn catalog() -> Vec<Scenario> {
         vec![
             Self::steady(),
@@ -257,6 +270,7 @@ impl Scenario {
             Self::saturation(),
             Self::lns_repair(),
             Self::portfolio_race(),
+            Self::saturation_sharded(),
         ]
     }
 
@@ -524,6 +538,53 @@ impl Scenario {
             crash_at_tick: None,
         }
     }
+
+    /// Sharded saturation: `saturation`-style pressure spread over many
+    /// generated tenants and a sharded fleet — the catalog face of the
+    /// shard-scaling bench sweep (which calls
+    /// [`saturation_sharded_sized`](Self::saturation_sharded_sized)
+    /// directly to sweep 1 → 64 shards).
+    pub fn saturation_sharded() -> Scenario {
+        Self::saturation_sharded_sized(16, 4, 40)
+    }
+
+    /// The sharded-saturation generator at an arbitrary size: `tenants`
+    /// organizations drawing from light tabu/anneal families, routed by
+    /// consistent hashing onto `shards` shards of one device each,
+    /// `jobs` submissions total. Tenant names are generated
+    /// (`org-000`, `org-001`, …) so the tenant population scales with
+    /// the fleet instead of pinning four names to sixty-four shards.
+    pub fn saturation_sharded_sized(tenants: usize, shards: usize, jobs: u64) -> Scenario {
+        let families = [
+            vec![(Family::TabuOneMax, 1.0)],
+            vec![(Family::Anneal, 1.0)],
+            vec![(Family::TabuMaxCut, 1.0)],
+            vec![(Family::TabuOneMax, 1.0), (Family::Anneal, 1.0)],
+        ];
+        let tenants = (0..tenants.max(1))
+            .map(|i| TenantProfile {
+                iters: (16, 32),
+                dims: vec![20, 24],
+                ..TenantProfile::new(format!("org-{i:03}"), families[i % families.len()].clone())
+            })
+            .collect();
+        Scenario {
+            name: "saturation-sharded".into(),
+            summary: "saturation pressure spread over generated tenants on a sharded fleet".into(),
+            jobs,
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 9000.0 },
+            tenants,
+            fleet: FleetProfile {
+                devices: 1,
+                cpu_workers: 0,
+                max_batch: 8,
+                shards: shards.max(1),
+                ..FleetProfile::default()
+            },
+            admission: AdmissionPolicy::unbounded().with_tenant_cap(4),
+            crash_at_tick: None,
+        }
+    }
 }
 
 /// The typed "no such scenario" error [`Scenario::by_name`] returns:
@@ -558,7 +619,7 @@ mod tests {
     #[test]
     fn catalog_names_are_unique_and_findable() {
         let catalog = Scenario::catalog();
-        assert!(catalog.len() >= 8, "the catalog promises at least eight scenarios");
+        assert!(catalog.len() >= 9, "the catalog promises at least nine scenarios");
         let mut names: Vec<&str> = catalog.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();

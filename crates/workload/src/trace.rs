@@ -16,7 +16,7 @@ use std::io;
 use std::path::Path;
 
 /// Magic prefix of a trace file (`LNLSTRC` + format version).
-const MAGIC: &[u8; 8] = b"LNLSTRC\x04";
+const MAGIC: &[u8; 8] = b"LNLSTRC\x05";
 
 /// A recorded (or freshly lowered) run: everything
 /// [`Driver::replay`](crate::Driver::replay) needs, self-contained.
@@ -107,6 +107,8 @@ impl Persist for FleetProfile {
         self.selection.write(out);
         self.span_iters.write(out);
         self.launch_mode.write(out);
+        self.shards.write(out);
+        self.config_version.write(out);
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(Self {
@@ -120,6 +122,8 @@ impl Persist for FleetProfile {
             selection: r.read()?,
             span_iters: r.read()?,
             launch_mode: r.read()?,
+            shards: r.read()?,
+            config_version: r.read()?,
         })
     }
 }

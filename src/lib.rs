@@ -16,6 +16,7 @@
 //! | [`qap`] | the quadratic assignment problem under Taillard's robust tabu search (the paper's reference \[11\]), swap moves flat-indexed by the paper's 2D mapping |
 //! | [`lns`] | large neighborhood search: destroy-and-repair cursors with an adaptive destroy radius, plus a tabu/SA/descent portfolio race — the "large neighborhood" idea applied to the *search* as well as its exploration |
 //! | [`runtime`] | the fleet scheduler: batched multi-tenant search jobs over simulated multi-GPU devices, with checkpoint/resume, time-series telemetry, structured event tracing, a metrics registry and throughput reporting (§V perspective, scaled out) |
+//! | [`shard`] | horizontal sharding: consistent-hash tenant placement, deterministic shard-level work stealing, per-shard delta checkpoints and versioned shard config |
 //! | [`workload`] | the scenario catalog, deterministic traffic generator, record/replay driver and what-if trace analytics that stress-test the runtime |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@ pub use lnls_ppp as ppp;
 pub use lnls_problems as problems;
 pub use lnls_qap as qap;
 pub use lnls_runtime as runtime;
+pub use lnls_shard as shard;
 pub use lnls_workload as workload;
 
 /// One-stop imports for applications.
@@ -79,6 +81,12 @@ pub mod prelude {
         JobOutcome, JobRegistry, JobReport, JobSpec, JobStatus, JsonlSink, LnsJob, MetricsRegistry,
         PlacePolicy, PortfolioJob, QapJobSpec, RejectReason, RingSink, Scheduler, SchedulerConfig,
         SearchJob, SubmitError, Telemetry, TenantStat, TenantSummary, TickSample,
+    };
+    pub use lnls_runtime::{
+        CheckpointError, CheckpointStore, DeltaCheckpointer, SnapshotKind, SnapshotStats, StolenJob,
+    };
+    pub use lnls_shard::{
+        HashRing, ShardConfig, ShardedFleet, UnknownConfigVersion, CONFIG_VERSION,
     };
     pub use lnls_workload::{
         Driver, Scenario, Trace, TrafficGen, UnknownScenario, Variant, VariantOutcome, WhatIf,

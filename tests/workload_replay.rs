@@ -30,7 +30,7 @@ proptest! {
     /// the driver-side counters.
     #[test]
     fn any_recorded_trace_replays_bit_identically(
-        scenario_idx in 0usize..8,
+        scenario_idx in 0usize..9,
         seed in 0u64..1000,
         fermi in proptest::prelude::any::<bool>(),
         device_argmin in proptest::prelude::any::<bool>(),
@@ -69,7 +69,7 @@ proptest! {
 
     /// The lowering itself is a pure function of (scenario, seed).
     #[test]
-    fn lowering_is_reproducible(scenario_idx in 0usize..8, seed in 0u64..1000) {
+    fn lowering_is_reproducible(scenario_idx in 0usize..9, seed in 0u64..1000) {
         let scenario = &Scenario::catalog()[scenario_idx];
         let a = TrafficGen::lower(scenario, seed);
         let b = TrafficGen::lower(scenario, seed);
