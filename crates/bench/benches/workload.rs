@@ -213,6 +213,69 @@ fn main() {
         ]);
     }
 
+    // Worker-scaling sweep: one heavy trace (big neighborhoods, long
+    // quanta — per-shard compute dominates the per-tick handoff)
+    // recorded once, then replayed on the true-parallel runtime at
+    // 1 → 8 worker threads. Modeled results are bit-identical at every
+    // count — the parallel runtime is an execution detail — so the
+    // tracked number is *wall clock*: real seconds to replay the same
+    // trace, and real speedup over the 1-worker (serial-path) replay.
+    // Wall speedup tracks min(workers, cores); each row records the
+    // host's core count, so a 1-core CI box reporting ~1.0× is the
+    // overhead bound (the barrier handoff costs nothing), while any
+    // multicore host reports the actual gain.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64;
+    println!(
+        "\n{:>20} {:>8} | {:>10} {:>9} {:>7} | {:>12}   ({cores} core(s) available)",
+        "scenario", "workers", "wall(ms)", "speedup", "effic", "report"
+    );
+    let heavy = {
+        let mut s = Scenario::saturation_sharded_sized(32, 8, (48.0 * scale) as u64);
+        s.name = "heavy-parallel".into();
+        s.summary = "compute-heavy sharded traffic for the worker-thread sweep".into();
+        for t in &mut s.tenants {
+            t.dims = vec![96];
+            t.iters = (192, 256);
+        }
+        s.fleet.quantum_iters = Some(64);
+        s
+    };
+    let (heavy_trace, _) = Driver::record(&heavy, seed);
+    let mut serial_wall = 0.0f64;
+    let mut serial_bits = String::new();
+    for workers in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let report = Driver::replay_with_workers(&heavy_trace, workers);
+        let wall = t0.elapsed().as_secs_f64();
+        let bits = format!("{:?}", report.fleet);
+        if workers == 1 {
+            serial_wall = wall;
+            serial_bits = bits.clone();
+        }
+        let speedup = serial_wall / wall;
+        assert_eq!(bits, serial_bits, "worker threads must not change the replayed bits");
+        println!(
+            "{:>20} {:>8} | {:>10.0} {:>8.2}x {:>6.0}% | {:>12}",
+            heavy.name,
+            workers,
+            wall * 1e3,
+            speedup,
+            speedup / workers as f64 * 100.0,
+            "identical",
+        );
+        json.record(&[
+            ("scenario", format!("heavy-parallel/workers-{workers}").into()),
+            ("seed", seed.into()),
+            ("workers", (workers as u64).into()),
+            ("cores", cores.into()),
+            ("shards", (heavy.fleet.shards as u64).into()),
+            ("jobs", (heavy_trace.arrivals.len() as u64).into()),
+            ("replay_wall_s", wall.into()),
+            ("wall_speedup", speedup.into()),
+            ("wall_efficiency", (speedup / workers as f64).into()),
+        ]);
+    }
+
     // Delta-checkpoint size curve: fleets of growing live-job counts
     // snapshotted with the rotating base + dirty-delta checkpointer.
     // The drain cadence (max_batch) is held fixed, so per-tick churn is
@@ -308,7 +371,7 @@ fn main() {
     let observed_ms = wall_of("ring-sink replay", &|| {
         let ring = RingSink::unbounded().shared();
         Driver::replay_observed(&trace, Box::new(ring.clone()));
-        let events = ring.borrow().len() as u64;
+        let events = ring.lock().unwrap().len() as u64;
         events
     });
     let metered_ms = wall_of("metered replay", &|| {

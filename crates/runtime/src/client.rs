@@ -101,6 +101,16 @@ pub enum SubmitError {
         /// The configured per-tenant cap.
         limit: usize,
     },
+    /// The concurrency limiter bounced the submission: the client
+    /// already has `limit` or more jobs in flight (queued + running).
+    /// Unlike the queue caps this is load shedding, not admission
+    /// policy — a closed-loop caller should back off and retry.
+    Overloaded {
+        /// Jobs in flight (queued + running) at the bounce.
+        inflight: usize,
+        /// The configured in-flight limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -112,11 +122,63 @@ impl fmt::Display for SubmitError {
             SubmitError::TenantQueueFull { tenant, queued, limit } => {
                 write!(f, "tenant '{tenant}' queue full: {queued} jobs queued, cap {limit}")
             }
+            SubmitError::Overloaded { inflight, limit } => {
+                write!(f, "overloaded: {inflight} jobs in flight, limit {limit}")
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// A hard bound on jobs in flight (queued **and** running) fronting a
+/// [`FleetClient`] — the service-runtime backstop the queue caps alone
+/// cannot provide. Admission caps bound *waiting* work per policy;
+/// the limiter bounds *total* resident work so an overloaded shard
+/// sheds submissions immediately ([`SubmitError::Overloaded`]) instead
+/// of queueing without bound. Deterministic by construction: the
+/// decision reads only scheduler state, never wall-clock load, so a
+/// recorded trace replays its bounces bit-identically at any worker
+/// count.
+///
+/// The limiter is host-side front-door state, like event sinks: it is
+/// not checkpointed. Re-install it after a restore (the workload driver
+/// does) — its shed count restarts at zero, while the client-level
+/// [`rejected_submissions`](FleetClient::rejected_submissions) total is
+/// carried across the crash by [`FleetClient::resume`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcurrencyLimiter {
+    max_inflight: usize,
+    sheds: u64,
+}
+
+impl ConcurrencyLimiter {
+    /// A limiter admitting at most `max_inflight` jobs in flight
+    /// (clamped to a floor of 1 — a limit of 0 would shed everything).
+    pub fn new(max_inflight: usize) -> Self {
+        Self { max_inflight: max_inflight.max(1), sheds: 0 }
+    }
+
+    /// The configured in-flight bound.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Submissions this limiter has shed since it was installed.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Admit or shed a submission given the current in-flight count.
+    fn admit(&mut self, inflight: usize) -> Result<(), SubmitError> {
+        if inflight >= self.max_inflight {
+            self.sheds += 1;
+            Err(SubmitError::Overloaded { inflight, limit: self.max_inflight })
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// What the client remembers about an admitted job (for per-tenant
 /// counting and shed candidate ranking).
@@ -165,12 +227,14 @@ pub struct FleetClient {
     /// Submissions rejected outright (they never got a handle, so the
     /// scheduler cannot count them).
     rejected_submissions: u64,
+    /// Optional in-flight bound checked before the admission policy.
+    limiter: Option<ConcurrencyLimiter>,
 }
 
 impl FleetClient {
     /// Wrap `fleet` with `policy`.
     pub fn new(fleet: Scheduler, policy: AdmissionPolicy) -> Self {
-        Self { fleet, policy, admitted: BTreeMap::new(), rejected_submissions: 0 }
+        Self { fleet, policy, admitted: BTreeMap::new(), rejected_submissions: 0, limiter: None }
     }
 
     /// Wrap a *restored* scheduler (see
@@ -190,7 +254,7 @@ impl FleetClient {
             .into_iter()
             .map(|(id, tenant, priority)| (id, Admitted { tenant, priority }))
             .collect();
-        Self { fleet, policy, admitted, rejected_submissions }
+        Self { fleet, policy, admitted, rejected_submissions, limiter: None }
     }
 
     /// Submit any [`SearchJob`] under the admission policy.
@@ -215,6 +279,23 @@ impl FleetClient {
     ) -> Result<JobHandle, SubmitError> {
         let tenant = spec.tenant().to_string();
         let priority = spec.effective_priority();
+        // The concurrency limiter fronts everything: an overloaded
+        // client sheds before admission planning even looks at the
+        // queue (no victims are ever planned for a shed submission).
+        if let Some(limiter) = self.limiter.as_mut() {
+            let inflight = self.fleet.queued_len() + self.fleet.running_len();
+            if let Err(err) = limiter.admit(inflight) {
+                self.rejected_submissions += 1;
+                if self.fleet.observing() {
+                    self.fleet.emit_event(FleetEvent::Rejected {
+                        job: None,
+                        tenant,
+                        reason: RejectReason::Overloaded,
+                    });
+                }
+                return Err(err);
+            }
+        }
         // One snapshot of the queue, pruning finished bookkeeping on
         // the way (the admitted map stays bounded by *live* jobs).
         let mut queued = self.queued_snapshot();
@@ -397,11 +478,23 @@ impl FleetClient {
         self.fleet.take_metrics()
     }
 
-    /// Submissions this client refused (admission policy, not the
-    /// scheduler). Carried across a crash via
+    /// Submissions this client refused (admission policy or limiter,
+    /// not the scheduler). Carried across a crash via
     /// [`resume`](Self::resume)'s `rejected_submissions` argument.
     pub fn rejected_submissions(&self) -> u64 {
         self.rejected_submissions
+    }
+
+    /// Install (`Some`) or remove (`None`) a [`ConcurrencyLimiter`]
+    /// bounding jobs in flight. Not checkpointed — re-install after a
+    /// restore.
+    pub fn set_inflight_limit(&mut self, max_inflight: Option<usize>) {
+        self.limiter = max_inflight.map(ConcurrencyLimiter::new);
+    }
+
+    /// The limiter fronting this client, if one is installed.
+    pub fn limiter(&self) -> Option<&ConcurrencyLimiter> {
+        self.limiter.as_ref()
     }
 
     /// Extract a *queued* job for a shard-level steal, forgetting it

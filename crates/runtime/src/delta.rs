@@ -167,6 +167,21 @@ impl CheckpointStore {
         std::fs::rename(&tmp, path).map_err(io_err)
     }
 
+    /// The newest epoch any segment on disk belongs to (`None` for an
+    /// empty store). A re-armed [`DeltaCheckpointer`] starts past it so
+    /// its first base never collides with — or leaves stale deltas
+    /// from — a previous incarnation's chain.
+    pub fn newest_epoch(&self) -> io::Result<Option<u64>> {
+        let mut newest = None;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if let Some((epoch, _)) = parse_segment_name(&name.to_string_lossy()) {
+                newest = newest.max(Some(epoch));
+            }
+        }
+        Ok(newest)
+    }
+
     /// Delete every segment belonging to an epoch older than
     /// `keep_epoch`, returning how many files were removed. Called
     /// after a new base lands, so the store never holds more than the
@@ -320,12 +335,18 @@ fn meta_fingerprint(m: &JobMeta) -> u64 {
 impl DeltaCheckpointer {
     /// Open a checkpointer over `dir`, writing a fresh base every
     /// `deltas_per_base` deltas (clamped to at least 1). The first
-    /// [`snapshot`](Self::snapshot) always writes a base.
+    /// [`snapshot`](Self::snapshot) always writes a base. Over a
+    /// directory that already holds segments (re-arming after a
+    /// restore), that base opens a **new** epoch past everything on
+    /// disk, so stale deltas from the previous incarnation can never
+    /// shadow the new chain.
     pub fn open(dir: impl Into<PathBuf>, deltas_per_base: u64) -> io::Result<Self> {
+        let store = CheckpointStore::open(dir)?;
+        let epoch = store.newest_epoch()?.unwrap_or(0);
         Ok(Self {
-            store: CheckpointStore::open(dir)?,
+            store,
             deltas_per_base: deltas_per_base.max(1),
-            epoch: 0,
+            epoch,
             next_index: 0,
             job_fp: BTreeMap::new(),
             meta_fp: BTreeMap::new(),
@@ -580,10 +601,16 @@ fn queue_diff(
 type ActiveSlot = Option<(f64, u64, u64, Vec<(u64, u64)>)>;
 
 /// Chain replay state: the decoded base, updated segment by segment.
+/// Queue and active state live as id layouts against a shared job
+/// table until [`into_checkpoint`](Self::into_checkpoint) materializes
+/// them — the base's own layouts count, so a chain of zero deltas
+/// (crash right after an epoch rotation) reproduces the base exactly,
+/// running jobs included.
 struct ChainState {
     checkpoint: FleetCheckpoint,
     jobs: BTreeMap<u64, Box<dyn JobExec>>,
     queue_layout: Vec<(u64, u64)>,
+    active_layout: Vec<ActiveSlot>,
     done_log: BTreeMap<JobId, JobReport>,
 }
 
@@ -595,14 +622,19 @@ impl ChainState {
             queue_layout.push((entry.job.id().0, entry.deficit));
             jobs.insert(entry.job.id().0, entry.job);
         }
-        for slot in base.active.iter_mut().flatten() {
-            for aj in slot.jobs.drain(..) {
-                jobs.insert(aj.job.id().0, aj.job);
-            }
+        let mut active_layout = Vec::with_capacity(base.active.len());
+        for slot in base.active.iter_mut() {
+            active_layout.push(slot.take().map(|mut a| {
+                let ids: Vec<(u64, u64)> =
+                    a.jobs.iter().map(|aj| (aj.job.id().0, aj.deficit)).collect();
+                for aj in a.jobs.drain(..) {
+                    jobs.insert(aj.job.id().0, aj.job);
+                }
+                (a.started_s, a.slice_budget, a.slice_used, ids)
+            }));
         }
-        base.active.iter_mut().for_each(|s| *s = None);
         let done_log = std::mem::take(&mut base.done);
-        Self { checkpoint: base, jobs, queue_layout, done_log }
+        Self { checkpoint: base, jobs, queue_layout, active_layout, done_log }
     }
 
     fn apply(&mut self, bytes: &[u8], registry: &JobRegistry) -> Result<(), PersistError> {
@@ -724,25 +756,16 @@ impl ChainState {
             )
             .collect();
         self.jobs.retain(|id, _| live.contains(id));
-        // Materialize the active slots for this segment.
-        ckpt.active.clear();
-        for slot in active_layout {
-            ckpt.active.push(match slot {
-                None => None,
-                Some((started_s, slice_budget, slice_used, jobs)) => {
-                    let mut active_jobs = Vec::with_capacity(jobs.len());
-                    for (id, deficit) in jobs {
-                        let job = self.jobs.get(&id).ok_or_else(|| {
-                            PersistError::new(format!(
-                                "active layout references job #{id} absent from the chain"
-                            ))
-                        })?;
-                        active_jobs.push(ActiveJob { job: job.clone_box(), deficit });
-                    }
-                    Some(ActiveSnapshot { jobs: active_jobs, started_s, slice_budget, slice_used })
-                }
-            });
+        // Every surviving layout id must resolve in the chain table;
+        // materialization waits for `into_checkpoint`.
+        for &(id, _) in active_layout.iter().flatten().flat_map(|(_, _, _, jobs)| jobs.iter()) {
+            if !self.jobs.contains_key(&id) {
+                return Err(PersistError::new(format!(
+                    "active layout references job #{id} absent from the chain"
+                )));
+            }
         }
+        self.active_layout = active_layout;
         Ok(())
     }
 
@@ -754,9 +777,31 @@ impl ChainState {
                 let job = self
                     .jobs
                     .get(&id)
-                    .expect("apply() verified every layout id resolves")
+                    .expect("the chain verified every layout id resolves")
                     .clone_box();
                 QueueEntry { job, deficit }
+            })
+            .collect();
+        self.checkpoint.active = self
+            .active_layout
+            .iter()
+            .map(|slot| {
+                slot.as_ref().map(|(started_s, slice_budget, slice_used, jobs)| ActiveSnapshot {
+                    jobs: jobs
+                        .iter()
+                        .map(|&(id, deficit)| ActiveJob {
+                            job: self
+                                .jobs
+                                .get(&id)
+                                .expect("the chain verified every layout id resolves")
+                                .clone_box(),
+                            deficit,
+                        })
+                        .collect(),
+                    started_s: *started_s,
+                    slice_budget: *slice_budget,
+                    slice_used: *slice_used,
+                })
             })
             .collect();
         self.checkpoint.done = self.done_log;

@@ -27,7 +27,12 @@
 //!   `Result<JobHandle, SubmitError>`; shed jobs report
 //!   [`JobStatus::Rejected`]. [`JobSpec`] envelopes add tenant
 //!   attribution, name/priority overrides, iteration budgets, deadlines
-//!   and a per-job checkpoint policy.
+//!   and a per-job checkpoint policy. A [`ConcurrencyLimiter`]
+//!   optionally fronts the client with a hard in-flight bound
+//!   (queued + running), shedding overload submissions with
+//!   [`SubmitError::Overloaded`] instead of queueing without bound —
+//!   the backstop the parallel service runtime's closed-loop clients
+//!   retry against.
 //! * The [`Scheduler`] owns a [`MultiDevice`](lnls_gpu_sim::MultiDevice)
 //!   fleet plus CPU worker backends and places queued jobs under a
 //!   [`PlacePolicy`] (round-robin or least-loaded), charging modeled
@@ -175,7 +180,7 @@ mod scheduler;
 mod submit;
 mod telemetry;
 
-pub use client::{AdmissionPolicy, FleetClient, SubmitError};
+pub use client::{AdmissionPolicy, ConcurrencyLimiter, FleetClient, SubmitError};
 pub use delta::{CheckpointError, CheckpointStore, DeltaCheckpointer, SnapshotKind, SnapshotStats};
 pub use exec::{BatchKey, JobExec, StepRun};
 pub use job::{
@@ -234,6 +239,47 @@ mod tests {
             assert_eq!(got.best_fitness, want.best_fitness, "job {i}");
             assert_eq!(got.iterations, want.iterations, "job {i}");
             assert_eq!(got.evals, want.evals, "job {i}");
+        }
+    }
+
+    /// The parallel shard runtime hands whole schedulers (and the
+    /// clients wrapping them) to worker threads — compile-time pin.
+    #[test]
+    fn schedulers_and_clients_are_send() {
+        fn is_send<T: Send>() {}
+        is_send::<Scheduler>();
+        is_send::<FleetClient>();
+        is_send::<Box<dyn EventSink>>();
+    }
+
+    #[test]
+    fn concurrency_limiter_sheds_above_the_inflight_bound() {
+        let fleet =
+            Scheduler::with_uniform_fleet(1, DeviceSpec::gtx280(), SchedulerConfig::default());
+        let mut client = FleetClient::new(fleet, AdmissionPolicy::unbounded());
+        client.set_inflight_limit(Some(2));
+        let a = client.submit(onemax_job(0, 16, 10)).expect("under the limit");
+        let _b = client.submit(onemax_job(1, 16, 10)).expect("under the limit");
+        match client.submit(onemax_job(2, 16, 10)) {
+            Err(SubmitError::Overloaded { inflight, limit }) => {
+                assert_eq!((inflight, limit), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(client.limiter().expect("installed").sheds(), 1);
+        assert_eq!(client.rejected_submissions(), 1);
+
+        // Draining the fleet frees capacity: the limiter admits again.
+        client.run_until_idle();
+        assert!(client.report(a).is_some());
+        client.submit(onemax_job(3, 16, 10)).expect("capacity is back");
+        client.run_until_idle();
+        assert_eq!(client.fleet_report().jobs_rejected, 1, "the shed rides into the report");
+
+        // Clearing the limit removes the bound entirely.
+        client.set_inflight_limit(None);
+        for i in 10..20 {
+            client.submit(onemax_job(i, 16, 10)).expect("unbounded again");
         }
     }
 

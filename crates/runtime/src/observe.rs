@@ -29,12 +29,11 @@
 //!   the gpu-sim `Schedule` has the per-engine equivalent.
 
 use crate::job::JobId;
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------
 // Events
@@ -50,6 +49,9 @@ pub enum RejectReason {
     TenantQueueFull,
     /// A queued job was shed to make room for a higher-priority arrival.
     Shed,
+    /// The concurrency limiter bounced the submission: too many jobs
+    /// already in flight (queued + running).
+    Overloaded,
 }
 
 impl RejectReason {
@@ -59,6 +61,7 @@ impl RejectReason {
             RejectReason::QueueFull => "queue_full",
             RejectReason::TenantQueueFull => "tenant_queue_full",
             RejectReason::Shed => "shed",
+            RejectReason::Overloaded => "overloaded",
         }
     }
 }
@@ -367,24 +370,26 @@ impl EventRecord {
 /// the scheduler never reads anything back, so attaching one cannot
 /// change results (the neutrality proptest pins this down). Sinks are
 /// *not* checkpointed — a restored fleet starts unobserved, like
-/// telemetry.
-pub trait EventSink {
+/// telemetry. Sinks are `Send` so a whole scheduler (and therefore a
+/// shard) can be handed to a worker thread by the parallel runtime.
+pub trait EventSink: Send {
     /// Receive one stamped event.
     fn emit(&mut self, record: &EventRecord);
     /// Flush any buffered output (called on detach; a no-op by default).
     fn flush(&mut self) {}
 }
 
-/// Shared handles observe too: `Rc<RefCell<Sink>>` lets a caller keep a
-/// read handle while the scheduler owns the attached `Box<dyn EventSink>`
-/// (the workspace is single-threaded; the scheduler never re-enters the
-/// sink while a caller borrows it).
-impl<S: EventSink> EventSink for Rc<RefCell<S>> {
+/// Shared handles observe too: `Arc<Mutex<Sink>>` lets a caller keep a
+/// read handle while the scheduler owns the attached `Box<dyn EventSink>`.
+/// The scheduler never re-enters the sink while a caller holds the lock,
+/// and the parallel runtime only ticks a shard from one worker at a time,
+/// so the mutex is uncontended in practice.
+impl<S: EventSink> EventSink for Arc<Mutex<S>> {
     fn emit(&mut self, record: &EventRecord) {
-        self.borrow_mut().emit(record);
+        self.lock().expect("sink lock").emit(record);
     }
     fn flush(&mut self) {
-        self.borrow_mut().flush();
+        self.lock().expect("sink lock").flush();
     }
 }
 
@@ -409,8 +414,8 @@ impl RingSink {
 
     /// Wrap into a shared handle: clone one side, attach the other
     /// (boxed) to the scheduler, and read the records afterwards.
-    pub fn shared(self) -> Rc<RefCell<RingSink>> {
-        Rc::new(RefCell::new(self))
+    pub fn shared(self) -> Arc<Mutex<RingSink>> {
+        Arc::new(Mutex::new(self))
     }
 
     /// Records captured so far, oldest first.
@@ -941,7 +946,11 @@ mod tests {
         let shared = RingSink::unbounded().shared();
         let mut boxed: Box<dyn EventSink> = Box::new(shared.clone());
         boxed.emit(&record(FleetEvent::Admitted { job: JobId(0) }));
-        assert_eq!(shared.borrow().len(), 1, "the shared handle sees the boxed side's emits");
+        assert_eq!(
+            shared.lock().unwrap().len(),
+            1,
+            "the shared handle sees the boxed side's emits"
+        );
     }
 
     #[test]

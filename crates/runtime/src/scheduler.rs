@@ -1510,6 +1510,13 @@ impl FleetCheckpoint {
         self.queue.len() + self.in_flight_jobs()
     }
 
+    /// The scheduler tick counter at capture time — the phase a
+    /// restored fleet resumes from (steal barriers and cadences key off
+    /// it).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
     /// Jobs captured mid-run (cursor state preserved).
     pub fn in_flight_jobs(&self) -> usize {
         self.active.iter().flatten().map(|a| a.jobs.len()).sum()

@@ -143,6 +143,49 @@ impl Telemetry {
         bucket_max(&self.samples.iter().map(|s| s.queue_depth).collect::<Vec<_>>(), buckets)
     }
 
+    /// Merge per-shard series into one fleet-wide series, sample by
+    /// sample. Shards tick in lockstep under the sharded facades, so
+    /// series recorded with the same cadence and cap align index for
+    /// index; the merge sums the count fields, concatenates
+    /// `device_busy_s` shard-major (shard 0's devices first), and takes
+    /// the max clock — the same "fleet clock is the max backend clock"
+    /// rule the scheduler itself uses. `tick` comes from the first
+    /// series. Deterministic: a pure fold over the input order, so the
+    /// parallel runtime merges bit-identically to the serial path.
+    ///
+    /// Series of unequal length (shards configured with different
+    /// cadences or caps) are truncated to the shortest — the aligned
+    /// prefix is the only part with a coherent fleet-wide meaning.
+    pub fn merge(series: &[&Telemetry]) -> Telemetry {
+        let Some((first, rest)) = series.split_first() else {
+            return Telemetry::new();
+        };
+        debug_assert!(
+            rest.iter().all(|t| t.samples.len() == first.samples.len()),
+            "lockstep shards should record equally long series"
+        );
+        let len = series.iter().map(|t| t.samples.len()).min().unwrap_or(0);
+        let mut merged = Telemetry::with_cap(first.max_samples);
+        for i in 0..len {
+            let mut sample = first.samples[i].clone();
+            for t in rest {
+                let s = &t.samples[i];
+                sample.now_s = sample.now_s.max(s.now_s);
+                sample.queue_depth += s.queue_depth;
+                sample.running += s.running;
+                sample.completed += s.completed;
+                sample.cancelled += s.cancelled;
+                sample.rejected += s.rejected;
+                sample.preemptions += s.preemptions;
+                sample.device_busy_s.extend_from_slice(&s.device_busy_s);
+                sample.bytes_h2d += s.bytes_h2d;
+                sample.bytes_d2h += s.bytes_d2h;
+            }
+            merged.samples.push(sample);
+        }
+        merged
+    }
+
     /// One-line sparkline of the queue depth (empty string when no
     /// samples) — the `Display` backpressure summary.
     pub fn queue_sparkline(&self, buckets: usize) -> String {
@@ -275,6 +318,35 @@ mod tests {
             assert_eq!(percentile(&v, q), percentile_sorted(&sorted, q), "q={q}");
         }
         assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_concats_devices_and_maxes_the_clock() {
+        let mut a = Telemetry::new();
+        let mut b = Telemetry::new();
+        for i in 0..3u64 {
+            let mut s = sample(i, 2, 1);
+            s.now_s = i as f64;
+            s.device_busy_s = vec![1.0];
+            a.push(s);
+            let mut s = sample(i, 3, 4);
+            s.now_s = i as f64 + 0.5;
+            s.device_busy_s = vec![2.0, 3.0];
+            b.push(s);
+        }
+        let merged = Telemetry::merge(&[&a, &b]);
+        assert_eq!(merged.samples().len(), 3);
+        let s = &merged.samples()[1];
+        assert_eq!(s.tick, 1, "tick comes from the first series");
+        assert_eq!(s.now_s, 1.5, "clock is the max across shards");
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.rejected, 5);
+        assert_eq!(s.running, 2);
+        assert_eq!(s.device_busy_s, vec![1.0, 2.0, 3.0], "devices concatenate shard-major");
+
+        assert!(Telemetry::merge(&[]).is_empty());
+        let solo = Telemetry::merge(&[&a]);
+        assert_eq!(solo, a, "merging one series is the identity");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::ring::{fnv1a, HashRing};
 use lnls_runtime::{
     percentile_sorted, AdmissionPolicy, CheckpointError, DeltaCheckpointer, FleetClient,
     FleetReport, JobHandle, JobRegistry, JobReport, JobSpec, JobStatus, Scheduler, SchedulerConfig,
-    SearchJob, SnapshotStats, SubmitError, TenantStat,
+    SearchJob, SnapshotStats, SubmitError, Telemetry, TenantStat,
 };
 use std::io;
 use std::path::{Path, PathBuf};
@@ -207,41 +207,7 @@ impl ShardedFleet {
 
     /// One steal barrier (see the type docs for the policy).
     fn steal_barrier(&mut self) {
-        let mut budget = self.cfg.steal_max_per_barrier;
-        if budget == 0 {
-            return;
-        }
-        let takers: Vec<usize> = (0..self.shards.len())
-            .filter(|&i| self.shards[i].scheduler().queued_len() == 0)
-            .collect();
-        for taker in takers {
-            if budget == 0 {
-                break;
-            }
-            // Deepest queue wins; ties rotate by seeded hash, then
-            // fall to the smaller index. `(depth, !hash, !idx)` max =
-            // (max depth, min hash, min idx).
-            let donor = (0..self.shards.len())
-                .filter(|&i| i != taker && self.shards[i].scheduler().queued_len() >= 2)
-                .max_by_key(|&i| {
-                    let depth = self.shards[i].scheduler().queued_len();
-                    let mut key = [0u8; 24];
-                    key[..8].copy_from_slice(&self.cfg.steal_seed.to_le_bytes());
-                    key[8..16].copy_from_slice(&self.ticks.to_le_bytes());
-                    key[16..].copy_from_slice(&(i as u64).to_le_bytes());
-                    (depth, !fnv1a(&key), !(i as u64))
-                });
-            let Some(donor) = donor else { break };
-            let id = self.shards[donor]
-                .scheduler()
-                .newest_queued()
-                .expect("donor has at least two queued jobs");
-            let stolen =
-                self.shards[donor].donate_queued(id).expect("newest_queued returned a queued id");
-            self.shards[taker].adopt(stolen);
-            self.steals += 1;
-            budget -= 1;
-        }
+        self.steals += run_steal_barrier(&self.cfg, &mut self.shards, self.ticks);
     }
 
     /// Where `handle`'s job currently is, searching every shard
@@ -289,9 +255,11 @@ impl ShardedFleet {
     /// per-device vectors concatenate shard-major, and the fairness
     /// aggregates (means, maxima, percentiles) are recomputed over the
     /// union of per-job rows — exactly the statistics one scheduler
-    /// holding all jobs would report. Telemetry is shard 0's series
-    /// (the observed shard, by the same convention drivers use for
-    /// event sinks); per-shard series live on the shard reports.
+    /// holding all jobs would report. Telemetry merges sample-by-sample
+    /// across shards when every shard recorded a series (shards tick in
+    /// lockstep, so samples align index for index; counts sum, device
+    /// columns concatenate shard-major, the clock maxes); per-shard
+    /// series live on the shard reports.
     pub fn fleet_report(&self) -> FleetReport {
         if self.shards.len() == 1 {
             return self.shards[0].fleet_report();
@@ -353,23 +321,7 @@ impl ShardedFleet {
         rejected: &[u64],
     ) -> Result<Self, CheckpointError> {
         let dir = dir.as_ref();
-        let mut shards = Vec::new();
-        loop {
-            let sub = shard_dir(dir, shards.len());
-            if !sub.is_dir() {
-                break;
-            }
-            let store = lnls_runtime::CheckpointStore::open(&sub).map_err(|source| {
-                CheckpointError::Io { segment: sub.display().to_string(), source }
-            })?;
-            let checkpoint = store.load_latest(registry)?;
-            let scheduler = Scheduler::restore(checkpoint);
-            let rejected_count = rejected.get(shards.len()).copied().unwrap_or(0);
-            shards.push(FleetClient::resume(scheduler, policy.clone(), rejected_count));
-        }
-        if shards.is_empty() {
-            return Err(CheckpointError::Empty { dir: dir.display().to_string() });
-        }
+        let shards = restore_clients(dir, &policy, registry, rejected)?;
         let ring = HashRing::new(shards.len(), cfg.ring_replicas);
         Ok(Self {
             cfg,
@@ -383,17 +335,82 @@ impl ShardedFleet {
     }
 }
 
-fn shard_dir(dir: &Path, i: usize) -> PathBuf {
+pub(crate) fn shard_dir(dir: &Path, i: usize) -> PathBuf {
     dir.join(format!("shard-{i:03}"))
+}
+
+/// One steal barrier over `shards` at global tick `ticks` (see the
+/// [`ShardedFleet`] type docs for the policy). Returns how many jobs
+/// moved. Shared verbatim by the serial facade and the parallel
+/// runtime's coordinator: the barrier is pure shard-state → shard-state,
+/// so both paths steal bit-identically.
+pub(crate) fn run_steal_barrier(cfg: &ShardConfig, shards: &mut [FleetClient], ticks: u64) -> u64 {
+    let mut budget = cfg.steal_max_per_barrier;
+    let mut steals = 0;
+    if budget == 0 {
+        return steals;
+    }
+    let takers: Vec<usize> =
+        (0..shards.len()).filter(|&i| shards[i].scheduler().queued_len() == 0).collect();
+    for taker in takers {
+        if budget == 0 {
+            break;
+        }
+        // Deepest queue wins; ties rotate by seeded hash, then
+        // fall to the smaller index. `(depth, !hash, !idx)` max =
+        // (max depth, min hash, min idx).
+        let donor = (0..shards.len())
+            .filter(|&i| i != taker && shards[i].scheduler().queued_len() >= 2)
+            .max_by_key(|&i| {
+                let depth = shards[i].scheduler().queued_len();
+                let mut key = [0u8; 24];
+                key[..8].copy_from_slice(&cfg.steal_seed.to_le_bytes());
+                key[8..16].copy_from_slice(&ticks.to_le_bytes());
+                key[16..].copy_from_slice(&(i as u64).to_le_bytes());
+                (depth, !fnv1a(&key), !(i as u64))
+            });
+        let Some(donor) = donor else { break };
+        let id =
+            shards[donor].scheduler().newest_queued().expect("donor has at least two queued jobs");
+        let stolen = shards[donor].donate_queued(id).expect("newest_queued returned a queued id");
+        shards[taker].adopt(stolen);
+        steals += 1;
+        budget -= 1;
+    }
+    steals
+}
+
+/// Rebuild shard clients from the latest base + delta chain in each
+/// `shard-NNN` subdirectory of `dir` — the common restore walk behind
+/// [`ShardedFleet::restore`] and the parallel facade's restore.
+pub(crate) fn restore_clients(
+    dir: &Path,
+    policy: &AdmissionPolicy,
+    registry: &JobRegistry,
+    rejected: &[u64],
+) -> Result<Vec<FleetClient>, CheckpointError> {
+    let mut shards = Vec::new();
+    loop {
+        let sub = shard_dir(dir, shards.len());
+        if !sub.is_dir() {
+            break;
+        }
+        let store = lnls_runtime::CheckpointStore::open(&sub)
+            .map_err(|source| CheckpointError::Io { segment: sub.display().to_string(), source })?;
+        let checkpoint = store.load_latest(registry)?;
+        let scheduler = Scheduler::restore(checkpoint);
+        let rejected_count = rejected.get(shards.len()).copied().unwrap_or(0);
+        shards.push(FleetClient::resume(scheduler, policy.clone(), rejected_count));
+    }
+    if shards.is_empty() {
+        return Err(CheckpointError::Empty { dir: dir.display().to_string() });
+    }
+    Ok(shards)
 }
 
 /// Merge per-shard reports into one fleet-wide report (see
 /// [`ShardedFleet::fleet_report`] for the field-by-field semantics).
-fn merge_reports(reports: &[FleetReport]) -> FleetReport {
-    // Telemetry stays shard 0's series: time-series samples from shards
-    // with unsynchronized clocks do not interleave meaningfully, and
-    // event sinks attach to shard 0 by convention (additive observers
-    // like metrics registries merge across shards instead).
+pub(crate) fn merge_reports(reports: &[FleetReport]) -> FleetReport {
     let mut merged = reports[0].clone();
     for r in &reports[1..] {
         merged.jobs_completed += r.jobs_completed;
@@ -417,6 +434,18 @@ fn merge_reports(reports: &[FleetReport]) -> FleetReport {
         merged.launch_overhead_saved_s += r.launch_overhead_saved_s;
         merged.tenant_stats.extend(r.tenant_stats.iter().cloned());
         merged.fleet_book.add(&r.fleet_book);
+    }
+    // Telemetry: the facades tick every shard in lockstep, so series
+    // recorded at the same cadence align index for index and merge
+    // sample-by-sample (counts sum, devices concatenate shard-major,
+    // the clock maxes — see [`Telemetry::merge`]). If any shard ran
+    // unsampled there is no aligned fleet-wide series; shard 0's (the
+    // observed shard, by the same convention drivers use for event
+    // sinks) then stands in, which `merged` already carries.
+    if let Some(series) =
+        reports.iter().map(|r| r.telemetry.as_ref()).collect::<Option<Vec<&Telemetry>>>()
+    {
+        merged.telemetry = Some(Telemetry::merge(&series));
     }
     merged.speedup_vs_serial =
         if merged.makespan_s > 0.0 { merged.serialized_s / merged.makespan_s } else { 1.0 };
@@ -538,6 +567,50 @@ mod tests {
             report.device_busy_s.iter().all(|&b| b > 0.0),
             "every shard's device should have run something: {:?}",
             report.device_busy_s
+        );
+    }
+
+    /// The PR 9 gap, pinned: a merged fleet report's telemetry is the
+    /// sample-aligned merge of *every* shard's series, not shard 0's
+    /// alone.
+    #[test]
+    fn merged_telemetry_spans_every_shard() {
+        let mut f = ShardedFleet::new(
+            ShardConfig::current(),
+            AdmissionPolicy::unbounded(),
+            2,
+            SchedulerConfig {
+                telemetry_every_ticks: Some(1),
+                quantum_iters: Some(8),
+                ..Default::default()
+            },
+            |_| MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+        );
+        for shard in 0..2 {
+            let tenant = tenant_on(&f, shard);
+            for i in 0..4 {
+                let spec =
+                    JobSpec::new(onemax_job(shard as u64 * 10 + i, 60)).for_tenant(tenant.clone());
+                f.submit_spec(spec).unwrap();
+            }
+        }
+        f.run_until_idle();
+        let merged = f.fleet_report().telemetry.expect("telemetry was on");
+        let s0 = f.shard(0).fleet_report().telemetry.expect("shard 0 sampled");
+        let s1 = f.shard(1).fleet_report().telemetry.expect("shard 1 sampled");
+        assert_eq!(s0.samples().len(), s1.samples().len(), "lockstep shards sample in lockstep");
+        assert_eq!(merged.samples().len(), s0.samples().len());
+        for (i, m) in merged.samples().iter().enumerate() {
+            let (a, b) = (&s0.samples()[i], &s1.samples()[i]);
+            assert_eq!(m.queue_depth, a.queue_depth + b.queue_depth, "sample {i}");
+            assert_eq!(m.completed, a.completed + b.completed, "sample {i}");
+            assert_eq!(m.now_s, a.now_s.max(b.now_s), "sample {i}");
+            assert_eq!(m.device_busy_s.len(), 2, "one column per device fleet-wide");
+        }
+        // Both shards genuinely contributed load (the gap this pins).
+        assert!(
+            s1.samples().iter().any(|s| s.queue_depth > 0 || s.running > 0),
+            "shard 1 must carry observable load for this pin to mean anything"
         );
     }
 

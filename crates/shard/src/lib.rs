@@ -22,6 +22,12 @@
 //! * [`ShardConfig`] — a *versioned* knob set: traces record the
 //!   [`CONFIG_VERSION`] they were captured under, and replay mints the
 //!   recorded version's frozen semantics even after defaults move.
+//! * [`ParallelFleet`] — the true-parallel service runtime: one worker
+//!   thread per group of shards, advancing barrier-to-barrier phases in
+//!   virtual time behind bounded MPSC queues. Tick ordering, stealing
+//!   and report merging are **bit-identical** to [`ShardedFleet`] at
+//!   any worker count (the `parallel_fleet` proptest harness pins it
+//!   across the whole scenario catalog).
 //!
 //! A 1-shard fleet degenerates exactly to a bare scheduler: shard 0
 //! mints ids from base 0, the steal barrier never fires (no peers),
@@ -33,8 +39,10 @@
 
 mod config;
 mod fleet;
+mod par;
 mod ring;
 
 pub use config::{ShardConfig, UnknownConfigVersion, CONFIG_VERSION};
 pub use fleet::{ShardedFleet, SHARD_ID_SHIFT};
+pub use par::ParallelFleet;
 pub use ring::{fnv1a, HashRing};

@@ -1,0 +1,698 @@
+//! [`ParallelFleet`]: the true-parallel service runtime — one worker
+//! thread per group of shards, advancing in virtual time behind bounded
+//! MPSC command queues, bit-identical to the serial [`ShardedFleet`](crate::ShardedFleet)
+//! at any worker count.
+//!
+//! # Why this can be bit-identical at all
+//! Shards only interact at steal barriers: between two barriers every
+//! shard's evolution is a pure function of its own state (admission,
+//! placement, batching, preemption all read one scheduler). So the
+//! runtime advances in *phases* — the stretch of global ticks up to the
+//! next barrier boundary — farming each shard's ticks out to a fixed
+//! worker, then joining every shard back on the coordinator before the
+//! barrier runs. However the OS schedules the workers, each shard
+//! executes exactly the tick sequence the serial facade would have
+//! given it, and the barrier (the only cross-shard step) runs on the
+//! coordinator over the very same state. Running jobs never cross a
+//! barrier: the steal policy donates queued jobs only, so no job state
+//! is ever in flight between threads mid-quantum.
+//!
+//! # The barrier protocol
+//! 1. The coordinator moves each shard's [`FleetClient`] into a
+//!    [`WorkerCmd::Run`] command on its worker's **bounded** queue
+//!    (capacity = the worker's shard count, so dispatch never blocks).
+//! 2. Workers tick their shards concurrently, stopping early at the
+//!    first idle tick (idleness is monotone within a phase — no new
+//!    work can arrive mid-phase), and send the client back over the
+//!    shared done queue with the tick count it actually ran.
+//! 3. The coordinator joins all shards, *catches up* early-stopped
+//!    shards with the idle ticks the serial path would have issued
+//!    (idle ticks still advance telemetry and autosave cadences, so
+//!    tick counts must match exactly), then runs the steal barrier —
+//!    the same [`run_steal_barrier`] the serial facade calls.
+//!
+//! # Virtual-time merge order
+//! Reports, telemetry and steals merge in ascending shard order on the
+//! coordinator, exactly as [`ShardedFleet`](crate::ShardedFleet) merges them; no wall-clock
+//! ordering ever reaches the results.
+
+use crate::config::ShardConfig;
+use crate::fleet::{merge_reports, restore_clients, run_steal_barrier, shard_dir};
+use crate::ring::HashRing;
+use lnls_runtime::{
+    AdmissionPolicy, CheckpointError, DeltaCheckpointer, FleetClient, FleetReport, JobHandle,
+    JobRegistry, JobReport, JobSpec, JobStatus, Scheduler, SchedulerConfig, SearchJob,
+    SnapshotStats, SubmitError,
+};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A command to a worker thread. The client travels *by value*: while a
+/// shard is out on a worker, the coordinator's slot for it is empty, so
+/// exactly one thread can ever touch a scheduler.
+enum WorkerCmd {
+    /// Tick `client` up to `max_ticks` times (stopping early once it
+    /// goes idle), then send it home on the done queue.
+    Run { shard: usize, client: Box<FleetClient>, max_ticks: u64 },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A shard coming home at the end of a phase.
+struct WorkerDone {
+    shard: usize,
+    client: Box<FleetClient>,
+    /// Ticks actually executed (≤ the phase's `max_ticks`).
+    ticks_run: u64,
+    /// Whether the last executed tick returned `false` (shard fully
+    /// idle: empty queue, nothing running).
+    went_idle: bool,
+}
+
+/// What the coordinator remembers about each shard's phase.
+#[derive(Clone, Copy)]
+struct ShardPhase {
+    ticks_run: u64,
+    went_idle: bool,
+}
+
+struct Worker {
+    tx: SyncSender<WorkerCmd>,
+    join: Option<JoinHandle<()>>,
+}
+
+fn worker_loop(rx: Receiver<WorkerCmd>, done: SyncSender<WorkerDone>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WorkerCmd::Run { shard, mut client, max_ticks } => {
+                let mut ticks_run = 0;
+                let mut went_idle = false;
+                while ticks_run < max_ticks {
+                    ticks_run += 1;
+                    if !client.tick() {
+                        went_idle = true;
+                        break;
+                    }
+                }
+                if done.send(WorkerDone { shard, client, ticks_run, went_idle }).is_err() {
+                    return; // coordinator gone; nothing left to do
+                }
+            }
+            WorkerCmd::Shutdown => return,
+        }
+    }
+}
+
+/// The concurrent counterpart of [`ShardedFleet`](crate::ShardedFleet): the same facade
+/// (submit/tick/report/checkpoint), the same bits, but phases of shard
+/// ticks run on `workers` OS threads. See the module docs for the
+/// protocol and why results are independent of the worker count and of
+/// OS scheduling.
+pub struct ParallelFleet {
+    cfg: ShardConfig,
+    ring: HashRing,
+    /// `Some` at every public-method boundary; `None` only while the
+    /// shard is out on a worker mid-phase.
+    slots: Vec<Option<FleetClient>>,
+    workers: Vec<Worker>,
+    done_rx: Receiver<WorkerDone>,
+    ticks: u64,
+    steals: u64,
+    checkpointers: Option<Vec<DeltaCheckpointer>>,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+impl ParallelFleet {
+    /// Build a parallel fleet of `shards` schedulers served by
+    /// `workers` threads (clamped to `1..=shards`; shard `i` is pinned
+    /// to worker `i % workers` for the fleet's lifetime). `template`
+    /// and `build_devices` behave exactly as in [`ShardedFleet::new`](crate::ShardedFleet::new).
+    pub fn new(
+        cfg: ShardConfig,
+        policy: AdmissionPolicy,
+        shards: usize,
+        workers: usize,
+        template: SchedulerConfig,
+        mut build_devices: impl FnMut(usize) -> lnls_gpu_sim::MultiDevice,
+    ) -> Self {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        let clients = (0..shards)
+            .map(|i| {
+                let mut shard_cfg = template.clone();
+                shard_cfg.id_base = (i as u64) << crate::fleet::SHARD_ID_SHIFT;
+                FleetClient::new(Scheduler::new(build_devices(i), shard_cfg), policy.clone())
+            })
+            .collect();
+        Self::assemble(cfg, clients, workers, 0)
+    }
+
+    /// Reassemble a parallel fleet from already-built (typically
+    /// restored) shard clients — the parallel twin of
+    /// [`ShardedFleet::from_clients`](crate::ShardedFleet::from_clients).
+    pub fn from_clients(
+        cfg: ShardConfig,
+        clients: Vec<FleetClient>,
+        workers: usize,
+        ticks: u64,
+    ) -> Self {
+        assert!(!clients.is_empty(), "a fleet needs at least one shard");
+        Self::assemble(cfg, clients, workers, ticks)
+    }
+
+    /// Rebuild a parallel fleet from the latest base + delta chain in
+    /// each `shard-NNN` subdirectory of `dir` — the parallel twin of
+    /// [`ShardedFleet::restore`](crate::ShardedFleet::restore). Restoration happens entirely on the
+    /// coordinator *before* any worker is involved, so a broken chain
+    /// surfaces as a typed [`CheckpointError`] naming the exact
+    /// segment; it can never panic a worker or hang a barrier.
+    pub fn restore(
+        cfg: ShardConfig,
+        policy: AdmissionPolicy,
+        dir: impl AsRef<Path>,
+        registry: &JobRegistry,
+        ticks: u64,
+        rejected: &[u64],
+        workers: usize,
+    ) -> Result<Self, CheckpointError> {
+        let dir = dir.as_ref();
+        let clients = restore_clients(dir, &policy, registry, rejected)?;
+        let mut fleet = Self::assemble(cfg, clients, workers, ticks);
+        fleet.checkpoint_dir = Some(dir.to_path_buf());
+        Ok(fleet)
+    }
+
+    fn assemble(cfg: ShardConfig, clients: Vec<FleetClient>, workers: usize, ticks: u64) -> Self {
+        let shards = clients.len();
+        let nworkers = workers.clamp(1, shards);
+        let (done_tx, done_rx) = mpsc::sync_channel(shards);
+        let workers = (0..nworkers)
+            .map(|w| {
+                let owned = (0..shards).filter(|s| s % nworkers == w).count();
+                let (tx, rx) = mpsc::sync_channel(owned.max(1));
+                let done = done_tx.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("lnls-par-worker-{w}"))
+                    .spawn(move || worker_loop(rx, done))
+                    .expect("spawn shard worker");
+                Worker { tx, join: Some(join) }
+            })
+            .collect();
+        let ring = HashRing::new(shards, cfg.ring_replicas);
+        Self {
+            cfg,
+            ring,
+            slots: clients.into_iter().map(Some).collect(),
+            workers,
+            done_rx,
+            ticks,
+            steals: 0,
+            checkpointers: None,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// The frozen config this fleet runs under.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// The placement ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of worker threads serving the shards.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Global ticks elapsed (each advanced every shard once).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Jobs moved by steal barriers so far.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// The checkpoint directory, when one was ever attached.
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    fn client(&self, i: usize) -> &FleetClient {
+        self.slots[i].as_ref().expect("clients are home between phases")
+    }
+
+    /// Borrow shard `i`'s client.
+    pub fn shard(&self, i: usize) -> &FleetClient {
+        self.client(i)
+    }
+
+    /// Mutably borrow shard `i`'s client.
+    pub fn shard_mut(&mut self, i: usize) -> &mut FleetClient {
+        self.slots[i].as_mut().expect("clients are home between phases")
+    }
+
+    /// Queued jobs across all shards.
+    pub fn queued_len(&self) -> usize {
+        (0..self.slots.len()).map(|i| self.client(i).scheduler().queued_len()).sum()
+    }
+
+    /// Running jobs across all shards.
+    pub fn running_len(&self) -> usize {
+        (0..self.slots.len()).map(|i| self.client(i).scheduler().running_len()).sum()
+    }
+
+    /// The shard that owns `tenant` under the current ring.
+    pub fn shard_for(&self, tenant: &str) -> usize {
+        self.ring.shard_for(tenant)
+    }
+
+    /// Route a spec to its tenant's shard and submit it there
+    /// (coordinator-side: submissions happen between phases, which is
+    /// what keeps admission — and the concurrency limiter's sheds —
+    /// deterministic at any worker count).
+    pub fn submit_spec<J: SearchJob>(
+        &mut self,
+        spec: JobSpec<J>,
+    ) -> Result<(usize, JobHandle), SubmitError> {
+        let shard = self.ring.shard_for(spec.tenant());
+        let handle = self.shard_mut(shard).submit_spec(spec)?;
+        Ok((shard, handle))
+    }
+
+    /// Submit a bare job under the default envelope (tenant
+    /// `"default"`).
+    pub fn submit<J: SearchJob>(&mut self, job: J) -> Result<(usize, JobHandle), SubmitError> {
+        self.submit_spec(JobSpec::new(job))
+    }
+
+    /// Fan one phase of up to `max_ticks` ticks out to the workers and
+    /// join every shard back. Returns per-shard outcomes.
+    fn phase(&mut self, max_ticks: u64) -> Vec<ShardPhase> {
+        debug_assert!(max_ticks > 0, "a phase must run at least one tick");
+        let shards = self.slots.len();
+        let nworkers = self.workers.len();
+        for shard in 0..shards {
+            let client = self.slots[shard].take().expect("clients are home between phases");
+            self.workers[shard % nworkers]
+                .tx
+                .send(WorkerCmd::Run { shard, client: Box::new(client), max_ticks })
+                .expect("worker command queue alive");
+        }
+        let mut outcomes = vec![ShardPhase { ticks_run: 0, went_idle: false }; shards];
+        for _ in 0..shards {
+            let done = self.join_one();
+            outcomes[done.shard] =
+                ShardPhase { ticks_run: done.ticks_run, went_idle: done.went_idle };
+            self.slots[done.shard] = Some(*done.client);
+        }
+        outcomes
+    }
+
+    /// Receive one shard from the done queue, converting a dead worker
+    /// into a loud coordinator panic instead of a silent barrier hang.
+    fn join_one(&mut self) -> WorkerDone {
+        loop {
+            match self.done_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(done) => return done,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Workers only exit on Shutdown (never mid-phase),
+                    // so a finished thread here means it panicked.
+                    if let Some(dead) = self
+                        .workers
+                        .iter()
+                        .position(|w| w.join.as_ref().is_some_and(|j| j.is_finished()))
+                    {
+                        let join = self.workers[dead].join.take().expect("handle present");
+                        let payload = join.join().err();
+                        panic!(
+                            "shard worker {dead} died mid-phase: {}",
+                            payload
+                                .as_ref()
+                                .and_then(|p| p.downcast_ref::<&str>().copied())
+                                .or_else(|| payload
+                                    .as_ref()
+                                    .and_then(|p| p.downcast_ref::<String>().map(|s| s.as_str())))
+                                .unwrap_or("panic payload lost")
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("every shard worker died mid-phase");
+                }
+            }
+        }
+    }
+
+    /// Run the steal barrier when the tick count sits on the cadence —
+    /// the exact policy and code path of [`ShardedFleet`](crate::ShardedFleet).
+    fn maybe_barrier(&mut self) {
+        if self.slots.len() > 1
+            && self.cfg.steal_every_ticks > 0
+            && self.ticks.is_multiple_of(self.cfg.steal_every_ticks)
+        {
+            let mut clients: Vec<FleetClient> = self
+                .slots
+                .iter_mut()
+                .map(|s| s.take().expect("clients are home between phases"))
+                .collect();
+            self.steals += run_steal_barrier(&self.cfg, &mut clients, self.ticks);
+            for (slot, client) in self.slots.iter_mut().zip(clients) {
+                *slot = Some(client);
+            }
+        }
+    }
+
+    /// Issue the idle ticks the serial path would have run on shards
+    /// that went idle before the phase's target tick (idle ticks still
+    /// advance telemetry and autosave cadences, so they cannot be
+    /// skipped).
+    fn catch_up(&mut self, outcomes: &[ShardPhase], target: u64) {
+        for (i, o) in outcomes.iter().enumerate() {
+            let client = self.slots[i].as_mut().expect("clients are home between phases");
+            for _ in o.ticks_run..target {
+                client.tick();
+            }
+        }
+    }
+
+    /// Advance every shard one tick — concurrently across workers —
+    /// then run the steal barrier when the global tick count hits the
+    /// cadence. Returns whether any shard did work. Bit-identical to
+    /// [`ShardedFleet::tick`](crate::ShardedFleet::tick).
+    pub fn tick(&mut self) -> bool {
+        let outcomes = self.phase(1);
+        self.ticks += 1;
+        self.maybe_barrier();
+        outcomes.iter().any(|o| !o.went_idle)
+    }
+
+    /// Tick until every shard is drained, in barrier-to-barrier phases
+    /// (the fast path: workers run whole stretches of virtual time
+    /// without coordinator round-trips). Lands on exactly the tick the
+    /// serial [`ShardedFleet::run_until_idle`](crate::ShardedFleet::run_until_idle) would stop at.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            let cadence = self.cfg.steal_every_ticks;
+            let k = if self.slots.len() > 1 && cadence > 0 {
+                cadence - (self.ticks % cadence)
+            } else {
+                // No barriers to respect: any chunk works, results are
+                // phase-length-independent. 64 amortizes the handoff.
+                64
+            };
+            let outcomes = self.phase(k);
+            if outcomes.iter().all(|o| o.went_idle) {
+                // Every shard went idle inside the phase: the serial
+                // loop stops at the first globally idle tick, which is
+                // the deepest first-idle tick across shards.
+                let stop = outcomes.iter().map(|o| o.ticks_run).max().unwrap_or(0);
+                self.catch_up(&outcomes, stop);
+                self.ticks += stop;
+                self.maybe_barrier();
+                if self.queued_len() == 0 && self.running_len() == 0 {
+                    return;
+                }
+            } else {
+                self.catch_up(&outcomes, k);
+                self.ticks += k;
+                self.maybe_barrier();
+            }
+        }
+    }
+
+    /// Where `handle`'s job currently is, searching every shard.
+    pub fn status(&self, handle: JobHandle) -> JobStatus {
+        for i in 0..self.slots.len() {
+            match self.client(i).status(handle) {
+                JobStatus::Unknown => continue,
+                s => return s,
+            }
+        }
+        JobStatus::Unknown
+    }
+
+    /// The finished report for `handle`, if any shard completed it.
+    pub fn report(&self, handle: JobHandle) -> Option<&JobReport> {
+        (0..self.slots.len()).find_map(|i| self.client(i).report(handle))
+    }
+
+    /// Request cancellation wherever the job lives.
+    pub fn cancel(&mut self, handle: JobHandle) -> bool {
+        (0..self.slots.len()).any(|i| {
+            self.slots[i].as_mut().expect("clients are home between phases").cancel(handle)
+        })
+    }
+
+    /// Tick until `handle`'s job reaches a terminal state, then return
+    /// its report.
+    ///
+    /// # Panics
+    /// When no shard knows the job.
+    pub fn await_report(&mut self, handle: JobHandle) -> &JobReport {
+        while matches!(self.status(handle), JobStatus::Queued | JobStatus::Running) {
+            self.tick();
+        }
+        self.report(handle).expect("await_report on a job no shard knows")
+    }
+
+    /// Every finished report across the fleet, shard-major.
+    pub fn reports(&self) -> impl Iterator<Item = &JobReport> {
+        self.slots
+            .iter()
+            .flat_map(|s| s.as_ref().expect("clients are home between phases").reports())
+    }
+
+    /// The fleet-wide summary, merged in ascending shard order with the
+    /// same rules as [`ShardedFleet::fleet_report`](crate::ShardedFleet::fleet_report) — bit-identical to
+    /// it at any worker count.
+    pub fn fleet_report(&self) -> FleetReport {
+        if self.slots.len() == 1 {
+            return self.client(0).fleet_report();
+        }
+        let reports: Vec<FleetReport> =
+            (0..self.slots.len()).map(|i| self.client(i).fleet_report()).collect();
+        merge_reports(&reports)
+    }
+
+    /// Arm per-shard delta checkpointing under `dir` — the parallel
+    /// twin of [`ShardedFleet::with_checkpoint_dir`](crate::ShardedFleet::with_checkpoint_dir).
+    pub fn with_checkpoint_dir(
+        mut self,
+        dir: impl Into<PathBuf>,
+        deltas_per_base: u64,
+    ) -> io::Result<Self> {
+        let dir = dir.into();
+        let mut checkpointers = Vec::with_capacity(self.slots.len());
+        for i in 0..self.slots.len() {
+            checkpointers.push(DeltaCheckpointer::open(shard_dir(&dir, i), deltas_per_base)?);
+        }
+        self.checkpointers = Some(checkpointers);
+        self.checkpoint_dir = Some(dir);
+        Ok(self)
+    }
+
+    /// Snapshot every shard (coordinator-side, between phases — no
+    /// worker ever holds a client while it is being serialized),
+    /// returning per-shard segment stats in shard order.
+    ///
+    /// # Panics
+    /// When checkpointing was not armed via
+    /// [`with_checkpoint_dir`](Self::with_checkpoint_dir).
+    pub fn snapshot(&mut self) -> Result<Vec<SnapshotStats>, CheckpointError> {
+        let checkpointers =
+            self.checkpointers.as_mut().expect("snapshot() requires with_checkpoint_dir()");
+        self.slots
+            .iter()
+            .zip(checkpointers)
+            .map(|(shard, ckpt)| {
+                ckpt.snapshot(shard.as_ref().expect("clients are home between phases").scheduler())
+            })
+            .collect()
+    }
+}
+
+impl Drop for ParallelFleet {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerCmd::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnls_core::{BitString, SearchConfig, TabuSearch};
+    use lnls_gpu_sim::{DeviceSpec, MultiDevice};
+    use lnls_neighborhood::{Neighborhood, TwoHamming};
+    use lnls_problems::OneMax;
+    use lnls_runtime::BinaryJob;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn onemax_job(i: u64, iters: u64) -> BinaryJob<OneMax, TwoHamming> {
+        let n = 24;
+        let hood = TwoHamming::new(n);
+        let mut rng = StdRng::seed_from_u64(i);
+        let init = BitString::random(&mut rng, n);
+        let search = TabuSearch::paper(SearchConfig::budget(iters).with_seed(i), hood.size());
+        BinaryJob::new(format!("onemax-{i}"), OneMax::new(n), hood, search, init)
+    }
+
+    fn template() -> SchedulerConfig {
+        SchedulerConfig {
+            quantum_iters: Some(8),
+            max_batch: 4,
+            telemetry_every_ticks: Some(1),
+            ..Default::default()
+        }
+    }
+
+    fn serial(shards: usize) -> crate::ShardedFleet {
+        crate::ShardedFleet::new(
+            ShardConfig::current(),
+            AdmissionPolicy::unbounded(),
+            shards,
+            template(),
+            |_| MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+        )
+    }
+
+    fn parallel(shards: usize, workers: usize) -> ParallelFleet {
+        ParallelFleet::new(
+            ShardConfig::current(),
+            AdmissionPolicy::unbounded(),
+            shards,
+            workers,
+            template(),
+            |_| MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+        )
+    }
+
+    /// Pile jobs on a couple of tenants so steal barriers genuinely
+    /// fire, on serial and parallel fleets alike.
+    fn submit_load(submit: &mut dyn FnMut(JobSpec<BinaryJob<OneMax, TwoHamming>>)) {
+        for i in 0..14 {
+            let spec = JobSpec::new(onemax_job(i, 80)).for_tenant(format!("tenant-{}", i % 3));
+            submit(spec);
+        }
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bits_at_every_worker_count() {
+        let mut want = serial(4);
+        submit_load(&mut |spec| {
+            want.submit_spec(spec).unwrap();
+        });
+        want.run_until_idle();
+        let want_report = format!("{:?}", want.fleet_report());
+        assert!(want.steals() > 0, "the load must be lopsided enough to steal");
+
+        for workers in [1, 2, 3, 4, 8] {
+            let mut par = parallel(4, workers);
+            assert_eq!(par.worker_count(), workers.min(4), "workers clamp to the shard count");
+            submit_load(&mut |spec| {
+                par.submit_spec(spec).unwrap();
+            });
+            par.run_until_idle();
+            assert_eq!(
+                format!("{:?}", par.fleet_report()),
+                want_report,
+                "{workers} workers must reproduce the serial bits"
+            );
+            assert_eq!(par.steals(), want.steals(), "{workers} workers: same steals");
+            assert_eq!(par.ticks(), want.ticks(), "{workers} workers: same tick count");
+        }
+    }
+
+    #[test]
+    fn single_tick_interleaving_matches_serial() {
+        let mut want = serial(2);
+        let mut par = parallel(2, 2);
+        submit_load(&mut |spec| {
+            want.submit_spec(spec).unwrap();
+        });
+        submit_load(&mut |spec| {
+            par.submit_spec(spec).unwrap();
+        });
+        loop {
+            let a = want.tick();
+            let b = par.tick();
+            assert_eq!(a, b, "tick {} must report the same progress", want.ticks());
+            if !a && want.queued_len() == 0 && want.running_len() == 0 {
+                break;
+            }
+        }
+        assert_eq!(format!("{:?}", par.fleet_report()), format!("{:?}", want.fleet_report()));
+    }
+
+    #[test]
+    fn parallel_snapshot_restore_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("lnls-par-restore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // No telemetry here: series are not checkpointed (a restored
+        // fleet starts a fresh one), so a crashed run can only match an
+        // uninterrupted one bit-for-bit with sampling off — the same
+        // deal the serial restore test strikes.
+        let plain = || {
+            ParallelFleet::new(
+                ShardConfig::current(),
+                AdmissionPolicy::unbounded(),
+                2,
+                2,
+                SchedulerConfig { quantum_iters: Some(8), max_batch: 4, ..Default::default() },
+                |_| MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+            )
+        };
+
+        let mut reference = plain();
+        submit_load(&mut |spec| {
+            reference.submit_spec(spec).unwrap();
+        });
+        reference.run_until_idle();
+        let want = format!("{:?}", reference.fleet_report());
+
+        let mut crashing = plain().with_checkpoint_dir(&dir, 8).unwrap();
+        submit_load(&mut |spec| {
+            crashing.submit_spec(spec).unwrap();
+        });
+        for _ in 0..6 {
+            crashing.tick();
+            crashing.snapshot().unwrap();
+        }
+        let ticks = crashing.ticks();
+        drop(crashing); // every worker thread joins here — a full crash
+
+        let registry = JobRegistry::with_builtin();
+        let mut revived = ParallelFleet::restore(
+            ShardConfig::current(),
+            AdmissionPolicy::unbounded(),
+            &dir,
+            &registry,
+            ticks,
+            &[],
+            2,
+        )
+        .unwrap();
+        revived.run_until_idle();
+        assert_eq!(format!("{:?}", revived.fleet_report()), want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -6,7 +6,7 @@ use lnls_gpu_sim::{DeviceSpec, MultiDevice};
 use lnls_neighborhood::{Neighborhood, TwoHamming};
 use lnls_problems::OneMax;
 use lnls_runtime::{
-    BinaryJob, DeltaCheckpointer, CheckpointStore, JobRegistry, Scheduler, SchedulerConfig,
+    BinaryJob, CheckpointStore, DeltaCheckpointer, JobRegistry, Scheduler, SchedulerConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,10 +25,8 @@ fn rearm_over_existing_store() {
     let dir = std::env::temp_dir().join(format!("lnls-rearm-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let sched_cfg = SchedulerConfig { quantum_iters: Some(4), ..Default::default() };
-    let mut sched = Scheduler::new(
-        MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
-        sched_cfg.clone(),
-    );
+    let mut sched =
+        Scheduler::new(MultiDevice::new_uniform(1, DeviceSpec::gtx280()), sched_cfg.clone());
     for i in 0..6 {
         sched.submit(job(i, 200));
     }
@@ -73,10 +71,10 @@ fn rearm_over_existing_store() {
     match result {
         Ok(ckpt) => {
             let got = format!("{:?}", ckpt.to_bytes().len());
-            println!("restored ticks={} want ticks={}", ckpt.ticks, sched2.checkpoint().ticks);
+            println!("restored ticks={} want ticks={}", ckpt.ticks(), sched2.checkpoint().ticks());
             assert_eq!(
-                ckpt.ticks,
-                sched2.checkpoint().ticks,
+                ckpt.ticks(),
+                sched2.checkpoint().ticks(),
                 "restored state is stale (bytes {got} vs {want})"
             );
         }

@@ -8,15 +8,22 @@
 //! saved trace produce bit-identical [`FleetReport`]s — the property
 //! the workload proptest pins down.
 
-use crate::scenario::Scenario;
+use crate::scenario::{ArrivalProcess, Scenario};
 use crate::trace::Trace;
+use crate::traffic::Arrival;
 use lnls_gpu_sim::{DeviceSpec, MultiDevice};
 use lnls_runtime::{
-    EventSink, FleetCheckpoint, FleetClient, FleetReport, JobRegistry, MetricsRegistry, Scheduler,
-    SchedulerConfig,
+    EventSink, FleetCheckpoint, FleetClient, FleetReport, JobHandle, JobRegistry, JobStatus,
+    MetricsRegistry, Scheduler, SchedulerConfig,
 };
-use lnls_shard::{ShardConfig, ShardedFleet};
+use lnls_shard::{ParallelFleet, ShardConfig, ShardedFleet};
+use std::collections::VecDeque;
 use std::fmt;
+
+/// Closed-loop recordings abandon a submission after this many shed
+/// attempts — a termination backstop for admission policies that can
+/// never admit it, far above anything a drainable fleet produces.
+const MAX_CLOSED_LOOP_ATTEMPTS: u32 = 64;
 
 /// What one driven run produced: the fleet's own report plus the
 /// driver-side counters (submissions that bounced at admission never
@@ -62,7 +69,15 @@ pub struct Driver;
 impl Driver {
     /// Lower `(scenario, seed)` and run it, returning the trace (ready
     /// to [`save`](Trace::save)) alongside the report.
+    ///
+    /// Scenarios with [`ArrivalProcess::ClosedLoop`] arrivals take the
+    /// completion-gated recording loop instead: the returned trace
+    /// carries the delivery tick of every attempt, so replaying it is
+    /// open-loop and bit-identical to the recording.
     pub fn record(scenario: &Scenario, seed: u64) -> (Trace, WorkloadReport) {
+        if let ArrivalProcess::ClosedLoop { clients, retry_after_ticks } = scenario.arrivals {
+            return Self::record_closed_loop(scenario, seed, clients, retry_after_ticks);
+        }
         let trace = crate::TrafficGen::lower(scenario, seed);
         let report = Self::replay(&trace);
         (trace, report)
@@ -80,6 +95,17 @@ impl Driver {
     /// are lost there, exactly as a real crash would lose them.
     pub fn replay(trace: &Trace) -> WorkloadReport {
         Self::run(trace, None, false).0
+    }
+
+    /// [`replay`](Self::replay) on the true-parallel runtime with an
+    /// explicit worker-thread count. Bit-identical to a plain replay of
+    /// the same trace at any count — the `parallel_fleet` harness pins
+    /// that across the catalog — just faster once per-shard work
+    /// dominates the per-tick handoff.
+    pub fn replay_with_workers(trace: &Trace, workers: usize) -> WorkloadReport {
+        let mut trace = trace.clone();
+        trace.fleet.workers = workers.max(1);
+        Self::replay(&trace)
     }
 
     /// [`replay`](Self::replay) with a structured event sink attached:
@@ -116,16 +142,24 @@ impl Driver {
     /// above one take the sharded loop instead
     /// ([`run_sharded`](Self::run_sharded)); a 1-shard profile stays on
     /// this exact path, so pre-sharding traces replay byte-for-byte.
+    /// Traces with [`FleetProfile::workers`](crate::FleetProfile::workers)
+    /// above one take the worker-thread loop
+    /// ([`run_parallel`](Self::run_parallel)), which produces the same
+    /// bits as both serial paths.
     fn run(
         trace: &Trace,
         sink: Option<Box<dyn EventSink>>,
         metered: bool,
     ) -> (WorkloadReport, Option<MetricsRegistry>) {
+        if trace.fleet.workers > 1 {
+            return Self::run_parallel(trace, sink, metered);
+        }
         if trace.fleet.shards > 1 {
             return Self::run_sharded(trace, sink, metered);
         }
         let registry = JobRegistry::with_builtin();
         let mut client = FleetClient::new(Self::build_fleet(trace), trace.admission.clone());
+        client.set_inflight_limit(trace.fleet.max_inflight);
         if let Some(sink) = sink {
             client.attach_sink(sink);
         }
@@ -141,8 +175,13 @@ impl Driver {
             // drained, jump to the next arrival instead of spinning.
             while let Some(arrival) = trace.arrivals.get(next) {
                 let scheduler = client.scheduler();
-                let due = arrival.at_s <= scheduler.now_s()
-                    || (scheduler.queued_len() == 0 && scheduler.running_len() == 0);
+                let due = match arrival.at_tick {
+                    Some(t) => ticks >= t,
+                    None => {
+                        arrival.at_s <= scheduler.now_s()
+                            || (scheduler.queued_len() == 0 && scheduler.running_len() == 0)
+                    }
+                };
                 if !due {
                     break;
                 }
@@ -169,6 +208,9 @@ impl Driver {
                     trace.admission.clone(),
                     bounced,
                 );
+                // Limiters are process state, never checkpoint bytes —
+                // reinstall after every restore.
+                client.set_inflight_limit(trace.fleet.max_inflight);
                 if let Some(sink) = saved_sink {
                     client.attach_sink(sink);
                 }
@@ -231,6 +273,9 @@ impl Driver {
         let shard_cfg = ShardConfig::for_version(trace.fleet.config_version)
             .unwrap_or_else(|e| panic!("trace '{}' is unreplayable: {e}", trace.scenario));
         let mut fleet = Self::build_sharded_fleet(trace, shard_cfg);
+        for i in 0..fleet.shard_count() {
+            fleet.shard_mut(i).set_inflight_limit(trace.fleet.max_inflight);
+        }
         if let Some(sink) = sink {
             fleet.shard_mut(0).attach_sink(sink);
         }
@@ -245,8 +290,13 @@ impl Driver {
         loop {
             while let Some(arrival) = trace.arrivals.get(next) {
                 let target = fleet.shard_for(&arrival.tenant);
-                let due = arrival.at_s <= fleet.shard(target).scheduler().now_s()
-                    || (fleet.queued_len() == 0 && fleet.running_len() == 0);
+                let due = match arrival.at_tick {
+                    Some(t) => ticks >= t,
+                    None => {
+                        arrival.at_s <= fleet.shard(target).scheduler().now_s()
+                            || (fleet.queued_len() == 0 && fleet.running_len() == 0)
+                    }
+                };
                 if !due {
                     break;
                 }
@@ -272,11 +322,13 @@ impl Driver {
                     .map(|(bytes, &shard_bounced)| {
                         let revived = FleetCheckpoint::from_bytes(bytes, &registry)
                             .expect("a checkpoint the fleet just wrote must decode");
-                        FleetClient::resume(
+                        let mut client = FleetClient::resume(
                             Scheduler::restore(revived),
                             trace.admission.clone(),
                             shard_bounced,
-                        )
+                        );
+                        client.set_inflight_limit(trace.fleet.max_inflight);
+                        client
                     })
                     .collect();
                 fleet = ShardedFleet::from_clients(shard_cfg, shards, ticks);
@@ -321,6 +373,219 @@ impl Driver {
         )
     }
 
+    /// The parallel replay loop: the sharded loop's decisions verbatim,
+    /// but shard ticks execute on [`ParallelFleet`]'s worker threads.
+    /// Every driver-side decision (arrival delivery, crash, accounting)
+    /// happens on the coordinator between ticks, where the fleet state
+    /// is bit-identical to the serial runtimes at any worker count —
+    /// the `parallel_fleet` harness pins the equivalence across the
+    /// catalog.
+    fn run_parallel(
+        trace: &Trace,
+        sink: Option<Box<dyn EventSink>>,
+        metered: bool,
+    ) -> (WorkloadReport, Option<MetricsRegistry>) {
+        let registry = JobRegistry::with_builtin();
+        let shard_cfg = ShardConfig::for_version(trace.fleet.config_version)
+            .unwrap_or_else(|e| panic!("trace '{}' is unreplayable: {e}", trace.scenario));
+        let mut fleet = Self::build_parallel_fleet(trace, shard_cfg);
+        if let Some(sink) = sink {
+            fleet.shard_mut(0).attach_sink(sink);
+        }
+        if metered {
+            for i in 0..fleet.shard_count() {
+                fleet.shard_mut(i).enable_metrics();
+            }
+        }
+        let mut next = 0usize;
+        let (mut admitted, mut crashes, mut ticks) = (0u64, 0u64, 0u64);
+        let mut bounced = vec![0u64; fleet.shard_count()];
+        loop {
+            while let Some(arrival) = trace.arrivals.get(next) {
+                let target = fleet.shard_for(&arrival.tenant);
+                let due = match arrival.at_tick {
+                    Some(t) => ticks >= t,
+                    None => {
+                        arrival.at_s <= fleet.shard(target).scheduler().now_s()
+                            || (fleet.queued_len() == 0 && fleet.running_len() == 0)
+                    }
+                };
+                if !due {
+                    break;
+                }
+                match arrival.submit(fleet.shard_mut(target)) {
+                    Ok(_) => admitted += 1,
+                    Err(_) => bounced[target] += 1,
+                }
+                next += 1;
+            }
+            let progressed = fleet.tick();
+            ticks += 1;
+            if trace.crash_at_tick == Some(ticks) {
+                let shard_bytes: Vec<Vec<u8>> = (0..fleet.shard_count())
+                    .map(|i| fleet.shard(i).checkpoint().to_bytes())
+                    .collect();
+                let saved_sink = fleet.shard_mut(0).detach_sink();
+                let saved_metrics: Vec<Option<MetricsRegistry>> =
+                    (0..fleet.shard_count()).map(|i| fleet.shard_mut(i).take_metrics()).collect();
+                let workers = fleet.worker_count();
+                // The crash: dropping the fleet joins every worker
+                // thread, so all in-memory state is gone.
+                drop(fleet);
+                let shards = shard_bytes
+                    .iter()
+                    .zip(&bounced)
+                    .map(|(bytes, &shard_bounced)| {
+                        let revived = FleetCheckpoint::from_bytes(bytes, &registry)
+                            .expect("a checkpoint the fleet just wrote must decode");
+                        let mut client = FleetClient::resume(
+                            Scheduler::restore(revived),
+                            trace.admission.clone(),
+                            shard_bounced,
+                        );
+                        client.set_inflight_limit(trace.fleet.max_inflight);
+                        client
+                    })
+                    .collect();
+                fleet = ParallelFleet::from_clients(shard_cfg, shards, workers, ticks);
+                if let Some(sink) = saved_sink {
+                    fleet.shard_mut(0).attach_sink(sink);
+                }
+                for (i, metrics) in saved_metrics.into_iter().enumerate() {
+                    if let Some(metrics) = metrics {
+                        fleet.shard_mut(i).attach_metrics(metrics);
+                    }
+                }
+                crashes += 1;
+            }
+            if !progressed && next >= trace.arrivals.len() {
+                break;
+            }
+        }
+        if let Some(mut sink) = fleet.shard_mut(0).detach_sink() {
+            sink.flush();
+        }
+        let mut metrics: Option<MetricsRegistry> = None;
+        for i in 0..fleet.shard_count() {
+            if let Some(shard_metrics) = fleet.shard_mut(i).take_metrics() {
+                match metrics.as_mut() {
+                    Some(merged) => merged.absorb(&shard_metrics),
+                    None => metrics = Some(shard_metrics),
+                }
+            }
+        }
+        (
+            WorkloadReport {
+                scenario: trace.scenario.clone(),
+                seed: trace.seed,
+                submitted: trace.arrivals.len() as u64,
+                admitted,
+                bounced: bounced.iter().sum(),
+                crashes,
+                ticks,
+                fleet: fleet.fleet_report(),
+            },
+            metrics,
+        )
+    }
+
+    /// The completion-gated recording loop behind
+    /// [`record`](Self::record) for [`ArrivalProcess::ClosedLoop`]
+    /// scenarios. `clients` logical submitters each keep at most one
+    /// job in flight; a slot frees the tick its job turns terminal, and
+    /// a shed submission backs its client off for `retry_after_ticks`
+    /// before retrying. Every attempt — admitted or shed — is stamped
+    /// with its delivery tick and recorded into the returned trace, so
+    /// replaying it is open-loop, needs no completion feedback, and
+    /// reproduces the recording bit-for-bit (sheds included, since the
+    /// per-shard limiter state evolves identically).
+    ///
+    /// Runs on the [`ParallelFleet`] runtime at the scenario's worker
+    /// count; every gating decision reads coordinator-side state
+    /// between ticks, so the recording itself is worker-independent.
+    fn record_closed_loop(
+        scenario: &Scenario,
+        seed: u64,
+        clients: usize,
+        retry_after_ticks: u64,
+    ) -> (Trace, WorkloadReport) {
+        let clients = clients.max(1);
+        let retry_after_ticks = retry_after_ticks.max(1);
+        let mut trace = crate::TrafficGen::lower(scenario, seed);
+        assert!(
+            trace.crash_at_tick.is_none(),
+            "closed-loop recording does not support the crash stressor; crash a replay of the \
+             recorded trace instead"
+        );
+        let shard_cfg = ShardConfig::for_version(trace.fleet.config_version)
+            .unwrap_or_else(|e| panic!("scenario '{}' is unrunnable: {e}", scenario.name));
+        let mut fleet = Self::build_parallel_fleet(&trace, shard_cfg);
+        let mut pending: VecDeque<Arrival> = trace.arrivals.drain(..).collect();
+        // Shed attempts waiting out their backoff: (due tick, attempts
+        // so far, the arrival), in shed order.
+        let mut retries: VecDeque<(u64, u32, Arrival)> = VecDeque::new();
+        let mut inflight: Vec<JobHandle> = Vec::new();
+        let mut recorded: Vec<Arrival> = Vec::new();
+        let (mut admitted, mut bounced, mut ticks) = (0u64, 0u64, 0u64);
+        loop {
+            // A logical client is running a job, backing off a shed, or
+            // free; only free clients submit this tick — due retries
+            // first (in shed order), then fresh arrivals.
+            let backing_off = retries.iter().filter(|(due, _, _)| *due > ticks).count();
+            let mut free = clients.saturating_sub(inflight.len() + backing_off);
+            while free > 0 {
+                let (attempts, mut arrival) =
+                    if retries.front().is_some_and(|(due, _, _)| *due <= ticks) {
+                        let (_, attempts, arrival) = retries.pop_front().expect("front checked");
+                        (attempts, arrival)
+                    } else if let Some(arrival) = pending.pop_front() {
+                        (0u32, arrival)
+                    } else {
+                        break;
+                    };
+                free -= 1;
+                let target = fleet.shard_for(&arrival.tenant);
+                arrival.at_tick = Some(ticks);
+                arrival.at_s = fleet.shard(target).scheduler().now_s();
+                match arrival.submit(fleet.shard_mut(target)) {
+                    Ok(handle) => {
+                        admitted += 1;
+                        inflight.push(handle);
+                    }
+                    Err(_) => {
+                        bounced += 1;
+                        if attempts + 1 < MAX_CLOSED_LOOP_ATTEMPTS {
+                            retries.push_back((
+                                ticks + retry_after_ticks,
+                                attempts + 1,
+                                arrival.clone(),
+                            ));
+                        }
+                    }
+                }
+                recorded.push(arrival);
+            }
+            let progressed = fleet.tick();
+            ticks += 1;
+            inflight.retain(|&h| matches!(fleet.status(h), JobStatus::Queued | JobStatus::Running));
+            if !progressed && pending.is_empty() && retries.is_empty() && inflight.is_empty() {
+                break;
+            }
+        }
+        let report = WorkloadReport {
+            scenario: trace.scenario.clone(),
+            seed,
+            submitted: recorded.len() as u64,
+            admitted,
+            bounced,
+            crashes: 0,
+            ticks,
+            fleet: fleet.fleet_report(),
+        };
+        trace.arrivals = recorded;
+        (trace, report)
+    }
+
     fn scheduler_config(trace: &Trace) -> SchedulerConfig {
         SchedulerConfig {
             cpu_workers: trace.fleet.cpu_workers,
@@ -354,6 +619,22 @@ impl Driver {
             Self::scheduler_config(trace),
             move |_| MultiDevice::new_uniform(trace.fleet.devices, spec.clone()),
         )
+    }
+
+    fn build_parallel_fleet(trace: &Trace, shard_cfg: ShardConfig) -> ParallelFleet {
+        let spec = DeviceSpec::gtx280().with_engines(trace.fleet.engines);
+        let mut fleet = ParallelFleet::new(
+            shard_cfg,
+            trace.admission.clone(),
+            trace.fleet.shards.max(1),
+            trace.fleet.workers.max(1),
+            Self::scheduler_config(trace),
+            move |_| MultiDevice::new_uniform(trace.fleet.devices, spec.clone()),
+        );
+        for i in 0..fleet.shard_count() {
+            fleet.shard_mut(i).set_inflight_limit(trace.fleet.max_inflight);
+        }
+        fleet
     }
 }
 
@@ -484,6 +765,32 @@ mod tests {
             format!("{:?}", report.fleet),
             format!("{:?}", replayed.fleet),
             "crash/restore across shards must stay deterministic"
+        );
+    }
+
+    #[test]
+    fn closed_loop_records_sheds_and_replays_bit_identically() {
+        let scenario = Scenario::closed_loop_saturation();
+        let (trace, recorded) = Driver::record(&scenario, 7);
+        assert!(recorded.bounced > 0, "the in-flight bound must shed attempts: {recorded}");
+        assert_eq!(recorded.admitted, scenario.jobs, "every logical job eventually admits");
+        assert_eq!(recorded.admitted + recorded.bounced, recorded.submitted);
+        assert!(
+            trace.arrivals.iter().all(|a| a.at_tick.is_some()),
+            "closed-loop recordings stamp the delivery tick of every attempt"
+        );
+        // Through bytes the worker count resets to one (it is not
+        // persisted), so this replays the recording on the serial path.
+        let reloaded = crate::Trace::from_bytes(&trace.to_bytes()).expect("round-trip");
+        assert_eq!(reloaded.fleet.workers, 1);
+        let replayed = Driver::replay(&reloaded);
+        assert_eq!(recorded.ticks, replayed.ticks, "the delivery schedule must replay verbatim");
+        assert_eq!(recorded.admitted, replayed.admitted);
+        assert_eq!(recorded.bounced, replayed.bounced, "sheds must reproduce identically");
+        assert_eq!(
+            format!("{:?}", recorded.fleet),
+            format!("{:?}", replayed.fleet),
+            "a closed-loop recording must replay bit-identically on the serial path"
         );
     }
 

@@ -37,6 +37,19 @@ pub enum ArrivalProcess {
         /// cycled until the job budget is spent.
         phases: Vec<(f64, f64)>,
     },
+    /// Closed-loop clients: `clients` logical submitters each keep at
+    /// most one job in flight, submitting their next the tick the
+    /// previous one finishes (or retrying a fixed number of ticks after
+    /// an overload shed). Arrivals are gated on completions rather than
+    /// on a modeled clock, so the lowering stamps no arrival times —
+    /// the recording driver stamps the delivery *tick* of every attempt
+    /// into the trace, and replay follows those ticks open-loop.
+    ClosedLoop {
+        /// Concurrent logical clients (the in-flight upper bound).
+        clients: usize,
+        /// Ticks a client waits before retrying a shed submission.
+        retry_after_ticks: u64,
+    },
 }
 
 /// The job families a tenant can draw from. Every family flows through
@@ -170,6 +183,17 @@ pub struct FleetProfile {
     /// with this, so old traces keep old steal/ring semantics as
     /// defaults move.
     pub config_version: u32,
+    /// Worker threads driving the shards (above one the driver runs the
+    /// [`ParallelFleet`](lnls_shard::ParallelFleet) runtime). Execution
+    /// knob, **not** persisted in traces: the parallel runtime is
+    /// bit-identical to the serial path at every worker count, so the
+    /// recorded bytes must not depend on who recorded them.
+    pub workers: usize,
+    /// Per-shard in-flight bound fronting each shard's client through a
+    /// [`ConcurrencyLimiter`](lnls_runtime::ConcurrencyLimiter)
+    /// (`None` = unbounded). Persisted: overload sheds change admission
+    /// outcomes, so replay must reinstall the same limit.
+    pub max_inflight: Option<usize>,
 }
 
 impl Default for FleetProfile {
@@ -187,6 +211,8 @@ impl Default for FleetProfile {
             launch_mode: LaunchMode::PerIteration,
             shards: 1,
             config_version: lnls_shard::CONFIG_VERSION,
+            workers: 1,
+            max_inflight: None,
         }
     }
 }
@@ -244,6 +270,15 @@ impl Scenario {
     pub fn with_span_knobs(mut self, span_iters: u64, launch_mode: LaunchMode) -> Self {
         self.fleet.span_iters = span_iters.max(1);
         self.fleet.launch_mode = launch_mode;
+        self
+    }
+
+    /// The same traffic driven by a different worker-thread count —
+    /// execution-only: the parallel runtime is bit-identical to the
+    /// serial path, so reports and trace bytes must not change.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.fleet.workers = workers.max(1);
         self
     }
 
@@ -582,6 +617,47 @@ impl Scenario {
                 ..FleetProfile::default()
             },
             admission: AdmissionPolicy::unbounded().with_tenant_cap(4),
+            crash_at_tick: None,
+        }
+    }
+
+    /// Closed-loop saturation (not in the catalog: its submission count
+    /// is attempt-driven, so the open-loop accounting invariants do not
+    /// apply verbatim). Six logical clients keep one job each in flight
+    /// against a two-shard fleet whose per-shard
+    /// [`max_inflight`](FleetProfile::max_inflight) bound is tighter
+    /// than the offered load — overload sheds and tick-stamped retries
+    /// are the point. Drive it with [`Driver::record`](crate::Driver):
+    /// the recorded trace replays open-loop at any worker count.
+    pub fn closed_loop_saturation() -> Scenario {
+        let families = [
+            vec![(Family::TabuOneMax, 1.0)],
+            vec![(Family::Anneal, 1.0)],
+            vec![(Family::TabuMaxCut, 1.0)],
+        ];
+        let tenants = (0..6)
+            .map(|i| TenantProfile {
+                iters: (16, 32),
+                dims: vec![20, 24],
+                ..TenantProfile::new(format!("loop-{i:02}"), families[i % families.len()].clone())
+            })
+            .collect();
+        Scenario {
+            name: "closed-loop-saturation".into(),
+            summary: "completion-gated clients against a per-shard in-flight bound".into(),
+            jobs: 20,
+            arrivals: ArrivalProcess::ClosedLoop { clients: 6, retry_after_ticks: 2 },
+            tenants,
+            fleet: FleetProfile {
+                devices: 1,
+                cpu_workers: 0,
+                max_batch: 4,
+                shards: 2,
+                workers: 2,
+                max_inflight: Some(2),
+                ..FleetProfile::default()
+            },
+            admission: AdmissionPolicy::unbounded(),
             crash_at_tick: None,
         }
     }

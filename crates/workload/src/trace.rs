@@ -16,7 +16,7 @@ use std::io;
 use std::path::Path;
 
 /// Magic prefix of a trace file (`LNLSTRC` + format version).
-const MAGIC: &[u8; 8] = b"LNLSTRC\x05";
+const MAGIC: &[u8; 8] = b"LNLSTRC\x06";
 
 /// A recorded (or freshly lowered) run: everything
 /// [`Driver::replay`](crate::Driver::replay) needs, self-contained.
@@ -95,6 +95,11 @@ impl Persist for Trace {
     }
 }
 
+/// [`workers`](FleetProfile::workers) is deliberately *not* written:
+/// the worker-thread count is an execution knob with no observable
+/// effect (the parallel runtime is bit-identical to the serial path),
+/// so traces recorded at different worker counts must stay
+/// byte-identical. Loaded profiles come back with `workers = 1`.
 impl Persist for FleetProfile {
     fn write(&self, out: &mut Vec<u8>) {
         self.devices.write(out);
@@ -109,6 +114,7 @@ impl Persist for FleetProfile {
         self.launch_mode.write(out);
         self.shards.write(out);
         self.config_version.write(out);
+        self.max_inflight.write(out);
     }
     fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(Self {
@@ -124,6 +130,8 @@ impl Persist for FleetProfile {
             launch_mode: r.read()?,
             shards: r.read()?,
             config_version: r.read()?,
+            workers: 1,
+            max_inflight: r.read()?,
         })
     }
 }
@@ -131,6 +139,7 @@ impl Persist for FleetProfile {
 impl Persist for Arrival {
     fn write(&self, out: &mut Vec<u8>) {
         self.at_s.write(out);
+        self.at_tick.write(out);
         self.name.write(out);
         self.tenant.write(out);
         self.priority.write(out);
@@ -142,6 +151,7 @@ impl Persist for Arrival {
     fn read(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok(Self {
             at_s: r.read()?,
+            at_tick: r.read()?,
             name: r.read()?,
             tenant: r.read()?,
             priority: r.read()?,
@@ -217,6 +227,19 @@ mod tests {
             assert_eq!(back, trace, "{}", scenario.name);
             assert_eq!(back.to_bytes(), bytes, "{}: re-encoding must be stable", scenario.name);
         }
+    }
+
+    #[test]
+    fn worker_count_never_reaches_the_bytes() {
+        let mut a = TrafficGen::lower(&Scenario::steady(), 2);
+        a.fleet.max_inflight = Some(3);
+        let mut b = a.clone();
+        a.fleet.workers = 1;
+        b.fleet.workers = 8;
+        assert_eq!(a.to_bytes(), b.to_bytes(), "worker counts must not change trace bytes");
+        let back = Trace::from_bytes(&a.to_bytes()).expect("decode");
+        assert_eq!(back.fleet.workers, 1, "loaded traces default to one worker");
+        assert_eq!(back.fleet.max_inflight, Some(3), "the in-flight bound is replay state");
     }
 
     #[test]

@@ -117,6 +117,11 @@ impl JobRecipe {
 pub struct Arrival {
     /// Modeled fleet second the submission arrives at.
     pub at_s: f64,
+    /// Driver tick the submission is delivered at, when the schedule is
+    /// tick-stamped (closed-loop recordings stamp every attempt,
+    /// including shed-and-retried ones). `Some` overrides the
+    /// modeled-clock due rule: replay delivers exactly at this tick.
+    pub at_tick: Option<u64>,
     /// Submission name (tenant, family and index — stable across runs).
     pub name: String,
     /// Tenant attribution.
@@ -330,6 +335,10 @@ impl ArrivalClock {
                     self.phase_end_s += phases[self.phase].0;
                 }
             }
+            // Closed-loop arrivals carry no modeled time: delivery is
+            // gated on completions, and the recording driver stamps the
+            // actual delivery tick into each attempt.
+            ArrivalProcess::ClosedLoop { .. } => {}
         }
         self.now_s
     }
@@ -397,6 +406,7 @@ fn sample_arrival<R: Rng>(tenant: &TenantProfile, idx: u64, at_s: f64, rng: &mut
     };
     Arrival {
         at_s,
+        at_tick: None,
         name: format!("{}-{}-{idx}", tenant.name, family.label()),
         tenant: tenant.name.clone(),
         priority,

@@ -302,7 +302,7 @@ fn main() {
         submit_tenants(&mut fleet);
         fleet.run_until_idle();
 
-        let records = ring.borrow().records();
+        let records = ring.lock().unwrap().records();
         let events_path = dir.join("fleet_events.jsonl");
         let mut jsonl = String::new();
         for record in &records {

@@ -107,7 +107,7 @@ fn main() {
     );
 
     // Per-tenant lifecycle, reconstructed purely from the event stream.
-    let events = ring.borrow().records();
+    let events = ring.lock().unwrap().records();
     println!("\n--- per-tenant events ({} records) ---", events.len());
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",

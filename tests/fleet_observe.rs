@@ -38,7 +38,7 @@ proptest! {
             scenario.name,
             seed
         );
-        prop_assert!(!ring.borrow().is_empty(), "a replay must emit events");
+        prop_assert!(!ring.lock().unwrap().is_empty(), "a replay must emit events");
 
         let (metered, metrics) = Driver::replay_metered(&trace);
         prop_assert_eq!(
@@ -132,7 +132,7 @@ fn tenant_summaries_reconcile_with_admission_counts() {
     let trace = TrafficGen::lower(&Scenario::burst(), 3);
     let ring = RingSink::unbounded().shared();
     let report = Driver::replay_observed(&trace, Box::new(ring.clone()));
-    let summaries = tenant_summaries(&ring.borrow().records());
+    let summaries = tenant_summaries(&ring.lock().unwrap().records());
     assert!(!summaries.is_empty());
     let submitted: u64 = summaries.iter().map(|t| t.submitted).sum();
     let rejected: u64 = summaries.iter().map(|t| t.rejected).sum();
@@ -180,7 +180,7 @@ fn fleet_chrome_trace_has_device_rows_and_quantum_spans() {
     let trace = TrafficGen::lower(&Scenario::steady(), 5);
     let ring = RingSink::unbounded().shared();
     let _ = Driver::replay_observed(&trace, Box::new(ring.clone()));
-    let json = chrome_trace(&ring.borrow().records());
+    let json = chrome_trace(&ring.lock().unwrap().records());
     assert!(json.starts_with("{\"traceEvents\":[") && json.ends_with("]}"));
     assert!(json.contains("\"ph\":\"M\""), "thread metadata rows");
     assert!(json.contains("\"ph\":\"X\""), "quantum spans");

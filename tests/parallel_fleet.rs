@@ -1,0 +1,301 @@
+//! The true-parallel runtime's external contracts, held through the
+//! facade:
+//!
+//! * **Bit-identity** — every catalog scenario, recorded at every
+//!   worker count in `LNLS_WORKERS` (default `1,2,4,8`), produces a
+//!   Debug-bit-identical merged `FleetReport` *and* byte-identical
+//!   trace bytes versus the serial driver path. Worker threads are an
+//!   execution detail; nothing observable may depend on them.
+//! * **Closed-loop shed storms** — completion-gated recording under a
+//!   per-shard in-flight bound sheds deterministically: reject counts,
+//!   the tick-stamped retry schedule and the final report are the same
+//!   at any worker count.
+//! * **Crash + delta restore** — killing every worker mid-run (the
+//!   fleet drops, all threads join) and restoring from the per-shard
+//!   delta chains lands on the uninterrupted run's bits, limiter sheds
+//!   included.
+//! * **Typed restore errors under concurrency** — a truncated newest
+//!   delta in one shard's chain surfaces as
+//!   [`CheckpointError::CorruptSegment`] naming the exact file, from
+//!   the coordinator, before any worker is involved. Never a panic,
+//!   never a hung barrier.
+
+use lnls::core::{BitString, SearchConfig, TabuSearch};
+use lnls::neighborhood::{Neighborhood, TwoHamming};
+use lnls::prelude::{
+    AdmissionPolicy, BinaryJob, CheckpointError, DeviceSpec, Driver, JobHandle, JobRegistry,
+    JobSpec, JobStatus, MultiDevice, OneMax, ParallelFleet, Scenario, SchedulerConfig, ShardConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::fs;
+use std::path::PathBuf;
+
+/// Worker counts under test: the `LNLS_WORKERS` env var as a comma
+/// list (the CI matrix sets `1`, `4`, `8`), defaulting to `1,2,4,8`.
+fn worker_counts() -> Vec<usize> {
+    std::env::var("LNLS_WORKERS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&w: &usize| w >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For any seed, every catalog scenario recorded at every worker
+    /// count produces the serial path's `FleetReport` bit for bit, the
+    /// serial tick/admission counters, and byte-identical trace bytes.
+    /// Covers the sharded scenarios (real barriers), the crash
+    /// stressor (`checkpoint-churn` restores mid-run on the parallel
+    /// loop too) and the 1-shard degenerate case.
+    #[test]
+    fn every_worker_count_matches_the_serial_bits(seed in 0u64..500) {
+        for scenario in Scenario::catalog() {
+            let (trace, serial) = Driver::record(&scenario, seed);
+            let serial_report = format!("{:?}", serial.fleet);
+            for &workers in &worker_counts() {
+                let par_scenario = scenario.clone().with_workers(workers);
+                let (par_trace, par) = Driver::record(&par_scenario, seed);
+                prop_assert_eq!(
+                    par_trace.to_bytes(),
+                    trace.to_bytes(),
+                    "scenario '{}' seed {seed}: {workers} workers must record identical \
+                     trace bytes",
+                    &scenario.name
+                );
+                prop_assert_eq!(
+                    format!("{:?}", par.fleet),
+                    serial_report.clone(),
+                    "scenario '{}' seed {seed}: {workers} workers must reproduce the serial \
+                     report bits",
+                    &scenario.name
+                );
+                prop_assert_eq!(
+                    (par.ticks, par.admitted, par.bounced, par.crashes),
+                    (serial.ticks, serial.admitted, serial.bounced, serial.crashes),
+                    "scenario '{}' seed {seed}: {workers} workers must keep the driver \
+                     counters",
+                    &scenario.name
+                );
+            }
+        }
+    }
+}
+
+/// Closed-loop recording runs *on* the parallel runtime at the
+/// scenario's worker count, so recording the same scenario at different
+/// counts exercises the limiter under real concurrency. Shed counts,
+/// the stamped retry schedule (trace bytes) and the report must not
+/// move.
+#[test]
+fn closed_loop_shed_storm_is_worker_independent() {
+    let base = Scenario::closed_loop_saturation();
+    let (trace_1, serial) = Driver::record(&base.clone().with_workers(1), 21);
+    assert!(serial.bounced > 0, "the storm must shed at the in-flight bound: {serial}");
+    for &workers in &worker_counts() {
+        let (trace_w, par) = Driver::record(&base.clone().with_workers(workers), 21);
+        assert_eq!(
+            trace_w.to_bytes(),
+            trace_1.to_bytes(),
+            "{workers} workers: the attempt schedule (sheds included) must be identical"
+        );
+        assert_eq!(par.bounced, serial.bounced, "{workers} workers: same reject count");
+        assert_eq!(
+            format!("{:?}", par.fleet),
+            format!("{:?}", serial.fleet),
+            "{workers} workers: same report bits"
+        );
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lnls-parfleet-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn onemax_spec(i: u64) -> JobSpec<BinaryJob<OneMax, TwoHamming>> {
+    let n = 24;
+    let hood = TwoHamming::new(n);
+    let mut rng = StdRng::seed_from_u64(i);
+    let init = BitString::random(&mut rng, n);
+    let search =
+        TabuSearch::paper(SearchConfig::budget(60).with_seed(i).with_target(None), hood.size());
+    let job = BinaryJob::new(format!("loop-{i}"), OneMax::new(n), hood, search, init);
+    JobSpec::new(job).for_tenant(format!("tenant-{}", i % 5))
+}
+
+/// A parallel fleet with telemetry off (series are not checkpointed,
+/// so only a sampling-free fleet can land on an uninterrupted run's
+/// bits after a crash) and a tight per-shard in-flight bound.
+fn plain_fleet(shards: usize, workers: usize) -> ParallelFleet {
+    let mut fleet = ParallelFleet::new(
+        ShardConfig::current(),
+        AdmissionPolicy::unbounded(),
+        shards,
+        workers,
+        SchedulerConfig { quantum_iters: Some(8), max_batch: 4, ..Default::default() },
+        |_| MultiDevice::new_uniform(1, DeviceSpec::gtx280()),
+    );
+    for i in 0..fleet.shard_count() {
+        fleet.shard_mut(i).set_inflight_limit(Some(1));
+    }
+    fleet
+}
+
+/// Drive `fleet` closed-loop: five logical clients, one job in flight
+/// each, shed submissions retried two ticks later. With `crash_at`
+/// set, the fleet snapshots every tick into its per-shard delta
+/// chains; at that tick it is dropped — every worker thread joins and
+/// dies — and restored from the chains with the pre-crash shed counts
+/// carried over. Returns the surviving fleet and the driver tick
+/// count.
+fn closed_loop_drive(mut fleet: ParallelFleet, crash_at: Option<u64>) -> (ParallelFleet, u64) {
+    const JOBS: u64 = 12;
+    const CLIENTS: usize = 5;
+    let registry = JobRegistry::with_builtin();
+    let mut fresh: VecDeque<u64> = (0..JOBS).collect();
+    let mut retries: VecDeque<(u64, u64)> = VecDeque::new();
+    let mut inflight: Vec<JobHandle> = Vec::new();
+    let mut ticks = 0u64;
+    let mut armed = crash_at.is_some();
+    loop {
+        let backing_off = retries.iter().filter(|(due, _)| *due > ticks).count();
+        let mut free = CLIENTS.saturating_sub(inflight.len() + backing_off);
+        while free > 0 {
+            let i = if retries.front().is_some_and(|(due, _)| *due <= ticks) {
+                retries.pop_front().expect("front checked").1
+            } else if let Some(i) = fresh.pop_front() {
+                i
+            } else {
+                break;
+            };
+            free -= 1;
+            match fleet.submit_spec(onemax_spec(i)) {
+                Ok((_, handle)) => inflight.push(handle),
+                Err(_) => retries.push_back((ticks + 2, i)),
+            }
+        }
+        let progressed = fleet.tick();
+        ticks += 1;
+        if armed {
+            fleet.snapshot().expect("snapshots under load succeed");
+        }
+        if crash_at == Some(ticks) {
+            armed = false;
+            let sheds: Vec<u64> =
+                (0..fleet.shard_count()).map(|i| fleet.shard(i).rejected_submissions()).collect();
+            let workers = fleet.worker_count();
+            let shards = fleet.shard_count();
+            let dir = fleet.checkpoint_dir().expect("crashing runs are armed").to_path_buf();
+            // The crash: dropping the fleet joins (kills) every worker.
+            drop(fleet);
+            fleet = ParallelFleet::restore(
+                ShardConfig::current(),
+                AdmissionPolicy::unbounded(),
+                &dir,
+                &registry,
+                ticks,
+                &sheds,
+                workers,
+            )
+            .expect("intact chains restore");
+            for i in 0..shards {
+                fleet.shard_mut(i).set_inflight_limit(Some(1));
+            }
+        }
+        inflight.retain(|&h| matches!(fleet.status(h), JobStatus::Queued | JobStatus::Running));
+        if !progressed && fresh.is_empty() && retries.is_empty() && inflight.is_empty() {
+            break;
+        }
+    }
+    (fleet, ticks)
+}
+
+/// Crash every worker mid-run under closed-loop saturation and restore
+/// from the per-shard delta chains: the run must finish on the
+/// uninterrupted run's bits — shed counts (carried across the crash)
+/// included.
+#[test]
+fn crashing_every_worker_restores_onto_the_uninterrupted_bits() {
+    let (want, want_ticks) = closed_loop_drive(plain_fleet(3, 3), None);
+    let want_sheds: u64 = (0..3).map(|i| want.shard(i).rejected_submissions()).sum();
+    assert!(want_sheds > 0, "five clients over in-flight-1 shards must shed");
+
+    let dir = tmp_dir("crash");
+    let armed = plain_fleet(3, 3).with_checkpoint_dir(&dir, 4).expect("chains arm");
+    let (got, got_ticks) = closed_loop_drive(armed, Some(6));
+    assert_eq!(
+        format!("{:?}", got.fleet_report()),
+        format!("{:?}", want.fleet_report()),
+        "a crashed-and-restored run must land on the uninterrupted bits"
+    );
+    assert_eq!(got_ticks, want_ticks, "the crash must not change the tick count");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A truncated newest delta in one shard's chain must fail
+/// [`ParallelFleet::restore`] with a typed error naming the exact
+/// segment file — diagnosed on the coordinator before any worker
+/// thread exists, so it can neither panic a worker nor hang a barrier.
+#[test]
+fn a_truncated_shard_delta_fails_restore_naming_the_file() {
+    let dir = tmp_dir("corrupt");
+    let mut fleet = plain_fleet(2, 2).with_checkpoint_dir(&dir, 8).expect("chains arm");
+    for i in 0..10 {
+        let _ = fleet.submit_spec(onemax_spec(i));
+    }
+    fleet.snapshot().expect("base snapshot");
+    for _ in 0..3 {
+        fleet.tick();
+        fleet.snapshot().expect("delta snapshot");
+    }
+    let ticks = fleet.ticks();
+    drop(fleet);
+
+    // Truncate the *newest* delta of shard 001's chain.
+    let shard1 = dir.join("shard-001");
+    let mut deltas: Vec<String> = fs::read_dir(&shard1)
+        .expect("shard chain dir lists")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf8 name"))
+        .filter(|n| n.starts_with("delta-"))
+        .collect();
+    deltas.sort();
+    let newest = deltas.last().expect("the chain has deltas").clone();
+    let path = shard1.join(&newest);
+    let bytes = fs::read(&path).expect("read the delta");
+    fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate the delta");
+
+    let registry = JobRegistry::with_builtin();
+    let err = match ParallelFleet::restore(
+        ShardConfig::current(),
+        AdmissionPolicy::unbounded(),
+        &dir,
+        &registry,
+        ticks,
+        &[0, 0],
+        2,
+    ) {
+        Ok(_) => panic!("a truncated chain must not restore"),
+        Err(e) => e,
+    };
+    match err {
+        CheckpointError::CorruptSegment { segment, .. } => {
+            assert!(
+                segment.contains("shard-001") && segment.ends_with(newest.as_str()),
+                "the error must name shard-001's '{newest}', got '{segment}'"
+            );
+        }
+        other => panic!("expected CorruptSegment, got: {other}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

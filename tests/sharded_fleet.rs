@@ -240,3 +240,46 @@ fn a_truncated_delta_is_reported_corrupt_with_its_name() {
     );
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// A chain whose *newest* segment is a base — a crash right after an
+/// epoch rotation, before any delta followed it — must reproduce the
+/// running jobs from the base's own active slots. (The chain replay
+/// once materialized active state only from delta segments, silently
+/// dropping every in-flight job of a base-terminated chain.)
+#[test]
+fn a_base_terminated_chain_keeps_running_jobs() {
+    let dir = chain_dir("base-tail");
+    let mut fleet = Scheduler::with_uniform_fleet(
+        1,
+        DeviceSpec::gtx280(),
+        SchedulerConfig { max_batch: 2, quantum_iters: Some(8), ..Default::default() },
+    );
+    for i in 0..4 {
+        fleet.submit(onemax_job(&format!("chain-{i}"), i));
+    }
+    fleet.tick();
+    assert!(fleet.running_len() > 0, "the base must capture jobs mid-flight");
+
+    let mut ckpt = DeltaCheckpointer::open(&dir, 8).expect("store opens");
+    assert_eq!(ckpt.snapshot(&fleet).expect("base writes").kind, SnapshotKind::Base);
+
+    let registry = JobRegistry::with_builtin();
+    let loaded = CheckpointStore::open(&dir)
+        .expect("store opens")
+        .load_latest(&registry)
+        .expect("base-terminated chains load");
+    let mut restored = Scheduler::restore(loaded);
+    assert_eq!(
+        (restored.running_len(), restored.queued_len()),
+        (fleet.running_len(), fleet.queued_len()),
+        "running and queued jobs must survive a base-terminated chain"
+    );
+    while fleet.tick() {}
+    while restored.tick() {}
+    assert_eq!(
+        format!("{:?}", restored.fleet_report()),
+        format!("{:?}", fleet.fleet_report()),
+        "the restored run must finish on the original run's bits"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
